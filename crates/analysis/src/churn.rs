@@ -1,0 +1,210 @@
+//! Crawl-over-crawl churn of A&A parties.
+//!
+//! §4.1 reports that "56 A&A initiators disappeared between our first and
+//! last crawl, including DoubleClick, Facebook, and AddThis" and that
+//! receivers barely changed. This module generalizes that note into a full
+//! presence matrix: for every A&A domain, which crawls it initiated or
+//! received sockets in, plus the derived appear/disappear sets.
+
+use crate::study::Study;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-domain presence across the four crawls.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Presence {
+    /// Crawl indices where the domain initiated A&A sockets.
+    pub initiated: BTreeSet<usize>,
+    /// Crawl indices where it received sockets.
+    pub received: BTreeSet<usize>,
+}
+
+/// The full churn analysis.
+#[derive(Debug, Clone)]
+pub struct Churn {
+    /// domain → presence.
+    pub domains: BTreeMap<String, Presence>,
+    /// Number of crawls.
+    pub crawls: usize,
+    /// Index of the last pre-patch crawl.
+    pub last_pre_patch: usize,
+}
+
+impl Churn {
+    /// Computes the churn matrix.
+    pub fn compute(study: &Study) -> Churn {
+        let mut domains: BTreeMap<String, Presence> = BTreeMap::new();
+        let mut last_pre_patch = 0;
+        for idx in 0..study.crawl_count() {
+            if study.reductions[idx].pre_patch {
+                last_pre_patch = idx;
+            }
+            for c in study.classified(idx) {
+                if c.aa_initiated {
+                    for h in &c.obs.chain_hosts {
+                        let key = study.aa.aggregation_key(h);
+                        if study.aa.contains(&key) {
+                            domains.entry(key).or_default().initiated.insert(idx);
+                        }
+                    }
+                }
+                if c.aa_received {
+                    domains
+                        .entry(c.receiver.clone())
+                        .or_default()
+                        .received
+                        .insert(idx);
+                }
+            }
+        }
+        Churn {
+            domains,
+            crawls: study.crawl_count(),
+            last_pre_patch,
+        }
+    }
+
+    /// Initiators seen pre-patch but never post-patch (the paper's 56,
+    /// including the majors).
+    pub fn vanished_initiators(&self) -> Vec<&str> {
+        self.domains
+            .iter()
+            .filter(|(_, p)| {
+                p.initiated.iter().any(|&i| i <= self.last_pre_patch)
+                    && !p.initiated.iter().any(|&i| i > self.last_pre_patch)
+            })
+            .map(|(d, _)| d.as_str())
+            .collect()
+    }
+
+    /// Initiators active in every crawl (the WebSocket-dependent services).
+    pub fn persistent_initiators(&self) -> Vec<&str> {
+        self.domains
+            .iter()
+            .filter(|(_, p)| p.initiated.len() == self.crawls)
+            .map(|(d, _)| d.as_str())
+            .collect()
+    }
+
+    /// Receivers active in every crawl.
+    pub fn persistent_receivers(&self) -> Vec<&str> {
+        self.domains
+            .iter()
+            .filter(|(_, p)| p.received.len() == self.crawls)
+            .map(|(d, _)| d.as_str())
+            .collect()
+    }
+
+    /// Receiver churn rate: fraction of receiving domains NOT present in
+    /// all crawls (the paper finds this near zero).
+    pub fn receiver_churn(&self) -> f64 {
+        let receivers: Vec<&Presence> = self
+            .domains
+            .values()
+            .filter(|p| !p.received.is_empty())
+            .collect();
+        if receivers.is_empty() {
+            return 0.0;
+        }
+        let churned = receivers
+            .iter()
+            .filter(|p| p.received.len() < self.crawls)
+            .count();
+        churned as f64 / receivers.len() as f64
+    }
+
+    /// Renders the presence matrix (`X` = initiated, `r` = received only).
+    pub fn render(&self, max_rows: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("A&A domain presence across crawls (X=initiated, r=received)\n");
+        let _ = writeln!(out, "{:<28} {}", "domain", "crawl: 1 2 3 4");
+        // Most-present first, majors' disappearance visible at a glance.
+        let mut rows: Vec<(&String, &Presence)> = self.domains.iter().collect();
+        rows.sort_by_key(|(d, p)| {
+            (
+                usize::MAX - p.initiated.len() - p.received.len(),
+                d.to_string(),
+            )
+        });
+        for (domain, p) in rows.into_iter().take(max_rows) {
+            let mut cells = String::new();
+            for i in 0..self.crawls {
+                let c = if p.initiated.contains(&i) {
+                    'X'
+                } else if p.received.contains(&i) {
+                    'r'
+                } else {
+                    '.'
+                };
+                cells.push(c);
+                cells.push(' ');
+            }
+            let _ = writeln!(out, "{domain:<28}        {cells}");
+        }
+        let _ = writeln!(
+            out,
+            "\nvanished initiators: {}   persistent initiators: {}   receiver churn: {:.0}%",
+            self.vanished_initiators().len(),
+            self.persistent_initiators().len(),
+            self.receiver_churn() * 100.0
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::{CrawlReduction, SocketObservation};
+    use sockscope_filterlist::{AaDomainSet, Engine};
+    use std::collections::BTreeSet as Set;
+
+    fn obs(initiator: &str, receiver: &str) -> SocketObservation {
+        SocketObservation {
+            url: format!("wss://{receiver}/s"),
+            host: receiver.to_string(),
+            initiator_host: initiator.to_string(),
+            chain_hosts: vec!["pub.example".into(), initiator.to_string()],
+            cross_origin: true,
+            sent_items: Set::new(),
+            received_classes: Set::new(),
+            no_data_sent: true,
+            no_data_received: true,
+            chain_blocked: false,
+            site_rank: 1,
+            site_domain: "pub.example".into(),
+        }
+    }
+
+    fn study() -> Study {
+        let mut c1 = CrawlReduction::new("pre", true);
+        c1.sockets = vec![obs("quitter.example", "sink.example"), obs("stayer.example", "sink.example")];
+        let mut c2 = CrawlReduction::new("post", false);
+        c2.sockets = vec![obs("stayer.example", "sink.example")];
+        let aa = AaDomainSet::from_domains(["quitter.example", "stayer.example", "sink.example"]);
+        let (engine, _) = Engine::parse("");
+        Study {
+            reductions: vec![c1, c2],
+            aa,
+            engine,
+            cdn_overrides: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn vanished_and_persistent() {
+        let churn = Churn::compute(&study());
+        assert_eq!(churn.vanished_initiators(), vec!["quitter.example"]);
+        assert_eq!(churn.persistent_initiators(), vec!["stayer.example"]);
+        assert_eq!(churn.persistent_receivers(), vec!["sink.example"]);
+        assert_eq!(churn.receiver_churn(), 0.0);
+    }
+
+    #[test]
+    fn render_marks_presence() {
+        let churn = Churn::compute(&study());
+        let text = churn.render(20);
+        assert!(text.contains("quitter.example"));
+        assert!(text.contains("X ."));
+        assert!(text.contains("vanished initiators: 1"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Figure 3: WebSocket usage by Alexa site rank.
+//!
+//! The figure's y-axis is "Percentage of Sockets": for each 10K-rank bin,
+//! the share of *all observed sockets* that are A&A (one line) and
+//! non-A&A (the other) and fall on publishers in that bin. Summed over
+//! bins the two lines give the overall A&A / non-A&A socket split — which
+//! is why the paper can say "the fraction of A&A sockets is twice that of
+//! non-A&A sockets across all ranks" while both lines peak near 1.8%:
+//! usage concentrates at the top (with a drop between 10K and 20K), and
+//! within the top 10K the A&A share is ~4.5× the non-A&A share.
+
+use crate::study::Study;
+use std::collections::BTreeMap;
+
+/// One rank bin of the figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankBin {
+    /// Lower rank bound (inclusive).
+    pub rank_lo: u32,
+    /// Upper rank bound (inclusive).
+    pub rank_hi: u32,
+    /// Publishers sampled in the bin.
+    pub sites: usize,
+    /// A&A sockets on publishers in this bin, as % of all sockets.
+    pub pct_aa: f64,
+    /// Non-A&A sockets in this bin, as % of all sockets.
+    pub pct_non_aa: f64,
+}
+
+/// The computed figure.
+#[derive(Debug, Clone)]
+pub struct Figure3 {
+    /// Bins in rank order.
+    pub bins: Vec<RankBin>,
+    /// Bin width used.
+    pub bin_width: u32,
+}
+
+impl Figure3 {
+    /// Computes the figure over a single crawl (the paper plots the pooled
+    /// view; pass `None` to pool all four).
+    pub fn compute(study: &Study, crawl: Option<usize>, bin_width: u32) -> Figure3 {
+        let crawls: Vec<usize> = match crawl {
+            Some(i) => vec![i],
+            None => (0..study.crawl_count()).collect(),
+        };
+        // Site sample per bin (shown for context; the universe is identical
+        // across crawls so the first chosen crawl's list is the sample).
+        let mut site_ranks: BTreeMap<u32, usize> = BTreeMap::new();
+        for site in &study.reductions[crawls[0]].sites {
+            *site_ranks.entry(site.rank / bin_width).or_default() += 1;
+        }
+        // Socket counts per bin and type.
+        let mut numer: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
+        let mut total = 0usize;
+        for &idx in &crawls {
+            for c in study.classified(idx) {
+                total += 1;
+                let e = numer.entry(c.obs.site_rank / bin_width).or_default();
+                if c.is_aa_socket() {
+                    e.0 += 1;
+                } else {
+                    e.1 += 1;
+                }
+            }
+        }
+        let total = total.max(1);
+        let bins = site_ranks
+            .into_iter()
+            .map(|(bin, sites)| {
+                let (aa, non_aa) = numer.get(&bin).copied().unwrap_or((0, 0));
+                RankBin {
+                    rank_lo: bin * bin_width + 1,
+                    rank_hi: (bin + 1) * bin_width,
+                    sites,
+                    pct_aa: aa as f64 / total as f64 * 100.0,
+                    pct_non_aa: non_aa as f64 / total as f64 * 100.0,
+                }
+            })
+            .collect();
+        Figure3 { bins, bin_width }
+    }
+
+    /// A&A : non-A&A socket-share ratio within the top 10K ranks — the
+    /// paper's 4.5× claim.
+    pub fn top10k_ratio(&self) -> Option<f64> {
+        let (mut aa, mut non_aa) = (0.0, 0.0);
+        for b in self.bins.iter().filter(|b| b.rank_hi <= 10_000) {
+            aa += b.pct_aa;
+            non_aa += b.pct_non_aa;
+        }
+        if non_aa == 0.0 {
+            None
+        } else {
+            Some(aa / non_aa)
+        }
+    }
+
+    /// Overall A&A : non-A&A socket ratio across all ranks (paper: ~2×).
+    pub fn overall_ratio(&self) -> Option<f64> {
+        let (mut aa, mut non_aa) = (0.0, 0.0);
+        for b in &self.bins {
+            aa += b.pct_aa;
+            non_aa += b.pct_non_aa;
+        }
+        if non_aa == 0.0 {
+            None
+        } else {
+            Some(aa / non_aa)
+        }
+    }
+
+    /// CSV export: one row per bin, plot-ready.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("rank_lo,rank_hi,sites,pct_aa,pct_non_aa\n");
+        for b in &self.bins {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.4},{:.4}",
+                b.rank_lo, b.rank_hi, b.sites, b.pct_aa, b.pct_non_aa
+            );
+        }
+        out
+    }
+
+    /// Renders the series as aligned text plus a crude ASCII plot.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(
+            "Figure 3: percentage of sockets by Alexa rank bin and type\n",
+        );
+        let max = self
+            .bins
+            .iter()
+            .map(|b| b.pct_aa.max(b.pct_non_aa))
+            .fold(0.0f64, f64::max)
+            .max(0.001);
+        for b in &self.bins {
+            let bar = |v: f64| {
+                let width = (v / max * 40.0).round() as usize;
+                "#".repeat(width)
+            };
+            let _ = writeln!(
+                out,
+                "{:>8}-{:<8} n={:<6} A&A {:>5.2}% |{:<40}|  non-A&A {:>5.2}% |{:<40}|",
+                b.rank_lo,
+                b.rank_hi,
+                b.sites,
+                b.pct_aa,
+                bar(b.pct_aa),
+                b.pct_non_aa,
+                bar(b.pct_non_aa)
+            );
+        }
+        if let Some(r) = self.top10k_ratio() {
+            let _ = writeln!(out, "top-10K A&A : non-A&A ratio = {r:.2} (paper: ~4.5)");
+        }
+        if let Some(r) = self.overall_ratio() {
+            let _ = writeln!(out, "overall A&A : non-A&A ratio = {r:.2} (paper: ~2)");
+        }
+        out
+    }
+}

@@ -1,0 +1,40 @@
+//! # sockscope-analysis
+//!
+//! The measurement-analysis stage: everything between raw crawl data and
+//! the paper's tables and figures.
+//!
+//! * [`pii`] — the regex library that classifies payload content into the
+//!   Table 5 taxonomy (built on the `sockscope-redlite` engine, mirroring
+//!   §4.3's "large library of regular expressions").
+//! * [`reduce`] — streaming reduction of per-site crawl records into the
+//!   compact observations every table needs (labeling counts, socket
+//!   attributions, payload classifications, HTTP comparisons).
+//! * [`study`] — the four-crawl study driver: crawls, labels (`D'` with
+//!   the 10% threshold and Cloudfront overrides), classifies, aggregates.
+//! * [`tables`] — Tables 1–5 as typed structs with text renderers that
+//!   print the paper's values next to the reproduction's.
+//! * [`figures`] — Figure 3 (sockets by Alexa rank) as a plottable series.
+//! * [`textstats`] — the §4.1/§4.2 prose statistics (cross-origin share,
+//!   unique-domain counts, blocking fractions).
+//! * [`categories`] / [`churn`] — extensions beyond the paper's tables: the
+//!   per-Alexa-category cut the §3.3 sample design enables, and the full
+//!   crawl-over-crawl presence matrix generalizing §4.1's "56 initiators
+//!   disappeared" observation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod categories;
+pub mod churn;
+pub mod figures;
+pub mod pii;
+pub mod reduce;
+pub mod snapshot;
+pub mod study;
+pub mod tables;
+pub mod textstats;
+
+pub use pii::PiiLibrary;
+pub use reduce::{CrawlReduction, SocketObservation};
+pub use snapshot::StudySnapshot;
+pub use study::{Study, StudyConfig};

@@ -1,0 +1,340 @@
+//! The PII / content regex library (§4.3).
+//!
+//! The authors "extracted all of these variables from raw network traffic
+//! by manually building up a large library of regular expressions". This is
+//! that library for the sockscope wire formats, running on the
+//! `sockscope-redlite` engine. Classification input is raw bytes recovered
+//! from real RFC 6455 frames or HTTP bodies/URLs — the ground-truth item
+//! lists never reach this code path (they exist only so tests can verify
+//! the classifier).
+
+use serde::{Deserialize, Serialize};
+use sockscope_redlite::Regex;
+use sockscope_webmodel::SentItem;
+use std::collections::BTreeSet;
+
+/// Received-content classes of Table 5's bottom half.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ReceivedClass {
+    /// HTML markup.
+    Html,
+    /// JSON document.
+    Json,
+    /// JavaScript code.
+    JavaScript,
+    /// Image bytes.
+    Image,
+    /// Opaque binary.
+    Binary,
+}
+
+impl ReceivedClass {
+    /// All classes in table order.
+    pub const ALL: [ReceivedClass; 5] = [
+        ReceivedClass::Html,
+        ReceivedClass::Json,
+        ReceivedClass::JavaScript,
+        ReceivedClass::Image,
+        ReceivedClass::Binary,
+    ];
+
+    /// Table row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReceivedClass::Html => "HTML",
+            ReceivedClass::Json => "JSON",
+            ReceivedClass::JavaScript => "JavaScript",
+            ReceivedClass::Image => "Image",
+            ReceivedClass::Binary => "Binary",
+        }
+    }
+}
+
+/// The compiled pattern library.
+pub struct PiiLibrary {
+    user_agent: Regex,
+    cookie: Regex,
+    ip: Regex,
+    user_id: Regex,
+    device: Regex,
+    screen: Regex,
+    browser: Regex,
+    viewport: Regex,
+    scroll: Regex,
+    orientation: Regex,
+    first_seen: Regex,
+    resolution: Regex,
+    language: Regex,
+    dom: Regex,
+    html: Regex,
+    javascript: Regex,
+    ad_image_url: Regex,
+}
+
+impl Default for PiiLibrary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PiiLibrary {
+    /// Compiles the library. Patterns are written against the wire formats
+    /// the synthetic trackers actually emit, the way the authors wrote
+    /// theirs against 2017 tracker traffic.
+    pub fn new() -> PiiLibrary {
+        let re = |p: &str| Regex::new(p).expect("library pattern compiles");
+        let ci = |p: &str| Regex::new_ci(p).expect("library pattern compiles");
+        PiiLibrary {
+            user_agent: ci("(user-agent: |(^|[&?])ua=)Mozilla/\\d"),
+            cookie: ci("(cookie: |(^|[&?])cookie=)[^&\\n]*[A-Za-z0-9_]+="),
+            ip: re("(^|[&?])client_ip=(\\d{1,3}\\.){3}\\d{1,3}"),
+            user_id: ci("(^|[&?])(user_id|client_id|account_id)=[A-Za-z0-9_-]+"),
+            device: ci("(^|[&?])device=(desktop|mobile|tablet)"),
+            screen: re("(^|[&?])screen=\\d{3,4}x\\d{3,4}"),
+            browser: ci("(^|[&?])browser=[A-Za-z]+"),
+            viewport: re("(^|[&?])viewport=\\d{3,4}x\\d{3,4}"),
+            scroll: re("(^|[&?])scroll_y=\\d+"),
+            orientation: ci("(^|[&?])orientation=(landscape|portrait)"),
+            first_seen: re("(^|[&?])first_seen=\\d{4}-\\d{2}-\\d{2}"),
+            resolution: re("(^|[&?])resolution=\\d{3,4}x\\d{3,4}"),
+            language: re("(^|[&?])lang=[a-z]{2}(-[A-Z]{2})?"),
+            dom: ci("(^|[&?])dom=<(!doctype |html)"),
+            html: ci("^[ \\t]*<(!doctype |html|body|div)"),
+            javascript: ci("(\\(function\\(|document\\.createElement|appendChild\\()"),
+            ad_image_url: ci("\"img\":\"https?://[^\"]+\\.(jpg|jpeg|png|gif)\""),
+        }
+    }
+
+    /// Classifies one *sent* payload (text form). Returns every item whose
+    /// pattern matches. Newlines separate handshake headers, so patterns
+    /// stay line-local where it matters.
+    pub fn classify_sent_text(&self, text: &str) -> BTreeSet<SentItem> {
+        let mut out = BTreeSet::new();
+        let mut hit = |item: SentItem, re: &Regex| {
+            if re.is_match(text) {
+                out.insert(item);
+            }
+        };
+        hit(SentItem::UserAgent, &self.user_agent);
+        hit(SentItem::Cookie, &self.cookie);
+        hit(SentItem::Ip, &self.ip);
+        hit(SentItem::UserId, &self.user_id);
+        hit(SentItem::Device, &self.device);
+        hit(SentItem::Screen, &self.screen);
+        hit(SentItem::Browser, &self.browser);
+        hit(SentItem::Viewport, &self.viewport);
+        hit(SentItem::ScrollPosition, &self.scroll);
+        hit(SentItem::Orientation, &self.orientation);
+        hit(SentItem::FirstSeen, &self.first_seen);
+        hit(SentItem::Resolution, &self.resolution);
+        hit(SentItem::Language, &self.language);
+        hit(SentItem::Dom, &self.dom);
+        out
+    }
+
+    /// Classifies sent bytes: undecodable payloads are
+    /// [`SentItem::Binary`]; text goes through the pattern set. The paper
+    /// could not decode ~1% of WebSocket payloads — this is that bucket.
+    pub fn classify_sent(&self, payload: &[u8]) -> BTreeSet<SentItem> {
+        match std::str::from_utf8(payload) {
+            Ok(text) => self.classify_sent_text(text),
+            Err(_) => {
+                let mut out = BTreeSet::new();
+                out.insert(SentItem::Binary);
+                out
+            }
+        }
+    }
+
+    /// Classifies one *received* payload.
+    pub fn classify_received(&self, payload: &[u8]) -> Option<ReceivedClass> {
+        if payload.is_empty() {
+            return None;
+        }
+        match std::str::from_utf8(payload) {
+            Ok(text) => {
+                let trimmed = text.trim_start();
+                if self.html.is_match(text) {
+                    Some(ReceivedClass::Html)
+                } else if trimmed.starts_with('{') || trimmed.starts_with('[') {
+                    // Must actually parse — "{oops" is not JSON.
+                    if serde_json::from_str::<serde_json::Value>(trimmed).is_ok() {
+                        Some(ReceivedClass::Json)
+                    } else if self.javascript.is_match(text) {
+                        Some(ReceivedClass::JavaScript)
+                    } else {
+                        None
+                    }
+                } else if self.javascript.is_match(text) {
+                    Some(ReceivedClass::JavaScript)
+                } else {
+                    None
+                }
+            }
+            Err(_) => {
+                if payload.len() >= 8 && &payload[1..4] == b"PNG" {
+                    Some(ReceivedClass::Image)
+                } else if payload.starts_with(&[0xFF, 0xD8, 0xFF]) {
+                    Some(ReceivedClass::Image)
+                } else {
+                    Some(ReceivedClass::Binary)
+                }
+            }
+        }
+    }
+
+    /// Extracts Lockerdome-style ad-image URLs and captions from a payload
+    /// (§4.3 / Figure 4): returns `(img_url, caption)` pairs.
+    pub fn extract_ad_urls(&self, text: &str) -> Vec<(String, String)> {
+        let Ok(value) = serde_json::from_str::<serde_json::Value>(text) else {
+            // Fall back to the regex for non-JSON carriers.
+            return self
+                .ad_image_url
+                .find_iter(text)
+                .map(|m| (text[m.start..m.end].to_string(), String::new()))
+                .collect();
+        };
+        let mut out = Vec::new();
+        if let Some(ads) = value.get("ads").and_then(|a| a.as_array()) {
+            for ad in ads {
+                let img = ad.get("img").and_then(|v| v.as_str()).unwrap_or("");
+                let caption = ad.get("caption").and_then(|v| v.as_str()).unwrap_or("");
+                if !img.is_empty() {
+                    out.push((img.to_string(), caption.to_string()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sockscope_webmodel::{payload::Payload, ReceivedItem, ValueContext};
+
+    fn lib() -> PiiLibrary {
+        PiiLibrary::new()
+    }
+
+    /// The crucial roundtrip: items → rendered wire text → classified items.
+    #[test]
+    fn classifier_recovers_rendered_items() {
+        let lib = lib();
+        let ctx = ValueContext::deterministic(2024);
+        let items = [
+            SentItem::UserAgent,
+            SentItem::Cookie,
+            SentItem::Ip,
+            SentItem::UserId,
+            SentItem::Device,
+            SentItem::Screen,
+            SentItem::Browser,
+            SentItem::Viewport,
+            SentItem::ScrollPosition,
+            SentItem::Orientation,
+            SentItem::FirstSeen,
+            SentItem::Resolution,
+            SentItem::Language,
+        ];
+        let payload = ctx.render_sent(&items);
+        let got = lib.classify_sent(payload.as_bytes());
+        for item in items {
+            assert!(got.contains(&item), "{item:?} not recovered");
+        }
+        assert!(!got.contains(&SentItem::Dom));
+        assert!(!got.contains(&SentItem::Binary));
+    }
+
+    #[test]
+    fn dom_payload_detected() {
+        let lib = lib();
+        let mut ctx = ValueContext::deterministic(1);
+        ctx.dom_html = "<html><body><input value=\"secret\"></body></html>".into();
+        let payload = ctx.render_sent(&[SentItem::Dom]);
+        let got = lib.classify_sent(payload.as_bytes());
+        assert!(got.contains(&SentItem::Dom));
+    }
+
+    #[test]
+    fn binary_payload_detected() {
+        let lib = lib();
+        let ctx = ValueContext::deterministic(1);
+        let payload = ctx.render_sent(&[SentItem::Binary, SentItem::Cookie]);
+        let got = lib.classify_sent(payload.as_bytes());
+        assert_eq!(got.into_iter().collect::<Vec<_>>(), vec![SentItem::Binary]);
+    }
+
+    #[test]
+    fn handshake_headers_classified() {
+        let lib = lib();
+        let handshake = "GET /socket HTTP/1.1\r\nHost: ws.zopim.com\r\nUser-Agent: Mozilla/5.0 (X11) Chrome/57.0\r\nCookie: uid=42; _ga=GA1.2.3.4\r\n\r\n";
+        let got = lib.classify_sent_text(handshake);
+        assert!(got.contains(&SentItem::UserAgent));
+        assert!(got.contains(&SentItem::Cookie));
+        assert!(!got.contains(&SentItem::UserId));
+    }
+
+    #[test]
+    fn cookie_value_does_not_fake_user_id() {
+        let lib = lib();
+        // "uid=" inside a cookie is a cookie, not a "User ID" field.
+        let got = lib.classify_sent_text("cookie=uid=deadbeef; _ga=GA1.2.3");
+        assert!(got.contains(&SentItem::Cookie));
+        assert!(!got.contains(&SentItem::UserId));
+        // A real user-id field, conversely:
+        let got2 = lib.classify_sent_text("user_id=client_0000ab12");
+        assert!(got2.contains(&SentItem::UserId));
+    }
+
+    #[test]
+    fn received_classes_roundtrip() {
+        let lib = lib();
+        let ctx = ValueContext::deterministic(5);
+        let cases = [
+            (vec![ReceivedItem::Html], Some(ReceivedClass::Html)),
+            (vec![ReceivedItem::Json], Some(ReceivedClass::Json)),
+            (vec![ReceivedItem::JavaScript], Some(ReceivedClass::JavaScript)),
+            (vec![ReceivedItem::ImageData], Some(ReceivedClass::Image)),
+            (vec![ReceivedItem::Binary], Some(ReceivedClass::Binary)),
+            (vec![ReceivedItem::AdUrls], Some(ReceivedClass::Json)),
+        ];
+        for (items, expect) in cases {
+            let payload = ctx.render_received(&items, "x.example");
+            let got = lib.classify_received(payload.as_bytes());
+            assert_eq!(got, expect, "{items:?}");
+        }
+        assert_eq!(lib.classify_received(b""), None);
+    }
+
+    #[test]
+    fn json_must_parse() {
+        let lib = lib();
+        assert_eq!(lib.classify_received(b"{broken json"), None);
+        assert_eq!(
+            lib.classify_received(b"{\"ok\": true}"),
+            Some(ReceivedClass::Json)
+        );
+    }
+
+    #[test]
+    fn ad_url_extraction_matches_figure4() {
+        let lib = lib();
+        let ctx = ValueContext::deterministic(5);
+        let payload = ctx.render_received(&[ReceivedItem::AdUrls], "lockerdome.com");
+        let Payload::Text(text) = payload else {
+            panic!("ad payload is text")
+        };
+        let ads = lib.extract_ad_urls(&text);
+        assert_eq!(ads.len(), 3);
+        assert!(ads[0].0.contains("cdn1.lockerdome.com"));
+        assert!(ads.iter().any(|(_, c)| c.contains("Diet Soda")));
+    }
+
+    #[test]
+    fn plain_text_is_unclassified() {
+        let lib = lib();
+        assert_eq!(lib.classify_received(b"pong"), None);
+        assert!(lib.classify_sent(b"heartbeat 1234").is_empty());
+    }
+}

@@ -1,0 +1,437 @@
+//! Streaming reduction of crawl records into compact observations.
+//!
+//! A paper-scale crawl (100K sites × ≤16 pages) is far too large to keep as
+//! inclusion trees. [`CrawlReduction`] consumes each site's trees as they
+//! are produced ([`sockscope_crawler::crawl_streaming`]) and keeps only:
+//!
+//! * labeling counts per second-level domain (`a(d)`, `n(d)` from §3.2),
+//! * one [`SocketObservation`] per WebSocket (attribution + classified
+//!   payload items + blocking-analysis flags),
+//! * aggregate HTTP counters per domain (for Table 5's HTTP/S columns and
+//!   the §4.2 chain statistics),
+//! * per-site rank/socket flags (for Table 1 and Figure 3).
+
+use crate::pii::{PiiLibrary, ReceivedClass};
+use serde::{Deserialize, Serialize};
+use sockscope_crawler::SiteRecord;
+use sockscope_filterlist::{Engine, RequestContext, ResourceType};
+use sockscope_inclusion::{InclusionTree, NodeKind};
+use sockscope_urlkit::Url;
+use sockscope_webmodel::SentItem;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One classified WebSocket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SocketObservation {
+    /// Endpoint URL.
+    pub url: String,
+    /// Endpoint hostname.
+    pub host: String,
+    /// Hostname of the nearest ancestor script (the page host if the
+    /// socket was opened by inline first-party code).
+    pub initiator_host: String,
+    /// Hostnames of every ancestor resource, root → parent.
+    pub chain_hosts: Vec<String>,
+    /// Socket contacted a third-party SLD.
+    pub cross_origin: bool,
+    /// Items recovered from the handshake + sent frames by the regex
+    /// library.
+    pub sent_items: BTreeSet<SentItem>,
+    /// Content classes recovered from received frames.
+    pub received_classes: BTreeSet<ReceivedClass>,
+    /// No payload frames sent (Table 5's "No data" row; the handshake
+    /// still carried the UA).
+    pub no_data_sent: bool,
+    /// No payload frames received.
+    pub no_data_received: bool,
+    /// Would EasyList+EasyPrivacy have cut this chain post-hoc? (§4.2)
+    pub chain_blocked: bool,
+    /// Rank of the publisher the socket appeared on.
+    pub site_rank: u32,
+    /// Publisher domain.
+    pub site_domain: String,
+}
+
+/// Aggregate HTTP counters for one second-level domain.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HttpAgg {
+    /// Total requests.
+    pub total: u64,
+    /// Sent-item counts (indexed by [`SentItem::ALL`] position).
+    pub sent_counts: [u64; 15],
+    /// Received-class counts (indexed by [`ReceivedClass::ALL`] position).
+    pub recv_counts: [u64; 5],
+    /// Requests whose chain a blocker would have cut.
+    pub chains_blocked: u64,
+}
+
+/// Per-site flags for Table 1 / Figure 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteFlags {
+    /// Alexa-like rank.
+    pub rank: u32,
+    /// Pages visited.
+    pub pages: usize,
+    /// Sockets observed on the site.
+    pub sockets: usize,
+}
+
+/// The streaming reducer for one crawl.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrawlReduction {
+    /// Crawl label (Table 1 row).
+    pub label: String,
+    /// Was this crawl pre-patch?
+    pub pre_patch: bool,
+    /// Labeling counts: fully-qualified host → (tagged-A&A, untagged)
+    /// observation counts; the labeler aggregates these to 2nd-level
+    /// domains (with CDN overrides) when building `D'`.
+    pub label_counts: HashMap<String, (u64, u64)>,
+    /// All classified sockets.
+    pub sockets: Vec<SocketObservation>,
+    /// HTTP aggregates per domain.
+    pub http: BTreeMap<String, HttpAgg>,
+    /// Per-site flags.
+    pub sites: Vec<SiteFlags>,
+}
+
+impl CrawlReduction {
+    /// Creates an empty reduction.
+    pub fn new(label: impl Into<String>, pre_patch: bool) -> CrawlReduction {
+        CrawlReduction {
+            label: label.into(),
+            pre_patch,
+            label_counts: HashMap::new(),
+            sockets: Vec::new(),
+            http: BTreeMap::new(),
+            sites: Vec::new(),
+        }
+    }
+
+    /// Reduces one site record. `engine` is the combined
+    /// EasyList+EasyPrivacy engine (used both for labeling tags and for the
+    /// post-hoc blocking analysis); `lib` is the PII library.
+    pub fn observe_site(&mut self, record: &SiteRecord, engine: &Engine, lib: &PiiLibrary) {
+        let mut site_sockets = 0usize;
+        for tree in &record.trees {
+            site_sockets += self.observe_tree(tree, record, engine, lib);
+        }
+        self.sites.push(SiteFlags {
+            rank: record.rank,
+            pages: record.trees.len(),
+            sockets: site_sockets,
+        });
+    }
+
+    fn observe_tree(
+        &mut self,
+        tree: &InclusionTree,
+        record: &SiteRecord,
+        engine: &Engine,
+        lib: &PiiLibrary,
+    ) -> usize {
+        let page = Url::parse(&tree.page_url).ok();
+        let mut sockets = 0usize;
+
+        // Precompute per-node "would the lists block this node itself".
+        let n = tree.nodes().len();
+        let mut node_blocked = vec![false; n];
+        for (i, node) in tree.nodes().iter().enumerate() {
+            let rtype = match node.kind {
+                NodeKind::Script => ResourceType::Script,
+                NodeKind::Image => ResourceType::Image,
+                NodeKind::Xhr => ResourceType::Xhr,
+                _ => continue,
+            };
+            let (Some(page), Ok(url)) = (page.as_ref(), Url::parse(&node.url)) else {
+                continue;
+            };
+            node_blocked[i] = engine.blocks(&RequestContext {
+                url: &url,
+                page,
+                resource_type: rtype,
+            });
+        }
+        // Chain blocking: a node's chain is blocked if itself or any
+        // ancestor is.
+        let mut chain_blocked = vec![false; n];
+        for (i, node) in tree.nodes().iter().enumerate() {
+            let parent_blocked = node
+                .parent
+                .map(|p| chain_blocked[p.0])
+                .unwrap_or(false);
+            chain_blocked[i] = parent_blocked || node_blocked[i];
+        }
+
+        for (i, node) in tree.nodes().iter().enumerate() {
+            match node.kind {
+                NodeKind::Script | NodeKind::Image | NodeKind::Xhr => {
+                    // Labeling observation (§3.2): tag by the rule lists.
+                    let host = node.host.to_ascii_lowercase();
+                    if host.is_empty() {
+                        continue;
+                    }
+                    // Keyed by FULL hostname: the study's Cloudfront
+                    // overrides (§3.2) act on fully-qualified CDN hosts, so
+                    // aggregation to 2nd-level domains must happen in the
+                    // labeler, where the override table lives.
+                    let entry = self.label_counts.entry(host.clone()).or_insert((0, 0));
+                    if node_blocked[i] {
+                        entry.0 += 1;
+                    } else {
+                        entry.1 += 1;
+                    }
+
+                    // HTTP aggregates (keyed by the *full host* via its
+                    // SLD; CDN reattribution happens at query time).
+                    let agg = self.http.entry(host).or_default();
+                    agg.total += 1;
+                    // Sent items: recovered from the URL text (query
+                    // strings carry the tracking payloads in this model),
+                    // plus the UA that rides every request's headers.
+                    // Query-less URLs cannot carry key=value items; skip
+                    // the 14-pattern scan for them (the common case).
+                    let mut items = if node.url.contains('=') {
+                        lib.classify_sent_text(&node.url)
+                    } else {
+                        Default::default()
+                    };
+                    items.insert(SentItem::UserAgent);
+                    for item in items {
+                        if let Some(pos) = SentItem::ALL.iter().position(|&x| x == item) {
+                            agg.sent_counts[pos] += 1;
+                        }
+                    }
+                    // Received class: script fetches return JavaScript by
+                    // construction (the paper classifies by body/MIME);
+                    // other kinds classify their captured body.
+                    if node.kind == NodeKind::Script {
+                        let pos = ReceivedClass::ALL
+                            .iter()
+                            .position(|&x| x == ReceivedClass::JavaScript)
+                            .expect("class present");
+                        agg.recv_counts[pos] += 1;
+                    } else if let Some(body) = &node.http_body {
+                        if let Some(class) = lib.classify_received(body) {
+                            if let Some(pos) =
+                                ReceivedClass::ALL.iter().position(|&x| x == class)
+                            {
+                                agg.recv_counts[pos] += 1;
+                            }
+                        }
+                    }
+                    if chain_blocked[i] {
+                        agg.chains_blocked += 1;
+                    }
+                }
+                NodeKind::WebSocket => {
+                    sockets += 1;
+                    let chain = tree.chain(node.id);
+                    let chain_hosts: Vec<String> = chain
+                        .iter()
+                        .take(chain.len() - 1)
+                        .map(|c| c.host.clone())
+                        .collect();
+                    let initiator_host = chain
+                        .iter()
+                        .rev()
+                        .skip(1)
+                        .find(|c| c.kind == NodeKind::Script)
+                        .map(|c| c.host.clone())
+                        .unwrap_or_else(|| tree.root().host.clone());
+                    let cross_origin = match (&page, Url::parse(&node.url)) {
+                        (Some(p), Ok(u)) => sockscope_urlkit::origin::is_third_party(p, &u),
+                        _ => true,
+                    };
+                    let ws = node.ws.as_ref().expect("socket node has transcript");
+                    // Classify: handshake + every sent frame.
+                    let mut sent_items = lib.classify_sent_text(&ws.handshake_request);
+                    let mut payload_frames = 0usize;
+                    for frame in &ws.sent {
+                        if frame.is_empty() {
+                            continue;
+                        }
+                        payload_frames += 1;
+                        match frame.as_text() {
+                            Some(t) => sent_items.extend(lib.classify_sent_text(t)),
+                            None => {
+                                sent_items.insert(SentItem::Binary);
+                            }
+                        }
+                    }
+                    let mut received_classes = BTreeSet::new();
+                    let mut received_frames = 0usize;
+                    for frame in &ws.received {
+                        if frame.is_empty() {
+                            continue;
+                        }
+                        received_frames += 1;
+                        let bytes = match frame.as_text() {
+                            Some(t) => t.as_bytes().to_vec(),
+                            None => match frame {
+                                sockscope_inclusion::tree::PayloadRecord::Binary(b) => b.clone(),
+                                _ => unreachable!(),
+                            },
+                        };
+                        if let Some(class) = lib.classify_received(&bytes) {
+                            received_classes.insert(class);
+                        }
+                    }
+                    self.sockets.push(SocketObservation {
+                        url: node.url.clone(),
+                        host: node.host.clone(),
+                        initiator_host,
+                        chain_hosts,
+                        cross_origin,
+                        sent_items,
+                        received_classes,
+                        no_data_sent: payload_frames == 0,
+                        no_data_received: received_frames == 0,
+                        chain_blocked: chain_blocked[i],
+                        site_rank: record.rank,
+                        site_domain: record.domain.clone(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        sockets
+    }
+
+    /// Merges another reduction into this one (used to pool the labeling
+    /// counts of all four crawls before building `D'`).
+    pub fn merge_label_counts_into(&self, global: &mut HashMap<String, (u64, u64)>) {
+        for (d, (a, n)) in &self.label_counts {
+            let e = global.entry(d.clone()).or_insert((0, 0));
+            e.0 += a;
+            e.1 += n;
+        }
+    }
+
+    /// Number of sites observed.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Fraction of sites with ≥1 socket.
+    pub fn fraction_sites_with_sockets(&self) -> f64 {
+        if self.sites.is_empty() {
+            return 0.0;
+        }
+        self.sites.iter().filter(|s| s.sockets > 0).count() as f64 / self.sites.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sockscope_browser::{CdpEvent, FrameId, FramePayload, Initiator, RequestId, ScriptId};
+
+    fn record_with_socket() -> SiteRecord {
+        use CdpEvent::*;
+        let events = vec![
+            ScriptParsed {
+                script_id: ScriptId(1),
+                url: "https://v2.zopim.com/zopim.js?s=1&p=0".into(),
+                frame_id: FrameId(0),
+                initiator: Initiator::Parser(FrameId(0)),
+            },
+            RequestWillBeSent {
+                request_id: RequestId(1),
+                url: "https://v2.zopim.com/collect/beacon.gif?cookie=uid=1".into(),
+                resource_type: sockscope_browser::ResourceKind::Image,
+                initiator: Initiator::Script(ScriptId(1)),
+                frame_id: FrameId(0),
+            },
+            WebSocketCreated {
+                request_id: RequestId(2),
+                url: "wss://ws.zopim.com/socket".into(),
+                initiator: Initiator::Script(ScriptId(1)),
+                frame_id: FrameId(0),
+            },
+            WebSocketWillSendHandshakeRequest {
+                request_id: RequestId(2),
+                request: b"GET /socket HTTP/1.1\r\nHost: ws.zopim.com\r\nUser-Agent: Mozilla/5.0 Chrome/57\r\n\r\n".to_vec(),
+            },
+            WebSocketFrameSent {
+                request_id: RequestId(2),
+                payload: FramePayload::Text("cookie=uid=77; _ga=GA1.2.3&scroll_y=120".into()),
+            },
+            WebSocketFrameReceived {
+                request_id: RequestId(2),
+                payload: FramePayload::Text("<html><body>chat</body></html>".into()),
+            },
+            WebSocketClosed {
+                request_id: RequestId(2),
+            },
+        ];
+        let tree = InclusionTree::build("http://business-site-000001.example/", &events);
+        SiteRecord {
+            site_id: 1,
+            domain: "business-site-000001.example".into(),
+            rank: 777,
+            trees: vec![tree],
+        }
+    }
+
+    fn engine() -> Engine {
+        let (e, errs) = Engine::parse("||v2.zopim.com/collect/$third-party");
+        assert!(errs.is_empty());
+        e
+    }
+
+    #[test]
+    fn socket_classified_and_attributed() {
+        let mut red = CrawlReduction::new("test", true);
+        red.observe_site(&record_with_socket(), &engine(), &PiiLibrary::new());
+        assert_eq!(red.sockets.len(), 1);
+        let s = &red.sockets[0];
+        assert_eq!(s.host, "ws.zopim.com");
+        assert_eq!(s.initiator_host, "v2.zopim.com");
+        assert!(s.cross_origin);
+        assert!(s.sent_items.contains(&SentItem::UserAgent)); // handshake
+        assert!(s.sent_items.contains(&SentItem::Cookie));
+        assert!(s.sent_items.contains(&SentItem::ScrollPosition));
+        assert!(s.received_classes.contains(&ReceivedClass::Html));
+        assert!(!s.no_data_sent);
+        assert!(!s.no_data_received);
+        // The beacon was tagged, but it is NOT an ancestor of the socket
+        // (it's a sibling) — chain not blocked, exactly the §4.2 situation.
+        assert!(!s.chain_blocked);
+    }
+
+    #[test]
+    fn labeling_counts_by_sld() {
+        let mut red = CrawlReduction::new("test", true);
+        red.observe_site(&record_with_socket(), &engine(), &PiiLibrary::new());
+        // v2.zopim.com observed twice over HTTP: tag script (untagged) +
+        // beacon (tagged). Counts stay per-host until the labeler
+        // aggregates them.
+        let (a, n) = red.label_counts.get("v2.zopim.com").copied().unwrap();
+        assert_eq!((a, n), (1, 1));
+    }
+
+    #[test]
+    fn http_aggregates_fill() {
+        let mut red = CrawlReduction::new("test", true);
+        red.observe_site(&record_with_socket(), &engine(), &PiiLibrary::new());
+        let agg = red.http.get("v2.zopim.com").unwrap();
+        assert_eq!(agg.total, 2);
+        // Beacon URL carried a cookie.
+        let cookie_pos = SentItem::ALL.iter().position(|&i| i == SentItem::Cookie).unwrap();
+        assert_eq!(agg.sent_counts[cookie_pos], 1);
+        // Both carried a UA.
+        assert_eq!(agg.sent_counts[0], 2);
+        // The beacon chain was blocked (the beacon itself matches).
+        assert_eq!(agg.chains_blocked, 1);
+    }
+
+    #[test]
+    fn site_flags_recorded() {
+        let mut red = CrawlReduction::new("test", true);
+        red.observe_site(&record_with_socket(), &engine(), &PiiLibrary::new());
+        assert_eq!(red.site_count(), 1);
+        assert_eq!(red.sites[0].sockets, 1);
+        assert!((red.fraction_sites_with_sockets() - 1.0).abs() < 1e-9);
+    }
+}

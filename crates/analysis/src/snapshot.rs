@@ -1,0 +1,174 @@
+//! Dataset persistence: crawl once, analyze many times.
+//!
+//! The real study's expensive asset was the crawl corpus; analysis was
+//! re-run over it repeatedly. [`StudySnapshot`] captures everything the
+//! table/figure generators need — the four reductions, the labeled `D'`,
+//! and the CDN override table — as JSON, so a paper-scale crawl can be
+//! saved and re-analyzed without re-crawling.
+//!
+//! The filter engine is deliberately *not* serialized: every quantity that
+//! depends on it (labeling tags, chain-blocking flags) is already baked
+//! into the reductions. A study restored from a snapshot carries an empty
+//! engine.
+
+use crate::reduce::CrawlReduction;
+use crate::study::Study;
+use serde::{Deserialize, Serialize};
+use sockscope_filterlist::{AaDomainSet, Engine};
+
+/// Serializable form of a completed study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudySnapshot {
+    /// Format version, for forward compatibility.
+    pub version: u32,
+    /// The four per-crawl reductions.
+    pub reductions: Vec<CrawlReduction>,
+    /// Domains of `D'`.
+    pub aa_domains: Vec<String>,
+    /// Manual host → company overrides (§3.2's Cloudfront table).
+    pub cdn_overrides: Vec<(String, String)>,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Errors when loading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// JSON malformed or wrong shape.
+    Format(serde_json::Error),
+    /// Unknown version.
+    Version(u32),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "io: {e}"),
+            SnapshotError::Format(e) => write!(f, "format: {e}"),
+            SnapshotError::Version(v) => write!(f, "unsupported snapshot version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl StudySnapshot {
+    /// Captures a study.
+    pub fn capture(study: &Study) -> StudySnapshot {
+        let mut aa_domains: Vec<String> = study.aa.iter().map(str::to_string).collect();
+        aa_domains.sort_unstable();
+        StudySnapshot {
+            version: SNAPSHOT_VERSION,
+            reductions: study.reductions.clone(),
+            aa_domains,
+            cdn_overrides: study.cdn_overrides.clone(),
+        }
+    }
+
+    /// Restores a study (with an empty filter engine — see module docs).
+    pub fn restore(self) -> Result<Study, SnapshotError> {
+        if self.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Version(self.version));
+        }
+        let mut aa = AaDomainSet::from_domains(self.aa_domains);
+        for (host, company) in &self.cdn_overrides {
+            aa.add_cdn_override(host.clone(), company.clone());
+        }
+        Ok(Study {
+            reductions: self.reductions,
+            aa,
+            engine: Engine::default(),
+            cdn_overrides: self.cdn_overrides,
+        })
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(text: &str) -> Result<StudySnapshot, SnapshotError> {
+        serde_json::from_str(text).map_err(SnapshotError::Format)
+    }
+
+    /// Writes to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.to_json()).map_err(SnapshotError::Io)
+    }
+
+    /// Reads from a file.
+    pub fn load(path: &std::path::Path) -> Result<StudySnapshot, SnapshotError> {
+        let text = std::fs::read_to_string(path).map_err(SnapshotError::Io)?;
+        StudySnapshot::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyConfig;
+    use crate::tables::Table1;
+
+    #[test]
+    fn roundtrip_preserves_every_table_input() {
+        let study = Study::run(&StudyConfig {
+            n_sites: 80,
+            threads: 2,
+            ..StudyConfig::default()
+        });
+        let before = Table1::compute(&study);
+        let snapshot = StudySnapshot::capture(&study);
+        let json = snapshot.to_json();
+        let restored = StudySnapshot::from_json(&json).unwrap().restore().unwrap();
+        let after = Table1::compute(&restored);
+        assert_eq!(before.rows, after.rows);
+        // D' identical.
+        let mut a: Vec<&str> = study.aa.iter().collect();
+        let mut b: Vec<&str> = restored.aa.iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // CDN overrides survive.
+        assert_eq!(
+            restored.aa.aggregation_key("d10lpsik1i8c69.cloudfront.net"),
+            "luckyorange.com"
+        );
+    }
+
+    #[test]
+    fn version_check() {
+        let mut snap = StudySnapshot {
+            version: 99,
+            reductions: Vec::new(),
+            aa_domains: Vec::new(),
+            cdn_overrides: Vec::new(),
+        };
+        assert!(matches!(
+            snap.clone().restore(),
+            Err(SnapshotError::Version(99))
+        ));
+        snap.version = SNAPSHOT_VERSION;
+        assert!(snap.restore().is_ok());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let snap = StudySnapshot {
+            version: SNAPSHOT_VERSION,
+            reductions: vec![CrawlReduction::new("t", true)],
+            aa_domains: vec!["x.example".into()],
+            cdn_overrides: vec![],
+        };
+        let dir = std::env::temp_dir().join("sockscope-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        snap.save(&path).unwrap();
+        let back = StudySnapshot::load(&path).unwrap();
+        assert_eq!(back.aa_domains, vec!["x.example"]);
+        std::fs::remove_file(&path).ok();
+    }
+}

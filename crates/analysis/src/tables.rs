@@ -1,0 +1,581 @@
+//! Tables 1–5 as typed structs + text renderers.
+//!
+//! Every renderer prints the paper's published value next to the
+//! reproduction's, because the goal is shape-matching, not numerology.
+
+use crate::pii::ReceivedClass;
+use crate::study::Study;
+use sockscope_webmodel::SentItem;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Crawl date label.
+    pub label: String,
+    /// % of sites with ≥1 WebSocket.
+    pub pct_sites_with_sockets: f64,
+    /// % of sockets with an A&A initiator in the chain.
+    pub pct_sockets_aa_initiated: f64,
+    /// Unique A&A initiator domains.
+    pub unique_aa_initiators: usize,
+    /// % of sockets whose receiver is A&A.
+    pub pct_sockets_aa_received: f64,
+    /// Unique A&A receiver domains.
+    pub unique_aa_receivers: usize,
+}
+
+/// Table 1: high-level statistics for the four crawls.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Rows in crawl order.
+    pub rows: Vec<Table1Row>,
+}
+
+/// The paper's Table 1, for side-by-side rendering.
+pub const PAPER_TABLE1: [(&str, f64, f64, usize, f64, usize); 4] = [
+    ("Apr 02-05, 2017", 2.1, 60.6, 75, 73.7, 16),
+    ("Apr 11-16, 2017", 2.4, 61.3, 63, 74.6, 18),
+    ("May 07-12, 2017", 1.6, 60.2, 19, 69.7, 15),
+    ("Oct 12-16, 2017", 2.5, 63.4, 23, 63.7, 18),
+];
+
+impl Table1 {
+    /// Computes the table from a study.
+    pub fn compute(study: &Study) -> Table1 {
+        let rows = (0..study.crawl_count())
+            .map(|idx| {
+                let red = &study.reductions[idx];
+                let classified = study.classified(idx);
+                let n_sockets = classified.len().max(1);
+                let aa_init = classified.iter().filter(|c| c.aa_initiated).count();
+                let aa_recv = classified.iter().filter(|c| c.aa_received).count();
+                let unique_init: BTreeSet<String> = classified
+                    .iter()
+                    .filter(|c| c.aa_initiated)
+                    .flat_map(|c| {
+                        c.obs
+                            .chain_hosts
+                            .iter()
+                            .map(|h| study.aa.aggregation_key(h))
+                            .filter(|d| study.aa.contains(d))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                let unique_recv: BTreeSet<String> = classified
+                    .iter()
+                    .filter(|c| c.aa_received)
+                    .map(|c| c.receiver.clone())
+                    .collect();
+                Table1Row {
+                    label: red.label.clone(),
+                    pct_sites_with_sockets: red.fraction_sites_with_sockets() * 100.0,
+                    pct_sockets_aa_initiated: aa_init as f64 / n_sockets as f64 * 100.0,
+                    unique_aa_initiators: unique_init.len(),
+                    pct_sockets_aa_received: aa_recv as f64 / n_sockets as f64 * 100.0,
+                    unique_aa_receivers: unique_recv.len(),
+                }
+            })
+            .collect();
+        Table1 { rows }
+    }
+
+    /// CSV export (plot-ready; paper values included for overlays).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "crawl,pct_sites_ws,pct_aa_initiated,unique_aa_initiators,pct_aa_received,unique_aa_receivers,paper_pct_sites,paper_pct_init,paper_n_init,paper_pct_recv,paper_n_recv\n",
+        );
+        for (row, paper) in self.rows.iter().zip(PAPER_TABLE1.iter()) {
+            let _ = writeln!(
+                out,
+                "{},{:.2},{:.2},{},{:.2},{},{},{},{},{},{}",
+                row.label,
+                row.pct_sites_with_sockets,
+                row.pct_sockets_aa_initiated,
+                row.unique_aa_initiators,
+                row.pct_sockets_aa_received,
+                row.unique_aa_receivers,
+                paper.1,
+                paper.2,
+                paper.3,
+                paper.4,
+                paper.5,
+            );
+        }
+        out
+    }
+
+    /// Renders the table with the paper's values alongside.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Table 1: high-level crawl statistics (ours vs paper)\n\
+             {:<18} {:>14} {:>18} {:>16} {:>17} {:>15}",
+            "Crawl", "%Sites w/WS", "%WS A&A-init", "#A&A initiators", "%WS A&A-recv", "#A&A receivers"
+        );
+        for (row, paper) in self.rows.iter().zip(PAPER_TABLE1.iter()) {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>6.1} ({:>4.1}) {:>10.1} ({:>5.1}) {:>8} ({:>3}) {:>9.1} ({:>5.1}) {:>7} ({:>3})",
+                row.label,
+                row.pct_sites_with_sockets,
+                paper.1,
+                row.pct_sockets_aa_initiated,
+                paper.2,
+                row.unique_aa_initiators,
+                paper.3,
+                row.pct_sockets_aa_received,
+                paper.4,
+                row.unique_aa_receivers,
+                paper.5,
+            );
+        }
+        out
+    }
+}
+
+/// One initiator row of Table 2.
+#[derive(Debug, Clone)]
+pub struct InitiatorRow {
+    /// Initiator domain.
+    pub initiator: String,
+    /// Initiator is A&A.
+    pub is_aa: bool,
+    /// Unique receiver domains contacted.
+    pub receivers_total: usize,
+    /// …of which A&A.
+    pub receivers_aa: usize,
+    /// Total sockets initiated.
+    pub sockets: usize,
+}
+
+/// Table 2: top initiators by unique receivers (union of all crawls).
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Rows, sorted by `receivers_total` descending.
+    pub rows: Vec<InitiatorRow>,
+}
+
+impl Table2 {
+    /// Computes the table.
+    pub fn compute(study: &Study, top: usize) -> Table2 {
+        let mut map: BTreeMap<String, (BTreeSet<String>, usize)> = BTreeMap::new();
+        for idx in 0..study.crawl_count() {
+            for c in study.classified(idx) {
+                let e = map.entry(c.initiator.clone()).or_default();
+                e.0.insert(c.receiver.clone());
+                e.1 += 1;
+            }
+        }
+        let mut rows: Vec<InitiatorRow> = map
+            .into_iter()
+            .map(|(initiator, (receivers, sockets))| InitiatorRow {
+                is_aa: study.aa.contains(&initiator),
+                receivers_aa: receivers.iter().filter(|r| study.aa.contains(r)).count(),
+                receivers_total: receivers.len(),
+                initiator,
+                sockets,
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.receivers_total
+                .cmp(&a.receivers_total)
+                .then(b.sockets.cmp(&a.sockets))
+                .then(a.initiator.cmp(&b.initiator))
+        });
+        rows.truncate(top);
+        Table2 { rows }
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Table 2: top WebSocket initiators by unique receivers (A&A in [brackets])\n",
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>8} {:>10}",
+            "Initiator", "#Receivers", "#A&A", "Sockets"
+        );
+        for r in &self.rows {
+            let name = if r.is_aa {
+                format!("[{}]", r.initiator)
+            } else {
+                r.initiator.clone()
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10} {:>8} {:>10}",
+                name, r.receivers_total, r.receivers_aa, r.sockets
+            );
+        }
+        out
+    }
+}
+
+/// One receiver row of Table 3.
+#[derive(Debug, Clone)]
+pub struct ReceiverRow {
+    /// Receiver domain.
+    pub receiver: String,
+    /// Unique initiator domains.
+    pub initiators_total: usize,
+    /// …of which A&A.
+    pub initiators_aa: usize,
+    /// Total sockets received.
+    pub sockets: usize,
+}
+
+/// Table 3: top A&A receivers by unique initiators (union of all crawls).
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// Rows, sorted by `initiators_total` descending.
+    pub rows: Vec<ReceiverRow>,
+}
+
+impl Table3 {
+    /// Computes the table.
+    pub fn compute(study: &Study, top: usize) -> Table3 {
+        let mut map: BTreeMap<String, (BTreeSet<String>, usize)> = BTreeMap::new();
+        for idx in 0..study.crawl_count() {
+            for c in study.classified(idx) {
+                if !c.aa_received {
+                    continue;
+                }
+                let e = map.entry(c.receiver.clone()).or_default();
+                e.0.insert(c.initiator.clone());
+                e.1 += 1;
+            }
+        }
+        let mut rows: Vec<ReceiverRow> = map
+            .into_iter()
+            .map(|(receiver, (initiators, sockets))| ReceiverRow {
+                initiators_aa: initiators.iter().filter(|i| study.aa.contains(i)).count(),
+                initiators_total: initiators.len(),
+                receiver,
+                sockets,
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.initiators_total
+                .cmp(&a.initiators_total)
+                .then(b.sockets.cmp(&a.sockets))
+                .then(a.receiver.cmp(&b.receiver))
+        });
+        rows.truncate(top);
+        Table3 { rows }
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Table 3: top A&A WebSocket receivers by unique initiators\n");
+        let _ = writeln!(
+            out,
+            "{:<28} {:>11} {:>8} {:>10}",
+            "Receiver", "#Initiators", "#A&A", "Sockets"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>11} {:>8} {:>10}",
+                r.receiver, r.initiators_total, r.initiators_aa, r.sockets
+            );
+        }
+        out
+    }
+}
+
+/// One pair row of Table 4.
+#[derive(Debug, Clone)]
+pub struct PairRow {
+    /// Initiator domain.
+    pub initiator: String,
+    /// Receiver domain.
+    pub receiver: String,
+    /// Socket count.
+    pub sockets: usize,
+}
+
+/// Table 4: top initiator/receiver pairs among A&A sockets, with the
+/// self-pair total broken out like the paper's last row.
+#[derive(Debug, Clone)]
+pub struct Table4 {
+    /// Distinct-party pairs, sorted by socket count.
+    pub rows: Vec<PairRow>,
+    /// Total sockets where initiator == receiver ("A&A domain to itself").
+    pub self_pair_sockets: usize,
+}
+
+impl Table4 {
+    /// Computes the table.
+    pub fn compute(study: &Study, top: usize) -> Table4 {
+        let mut map: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut self_pairs = 0usize;
+        for idx in 0..study.crawl_count() {
+            for c in study.classified(idx) {
+                if !c.is_aa_socket() {
+                    continue;
+                }
+                if c.initiator == c.receiver {
+                    self_pairs += 1;
+                } else {
+                    *map.entry((c.initiator.clone(), c.receiver.clone())).or_default() += 1;
+                }
+            }
+        }
+        let mut rows: Vec<PairRow> = map
+            .into_iter()
+            .map(|((initiator, receiver), sockets)| PairRow {
+                initiator,
+                receiver,
+                sockets,
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.sockets
+                .cmp(&a.sockets)
+                .then(a.initiator.cmp(&b.initiator))
+                .then(a.receiver.cmp(&b.receiver))
+        });
+        rows.truncate(top);
+        Table4 {
+            rows,
+            self_pair_sockets: self_pairs,
+        }
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Table 4: top initiator/receiver pairs among A&A sockets\n",
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:<28} {:>10}",
+            "Initiator", "Receiver", "Sockets"
+        );
+        for r in &self.rows {
+            let _ = writeln!(out, "{:<28} {:<28} {:>10}", r.initiator, r.receiver, r.sockets);
+        }
+        let _ = writeln!(
+            out,
+            "{:<28} {:<28} {:>10}",
+            "A&A domain to itself", "", self.self_pair_sockets
+        );
+        out
+    }
+}
+
+/// One item row of Table 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Row {
+    /// Item label.
+    pub item: &'static str,
+    /// Count over A&A WebSockets.
+    pub ws_count: u64,
+    /// % of A&A WebSockets.
+    pub ws_pct: f64,
+    /// Count over HTTP/S requests to A&A domains.
+    pub http_count: u64,
+    /// % of those requests.
+    pub http_pct: f64,
+}
+
+/// Table 5: items sent/received over A&A sockets vs HTTP/S.
+#[derive(Debug, Clone)]
+pub struct Table5 {
+    /// Sent-item rows (Table 5 order), then the "No data" row.
+    pub sent: Vec<Table5Row>,
+    /// Received-class rows, then "No data".
+    pub received: Vec<Table5Row>,
+}
+
+/// The paper's Table 5 percentages (WS column, then HTTP/S column), for
+/// side-by-side rendering: sent items in `SentItem::ALL` order + No data.
+pub const PAPER_TABLE5_SENT: [(&str, f64, f64); 16] = [
+    ("User Agent", 100.0, 100.0),
+    ("Cookie", 69.90, 22.77),
+    ("IP", 6.62, 0.90),
+    ("User ID", 4.30, 1.12),
+    ("Device", 3.61, 0.18),
+    ("Screen", 3.59, 0.10),
+    ("Browser", 3.40, 0.09),
+    ("Viewport", 3.40, 0.34),
+    ("Scroll Position", 3.40, 0.00),
+    ("Orientation", 3.40, 0.00),
+    ("First Seen", 3.40, 0.01),
+    ("Resolution", 3.40, 0.13),
+    ("Language", 1.79, 0.92),
+    ("DOM", 1.63, 0.01),
+    ("Binary", 0.98, 0.01),
+    ("No data", 17.84, f64::NAN),
+];
+
+/// Paper's received rows: HTML, JSON, JavaScript, Image, Binary, No data.
+pub const PAPER_TABLE5_RECEIVED: [(&str, f64, f64); 6] = [
+    ("HTML", 47.16, 11.61),
+    ("JSON", 12.81, 1.63),
+    ("JavaScript", 0.88, 27.04),
+    ("Image", 0.31, 21.34),
+    ("Binary", 0.25, 0.50),
+    ("No data", 21.33, f64::NAN),
+];
+
+impl Table5 {
+    /// Computes the table over the union of all crawls.
+    pub fn compute(study: &Study) -> Table5 {
+        // ---- WS side: per A&A socket. ----
+        let mut ws_total = 0u64;
+        let mut ws_sent = [0u64; 15];
+        let mut ws_nodata_sent = 0u64;
+        let mut ws_recv = [0u64; 5];
+        let mut ws_nodata_recv = 0u64;
+        for idx in 0..study.crawl_count() {
+            for c in study.classified(idx) {
+                if !c.is_aa_socket() {
+                    continue;
+                }
+                ws_total += 1;
+                for (pos, item) in SentItem::ALL.iter().enumerate() {
+                    if c.obs.sent_items.contains(item) {
+                        ws_sent[pos] += 1;
+                    }
+                }
+                if c.obs.no_data_sent {
+                    ws_nodata_sent += 1;
+                }
+                for (pos, class) in ReceivedClass::ALL.iter().enumerate() {
+                    if c.obs.received_classes.contains(class) {
+                        ws_recv[pos] += 1;
+                    }
+                }
+                if c.obs.no_data_received {
+                    ws_nodata_recv += 1;
+                }
+            }
+        }
+
+        // ---- HTTP side: requests to A&A domains, all crawls. ----
+        let mut http_total = 0u64;
+        let mut http_sent = [0u64; 15];
+        let mut http_recv = [0u64; 5];
+        for red in &study.reductions {
+            for (host, agg) in &red.http {
+                if !study.aa.is_aa_host(host) {
+                    continue;
+                }
+                http_total += agg.total;
+                for i in 0..15 {
+                    http_sent[i] += agg.sent_counts[i];
+                }
+                for i in 0..5 {
+                    http_recv[i] += agg.recv_counts[i];
+                }
+            }
+        }
+
+        let pct = |count: u64, total: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                count as f64 / total as f64 * 100.0
+            }
+        };
+
+        let mut sent: Vec<Table5Row> = SentItem::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, item)| Table5Row {
+                item: item.label(),
+                ws_count: ws_sent[i],
+                ws_pct: pct(ws_sent[i], ws_total),
+                http_count: http_sent[i],
+                http_pct: pct(http_sent[i], http_total),
+            })
+            .collect();
+        sent.push(Table5Row {
+            item: "No data",
+            ws_count: ws_nodata_sent,
+            ws_pct: pct(ws_nodata_sent, ws_total),
+            http_count: 0,
+            http_pct: f64::NAN,
+        });
+
+        let mut received: Vec<Table5Row> = ReceivedClass::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, class)| Table5Row {
+                item: class.label(),
+                ws_count: ws_recv[i],
+                ws_pct: pct(ws_recv[i], ws_total),
+                http_count: http_recv[i],
+                http_pct: pct(http_recv[i], http_total),
+            })
+            .collect();
+        received.push(Table5Row {
+            item: "No data",
+            ws_count: ws_nodata_recv,
+            ws_pct: pct(ws_nodata_recv, ws_total),
+            http_count: 0,
+            http_pct: f64::NAN,
+        });
+
+        Table5 { sent, received }
+    }
+
+    /// CSV export of both halves.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("direction,item,ws_count,ws_pct,http_count,http_pct\n");
+        for row in &self.sent {
+            let _ = writeln!(
+                out,
+                "sent,{},{},{:.3},{},{:.3}",
+                row.item, row.ws_count, row.ws_pct, row.http_count, row.http_pct
+            );
+        }
+        for row in &self.received {
+            let _ = writeln!(
+                out,
+                "received,{},{},{:.3},{},{:.3}",
+                row.item, row.ws_count, row.ws_pct, row.http_count, row.http_pct
+            );
+        }
+        out
+    }
+
+    /// Looks up a sent row by label.
+    pub fn sent_row(&self, label: &str) -> Option<&Table5Row> {
+        self.sent.iter().find(|r| r.item == label)
+    }
+
+    /// Looks up a received row by label.
+    pub fn received_row(&self, label: &str) -> Option<&Table5Row> {
+        self.received.iter().find(|r| r.item == label)
+    }
+
+    /// Renders both halves with the paper's percentages alongside.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Table 5: items sent/received over A&A WebSockets vs HTTP/S\n(ours, paper in parentheses)\n\nSent item             WS count    WS%            HTTP count  HTTP%\n",
+        );
+        for (row, paper) in self.sent.iter().zip(PAPER_TABLE5_SENT.iter()) {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>9} {:>6.2} ({:>6.2}) {:>11} {:>6.2} ({:>6.2})",
+                row.item, row.ws_count, row.ws_pct, paper.1, row.http_count, row.http_pct, paper.2
+            );
+        }
+        out.push_str("\nReceived item         WS count    WS%            HTTP count  HTTP%\n");
+        for (row, paper) in self.received.iter().zip(PAPER_TABLE5_RECEIVED.iter()) {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>9} {:>6.2} ({:>6.2}) {:>11} {:>6.2} ({:>6.2})",
+                row.item, row.ws_count, row.ws_pct, paper.1, row.http_count, row.http_pct, paper.2
+            );
+        }
+        out
+    }
+}

@@ -1,0 +1,269 @@
+//! The §4.1 / §4.2 / §4.3 prose statistics.
+
+use crate::study::Study;
+use sockscope_webmodel::SentItem;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Every number the paper states in running text, computed from the study.
+#[derive(Debug, Clone)]
+pub struct TextStats {
+    /// % of sockets contacting a third-party domain (paper: >90%).
+    pub pct_cross_origin: f64,
+    /// Average sockets per socket-using site, per crawl (paper: 6–12).
+    pub avg_sockets_per_socket_site: Vec<f64>,
+    /// Unique third-party receiver domains across all crawls (paper: 382).
+    pub unique_third_party_receivers: usize,
+    /// Unique A&A receiver domains across all crawls (paper: 20).
+    pub unique_aa_receivers: usize,
+    /// Unique A&A initiator domains across all crawls (paper: 94).
+    pub unique_aa_initiators: usize,
+    /// Fraction of A&A receivers contacted by ≥10 distinct initiators
+    /// (paper: >47%).
+    pub pct_aa_receivers_with_10_initiators: f64,
+    /// % of initiators contacting A&A receivers that are themselves A&A
+    /// (paper: ~2.5% — most inbound connections are benign/first-party).
+    pub pct_aa_among_initiators_to_aa_receivers: f64,
+    /// % of chains leading to A&A sockets that the rule lists would cut
+    /// (paper: ~5%).
+    pub pct_socket_chains_blocked: f64,
+    /// % of all A&A resource chains the lists would cut (paper: ~27%).
+    pub pct_aa_chains_blocked: f64,
+    /// % of A&A sockets carrying fingerprinting data (paper: ~3.4%).
+    pub pct_fingerprinting: f64,
+    /// Of initiator/receiver pairs exchanging fingerprints, the share where
+    /// 33across is the receiver (paper: 97% of pairs).
+    pub pct_fingerprint_pairs_to_33across: f64,
+    /// % of A&A sockets uploading the DOM (paper: ~1.6%).
+    pub pct_dom_exfiltration: f64,
+    /// The DOM uploads went only to these receivers (paper: Hotjar,
+    /// LuckyOrange, TruConversion).
+    pub dom_receivers: BTreeSet<String>,
+    /// A&A initiators seen pre-patch but never post-patch (paper: 56,
+    /// including DoubleClick, Facebook, AddThis).
+    pub vanished_initiators: BTreeSet<String>,
+}
+
+impl TextStats {
+    /// Computes everything.
+    pub fn compute(study: &Study) -> TextStats {
+        let mut cross = 0usize;
+        let mut total = 0usize;
+        let mut third_party_receivers: BTreeSet<String> = BTreeSet::new();
+        let mut aa_receivers: BTreeSet<String> = BTreeSet::new();
+        let mut aa_initiators_all: BTreeSet<String> = BTreeSet::new();
+        let mut receiver_initiators: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut fingerprint_pairs: BTreeSet<(String, String)> = BTreeSet::new();
+        let mut fp_sockets = 0usize;
+        let mut dom_sockets = 0usize;
+        let mut dom_receivers: BTreeSet<String> = BTreeSet::new();
+        let mut aa_socket_total = 0usize;
+        let mut socket_chains_blocked = 0usize;
+        let mut pre_initiators: BTreeSet<String> = BTreeSet::new();
+        let mut post_initiators: BTreeSet<String> = BTreeSet::new();
+        let mut avg_sockets = Vec::new();
+
+        for idx in 0..study.crawl_count() {
+            let red = &study.reductions[idx];
+            let socket_sites = red.sites.iter().filter(|s| s.sockets > 0).count();
+            let sockets_total: usize = red.sites.iter().map(|s| s.sockets).sum();
+            avg_sockets.push(if socket_sites == 0 {
+                0.0
+            } else {
+                sockets_total as f64 / socket_sites as f64
+            });
+
+            for c in study.classified(idx) {
+                total += 1;
+                if c.obs.cross_origin {
+                    cross += 1;
+                    third_party_receivers.insert(c.receiver.clone());
+                }
+                if c.aa_received {
+                    aa_receivers.insert(c.receiver.clone());
+                    receiver_initiators
+                        .entry(c.receiver.clone())
+                        .or_default()
+                        .insert(c.initiator.clone());
+                }
+                if c.aa_initiated {
+                    for h in &c.obs.chain_hosts {
+                        let key = study.aa.aggregation_key(h);
+                        if study.aa.contains(&key) {
+                            aa_initiators_all.insert(key.clone());
+                            if red.pre_patch {
+                                pre_initiators.insert(key);
+                            } else {
+                                post_initiators.insert(key);
+                            }
+                        }
+                    }
+                }
+                if c.is_aa_socket() {
+                    aa_socket_total += 1;
+                    if c.obs.chain_blocked {
+                        socket_chains_blocked += 1;
+                    }
+                    let has_fp = c
+                        .obs
+                        .sent_items
+                        .iter()
+                        .filter(|i| i.is_fingerprinting())
+                        .count()
+                        >= 3;
+                    if has_fp {
+                        fp_sockets += 1;
+                        fingerprint_pairs.insert((c.initiator.clone(), c.receiver.clone()));
+                    }
+                    if c.obs.sent_items.contains(&SentItem::Dom) {
+                        dom_sockets += 1;
+                        dom_receivers.insert(c.receiver.clone());
+                    }
+                }
+            }
+        }
+
+        // A&A chain blocking over HTTP resources.
+        let mut aa_chains = 0u64;
+        let mut aa_chains_blocked = 0u64;
+        for red in &study.reductions {
+            for (host, agg) in &red.http {
+                if study.aa.is_aa_host(host) {
+                    aa_chains += agg.total;
+                    aa_chains_blocked += agg.chains_blocked;
+                }
+            }
+        }
+
+        let rec10 = receiver_initiators
+            .values()
+            .filter(|inits| inits.len() >= 10)
+            .count();
+        // Unique initiators contacting A&A receivers, and how many of those
+        // initiators are A&A themselves.
+        let all_inits_to_aa: BTreeSet<&String> =
+            receiver_initiators.values().flatten().collect();
+        let aa_inits_to_aa = all_inits_to_aa
+            .iter()
+            .filter(|i| study.aa.contains(i))
+            .count();
+
+        let fp_to_33across = fingerprint_pairs
+            .iter()
+            .filter(|(_, r)| r.contains("33across"))
+            .count();
+
+        let pct = |num: usize, den: usize| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64 * 100.0
+            }
+        };
+
+        TextStats {
+            pct_cross_origin: pct(cross, total),
+            avg_sockets_per_socket_site: avg_sockets,
+            unique_third_party_receivers: third_party_receivers.len(),
+            unique_aa_receivers: aa_receivers.len(),
+            unique_aa_initiators: aa_initiators_all.len(),
+            pct_aa_receivers_with_10_initiators: pct(rec10, receiver_initiators.len()),
+            pct_aa_among_initiators_to_aa_receivers: pct(aa_inits_to_aa, all_inits_to_aa.len()),
+            pct_socket_chains_blocked: pct(socket_chains_blocked, aa_socket_total),
+            pct_aa_chains_blocked: if aa_chains == 0 {
+                0.0
+            } else {
+                aa_chains_blocked as f64 / aa_chains as f64 * 100.0
+            },
+            pct_fingerprinting: pct(fp_sockets, aa_socket_total),
+            pct_fingerprint_pairs_to_33across: pct(fp_to_33across, fingerprint_pairs.len()),
+            pct_dom_exfiltration: pct(dom_sockets, aa_socket_total),
+            dom_receivers,
+            vanished_initiators: pre_initiators
+                .difference(&post_initiators)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Renders the stats with the paper's figures alongside.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("Text statistics (ours vs paper)\n");
+        let _ = writeln!(
+            out,
+            "cross-origin sockets:            {:.1}%  (paper: >90%)",
+            self.pct_cross_origin
+        );
+        let avg: Vec<String> = self
+            .avg_sockets_per_socket_site
+            .iter()
+            .map(|v| format!("{v:.1}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "sockets per socket-using site:   {}  (paper: 6-12)",
+            avg.join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "unique 3rd-party receivers:      {}  (paper: 382)",
+            self.unique_third_party_receivers
+        );
+        let _ = writeln!(
+            out,
+            "unique A&A receivers:            {}  (paper: 20)",
+            self.unique_aa_receivers
+        );
+        let _ = writeln!(
+            out,
+            "unique A&A initiators:           {}  (paper: 94)",
+            self.unique_aa_initiators
+        );
+        let _ = writeln!(
+            out,
+            "A&A receivers w/ >=10 partners:  {:.0}%  (paper: >47%)",
+            self.pct_aa_receivers_with_10_initiators
+        );
+        let _ = writeln!(
+            out,
+            "A&A share of initiators to A&A receivers: {:.1}%  (paper: ~2.5%)",
+            self.pct_aa_among_initiators_to_aa_receivers
+        );
+        let _ = writeln!(
+            out,
+            "A&A-socket chains blockable:     {:.1}%  (paper: ~5%)",
+            self.pct_socket_chains_blocked
+        );
+        let _ = writeln!(
+            out,
+            "all A&A chains blockable:        {:.1}%  (paper: ~27%)",
+            self.pct_aa_chains_blocked
+        );
+        let _ = writeln!(
+            out,
+            "fingerprinting sockets:          {:.1}%  (paper: ~3.4%)",
+            self.pct_fingerprinting
+        );
+        let _ = writeln!(
+            out,
+            "fingerprint pairs into 33across: {:.0}%  (paper: 97%)",
+            self.pct_fingerprint_pairs_to_33across
+        );
+        let _ = writeln!(
+            out,
+            "DOM-exfiltrating sockets:        {:.1}%  (paper: ~1.6%)",
+            self.pct_dom_exfiltration
+        );
+        let _ = writeln!(
+            out,
+            "DOM receivers:                   {:?}  (paper: hotjar, luckyorange, truconversion)",
+            self.dom_receivers
+        );
+        let _ = writeln!(
+            out,
+            "initiators that vanished post-patch: {}  (paper: 56, incl. DoubleClick, Facebook, AddThis)",
+            self.vanished_initiators.len()
+        );
+        out
+    }
+}

@@ -1,0 +1,54 @@
+//! Perf bench P4: end-to-end crawl rate — pages per second through the
+//! full pipeline (page synthesis → browser → CDP events → inclusion tree).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sockscope_browser::{Browser, BrowserConfig, BrowserEra, ExtensionHost};
+use sockscope_crawler::{crawl, crawl_site, CrawlConfig};
+use sockscope_webgen::{SyntheticWeb, WebGenConfig};
+
+fn bench_single_site(c: &mut Criterion) {
+    let web = SyntheticWeb::new(WebGenConfig {
+        n_sites: 200,
+        ..WebGenConfig::default()
+    });
+    // Pick a site with WebSocket services so the bench exercises the codec.
+    let site = web
+        .sites()
+        .iter()
+        .find(|s| s.has_ws_service())
+        .unwrap_or(&web.sites()[0]);
+    let browser = Browser::new(
+        &web,
+        ExtensionHost::stock(BrowserEra::PreChrome58),
+        BrowserConfig::default(),
+    );
+    let mut group = c.benchmark_group("crawl_pipeline");
+    group.throughput(Throughput::Elements(16));
+    group.bench_function("one_site_sixteen_pages", |b| {
+        b.iter(|| {
+            crawl_site(&browser, &site.homepage(), &site.domain, 15, 42).len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_small_crawl(c: &mut Criterion) {
+    let web = SyntheticWeb::new(WebGenConfig {
+        n_sites: 60,
+        ..WebGenConfig::default()
+    });
+    let config = CrawlConfig {
+        threads: 4,
+        ..CrawlConfig::default()
+    };
+    let mut group = c.benchmark_group("crawl_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(60 * 16));
+    group.bench_function("sixty_sites_parallel", |b| {
+        b.iter(|| crawl(&web, &config).records.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_site, bench_small_crawl);
+criterion_main!(benches);

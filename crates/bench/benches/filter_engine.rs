@@ -1,0 +1,61 @@
+//! Perf bench P2: filter-engine evaluation rate over the generated
+//! EasyList/EasyPrivacy rules — the hot inner loop of both the labeling
+//! pass and the ad-blocker ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sockscope_filterlist::{Engine, RequestContext, ResourceType};
+use sockscope_urlkit::Url;
+use sockscope_webgen::Catalog;
+
+fn engine() -> Engine {
+    let catalog = Catalog::build();
+    let (engine, errs) = Engine::parse_many(&[
+        &sockscope_webgen::lists::easylist(&catalog),
+        &sockscope_webgen::lists::easyprivacy(&catalog),
+    ]);
+    assert!(errs.is_empty());
+    engine
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let engine = engine();
+    let page = Url::parse("http://news-site-000001.example/").unwrap();
+    let urls: Vec<(Url, ResourceType)> = vec![
+        // Hits.
+        (Url::parse("https://stats.g.doubleclick.net/pixel0.gif?cookie=uid%3D1").unwrap(), ResourceType::Image),
+        (Url::parse("https://v2.zopim.com/collect/beacon.gif").unwrap(), ResourceType::Image),
+        (Url::parse("https://cdn.adnet00-media.com/adnet00.js?s=1&p=0").unwrap(), ResourceType::Script),
+        // Misses.
+        (Url::parse("http://www.news-site-000001.example/assets/app.js").unwrap(), ResourceType::Script),
+        (Url::parse("https://a.espncdn.com/espncdn.js?s=1&p=0").unwrap(), ResourceType::Script),
+        (Url::parse("wss://livescore-ws.espncdn.com/socket").unwrap(), ResourceType::WebSocket),
+    ];
+    let mut group = c.benchmark_group("filter_engine");
+    group.throughput(Throughput::Elements(urls.len() as u64));
+    group.bench_function("evaluate_mixed_six", |b| {
+        b.iter(|| {
+            let mut blocked = 0;
+            for (url, rtype) in &urls {
+                if engine.blocks(&RequestContext {
+                    url,
+                    page: &page,
+                    resource_type: *rtype,
+                }) {
+                    blocked += 1;
+                }
+            }
+            blocked
+        })
+    });
+    group.finish();
+
+    c.bench_function("filter_engine/parse_lists", |b| {
+        let catalog = Catalog::build();
+        let el = sockscope_webgen::lists::easylist(&catalog);
+        let ep = sockscope_webgen::lists::easyprivacy(&catalog);
+        b.iter(|| Engine::parse_many(&[&el, &ep]).0.len())
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

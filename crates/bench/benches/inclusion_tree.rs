@@ -1,0 +1,85 @@
+//! Perf bench P3: inclusion-tree construction rate from CDP event streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sockscope_browser::{CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId};
+use sockscope_inclusion::InclusionTree;
+
+/// Builds a synthetic event stream: `chains` scripts each including a
+/// sub-script, an image, and a WebSocket with a couple of frames.
+fn event_stream(chains: u64) -> Vec<CdpEvent> {
+    let mut events = Vec::new();
+    let mut rid = 0u64;
+    for i in 0..chains {
+        let parent = ScriptId(i * 2 + 1);
+        let child = ScriptId(i * 2 + 2);
+        events.push(CdpEvent::ScriptParsed {
+            script_id: parent,
+            url: format!("http://tag-{i}.example/tag.js"),
+            frame_id: FrameId(0),
+            initiator: Initiator::Parser(FrameId(0)),
+        });
+        events.push(CdpEvent::ScriptParsed {
+            script_id: child,
+            url: format!("http://tag-{i}.example/inner.js"),
+            frame_id: FrameId(0),
+            initiator: Initiator::Script(parent),
+        });
+        rid += 1;
+        events.push(CdpEvent::RequestWillBeSent {
+            request_id: RequestId(rid),
+            url: format!("http://tag-{i}.example/pixel0.gif?cookie=uid%3D{i}"),
+            resource_type: ResourceKind::Image,
+            initiator: Initiator::Script(child),
+            frame_id: FrameId(0),
+        });
+        rid += 1;
+        events.push(CdpEvent::WebSocketCreated {
+            request_id: RequestId(rid),
+            url: format!("wss://rt-{i}.example/socket"),
+            initiator: Initiator::Script(child),
+            frame_id: FrameId(0),
+        });
+        events.push(CdpEvent::WebSocketFrameSent {
+            request_id: RequestId(rid),
+            payload: FramePayload::Text(format!("cookie=uid={i}&screen=1920x1080")),
+        });
+        events.push(CdpEvent::WebSocketFrameReceived {
+            request_id: RequestId(rid),
+            payload: FramePayload::Text("{\"ok\":true}".into()),
+        });
+        events.push(CdpEvent::WebSocketClosed {
+            request_id: RequestId(rid),
+        });
+    }
+    events
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inclusion_tree_build");
+    for &chains in &[10u64, 100, 1000] {
+        let events = event_stream(chains);
+        group.throughput(Throughput::Elements(events.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(chains), &events, |b, events| {
+            b.iter(|| {
+                let tree = InclusionTree::build("http://pub.example/", events);
+                tree.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_walk(c: &mut Criterion) {
+    let events = event_stream(1000);
+    let tree = InclusionTree::build("http://pub.example/", &events);
+    c.bench_function("inclusion_tree/chain_walk_all_sockets", |b| {
+        b.iter(|| {
+            tree.websockets()
+                .map(|s| tree.chain(s.id).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_tree_build, bench_chain_walk);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Perf bench P1: RFC 6455 codec throughput.
+//!
+//! Not a paper artifact, but the substrate every experiment rides on: frame
+//! encode/decode rates for the payload sizes the study actually observed
+//! (cookie beacons ~100 B, fingerprint bundles ~400 B, DOM exfiltration
+//! ~64 KiB), plus handshake computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sockscope_wsproto::codec::{FrameDecoder, FrameEncoder, MaskingRole};
+use sockscope_wsproto::handshake::{accept_key, ClientHandshake, ServerHandshake};
+use sockscope_wsproto::{Connection, Frame, Role};
+
+fn bench_frame_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_roundtrip");
+    for &size in &[100usize, 400, 4096, 65536] {
+        let payload = vec![0x5Au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &payload, |b, payload| {
+            let mut enc = FrameEncoder::new(MaskingRole::Client, 7);
+            let mut dec = FrameDecoder::new(MaskingRole::Server);
+            b.iter(|| {
+                let bytes = enc.encode(&Frame::binary(payload.clone()));
+                dec.feed(&bytes);
+                dec.next_frame().unwrap().unwrap().payload.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_handshake(c: &mut Criterion) {
+    c.bench_function("handshake_accept_key", |b| {
+        b.iter(|| accept_key(std::hint::black_box("dGhlIHNhbXBsZSBub25jZQ==")))
+    });
+    c.bench_function("handshake_full", |b| {
+        b.iter(|| {
+            let client = ClientHandshake::new("adnet.example", "/data.ws", 7)
+                .origin("http://pub.example")
+                .user_agent("Mozilla/5.0 Chrome/57.0");
+            let req = client.request_bytes();
+            let server = ServerHandshake::accept_request(&req).unwrap();
+            let resp = server.response_bytes(None);
+            client.validate_response(&resp).unwrap()
+        })
+    });
+}
+
+fn bench_connection_session(c: &mut Criterion) {
+    c.bench_function("connection_session_10_messages", |b| {
+        b.iter(|| {
+            let mut client = Connection::new(Role::Client, 3);
+            let mut server = Connection::new(Role::Server, 5);
+            for i in 0..10 {
+                client
+                    .send_text(&format!("cookie=uid{i}; screen=1920x1080"))
+                    .unwrap();
+            }
+            let (_, events) = sockscope_wsproto::connection::pump(&mut client, &mut server).unwrap();
+            events.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_frame_roundtrip, bench_handshake, bench_connection_session);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Extension analysis: WebSocket usage cut by Alexa category (the §3.3
+//! sample design makes this a natural deeper dive).
+fn main() {
+    let report = sockscope_bench::run_study_announced("category breakdown");
+    println!("{}", report.categories.render());
+}

@@ -1,0 +1,6 @@
+//! Extension analysis: the crawl-over-crawl presence matrix generalizing
+//! §4.1's "56 initiators disappeared" note.
+fn main() {
+    let report = sockscope_bench::run_study_announced("churn matrix");
+    println!("{}", report.churn.render(40));
+}

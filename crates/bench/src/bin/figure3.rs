@@ -1,0 +1,5 @@
+//! Regenerates **Figure 3**: WebSocket usage by Alexa site rank.
+fn main() {
+    let report = sockscope_bench::run_study_announced("Figure 3");
+    println!("{}", report.figure3.render());
+}

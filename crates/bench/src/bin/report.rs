@@ -1,0 +1,5 @@
+//! Runs the whole study once and prints every table, figure, and statistic.
+fn main() {
+    let report = sockscope_bench::run_study_announced("full report");
+    println!("{}", report.render());
+}

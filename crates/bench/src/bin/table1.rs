@@ -1,0 +1,5 @@
+//! Regenerates **Table 1**: high-level statistics of the four crawls.
+fn main() {
+    let report = sockscope_bench::run_study_announced("Table 1");
+    println!("{}", report.table1.render());
+}

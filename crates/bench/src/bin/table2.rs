@@ -1,0 +1,6 @@
+//! Regenerates **Table 2**: top-15 WebSocket initiators by unique receivers.
+fn main() {
+    let report = sockscope_bench::run_study_announced("Table 2");
+    println!("{}", report.table2.render());
+    println!("(paper's top initiators: facebook 35/11, espncdn 35/0, h-cdn 30/0, doubleclick 29/9, slither 25/0, google 23/11, youtube 18/8, ...)");
+}

@@ -1,0 +1,6 @@
+//! Regenerates **Table 3**: top-15 A&A WebSocket receivers by unique initiators.
+fn main() {
+    let report = sockscope_bench::run_study_announced("Table 3");
+    println!("{}", report.table3.render());
+    println!("(paper's top receivers: intercom 156/16, 33across 57/19, zopim 44/12, realtime 41/27, smartsupp 26/4, feedjit 25/10, inspectlet 25/6, pusher 22/8, ...)");
+}

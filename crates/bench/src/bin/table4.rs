@@ -1,0 +1,6 @@
+//! Regenerates **Table 4**: top initiator/receiver pairs among A&A sockets.
+fn main() {
+    let report = sockscope_bench::run_study_announced("Table 4");
+    println!("{}", report.table4.render());
+    println!("(paper's top pairs: webspectator->realtime 1285, google->zopim 172, blogger->feedjit 158, ...; self-pairs total 36,056)");
+}

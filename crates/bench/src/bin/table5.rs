@@ -1,0 +1,5 @@
+//! Regenerates **Table 5**: items sent/received over A&A sockets vs HTTP/S.
+fn main() {
+    let report = sockscope_bench::run_study_announced("Table 5");
+    println!("{}", report.table5.render());
+}

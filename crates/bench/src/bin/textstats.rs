@@ -1,0 +1,5 @@
+//! Regenerates the §4.1–§4.3 prose statistics.
+fn main() {
+    let report = sockscope_bench::run_study_announced("text statistics");
+    println!("{}", report.textstats.render());
+}

@@ -1,0 +1,4 @@
+//! Renders **Figure 1**: the webRequest Bug timeline.
+fn main() {
+    println!("{}", sockscope::timeline::render_timeline());
+}

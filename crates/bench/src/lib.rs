@@ -1,0 +1,51 @@
+//! Shared plumbing for the benchmark/reproduction harness.
+//!
+//! Every `--bin` in this crate regenerates one table or figure of the
+//! paper. Scale knobs come from the environment so the same binaries serve
+//! quick smoke runs and paper-scale reproductions:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `SOCKSCOPE_SITES` | 8000 | publisher universe size (paper: ~100K) |
+//! | `SOCKSCOPE_THREADS` | all cores | crawl parallelism |
+//! | `SOCKSCOPE_SEED` | 0x50C25C0F | universe seed |
+
+#![forbid(unsafe_code)]
+
+use sockscope::StudyConfig;
+
+/// Reads the scale knobs from the environment.
+pub fn study_config_from_env() -> StudyConfig {
+    let mut config = StudyConfig::default();
+    if let Ok(v) = std::env::var("SOCKSCOPE_SITES") {
+        if let Ok(n) = v.parse() {
+            config.n_sites = n;
+        }
+    } else {
+        config.n_sites = 8_000;
+    }
+    if let Ok(v) = std::env::var("SOCKSCOPE_THREADS") {
+        if let Ok(n) = v.parse() {
+            config.threads = n;
+        }
+    }
+    if let Ok(v) = std::env::var("SOCKSCOPE_SEED") {
+        if let Ok(n) = u64::from_str_radix(v.trim_start_matches("0x"), 16) {
+            config.seed = n;
+        }
+    }
+    config
+}
+
+/// Runs the study once with an announcement banner.
+pub fn run_study_announced(what: &str) -> sockscope::report::StudyReport {
+    let config = study_config_from_env();
+    eprintln!(
+        "[sockscope] regenerating {what}: {} sites x 4 crawls, {} threads, seed {:#x}",
+        config.n_sites, config.threads, config.seed
+    );
+    let t = std::time::Instant::now();
+    let report = sockscope::StudyReport::run(&config);
+    eprintln!("[sockscope] study completed in {:.1}s", t.elapsed().as_secs_f64());
+    report
+}

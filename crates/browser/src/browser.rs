@@ -1,0 +1,908 @@
+//! The headless-browser simulator: page loading, script execution, CDP
+//! event emission.
+
+use crate::cookies::CookieJar;
+use crate::events::{
+    CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId,
+};
+use sockscope_httpwire as httpwire;
+use crate::network::{self, Direction};
+use crate::webrequest::{ExtensionHost, RequestDetails};
+use sockscope_urlkit::Url;
+use sockscope_webmodel::{
+    payload::Payload, Action, Page, ScriptRef, SentItem, ValueContext, WebHost,
+};
+
+/// Browser configuration.
+#[derive(Debug, Clone)]
+pub struct BrowserConfig {
+    /// Master seed; all per-visit randomness (payload values, WS nonces,
+    /// mask keys) derives from it.
+    pub seed: u64,
+    /// User-Agent string sent on every request and WS handshake. The
+    /// crawler sets a valid Chrome UA "to make our crawlers look realistic"
+    /// (§3.3).
+    pub user_agent: String,
+    /// Maximum dynamic script-include depth.
+    pub max_include_depth: usize,
+    /// Maximum iframe nesting depth.
+    pub max_frame_depth: usize,
+}
+
+impl Default for BrowserConfig {
+    fn default() -> BrowserConfig {
+        BrowserConfig {
+            seed: 0x5eed,
+            user_agent: "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 \
+                         (KHTML, like Gecko) Chrome/57.0.2987.133 Safari/537.36"
+                .to_string(),
+            max_include_depth: 8,
+            max_frame_depth: 3,
+        }
+    }
+}
+
+/// Errors that abort a visit entirely (individual resource failures are
+/// recorded in the event stream instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VisitError {
+    /// The top-level URL did not parse.
+    BadUrl(String),
+    /// The top-level page does not exist.
+    NotFound(String),
+}
+
+impl std::fmt::Display for VisitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VisitError::BadUrl(u) => write!(f, "unparseable URL: {u}"),
+            VisitError::NotFound(u) => write!(f, "no such page: {u}"),
+        }
+    }
+}
+
+impl std::error::Error for VisitError {}
+
+/// The result of one page visit: the CDP event stream plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Visit {
+    /// The visited page.
+    pub page_url: Url,
+    /// Instrumentation events in emission order.
+    pub events: Vec<CdpEvent>,
+    /// Requests cancelled by extensions (URL, kind).
+    pub blocked: Vec<(String, ResourceKind)>,
+    /// Same-site links found on the page (crawl frontier input, §3.3).
+    pub links: Vec<String>,
+}
+
+impl Visit {
+    /// Count of WebSocket connections successfully opened during the visit.
+    pub fn websocket_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, CdpEvent::WebSocketCreated { .. }))
+            .count()
+    }
+}
+
+/// The simulated browser.
+pub struct Browser<'h> {
+    host: &'h dyn WebHost,
+    extensions: ExtensionHost,
+    config: BrowserConfig,
+}
+
+impl<'h> Browser<'h> {
+    /// Creates a browser over a web, with an extension host (use
+    /// [`ExtensionHost::stock`] for the paper's measurement configuration).
+    pub fn new(host: &'h dyn WebHost, extensions: ExtensionHost, config: BrowserConfig) -> Self {
+        Browser {
+            host,
+            extensions,
+            config,
+        }
+    }
+
+    /// The extension host in use.
+    pub fn extensions(&self) -> &ExtensionHost {
+        &self.extensions
+    }
+
+    /// Visits a page: loads it, executes every script behaviour, and
+    /// returns the full CDP event stream.
+    pub fn visit(&self, url: &str) -> Result<Visit, VisitError> {
+        let page_url = Url::parse(url).map_err(|_| VisitError::BadUrl(url.to_string()))?;
+        let page = self
+            .host
+            .get_page(url)
+            .ok_or_else(|| VisitError::NotFound(url.to_string()))?;
+
+        let mut state = VisitState {
+            browser: self,
+            page_url: page_url.clone(),
+            events: Vec::new(),
+            blocked: Vec::new(),
+            jar: CookieJar::new(),
+            ctx: ValueContext::deterministic(self.config.seed ^ fnv1a(url)),
+            next_request: 0,
+            next_script: 0,
+            next_frame: 1,
+            ws_seed: self.config.seed ^ fnv1a(url).rotate_left(32),
+        };
+        // Session-replay payloads upload the page DOM.
+        state.ctx.dom_html = page.dom().to_html();
+
+        let main_frame = FrameId(0);
+        state.events.push(CdpEvent::FrameNavigated {
+            frame_id: main_frame,
+            parent_frame_id: None,
+            url: url.to_string(),
+        });
+        // The document request itself.
+        let rid = state.next_request_id();
+        state.events.push(CdpEvent::RequestWillBeSent {
+            request_id: rid,
+            url: url.to_string(),
+            resource_type: ResourceKind::Document,
+            initiator: Initiator::Parser(main_frame),
+            frame_id: main_frame,
+        });
+        state.events.push(CdpEvent::ResponseReceived {
+            request_id: rid,
+            url: url.to_string(),
+            status: 200,
+            mime_type: "text/html".to_string(),
+            body: page.dom().to_html().into_bytes(),
+            sent_ground_truth: vec![SentItem::UserAgent],
+        });
+
+        state.load_frame(&page, main_frame, 0);
+
+        Ok(Visit {
+            page_url,
+            links: page.links.clone(),
+            events: state.events,
+            blocked: state.blocked,
+        })
+    }
+}
+
+/// FNV-1a for deterministic per-URL seeding.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+struct VisitState<'b, 'h> {
+    browser: &'b Browser<'h>,
+    page_url: Url,
+    events: Vec<CdpEvent>,
+    blocked: Vec<(String, ResourceKind)>,
+    jar: CookieJar,
+    ctx: ValueContext,
+    next_request: u64,
+    next_script: u64,
+    next_frame: u64,
+    ws_seed: u64,
+}
+
+impl VisitState<'_, '_> {
+    fn next_request_id(&mut self) -> RequestId {
+        self.next_request += 1;
+        RequestId(self.next_request)
+    }
+
+    fn next_script_id(&mut self) -> ScriptId {
+        self.next_script += 1;
+        ScriptId(self.next_script)
+    }
+
+    fn next_frame_id(&mut self) -> FrameId {
+        let id = FrameId(self.next_frame);
+        self.next_frame += 1;
+        id
+    }
+
+    /// Materializes an HTTP exchange on the wire: serializes a real
+    /// HTTP/1.1 request (Host/UA/Cookie headers) and response
+    /// (Content-Length or chunked framing, picked deterministically), then
+    /// parses the response back. The body handed to the CDP event has
+    /// therefore crossed the `sockscope-httpwire` codec, mirroring how
+    /// WebSocket payloads cross `sockscope-wsproto`.
+    fn http_exchange(&mut self, url: &Url, mime: &str, body: Vec<u8>) -> Vec<u8> {
+        let mut target = url.path().to_string();
+        if let Some(q) = url.query() {
+            target.push('?');
+            target.push_str(q);
+        }
+        let mut request = httpwire::Request::get(&url.host_str(), &target)
+            .with_header("User-Agent", &self.browser.config.user_agent)
+            .with_header("Accept", "*/*");
+        if let Some(cookie) = self.jar.header_for(&url.host_str()) {
+            request = request.with_header("Cookie", &cookie);
+        }
+        let wire_request = request.to_bytes();
+        debug_assert!(
+            httpwire::Request::parse(&wire_request).is_ok(),
+            "browser must emit parseable requests"
+        );
+        let response = httpwire::Response::ok(mime, body);
+        // Deterministic framing choice: ~30% of tracker responses ride
+        // chunked transfer encoding.
+        self.ws_seed = self.ws_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let wire = if self.ws_seed >> 33 & 0xF < 5 {
+            let chunk = 64 + (self.ws_seed >> 40 & 0x3F) as usize;
+            response.to_chunked_bytes(chunk)
+        } else {
+            response.to_bytes()
+        };
+        httpwire::Response::parse(&wire)
+            .expect("browser-generated responses reparse")
+            .body
+    }
+
+    /// `onBeforeRequest` dispatch; records cancellations.
+    fn allowed(&mut self, url: &Url, kind: ResourceKind, initiator: Initiator) -> bool {
+        self.allowed_in_frame(url, kind, initiator, FrameId(0))
+    }
+
+    fn allowed_in_frame(
+        &mut self,
+        url: &Url,
+        kind: ResourceKind,
+        initiator: Initiator,
+        frame: FrameId,
+    ) -> bool {
+        let details = RequestDetails {
+            url,
+            page: &self.page_url,
+            resource_type: kind,
+            in_subframe: frame != FrameId(0),
+        };
+        if self.browser.extensions.allow_request(&details) {
+            true
+        } else {
+            self.events.push(CdpEvent::RequestBlockedByExtension {
+                url: url.to_string(),
+                resource_type: kind,
+                initiator,
+            });
+            self.blocked.push((url.to_string(), kind));
+            false
+        }
+    }
+
+    fn load_frame(&mut self, page: &Page, frame: FrameId, frame_depth: usize) {
+        // Scripts in document order.
+        for (i, script) in page.scripts.iter().enumerate() {
+            self.load_script(script, i, page, frame, Initiator::Parser(frame), 0);
+        }
+        // Static images.
+        for img in &page.images {
+            self.fetch_image(img, frame, Initiator::Parser(frame), &[]);
+        }
+        // iframes.
+        for sub in &page.iframes {
+            self.open_frame(sub, frame, frame_depth, Initiator::Parser(frame));
+        }
+    }
+
+    fn load_script(
+        &mut self,
+        script: &ScriptRef,
+        index: usize,
+        page: &Page,
+        frame: FrameId,
+        initiator: Initiator,
+        include_depth: usize,
+    ) {
+        match script {
+            ScriptRef::Remote(url_text) => {
+                let url = match Url::parse(url_text) {
+                    Ok(u) => u,
+                    Err(_) => return,
+                };
+                if !self.allowed(&url, ResourceKind::Script, initiator) {
+                    return;
+                }
+                let rid = self.next_request_id();
+                self.events.push(CdpEvent::RequestWillBeSent {
+                    request_id: rid,
+                    url: url_text.clone(),
+                    resource_type: ResourceKind::Script,
+                    initiator,
+                    frame_id: frame,
+                });
+                let behaviour = self.browser.host.get_script(url_text);
+                let status = if behaviour.is_some() { 200 } else { 404 };
+                self.events.push(CdpEvent::ResponseReceived {
+                    request_id: rid,
+                    url: url_text.clone(),
+                    status,
+                    mime_type: "application/javascript".to_string(),
+                    body: Vec::new(),
+                    sent_ground_truth: vec![SentItem::UserAgent],
+                });
+                let Some(behaviour) = behaviour else { return };
+                // Third parties set cookies when their script is fetched —
+                // this is what later makes WS handshakes to them stateful.
+                let host = url.host_str();
+                self.jar
+                    .set(&host, "uid", format!("{:016x}", fnv1a(&host) ^ self.browser.config.seed));
+                let sid = self.next_script_id();
+                self.events.push(CdpEvent::ScriptParsed {
+                    script_id: sid,
+                    url: url_text.clone(),
+                    frame_id: frame,
+                    initiator,
+                });
+                self.execute(&behaviour, sid, frame, include_depth);
+            }
+            ScriptRef::Inline(behaviour) => {
+                let sid = self.next_script_id();
+                self.events.push(CdpEvent::ScriptParsed {
+                    script_id: sid,
+                    url: format!("{}#inline-{}", page.url, index),
+                    frame_id: frame,
+                    initiator,
+                });
+                let behaviour = behaviour.clone();
+                self.execute(&behaviour, sid, frame, include_depth);
+            }
+        }
+    }
+
+    fn execute(
+        &mut self,
+        behaviour: &sockscope_webmodel::ScriptBehavior,
+        sid: ScriptId,
+        frame: FrameId,
+        include_depth: usize,
+    ) {
+        for action in &behaviour.actions {
+            match action {
+                Action::IncludeScript { url } => {
+                    if include_depth >= self.browser.config.max_include_depth {
+                        continue;
+                    }
+                    let sref = ScriptRef::Remote(url.clone());
+                    // Dynamic includes: initiator is the running script.
+                    let page = Page::new(self.page_url.to_string(), "");
+                    self.load_script(
+                        &sref,
+                        0,
+                        &page,
+                        frame,
+                        Initiator::Script(sid),
+                        include_depth + 1,
+                    );
+                }
+                Action::FetchImage { url, sent } => {
+                    self.fetch_image(url, frame, Initiator::Script(sid), sent);
+                }
+                Action::FetchXhr { url, sent, receive } => {
+                    let full = self.url_with_items(url, sent);
+                    let Ok(parsed) = Url::parse(&full) else { continue };
+                    if !self.allowed(&parsed, ResourceKind::Xhr, Initiator::Script(sid)) {
+                        continue;
+                    }
+                    let rid = self.next_request_id();
+                    self.events.push(CdpEvent::RequestWillBeSent {
+                        request_id: rid,
+                        url: full.clone(),
+                        resource_type: ResourceKind::Xhr,
+                        initiator: Initiator::Script(sid),
+                        frame_id: frame,
+                    });
+                    let rendered = self
+                        .ctx
+                        .render_received(receive, &parsed.host_str())
+                        .as_bytes()
+                        .to_vec();
+                    let mime = guess_mime(receive);
+                    let body = self.http_exchange(&parsed, &mime, rendered);
+                    let mut ground = sent.clone();
+                    ground.push(SentItem::UserAgent);
+                    self.events.push(CdpEvent::ResponseReceived {
+                        request_id: rid,
+                        url: full,
+                        status: 200,
+                        mime_type: mime,
+                        body,
+                        sent_ground_truth: ground,
+                    });
+                }
+                Action::OpenFrame { url } => {
+                    // Script-injected iframe: the document request carries
+                    // the script as initiator, like real CDP.
+                    self.open_frame(url, frame, 0, Initiator::Script(sid));
+                }
+                Action::OpenWebSocket { url, exchanges } => {
+                    self.open_websocket(url, exchanges, sid, frame);
+                }
+            }
+        }
+    }
+
+    fn fetch_image(
+        &mut self,
+        url: &str,
+        frame: FrameId,
+        initiator: Initiator,
+        sent: &[SentItem],
+    ) {
+        let full = self.url_with_items(url, sent);
+        let Ok(parsed) = Url::parse(&full) else { return };
+        if !self.allowed(&parsed, ResourceKind::Image, initiator) {
+            return;
+        }
+        let rid = self.next_request_id();
+        self.events.push(CdpEvent::RequestWillBeSent {
+            request_id: rid,
+            url: full.clone(),
+            resource_type: ResourceKind::Image,
+            initiator,
+            frame_id: frame,
+        });
+        let mut ground = sent.to_vec();
+        ground.push(SentItem::UserAgent);
+        let body = self.http_exchange(
+            &parsed,
+            "image/png",
+            vec![0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A, 0, 0, 0, 0],
+        );
+        self.events.push(CdpEvent::ResponseReceived {
+            request_id: rid,
+            url: full,
+            status: 200,
+            mime_type: "image/png".to_string(),
+            body,
+            sent_ground_truth: ground,
+        });
+    }
+
+    fn open_frame(
+        &mut self,
+        url: &str,
+        parent: FrameId,
+        frame_depth: usize,
+        initiator: Initiator,
+    ) {
+        if frame_depth >= self.browser.config.max_frame_depth {
+            return;
+        }
+        let Some(page) = self.browser.host.get_page(url) else {
+            return;
+        };
+        let Ok(parsed) = Url::parse(url) else { return };
+        if !self.allowed(&parsed, ResourceKind::Document, initiator) {
+            return;
+        }
+        let frame = self.next_frame_id();
+        // CDP ordering: the iframe's document request (carrying the real
+        // initiator — possibly a script) precedes the frame navigation.
+        let rid = self.next_request_id();
+        self.events.push(CdpEvent::RequestWillBeSent {
+            request_id: rid,
+            url: url.to_string(),
+            resource_type: ResourceKind::Document,
+            initiator,
+            frame_id: frame,
+        });
+        self.events.push(CdpEvent::ResponseReceived {
+            request_id: rid,
+            url: url.to_string(),
+            status: 200,
+            mime_type: "text/html".to_string(),
+            body: page.dom().to_html().into_bytes(),
+            sent_ground_truth: vec![SentItem::UserAgent],
+        });
+        self.events.push(CdpEvent::FrameNavigated {
+            frame_id: frame,
+            parent_frame_id: Some(parent),
+            url: url.to_string(),
+        });
+        self.load_frame(&page, frame, frame_depth + 1);
+    }
+
+    fn open_websocket(
+        &mut self,
+        url: &str,
+        exchanges: &[sockscope_webmodel::WsExchange],
+        sid: ScriptId,
+        frame: FrameId,
+    ) {
+        let Ok(parsed) = Url::parse(url) else { return };
+        let initiator = Initiator::Script(sid);
+        // The WRB decision point: pre-Chrome-58 this check short-circuits to
+        // "allowed" inside the extension host (unless a constructor shim is
+        // installed and this is the main frame).
+        if !self.allowed_in_frame(&parsed, ResourceKind::WebSocket, initiator, frame) {
+            return;
+        }
+        let Some(profile) = self.browser.host.get_ws_server(url) else {
+            return; // connection refused — no CDP events, like a failed TCP connect
+        };
+        if !profile.accepts {
+            return;
+        }
+        self.ws_seed = self.ws_seed.wrapping_add(0x9E3779B97F4A7C15);
+        let cookie = self.jar.header_for(&parsed.host_str());
+        let session = match network::run_session(
+            &parsed,
+            &origin_of(&self.page_url),
+            &self.browser.config.user_agent,
+            cookie.as_deref(),
+            exchanges,
+            &self.ctx,
+            self.ws_seed,
+        ) {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+
+        let rid = self.next_request_id();
+        self.events.push(CdpEvent::WebSocketCreated {
+            request_id: rid,
+            url: url.to_string(),
+            initiator,
+            frame_id: frame,
+        });
+        self.events.push(CdpEvent::WebSocketWillSendHandshakeRequest {
+            request_id: rid,
+            request: session.handshake_request.clone(),
+        });
+        self.events.push(CdpEvent::WebSocketHandshakeResponseReceived {
+            request_id: rid,
+            status: session.status,
+            response: session.handshake_response.clone(),
+        });
+        for frame_rec in &session.frames {
+            let payload = FramePayload::from_bytes(frame_rec.text, &frame_rec.payload);
+            let ev = match frame_rec.direction {
+                Direction::Sent => CdpEvent::WebSocketFrameSent {
+                    request_id: rid,
+                    payload,
+                },
+                Direction::Received => CdpEvent::WebSocketFrameReceived {
+                    request_id: rid,
+                    payload,
+                },
+            };
+            self.events.push(ev);
+        }
+        self.events.push(CdpEvent::WebSocketClosed { request_id: rid });
+    }
+
+    /// Appends rendered sent-items to a URL as its query string (how HTTP
+    /// tracking requests leak data in this model).
+    fn url_with_items(&self, url: &str, items: &[SentItem]) -> String {
+        if items.is_empty() {
+            return url.to_string();
+        }
+        match self.ctx.render_sent(items) {
+            Payload::Text(t) if !t.is_empty() => {
+                // Minimal form-encoding: cookie values contain "; " which
+                // is not valid raw in a URL.
+                let t = t.replace(' ', "%20");
+                let sep = if url.contains('?') { '&' } else { '?' };
+                format!("{url}{sep}{t}")
+            }
+            _ => url.to_string(),
+        }
+    }
+}
+
+fn origin_of(url: &Url) -> String {
+    url.origin().to_string()
+}
+
+fn guess_mime(items: &[sockscope_webmodel::ReceivedItem]) -> String {
+    use sockscope_webmodel::ReceivedItem as R;
+    match items.first() {
+        Some(R::Html) => "text/html",
+        Some(R::Json) | Some(R::AdUrls) => "application/json",
+        Some(R::JavaScript) => "application/javascript",
+        Some(R::ImageData) => "image/png",
+        Some(R::Binary) => "application/octet-stream",
+        None => "text/plain",
+    }
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::webrequest::{AdBlockerExtension, BrowserEra};
+    use sockscope_filterlist::Engine;
+    use sockscope_webmodel::{
+        host::StaticHost, ReceivedItem, ScriptBehavior, WsExchange, WsServerProfile,
+    };
+
+    /// Builds the Figure 2 web: pub page includes pub/ads/tracker scripts;
+    /// the ads script includes a second ads script and an image; the second
+    /// ads script opens ws://adnet/data.ws.
+    fn figure2_host() -> StaticHost {
+        let mut h = StaticHost::new();
+        let mut page = Page::new("http://pub.example/index.html", "Pub");
+        page.scripts = vec![
+            ScriptRef::Remote("http://pub.example/script.js".into()),
+            ScriptRef::Remote("http://ads.example/script.js".into()),
+            ScriptRef::Remote("http://tracker.example/script.js".into()),
+        ];
+        page.links = vec!["http://pub.example/p2.html".into()];
+        h.add_page(page);
+        h.add_script("http://pub.example/script.js", ScriptBehavior::inert());
+        h.add_script(
+            "http://ads.example/script.js",
+            ScriptBehavior::inert()
+                .then(Action::IncludeScript {
+                    url: "http://ads.example/script2.js".into(),
+                })
+                .then(Action::FetchImage {
+                    url: "http://ads.example/image.img".into(),
+                    sent: vec![],
+                }),
+        );
+        h.add_script(
+            "http://ads.example/script2.js",
+            ScriptBehavior::inert().then(Action::OpenWebSocket {
+                url: "ws://adnet.example/data.ws".into(),
+                exchanges: vec![WsExchange {
+                    send: vec![SentItem::Cookie],
+                    receive: vec![ReceivedItem::Json],
+                }],
+            }),
+        );
+        h.add_script("http://tracker.example/script.js", ScriptBehavior::inert());
+        h.add_ws_server("ws://adnet.example/data.ws", WsServerProfile::accepting());
+        h
+    }
+
+    fn stock_browser(host: &StaticHost, era: BrowserEra) -> Browser<'_> {
+        Browser::new(host, ExtensionHost::stock(era), BrowserConfig::default())
+    }
+
+    #[test]
+    fn figure2_event_stream_shape() {
+        let host = figure2_host();
+        let b = stock_browser(&host, BrowserEra::PreChrome58);
+        let v = b.visit("http://pub.example/index.html").unwrap();
+        // Scripts parsed: pub, ads, ads2 (dynamic), tracker.
+        let parsed: Vec<&str> = v
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                CdpEvent::ScriptParsed { url, .. } => Some(url.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            parsed,
+            vec![
+                "http://pub.example/script.js",
+                "http://ads.example/script.js",
+                "http://ads.example/script2.js", // dynamic include runs before tracker
+                "http://tracker.example/script.js",
+            ]
+        );
+        assert_eq!(v.websocket_count(), 1);
+        // The dynamic include carries a Script initiator.
+        let dyn_script = v.events.iter().find_map(|e| match e {
+            CdpEvent::ScriptParsed { url, initiator, .. }
+                if url == "http://ads.example/script2.js" =>
+            {
+                Some(*initiator)
+            }
+            _ => None,
+        });
+        assert!(matches!(dyn_script, Some(Initiator::Script(_))));
+        // The socket's initiator is the dynamically included script.
+        let ws_init = v.events.iter().find_map(|e| match e {
+            CdpEvent::WebSocketCreated { initiator, .. } => Some(*initiator),
+            _ => None,
+        });
+        assert!(matches!(ws_init, Some(Initiator::Script(_))));
+        // Frame events bracket the socket.
+        let kinds: Vec<bool> = v
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                CdpEvent::WebSocketFrameSent { .. } => Some(true),
+                CdpEvent::WebSocketFrameReceived { .. } => Some(false),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec![true, false]);
+    }
+
+    #[test]
+    fn tracker_parsed_even_when_inert() {
+        let host = figure2_host();
+        let b = stock_browser(&host, BrowserEra::PreChrome58);
+        let v = b.visit("http://pub.example/index.html").unwrap();
+        let n_parsed = v
+            .events
+            .iter()
+            .filter(|e| matches!(e, CdpEvent::ScriptParsed { .. }))
+            .count();
+        assert_eq!(n_parsed, 4); // pub, ads, ads2, tracker
+    }
+
+    #[test]
+    fn ws_handshake_carries_cookie_set_by_script_fetch() {
+        // ads.example's script fetch set a cookie for ads.example; the
+        // socket goes to adnet.example (different SLD) so NO cookie rides.
+        let host = figure2_host();
+        let b = stock_browser(&host, BrowserEra::PreChrome58);
+        let v = b.visit("http://pub.example/index.html").unwrap();
+        let hs = v.events.iter().find_map(|e| match e {
+            CdpEvent::WebSocketWillSendHandshakeRequest { request, .. } => {
+                Some(String::from_utf8_lossy(request).to_string())
+            }
+            _ => None,
+        });
+        let hs = hs.unwrap();
+        assert!(!hs.contains("Cookie:"));
+        assert!(hs.contains("User-Agent: Mozilla/5.0"));
+        assert!(hs.contains("Origin: http://pub.example"));
+    }
+
+    #[test]
+    fn blocker_pre58_misses_socket_but_blocks_script() {
+        let host = figure2_host();
+        let (engine, _) = Engine::parse("||adnet.example^\n||tracker.example^");
+        let ext = ExtensionHost::stock(BrowserEra::PreChrome58)
+            .install(AdBlockerExtension::new("abp", engine));
+        let b = Browser::new(&host, ext, BrowserConfig::default());
+        let v = b.visit("http://pub.example/index.html").unwrap();
+        // tracker script blocked…
+        assert!(v
+            .blocked
+            .iter()
+            .any(|(u, k)| u.contains("tracker.example") && *k == ResourceKind::Script));
+        // …but the adnet socket still opened: the WRB at work.
+        assert_eq!(v.websocket_count(), 1);
+    }
+
+    #[test]
+    fn blocker_post58_kills_the_socket() {
+        let host = figure2_host();
+        let (engine, _) = Engine::parse("||adnet.example^\n||tracker.example^");
+        let ext = ExtensionHost::stock(BrowserEra::PostChrome58)
+            .install(AdBlockerExtension::new("abp", engine));
+        let b = Browser::new(&host, ext, BrowserConfig::default());
+        let v = b.visit("http://pub.example/index.html").unwrap();
+        assert_eq!(v.websocket_count(), 0);
+        assert!(v
+            .blocked
+            .iter()
+            .any(|(u, k)| u.starts_with("ws://adnet.example") && *k == ResourceKind::WebSocket));
+    }
+
+    #[test]
+    fn visits_are_deterministic() {
+        let host = figure2_host();
+        let b = stock_browser(&host, BrowserEra::PreChrome58);
+        let v1 = b.visit("http://pub.example/index.html").unwrap();
+        let v2 = b.visit("http://pub.example/index.html").unwrap();
+        assert_eq!(v1.events, v2.events);
+    }
+
+    #[test]
+    fn missing_page_is_an_error() {
+        let host = figure2_host();
+        let b = stock_browser(&host, BrowserEra::PreChrome58);
+        assert!(matches!(
+            b.visit("http://nope.example/"),
+            Err(VisitError::NotFound(_))
+        ));
+        assert!(matches!(
+            b.visit("not a url"),
+            Err(VisitError::BadUrl(_))
+        ));
+    }
+
+    #[test]
+    fn include_depth_is_bounded() {
+        // a.js includes itself forever; the browser must terminate.
+        let mut h = StaticHost::new();
+        let mut page = Page::new("http://p.example/", "P");
+        page.scripts = vec![ScriptRef::Remote("http://p.example/a.js".into())];
+        h.add_page(page);
+        h.add_script(
+            "http://p.example/a.js",
+            ScriptBehavior::inert().then(Action::IncludeScript {
+                url: "http://p.example/a.js".into(),
+            }),
+        );
+        let b = stock_browser(&h, BrowserEra::PreChrome58);
+        let v = b.visit("http://p.example/").unwrap();
+        let n = v
+            .events
+            .iter()
+            .filter(|e| matches!(e, CdpEvent::ScriptParsed { .. }))
+            .count();
+        assert!(n <= BrowserConfig::default().max_include_depth + 1);
+    }
+
+    #[test]
+    fn iframe_nesting_is_bounded_and_emits_frame_events() {
+        let mut h = StaticHost::new();
+        // page0 frames page1 frames page0 … (cycle)
+        let mut p0 = Page::new("http://a.example/", "A");
+        p0.iframes = vec!["http://b.example/".into()];
+        let mut p1 = Page::new("http://b.example/", "B");
+        p1.iframes = vec!["http://a.example/".into()];
+        h.add_page(p0);
+        h.add_page(p1);
+        let b = stock_browser(&h, BrowserEra::PreChrome58);
+        let v = b.visit("http://a.example/").unwrap();
+        let navs = v
+            .events
+            .iter()
+            .filter(|e| matches!(e, CdpEvent::FrameNavigated { .. }))
+            .count();
+        assert!(navs >= 2);
+        assert!(navs <= BrowserConfig::default().max_frame_depth + 1);
+        // Child frames carry their parent pointer.
+        let has_parent = v.events.iter().any(|e| {
+            matches!(
+                e,
+                CdpEvent::FrameNavigated {
+                    parent_frame_id: Some(_),
+                    ..
+                }
+            )
+        });
+        assert!(has_parent);
+    }
+
+    #[test]
+    fn xhr_url_carries_rendered_items() {
+        let mut h = StaticHost::new();
+        let mut page = Page::new("http://p.example/", "P");
+        page.scripts = vec![ScriptRef::Inline(ScriptBehavior::inert().then(
+            Action::FetchXhr {
+                url: "https://collect.example/beacon".into(),
+                sent: vec![SentItem::UserId, SentItem::Screen],
+                receive: vec![ReceivedItem::Json],
+            },
+        ))];
+        h.add_page(page);
+        let b = stock_browser(&h, BrowserEra::PreChrome58);
+        let v = b.visit("http://p.example/").unwrap();
+        let xhr_url = v.events.iter().find_map(|e| match e {
+            CdpEvent::RequestWillBeSent {
+                url,
+                resource_type: ResourceKind::Xhr,
+                ..
+            } => Some(url.clone()),
+            _ => None,
+        });
+        let xhr_url = xhr_url.unwrap();
+        assert!(xhr_url.contains("user_id=client_"));
+        assert!(xhr_url.contains("screen="));
+    }
+
+    #[test]
+    fn refused_ws_endpoint_produces_no_socket_events() {
+        let mut h = StaticHost::new();
+        let mut page = Page::new("http://p.example/", "P");
+        page.scripts = vec![ScriptRef::Inline(ScriptBehavior::inert().then(
+            Action::OpenWebSocket {
+                url: "ws://absent.example/s".into(),
+                exchanges: vec![],
+            },
+        ))];
+        h.add_page(page);
+        let b = stock_browser(&h, BrowserEra::PreChrome58);
+        let v = b.visit("http://p.example/").unwrap();
+        assert_eq!(v.websocket_count(), 0);
+    }
+}

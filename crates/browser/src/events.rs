@@ -1,0 +1,269 @@
+//! The Chrome-Debugging-Protocol event vocabulary the study instruments.
+
+use sockscope_wsproto::base64;
+
+/// Network request identifier (unique per visit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+/// Script identifier assigned at parse time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScriptId(pub u64);
+
+/// Frame identifier; the main frame of a visit is id 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(pub u64);
+
+/// Resource kinds as CDP reports them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Top-level or iframe document.
+    Document,
+    /// JavaScript.
+    Script,
+    /// Image.
+    Image,
+    /// XHR/fetch.
+    Xhr,
+    /// WebSocket handshake.
+    WebSocket,
+}
+
+/// Who caused a resource load — CDP's `initiator` field, the key input to
+/// inclusion-tree construction (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Initiator {
+    /// The HTML parser of a frame (static markup).
+    Parser(FrameId),
+    /// A running script.
+    Script(ScriptId),
+}
+
+/// WebSocket frame payload as CDP reports it: text frames carry the text,
+/// binary frames carry base64 (`payloadData` with `opcode == 2`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FramePayload {
+    /// UTF-8 text payload.
+    Text(String),
+    /// Base64-encoded binary payload.
+    Base64(String),
+}
+
+impl FramePayload {
+    /// Builds a payload record from raw frame bytes.
+    pub fn from_bytes(opcode_text: bool, bytes: &[u8]) -> FramePayload {
+        if opcode_text {
+            match std::str::from_utf8(bytes) {
+                Ok(s) => FramePayload::Text(s.to_string()),
+                Err(_) => FramePayload::Base64(base64::encode(bytes)),
+            }
+        } else {
+            FramePayload::Base64(base64::encode(bytes))
+        }
+    }
+
+    /// Recovers the raw bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            FramePayload::Text(s) => s.as_bytes().to_vec(),
+            FramePayload::Base64(b) => base64::decode(b).unwrap_or_default(),
+        }
+    }
+
+    /// Text view if this is a text payload.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            FramePayload::Text(s) => Some(s),
+            FramePayload::Base64(_) => None,
+        }
+    }
+
+    /// Payload size in (decoded) bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            FramePayload::Text(s) => s.len(),
+            FramePayload::Base64(b) => b.len() / 4 * 3, // close enough for stats
+        }
+    }
+
+    /// `true` if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            FramePayload::Text(s) => s.is_empty(),
+            FramePayload::Base64(b) => b.is_empty(),
+        }
+    }
+}
+
+/// One instrumentation event. Field names follow the CDP originals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdpEvent {
+    /// `Page.frameNavigated`.
+    FrameNavigated {
+        /// The navigated frame.
+        frame_id: FrameId,
+        /// Parent frame, `None` for the main frame.
+        parent_frame_id: Option<FrameId>,
+        /// Document URL.
+        url: String,
+    },
+    /// `Debugger.scriptParsed`.
+    ScriptParsed {
+        /// Assigned script id.
+        script_id: ScriptId,
+        /// Script URL; inline scripts get the page URL with a `#inline-N`
+        /// suffix, as the paper's tooling did for attribution.
+        url: String,
+        /// Frame executing the script.
+        frame_id: FrameId,
+        /// What caused the script to load.
+        initiator: Initiator,
+    },
+    /// `Network.requestWillBeSent`.
+    RequestWillBeSent {
+        /// Request id.
+        request_id: RequestId,
+        /// Request URL.
+        url: String,
+        /// Resource type.
+        resource_type: ResourceKind,
+        /// What caused the request.
+        initiator: Initiator,
+        /// Frame issuing the request.
+        frame_id: FrameId,
+    },
+    /// `Network.responseReceived`.
+    ResponseReceived {
+        /// Request id.
+        request_id: RequestId,
+        /// Response URL.
+        url: String,
+        /// HTTP status.
+        status: u16,
+        /// MIME type.
+        mime_type: String,
+        /// Response body (the study captured bodies for content analysis).
+        body: Vec<u8>,
+        /// Request items serialized into the URL/body by the sender —
+        /// recovered by the analyzer from `body`/URL text, not from here;
+        /// carried for ground-truth tests only.
+        sent_ground_truth: Vec<sockscope_webmodel::SentItem>,
+    },
+    /// `Network.webSocketCreated`.
+    WebSocketCreated {
+        /// Request id of the socket.
+        request_id: RequestId,
+        /// `ws://`/`wss://` URL.
+        url: String,
+        /// The script that called `new WebSocket(...)`.
+        initiator: Initiator,
+        /// Frame owning the socket.
+        frame_id: FrameId,
+    },
+    /// `Network.webSocketWillSendHandshakeRequest`.
+    WebSocketWillSendHandshakeRequest {
+        /// Request id.
+        request_id: RequestId,
+        /// Raw handshake request bytes (really produced by
+        /// `sockscope-wsproto`).
+        request: Vec<u8>,
+    },
+    /// `Network.webSocketHandshakeResponseReceived`.
+    WebSocketHandshakeResponseReceived {
+        /// Request id.
+        request_id: RequestId,
+        /// HTTP status of the upgrade response (101 on success).
+        status: u16,
+        /// Raw handshake response bytes.
+        response: Vec<u8>,
+    },
+    /// `Network.webSocketFrameSent`.
+    WebSocketFrameSent {
+        /// Request id.
+        request_id: RequestId,
+        /// Payload.
+        payload: FramePayload,
+    },
+    /// `Network.webSocketFrameReceived`.
+    WebSocketFrameReceived {
+        /// Request id.
+        request_id: RequestId,
+        /// Payload.
+        payload: FramePayload,
+    },
+    /// `Network.webSocketClosed`.
+    WebSocketClosed {
+        /// Request id.
+        request_id: RequestId,
+    },
+    /// Not a CDP event: emitted when the extension host cancels a request,
+    /// so experiments can observe what blocking *did* (the real study infers
+    /// this post-hoc; the ablation harness uses it directly).
+    RequestBlockedByExtension {
+        /// URL of the cancelled request.
+        url: String,
+        /// Resource type.
+        resource_type: ResourceKind,
+        /// Initiator of the cancelled request.
+        initiator: Initiator,
+    },
+}
+
+impl CdpEvent {
+    /// The request id this event concerns, if any.
+    pub fn request_id(&self) -> Option<RequestId> {
+        match self {
+            CdpEvent::RequestWillBeSent { request_id, .. }
+            | CdpEvent::ResponseReceived { request_id, .. }
+            | CdpEvent::WebSocketCreated { request_id, .. }
+            | CdpEvent::WebSocketWillSendHandshakeRequest { request_id, .. }
+            | CdpEvent::WebSocketHandshakeResponseReceived { request_id, .. }
+            | CdpEvent::WebSocketFrameSent { request_id, .. }
+            | CdpEvent::WebSocketFrameReceived { request_id, .. }
+            | CdpEvent::WebSocketClosed { request_id } => Some(*request_id),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_payload_text_roundtrip() {
+        let p = FramePayload::from_bytes(true, b"uid=42");
+        assert_eq!(p.as_text(), Some("uid=42"));
+        assert_eq!(p.to_bytes(), b"uid=42");
+    }
+
+    #[test]
+    fn frame_payload_binary_is_base64() {
+        let raw = [0u8, 255, 128, 7];
+        let p = FramePayload::from_bytes(false, &raw);
+        assert!(p.as_text().is_none());
+        assert_eq!(p.to_bytes(), raw);
+    }
+
+    #[test]
+    fn invalid_utf8_text_frame_degrades_to_base64() {
+        // Defensive path: wsproto polices UTF-8, but the event layer must
+        // not panic if handed garbage.
+        let p = FramePayload::from_bytes(true, &[0xFF, 0xFE]);
+        assert!(matches!(p, FramePayload::Base64(_)));
+    }
+
+    #[test]
+    fn request_id_extraction() {
+        let ev = CdpEvent::WebSocketClosed {
+            request_id: RequestId(9),
+        };
+        assert_eq!(ev.request_id(), Some(RequestId(9)));
+        let nav = CdpEvent::FrameNavigated {
+            frame_id: FrameId(0),
+            parent_frame_id: None,
+            url: "http://a.example/".into(),
+        };
+        assert_eq!(nav.request_id(), None);
+    }
+}

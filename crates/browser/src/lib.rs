@@ -1,0 +1,42 @@
+//! # sockscope-browser
+//!
+//! A deterministic headless-browser simulator that stands in for the stock
+//! Chrome + Chrome-Debugging-Protocol (CDP) instrumentation of the IMC'18
+//! study.
+//!
+//! The paper's crawler drove Chrome over the CDP and recorded, verbatim
+//! (§3.1–3.2):
+//!
+//! * `Debugger.scriptParsed` — script execution, inline and remote;
+//! * `Network.requestWillBeSent` / `Network.responseReceived` — resource
+//!   loads with *initiator* information;
+//! * `Page.frameNavigated` — iframe loads;
+//! * `Network.webSocketCreated`, `webSocketWillSendHandshakeRequest`,
+//!   `webSocketHandshakeResponseReceived`, `webSocketFrameSent`,
+//!   `webSocketFrameReceived`, `webSocketClosed` — the WebSocket lifecycle.
+//!
+//! [`Browser::visit`] interprets a [`Page`](sockscope_webmodel::Page) and
+//! its script behaviours and emits exactly this event vocabulary
+//! ([`CdpEvent`]). WebSocket traffic is not faked: every exchange runs
+//! through the RFC 6455 codec in `sockscope-wsproto` (client *and* server
+//! state machines), and the CDP frame events carry the payloads recovered
+//! from real frames.
+//!
+//! The browser also hosts a `chrome.webRequest`-style extension API
+//! ([`webrequest`]), including the **webRequest Bug** (WRB): in
+//! [`BrowserEra::PreChrome58`], `ws://`/`wss://` requests never reach
+//! `onBeforeRequest`, so blocking extensions cannot see them — the flaw at
+//! the centre of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod browser;
+pub mod cookies;
+pub mod events;
+pub mod network;
+pub mod webrequest;
+
+pub use browser::{Browser, BrowserConfig, Visit};
+pub use events::{CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId};
+pub use webrequest::{AdBlockerExtension, BrowserEra, ExtDecision, Extension, ExtensionHost, RequestDetails, WsConstructorShim};

@@ -1,0 +1,239 @@
+//! The simulated network layer for WebSockets.
+//!
+//! Every scripted WebSocket exchange is executed end-to-end through the
+//! RFC 6455 implementation in `sockscope-wsproto`: a real opening handshake
+//! (request and response bytes, key/accept validation) and real frame
+//! encoding/decoding for both endpoints. The transcript the browser turns
+//! into CDP events is recovered from the *decoded* frames, so any framing
+//! bug would corrupt the study's data — and is caught by the roundtrip
+//! tests instead.
+
+use sockscope_urlkit::Url;
+use sockscope_webmodel::{payload::Payload, ValueContext, WsExchange};
+use sockscope_wsproto::{
+    connection::pump, CloseCode, ClientHandshake, Connection, Event, HandshakeError, Message,
+    Role, ServerHandshake,
+};
+
+/// Direction of a recorded frame, from the browser's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → server.
+    Sent,
+    /// Server → client.
+    Received,
+}
+
+/// One data frame in a session transcript.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranscriptFrame {
+    /// Who sent it.
+    pub direction: Direction,
+    /// `true` for text frames.
+    pub text: bool,
+    /// Decoded payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A completed WebSocket session.
+#[derive(Debug, Clone)]
+pub struct WsSession {
+    /// Raw handshake request bytes.
+    pub handshake_request: Vec<u8>,
+    /// Raw handshake response bytes.
+    pub handshake_response: Vec<u8>,
+    /// Upgrade status (101).
+    pub status: u16,
+    /// Data frames in wire order.
+    pub frames: Vec<TranscriptFrame>,
+}
+
+/// Session-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// Handshake failed.
+    Handshake(HandshakeError),
+    /// Frame-level protocol violation.
+    Protocol(sockscope_wsproto::ProtocolError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Handshake(e) => write!(f, "handshake failed: {e}"),
+            SessionError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Runs a complete scripted session against an in-memory server.
+///
+/// `seed` drives the client nonce and mask keys, keeping the whole byte
+/// stream reproducible.
+#[allow(clippy::too_many_arguments)]
+pub fn run_session(
+    url: &Url,
+    page_origin: &str,
+    user_agent: &str,
+    cookie: Option<&str>,
+    exchanges: &[WsExchange],
+    ctx: &ValueContext,
+    seed: u64,
+) -> Result<WsSession, SessionError> {
+    // ---- Opening handshake, for real. ----
+    let mut hs = ClientHandshake::new(url.host_str(), url.path(), seed)
+        .origin(page_origin)
+        .user_agent(user_agent);
+    if let Some(c) = cookie {
+        hs = hs.cookies(c);
+    }
+    let request = hs.request_bytes();
+    let server_hs =
+        ServerHandshake::accept_request(&request).map_err(SessionError::Handshake)?;
+    let response = server_hs.response_bytes(None);
+    hs.validate_response(&response)
+        .map_err(SessionError::Handshake)?;
+
+    // ---- Data phase through the codec. ----
+    let mut client = Connection::new(Role::Client, seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+    let mut server = Connection::new(Role::Server, seed.rotate_left(17) | 1);
+    let mut frames: Vec<TranscriptFrame> = Vec::new();
+    let host = url.host_str();
+
+    for exchange in exchanges {
+        // Client sends its items (if any).
+        if !exchange.send.is_empty() {
+            match ctx.render_sent(&exchange.send) {
+                Payload::Text(t) => client.send_text(&t).map_err(SessionError::Protocol)?,
+                Payload::Binary(b) => client.send_binary(&b).map_err(SessionError::Protocol)?,
+            }
+        }
+        let (_, server_events) = pump(&mut client, &mut server).map_err(SessionError::Protocol)?;
+        for ev in server_events {
+            if let Event::Message(msg) = ev {
+                frames.push(TranscriptFrame {
+                    direction: Direction::Sent,
+                    text: matches!(msg, Message::Text(_)),
+                    payload: msg.as_bytes().to_vec(),
+                });
+            }
+        }
+        // Server responds (if scripted).
+        if !exchange.receive.is_empty() {
+            match ctx.render_received(&exchange.receive, &host) {
+                Payload::Text(t) => server.send_text(&t).map_err(SessionError::Protocol)?,
+                Payload::Binary(b) => server.send_binary(&b).map_err(SessionError::Protocol)?,
+            }
+            let (client_events, _) =
+                pump(&mut client, &mut server).map_err(SessionError::Protocol)?;
+            for ev in client_events {
+                if let Event::Message(msg) = ev {
+                    frames.push(TranscriptFrame {
+                        direction: Direction::Received,
+                        text: matches!(msg, Message::Text(_)),
+                        payload: msg.as_bytes().to_vec(),
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- Close handshake. ----
+    client.close(CloseCode::Normal, "done");
+    pump(&mut client, &mut server).map_err(SessionError::Protocol)?;
+
+    Ok(WsSession {
+        handshake_request: request,
+        handshake_response: response,
+        status: 101,
+        frames,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sockscope_webmodel::{ReceivedItem, SentItem};
+
+    fn ctx() -> ValueContext {
+        ValueContext::deterministic(1234)
+    }
+
+    #[test]
+    fn scripted_session_produces_ordered_transcript() {
+        let url = Url::parse("ws://adnet.example/data.ws").unwrap();
+        let exchanges = vec![
+            WsExchange {
+                send: vec![SentItem::Cookie, SentItem::Screen],
+                receive: vec![ReceivedItem::Json],
+            },
+            WsExchange::send_only(vec![SentItem::ScrollPosition]),
+        ];
+        let s = run_session(
+            &url,
+            "http://pub.example",
+            "TestUA/1.0",
+            Some("uid=42"),
+            &exchanges,
+            &ctx(),
+            7,
+        )
+        .unwrap();
+        assert_eq!(s.status, 101);
+        assert_eq!(s.frames.len(), 3);
+        assert_eq!(s.frames[0].direction, Direction::Sent);
+        assert!(String::from_utf8_lossy(&s.frames[0].payload).contains("cookie=uid="));
+        assert_eq!(s.frames[1].direction, Direction::Received);
+        assert!(s.frames[1].text);
+        assert_eq!(s.frames[2].direction, Direction::Sent);
+        // Handshake bytes really carry the headers.
+        let req = String::from_utf8(s.handshake_request.clone()).unwrap();
+        assert!(req.contains("Cookie: uid=42"));
+        assert!(req.contains("User-Agent: TestUA/1.0"));
+        assert!(req.contains("Origin: http://pub.example"));
+        assert!(req.starts_with("GET /data.ws HTTP/1.1"));
+    }
+
+    #[test]
+    fn binary_exchange_survives_codec() {
+        let url = Url::parse("wss://collector.example/b").unwrap();
+        let exchanges = vec![WsExchange {
+            send: vec![SentItem::Binary],
+            receive: vec![ReceivedItem::Binary],
+        }];
+        let s = run_session(&url, "http://p.example", "UA", None, &exchanges, &ctx(), 9).unwrap();
+        assert_eq!(s.frames.len(), 2);
+        assert!(!s.frames[0].text);
+        assert!(!s.frames[1].text);
+        assert!(std::str::from_utf8(&s.frames[0].payload).is_err());
+    }
+
+    #[test]
+    fn empty_exchanges_yield_no_frames() {
+        let url = Url::parse("ws://quiet.example/s").unwrap();
+        let s = run_session(
+            &url,
+            "http://p.example",
+            "UA",
+            None,
+            &[WsExchange::default()],
+            &ctx(),
+            3,
+        )
+        .unwrap();
+        assert!(s.frames.is_empty());
+        assert_eq!(s.status, 101);
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let url = Url::parse("ws://a.example/s").unwrap();
+        let ex = vec![WsExchange::send_only(vec![SentItem::UserId])];
+        let a = run_session(&url, "http://p.example", "UA", None, &ex, &ctx(), 5).unwrap();
+        let b = run_session(&url, "http://p.example", "UA", None, &ex, &ctx(), 5).unwrap();
+        assert_eq!(a.handshake_request, b.handshake_request);
+        assert_eq!(a.frames, b.frames);
+    }
+}

@@ -1,0 +1,333 @@
+//! The `chrome.webRequest` extension host — including the webRequest Bug.
+//!
+//! Chromium issue 129353 (May 2012): WebSocket connections did not trigger
+//! `chrome.webRequest.onBeforeRequest`, so blocking extensions could not
+//! cancel them. The fix shipped in Chrome 58 (April 19, 2017). Franken et
+//! al. later found the root cause echoed in extensions themselves:
+//! developers registered `http://*`/`https://*` URL filters instead of
+//! `ws://*`/`wss://*` (§5 of the paper).
+//!
+//! [`ExtensionHost`] models both eras:
+//!
+//! * [`BrowserEra::PreChrome58`] — WebSocket requests bypass dispatch
+//!   entirely (the browser-side bug);
+//! * [`BrowserEra::PostChrome58`] — WebSocket requests are dispatched like
+//!   any other, and a correctly-written blocker can cancel them.
+
+use crate::events::ResourceKind;
+use sockscope_filterlist::{Engine, RequestContext, ResourceType};
+use sockscope_urlkit::Url;
+
+/// Which Chrome generation the simulated browser behaves like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BrowserEra {
+    /// Before the Chrome 58 patch: the WRB is live, WebSockets are
+    /// invisible to `onBeforeRequest`.
+    PreChrome58,
+    /// Chrome 58+: the WRB is fixed.
+    PostChrome58,
+}
+
+impl BrowserEra {
+    /// `true` if the webRequest Bug affects this era.
+    pub fn has_wrb(self) -> bool {
+        matches!(self, BrowserEra::PreChrome58)
+    }
+}
+
+/// Details passed to `onBeforeRequest`.
+#[derive(Debug, Clone)]
+pub struct RequestDetails<'a> {
+    /// The request URL.
+    pub url: &'a Url,
+    /// The page (first party).
+    pub page: &'a Url,
+    /// Resource type.
+    pub resource_type: ResourceKind,
+    /// Request originates from a subframe (iframe) rather than the main
+    /// frame. Needed by the uBO-Extra-style shim, whose page-world
+    /// `WebSocket` wrapper did not reach into cross-origin iframes.
+    pub in_subframe: bool,
+}
+
+/// An extension's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtDecision {
+    /// Let the request proceed.
+    Allow,
+    /// Cancel the request (`{cancel: true}`).
+    Cancel,
+}
+
+/// A webRequest-consuming extension.
+pub trait Extension: Send + Sync {
+    /// The `onBeforeRequest` callback.
+    fn on_before_request(&self, details: &RequestDetails<'_>) -> ExtDecision;
+
+    /// Extension name, for diagnostics.
+    fn name(&self) -> &str {
+        "extension"
+    }
+}
+
+/// An ad blocker in the style of AdBlock Plus / uBlock Origin: a filter-list
+/// engine wired to `onBeforeRequest`.
+pub struct AdBlockerExtension {
+    engine: Engine,
+    name: String,
+    /// When `true`, the extension registered `ws://*`/`wss://*` URL filters
+    /// (post-WRB-aware builds). When `false` it made the mistake Franken et
+    /// al. documented — `http://*`/`https://*` only — and never sees
+    /// sockets even on a patched browser.
+    pub handles_websockets: bool,
+}
+
+impl AdBlockerExtension {
+    /// Wraps a compiled filter engine; handles WebSockets correctly.
+    pub fn new(name: impl Into<String>, engine: Engine) -> AdBlockerExtension {
+        AdBlockerExtension {
+            engine,
+            name: name.into(),
+            handles_websockets: true,
+        }
+    }
+
+    /// Same, but with the `http://*`-filters-only mistake.
+    pub fn with_legacy_filters(mut self) -> AdBlockerExtension {
+        self.handles_websockets = false;
+        self
+    }
+
+    /// Access the underlying engine (used by post-hoc analyses).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+fn to_filter_type(kind: ResourceKind) -> ResourceType {
+    match kind {
+        ResourceKind::Document => ResourceType::Document,
+        ResourceKind::Script => ResourceType::Script,
+        ResourceKind::Image => ResourceType::Image,
+        ResourceKind::Xhr => ResourceType::Xhr,
+        ResourceKind::WebSocket => ResourceType::WebSocket,
+    }
+}
+
+impl Extension for AdBlockerExtension {
+    fn on_before_request(&self, details: &RequestDetails<'_>) -> ExtDecision {
+        if details.url.scheme().is_websocket() && !self.handles_websockets {
+            // The extension's own URL-filter mistake: it never registered
+            // for ws:// schemes.
+            return ExtDecision::Allow;
+        }
+        let ctx = RequestContext {
+            url: details.url,
+            page: details.page,
+            resource_type: to_filter_type(details.resource_type),
+        };
+        if self.engine.blocks(&ctx) {
+            ExtDecision::Cancel
+        } else {
+            ExtDecision::Allow
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// uBO-Extra-style mitigation: while the WRB was unpatched, blocker
+/// authors shipped companion extensions that injected a page-world script
+/// wrapping `window.WebSocket`, funnelling connection attempts through a
+/// blockable channel ("complicated workarounds", §2.3). The shim sees
+/// constructor calls — so it works even pre-Chrome-58 — but it lives in
+/// the page world: sockets opened inside (cross-origin) iframes escape it,
+/// and it cannot see anything the `webRequest` API would have shown it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WsConstructorShim {
+    /// Whether the shim is installed.
+    pub enabled: bool,
+}
+
+/// The browser-side dispatcher for `onBeforeRequest`.
+pub struct ExtensionHost {
+    era: BrowserEra,
+    extensions: Vec<Box<dyn Extension>>,
+    shim: WsConstructorShim,
+}
+
+impl ExtensionHost {
+    /// A host with no extensions (the paper's crawls used stock Chrome).
+    pub fn stock(era: BrowserEra) -> ExtensionHost {
+        ExtensionHost {
+            era,
+            extensions: Vec::new(),
+            shim: WsConstructorShim { enabled: false },
+        }
+    }
+
+    /// Installs the uBO-Extra-style `WebSocket` constructor shim.
+    pub fn with_ws_shim(mut self) -> ExtensionHost {
+        self.shim = WsConstructorShim { enabled: true };
+        self
+    }
+
+    /// Installs an extension.
+    pub fn install(mut self, ext: impl Extension + 'static) -> ExtensionHost {
+        self.extensions.push(Box::new(ext));
+        self
+    }
+
+    /// The era this host simulates.
+    pub fn era(&self) -> BrowserEra {
+        self.era
+    }
+
+    /// Number of installed extensions.
+    pub fn extension_count(&self) -> usize {
+        self.extensions.len()
+    }
+
+    /// Dispatches a request to `onBeforeRequest`; returns `true` if the
+    /// request may proceed.
+    ///
+    /// **This is where the WRB lives**: pre-Chrome-58, WebSocket requests
+    /// return `true` without ever reaching an extension.
+    pub fn allow_request(&self, details: &RequestDetails<'_>) -> bool {
+        if self.era.has_wrb() && details.resource_type == ResourceKind::WebSocket {
+            // The WRB hides the socket from webRequest — but an installed
+            // constructor shim still sees main-frame `new WebSocket(...)`
+            // calls and can route them through the extensions.
+            let shim_sees = self.shim.enabled && !details.in_subframe;
+            if !shim_sees {
+                return true;
+            }
+        }
+        for ext in &self.extensions {
+            if ext.on_before_request(details) == ExtDecision::Cancel {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sockscope_filterlist::Engine;
+
+    fn blocker() -> AdBlockerExtension {
+        let (engine, errs) = Engine::parse("||adnet.example^\n||tracker.example^");
+        assert!(errs.is_empty());
+        AdBlockerExtension::new("test-blocker", engine)
+    }
+
+    fn details<'a>(url: &'a Url, page: &'a Url, kind: ResourceKind) -> RequestDetails<'a> {
+        RequestDetails {
+            url,
+            page,
+            resource_type: kind,
+            in_subframe: false,
+        }
+    }
+
+    #[test]
+    fn http_requests_blocked_in_both_eras() {
+        let page = Url::parse("http://pub.example/").unwrap();
+        let ad = Url::parse("http://adnet.example/banner.js").unwrap();
+        for era in [BrowserEra::PreChrome58, BrowserEra::PostChrome58] {
+            let host = ExtensionHost::stock(era).install(blocker());
+            assert!(!host.allow_request(&details(&ad, &page, ResourceKind::Script)));
+        }
+    }
+
+    #[test]
+    fn the_wrb_lets_websockets_through_pre58() {
+        let page = Url::parse("http://pub.example/").unwrap();
+        let ws = Url::parse("ws://adnet.example/data.ws").unwrap();
+        let pre = ExtensionHost::stock(BrowserEra::PreChrome58).install(blocker());
+        let post = ExtensionHost::stock(BrowserEra::PostChrome58).install(blocker());
+        // Pre-patch: the socket sails through despite the matching rule.
+        assert!(pre.allow_request(&details(&ws, &page, ResourceKind::WebSocket)));
+        // Post-patch: blocked.
+        assert!(!post.allow_request(&details(&ws, &page, ResourceKind::WebSocket)));
+    }
+
+    #[test]
+    fn legacy_filter_mistake_survives_the_patch() {
+        // Franken et al.: extensions using http://*-only filters can't block
+        // sockets even on Chrome 58+.
+        let page = Url::parse("http://pub.example/").unwrap();
+        let ws = Url::parse("ws://adnet.example/data.ws").unwrap();
+        let host = ExtensionHost::stock(BrowserEra::PostChrome58)
+            .install(blocker().with_legacy_filters());
+        assert!(host.allow_request(&details(&ws, &page, ResourceKind::WebSocket)));
+        // …but ordinary requests are still blocked.
+        let ad = Url::parse("http://adnet.example/banner.js").unwrap();
+        assert!(!host.allow_request(&details(&ad, &page, ResourceKind::Script)));
+    }
+
+    #[test]
+    fn stock_browser_blocks_nothing() {
+        let page = Url::parse("http://pub.example/").unwrap();
+        let ws = Url::parse("ws://adnet.example/data.ws").unwrap();
+        let host = ExtensionHost::stock(BrowserEra::PreChrome58);
+        assert!(host.allow_request(&details(&ws, &page, ResourceKind::WebSocket)));
+        assert_eq!(host.extension_count(), 0);
+    }
+
+    #[test]
+    fn ws_shim_restores_blocking_pre58_in_main_frame() {
+        let page = Url::parse("http://pub.example/").unwrap();
+        let ws = Url::parse("ws://adnet.example/data.ws").unwrap();
+        let host = ExtensionHost::stock(BrowserEra::PreChrome58)
+            .install(blocker())
+            .with_ws_shim();
+        // Main-frame socket: the shim catches the constructor call.
+        assert!(!host.allow_request(&details(&ws, &page, ResourceKind::WebSocket)));
+        // Iframe socket: outside the shim's reach — still leaks.
+        let sub = RequestDetails {
+            url: &ws,
+            page: &page,
+            resource_type: ResourceKind::WebSocket,
+            in_subframe: true,
+        };
+        assert!(host.allow_request(&sub));
+    }
+
+    #[test]
+    fn ws_shim_is_inert_without_rules_or_post_patch() {
+        let page = Url::parse("http://pub.example/").unwrap();
+        let ws = Url::parse("ws://benign.example/chat").unwrap();
+        let host = ExtensionHost::stock(BrowserEra::PreChrome58)
+            .install(blocker())
+            .with_ws_shim();
+        // Unlisted endpoints pass through the shim untouched.
+        assert!(host.allow_request(&details(&ws, &page, ResourceKind::WebSocket)));
+        // Post-patch, webRequest handles sockets anyway; the shim is moot.
+        let post = ExtensionHost::stock(BrowserEra::PostChrome58)
+            .install(blocker())
+            .with_ws_shim();
+        let ad = Url::parse("ws://adnet.example/x").unwrap();
+        assert!(!post.allow_request(&details(&ad, &page, ResourceKind::WebSocket)));
+    }
+
+    #[test]
+    fn first_cancel_wins_across_extensions() {
+        struct AllowAll;
+        impl Extension for AllowAll {
+            fn on_before_request(&self, _d: &RequestDetails<'_>) -> ExtDecision {
+                ExtDecision::Allow
+            }
+        }
+        let page = Url::parse("http://pub.example/").unwrap();
+        let ad = Url::parse("http://tracker.example/t.js").unwrap();
+        let host = ExtensionHost::stock(BrowserEra::PostChrome58)
+            .install(AllowAll)
+            .install(blocker());
+        assert!(!host.allow_request(&details(&ad, &page, ResourceKind::Script)));
+    }
+}

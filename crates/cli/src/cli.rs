@@ -1,0 +1,449 @@
+//! Argument parsing and command dispatch for the `sockscope` binary.
+//!
+//! Hand-rolled parsing (the offline dependency set carries no argument
+//! parser) with the structure a downstream user expects:
+//!
+//! ```text
+//! sockscope run      [--sites N] [--seed HEX] [--threads N] [--save FILE]
+//! sockscope report   (--from FILE | [--sites N] ...)
+//! sockscope table    <1|2|3|4|5>  (--from FILE | ...)
+//! sockscope figure3             (--from FILE | ...)
+//! sockscope textstats|churn|categories|blocking (--from FILE | ...)
+//! sockscope timeline
+//! sockscope inspect  --from FILE --receiver DOMAIN [--limit N]
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sockscope::report::StudyReport;
+use sockscope::{Study, StudyConfig};
+use sockscope_analysis::snapshot::StudySnapshot;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run the study; optionally save a snapshot.
+    Run {
+        /// Study scale/seed knobs.
+        config: StudyConfig,
+        /// Snapshot destination.
+        save: Option<String>,
+    },
+    /// Print the full report.
+    Report(Source),
+    /// Print one table (1–5); `csv` switches to plot-ready output
+    /// (tables 1 and 5 only).
+    Table(u8, Source, bool),
+    /// Print Figure 3; `csv` switches to plot-ready output.
+    Figure3(Source, bool),
+    /// Print the §4.1–4.3 prose statistics.
+    TextStats(Source),
+    /// Print the churn matrix.
+    Churn(Source),
+    /// Print the category breakdown.
+    Categories(Source),
+    /// Print the §4.2 blocking analysis.
+    Blocking(Source),
+    /// Print the Figure 1 timeline.
+    Timeline,
+    /// List sockets to one receiver from a snapshot.
+    Inspect {
+        /// Snapshot path.
+        from: String,
+        /// Receiver domain to filter on.
+        receiver: String,
+        /// Maximum sockets to print.
+        limit: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Where a command gets its study from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// Load a saved snapshot.
+    Snapshot(String),
+    /// Run a fresh study with these knobs.
+    Fresh(StudyConfig),
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+sockscope — reproduction of 'How Tracking Companies Circumvented Ad Blockers Using WebSockets' (IMC'18)
+
+USAGE:
+  sockscope run       [--sites N] [--seed HEX] [--threads N] [--save FILE]
+  sockscope report    [--from FILE | --sites N ...]
+  sockscope table     <1|2|3|4|5> [--csv] [--from FILE | --sites N ...]
+  sockscope figure3   [--csv] [--from FILE | --sites N ...]
+  sockscope textstats [--from FILE | --sites N ...]
+  sockscope churn     [--from FILE | --sites N ...]
+  sockscope categories[--from FILE | --sites N ...]
+  sockscope blocking  [--from FILE | --sites N ...]
+  sockscope timeline
+  sockscope inspect   --from FILE --receiver DOMAIN [--limit N]
+
+OPTIONS:
+  --sites N       publisher universe size (default 8000; paper used ~100K)
+  --seed HEX      universe seed (default 50C25C0F)
+  --threads N     crawl worker threads (default: all cores)
+  --save FILE     write a reusable JSON snapshot of the crawl
+  --from FILE     analyze a saved snapshot instead of re-crawling
+";
+
+/// Argument-parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn parse_knobs(args: &[String]) -> Result<(StudyConfig, Option<String>, Option<String>), ParseError> {
+    let mut config = StudyConfig {
+        n_sites: 8_000,
+        ..StudyConfig::default()
+    };
+    let mut save = None;
+    let mut from = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = || -> Result<&String, ParseError> {
+            args.get(i + 1)
+                .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+        };
+        match flag {
+            "--sites" => {
+                config.n_sites = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--sites expects an integer".into()))?;
+            }
+            "--seed" => {
+                let v = value()?;
+                config.seed = u64::from_str_radix(v.trim_start_matches("0x"), 16)
+                    .map_err(|_| ParseError("--seed expects hex".into()))?;
+            }
+            "--threads" => {
+                config.threads = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--threads expects an integer".into()))?;
+            }
+            "--save" => save = Some(value()?.clone()),
+            "--from" => from = Some(value()?.clone()),
+            other => return Err(ParseError(format!("unknown option {other}"))),
+        }
+        i += 2;
+    }
+    Ok((config, save, from))
+}
+
+/// Removes a `--csv` flag if present.
+fn strip_csv(args: &[String]) -> (Vec<String>, bool) {
+    let csv = args.iter().any(|a| a == "--csv");
+    (args.iter().filter(|a| *a != "--csv").cloned().collect(), csv)
+}
+
+fn parse_source(args: &[String]) -> Result<Source, ParseError> {
+    let (config, _, from) = parse_knobs(args)?;
+    Ok(match from {
+        Some(path) => Source::Snapshot(path),
+        None => Source::Fresh(config),
+    })
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "run" => {
+            let (config, save, from) = parse_knobs(rest)?;
+            if from.is_some() {
+                return Err(ParseError("run always crawls; use report --from".into()));
+            }
+            Ok(Command::Run { config, save })
+        }
+        "report" => Ok(Command::Report(parse_source(rest)?)),
+        "table" => {
+            let n: u8 = rest
+                .first()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| ParseError("table expects a number 1-5".into()))?;
+            if !(1..=5).contains(&n) {
+                return Err(ParseError("table expects a number 1-5".into()));
+            }
+            let (rest, csv) = strip_csv(&rest[1..]);
+            Ok(Command::Table(n, parse_source(&rest)?, csv))
+        }
+        "figure3" => {
+            let (rest, csv) = strip_csv(rest);
+            Ok(Command::Figure3(parse_source(&rest)?, csv))
+        }
+        "textstats" => Ok(Command::TextStats(parse_source(rest)?)),
+        "churn" => Ok(Command::Churn(parse_source(rest)?)),
+        "categories" => Ok(Command::Categories(parse_source(rest)?)),
+        "blocking" => Ok(Command::Blocking(parse_source(rest)?)),
+        "timeline" => Ok(Command::Timeline),
+        "inspect" => {
+            let mut from = None;
+            let mut receiver = None;
+            let mut limit = 10usize;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--from" => from = rest.get(i + 1).cloned(),
+                    "--receiver" => receiver = rest.get(i + 1).cloned(),
+                    "--limit" => {
+                        limit = rest
+                            .get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| ParseError("--limit expects an integer".into()))?;
+                    }
+                    other => return Err(ParseError(format!("unknown option {other}"))),
+                }
+                i += 2;
+            }
+            Ok(Command::Inspect {
+                from: from.ok_or_else(|| ParseError("inspect requires --from".into()))?,
+                receiver: receiver
+                    .ok_or_else(|| ParseError("inspect requires --receiver".into()))?,
+                limit,
+            })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!("unknown command {other}"))),
+    }
+}
+
+fn obtain_study(source: &Source) -> Result<Study, String> {
+    match source {
+        Source::Snapshot(path) => StudySnapshot::load(std::path::Path::new(path))
+            .and_then(StudySnapshot::restore)
+            .map_err(|e| format!("failed to load snapshot {path}: {e}")),
+        Source::Fresh(config) => {
+            eprintln!(
+                "[sockscope] crawling {} sites x 4 crawls (threads: {})...",
+                config.n_sites, config.threads
+            );
+            Ok(Study::run(config))
+        }
+    }
+}
+
+/// Executes a parsed command; returns the text to print.
+pub fn execute(command: Command) -> Result<String, String> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Timeline => Ok(sockscope::timeline::render_timeline()),
+        Command::Run { config, save } => {
+            eprintln!(
+                "[sockscope] crawling {} sites x 4 crawls (threads: {})...",
+                config.n_sites, config.threads
+            );
+            let report = StudyReport::run(&config);
+            if let Some(path) = save {
+                StudySnapshot::capture(&report.study)
+                    .save(std::path::Path::new(&path))
+                    .map_err(|e| format!("saving snapshot failed: {e}"))?;
+                eprintln!("[sockscope] snapshot written to {path}");
+            }
+            Ok(report.render())
+        }
+        Command::Report(source) => {
+            let study = obtain_study(&source)?;
+            Ok(StudyReport::from_study(study).render())
+        }
+        Command::Table(n, source, csv) => {
+            let study = obtain_study(&source)?;
+            use sockscope::analysis::tables::*;
+            Ok(match (n, csv) {
+                (1, true) => Table1::compute(&study).to_csv(),
+                (1, false) => Table1::compute(&study).render(),
+                (2, _) => Table2::compute(&study, 15).render(),
+                (3, _) => Table3::compute(&study, 15).render(),
+                (4, _) => Table4::compute(&study, 15).render(),
+                (_, true) => Table5::compute(&study).to_csv(),
+                (_, false) => Table5::compute(&study).render(),
+            })
+        }
+        Command::Figure3(source, csv) => {
+            let study = obtain_study(&source)?;
+            let fig = sockscope::analysis::figures::Figure3::compute(&study, None, 10_000);
+            Ok(if csv { fig.to_csv() } else { fig.render() })
+        }
+        Command::TextStats(source) => {
+            let study = obtain_study(&source)?;
+            Ok(sockscope::analysis::textstats::TextStats::compute(&study).render())
+        }
+        Command::Churn(source) => {
+            let study = obtain_study(&source)?;
+            Ok(sockscope::analysis::churn::Churn::compute(&study).render(40))
+        }
+        Command::Categories(source) => {
+            let study = obtain_study(&source)?;
+            Ok(sockscope::analysis::categories::CategoryBreakdown::compute(&study).render())
+        }
+        Command::Blocking(source) => {
+            let study = obtain_study(&source)?;
+            let stats = sockscope::analysis::textstats::TextStats::compute(&study);
+            Ok(format!(
+                "post-hoc rule-list analysis:\n  A&A-socket chains blockable: {:.1}% (paper ~5%)\n  all A&A chains blockable:    {:.1}% (paper ~27%)\n",
+                stats.pct_socket_chains_blocked, stats.pct_aa_chains_blocked
+            ))
+        }
+        Command::Inspect {
+            from,
+            receiver,
+            limit,
+        } => {
+            let study = obtain_study(&Source::Snapshot(from))?;
+            let mut out = String::new();
+            let mut shown = 0usize;
+            let mut total = 0usize;
+            use std::fmt::Write as _;
+            for idx in 0..study.crawl_count() {
+                for c in study.classified(idx) {
+                    if c.receiver != receiver {
+                        continue;
+                    }
+                    total += 1;
+                    if shown < limit {
+                        shown += 1;
+                        let _ = writeln!(
+                            out,
+                            "[{}] {} -> {}  sent: {:?}",
+                            study.reductions[idx].label,
+                            c.initiator,
+                            c.obs.url,
+                            c.obs.sent_items
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(out, "({shown} of {total} sockets to {receiver} shown)");
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_with_knobs() {
+        let cmd = parse(&args(&[
+            "run", "--sites", "500", "--seed", "0xABC", "--threads", "2", "--save", "out.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run { config, save } => {
+                assert_eq!(config.n_sites, 500);
+                assert_eq!(config.seed, 0xABC);
+                assert_eq!(config.threads, 2);
+                assert_eq!(save.as_deref(), Some("out.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_table_and_sources() {
+        assert_eq!(
+            parse(&args(&["table", "3", "--from", "snap.json"])).unwrap(),
+            Command::Table(3, Source::Snapshot("snap.json".into()), false)
+        );
+        assert_eq!(
+            parse(&args(&["table", "1", "--csv", "--from", "snap.json"])).unwrap(),
+            Command::Table(1, Source::Snapshot("snap.json".into()), true)
+        );
+        assert_eq!(
+            parse(&args(&["figure3", "--csv"])).unwrap(),
+            Command::Figure3(
+                Source::Fresh(StudyConfig {
+                    n_sites: 8000,
+                    ..StudyConfig::default()
+                }),
+                true
+            )
+        );
+        assert!(parse(&args(&["table", "9"])).is_err());
+        assert!(parse(&args(&["table"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(parse(&args(&["frobnicate"])).is_err());
+        assert!(parse(&args(&["run", "--bogus", "1"])).is_err());
+        assert!(parse(&args(&["run", "--sites"])).is_err());
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["--help"])).unwrap(), Command::Help);
+        assert!(execute(Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn inspect_requires_from_and_receiver() {
+        assert!(parse(&args(&["inspect", "--from", "x.json"])).is_err());
+        assert!(parse(&args(&["inspect", "--receiver", "zopim.com"])).is_err());
+        let ok = parse(&args(&[
+            "inspect", "--from", "x.json", "--receiver", "zopim.com", "--limit", "3",
+        ]))
+        .unwrap();
+        assert_eq!(
+            ok,
+            Command::Inspect {
+                from: "x.json".into(),
+                receiver: "zopim.com".into(),
+                limit: 3
+            }
+        );
+    }
+
+    #[test]
+    fn timeline_executes_without_a_study() {
+        let text = execute(Command::Timeline).unwrap();
+        assert!(text.contains("129353"));
+    }
+
+    #[test]
+    fn end_to_end_run_save_reload() {
+        let dir = std::env::temp_dir().join("sockscope-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("mini.json");
+        let snap_str = snap.to_string_lossy().to_string();
+        // Tiny run with a snapshot.
+        let out = execute(Command::Run {
+            config: StudyConfig {
+                n_sites: 60,
+                threads: 2,
+                ..StudyConfig::default()
+            },
+            save: Some(snap_str.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("Table 1"));
+        // Re-analyze from the snapshot without crawling.
+        let table = execute(Command::Table(1, Source::Snapshot(snap_str.clone()), false)).unwrap();
+        assert!(table.contains("Table 1"));
+        let csv = execute(Command::Table(1, Source::Snapshot(snap_str.clone()), true)).unwrap();
+        assert!(csv.starts_with("crawl,pct_sites_ws"));
+        let stats = execute(Command::TextStats(Source::Snapshot(snap_str))).unwrap();
+        assert!(stats.contains("cross-origin"));
+        std::fs::remove_file(&snap).ok();
+    }
+}

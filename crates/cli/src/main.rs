@@ -1,0 +1,18 @@
+//! `sockscope` — CLI entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match sockscope_cli::parse(&args) {
+        Ok(command) => match sockscope_cli::execute(command) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", sockscope_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # sockscope
+//!
+//! A full, deterministic reproduction of *"How Tracking Companies
+//! Circumvented Ad Blockers Using WebSockets"* (Bashir, Arshad, Kirda,
+//! Robertson, Wilson — IMC 2018).
+//!
+//! The paper documents how Advertising & Analytics (A&A) companies used a
+//! long-standing Chromium bug — WebSocket connections did not trigger
+//! `chrome.webRequest.onBeforeRequest`, so ad blockers could not see them —
+//! to exfiltrate tracking data and deliver ads. This crate is the facade
+//! over a workspace that rebuilds the entire measurement apparatus:
+//!
+//! | layer | crate |
+//! |---|---|
+//! | RFC 6455 WebSocket implementation (sans-IO) | `sockscope-wsproto` |
+//! | URL / public-suffix / origin algebra | `sockscope-urlkit` |
+//! | Adblock-Plus filter engine + A&A labeler | `sockscope-filterlist` |
+//! | regex engine for payload classification | `sockscope-redlite` |
+//! | page / script-behaviour model | `sockscope-webmodel` |
+//! | calibrated synthetic web (the workload) | `sockscope-webgen` |
+//! | headless browser + CDP events + the WRB | `sockscope-browser` |
+//! | inclusion trees & socket attribution | `sockscope-inclusion` |
+//! | parallel crawl orchestration | `sockscope-crawler` |
+//! | content analysis, tables, figures | `sockscope-analysis` |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sockscope::{StudyConfig, StudyReport};
+//!
+//! let report = StudyReport::run(&StudyConfig {
+//!     n_sites: 150,          // the paper used ~100K; shapes are scale-free
+//!     threads: 2,
+//!     ..StudyConfig::default()
+//! });
+//! // Table 1: the before/after-patch collapse of A&A initiators.
+//! println!("{}", report.table1.render());
+//! assert_eq!(report.table1.rows.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod timeline;
+
+pub use report::StudyReport;
+pub use sockscope_analysis::study::{ClassifiedSocket, Study};
+pub use sockscope_analysis::StudyConfig;
+pub use timeline::{wrb_timeline, TimelineEvent};
+
+// Re-export the substrate crates so downstream users need a single
+// dependency.
+pub use sockscope_analysis as analysis;
+pub use sockscope_browser as browser;
+pub use sockscope_crawler as crawler;
+pub use sockscope_filterlist as filterlist;
+pub use sockscope_inclusion as inclusion;
+pub use sockscope_redlite as redlite;
+pub use sockscope_urlkit as urlkit;
+pub use sockscope_webgen as webgen;
+pub use sockscope_webmodel as webmodel;
+pub use sockscope_wsproto as wsproto;

@@ -1,0 +1,111 @@
+//! One-call study report: run the four crawls and compute every artifact.
+
+use sockscope_analysis::categories::CategoryBreakdown;
+use sockscope_analysis::churn::Churn;
+use sockscope_analysis::figures::Figure3;
+use sockscope_analysis::study::{Study, StudyConfig};
+use sockscope_analysis::tables::{Table1, Table2, Table3, Table4, Table5};
+use sockscope_analysis::textstats::TextStats;
+
+/// Every table, figure, and prose statistic of the paper, computed from one
+/// simulated study.
+pub struct StudyReport {
+    /// The underlying study (reductions + `D'`), for further digging.
+    pub study: Study,
+    /// Table 1 — high-level crawl statistics.
+    pub table1: Table1,
+    /// Table 2 — top initiators.
+    pub table2: Table2,
+    /// Table 3 — top A&A receivers.
+    pub table3: Table3,
+    /// Table 4 — top initiator/receiver pairs.
+    pub table4: Table4,
+    /// Table 5 — sent/received content, WS vs HTTP/S.
+    pub table5: Table5,
+    /// Figure 3 — sockets by Alexa rank.
+    pub figure3: Figure3,
+    /// §4.1/§4.2/§4.3 prose statistics.
+    pub textstats: TextStats,
+    /// Extension: per-Alexa-category breakdown.
+    pub categories: CategoryBreakdown,
+    /// Extension: crawl-over-crawl churn matrix.
+    pub churn: Churn,
+}
+
+impl StudyReport {
+    /// Runs the study and computes everything.
+    pub fn run(config: &StudyConfig) -> StudyReport {
+        let study = Study::run(config);
+        StudyReport::from_study(study)
+    }
+
+    /// Computes the report from an existing study.
+    pub fn from_study(study: Study) -> StudyReport {
+        let table1 = Table1::compute(&study);
+        let table2 = Table2::compute(&study, 15);
+        let table3 = Table3::compute(&study, 15);
+        let table4 = Table4::compute(&study, 15);
+        let table5 = Table5::compute(&study);
+        let figure3 = Figure3::compute(&study, None, 10_000);
+        let textstats = TextStats::compute(&study);
+        let categories = CategoryBreakdown::compute(&study);
+        let churn = Churn::compute(&study);
+        StudyReport {
+            study,
+            table1,
+            table2,
+            table3,
+            table4,
+            table5,
+            figure3,
+            textstats,
+            categories,
+            churn,
+        }
+    }
+
+    /// Renders the full report (all tables + figure + stats + timeline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&crate::timeline::render_timeline());
+        out.push('\n');
+        out.push_str(&self.table1.render());
+        out.push('\n');
+        out.push_str(&self.table2.render());
+        out.push('\n');
+        out.push_str(&self.table3.render());
+        out.push('\n');
+        out.push_str(&self.table4.render());
+        out.push('\n');
+        out.push_str(&self.table5.render());
+        out.push('\n');
+        out.push_str(&self.figure3.render());
+        out.push('\n');
+        out.push_str(&self.textstats.render());
+        out.push('\n');
+        out.push_str(&self.categories.render());
+        out.push('\n');
+        out.push_str(&self.churn.render(30));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_runs_at_small_scale() {
+        let report = StudyReport::run(&StudyConfig {
+            n_sites: 250,
+            threads: 4,
+            ..StudyConfig::default()
+        });
+        assert_eq!(report.table1.rows.len(), 4);
+        let text = report.render();
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("Table 5"));
+        assert!(text.contains("Figure 3"));
+        assert!(text.contains("129353"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Figure 1: the webRequest Bug's timeline, as typed data.
+
+/// One event on the WRB timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Year.
+    pub year: u16,
+    /// Month (1–12).
+    pub month: u8,
+    /// What happened.
+    pub what: &'static str,
+    /// `true` for the four crawls of this study.
+    pub is_crawl: bool,
+}
+
+/// The timeline of Figure 1, from the original bug report to the last
+/// crawl.
+pub fn wrb_timeline() -> Vec<TimelineEvent> {
+    let ev = |year, month, what, is_crawl| TimelineEvent {
+        year,
+        month,
+        what,
+        is_crawl,
+    };
+    vec![
+        ev(2012, 5, "Chromium issue 129353 filed: WebSockets bypass chrome.webRequest.onBeforeRequest", false),
+        ev(2014, 11, "AdBlock Plus users report unblockable ads on specific sites (Chrome only)", false),
+        ev(2016, 8, "EasyList / uBlock Origin users trace unblockable ads to WebSockets", false),
+        ev(2016, 11, "Pornhub caught circumventing ad blockers via WebSockets", false),
+        ev(2016, 12, "uBO-Extra ships complicated WRB workarounds", false),
+        ev(2017, 4, "Crawl 1 (Apr 02-05) — WRB still live", true),
+        ev(2017, 4, "Crawl 2 (Apr 11-16) — WRB still live", true),
+        ev(2017, 4, "Chrome 58 released (Apr 19): WebSocket support lands in the webRequest API", false),
+        ev(2017, 5, "Crawl 3 (May 07-12) — first post-patch crawl", true),
+        ev(2017, 10, "Crawl 4 (Oct 12-16) — five months post-patch", true),
+    ]
+}
+
+/// Renders the timeline as text.
+pub fn render_timeline() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("Figure 1: timeline of the webRequest Bug (WRB)\n");
+    for ev in wrb_timeline() {
+        let marker = if ev.is_crawl { "*" } else { " " };
+        let _ = writeln!(out, "{} {:>4}-{:02}  {}", marker, ev.year, ev.month, ev.what);
+    }
+    out.push_str("(* = crawls performed by the study)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_is_ordered_and_complete() {
+        let tl = wrb_timeline();
+        assert!(tl.windows(2).all(|w| (w[0].year, w[0].month) <= (w[1].year, w[1].month)));
+        assert_eq!(tl.iter().filter(|e| e.is_crawl).count(), 4);
+        assert_eq!(tl.first().unwrap().year, 2012);
+        assert!(tl.iter().any(|e| e.what.contains("Chrome 58")));
+    }
+
+    #[test]
+    fn renders() {
+        let text = render_timeline();
+        assert!(text.contains("129353"));
+        assert!(text.lines().count() >= 11);
+    }
+}

@@ -1,0 +1,466 @@
+//! The filter-matching engine.
+
+use crate::rule::{Anchor, ParsedLine, ResourceType, Rule, RuleError};
+use sockscope_urlkit::{second_level_domain, Url};
+use std::collections::HashMap;
+
+/// A request being evaluated against the lists.
+#[derive(Debug, Clone)]
+pub struct RequestContext<'a> {
+    /// The resource URL.
+    pub url: &'a Url,
+    /// The page (first party) the request happens on.
+    pub page: &'a Url,
+    /// The resource type.
+    pub resource_type: ResourceType,
+}
+
+impl RequestContext<'_> {
+    /// Third-party = the resource and page second-level domains differ.
+    pub fn is_third_party(&self) -> bool {
+        sockscope_urlkit::origin::is_third_party(self.page, self.url)
+    }
+}
+
+/// The engine's verdict for a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// A block rule matched (index into [`Engine::rules`]).
+    Block(usize),
+    /// An exception rule matched (overrides any block).
+    Allow(usize),
+    /// No rule matched.
+    None,
+}
+
+impl Decision {
+    /// `true` if the request would be blocked.
+    pub fn is_blocked(&self) -> bool {
+        matches!(self, Decision::Block(_))
+    }
+}
+
+/// A compiled filter list.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    rules: Vec<Rule>,
+    /// Domain-anchored rules indexed by the first hostname label sequence of
+    /// their pattern, for cheap candidate lookup.
+    domain_index: HashMap<String, Vec<usize>>,
+    /// Rules that must be scanned for every request.
+    generic: Vec<usize>,
+}
+
+impl Engine {
+    /// Compiles a list from its text. Lines that fail to parse are returned
+    /// alongside the engine (EasyList in the wild always contains a few
+    /// rules outside any parser's subset; the paper's pipeline skips them).
+    pub fn parse(list_text: &str) -> (Engine, Vec<(usize, RuleError)>) {
+        let mut engine = Engine::default();
+        let mut errors = Vec::new();
+        for (lineno, line) in list_text.lines().enumerate() {
+            match crate::rule::parse_line(line) {
+                Ok(ParsedLine::Rule(rule)) => engine.push_rule(rule),
+                Ok(ParsedLine::Ignored) => {}
+                Err(e) => errors.push((lineno + 1, e)),
+            }
+        }
+        (engine, errors)
+    }
+
+    /// Compiles multiple lists into one engine (the paper combines EasyList
+    /// and EasyPrivacy).
+    pub fn parse_many(lists: &[&str]) -> (Engine, Vec<(usize, RuleError)>) {
+        let mut engine = Engine::default();
+        let mut errors = Vec::new();
+        for text in lists {
+            for (lineno, line) in text.lines().enumerate() {
+                match crate::rule::parse_line(line) {
+                    Ok(ParsedLine::Rule(rule)) => engine.push_rule(rule),
+                    Ok(ParsedLine::Ignored) => {}
+                    Err(e) => errors.push((lineno + 1, e)),
+                }
+            }
+        }
+        (engine, errors)
+    }
+
+    /// Adds one rule.
+    pub fn push_rule(&mut self, rule: Rule) {
+        let idx = self.rules.len();
+        // Index key: for `||domain…` rules, the domain part up to the first
+        // separator/slash.
+        if rule.anchor == Anchor::Domain {
+            if let Some(first) = rule.parts.first() {
+                let key: String = first
+                    .chars()
+                    .take_while(|&c| c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_')
+                    .collect();
+                if !key.is_empty() {
+                    let sld = second_level_domain(&key).to_string();
+                    self.rules.push(rule);
+                    self.domain_index.entry(sld).or_default().push(idx);
+                    return;
+                }
+            }
+        }
+        self.rules.push(rule);
+        self.generic.push(idx);
+    }
+
+    /// All compiled rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of network rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` if no rules are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Evaluates a request: exceptions beat blocks (ABP semantics).
+    pub fn evaluate(&self, ctx: &RequestContext<'_>) -> Decision {
+        let url_text = ctx.url.to_string().to_ascii_lowercase();
+        let mut block: Option<usize> = None;
+        let mut candidates: Vec<usize> = Vec::new();
+        if let Some(sld) = ctx.url.second_level_domain() {
+            if let Some(v) = self.domain_index.get(sld) {
+                candidates.extend_from_slice(v);
+            }
+        }
+        candidates.extend_from_slice(&self.generic);
+        for &i in &candidates {
+            let rule = &self.rules[i];
+            if !rule_applies(rule, ctx) {
+                continue;
+            }
+            if pattern_matches(rule, &url_text, ctx.url) {
+                if rule.exception {
+                    return Decision::Allow(i);
+                }
+                block.get_or_insert(i);
+            }
+        }
+        match block {
+            Some(i) => Decision::Block(i),
+            None => Decision::None,
+        }
+    }
+
+    /// Convenience: would this request be blocked?
+    pub fn blocks(&self, ctx: &RequestContext<'_>) -> bool {
+        self.evaluate(ctx).is_blocked()
+    }
+}
+
+/// Checks the rule's option constraints against the request.
+fn rule_applies(rule: &Rule, ctx: &RequestContext<'_>) -> bool {
+    if let Some(types) = &rule.types {
+        if !types.contains(&ctx.resource_type) {
+            return false;
+        }
+    }
+    if let Some(third) = rule.third_party {
+        if ctx.is_third_party() != third {
+            return false;
+        }
+    }
+    if !rule.include_domains.is_empty() || !rule.exclude_domains.is_empty() {
+        let page_sld = ctx
+            .page
+            .second_level_domain()
+            .unwrap_or_default()
+            .to_string();
+        let page_host = ctx.page.host_str();
+        let hits = |d: &String| *d == page_sld || *d == page_host || page_host.ends_with(&format!(".{d}"));
+        if !rule.include_domains.is_empty() && !rule.include_domains.iter().any(hits) {
+            return false;
+        }
+        if rule.exclude_domains.iter().any(hits) {
+            return false;
+        }
+    }
+    true
+}
+
+/// ABP separator: anything that is not alphanumeric, `_`, `-`, `.`, `%`;
+/// also matches the end of the URL.
+fn is_separator(c: char) -> bool {
+    !(c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' || c == '%')
+}
+
+/// Matches one literal part (which may contain `^` separators) against
+/// `text` starting exactly at `pos`. Returns the end position.
+fn match_part_at(part: &str, text: &str, pos: usize) -> Option<usize> {
+    let mut t = pos;
+    let bytes = text.as_bytes();
+    let mut chars = part.chars().peekable();
+    while let Some(pc) = chars.next() {
+        if pc == '^' {
+            if t == text.len() {
+                // '^' may match the end of the URL, but only as the final
+                // pattern character.
+                return if chars.peek().is_none() { Some(t) } else { None };
+            }
+            let c = text[t..].chars().next()?;
+            if !is_separator(c) {
+                return None;
+            }
+            t += c.len_utf8();
+        } else {
+            if t >= bytes.len() {
+                return None;
+            }
+            let c = text[t..].chars().next()?;
+            if c != pc {
+                return None;
+            }
+            t += c.len_utf8();
+        }
+    }
+    Some(t)
+}
+
+/// Finds the first position ≥ `from` where `part` matches; returns end pos.
+fn find_part(part: &str, text: &str, from: usize) -> Option<(usize, usize)> {
+    if part.is_empty() {
+        return Some((from, from));
+    }
+    let mut start = from;
+    while start <= text.len() {
+        if let Some(end) = match_part_at(part, text, start) {
+            return Some((start, end));
+        }
+        // Advance one char.
+        match text[start..].chars().next() {
+            Some(c) => start += c.len_utf8(),
+            None => break,
+        }
+    }
+    None
+}
+
+/// Full pattern match of `rule` against the lower-cased URL text.
+fn pattern_matches(rule: &Rule, url_text: &str, url: &Url) -> bool {
+    match rule.anchor {
+        Anchor::Domain => {
+            // `||pattern` matches starting at the host or any subdomain
+            // boundary within the host.
+            let host = url.host_str().to_ascii_lowercase();
+            let scheme_len = url_text.find("://").map(|i| i + 3).unwrap_or(0);
+            let mut offsets = vec![scheme_len];
+            for (i, b) in host.bytes().enumerate() {
+                if b == b'.' {
+                    offsets.push(scheme_len + i + 1);
+                }
+            }
+            offsets
+                .into_iter()
+                .any(|off| match_parts_from(rule, url_text, off, true))
+        }
+        Anchor::Start => match_parts_from(rule, url_text, 0, true),
+        Anchor::None => {
+            // Try every position for the first part.
+            match_parts_from(rule, url_text, 0, false)
+        }
+    }
+}
+
+/// Matches the rule's wildcard-separated parts starting at `from`; if
+/// `anchored`, the first part must match exactly at `from`.
+fn match_parts_from(rule: &Rule, text: &str, from: usize, anchored: bool) -> bool {
+    let mut pos = from;
+    for (i, part) in rule.parts.iter().enumerate() {
+        let first = i == 0;
+        let result = if first && anchored {
+            match_part_at(part, text, pos).map(|end| (pos, end))
+        } else {
+            find_part(part, text, pos)
+        };
+        match result {
+            Some((_start, end)) => pos = end,
+            None => return false,
+        }
+    }
+    if rule.end_anchor {
+        // Last part must reach the end of the text (a trailing '^' that
+        // consumed the virtual end also qualifies).
+        pos == text.len()
+    } else {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn ctx<'a>(u: &'a Url, p: &'a Url, t: ResourceType) -> RequestContext<'a> {
+        RequestContext {
+            url: u,
+            page: p,
+            resource_type: t,
+        }
+    }
+
+    fn engine(rules: &str) -> Engine {
+        let (e, errs) = Engine::parse(rules);
+        assert!(errs.is_empty(), "parse errors: {errs:?}");
+        e
+    }
+
+    #[test]
+    fn domain_anchor_matches_subdomains() {
+        let e = engine("||doubleclick.net^");
+        let page = url("http://news.example/");
+        for u in [
+            "http://doubleclick.net/ads",
+            "https://x.doubleclick.net/pixel?id=1",
+            "wss://ws.doubleclick.net/stream",
+        ] {
+            let u = url(u);
+            assert!(
+                e.blocks(&ctx(&u, &page, ResourceType::Script)),
+                "{u}"
+            );
+        }
+        // Similar but different domain must NOT match.
+        let u = url("http://notdoubleclick.net/ads");
+        assert!(!e.blocks(&ctx(&u, &page, ResourceType::Script)));
+        let u = url("http://doubleclick.net.evil.example/");
+        assert!(!e.blocks(&ctx(&u, &page, ResourceType::Script)));
+    }
+
+    #[test]
+    fn separator_semantics() {
+        let e = engine("||ads.example^");
+        let page = url("http://pub.example/");
+        let hit = url("http://ads.example/x");
+        assert!(e.blocks(&ctx(&hit, &page, ResourceType::Image)));
+        let fq = url("http://ads.example:8080/x");
+        assert!(e.blocks(&ctx(&fq, &page, ResourceType::Image)));
+        // '^' must not match an alphanumeric continuation.
+        let miss = url("http://ads.examples/x");
+        assert!(!e.blocks(&ctx(&miss, &page, ResourceType::Image)));
+    }
+
+    #[test]
+    fn plain_substring_and_wildcards() {
+        let e = engine("/banner/*/ad_");
+        let page = url("http://pub.example/");
+        let hit = url("http://cdn.example/banner/728x90/ad_top.png");
+        assert!(e.blocks(&ctx(&hit, &page, ResourceType::Image)));
+        let miss = url("http://cdn.example/banner/728x90/spot.png");
+        assert!(!e.blocks(&ctx(&miss, &page, ResourceType::Image)));
+    }
+
+    #[test]
+    fn start_and_end_anchors() {
+        let e = engine("|http://ads.example/track|");
+        let page = url("http://pub.example/");
+        assert!(e.blocks(&ctx(&url("http://ads.example/track"), &page, ResourceType::Xhr)));
+        assert!(!e.blocks(&ctx(&url("http://ads.example/track2"), &page, ResourceType::Xhr)));
+        assert!(!e.blocks(&ctx(&url("https://ads.example/track"), &page, ResourceType::Xhr)));
+    }
+
+    #[test]
+    fn type_options() {
+        let e = engine("||tracker.example^$script");
+        let page = url("http://pub.example/");
+        let u = url("http://tracker.example/t.js");
+        assert!(e.blocks(&ctx(&u, &page, ResourceType::Script)));
+        assert!(!e.blocks(&ctx(&u, &page, ResourceType::Image)));
+        // The WRB in list form: an http/https-minded rule never written for
+        // websockets will still match here because ABP patterns are
+        // scheme-agnostic — the bug was in the extension API, not the lists.
+        let ws = url("ws://tracker.example/t");
+        assert!(!e.blocks(&ctx(&ws, &page, ResourceType::WebSocket)));
+        let e2 = engine("||tracker.example^$websocket");
+        assert!(e2.blocks(&ctx(&ws, &page, ResourceType::WebSocket)));
+    }
+
+    #[test]
+    fn third_party_option() {
+        let e = engine("||widget.example^$third-party");
+        let third_page = url("http://pub.example/");
+        let own_page = url("http://widget.example/home");
+        let u = url("http://cdn.widget.example/w.js");
+        assert!(e.blocks(&ctx(&u, &third_page, ResourceType::Script)));
+        assert!(!e.blocks(&ctx(&u, &own_page, ResourceType::Script)));
+    }
+
+    #[test]
+    fn domain_option() {
+        let e = engine("||cdn.example/ads/$domain=news.example|sports.example");
+        let u = url("http://cdn.example/ads/a.js");
+        let news = url("http://www.news.example/story");
+        let blog = url("http://blog.example/");
+        assert!(e.blocks(&ctx(&u, &news, ResourceType::Script)));
+        assert!(!e.blocks(&ctx(&u, &blog, ResourceType::Script)));
+    }
+
+    #[test]
+    fn exception_overrides_block() {
+        let e = engine("||adnet.example^\n@@||adnet.example/allowed/$script");
+        let page = url("http://pub.example/");
+        let blocked = url("http://adnet.example/banner.js");
+        let allowed = url("http://adnet.example/allowed/lib.js");
+        assert_eq!(
+            e.evaluate(&ctx(&blocked, &page, ResourceType::Script)),
+            Decision::Block(0)
+        );
+        assert_eq!(
+            e.evaluate(&ctx(&allowed, &page, ResourceType::Script)),
+            Decision::Allow(1)
+        );
+    }
+
+    #[test]
+    fn whitelisting_mirrors_paper_footnote() {
+        // Footnote 2: "these rule lists whitelist some URL patterns to avoid
+        // site breakage" — exceptions must beat blocks even across lists.
+        let (e, _) = Engine::parse_many(&[
+            "||tracker.example^$script",
+            "@@||tracker.example/jquery.js$script",
+        ]);
+        let page = url("http://pub.example/");
+        let u = url("http://tracker.example/jquery.js");
+        assert!(!e.blocks(&ctx(&u, &page, ResourceType::Script)));
+    }
+
+    #[test]
+    fn case_insensitive_urls() {
+        let e = engine("/AdServer/");
+        let page = url("http://pub.example/");
+        let u = url("http://cdn.example/adserver/x.gif");
+        assert!(e.blocks(&ctx(&u, &page, ResourceType::Image)));
+    }
+
+    #[test]
+    fn empty_engine_blocks_nothing() {
+        let e = Engine::default();
+        let page = url("http://pub.example/");
+        let u = url("http://anything.example/x");
+        assert_eq!(e.evaluate(&ctx(&u, &page, ResourceType::Script)), Decision::None);
+    }
+
+    #[test]
+    fn websocket_only_rule_via_bare_options() {
+        // uBlock-era mitigation rules looked like `*$websocket,domain=…`.
+        let e = engine("$websocket,domain=pub.example");
+        let page = url("http://pub.example/");
+        let ws = url("ws://collector.example/s");
+        assert!(e.blocks(&ctx(&ws, &page, ResourceType::WebSocket)));
+        let other_page = url("http://other.example/");
+        assert!(!e.blocks(&ctx(&ws, &other_page, ResourceType::WebSocket)));
+    }
+}

@@ -1,0 +1,75 @@
+//! Embedded sample rule lists.
+//!
+//! The synthetic-web generator (`sockscope-webgen`) emits the EasyList-like
+//! and EasyPrivacy-like lists that cover its company catalog; this module
+//! only carries a small, hand-written sample (a faithful stylistic subset of
+//! the real 2017 lists) used by unit tests, docs, and the quickstart
+//! example.
+
+/// A miniature EasyList-style list: ad-serving patterns.
+pub const SAMPLE_EASYLIST: &str = r#"[Adblock Plus 2.0]
+! Title: sample EasyList subset (synthetic domains)
+! ---- ad servers ----
+||doubleclick.net^$third-party
+||googlesyndication.com^$third-party
+||adnxs.com^$third-party
+/adserver/*
+/banner/*/ad_
+-ad-banner.
+! element hiding rules are ignored by the network engine
+example.com##.ad-slot
+! exception keeping a site functional (footnote 2 of the paper)
+@@||pagead2.googlesyndication.com/pagead/js/adsbygoogle.js$script,domain=whitelisted.example
+"#;
+
+/// A miniature EasyPrivacy-style list: tracker patterns.
+pub const SAMPLE_EASYPRIVACY: &str = r#"[Adblock Plus 2.0]
+! Title: sample EasyPrivacy subset (synthetic domains)
+||hotjar.com^$third-party
+||luckyorange.com^$third-party
+||33across.com^$third-party
+||addthis.com^$third-party
+||sharethis.com^$third-party
+/tracking/pixel.
+/__utm.gif?
+$websocket,domain=known-ws-abuser.example
+"#;
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{Engine, RequestContext};
+    use crate::rule::ResourceType;
+    use sockscope_urlkit::Url;
+
+    #[test]
+    fn sample_lists_parse_cleanly() {
+        let (easylist, errs) = Engine::parse(super::SAMPLE_EASYLIST);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert!(easylist.len() >= 6);
+        let (easyprivacy, errs) = Engine::parse(super::SAMPLE_EASYPRIVACY);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert!(easyprivacy.len() >= 8);
+    }
+
+    #[test]
+    fn combined_engine_blocks_known_trackers() {
+        let (engine, _) =
+            Engine::parse_many(&[super::SAMPLE_EASYLIST, super::SAMPLE_EASYPRIVACY]);
+        let page = Url::parse("http://news.example/").unwrap();
+        let cases = [
+            ("https://x.doubleclick.net/ads.js", ResourceType::Script, true),
+            ("https://static.hotjar.com/hotjar.js", ResourceType::Script, true),
+            ("http://cdn.example/adserver/spot.gif", ResourceType::Image, true),
+            ("http://cdn.example/images/logo.png", ResourceType::Image, false),
+        ];
+        for (u, t, expect) in cases {
+            let u = Url::parse(u).unwrap();
+            let ctx = RequestContext {
+                url: &u,
+                page: &page,
+                resource_type: t,
+            };
+            assert_eq!(engine.blocks(&ctx), expect, "{u}");
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Parsing of individual Adblock-Plus filter rules.
+
+use std::fmt;
+
+/// Resource types distinguished by `$` options (the subset the study needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResourceType {
+    /// `<script src>` or dynamically inserted scripts.
+    Script,
+    /// Images and other media.
+    Image,
+    /// CSS.
+    Stylesheet,
+    /// XHR / fetch.
+    Xhr,
+    /// iframes.
+    Subdocument,
+    /// WebSocket handshakes — the type at the centre of the WRB: AdBlock
+    /// developers used `http://*`/`https://*` filters for
+    /// `onBeforeRequest`, which never matched `ws://`/`wss://` (§5).
+    WebSocket,
+    /// Top-level documents.
+    Document,
+    /// Anything else.
+    Other,
+}
+
+impl ResourceType {
+    fn option_name(self) -> &'static str {
+        match self {
+            ResourceType::Script => "script",
+            ResourceType::Image => "image",
+            ResourceType::Stylesheet => "stylesheet",
+            ResourceType::Xhr => "xmlhttprequest",
+            ResourceType::Subdocument => "subdocument",
+            ResourceType::WebSocket => "websocket",
+            ResourceType::Document => "document",
+            ResourceType::Other => "other",
+        }
+    }
+
+    fn from_option(name: &str) -> Option<ResourceType> {
+        Some(match name {
+            "script" => ResourceType::Script,
+            "image" => ResourceType::Image,
+            "stylesheet" => ResourceType::Stylesheet,
+            "xmlhttprequest" => ResourceType::Xhr,
+            "subdocument" => ResourceType::Subdocument,
+            "websocket" => ResourceType::WebSocket,
+            "document" => ResourceType::Document,
+            "other" => ResourceType::Other,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ResourceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.option_name())
+    }
+}
+
+/// Pattern anchoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// No anchoring: substring match.
+    None,
+    /// `|pattern` — must match at URL start.
+    Start,
+    /// `||pattern` — must match at a domain boundary.
+    Domain,
+}
+
+/// A parsed network filter rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Original rule text.
+    pub raw: String,
+    /// `@@` exception rule.
+    pub exception: bool,
+    /// Anchoring of the pattern start.
+    pub anchor: Anchor,
+    /// `pattern|` — must match at URL end.
+    pub end_anchor: bool,
+    /// Pattern split at `*` wildcards; each part is matched in order.
+    /// `^` separators remain in the parts and are handled by the matcher.
+    pub parts: Vec<String>,
+    /// Types the rule applies to (`None` = all types). `Some(vec)` holds the
+    /// allowed set after resolving negations.
+    pub types: Option<Vec<ResourceType>>,
+    /// Restrict to third-party (`Some(true)`) or first-party (`Some(false)`)
+    /// requests.
+    pub third_party: Option<bool>,
+    /// `domain=` option: page second-level domains the rule is limited to.
+    pub include_domains: Vec<String>,
+    /// `domain=~…` exclusions.
+    pub exclude_domains: Vec<String>,
+}
+
+/// Result of parsing one list line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsedLine {
+    /// A network rule.
+    Rule(Rule),
+    /// Comment, empty line, or element-hiding rule — ignored by the
+    /// network engine.
+    Ignored,
+}
+
+/// Rule parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleError {
+    /// Unknown `$` option.
+    UnknownOption(String),
+    /// Rule reduced to an empty pattern.
+    EmptyPattern,
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::UnknownOption(o) => write!(f, "unknown filter option: {o}"),
+            RuleError::EmptyPattern => write!(f, "empty filter pattern"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// Parses one line of an ABP-style list.
+pub fn parse_line(line: &str) -> Result<ParsedLine, RuleError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('!') || line.starts_with('[') {
+        return Ok(ParsedLine::Ignored);
+    }
+    // Element-hiding and snippet rules.
+    if line.contains("##") || line.contains("#@#") || line.contains("#?#") {
+        return Ok(ParsedLine::Ignored);
+    }
+    let mut rest = line;
+    let exception = if let Some(r) = rest.strip_prefix("@@") {
+        rest = r;
+        true
+    } else {
+        false
+    };
+
+    // Split off options at the last '$' (URLs may contain '$' in paths, but
+    // list conventions put options last; EasyList itself relies on this).
+    let (pattern, options) = match rest.rsplit_once('$') {
+        Some((p, o)) if looks_like_options(o) => (p, Some(o)),
+        _ => (rest, None),
+    };
+
+    let mut types: Option<Vec<ResourceType>> = None;
+    let mut negated_types: Vec<ResourceType> = Vec::new();
+    let mut third_party = None;
+    let mut include_domains = Vec::new();
+    let mut exclude_domains = Vec::new();
+
+    if let Some(options) = options {
+        for opt in options.split(',') {
+            let opt = opt.trim();
+            if opt.is_empty() {
+                continue;
+            }
+            if let Some(domains) = opt.strip_prefix("domain=") {
+                for d in domains.split('|') {
+                    if let Some(neg) = d.strip_prefix('~') {
+                        exclude_domains.push(neg.to_ascii_lowercase());
+                    } else {
+                        include_domains.push(d.to_ascii_lowercase());
+                    }
+                }
+                continue;
+            }
+            match opt {
+                "third-party" | "3p" => third_party = Some(true),
+                "~third-party" | "1p" => third_party = Some(false),
+                _ => {
+                    if let Some(neg) = opt.strip_prefix('~') {
+                        match ResourceType::from_option(neg) {
+                            Some(t) => negated_types.push(t),
+                            None => return Err(RuleError::UnknownOption(opt.to_string())),
+                        }
+                    } else {
+                        match ResourceType::from_option(opt) {
+                            Some(t) => types.get_or_insert_with(Vec::new).push(t),
+                            None => return Err(RuleError::UnknownOption(opt.to_string())),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Negated types: start from "all" minus the negations.
+    if !negated_types.is_empty() {
+        let all = [
+            ResourceType::Script,
+            ResourceType::Image,
+            ResourceType::Stylesheet,
+            ResourceType::Xhr,
+            ResourceType::Subdocument,
+            ResourceType::WebSocket,
+            ResourceType::Document,
+            ResourceType::Other,
+        ];
+        let base: Vec<ResourceType> = all
+            .into_iter()
+            .filter(|t| !negated_types.contains(t))
+            .collect();
+        types = Some(match types {
+            None => base,
+            Some(mut explicit) => {
+                explicit.retain(|t| base.contains(t));
+                explicit
+            }
+        });
+    }
+
+    // Anchors.
+    let mut pattern = pattern;
+    let anchor = if let Some(p) = pattern.strip_prefix("||") {
+        pattern = p;
+        Anchor::Domain
+    } else if let Some(p) = pattern.strip_prefix('|') {
+        pattern = p;
+        Anchor::Start
+    } else {
+        Anchor::None
+    };
+    let end_anchor = if let Some(p) = pattern.strip_suffix('|') {
+        pattern = p;
+        true
+    } else {
+        false
+    };
+
+    // Collapse runs of '*' and split into literal parts.
+    let mut parts: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let mut prev_star = false;
+    for c in pattern.chars() {
+        if c == '*' {
+            if !prev_star {
+                parts.push(std::mem::take(&mut current));
+            }
+            prev_star = true;
+        } else {
+            current.push(c.to_ascii_lowercase());
+            prev_star = false;
+        }
+    }
+    parts.push(current);
+    // `parts` now alternates literal, (wildcard), literal, …; empty leading/
+    // trailing entries mean the pattern began/ended with '*'.
+    if parts.iter().all(|p| p.is_empty())
+        && anchor == Anchor::None
+        && !end_anchor
+        && types.is_none()
+        && third_party.is_none()
+        && include_domains.is_empty()
+    {
+        return Err(RuleError::EmptyPattern);
+    }
+
+    Ok(ParsedLine::Rule(Rule {
+        raw: line.to_string(),
+        exception,
+        anchor,
+        end_anchor,
+        parts,
+        types,
+        third_party,
+        include_domains,
+        exclude_domains,
+    }))
+}
+
+/// Heuristic: does the text after `$` look like an option list rather than
+/// part of a URL pattern? Option lists contain only identifier-ish tokens
+/// (no `/`, `:` or `^`), so `$` appearing inside a URL path keeps its
+/// literal meaning while `$popunder` is still diagnosed as an unknown
+/// option rather than silently matched as text.
+fn looks_like_options(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes().all(|b| {
+            b.is_ascii_alphanumeric()
+                || matches!(b, b'~' | b',' | b'=' | b'|' | b'.' | b'_' | b'-' | b' ')
+        })
+        && s.bytes().next().map(|b| b.is_ascii_alphabetic() || b == b'~').unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(line: &str) -> Rule {
+        match parse_line(line).unwrap() {
+            ParsedLine::Rule(r) => r,
+            ParsedLine::Ignored => panic!("unexpectedly ignored: {line}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_headers_ignored() {
+        assert_eq!(parse_line("! EasyList").unwrap(), ParsedLine::Ignored);
+        assert_eq!(parse_line("[Adblock Plus 2.0]").unwrap(), ParsedLine::Ignored);
+        assert_eq!(parse_line("").unwrap(), ParsedLine::Ignored);
+        assert_eq!(parse_line("example.com##.ad-banner").unwrap(), ParsedLine::Ignored);
+    }
+
+    #[test]
+    fn domain_anchor_rule() {
+        let r = rule("||doubleclick.net^");
+        assert_eq!(r.anchor, Anchor::Domain);
+        assert!(!r.exception);
+        assert_eq!(r.parts, vec!["doubleclick.net^"]);
+    }
+
+    #[test]
+    fn exception_rule() {
+        let r = rule("@@||cdn.pub.example/ads-whitelisted.js$script");
+        assert!(r.exception);
+        assert_eq!(r.types, Some(vec![ResourceType::Script]));
+    }
+
+    #[test]
+    fn options_parsing() {
+        let r = rule("||tracker.example^$script,third-party,domain=news.example|~blog.example");
+        assert_eq!(r.types, Some(vec![ResourceType::Script]));
+        assert_eq!(r.third_party, Some(true));
+        assert_eq!(r.include_domains, vec!["news.example"]);
+        assert_eq!(r.exclude_domains, vec!["blog.example"]);
+    }
+
+    #[test]
+    fn websocket_option() {
+        let r = rule("$websocket,domain=pub.example");
+        assert_eq!(r.types, Some(vec![ResourceType::WebSocket]));
+    }
+
+    #[test]
+    fn negated_type_expansion() {
+        let r = rule("||adnet.example^$~image");
+        let types = r.types.unwrap();
+        assert!(!types.contains(&ResourceType::Image));
+        assert!(types.contains(&ResourceType::Script));
+        assert!(types.contains(&ResourceType::WebSocket));
+    }
+
+    #[test]
+    fn wildcard_splitting() {
+        let r = rule("/banner/*/ad_");
+        assert_eq!(r.parts, vec!["/banner/", "/ad_"]);
+        let r2 = rule("a***b");
+        assert_eq!(r2.parts, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn anchors_parsed() {
+        let r = rule("|http://ads.example/|");
+        assert_eq!(r.anchor, Anchor::Start);
+        assert!(r.end_anchor);
+    }
+
+    #[test]
+    fn unknown_option_is_error() {
+        assert!(matches!(
+            parse_line("||x.example^$popunder"),
+            Err(RuleError::UnknownOption(_))
+        ));
+    }
+
+    #[test]
+    fn bare_star_is_error() {
+        assert!(matches!(parse_line("*"), Err(RuleError::EmptyPattern)));
+    }
+
+    #[test]
+    fn case_folding_in_pattern() {
+        let r = rule("/Banner/AD.js");
+        assert_eq!(r.parts, vec!["/banner/ad.js"]);
+    }
+}

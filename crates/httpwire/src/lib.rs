@@ -1,0 +1,165 @@
+//! # sockscope-httpwire
+//!
+//! A minimal, dependency-free HTTP/1.1 wire codec: just enough of RFC 7230
+//! to serialize the requests a 2017 tracking stack makes (GET with headers,
+//! cookies, UA) and parse the responses it gets back (status line, headers,
+//! `Content-Length` and `chunked` bodies).
+//!
+//! The simulated browser uses this so that *every* HTTP resource in the
+//! study — tag scripts, tracking pixels, ad-config XHRs — is materialized
+//! as real request/response bytes before the analyzer sees it, exactly as
+//! the WebSocket side materializes RFC 6455 frames through
+//! `sockscope-wsproto`. The WebSocket opening handshake is itself an
+//! HTTP/1.1 upgrade, so `sockscope-wsproto::handshake` and this crate agree
+//! on the grammar (and the tests cross-check them).
+//!
+//! Sans-IO like everything else: [`Request::to_bytes`]/[`Response::parse`]
+//! plus an incremental [`ResponseParser`] for streamed input.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod request;
+pub mod response;
+
+pub use request::{Method, Request};
+pub use response::{Response, ResponseParser};
+
+/// Errors for both directions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Start line malformed.
+    BadStartLine,
+    /// A header line had no `:` separator or illegal bytes.
+    BadHeader,
+    /// `Content-Length` unparseable or conflicting.
+    BadContentLength,
+    /// A chunk size line was not valid hex.
+    BadChunkSize,
+    /// Input ended before the message was complete.
+    Truncated,
+    /// Body exceeded the configured cap.
+    TooLarge,
+    /// Header bytes were not valid UTF-8 (we only accept ASCII-ish).
+    BadEncoding,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadStartLine => write!(f, "malformed start line"),
+            HttpError::BadHeader => write!(f, "malformed header"),
+            HttpError::BadContentLength => write!(f, "invalid Content-Length"),
+            HttpError::BadChunkSize => write!(f, "invalid chunk size"),
+            HttpError::Truncated => write!(f, "message truncated"),
+            HttpError::TooLarge => write!(f, "body exceeds cap"),
+            HttpError::BadEncoding => write!(f, "non-UTF-8 header block"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// An ordered, case-insensitive header map (headers keep insertion order,
+/// lookups fold case — the behaviour the study's tooling needs when
+/// fishing `Cookie`/`User-Agent` out of captured traffic).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Empty header map.
+    pub fn new() -> Headers {
+        Headers::default()
+    }
+
+    /// Appends a header (duplicates allowed, like the wire).
+    pub fn push(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// First value of `name`, case-insensitive.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of `name`.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no headers present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, value)` pairs in wire order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    fn write_to(&self, out: &mut Vec<u8>) {
+        for (n, v) in &self.entries {
+            out.extend_from_slice(n.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+    }
+
+    /// Parses a CRLF-separated header block (without the terminating blank
+    /// line).
+    pub fn parse_block(text: &str) -> Result<Headers, HttpError> {
+        let mut headers = Headers::new();
+        for line in text.split("\r\n") {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+            let name = name.trim();
+            if name.is_empty() || name.contains(' ') {
+                return Err(HttpError::BadHeader);
+            }
+            headers.push(name, value.trim());
+        }
+        Ok(headers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let mut h = Headers::new();
+        h.push("Content-Type", "text/html");
+        h.push("X-Multi", "a");
+        h.push("x-multi", "b");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        let all: Vec<&str> = h.get_all("X-Multi").collect();
+        assert_eq!(all, vec!["a", "b"]);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn parse_block_rejects_garbage() {
+        assert!(Headers::parse_block("NoColonHere").is_err());
+        assert!(Headers::parse_block("Bad Name: x").is_err());
+        let ok = Headers::parse_block("A: 1\r\nB: 2").unwrap();
+        assert_eq!(ok.get("b"), Some("2"));
+    }
+}

@@ -1,0 +1,188 @@
+//! HTTP/1.1 request serialization and parsing.
+
+use crate::{Headers, HttpError};
+
+/// Request methods the tracking stack uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// GET — scripts, pixels, documents.
+    Get,
+    /// POST — beacon-style XHR uploads.
+    Post,
+    /// HEAD — occasionally used by availability probes.
+    Head,
+}
+
+impl Method {
+    /// Wire form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+        }
+    }
+
+    /// Parses the wire form.
+    pub fn parse(s: &str) -> Result<Method, HttpError> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "POST" => Ok(Method::Post),
+            "HEAD" => Ok(Method::Head),
+            _ => Err(HttpError::BadStartLine),
+        }
+    }
+}
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method.
+    pub method: Method,
+    /// Request target (origin-form: path + optional query).
+    pub target: String,
+    /// Headers in wire order.
+    pub headers: Headers,
+    /// Body bytes (empty for GET/HEAD).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A GET request for `target` on `host`.
+    pub fn get(host: &str, target: &str) -> Request {
+        let mut headers = Headers::new();
+        headers.push("Host", host);
+        Request {
+            method: Method::Get,
+            target: target.to_string(),
+            headers,
+            body: Vec::new(),
+        }
+    }
+
+    /// A POST with a body (adds `Content-Length`).
+    pub fn post(host: &str, target: &str, body: Vec<u8>) -> Request {
+        let mut headers = Headers::new();
+        headers.push("Host", host);
+        headers.push("Content-Length", body.len().to_string());
+        Request {
+            method: Method::Post,
+            target: target.to_string(),
+            headers,
+            body,
+        }
+    }
+
+    /// Builder: adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Request {
+        self.headers.push(name, value);
+        self
+    }
+
+    /// Serializes to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(self.method.as_str().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.target.as_bytes());
+        out.extend_from_slice(b" HTTP/1.1\r\n");
+        self.headers.write_to(&mut out);
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses a complete request (headers must be terminated by CRLFCRLF;
+    /// body length from `Content-Length`, defaulting to the remainder for
+    /// requests without one).
+    pub fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        let head_end = find_head_end(bytes).ok_or(HttpError::Truncated)?;
+        let head = std::str::from_utf8(&bytes[..head_end]).map_err(|_| HttpError::BadEncoding)?;
+        let mut lines = head.splitn(2, "\r\n");
+        let start = lines.next().ok_or(HttpError::BadStartLine)?;
+        let rest = lines.next().unwrap_or("");
+        let mut parts = start.split(' ');
+        let method = Method::parse(parts.next().ok_or(HttpError::BadStartLine)?)?;
+        let target = parts.next().ok_or(HttpError::BadStartLine)?.to_string();
+        if parts.next() != Some("HTTP/1.1") {
+            return Err(HttpError::BadStartLine);
+        }
+        let headers = Headers::parse_block(rest)?;
+        let body_start = head_end + 4;
+        let body = match headers.get("content-length") {
+            Some(cl) => {
+                let len: usize = cl.trim().parse().map_err(|_| HttpError::BadContentLength)?;
+                let avail = bytes.len().saturating_sub(body_start);
+                if avail < len {
+                    return Err(HttpError::Truncated);
+                }
+                bytes[body_start..body_start + len].to_vec()
+            }
+            None => bytes.get(body_start..).unwrap_or_default().to_vec(),
+        };
+        Ok(Request {
+            method,
+            target,
+            headers,
+            body,
+        })
+    }
+}
+
+pub(crate) fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_roundtrip() {
+        let req = Request::get("tracker.example", "/pixel0.gif?cookie=uid%3D1")
+            .with_header("User-Agent", "Mozilla/5.0 Chrome/57")
+            .with_header("Cookie", "uid=42; _ga=1.2");
+        let bytes = req.to_bytes();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(text.starts_with("GET /pixel0.gif?cookie=uid%3D1 HTTP/1.1\r\n"));
+        assert!(text.contains("Cookie: uid=42; _ga=1.2\r\n"));
+        let back = Request::parse(&bytes).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn post_roundtrip_with_body() {
+        let req = Request::post("c.example", "/collect", b"dom=<html></html>".to_vec());
+        let back = Request::parse(&req.to_bytes()).unwrap();
+        assert_eq!(back.method, Method::Post);
+        assert_eq!(back.body, b"dom=<html></html>");
+        assert_eq!(back.headers.get("content-length"), Some("17"));
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert_eq!(Request::parse(b"GET /x"), Err(HttpError::Truncated));
+        assert_eq!(
+            Request::parse(b"BREW /pot HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadStartLine)
+        );
+        assert_eq!(
+            Request::parse(b"GET /x HTTP/1.0\r\n\r\n"),
+            Err(HttpError::BadStartLine)
+        );
+        assert_eq!(
+            Request::parse(b"GET /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Truncated)
+        );
+    }
+
+    #[test]
+    fn websocket_upgrade_requests_parse() {
+        // Cross-check with sockscope-wsproto's handshake grammar: an
+        // upgrade request is a plain HTTP/1.1 GET.
+        let raw = b"GET /socket HTTP/1.1\r\nHost: ws.zopim.com\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\nSec-WebSocket-Version: 13\r\n\r\n";
+        let req = Request::parse(raw).unwrap();
+        assert_eq!(req.headers.get("upgrade"), Some("websocket"));
+        assert_eq!(req.target, "/socket");
+    }
+}

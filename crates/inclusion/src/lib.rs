@@ -1,0 +1,28 @@
+//! # sockscope-inclusion
+//!
+//! Inclusion-tree construction from CDP event streams — the heart of the
+//! paper's methodology (§3.1, Figure 2).
+//!
+//! A DOM tree records *syntax*: three `<script>` tags side by side. An
+//! **inclusion tree** records *provenance*: which running script caused each
+//! resource to load. The difference matters because `Referer` headers carry
+//! the first-party domain even for requests made by third-party code, and
+//! the DOM cannot express "script A inserted script B which opened socket
+//! C". The paper (following Arshad et al.) rebuilds provenance from CDP
+//! events: `scriptParsed` initiators, `requestWillBeSent` initiators, frame
+//! navigation, and the six WebSocket lifecycle events.
+//!
+//! This crate consumes the event streams produced by `sockscope-browser`
+//! and yields [`InclusionTree`]s; the attribution helpers implement §3.2's
+//! A&A-socket detection ("descend the branch of the inclusion tree that
+//! includes the socket…") and §4.2's post-hoc blocking analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attribution;
+pub mod blocking;
+pub mod tree;
+
+pub use attribution::SocketAttribution;
+pub use tree::{InclusionTree, Node, NodeId, NodeKind, WsTranscript};

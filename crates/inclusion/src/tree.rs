@@ -1,0 +1,630 @@
+//! The inclusion-tree data structure and its builder.
+
+use serde::{Deserialize, Serialize};
+use sockscope_browser::{CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId};
+use std::collections::HashMap;
+
+/// Index of a node within its tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// What a node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// The top-level page document.
+    Page,
+    /// An iframe document.
+    Frame,
+    /// A script (inline or remote).
+    Script,
+    /// An image resource.
+    Image,
+    /// An XHR.
+    Xhr,
+    /// A WebSocket connection — always a child of the script that opened it
+    /// (Figure 2's `adnet/data.ws` under `ads/script.js`).
+    WebSocket,
+    /// A request cancelled by a blocking extension (only present in
+    /// blocker-enabled crawls; the ablation harness uses these).
+    Blocked,
+}
+
+/// A recorded WebSocket payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PayloadRecord {
+    /// Text frame contents.
+    Text(String),
+    /// Binary frame contents.
+    Binary(Vec<u8>),
+}
+
+impl PayloadRecord {
+    /// Text view.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            PayloadRecord::Text(s) => Some(s),
+            PayloadRecord::Binary(_) => None,
+        }
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        match self {
+            PayloadRecord::Text(s) => s.len(),
+            PayloadRecord::Binary(b) => b.len(),
+        }
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn record(p: &FramePayload) -> PayloadRecord {
+    match p {
+        FramePayload::Text(s) => PayloadRecord::Text(s.clone()),
+        FramePayload::Base64(_) => PayloadRecord::Binary(p.to_bytes()),
+    }
+}
+
+/// Everything observed on one WebSocket.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WsTranscript {
+    /// Raw handshake request (headers carry UA/Cookie/Origin).
+    pub handshake_request: String,
+    /// Upgrade status.
+    pub status: u16,
+    /// Client→server payloads in order.
+    pub sent: Vec<PayloadRecord>,
+    /// Server→client payloads in order.
+    pub received: Vec<PayloadRecord>,
+    /// Whether the close event was observed.
+    pub closed: bool,
+}
+
+/// One node of an inclusion tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Resource URL.
+    pub url: String,
+    /// Hostname extracted from `url` (empty if unparseable).
+    pub host: String,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Parent node; `None` only for the root.
+    pub parent: Option<NodeId>,
+    /// Children in creation order.
+    pub children: Vec<NodeId>,
+    /// WebSocket transcript, for [`NodeKind::WebSocket`] nodes.
+    pub ws: Option<WsTranscript>,
+    /// HTTP response body, for HTTP-fetched nodes (used by content analysis
+    /// of HTTP/S, Table 5's comparison columns).
+    pub http_body: Option<Vec<u8>>,
+    /// Ground-truth sent items for HTTP nodes (tests only; the analyzer
+    /// works from the URL/body text).
+    pub http_sent_ground_truth: Vec<sockscope_webmodel::SentItem>,
+}
+
+/// An inclusion tree for one page visit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InclusionTree {
+    /// The visited page URL.
+    pub page_url: String,
+    nodes: Vec<Node>,
+}
+
+impl InclusionTree {
+    /// Builds the tree from a visit's CDP event stream.
+    ///
+    /// The builder mirrors the paper's recipe: `scriptParsed` events hang
+    /// scripts under their initiator, `requestWillBeSent` hangs resources
+    /// under theirs, `frameNavigated` tracks iframes, and the WebSocket
+    /// events make each socket "a child node of the JavaScript node
+    /// responsible for initiating" it (§3.2).
+    pub fn build(page_url: &str, events: &[CdpEvent]) -> InclusionTree {
+        let mut b = Builder {
+            nodes: Vec::new(),
+            by_script: HashMap::new(),
+            by_frame: HashMap::new(),
+            by_request: HashMap::new(),
+            pending_docs: HashMap::new(),
+        };
+        // Root: the page itself (frame 0). A FrameNavigated for frame 0 is
+        // expected first; create eagerly so degenerate streams still work.
+        let root = b.push(Node {
+            id: NodeId(0),
+            url: page_url.to_string(),
+            host: host_of(page_url),
+            kind: NodeKind::Page,
+            parent: None,
+            children: Vec::new(),
+            ws: None,
+            http_body: None,
+            http_sent_ground_truth: Vec::new(),
+        });
+        b.by_frame.insert(FrameId(0), root);
+
+        for ev in events {
+            b.apply(root, ev);
+        }
+        InclusionTree {
+            page_url: page_url.to_string(),
+            nodes: b.nodes,
+        }
+    }
+
+    /// The root (page) node.
+    pub fn root(&self) -> &Node {
+        &self.nodes[0]
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// All nodes in creation order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the tree has only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// All WebSocket nodes.
+    pub fn websockets(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.kind == NodeKind::WebSocket)
+    }
+
+    /// Path from the root to `id`, inclusive.
+    pub fn chain(&self, id: NodeId) -> Vec<&Node> {
+        let mut rev = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let n = &self.nodes[c.0];
+            rev.push(n);
+            cur = n.parent;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.chain(id).len() - 1
+    }
+
+    /// Renders an ASCII sketch of the tree (the Figure 2 example binary
+    /// prints this).
+    pub fn ascii(&self) -> String {
+        let mut out = String::new();
+        self.ascii_node(NodeId(0), 0, &mut out);
+        out
+    }
+
+    fn ascii_node(&self, id: NodeId, depth: usize, out: &mut String) {
+        let n = &self.nodes[id.0];
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let kind = match n.kind {
+            NodeKind::Page => "page",
+            NodeKind::Frame => "frame",
+            NodeKind::Script => "script",
+            NodeKind::Image => "image",
+            NodeKind::Xhr => "xhr",
+            NodeKind::WebSocket => "websocket",
+            NodeKind::Blocked => "BLOCKED",
+        };
+        out.push_str(&format!("[{kind}] {}\n", n.url));
+        for &c in &n.children {
+            self.ascii_node(c, depth + 1, out);
+        }
+    }
+
+    /// Tree invariants, checked by tests and property tests: exactly one
+    /// root, parent/child pointers consistent, acyclic by construction.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("empty tree".into());
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.id.0 != i {
+                return Err(format!("node {i} has mismatched id {:?}", n.id));
+            }
+            match n.parent {
+                None if i != 0 => return Err(format!("non-root node {i} has no parent")),
+                Some(p) => {
+                    if p.0 >= i {
+                        return Err(format!("node {i} has forward parent {}", p.0));
+                    }
+                    if !self.nodes[p.0].children.contains(&n.id) {
+                        return Err(format!("parent {} does not list child {i}", p.0));
+                    }
+                }
+                None => {}
+            }
+            for &c in &n.children {
+                if self.nodes[c.0].parent != Some(n.id) {
+                    return Err(format!("child {} does not point back to {i}", c.0));
+                }
+            }
+            if (n.kind == NodeKind::WebSocket) != n.ws.is_some() {
+                return Err(format!("node {i}: ws transcript/kind mismatch"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn host_of(url: &str) -> String {
+    sockscope_urlkit::Url::parse(url)
+        .map(|u| u.host_str())
+        .unwrap_or_default()
+}
+
+struct Builder {
+    nodes: Vec<Node>,
+    by_script: HashMap<ScriptId, NodeId>,
+    by_frame: HashMap<FrameId, NodeId>,
+    by_request: HashMap<RequestId, NodeId>,
+    /// Frame nodes created from subframe Document requests, waiting for
+    /// their `frameNavigated` to bind the frame id (keyed by URL).
+    pending_docs: HashMap<String, NodeId>,
+}
+
+impl Builder {
+    fn push(&mut self, mut node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        node.id = id;
+        if let Some(p) = node.parent {
+            self.nodes[p.0].children.push(id);
+        }
+        self.nodes.push(node);
+        id
+    }
+
+    fn parent_of(&self, initiator: Initiator, root: NodeId) -> NodeId {
+        match initiator {
+            Initiator::Parser(frame) => self.by_frame.get(&frame).copied().unwrap_or(root),
+            Initiator::Script(sid) => self.by_script.get(&sid).copied().unwrap_or(root),
+        }
+    }
+
+    fn new_node(&mut self, url: &str, kind: NodeKind, parent: NodeId) -> NodeId {
+        self.push(Node {
+            id: NodeId(0),
+            url: url.to_string(),
+            host: host_of(url),
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+            ws: None,
+            http_body: None,
+            http_sent_ground_truth: Vec::new(),
+        })
+    }
+
+    fn apply(&mut self, root: NodeId, ev: &CdpEvent) {
+        match ev {
+            CdpEvent::FrameNavigated {
+                frame_id,
+                parent_frame_id,
+                url,
+            } => {
+                if *frame_id == FrameId(0) {
+                    return; // root created eagerly
+                }
+                // Prefer the Frame node created from the document request
+                // (it carries the true initiator — a script for dynamically
+                // injected iframes); fall back to frame-parent provenance
+                // for streams without document requests.
+                if let Some(id) = self.pending_docs.remove(url) {
+                    self.by_frame.insert(*frame_id, id);
+                    return;
+                }
+                let parent = parent_frame_id
+                    .and_then(|p| self.by_frame.get(&p).copied())
+                    .unwrap_or(root);
+                let id = self.new_node(url, NodeKind::Frame, parent);
+                self.by_frame.insert(*frame_id, id);
+            }
+            CdpEvent::ScriptParsed {
+                script_id,
+                url,
+                initiator,
+                ..
+            } => {
+                let parent = self.parent_of(*initiator, root);
+                let id = self.new_node(url, NodeKind::Script, parent);
+                self.by_script.insert(*script_id, id);
+            }
+            CdpEvent::RequestWillBeSent {
+                request_id,
+                url,
+                resource_type,
+                initiator,
+                frame_id,
+            } => {
+                let kind = match resource_type {
+                    ResourceKind::Image => NodeKind::Image,
+                    ResourceKind::Xhr => NodeKind::Xhr,
+                    ResourceKind::Document => {
+                        // Subframe documents become Frame nodes hung under
+                        // their true initiator; the main document (frame 0)
+                        // is the root itself.
+                        if *frame_id == FrameId(0) {
+                            return;
+                        }
+                        let parent = self.parent_of(*initiator, root);
+                        let id = self.new_node(url, NodeKind::Frame, parent);
+                        self.pending_docs.insert(url.clone(), id);
+                        self.by_request.insert(*request_id, id);
+                        return;
+                    }
+                    // Script requests become Script nodes via scriptParsed;
+                    // WebSocket handshakes via webSocketCreated.
+                    ResourceKind::Script | ResourceKind::WebSocket => return,
+                };
+                let parent = self.parent_of(*initiator, root);
+                let id = self.new_node(url, kind, parent);
+                self.by_request.insert(*request_id, id);
+            }
+            CdpEvent::ResponseReceived {
+                request_id,
+                body,
+                sent_ground_truth,
+                ..
+            } => {
+                if let Some(&id) = self.by_request.get(request_id) {
+                    self.nodes[id.0].http_body = Some(body.clone());
+                    self.nodes[id.0].http_sent_ground_truth = sent_ground_truth.clone();
+                }
+            }
+            CdpEvent::WebSocketCreated {
+                request_id,
+                url,
+                initiator,
+                ..
+            } => {
+                let parent = self.parent_of(*initiator, root);
+                let id = self.new_node(url, NodeKind::WebSocket, parent);
+                self.nodes[id.0].ws = Some(WsTranscript::default());
+                self.by_request.insert(*request_id, id);
+            }
+            CdpEvent::WebSocketWillSendHandshakeRequest { request_id, request } => {
+                if let Some(ws) = self.ws_mut(request_id) {
+                    ws.handshake_request = String::from_utf8_lossy(request).to_string();
+                }
+            }
+            CdpEvent::WebSocketHandshakeResponseReceived { request_id, status, .. } => {
+                if let Some(ws) = self.ws_mut(request_id) {
+                    ws.status = *status;
+                }
+            }
+            CdpEvent::WebSocketFrameSent { request_id, payload } => {
+                if let Some(ws) = self.ws_mut(request_id) {
+                    ws.sent.push(record(payload));
+                }
+            }
+            CdpEvent::WebSocketFrameReceived { request_id, payload } => {
+                if let Some(ws) = self.ws_mut(request_id) {
+                    ws.received.push(record(payload));
+                }
+            }
+            CdpEvent::WebSocketClosed { request_id } => {
+                if let Some(ws) = self.ws_mut(request_id) {
+                    ws.closed = true;
+                }
+            }
+            CdpEvent::RequestBlockedByExtension {
+                url,
+                initiator,
+                ..
+            } => {
+                let parent = self.parent_of(*initiator, root);
+                self.new_node(url, NodeKind::Blocked, parent);
+            }
+        }
+    }
+
+    fn ws_mut(&mut self, request_id: &RequestId) -> Option<&mut WsTranscript> {
+        let id = self.by_request.get(request_id)?;
+        self.nodes[id.0].ws.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built event stream reproducing Figure 2 of the paper.
+    fn figure2_events() -> Vec<CdpEvent> {
+        use CdpEvent::*;
+        vec![
+            FrameNavigated {
+                frame_id: FrameId(0),
+                parent_frame_id: None,
+                url: "http://pub.example/index.html".into(),
+            },
+            ScriptParsed {
+                script_id: ScriptId(1),
+                url: "http://pub.example/script.js".into(),
+                frame_id: FrameId(0),
+                initiator: Initiator::Parser(FrameId(0)),
+            },
+            ScriptParsed {
+                script_id: ScriptId(2),
+                url: "http://ads.example/script.js".into(),
+                frame_id: FrameId(0),
+                initiator: Initiator::Parser(FrameId(0)),
+            },
+            // ads/script.js dynamically includes ads/script2.js and an image
+            ScriptParsed {
+                script_id: ScriptId(3),
+                url: "http://ads.example/script2.js".into(),
+                frame_id: FrameId(0),
+                initiator: Initiator::Script(ScriptId(2)),
+            },
+            RequestWillBeSent {
+                request_id: RequestId(1),
+                url: "http://ads.example/image.img".into(),
+                resource_type: ResourceKind::Image,
+                initiator: Initiator::Script(ScriptId(2)),
+                frame_id: FrameId(0),
+            },
+            // script2 opens the socket
+            WebSocketCreated {
+                request_id: RequestId(2),
+                url: "ws://adnet.example/data.ws".into(),
+                initiator: Initiator::Script(ScriptId(3)),
+                frame_id: FrameId(0),
+            },
+            WebSocketFrameSent {
+                request_id: RequestId(2),
+                payload: FramePayload::Text("cookie=uid42".into()),
+            },
+            WebSocketFrameReceived {
+                request_id: RequestId(2),
+                payload: FramePayload::Text("{\"ok\":true}".into()),
+            },
+            WebSocketClosed {
+                request_id: RequestId(2),
+            },
+            ScriptParsed {
+                script_id: ScriptId(4),
+                url: "http://tracker.example/script.js".into(),
+                frame_id: FrameId(0),
+                initiator: Initiator::Parser(FrameId(0)),
+            },
+        ]
+    }
+
+    #[test]
+    fn figure2_tree_shape() {
+        let tree = InclusionTree::build("http://pub.example/index.html", &figure2_events());
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.len(), 7); // page + 4 scripts + image + socket
+        // The socket hangs under ads/script2.js, which hangs under
+        // ads/script.js, which hangs under the page — Figure 2 exactly.
+        let socket = tree.websockets().next().unwrap();
+        let chain: Vec<&str> = tree.chain(socket.id).iter().map(|n| n.url.as_str()).collect();
+        assert_eq!(
+            chain,
+            vec![
+                "http://pub.example/index.html",
+                "http://ads.example/script.js",
+                "http://ads.example/script2.js",
+                "ws://adnet.example/data.ws",
+            ]
+        );
+        assert_eq!(tree.depth(socket.id), 3);
+    }
+
+    #[test]
+    fn socket_transcript_recorded() {
+        let tree = InclusionTree::build("http://pub.example/index.html", &figure2_events());
+        let socket = tree.websockets().next().unwrap();
+        let ws = socket.ws.as_ref().unwrap();
+        assert_eq!(ws.sent.len(), 1);
+        assert_eq!(ws.sent[0].as_text(), Some("cookie=uid42"));
+        assert_eq!(ws.received.len(), 1);
+        assert!(ws.closed);
+    }
+
+    #[test]
+    fn dom_vs_inclusion_contrast() {
+        // The DOM (Figure 2 left) shows 3 sibling scripts; the inclusion
+        // tree (right) shows the nested reality.
+        let tree = InclusionTree::build("http://pub.example/index.html", &figure2_events());
+        let root_children = &tree.root().children;
+        assert_eq!(root_children.len(), 3); // pub, ads, tracker scripts
+        let dom = sockscope_webmodel::dom::figure2_dom();
+        assert_eq!(dom.resource_attributes().len(), 3);
+        // But the ads script has two children in the inclusion tree.
+        let ads = tree
+            .nodes()
+            .iter()
+            .find(|n| n.url == "http://ads.example/script.js")
+            .unwrap();
+        assert_eq!(ads.children.len(), 2);
+    }
+
+    #[test]
+    fn unknown_initiators_attach_to_root() {
+        let events = vec![CdpEvent::WebSocketCreated {
+            request_id: RequestId(9),
+            url: "ws://x.example/s".into(),
+            initiator: Initiator::Script(ScriptId(999)),
+            frame_id: FrameId(0),
+        }];
+        let tree = InclusionTree::build("http://p.example/", &events);
+        tree.check_invariants().unwrap();
+        let socket = tree.websockets().next().unwrap();
+        assert_eq!(socket.parent, Some(NodeId(0)));
+    }
+
+    #[test]
+    fn frames_nest() {
+        use CdpEvent::*;
+        let events = vec![
+            FrameNavigated {
+                frame_id: FrameId(1),
+                parent_frame_id: Some(FrameId(0)),
+                url: "http://embed.example/widget".into(),
+            },
+            ScriptParsed {
+                script_id: ScriptId(1),
+                url: "http://embed.example/w.js".into(),
+                frame_id: FrameId(1),
+                initiator: Initiator::Parser(FrameId(1)),
+            },
+        ];
+        let tree = InclusionTree::build("http://p.example/", &events);
+        tree.check_invariants().unwrap();
+        let script = tree.nodes().iter().find(|n| n.kind == NodeKind::Script).unwrap();
+        let chain: Vec<NodeKind> = tree.chain(script.id).iter().map(|n| n.kind).collect();
+        assert_eq!(chain, vec![NodeKind::Page, NodeKind::Frame, NodeKind::Script]);
+    }
+
+    #[test]
+    fn blocked_nodes_recorded() {
+        let events = vec![CdpEvent::RequestBlockedByExtension {
+            url: "ws://adnet.example/s".into(),
+            resource_type: ResourceKind::WebSocket,
+            initiator: Initiator::Parser(FrameId(0)),
+        }];
+        let tree = InclusionTree::build("http://p.example/", &events);
+        assert_eq!(
+            tree.nodes().iter().filter(|n| n.kind == NodeKind::Blocked).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn ascii_rendering_mentions_all_nodes() {
+        let tree = InclusionTree::build("http://pub.example/index.html", &figure2_events());
+        let art = tree.ascii();
+        assert!(art.contains("[page] http://pub.example/index.html"));
+        assert!(art.contains("[websocket] ws://adnet.example/data.ws"));
+        assert_eq!(art.lines().count(), tree.len());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let tree = InclusionTree::build("http://pub.example/index.html", &figure2_events());
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: InclusionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(tree, back);
+    }
+}

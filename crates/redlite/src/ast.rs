@@ -1,0 +1,509 @@
+//! Pattern parser: text → AST.
+
+use std::fmt;
+
+/// Pattern compilation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Unbalanced or misplaced parenthesis.
+    UnbalancedParen,
+    /// Unterminated or malformed character class.
+    BadClass,
+    /// Quantifier with nothing to repeat, or malformed `{…}`.
+    BadQuantifier,
+    /// Repetition bound too large (cap: 1000).
+    RepetitionTooLarge,
+    /// Dangling `\` at end of pattern.
+    DanglingEscape,
+    /// Unknown escape sequence.
+    UnknownEscape(char),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnbalancedParen => write!(f, "unbalanced parenthesis"),
+            Error::BadClass => write!(f, "malformed character class"),
+            Error::BadQuantifier => write!(f, "malformed or misplaced quantifier"),
+            Error::RepetitionTooLarge => write!(f, "repetition bound exceeds 1000"),
+            Error::DanglingEscape => write!(f, "dangling escape at end of pattern"),
+            Error::UnknownEscape(c) => write!(f, "unknown escape \\{c}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Max bound in `{n,m}` — keeps compiled programs small.
+const MAX_REPEAT: u32 = 1000;
+
+/// A character matcher: inclusive ranges, possibly negated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharClass {
+    /// Sorted, non-overlapping inclusive ranges.
+    pub ranges: Vec<(char, char)>,
+    /// Negated class (`[^…]`).
+    pub negated: bool,
+}
+
+impl CharClass {
+    fn single(c: char) -> CharClass {
+        CharClass {
+            ranges: vec![(c, c)],
+            negated: false,
+        }
+    }
+
+    /// `true` if the class matches `c`.
+    pub fn matches(&self, c: char) -> bool {
+        let inside = self
+            .ranges
+            .iter()
+            .any(|&(lo, hi)| c >= lo && c <= hi);
+        inside != self.negated
+    }
+
+    /// Widens the class so it matches case-insensitively.
+    fn to_case_insensitive(&self) -> CharClass {
+        let mut ranges = self.ranges.clone();
+        for &(lo, hi) in &self.ranges {
+            // Mirror any ASCII-letter overlap into the other case.
+            let push = |ranges: &mut Vec<(char, char)>, lo: char, hi: char| {
+                if lo <= hi {
+                    ranges.push((lo, hi));
+                }
+            };
+            let (lo8, hi8) = (lo as u32, hi as u32);
+            // Lowercase overlap mirrored to uppercase.
+            let l_lo = lo8.max('a' as u32);
+            let l_hi = hi8.min('z' as u32);
+            if l_lo <= l_hi {
+                push(
+                    &mut ranges,
+                    char::from_u32(l_lo - 32).unwrap(),
+                    char::from_u32(l_hi - 32).unwrap(),
+                );
+            }
+            // Uppercase overlap mirrored to lowercase.
+            let u_lo = lo8.max('A' as u32);
+            let u_hi = hi8.min('Z' as u32);
+            if u_lo <= u_hi {
+                push(
+                    &mut ranges,
+                    char::from_u32(u_lo + 32).unwrap(),
+                    char::from_u32(u_hi + 32).unwrap(),
+                );
+            }
+        }
+        CharClass {
+            ranges,
+            negated: self.negated,
+        }
+    }
+}
+
+/// Regex AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A character class (single chars are 1-range classes).
+    Class(CharClass),
+    /// `.` — any char except `\n`.
+    AnyChar,
+    /// `^`.
+    StartAnchor,
+    /// `$`.
+    EndAnchor,
+    /// Concatenation.
+    Concat(Vec<Ast>),
+    /// Alternation.
+    Alt(Vec<Ast>),
+    /// Repetition `{min, max}`; `max == None` means unbounded.
+    Repeat {
+        /// Repeated node.
+        node: Box<Ast>,
+        /// Minimum count.
+        min: u32,
+        /// Maximum count (`None` = ∞).
+        max: Option<u32>,
+    },
+}
+
+/// Parses `pattern` into an AST; `ci` widens classes for case-insensitivity.
+pub fn parse(pattern: &str, ci: bool) -> Result<Ast, Error> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = Parser {
+        chars: &chars,
+        pos: 0,
+        ci,
+    };
+    let ast = p.parse_alt()?;
+    if p.pos != p.chars.len() {
+        // Leftover input — must be an unmatched ')'.
+        return Err(Error::UnbalancedParen);
+    }
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+    ci: bool,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, Error> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, Error> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().expect("one item"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, Error> {
+        let atom = self.parse_atom()?;
+        let quantifiable = !matches!(atom, Ast::StartAnchor | Ast::EndAnchor);
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                self.quantified(atom, 0, None, quantifiable)
+            }
+            Some('+') => {
+                self.bump();
+                self.quantified(atom, 1, None, quantifiable)
+            }
+            Some('?') => {
+                self.bump();
+                self.quantified(atom, 0, Some(1), quantifiable)
+            }
+            Some('{') => {
+                // `{` only opens a quantifier if it parses as one; otherwise
+                // treat it as a literal (common in real-world patterns).
+                let save = self.pos;
+                self.bump();
+                match self.parse_braces() {
+                    Ok((min, max)) => self.quantified(atom, min, max, quantifiable),
+                    Err(Error::RepetitionTooLarge) => Err(Error::RepetitionTooLarge),
+                    Err(_) => {
+                        self.pos = save;
+                        Ok(atom)
+                    }
+                }
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn quantified(
+        &mut self,
+        atom: Ast,
+        min: u32,
+        max: Option<u32>,
+        quantifiable: bool,
+    ) -> Result<Ast, Error> {
+        if !quantifiable {
+            return Err(Error::BadQuantifier);
+        }
+        if let Some(m) = max {
+            if m < min {
+                return Err(Error::BadQuantifier);
+            }
+        }
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    /// Parses the inside of `{…}` after the `{` has been consumed.
+    fn parse_braces(&mut self) -> Result<(u32, Option<u32>), Error> {
+        let min = self.parse_number()?;
+        match self.bump() {
+            Some('}') => Ok((min, Some(min))),
+            Some(',') => {
+                if self.peek() == Some('}') {
+                    self.bump();
+                    return Ok((min, None));
+                }
+                let max = self.parse_number()?;
+                if self.bump() != Some('}') {
+                    return Err(Error::BadQuantifier);
+                }
+                Ok((min, Some(max)))
+            }
+            _ => Err(Error::BadQuantifier),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<u32, Error> {
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if digits.is_empty() {
+            return Err(Error::BadQuantifier);
+        }
+        let n: u64 = digits.parse().map_err(|_| Error::RepetitionTooLarge)?;
+        if n > MAX_REPEAT as u64 {
+            return Err(Error::RepetitionTooLarge);
+        }
+        Ok(n as u32)
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, Error> {
+        match self.bump() {
+            None => Ok(Ast::Empty),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(Error::UnbalancedParen);
+                }
+                Ok(inner)
+            }
+            Some('[') => {
+                let class = self.parse_class()?;
+                Ok(Ast::Class(self.maybe_ci(class)))
+            }
+            Some('.') => Ok(Ast::AnyChar),
+            Some('^') => Ok(Ast::StartAnchor),
+            Some('$') => Ok(Ast::EndAnchor),
+            Some('\\') => {
+                let class = self.parse_escape()?;
+                Ok(Ast::Class(self.maybe_ci(class)))
+            }
+            Some(c @ ('*' | '+' | '?')) => {
+                let _ = c;
+                Err(Error::BadQuantifier)
+            }
+            Some(')') => Err(Error::UnbalancedParen),
+            Some(c) => Ok(Ast::Class(self.maybe_ci(CharClass::single(c)))),
+        }
+    }
+
+    fn maybe_ci(&self, class: CharClass) -> CharClass {
+        if self.ci {
+            class.to_case_insensitive()
+        } else {
+            class
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<CharClass, Error> {
+        let c = self.bump().ok_or(Error::DanglingEscape)?;
+        Ok(match c {
+            'd' => CharClass {
+                ranges: vec![('0', '9')],
+                negated: false,
+            },
+            'D' => CharClass {
+                ranges: vec![('0', '9')],
+                negated: true,
+            },
+            'w' => CharClass {
+                ranges: vec![('0', '9'), ('A', 'Z'), ('_', '_'), ('a', 'z')],
+                negated: false,
+            },
+            'W' => CharClass {
+                ranges: vec![('0', '9'), ('A', 'Z'), ('_', '_'), ('a', 'z')],
+                negated: true,
+            },
+            's' => CharClass {
+                ranges: vec![('\t', '\r'), (' ', ' ')],
+                negated: false,
+            },
+            'S' => CharClass {
+                ranges: vec![('\t', '\r'), (' ', ' ')],
+                negated: true,
+            },
+            'n' => CharClass::single('\n'),
+            't' => CharClass::single('\t'),
+            'r' => CharClass::single('\r'),
+            '.' | '[' | ']' | '(' | ')' | '{' | '}' | '*' | '+' | '?' | '|' | '^' | '$'
+            | '\\' | '/' | '-' => CharClass::single(c),
+            other => return Err(Error::UnknownEscape(other)),
+        })
+    }
+
+    /// Parses the inside of `[…]` after the `[` has been consumed.
+    fn parse_class(&mut self) -> Result<CharClass, Error> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut first = true;
+        loop {
+            let c = self.bump().ok_or(Error::BadClass)?;
+            match c {
+                ']' if !first => break,
+                ']' if first => {
+                    // A literal ']' as the first class member.
+                    ranges.push((']', ']'));
+                }
+                '\\' => {
+                    let sub = self.parse_escape()?;
+                    if sub.negated {
+                        // Negated escapes inside classes are out of scope.
+                        return Err(Error::BadClass);
+                    }
+                    ranges.extend(sub.ranges);
+                }
+                lo => {
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).copied() != Some(']')
+                    {
+                        self.bump(); // consume '-'
+                        let hi = self.bump().ok_or(Error::BadClass)?;
+                        let hi = if hi == '\\' {
+                            let sub = self.parse_escape()?;
+                            match sub.ranges.as_slice() {
+                                [(a, b)] if a == b => *a,
+                                _ => return Err(Error::BadClass),
+                            }
+                        } else {
+                            hi
+                        };
+                        if hi < lo {
+                            return Err(Error::BadClass);
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+            first = false;
+        }
+        if ranges.is_empty() {
+            return Err(Error::BadClass);
+        }
+        ranges.sort_unstable();
+        Ok(CharClass { ranges, negated })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literal_concat() {
+        let ast = parse("ab", false).unwrap();
+        assert!(matches!(ast, Ast::Concat(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn parses_alternation_tree() {
+        let ast = parse("a|b|c", false).unwrap();
+        assert!(matches!(ast, Ast::Alt(ref v) if v.len() == 3));
+    }
+
+    #[test]
+    fn class_matching() {
+        let ast = parse("[a-cx]", false).unwrap();
+        if let Ast::Class(c) = ast {
+            assert!(c.matches('a') && c.matches('b') && c.matches('x'));
+            assert!(!c.matches('d'));
+        } else {
+            panic!("expected class");
+        }
+    }
+
+    #[test]
+    fn negated_class() {
+        let ast = parse("[^0-9]", false).unwrap();
+        if let Ast::Class(c) = ast {
+            assert!(c.matches('a'));
+            assert!(!c.matches('5'));
+        } else {
+            panic!("expected class");
+        }
+    }
+
+    #[test]
+    fn literal_close_bracket_first() {
+        let ast = parse("[]a]", false).unwrap();
+        if let Ast::Class(c) = ast {
+            assert!(c.matches(']') && c.matches('a'));
+        } else {
+            panic!("expected class");
+        }
+    }
+
+    #[test]
+    fn dash_at_end_is_literal() {
+        let ast = parse("[a-]", false).unwrap();
+        if let Ast::Class(c) = ast {
+            assert!(c.matches('a') && c.matches('-'));
+        } else {
+            panic!("expected class");
+        }
+    }
+
+    #[test]
+    fn ci_widening() {
+        let ast = parse("[a-c]", true).unwrap();
+        if let Ast::Class(c) = ast {
+            assert!(c.matches('B'));
+        } else {
+            panic!("expected class");
+        }
+    }
+
+    #[test]
+    fn brace_literal_fallback() {
+        // `{` not followed by a valid quantifier is a literal.
+        assert!(parse("a{x}", false).is_ok());
+        // A bare '{' with no preceding atom is also a literal.
+        assert!(parse("{2}", false).is_ok());
+    }
+
+    #[test]
+    fn bad_inputs() {
+        assert!(parse("(a", false).is_err());
+        assert!(parse("a)", false).is_err());
+        assert!(parse("[z-a]", false).is_err());
+        assert!(parse("\\q", false).is_err());
+        assert!(parse("a\\", false).is_err());
+        assert!(parse("+", false).is_err());
+    }
+}

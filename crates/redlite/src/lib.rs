@@ -1,0 +1,270 @@
+//! # sockscope-redlite
+//!
+//! A small regular-expression engine for the content-analysis stage of the
+//! study. §4.3 of the paper: *"We extracted all of these variables from raw
+//! network traffic by manually building up a large library of regular
+//! expressions."* `sockscope-analysis` carries that pattern library; this
+//! crate provides the engine it runs on.
+//!
+//! ## Engine
+//!
+//! Patterns compile to a Thompson NFA executed by a Pike VM, so matching is
+//! **linear in the input** — no backtracking blow-ups, which matters because
+//! the analyzer runs every pattern over every WebSocket payload (including
+//! megabyte DOM-exfiltration blobs) in the benchmarks.
+//!
+//! ## Supported syntax
+//!
+//! * literals, `.` (any char except `\n`)
+//! * classes `[a-z0-9_]`, negated `[^…]`, escapes `\d \D \w \W \s \S`
+//! * escaped metacharacters (`\.`, `\[`, …), `\t \n \r`
+//! * alternation `a|b`, grouping `(…)` (non-capturing semantics)
+//! * quantifiers `* + ?` and bounded `{n} {n,} {n,m}` (greedy; the VM
+//!   reports leftmost match start and the longest-of-leftmost end)
+//! * anchors `^` and `$` (whole-input, not multi-line)
+//! * case-insensitive compilation via [`Regex::new_ci`]
+//!
+//! This is the subset the PII library needs; anything outside it is a
+//! compile-time [`Error`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod nfa;
+mod vm;
+
+pub use ast::Error;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    program: nfa::Program,
+    pattern: String,
+}
+
+/// A successful match: byte offsets into the haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Byte offset of the match start.
+    pub start: usize,
+    /// Byte offset one past the match end.
+    pub end: usize,
+}
+
+impl Regex {
+    /// Compiles a case-sensitive pattern.
+    pub fn new(pattern: &str) -> Result<Regex, Error> {
+        Self::compile(pattern, false)
+    }
+
+    /// Compiles a case-insensitive pattern.
+    pub fn new_ci(pattern: &str) -> Result<Regex, Error> {
+        Self::compile(pattern, true)
+    }
+
+    fn compile(pattern: &str, ci: bool) -> Result<Regex, Error> {
+        let ast = ast::parse(pattern, ci)?;
+        let program = nfa::compile(&ast);
+        Ok(Regex {
+            program,
+            pattern: pattern.to_string(),
+        })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// `true` if the pattern matches anywhere in `haystack`. Faster than
+    /// [`Regex::find`]: stops at the first accepting state.
+    pub fn is_match(&self, haystack: &str) -> bool {
+        vm::is_match(&self.program, haystack)
+    }
+
+    /// Leftmost match in `haystack`.
+    pub fn find(&self, haystack: &str) -> Option<Match> {
+        vm::find(&self.program, haystack, 0)
+    }
+
+    /// Iterates non-overlapping matches left to right.
+    pub fn find_iter<'r, 'h>(&'r self, haystack: &'h str) -> Matches<'r, 'h> {
+        Matches {
+            re: self,
+            haystack,
+            pos: 0,
+        }
+    }
+
+    /// Extracts the matched text of the leftmost match.
+    pub fn find_str<'h>(&self, haystack: &'h str) -> Option<&'h str> {
+        self.find(haystack).map(|m| &haystack[m.start..m.end])
+    }
+}
+
+/// Iterator over non-overlapping matches.
+pub struct Matches<'r, 'h> {
+    re: &'r Regex,
+    haystack: &'h str,
+    pos: usize,
+}
+
+impl Iterator for Matches<'_, '_> {
+    type Item = Match;
+
+    fn next(&mut self) -> Option<Match> {
+        if self.pos > self.haystack.len() {
+            return None;
+        }
+        let m = vm::find(&self.re.program, self.haystack, self.pos)?;
+        // Advance past the match; for empty matches advance one char to
+        // guarantee progress.
+        self.pos = if m.end == m.start {
+            next_char_boundary(self.haystack, m.end)
+        } else {
+            m.end
+        };
+        Some(m)
+    }
+}
+
+fn next_char_boundary(s: &str, mut i: usize) -> usize {
+    i += 1;
+    while i < s.len() && !s.is_char_boundary(i) {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, hay: &str) -> Option<(usize, usize)> {
+        Regex::new(pat).unwrap().find(hay).map(|m| (m.start, m.end))
+    }
+
+    #[test]
+    fn literal_match() {
+        assert_eq!(m("cookie", "the cookie jar"), Some((4, 10)));
+        assert_eq!(m("cookie", "no biscuits"), None);
+    }
+
+    #[test]
+    fn dot_and_classes() {
+        assert_eq!(m("c.t", "a cat sat"), Some((2, 5)));
+        assert_eq!(m("[0-9]+", "uid=4281;"), Some((4, 8)));
+        assert_eq!(m("[^ ]+", "  word  "), Some((2, 6)));
+        assert!(Regex::new("\\d{4}").unwrap().is_match("year 2017"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(m("\\d+\\.\\d+\\.\\d+\\.\\d+", "ip=93.184.216.34;"), Some((3, 16)));
+        assert!(Regex::new("\\w+").unwrap().is_match("snake_case"));
+        assert!(Regex::new("\\s").unwrap().is_match("a b"));
+        assert!(!Regex::new("\\S").unwrap().is_match("  \t "));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let re = Regex::new("(screen|viewport)=\\d+x\\d+").unwrap();
+        assert!(re.is_match("screen=1920x1080"));
+        assert!(re.is_match("viewport=1366x768"));
+        assert!(!re.is_match("window=1x1"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert_eq!(m("ab*c", "ac"), Some((0, 2)));
+        assert_eq!(m("ab*c", "abbbc"), Some((0, 5)));
+        assert_eq!(m("ab+c", "ac"), None);
+        assert_eq!(m("ab?c", "abc"), Some((0, 3)));
+        assert_eq!(m("a{3}", "aaaa"), Some((0, 3)));
+        assert_eq!(m("a{2,}", "aaaa"), Some((0, 4)));
+        assert_eq!(m("a{2,3}", "aaaa"), Some((0, 3)));
+        assert_eq!(m("a{2,3}", "a"), None);
+    }
+
+    #[test]
+    fn anchors() {
+        assert_eq!(m("^uid", "uid=1"), Some((0, 3)));
+        assert_eq!(m("^uid", "xuid=1"), None);
+        assert_eq!(m("\\d+$", "build 42"), Some((6, 8)));
+        assert_eq!(m("\\d+$", "42 builds"), None);
+        assert_eq!(m("^$", ""), Some((0, 0)));
+    }
+
+    #[test]
+    fn leftmost_longest_of_leftmost() {
+        // Leftmost match wins even if a later match is longer.
+        assert_eq!(m("a+", "baaa aaaa"), Some((1, 4)));
+        // Greedy: at the leftmost start, the longest end is reported.
+        assert_eq!(m("a|aa|aaa", "aaa"), Some((0, 3)));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let re = Regex::new_ci("user-agent").unwrap();
+        assert!(re.is_match("User-Agent: Mozilla"));
+        assert!(re.is_match("USER-AGENT: x"));
+        let ci_class = Regex::new_ci("[a-z]+").unwrap();
+        assert_eq!(ci_class.find_str("ABC"), Some("ABC"));
+    }
+
+    #[test]
+    fn find_iter_non_overlapping() {
+        let re = Regex::new("\\d+").unwrap();
+        let hits: Vec<_> = re
+            .find_iter("a1b22c333")
+            .map(|m| (m.start, m.end))
+            .collect();
+        assert_eq!(hits, vec![(1, 2), (3, 5), (6, 9)]);
+    }
+
+    #[test]
+    fn empty_match_progress() {
+        let re = Regex::new("x*").unwrap();
+        // Must terminate despite matching the empty string everywhere.
+        let n = re.find_iter("abc").count();
+        assert_eq!(n, 4); // before a, b, c, and at end
+    }
+
+    #[test]
+    fn unicode_haystack() {
+        let re = Regex::new("naïve").unwrap();
+        assert!(re.is_match("a naïve plan"));
+        let any = Regex::new("n.ïve").unwrap();
+        assert!(any.is_match("naïve"));
+    }
+
+    #[test]
+    fn linear_time_on_pathological_pattern() {
+        // (a*)*b-style patterns kill backtrackers; the Pike VM shrugs.
+        let re = Regex::new("(a*)*b").unwrap();
+        let hay = "a".repeat(2000);
+        assert!(!re.is_match(&hay));
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(Regex::new("(").is_err());
+        assert!(Regex::new(")").is_err());
+        assert!(Regex::new("[a-").is_err());
+        assert!(Regex::new("a{2,1}").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a{999999999999}").is_err());
+    }
+
+    #[test]
+    fn realistic_pii_patterns() {
+        // The kinds of patterns the analysis crate actually uses.
+        let ipv4 = Regex::new("(\\d{1,3}\\.){3}\\d{1,3}").unwrap();
+        assert!(ipv4.is_match("client=10.0.0.1"));
+        let cookie = Regex::new_ci("(^|[;&? ])(uid|userid|client_id|cid)=[A-Za-z0-9-]+").unwrap();
+        assert!(cookie.is_match("sid=1; uid=abc-123"));
+        let dom = Regex::new_ci("<(html|body|div|head)[ >]").unwrap();
+        assert!(dom.is_match("<HTML ><body >"));
+    }
+}

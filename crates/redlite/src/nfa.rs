@@ -1,0 +1,344 @@
+//! Thompson NFA construction from the AST.
+
+use crate::ast::{Ast, CharClass};
+
+/// One NFA instruction.
+#[derive(Debug, Clone)]
+pub enum Inst {
+    /// Match a character against a class, then goto next.
+    Class(CharClass, usize),
+    /// Any char except `\n`, then goto next.
+    AnyChar(usize),
+    /// Assert start of input.
+    StartAnchor(usize),
+    /// Assert end of input.
+    EndAnchor(usize),
+    /// Fork: try `a` first (greedy preference), then `b`.
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Accept.
+    Match,
+}
+
+/// A compiled program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Instructions; entry point is index 0 … see `start`.
+    pub insts: Vec<Inst>,
+    /// Entry instruction index.
+    pub start: usize,
+    /// `true` if the pattern begins with `^` (enables a fast path: no
+    /// restart at every haystack position).
+    pub anchored_start: bool,
+}
+
+/// Compiles an AST into an NFA program.
+pub fn compile(ast: &Ast) -> Program {
+    let mut c = Compiler { insts: Vec::new() };
+    let start = c.compile_node(ast);
+    c.insts.push(Inst::Match);
+    let match_idx = c.insts.len() - 1;
+    c.patch_dangling(start.dangling, match_idx);
+    Program {
+        insts: c.insts,
+        start: start.entry,
+        anchored_start: starts_anchored(ast),
+    }
+}
+
+fn starts_anchored(ast: &Ast) -> bool {
+    match ast {
+        Ast::StartAnchor => true,
+        Ast::Concat(items) => items.first().map(starts_anchored).unwrap_or(false),
+        Ast::Alt(branches) => branches.iter().all(starts_anchored),
+        Ast::Repeat { node, min, .. } => *min > 0 && starts_anchored(node),
+        _ => false,
+    }
+}
+
+/// A compiled fragment: entry index plus the instruction slots that still
+/// need their "next" pointer patched.
+struct Fragment {
+    entry: usize,
+    dangling: Vec<Patch>,
+}
+
+/// A hole in an instruction waiting for a target.
+#[derive(Clone, Copy)]
+enum Patch {
+    /// `Class`/`AnyChar`/anchor/`Jmp` next pointer at index.
+    Next(usize),
+    /// First branch of `Split` at index.
+    SplitA(usize),
+    /// Second branch of `Split` at index.
+    SplitB(usize),
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+}
+
+const HOLE: usize = usize::MAX;
+
+impl Compiler {
+    fn push(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    fn patch_dangling(&mut self, dangling: Vec<Patch>, target: usize) {
+        for p in dangling {
+            match p {
+                Patch::Next(i) => match &mut self.insts[i] {
+                    Inst::Class(_, next)
+                    | Inst::AnyChar(next)
+                    | Inst::StartAnchor(next)
+                    | Inst::EndAnchor(next)
+                    | Inst::Jmp(next) => *next = target,
+                    _ => unreachable!("Next patch on branchless inst"),
+                },
+                Patch::SplitA(i) => {
+                    if let Inst::Split(a, _) = &mut self.insts[i] {
+                        *a = target;
+                    } else {
+                        unreachable!("SplitA patch on non-split")
+                    }
+                }
+                Patch::SplitB(i) => {
+                    if let Inst::Split(_, b) = &mut self.insts[i] {
+                        *b = target;
+                    } else {
+                        unreachable!("SplitB patch on non-split")
+                    }
+                }
+            }
+        }
+    }
+
+    fn compile_node(&mut self, ast: &Ast) -> Fragment {
+        match ast {
+            Ast::Empty => {
+                let i = self.push(Inst::Jmp(HOLE));
+                Fragment {
+                    entry: i,
+                    dangling: vec![Patch::Next(i)],
+                }
+            }
+            Ast::Class(class) => {
+                let i = self.push(Inst::Class(class.clone(), HOLE));
+                Fragment {
+                    entry: i,
+                    dangling: vec![Patch::Next(i)],
+                }
+            }
+            Ast::AnyChar => {
+                let i = self.push(Inst::AnyChar(HOLE));
+                Fragment {
+                    entry: i,
+                    dangling: vec![Patch::Next(i)],
+                }
+            }
+            Ast::StartAnchor => {
+                let i = self.push(Inst::StartAnchor(HOLE));
+                Fragment {
+                    entry: i,
+                    dangling: vec![Patch::Next(i)],
+                }
+            }
+            Ast::EndAnchor => {
+                let i = self.push(Inst::EndAnchor(HOLE));
+                Fragment {
+                    entry: i,
+                    dangling: vec![Patch::Next(i)],
+                }
+            }
+            Ast::Concat(items) => {
+                let mut iter = items.iter();
+                let first = self.compile_node(iter.next().expect("non-empty concat"));
+                let entry = first.entry;
+                let mut dangling = first.dangling;
+                for item in iter {
+                    let frag = self.compile_node(item);
+                    self.patch_dangling(dangling, frag.entry);
+                    dangling = frag.dangling;
+                }
+                Fragment { entry, dangling }
+            }
+            Ast::Alt(branches) => {
+                // Chain of splits, greedy-preferring earlier branches.
+                let mut dangling = Vec::new();
+                let mut split_holes: Vec<usize> = Vec::new();
+                let mut entry = None;
+                for (i, branch) in branches.iter().enumerate() {
+                    let last = i + 1 == branches.len();
+                    if last {
+                        let frag = self.compile_node(branch);
+                        if let Some(hole) = split_holes.pop() {
+                            self.patch_dangling(vec![Patch::SplitB(hole)], frag.entry);
+                        }
+                        if entry.is_none() {
+                            entry = Some(frag.entry);
+                        }
+                        dangling.extend(frag.dangling);
+                    } else {
+                        let split = self.push(Inst::Split(HOLE, HOLE));
+                        if let Some(hole) = split_holes.pop() {
+                            self.patch_dangling(vec![Patch::SplitB(hole)], split);
+                        }
+                        if entry.is_none() {
+                            entry = Some(split);
+                        }
+                        let frag = self.compile_node(branch);
+                        self.patch_dangling(vec![Patch::SplitA(split)], frag.entry);
+                        dangling.extend(frag.dangling);
+                        split_holes.push(split);
+                    }
+                }
+                Fragment {
+                    entry: entry.expect("non-empty alt"),
+                    dangling,
+                }
+            }
+            Ast::Repeat { node, min, max } => self.compile_repeat(node, *min, *max),
+        }
+    }
+
+    fn compile_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>) -> Fragment {
+        match (min, max) {
+            (0, None) => {
+                // e* : split(entry, out); entry -> … -> back to split
+                let split = self.push(Inst::Split(HOLE, HOLE));
+                let frag = self.compile_node(node);
+                self.patch_dangling(vec![Patch::SplitA(split)], frag.entry);
+                self.patch_dangling(frag.dangling, split);
+                Fragment {
+                    entry: split,
+                    dangling: vec![Patch::SplitB(split)],
+                }
+            }
+            (1, None) => {
+                // e+ : e; split(back-to-e, out)
+                let frag = self.compile_node(node);
+                let split = self.push(Inst::Split(HOLE, HOLE));
+                self.patch_dangling(frag.dangling, split);
+                self.patch_dangling(vec![Patch::SplitA(split)], frag.entry);
+                Fragment {
+                    entry: frag.entry,
+                    dangling: vec![Patch::SplitB(split)],
+                }
+            }
+            (0, Some(1)) => {
+                // e? : split(e, out)
+                let split = self.push(Inst::Split(HOLE, HOLE));
+                let frag = self.compile_node(node);
+                self.patch_dangling(vec![Patch::SplitA(split)], frag.entry);
+                let mut dangling = frag.dangling;
+                dangling.push(Patch::SplitB(split));
+                Fragment {
+                    entry: split,
+                    dangling,
+                }
+            }
+            (min, max) => {
+                // General {n,m} / {n,} by unrolling: n mandatory copies, then
+                // (m-n) optional copies or a trailing star.
+                let mut entry = None;
+                let mut dangling: Vec<Patch> = Vec::new();
+                for _ in 0..min {
+                    let frag = self.compile_node(node);
+                    if let Some(_e) = entry {
+                        self.patch_dangling(dangling, frag.entry);
+                    } else {
+                        entry = Some(frag.entry);
+                    }
+                    dangling = frag.dangling;
+                }
+                match max {
+                    None => {
+                        // Trailing star.
+                        let star = self.compile_repeat(node, 0, None);
+                        if let Some(_e) = entry {
+                            self.patch_dangling(dangling, star.entry);
+                        } else {
+                            entry = Some(star.entry);
+                        }
+                        Fragment {
+                            entry: entry.expect("min>0 or star entry"),
+                            dangling: star.dangling,
+                        }
+                    }
+                    Some(m) => {
+                        let mut out_holes: Vec<Patch> = Vec::new();
+                        for _ in min..m {
+                            let split = self.push(Inst::Split(HOLE, HOLE));
+                            if let Some(_e) = entry {
+                                self.patch_dangling(dangling, split);
+                            } else {
+                                entry = Some(split);
+                            }
+                            let frag = self.compile_node(node);
+                            self.patch_dangling(vec![Patch::SplitA(split)], frag.entry);
+                            out_holes.push(Patch::SplitB(split));
+                            dangling = frag.dangling;
+                        }
+                        dangling.extend(out_holes);
+                        match entry {
+                            Some(e) => Fragment { entry: e, dangling },
+                            None => {
+                                // {0,0} — matches empty.
+                                let i = self.push(Inst::Jmp(HOLE));
+                                Fragment {
+                                    entry: i,
+                                    dangling: vec![Patch::Next(i)],
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+
+    fn prog(pat: &str) -> Program {
+        compile(&parse(pat, false).unwrap())
+    }
+
+    #[test]
+    fn no_holes_survive_compilation() {
+        for pat in [
+            "a", "ab", "a|b", "a*", "a+", "a?", "a{3}", "a{2,5}", "a{2,}",
+            "(ab|cd)+x", "^a(b|c)*d$", "[a-z]{1,3}", "", "()|a",
+        ] {
+            let p = prog(pat);
+            for (i, inst) in p.insts.iter().enumerate() {
+                let targets: Vec<usize> = match inst {
+                    Inst::Class(_, n)
+                    | Inst::AnyChar(n)
+                    | Inst::StartAnchor(n)
+                    | Inst::EndAnchor(n)
+                    | Inst::Jmp(n) => vec![*n],
+                    Inst::Split(a, b) => vec![*a, *b],
+                    Inst::Match => vec![],
+                };
+                for t in targets {
+                    assert!(t < p.insts.len(), "pattern {pat:?}: hole at inst {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn anchored_detection() {
+        assert!(prog("^abc").anchored_start);
+        assert!(prog("^a|^b").anchored_start);
+        assert!(!prog("abc").anchored_start);
+        assert!(!prog("a|^b").anchored_start);
+    }
+}

@@ -1,0 +1,278 @@
+//! Pike VM: executes the NFA over a haystack in O(len × insts).
+
+use crate::nfa::{Inst, Program};
+use crate::Match;
+
+/// Fast-path existence check: like [`find`], but returns as soon as any
+/// match is known to exist (no leftmost/longest resolution). Used by the
+/// PII classifier, which only needs a boolean per pattern.
+pub fn is_match(prog: &Program, haystack: &str) -> bool {
+    let n = prog.insts.len();
+    let mut current = ThreadSet::new(n);
+    let mut next = ThreadSet::new(n);
+    let mut pos = 0usize;
+    let mut chars = haystack.chars();
+    loop {
+        if !prog.anchored_start || pos == 0 {
+            add_thread(prog, &mut current, prog.start, pos, haystack);
+        }
+        if current.accepted_start.is_some() {
+            return true;
+        }
+        let Some(ch) = chars.next() else { break };
+        let next_pos = pos + ch.len_utf8();
+        if current.is_empty() && prog.anchored_start {
+            return false;
+        }
+        next.clear();
+        for ti in 0..current.list.len() {
+            let (ip, start) = current.list[ti];
+            match &prog.insts[ip] {
+                Inst::Class(class, nx) => {
+                    if class.matches(ch) {
+                        add_thread_with_start(prog, &mut next, *nx, next_pos, haystack, start);
+                    }
+                }
+                Inst::AnyChar(nx) => {
+                    if ch != '\n' {
+                        add_thread_with_start(prog, &mut next, *nx, next_pos, haystack, start);
+                    }
+                }
+                _ => {}
+            }
+        }
+        std::mem::swap(&mut current, &mut next);
+        pos = next_pos;
+    }
+    current.accepted_start.is_some()
+}
+
+/// Finds the leftmost match at or after byte offset `from`.
+///
+/// Semantics: leftmost start; at that start, the longest end reachable
+/// (greedy). This matches what the PII pattern library expects.
+pub fn find(prog: &Program, haystack: &str, from: usize) -> Option<Match> {
+    let n = prog.insts.len();
+    let mut current: ThreadSet = ThreadSet::new(n);
+    let mut next: ThreadSet = ThreadSet::new(n);
+
+    // Position iteration: we walk char boundaries from `from` to len.
+    let tail = &haystack[from.min(haystack.len())..];
+    let mut match_found: Option<Match> = None;
+
+    // Char positions: (byte_offset, char) plus a virtual end position.
+    let mut pos = from;
+    let mut chars = tail.chars();
+
+    // Seed the initial threads at `from` (and at every later position unless
+    // anchored or a match has been found — leftmost semantics).
+    loop {
+        let at_start = pos == 0;
+        if match_found.is_none() && (!prog.anchored_start || at_start || from == pos && from > 0) {
+            // Note: for anchored patterns, only seed at position 0 (or at
+            // `from` when the caller explicitly resumes — used by find_iter;
+            // resuming an anchored pattern mid-string can only match if
+            // from == 0, so the extra seed is harmless).
+            if !prog.anchored_start || at_start {
+                add_thread(prog, &mut current, prog.start, pos, haystack);
+            }
+        }
+
+        let c = chars.next();
+        let next_pos = pos + c.map(char::len_utf8).unwrap_or(0);
+
+        // Check for accepting threads at this position *before* consuming:
+        // threads reach Match via epsilon closure inside add_thread, flagged
+        // in `current.accepted`.
+        if let Some(start) = current.accepted_start.take() {
+            let candidate = Match { start, end: pos };
+            match_found = Some(better(match_found, candidate));
+        }
+
+        let ch = match c {
+            Some(ch) => ch,
+            None => break,
+        };
+
+        // If we already have a match and no live threads can extend it,
+        // stop early.
+        if current.is_empty() {
+            if match_found.is_some() {
+                break;
+            }
+            if prog.anchored_start && pos > 0 {
+                break;
+            }
+        }
+
+        // Step every live thread over `ch`.
+        next.clear();
+        for ti in 0..current.list.len() {
+            let (ip, start) = current.list[ti];
+            match &prog.insts[ip] {
+                Inst::Class(class, nx) => {
+                    if class.matches(ch) {
+                        add_thread_with_start(prog, &mut next, *nx, next_pos, haystack, start);
+                    }
+                }
+                Inst::AnyChar(nx) => {
+                    if ch != '\n' {
+                        add_thread_with_start(prog, &mut next, *nx, next_pos, haystack, start);
+                    }
+                }
+                // Epsilon instructions were resolved by the closure in
+                // add_thread; only consuming instructions appear here.
+                _ => {}
+            }
+        }
+        std::mem::swap(&mut current, &mut next);
+        // Leftmost bias: once a match exists, do not seed new starts.
+        pos = next_pos;
+    }
+
+    // Final position: accepted threads at end of input.
+    if let Some(start) = current.accepted_start {
+        let candidate = Match {
+            start,
+            end: haystack.len(),
+        };
+        match_found = Some(better(match_found, candidate));
+    }
+    match_found
+}
+
+/// Prefers the leftmost start; among equal starts, the longest end.
+fn better(best: Option<Match>, candidate: Match) -> Match {
+    match best {
+        None => candidate,
+        Some(b) => {
+            if candidate.start < b.start
+                || (candidate.start == b.start && candidate.end > b.end)
+            {
+                candidate
+            } else {
+                b
+            }
+        }
+    }
+}
+
+/// A set of live threads at one input position, deduplicated by instruction.
+struct ThreadSet {
+    /// (instruction, match-start) pairs in priority order.
+    list: Vec<(usize, usize)>,
+    /// Dedup marks, one per instruction.
+    marks: Vec<bool>,
+    /// If some thread reached `Match` during closure, the best (leftmost)
+    /// start offset that did so.
+    accepted_start: Option<usize>,
+}
+
+impl ThreadSet {
+    fn new(n: usize) -> ThreadSet {
+        ThreadSet {
+            list: Vec::with_capacity(n),
+            marks: vec![false; n],
+            accepted_start: None,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.list.clear();
+        self.marks.iter_mut().for_each(|m| *m = false);
+        self.accepted_start = None;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+}
+
+fn add_thread(prog: &Program, set: &mut ThreadSet, ip: usize, pos: usize, haystack: &str) {
+    add_thread_with_start(prog, set, ip, pos, haystack, pos);
+}
+
+/// Adds `ip` (and its epsilon closure) to the set with match-start `start`.
+fn add_thread_with_start(
+    prog: &Program,
+    set: &mut ThreadSet,
+    ip: usize,
+    pos: usize,
+    haystack: &str,
+    start: usize,
+) {
+    if set.marks[ip] {
+        return;
+    }
+    set.marks[ip] = true;
+    match &prog.insts[ip] {
+        Inst::Jmp(nx) => add_thread_with_start(prog, set, *nx, pos, haystack, start),
+        Inst::Split(a, b) => {
+            add_thread_with_start(prog, set, *a, pos, haystack, start);
+            add_thread_with_start(prog, set, *b, pos, haystack, start);
+        }
+        Inst::StartAnchor(nx) => {
+            if pos == 0 {
+                add_thread_with_start(prog, set, *nx, pos, haystack, start);
+            }
+        }
+        Inst::EndAnchor(nx) => {
+            if pos == haystack.len() {
+                add_thread_with_start(prog, set, *nx, pos, haystack, start);
+            }
+        }
+        Inst::Match => {
+            let better = match set.accepted_start {
+                None => true,
+                Some(s) => start < s,
+            };
+            if better {
+                set.accepted_start = Some(start);
+            }
+        }
+        Inst::Class(..) | Inst::AnyChar(..) => {
+            set.list.push((ip, start));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::nfa::compile;
+
+    fn run(pat: &str, hay: &str) -> Option<(usize, usize)> {
+        let prog = compile(&parse(pat, false).unwrap());
+        find(&prog, hay, 0).map(|m| (m.start, m.end))
+    }
+
+    #[test]
+    fn epsilon_cycle_terminates() {
+        // (a*)* has an epsilon cycle; the mark set must break it.
+        assert_eq!(run("(a*)*", "aaa"), Some((0, 3)));
+    }
+
+    #[test]
+    fn leftmost_start_priority() {
+        assert_eq!(run("a|ba", "ba"), Some((0, 2)));
+    }
+
+    #[test]
+    fn greedy_end_at_same_start() {
+        assert_eq!(run("ab|abc", "abc"), Some((0, 3)));
+    }
+
+    #[test]
+    fn resume_from_offset() {
+        let prog = compile(&parse("a+", false).unwrap());
+        let m = find(&prog, "aa baa", 2).unwrap();
+        assert_eq!((m.start, m.end), (4, 6));
+    }
+
+    #[test]
+    fn anchored_resume_fails_midstring() {
+        let prog = compile(&parse("^a", false).unwrap());
+        assert!(find(&prog, "ba", 1).is_none());
+    }
+}

@@ -1,0 +1,150 @@
+//! # sockscope-webgen
+//!
+//! A deterministic synthetic web, calibrated so that crawling it with the
+//! sockscope pipeline reproduces the *shape* of every observation in the
+//! IMC'18 paper: WebSocket rarity (~2% of publishers), A&A dominance of the
+//! sockets that do exist (60–75%), the collapse in unique A&A initiators
+//! after the Chrome 58 patch (≈75 → ≈20) with stable receivers, the
+//! fingerprinting pipeline into 33across, DOM exfiltration by the three
+//! session-replay firms, Lockerdome's ad-URL side channel, and the Table 5
+//! payload mix.
+//!
+//! ## Structure
+//!
+//! * [`companies`] — the third-party ecosystem: named archetypes for every
+//!   company the paper discusses, plus a long tail of synthetic ad networks
+//!   that only existed pre-patch.
+//! * [`sites`] — the Alexa-like publisher universe: ranked sites across 17
+//!   categories, sampled the way §3.3 samples (category top lists + random
+//!   top-1M), with deterministic service adoption per site.
+//! * [`pages`] — page synthesis: turns a site + crawl era into concrete
+//!   [`Page`](sockscope_webmodel::Page)s and script behaviours.
+//! * [`lists`] — generated EasyList-/EasyPrivacy-like rule lists covering
+//!   the ecosystem (input to labeling and to the ad-blocker ablation).
+//! * [`web`] — [`SyntheticWeb`], the [`WebHost`](sockscope_webmodel::WebHost)
+//!   implementation the browser crawls.
+//!
+//! Everything derives from a single seed; two identically-configured webs
+//! are byte-identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod companies;
+pub mod config;
+pub mod lists;
+pub mod pages;
+pub mod sites;
+pub mod web;
+
+pub use companies::{Catalog, Company, Role};
+pub use config::{CrawlEra, WebGenConfig};
+pub use sites::{Category, SiteMeta, SiteUniverse};
+pub use web::SyntheticWeb;
+
+/// FNV-1a hash used for all deterministic per-key derivation.
+pub(crate) fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Splitmix64: turns (seed, stream) into a well-mixed u64.
+pub(crate) fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A tiny deterministic RNG (xorshift64*) for generation decisions.
+///
+/// Public because the per-service exchange synthesizers in [`pages`] take
+/// one, and downstream harnesses (benches, examples) drive them directly.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates an RNG from a seed (0 is remapped).
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Uniform integer in [0, n).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Picks an element of a slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(5);
+        let mut b = Rng::new(5);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_f64_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_rates_are_sane() {
+        let mut r = Rng::new(11);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn mix_differs_by_stream() {
+        assert_ne!(mix(1, 1), mix(1, 2));
+        assert_eq!(mix(1, 1), mix(1, 1));
+    }
+}

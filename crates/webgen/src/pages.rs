@@ -1,0 +1,1142 @@
+//! Page and script-behaviour synthesis.
+//!
+//! This module is where the study's observed distributions are encoded: the
+//! per-service payload mixes reproduce Table 5 (cookies on ~70% of A&A
+//! sockets, fingerprint bundles on ~3.4%, DOM exfiltration on ~1.6%, ~18%
+//! sending nothing), per-page socket counts reproduce the "6–12 sockets per
+//! socket-using site" observation, and era gating reproduces the initiator
+//! collapse after the Chrome 58 patch.
+
+use crate::companies::{Catalog, Company};
+use crate::config::WebGenConfig;
+use crate::sites::{SiteMeta, SiteUniverse, WsService};
+use crate::{fnv1a, mix, Rng};
+use sockscope_webmodel::{
+    Action, Page, ReceivedItem, ScriptBehavior, ScriptRef, SentItem, WsExchange,
+};
+
+/// Synthesizes pages and script behaviours for one crawl of one universe.
+pub struct PageSynthesizer<'a> {
+    /// The company catalog.
+    pub catalog: &'a Catalog,
+    /// The site universe.
+    pub universe: &'a SiteUniverse,
+    /// Crawl configuration (era matters here).
+    pub config: &'a WebGenConfig,
+}
+
+impl PageSynthesizer<'_> {
+    /// URL of page `idx` of a site (0 = homepage).
+    pub fn page_url(&self, site: &SiteMeta, idx: usize) -> String {
+        if idx == 0 {
+            format!("http://www.{}/", site.domain)
+        } else {
+            format!("http://www.{}/page{idx}.html", site.domain)
+        }
+    }
+
+    /// Parses a page URL back to (site, page index).
+    pub fn resolve_page(&self, url: &str) -> Option<(&SiteMeta, usize)> {
+        let u = sockscope_urlkit::Url::parse(url).ok()?;
+        let host = u.host_str();
+        let domain = host.strip_prefix("www.")?;
+        let site = self.universe.by_domain(domain)?;
+        let idx = if u.path() == "/" {
+            0
+        } else {
+            let p = u.path().strip_prefix("/page")?;
+            let p = p.strip_suffix(".html")?;
+            p.parse::<usize>().ok()?
+        };
+        if idx >= self.config.pages_per_site {
+            return None;
+        }
+        Some((site, idx))
+    }
+
+    /// Builds page `idx` of a site.
+    pub fn page(&self, site: &SiteMeta, idx: usize) -> Page {
+        let url = self.page_url(site, idx);
+        let mut page = Page::new(
+            url,
+            format!("{} — {}", site.domain, site.category.slug()),
+        );
+
+        // Links: homepage links to all subpages; subpages link around.
+        if idx == 0 {
+            for i in 1..self.config.pages_per_site {
+                page.links.push(self.page_url(site, i));
+            }
+        } else {
+            page.links.push(self.page_url(site, 0));
+            let next = (idx % (self.config.pages_per_site - 1)) + 1;
+            page.links.push(self.page_url(site, next));
+        }
+
+        // First-party assets.
+        page.scripts.push(ScriptRef::Remote(format!(
+            "http://www.{}/assets/app.js",
+            site.domain
+        )));
+        page.images
+            .push(format!("http://www.{}/assets/logo.png", site.domain));
+
+        // Third-party company scripts: the union of the HTTP ad stack and
+        // the remote-script WS services. One tag per company per page.
+        let mut tagged: Vec<usize> = site.http_ad_stack.clone();
+        for service in &site.ws_services {
+            if let Some((company, remote)) = self.service_company(service) {
+                if remote && !tagged.contains(&company) {
+                    tagged.push(company);
+                }
+            }
+        }
+        tagged.sort_unstable();
+        tagged.dedup();
+        for company_idx in tagged {
+            let company = &self.catalog.all()[company_idx];
+            page.scripts.push(ScriptRef::Remote(self.tag_url(
+                company,
+                site,
+                idx,
+            )));
+        }
+
+        // Inline services: first-party snippets that open sockets directly.
+        for (ordinal, service) in site.ws_services.iter().enumerate() {
+            if let Some(behaviour) = self.inline_behavior(site, idx, ordinal, service) {
+                page.scripts.push(ScriptRef::Inline(behaviour));
+            }
+        }
+
+        page
+    }
+
+    /// `Some((company_idx, is_remote_script))` for services tied to a
+    /// company tag; `None` company for generic first-party widgets.
+    fn service_company(&self, service: &WsService) -> Option<(usize, bool)> {
+        match service {
+            WsService::Chat {
+                company,
+                inline_direct,
+            } => Some((*company, !inline_direct)),
+            WsService::Feedjit {
+                company,
+                inline_direct,
+            } => Some((*company, !inline_direct)),
+            WsService::SessionReplay { company, .. }
+            | WsService::WebSpectator { company }
+            | WsService::Disqus { company }
+            | WsService::Lockerdome { company }
+            | WsService::MajorAdSocket { company, .. }
+            | WsService::LongTail { company, .. } => Some((*company, true)),
+            WsService::Fingerprint {
+                company,
+                inline_direct,
+            } => Some((*company, !inline_direct)),
+            WsService::NonAa {
+                company,
+                first_party_script,
+                ..
+            } => company.map(|c| (c, !*first_party_script)),
+        }
+    }
+
+    /// The script tag URL for a company on a page; carries site/page so the
+    /// behaviour can be regenerated from the URL alone.
+    pub fn tag_url(&self, company: &Company, site: &SiteMeta, page_idx: usize) -> String {
+        format!("{}?s={}&p={}", company.script_url(), site.id, page_idx)
+    }
+
+    /// URL of a major platform's ad iframe on a page. Real 2017 RTB ads
+    /// ran inside cross-origin iframes, and some of the platforms' socket
+    /// experiments did too — which matters because page-world mitigations
+    /// (the uBO-Extra shim) could not reach into those frames.
+    pub fn adframe_url(&self, company: &Company, site: &SiteMeta, page_idx: usize) -> String {
+        format!(
+            "https://adframe.{}/frame.html?s={}&p={}",
+            company.domain, site.id, page_idx
+        )
+    }
+
+    /// Synthesizes the document of an ad iframe, if `url` is one.
+    pub fn adframe_page(&self, url: &str) -> Option<Page> {
+        let parsed = sockscope_urlkit::Url::parse(url).ok()?;
+        let host = parsed.host_str();
+        let domain = host.strip_prefix("adframe.")?;
+        let company = self.catalog.by_host(domain)?;
+        let company_idx = self
+            .catalog
+            .all()
+            .iter()
+            .position(|c| c.name == company.name)?;
+        let query = parsed.query()?;
+        let mut site_id = None;
+        let mut page_idx = None;
+        for kv in query.split('&') {
+            if let Some(v) = kv.strip_prefix("s=") {
+                site_id = v.parse::<usize>().ok();
+            } else if let Some(v) = kv.strip_prefix("p=") {
+                page_idx = v.parse::<usize>().ok();
+            }
+        }
+        let site = self.universe.sites().get(site_id?)?;
+        let page_idx = page_idx?;
+        // Rebuild the socket behaviour for this company's service on this
+        // site (same stream as the outer decision, shifted).
+        let mut rng = Rng::new(mix(
+            self.config.seed ^ 0xADF2_A3E5,
+            fnv1a(&format!(
+                "{}/{}/{}/{}",
+                site.id, page_idx, company_idx, self.config.era.index()
+            )),
+        ));
+        let service = site.ws_services.iter().find_map(|s| match s {
+            WsService::MajorAdSocket {
+                company,
+                partner_ws,
+                fingerprint_to_33across,
+            } if *company == company_idx => Some((partner_ws.clone(), *fingerprint_to_33across)),
+            _ => None,
+        })?;
+        let (partner_ws, fp) = service;
+        let exchanges = if fp {
+            fingerprint_exchanges(&mut rng)
+        } else {
+            major_exchanges(&mut rng)
+        };
+        let mut page = Page::new(url.to_string(), format!("ad frame ({})", company.name));
+        page.scripts.push(ScriptRef::Inline(
+            ScriptBehavior::inert().then(Action::OpenWebSocket {
+                url: partner_ws,
+                exchanges,
+            }),
+        ));
+        Some(page)
+    }
+
+    /// Is a site's `ordinal`-th service active during this crawl? This is
+    /// the per-crawl jitter that makes Table 1's site-incidence wiggle
+    /// (2.1%, 2.4%, 1.6%, 2.5%).
+    fn active_this_crawl(&self, site: &SiteMeta, ordinal: usize) -> bool {
+        let mut rng = Rng::new(mix(
+            self.config.seed ^ 0xAC71_F00D,
+            (site.id as u64) << 20 | (ordinal as u64) << 4 | self.config.era.index(),
+        ));
+        let p = (0.82 * self.config.era.activity_factor()).min(0.98);
+        rng.chance(p)
+    }
+
+    /// Era gate: majors and the long tail only used WebSockets while the
+    /// WRB was alive.
+    fn era_allows(&self, service: &WsService) -> bool {
+        match service {
+            WsService::MajorAdSocket { .. } | WsService::LongTail { .. } => {
+                self.config.era.pre_patch()
+            }
+            _ => true,
+        }
+    }
+
+    /// Behaviour of an inline (first-party) snippet for a service, if that
+    /// service is inline on this site.
+    fn inline_behavior(
+        &self,
+        site: &SiteMeta,
+        page_idx: usize,
+        ordinal: usize,
+        service: &WsService,
+    ) -> Option<ScriptBehavior> {
+        if !self.era_allows(service) || !self.active_this_crawl(site, ordinal) {
+            return None;
+        }
+        let mut rng = Rng::new(mix(
+            self.config.seed ^ 0x1111_2222,
+            fnv1a(&format!(
+                "{}/{}/{}/{}",
+                site.id,
+                page_idx,
+                ordinal,
+                self.config.era.index()
+            )),
+        ));
+        match service {
+            WsService::Chat {
+                company,
+                inline_direct: true,
+            } => {
+                if !rng.chance(0.55) {
+                    return None;
+                }
+                let c = &self.catalog.all()[*company];
+                Some(ScriptBehavior::inert().then(Action::OpenWebSocket {
+                    url: c.ws_url(),
+                    exchanges: chat_exchanges(&mut rng),
+                }))
+            }
+            WsService::Feedjit {
+                company,
+                inline_direct: true,
+            } => {
+                if !rng.chance(0.7) {
+                    return None;
+                }
+                let c = &self.catalog.all()[*company];
+                Some(ScriptBehavior::inert().then(Action::OpenWebSocket {
+                    url: c.ws_url(),
+                    exchanges: feedjit_exchanges(&mut rng),
+                }))
+            }
+            WsService::Fingerprint {
+                company,
+                inline_direct: true,
+            } => {
+                if !rng.chance(0.6) {
+                    return None;
+                }
+                let c = &self.catalog.all()[*company];
+                Some(ScriptBehavior::inert().then(Action::OpenWebSocket {
+                    url: c.ws_url(),
+                    exchanges: fingerprint_exchanges(&mut rng),
+                }))
+            }
+            WsService::NonAa {
+                company: None,
+                ws_url,
+                first_party_script: true,
+            } => {
+                if !rng.chance(0.70) {
+                    return None;
+                }
+                Some(ScriptBehavior::inert().then(Action::OpenWebSocket {
+                    url: ws_url.clone(),
+                    exchanges: non_aa_exchanges(&mut rng),
+                }))
+            }
+            _ => None,
+        }
+    }
+
+    /// Regenerates the behaviour of a company tag from its URL. Returns
+    /// `None` for URLs that do not belong to this web.
+    pub fn script_behavior(&self, url: &str) -> Option<ScriptBehavior> {
+        let parsed = sockscope_urlkit::Url::parse(url).ok()?;
+        let host = parsed.host_str();
+
+        // First-party assets are inert.
+        if let Some(domain) = host.strip_prefix("www.") {
+            if self.universe.by_domain(domain).is_some() {
+                return Some(ScriptBehavior::inert());
+            }
+        }
+
+        let company = self.catalog.by_host(&host)?;
+        let company_idx = self
+            .catalog
+            .all()
+            .iter()
+            .position(|c| c.name == company.name)?;
+        // Parse ?s=<site>&p=<page>.
+        let query = parsed.query()?;
+        let mut site_id = None;
+        let mut page_idx = None;
+        for kv in query.split('&') {
+            if let Some(v) = kv.strip_prefix("s=") {
+                site_id = v.parse::<usize>().ok();
+            } else if let Some(v) = kv.strip_prefix("p=") {
+                page_idx = v.parse::<usize>().ok();
+            }
+        }
+        let site = self.universe.sites().get(site_id?)?;
+        let page_idx = page_idx?;
+
+        let mut behaviour = ScriptBehavior::inert();
+        let mut rng = Rng::new(mix(
+            self.config.seed ^ 0x7AB5_0C47,
+            fnv1a(&format!(
+                "{}/{}/{}/{}",
+                site.id, page_idx, company_idx, self.config.era.index()
+            )),
+        ));
+
+        // HTTP side: ad-stack tags fetch pixels and ads over HTTP/S. This
+        // is the traffic behind Table 5's right-hand columns.
+        if site.http_ad_stack.contains(&company_idx) {
+            behaviour = self.http_actions(behaviour, company, &mut rng);
+        }
+
+        // WS side: every service owned by this company on this site.
+        let mut owns_ws = false;
+        for (ordinal, service) in site.ws_services.iter().enumerate() {
+            let owned = matches!(self.service_company(service), Some((c, true)) if c == company_idx);
+            if !owned {
+                continue;
+            }
+            owns_ws = true;
+            if !self.era_allows(service) || !self.active_this_crawl(site, ordinal) {
+                continue;
+            }
+            behaviour = self.ws_actions(behaviour, service, site, page_idx, &mut rng);
+        }
+
+        // Listed A&A widget vendors also phone home with an analytics
+        // beacon over HTTP — the (list-matchable) resource that feeds the
+        // labeler's `a(d)` counts. Crucially the *tag script itself* is not
+        // on the lists (blocking it would break sites, footnote 2), which
+        // is why §4.2 finds only ~5% of socket chains blockable.
+        if owns_ws && company.aa_listed && rng.chance(0.6) {
+            let mut sent = Vec::new();
+            if rng.chance(0.3) {
+                sent.push(SentItem::Cookie);
+            }
+            behaviour = behaviour.then(Action::FetchImage {
+                url: format!("https://{}/collect/beacon.gif", company.script_host),
+                sent,
+            });
+        }
+        Some(behaviour)
+    }
+
+    fn http_actions(
+        &self,
+        mut behaviour: ScriptBehavior,
+        company: &Company,
+        rng: &mut Rng,
+    ) -> ScriptBehavior {
+        // Tracking pixel: cookies ride ~23% of A&A HTTP requests (Table 5
+        // right column), IDs ~1%, fingerprint variables are a trickle.
+        let mut sent = Vec::new();
+        if rng.chance(0.42) {
+            sent.push(SentItem::Cookie);
+        }
+        if rng.chance(0.02) {
+            sent.push(SentItem::UserId);
+        }
+        if rng.chance(0.018) {
+            sent.push(SentItem::Language);
+        }
+        if rng.chance(0.018) {
+            sent.push(SentItem::Ip);
+        }
+        if rng.chance(0.007) {
+            sent.push(SentItem::Viewport);
+        }
+        if rng.chance(0.003) {
+            sent.push(SentItem::Resolution);
+        }
+        if rng.chance(0.004) {
+            sent.push(SentItem::Device);
+        }
+        if rng.chance(0.002) {
+            sent.push(SentItem::Screen);
+        }
+        if rng.chance(0.002) {
+            sent.push(SentItem::Browser);
+        }
+        if rng.chance(0.0003) {
+            sent.push(SentItem::FirstSeen);
+        }
+        // Roughly half the pixel endpoints are covered by the lists
+        // (pixel0 is listed, pixel1 is not) — EasyList's coverage of any
+        // network's endpoints was always partial, which is what keeps the
+        // §4.2 "all A&A chains blockable" fraction near 27%, not 100%.
+        let pixel = if rng.chance(0.55) { "pixel0" } else { "pixel1" };
+        behaviour = behaviour.then(Action::FetchImage {
+            url: format!("https://{}/{pixel}.gif", company.script_host, ),
+            sent,
+        });
+        // Some tags pull an ad or config payload.
+        if rng.chance(0.55) {
+            let roll = rng.f64();
+            let receive = if roll < 0.42 {
+                vec![ReceivedItem::Html]
+            } else if roll < 0.78 {
+                vec![ReceivedItem::JavaScript]
+            } else if roll < 0.97 {
+                vec![ReceivedItem::Json]
+            } else {
+                vec![ReceivedItem::Binary]
+            };
+            let mut sent = Vec::new();
+            if rng.chance(0.3) {
+                sent.push(SentItem::Cookie);
+            }
+            behaviour = behaviour.then(Action::FetchXhr {
+                url: format!("https://{}/ad-config", company.script_host),
+                sent,
+                receive,
+            });
+        }
+        behaviour
+    }
+
+    /// Partnered sockets come with an HTTP side-channel to the *receiver*:
+    /// auth/presence pings (Pusher's auth endpoint, Realtime's presence
+    /// API). These are the list-matchable resources that put the infra
+    /// receivers (realtime.co, pusher.com) into `D'` — without them the
+    /// labeler would never see those domains over HTTP.
+    fn partner_beacon(
+        &self,
+        behaviour: ScriptBehavior,
+        partner_ws: &str,
+        rng: &mut Rng,
+    ) -> ScriptBehavior {
+        let Ok(url) = sockscope_urlkit::Url::parse(partner_ws) else {
+            return behaviour;
+        };
+        let Some(partner) = self.catalog.by_host(&url.host_str()) else {
+            return behaviour;
+        };
+        if !partner.aa_listed || !rng.chance(0.6) {
+            return behaviour;
+        }
+        let mut sent = Vec::new();
+        if rng.chance(0.25) {
+            sent.push(SentItem::Cookie);
+        }
+        behaviour.then(Action::FetchImage {
+            url: format!("https://{}/collect/auth.gif", partner.script_host),
+            sent,
+        })
+    }
+
+    fn ws_actions(
+        &self,
+        mut behaviour: ScriptBehavior,
+        service: &WsService,
+        site: &SiteMeta,
+        page_idx: usize,
+        rng: &mut Rng,
+    ) -> ScriptBehavior {
+        // Per-page firing: widgets do not connect on every page view (lazy
+        // loading, consent gates, page-type targeting). Together with the
+        // 15-page crawl policy this yields the paper's 6-12 sockets per
+        // socket-using site.
+        match service {
+            WsService::Chat { company, .. } => {
+                if !rng.chance(0.55) {
+                    return behaviour;
+                }
+                let c = &self.catalog.all()[*company];
+                // ClickDesk rides Pusher's infrastructure: ping the auth
+                // endpoint before connecting.
+                if c.name == "clickdesk" {
+                    behaviour = self.partner_beacon(behaviour, &c.ws_url(), rng);
+                }
+                // Zopim is the self-pair champion of Table 4: it opens
+                // more sockets per page than anyone else.
+                let sockets = if c.name == "zopim" { rng.range(1, 3) } else { 1 };
+                for _ in 0..sockets {
+                    behaviour = behaviour.then(Action::OpenWebSocket {
+                        url: c.ws_url(),
+                        exchanges: chat_exchanges(rng),
+                    });
+                }
+            }
+            WsService::SessionReplay {
+                company,
+                exfiltrates_dom,
+            } => {
+                if !rng.chance(0.6) {
+                    return behaviour;
+                }
+                let c = &self.catalog.all()[*company];
+                behaviour = behaviour.then(Action::OpenWebSocket {
+                    url: c.ws_url(),
+                    exchanges: replay_exchanges(rng, *exfiltrates_dom),
+                });
+            }
+            WsService::Fingerprint { company, .. } => {
+                if !rng.chance(0.6) {
+                    return behaviour;
+                }
+                let c = &self.catalog.all()[*company];
+                behaviour = behaviour.then(Action::OpenWebSocket {
+                    url: c.ws_url(),
+                    exchanges: fingerprint_exchanges(rng),
+                });
+            }
+            WsService::MajorAdSocket {
+                company,
+                partner_ws,
+                fingerprint_to_33across,
+            } => {
+                // The platforms ran their WebSocket usage as a low-volume
+                // experiment: present on many sites, firing on few pages
+                // (which is why Table 1's A&A-initiated share barely moved
+                // when they quit).
+                if !rng.chance(0.18) {
+                    return behaviour;
+                }
+                behaviour = self.partner_beacon(behaviour, partner_ws, rng);
+                if rng.chance(0.45) {
+                    // Socket opened from inside the platform's ad iframe —
+                    // out of reach for page-world WebSocket wrappers.
+                    let c = &self.catalog.all()[*company];
+                    behaviour = behaviour.then(Action::OpenFrame {
+                        url: self.adframe_url(c, site, page_idx),
+                    });
+                } else {
+                    let exchanges = if *fingerprint_to_33across {
+                        fingerprint_exchanges(rng)
+                    } else {
+                        major_exchanges(rng)
+                    };
+                    behaviour = behaviour.then(Action::OpenWebSocket {
+                        url: partner_ws.clone(),
+                        exchanges,
+                    });
+                }
+            }
+            WsService::LongTail { partner_ws, .. } => {
+                if !rng.chance(0.26) {
+                    return behaviour;
+                }
+                behaviour = self.partner_beacon(behaviour, partner_ws, rng);
+                behaviour = behaviour.then(Action::OpenWebSocket {
+                    url: partner_ws.clone(),
+                    exchanges: longtail_exchanges(rng),
+                });
+            }
+            WsService::WebSpectator { .. } => {
+                if !rng.chance(0.8) {
+                    return behaviour;
+                }
+                // WebSpectator multiplexes aggressively to realtime.co —
+                // the 1285-socket pair of Table 4.
+                let realtime = self.catalog.by_name("realtime").expect("realtime");
+                behaviour = self.partner_beacon(behaviour, &realtime.ws_url(), rng);
+                for _ in 0..2 {
+                    behaviour = behaviour.then(Action::OpenWebSocket {
+                        url: realtime.ws_url(),
+                        exchanges: webspectator_exchanges(rng),
+                    });
+                }
+            }
+            WsService::Feedjit { company, .. } => {
+                if !rng.chance(0.7) {
+                    return behaviour;
+                }
+                let c = &self.catalog.all()[*company];
+                behaviour = behaviour.then(Action::OpenWebSocket {
+                    url: c.ws_url(),
+                    exchanges: feedjit_exchanges(rng),
+                });
+            }
+            WsService::Disqus { company } => {
+                if !rng.chance(0.7) {
+                    return behaviour;
+                }
+                let c = &self.catalog.all()[*company];
+                behaviour = behaviour.then(Action::OpenWebSocket {
+                    url: c.ws_url(),
+                    exchanges: disqus_exchanges(rng),
+                });
+            }
+            WsService::Lockerdome { company } => {
+                if !rng.chance(0.7) {
+                    return behaviour;
+                }
+                let c = &self.catalog.all()[*company];
+                behaviour = behaviour.then(Action::OpenWebSocket {
+                    url: c.ws_url(),
+                    exchanges: lockerdome_exchanges(rng),
+                });
+            }
+            WsService::NonAa {
+                company, ws_url, ..
+            } => {
+                let _ = company;
+                if !rng.chance(0.70) {
+                    return behaviour;
+                }
+                behaviour = behaviour.then(Action::OpenWebSocket {
+                    url: ws_url.clone(),
+                    exchanges: non_aa_exchanges(rng),
+                });
+            }
+        }
+        behaviour
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-service exchange mixes — the Table 5 calibration. Percent targets in
+// comments refer to "% of A&A sockets carrying this item".
+// ---------------------------------------------------------------------------
+
+/// Live chat: cookies almost always; the biggest contributor to the 69.9%
+/// cookie row. ~18% of chat sockets exchange no payload at all (opened and
+/// idle), feeding the "No data" rows.
+pub fn chat_exchanges(rng: &mut Rng) -> Vec<WsExchange> {
+    if rng.chance(0.16) {
+        // Idle socket: sends nothing; the server usually pushes a greeting.
+        return if rng.chance(0.6) {
+            vec![WsExchange::receive_only(vec![ReceivedItem::Html])]
+        } else {
+            vec![WsExchange::default()]
+        };
+    }
+    let roll = rng.f64();
+    let first_send = if roll < 0.88 {
+        vec![SentItem::Cookie]
+    } else if roll < 0.94 {
+        vec![SentItem::UserId]
+    } else {
+        Vec::new() // connects and listens; counts toward "No data" sent
+    };
+    let mut first_send = first_send;
+    if rng.chance(0.04) {
+        first_send.push(SentItem::Ip);
+    }
+    let first_receive = if rng.chance(0.12) {
+        Vec::new()
+    } else if rng.chance(0.92) {
+        vec![ReceivedItem::Html]
+    } else {
+        vec![ReceivedItem::Json]
+    };
+    let mut exchanges = vec![WsExchange {
+        send: first_send,
+        receive: first_receive,
+    }];
+    // Follow-up chatter: receive-mostly.
+    for _ in 0..rng.below(2) {
+        exchanges.push(WsExchange {
+            send: Vec::new(),
+            receive: vec![ReceivedItem::Html],
+        });
+    }
+    exchanges
+}
+
+/// Session replay: cookies + IDs; the DOM-exfiltration offenders upload the
+/// serialized page (~1.6% of all A&A sockets end up with a DOM payload).
+pub fn replay_exchanges(rng: &mut Rng, exfiltrate_dom: bool) -> Vec<WsExchange> {
+    if rng.chance(0.08) {
+        return vec![WsExchange::default()];
+    }
+    let mut send = vec![SentItem::Cookie];
+    if rng.chance(0.2) {
+        send.push(SentItem::UserId);
+    }
+    if exfiltrate_dom {
+        send.push(SentItem::Dom);
+    }
+    let receive = match (rng.f64() * 100.0) as u32 {
+        0..=34 => vec![ReceivedItem::Json],
+        35..=49 => vec![ReceivedItem::Html],
+        _ => Vec::new(),
+    };
+    vec![WsExchange { send, receive }]
+}
+
+/// The 33across bundle: the seven fingerprinting variables of Table 5 move
+/// together (each ~3.4–3.6%), plus first-seen, cookie, and sometimes
+/// language.
+pub fn fingerprint_exchanges(rng: &mut Rng) -> Vec<WsExchange> {
+    let mut send = vec![
+        SentItem::Device,
+        SentItem::Screen,
+        SentItem::Browser,
+        SentItem::Viewport,
+        SentItem::ScrollPosition,
+        SentItem::Orientation,
+        SentItem::FirstSeen,
+        SentItem::Resolution,
+    ];
+    if rng.chance(0.92) {
+        send.push(SentItem::Cookie);
+    }
+    if rng.chance(0.52) {
+        send.push(SentItem::Language);
+    }
+    if rng.chance(0.15) {
+        send.push(SentItem::UserId);
+    }
+    vec![WsExchange {
+        send,
+        receive: if rng.chance(0.5) {
+            vec![ReceivedItem::Json]
+        } else {
+            Vec::new()
+        },
+    }]
+}
+
+/// Major ad platforms' (pre-patch) sockets: stateful tracking payloads.
+pub fn major_exchanges(rng: &mut Rng) -> Vec<WsExchange> {
+    if rng.chance(0.10) {
+        return vec![WsExchange::default()];
+    }
+    let mut send = vec![];
+    if rng.chance(0.85) {
+        send.push(SentItem::Cookie);
+    }
+    if rng.chance(0.15) {
+        send.push(SentItem::UserId);
+    }
+    let receive = match (rng.f64() * 100.0) as u32 {
+        0..=24 => vec![ReceivedItem::Json],
+        25..=39 => vec![ReceivedItem::Html],
+        40..=47 => vec![ReceivedItem::JavaScript],
+        _ => Vec::new(),
+    };
+    vec![WsExchange { send, receive }]
+}
+
+/// Long-tail ad networks: scrappier mixes, incl. the occasional script or
+/// image delivered over the socket (ad loading via WRB).
+pub fn longtail_exchanges(rng: &mut Rng) -> Vec<WsExchange> {
+    if rng.chance(0.15) {
+        return vec![WsExchange::default()];
+    }
+    let mut send = vec![];
+    if rng.chance(0.75) {
+        send.push(SentItem::Cookie);
+    }
+    if rng.chance(0.08) {
+        send.push(SentItem::UserId);
+    }
+    if rng.chance(0.05) {
+        send.push(SentItem::Binary);
+    }
+    let receive = match (rng.f64() * 100.0) as u32 {
+        0..=29 => vec![ReceivedItem::Html],
+        30..=41 => vec![ReceivedItem::Json],
+        42..=53 => vec![ReceivedItem::JavaScript],
+        54..=58 => vec![ReceivedItem::ImageData],
+        59..=62 => vec![ReceivedItem::Binary],
+        _ => Vec::new(),
+    };
+    vec![WsExchange { send, receive }]
+}
+
+/// WebSpectator → Realtime.co: high-volume, sometimes binary-framed, with
+/// IPs echoed back in the payloads.
+pub fn webspectator_exchanges(rng: &mut Rng) -> Vec<WsExchange> {
+    if rng.chance(0.06) {
+        return vec![WsExchange::default()];
+    }
+    let mut send = if rng.chance(0.78) {
+        vec![SentItem::Cookie]
+    } else {
+        vec![SentItem::UserId]
+    };
+    if rng.chance(0.50) {
+        send.push(SentItem::Ip);
+    }
+    if rng.chance(0.05) {
+        send.push(SentItem::Binary);
+    }
+    let receive = match (rng.f64() * 100.0) as u32 {
+        0..=19 => vec![ReceivedItem::Json],
+        20..=64 => vec![ReceivedItem::Html],
+        _ => Vec::new(),
+    };
+    vec![WsExchange { send, receive }]
+}
+
+/// Feedjit: mostly a listener — the widget receives traffic HTML, often
+/// sending nothing.
+pub fn feedjit_exchanges(rng: &mut Rng) -> Vec<WsExchange> {
+    if rng.chance(0.40) {
+        return vec![WsExchange::receive_only(vec![ReceivedItem::Html])];
+    }
+    vec![WsExchange {
+        send: vec![SentItem::Cookie],
+        receive: vec![ReceivedItem::Html],
+    }]
+}
+
+/// Disqus realtime comments.
+pub fn disqus_exchanges(rng: &mut Rng) -> Vec<WsExchange> {
+    if rng.chance(0.2) {
+        return vec![WsExchange::receive_only(vec![ReceivedItem::Json])];
+    }
+    let receive = match (rng.f64() * 100.0) as u32 {
+        0..=24 => vec![ReceivedItem::Json],
+        25..=64 => vec![ReceivedItem::Html],
+        _ => Vec::new(),
+    };
+    vec![WsExchange {
+        send: vec![SentItem::Cookie],
+        receive,
+    }]
+}
+
+/// Lockerdome: ad URLs + metadata over the socket (Figure 4).
+pub fn lockerdome_exchanges(rng: &mut Rng) -> Vec<WsExchange> {
+    let mut send = vec![];
+    if rng.chance(0.8) {
+        send.push(SentItem::Cookie);
+    }
+    vec![WsExchange {
+        send,
+        receive: vec![ReceivedItem::AdUrls],
+    }]
+}
+
+/// Non-A&A realtime traffic (tickers, games, live widgets).
+pub fn non_aa_exchanges(rng: &mut Rng) -> Vec<WsExchange> {
+    if rng.chance(0.3) {
+        return vec![WsExchange::receive_only(vec![ReceivedItem::Json])];
+    }
+    vec![WsExchange {
+        send: if rng.chance(0.4) {
+            vec![SentItem::UserId]
+        } else {
+            Vec::new()
+        },
+        receive: if rng.chance(0.6) {
+            vec![ReceivedItem::Json]
+        } else {
+            vec![ReceivedItem::Html]
+        },
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CrawlEra;
+
+    fn setup(n: usize) -> (Catalog, WebGenConfig) {
+        let catalog = Catalog::build();
+        let config = WebGenConfig {
+            n_sites: n,
+            ..WebGenConfig::default()
+        };
+        (catalog, config)
+    }
+
+    #[test]
+    fn pages_roundtrip_through_resolver() {
+        let (catalog, config) = setup(50);
+        let universe = SiteUniverse::generate(&config, &catalog);
+        let synth = PageSynthesizer {
+            catalog: &catalog,
+            universe: &universe,
+            config: &config,
+        };
+        let site = &universe.sites()[7];
+        for idx in [0usize, 1, 14] {
+            let url = synth.page_url(site, idx);
+            let (s, i) = synth.resolve_page(&url).unwrap();
+            assert_eq!(s.id, site.id);
+            assert_eq!(i, idx);
+        }
+        assert!(synth.resolve_page("http://www.unknown.example/").is_none());
+    }
+
+    #[test]
+    fn homepage_links_cover_subpages() {
+        let (catalog, config) = setup(20);
+        let universe = SiteUniverse::generate(&config, &catalog);
+        let synth = PageSynthesizer {
+            catalog: &catalog,
+            universe: &universe,
+            config: &config,
+        };
+        let site = &universe.sites()[3];
+        let home = synth.page(site, 0);
+        assert_eq!(home.links.len(), config.pages_per_site - 1);
+        assert!(home.scripts.len() >= 1);
+    }
+
+    #[test]
+    fn tag_behaviour_regenerates_from_url() {
+        let (catalog, config) = setup(300);
+        let universe = SiteUniverse::generate(&config, &catalog);
+        let synth = PageSynthesizer {
+            catalog: &catalog,
+            universe: &universe,
+            config: &config,
+        };
+        // Find a site with an ad stack.
+        let site = universe
+            .sites()
+            .iter()
+            .find(|s| !s.http_ad_stack.is_empty())
+            .expect("ad-stacked site");
+        let company = &catalog.all()[site.http_ad_stack[0]];
+        let url = synth.tag_url(company, site, 0);
+        let b1 = synth.script_behavior(&url).unwrap();
+        let b2 = synth.script_behavior(&url).unwrap();
+        assert_eq!(b1, b2);
+        assert!(!b1.actions.is_empty());
+    }
+
+    #[test]
+    fn major_sockets_vanish_post_patch() {
+        let (catalog, config) = setup(3_000);
+        let universe = SiteUniverse::generate(&config, &catalog);
+        // Same universe, two eras.
+        let pre_cfg = config.for_era(CrawlEra::AprilEarly);
+        let post_cfg = config.for_era(CrawlEra::October);
+        let count_major_ws = |cfg: &WebGenConfig| {
+            let synth = PageSynthesizer {
+                catalog: &catalog,
+                universe: &universe,
+                config: cfg,
+            };
+            let mut n = 0;
+            for site in universe.sites() {
+                for service in &site.ws_services {
+                    if let WsService::MajorAdSocket { company, .. } = service {
+                        let c = &catalog.all()[*company];
+                        // Check every page: the per-page fire rate is low.
+                        for page in 0..cfg.pages_per_site {
+                            let url = synth.tag_url(c, site, page);
+                            let Some(b) = synth.script_behavior(&url) else {
+                                continue;
+                            };
+                            // Direct sockets plus iframe-hosted ones.
+                            n += b.direct_ws_endpoints().count();
+                            n += b
+                                .actions
+                                .iter()
+                                .filter(|a| matches!(a, Action::OpenFrame { url } if url.contains("adframe.")))
+                                .count();
+                        }
+                    }
+                }
+            }
+            n
+        };
+        let pre = count_major_ws(&pre_cfg);
+        let post = count_major_ws(&post_cfg);
+        assert!(pre > 0, "majors should open sockets pre-patch");
+        assert_eq!(post, 0, "majors must be silent post-patch");
+    }
+
+    #[test]
+    fn adframe_pages_resolve_and_open_partner_sockets() {
+        let (catalog, config) = setup(4_000);
+        let universe = SiteUniverse::generate(&config, &catalog);
+        let synth = PageSynthesizer {
+            catalog: &catalog,
+            universe: &universe,
+            config: &config,
+        };
+        // Find a site with a major ad socket.
+        let (site, company_idx) = universe
+            .sites()
+            .iter()
+            .find_map(|s| {
+                s.ws_services.iter().find_map(|svc| match svc {
+                    WsService::MajorAdSocket { company, .. } => Some((s, *company)),
+                    _ => None,
+                })
+            })
+            .expect("some site hosts a major's socket experiment");
+        let company = &catalog.all()[company_idx];
+        let url = synth.adframe_url(company, site, 0);
+        let page = synth.adframe_page(&url).expect("ad frame resolves");
+        // The frame document carries exactly one inline script that opens
+        // the partner socket.
+        assert_eq!(page.scripts.len(), 1);
+        match &page.scripts[0] {
+            ScriptRef::Inline(b) => {
+                assert_eq!(b.direct_ws_endpoints().count(), 1);
+            }
+            other => panic!("expected inline script, got {other:?}"),
+        }
+        // Unknown ad frames 404.
+        assert!(synth.adframe_page("https://adframe.nosuch.example/frame.html?s=0&p=0").is_none());
+        assert!(synth
+            .adframe_page(&format!("https://adframe.{}/frame.html", company.domain))
+            .is_none(), "missing query must not resolve");
+    }
+
+    #[test]
+    fn adframe_behaviour_is_deterministic() {
+        let (catalog, config) = setup(4_000);
+        let universe = SiteUniverse::generate(&config, &catalog);
+        let synth = PageSynthesizer {
+            catalog: &catalog,
+            universe: &universe,
+            config: &config,
+        };
+        let found = universe.sites().iter().find_map(|s| {
+            s.ws_services.iter().find_map(|svc| match svc {
+                WsService::MajorAdSocket { company, .. } => {
+                    Some(synth.adframe_url(&catalog.all()[*company], s, 3))
+                }
+                _ => None,
+            })
+        });
+        let url = found.expect("major socket site exists");
+        assert_eq!(synth.adframe_page(&url), synth.adframe_page(&url));
+    }
+
+    #[test]
+    fn chat_sockets_survive_the_patch() {
+        let (catalog, config) = setup(5_000);
+        let universe = SiteUniverse::generate(&config, &catalog);
+        let post_cfg = config.for_era(CrawlEra::October);
+        let synth = PageSynthesizer {
+            catalog: &catalog,
+            universe: &universe,
+            config: &post_cfg,
+        };
+        let mut n = 0;
+        for site in universe.sites() {
+            for service in &site.ws_services {
+                if let WsService::Chat { company, inline_direct } = service {
+                    if *inline_direct {
+                        continue;
+                    }
+                    let c = &catalog.all()[*company];
+                    if let Some(b) = synth.script_behavior(&synth.tag_url(c, site, 0)) {
+                        n += b.direct_ws_endpoints().count();
+                    }
+                }
+            }
+        }
+        assert!(n > 0, "chat sockets must persist post-patch");
+    }
+
+    #[test]
+    fn fingerprint_bundle_moves_together() {
+        let mut rng = Rng::new(42);
+        let ex = fingerprint_exchanges(&mut rng);
+        let send = &ex[0].send;
+        for item in [
+            SentItem::Device,
+            SentItem::Screen,
+            SentItem::Browser,
+            SentItem::Viewport,
+            SentItem::ScrollPosition,
+            SentItem::Orientation,
+            SentItem::FirstSeen,
+            SentItem::Resolution,
+        ] {
+            assert!(send.contains(&item), "{item:?} missing from bundle");
+        }
+    }
+
+    #[test]
+    fn lockerdome_always_receives_ad_urls() {
+        let mut rng = Rng::new(9);
+        for _ in 0..20 {
+            let ex = lockerdome_exchanges(&mut rng);
+            assert!(ex.iter().any(|e| e.receive.contains(&ReceivedItem::AdUrls)));
+        }
+    }
+
+    #[test]
+    fn exchange_nodata_rates_rough_check() {
+        let mut rng = Rng::new(77);
+        let mut nodata = 0;
+        let n = 5_000;
+        for _ in 0..n {
+            let ex = chat_exchanges(&mut rng);
+            if ex.iter().all(|e| e.send.is_empty()) {
+                nodata += 1;
+            }
+        }
+        let frac = nodata as f64 / n as f64;
+        assert!((0.1..0.25).contains(&frac), "chat no-data {frac}");
+    }
+}

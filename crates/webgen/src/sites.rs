@@ -1,0 +1,685 @@
+//! The publisher universe: ranked sites, categories, and per-site service
+//! adoption.
+
+use crate::companies::{Catalog, Company, Role};
+use crate::config::WebGenConfig;
+use crate::{mix, Rng};
+
+/// The 17 Alexa top-list categories of §3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Arts.
+    Arts,
+    /// Business — chat-widget heavy.
+    Business,
+    /// Computers.
+    Computers,
+    /// Games — non-A&A realtime heavy.
+    Games,
+    /// Health.
+    Health,
+    /// Home.
+    Home,
+    /// Kids & Teens.
+    Kids,
+    /// News — ad-stack heavy.
+    News,
+    /// Recreation.
+    Recreation,
+    /// Reference.
+    Reference,
+    /// Regional.
+    Regional,
+    /// Science.
+    Science,
+    /// Shopping — session-replay heavy.
+    Shopping,
+    /// Society.
+    Society,
+    /// Sports — ticker heavy.
+    Sports,
+    /// World.
+    World,
+    /// Adult (the category at the origin of the Pornhub incident).
+    Adult,
+}
+
+impl Category {
+    /// All categories.
+    pub const ALL: [Category; 17] = [
+        Category::Arts,
+        Category::Business,
+        Category::Computers,
+        Category::Games,
+        Category::Health,
+        Category::Home,
+        Category::Kids,
+        Category::News,
+        Category::Recreation,
+        Category::Reference,
+        Category::Regional,
+        Category::Science,
+        Category::Shopping,
+        Category::Society,
+        Category::Sports,
+        Category::World,
+        Category::Adult,
+    ];
+
+    /// Short label for domains and reports.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Category::Arts => "arts",
+            Category::Business => "business",
+            Category::Computers => "computers",
+            Category::Games => "games",
+            Category::Health => "health",
+            Category::Home => "home",
+            Category::Kids => "kids",
+            Category::News => "news",
+            Category::Recreation => "recreation",
+            Category::Reference => "reference",
+            Category::Regional => "regional",
+            Category::Science => "science",
+            Category::Shopping => "shopping",
+            Category::Society => "society",
+            Category::Sports => "sports",
+            Category::World => "world",
+            Category::Adult => "adult",
+        }
+    }
+}
+
+/// The WebSocket-bearing service a site may have adopted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WsService {
+    /// A chat widget from `company`, embedded either as an inline snippet
+    /// that opens the socket directly from first-party code (the dominant
+    /// pattern behind Table 3's benign initiators) or via the company's
+    /// remote script (a self-pair).
+    Chat {
+        /// The chat company (catalog index).
+        company: usize,
+        /// `true` → inline first-party snippet opens the socket.
+        inline_direct: bool,
+    },
+    /// Session replay from `company`; `exfiltrates_dom` marks the
+    /// Hotjar/LuckyOrange/TruConversion behaviour of §4.3.
+    SessionReplay {
+        /// The vendor (catalog index).
+        company: usize,
+        /// Uploads the full serialized DOM.
+        exfiltrates_dom: bool,
+    },
+    /// The 33across tag: fingerprint bundle over WS.
+    Fingerprint {
+        /// 33across (catalog index).
+        company: usize,
+        /// Publisher pasted the API snippet inline (first-party initiator).
+        inline_direct: bool,
+    },
+    /// A major ad platform's pre-patch WebSocket usage; `partner` is the
+    /// receiver endpoint chosen for this site.
+    MajorAdSocket {
+        /// The platform (catalog index).
+        company: usize,
+        /// Receiver endpoint URL.
+        partner_ws: String,
+        /// Whether the payload is a fingerprint bundle (DoubleClick →
+        /// 33across).
+        fingerprint_to_33across: bool,
+    },
+    /// A long-tail ad network's socket (pre-patch only).
+    LongTail {
+        /// The network (catalog index).
+        company: usize,
+        /// Receiver endpoint URL.
+        partner_ws: String,
+    },
+    /// WebSpectator → Realtime.co (the most prolific pair in Table 4).
+    WebSpectator {
+        /// WebSpectator (catalog index).
+        company: usize,
+    },
+    /// Feedjit live-traffic widget; blogs often paste an inline snippet
+    /// that opens the socket from first-party code (the `blogger → feedjit`
+    /// pattern of Table 4).
+    Feedjit {
+        /// Feedjit (catalog index).
+        company: usize,
+        /// Inline first-party snippet opens the socket.
+        inline_direct: bool,
+    },
+    /// Disqus comments with realtime.
+    Disqus {
+        /// Disqus (catalog index).
+        company: usize,
+    },
+    /// Lockerdome serving ad URLs over WS.
+    Lockerdome {
+        /// Lockerdome (catalog index).
+        company: usize,
+    },
+    /// A non-A&A realtime feature: ticker, game, live video chat, …
+    NonAa {
+        /// The company (catalog index), if a named one; `None` → generic
+        /// long-tail receiver.
+        company: Option<usize>,
+        /// Receiver endpoint URL.
+        ws_url: String,
+        /// Initiating script is first-party.
+        first_party_script: bool,
+    },
+}
+
+/// One publisher site.
+#[derive(Debug, Clone)]
+pub struct SiteMeta {
+    /// Stable site index.
+    pub id: usize,
+    /// Second-level domain, e.g. `news-site-000042.example`.
+    pub domain: String,
+    /// Global Alexa-style rank in 1..=1_000_000.
+    pub rank: u32,
+    /// Category.
+    pub category: Category,
+    /// Adopted WebSocket services (era-independent adoption; whether they
+    /// *fire* during a crawl is decided per era/page).
+    pub ws_services: Vec<WsService>,
+    /// HTTP-only ad stack companies (catalog indices) — these never open
+    /// sockets but dominate HTTP traffic and drive the A&A labeling counts.
+    pub http_ad_stack: Vec<usize>,
+}
+
+impl SiteMeta {
+    /// Homepage URL.
+    pub fn homepage(&self) -> String {
+        format!("http://www.{}/", self.domain)
+    }
+
+    /// `true` if the site adopted any WebSocket-bearing service.
+    pub fn has_ws_service(&self) -> bool {
+        !self.ws_services.is_empty()
+    }
+}
+
+/// The generated site universe (identical across the four crawls).
+#[derive(Debug, Clone)]
+pub struct SiteUniverse {
+    sites: Vec<SiteMeta>,
+}
+
+/// Rank-dependent adoption multiplier for A&A WebSocket services. Figure 3:
+/// prevalence is highest in the top 10K, drops between 10–20K, and decays
+/// down the long tail; A&A sockets are ~4.5× non-A&A in the top 10K but
+/// only ~2× overall.
+fn aa_scale(rank: u32) -> f64 {
+    match rank {
+        0..=10_000 => 2.6,
+        10_001..=20_000 => 1.6,
+        20_001..=100_000 => 1.0,
+        100_001..=500_000 => 0.75,
+        _ => 0.55,
+    }
+}
+
+/// Non-A&A services skew to the top too, but much less steeply.
+fn non_aa_scale(rank: u32) -> f64 {
+    match rank {
+        0..=10_000 => 1.60,
+        10_001..=20_000 => 1.25,
+        20_001..=100_000 => 1.0,
+        100_001..=500_000 => 0.85,
+        _ => 0.7,
+    }
+}
+
+impl SiteUniverse {
+    /// Generates the universe for a config (era is irrelevant here — the
+    /// same publishers exist in all four crawls).
+    pub fn generate(config: &WebGenConfig, catalog: &Catalog) -> SiteUniverse {
+        let mut sites = Vec::with_capacity(config.n_sites);
+        for id in 0..config.n_sites {
+            sites.push(Self::generate_site(config, catalog, id));
+        }
+        SiteUniverse { sites }
+    }
+
+    fn generate_site(config: &WebGenConfig, catalog: &Catalog, id: usize) -> SiteMeta {
+        let mut rng = Rng::new(mix(config.seed, id as u64));
+        let category = *rng.pick(&Category::ALL);
+        // Rank model (§3.3): half the sample comes from category top lists
+        // (highly ranked), half from a random draw over the top 1M.
+        let rank = if rng.chance(0.5) {
+            rng.range(1, 50_000) as u32
+        } else {
+            rng.range(1, 1_000_000) as u32
+        };
+        let domain = format!("{}-site-{:06}.example", category.slug(), id);
+
+        // HTTP ad stack: most sites carry some A&A scripts over plain HTTP.
+        let mut http_ad_stack = Vec::new();
+        let idx = |name: &str| {
+            catalog
+                .all()
+                .iter()
+                .position(|c| c.name == name)
+                .expect("catalog company")
+        };
+        if rng.chance(0.55) {
+            http_ad_stack.push(idx("google")); // analytics stand-in
+        }
+        if rng.chance(0.38) {
+            http_ad_stack.push(idx("doubleclick"));
+        }
+        if rng.chance(0.30) {
+            http_ad_stack.push(idx("googlesyndication"));
+        }
+        if rng.chance(0.24) {
+            http_ad_stack.push(idx("facebook"));
+        }
+        if rng.chance(0.10) {
+            http_ad_stack.push(idx("adnxs"));
+        }
+        if rng.chance(0.08) {
+            http_ad_stack.push(idx("addthis"));
+        }
+        if rng.chance(0.05) {
+            http_ad_stack.push(idx("sharethis"));
+        }
+        if rng.chance(0.06) {
+            http_ad_stack.push(idx("twitter"));
+        }
+        // Every site also gets a couple of long-tail adnets over HTTP with
+        // low probability — their HTTP presence feeds the labeler (a(d)).
+        for _ in 0..2 {
+            if rng.chance(0.05) {
+                let k = rng.below(crate::companies::LONG_TAIL_COUNT as u64) as usize;
+                http_ad_stack.push(idx(&format!("adnet{k:02}")));
+            }
+        }
+
+        let ws_services =
+            Self::assign_ws_services(catalog, &mut rng, rank, category, id);
+
+        SiteMeta {
+            id,
+            domain,
+            rank,
+            category,
+            ws_services,
+            http_ad_stack,
+        }
+    }
+
+    fn assign_ws_services(
+        catalog: &Catalog,
+        rng: &mut Rng,
+        rank: u32,
+        category: Category,
+        site_id: usize,
+    ) -> Vec<WsService> {
+        let mut services = Vec::new();
+        let aa = aa_scale(rank);
+        let non_aa = non_aa_scale(rank);
+        let idx = |name: &str| {
+            catalog
+                .all()
+                .iter()
+                .position(|c| c.name == name)
+                .expect("catalog company")
+        };
+
+        // Live chat — business/shopping/health sites adopt more.
+        let chat_boost = match category {
+            Category::Business | Category::Shopping | Category::Health => 1.8,
+            _ => 1.0,
+        };
+        if rng.chance(0.0078 * aa * chat_boost) {
+            let chat = catalog.with_role(Role::LiveChat);
+            let company = rng.pick(&chat);
+            let company_idx = idx(&company.name);
+            // Intercom embeds are usually inline first-party snippets; the
+            // others mostly load a remote widget script (self-pairs).
+            let inline_direct = match company.name.as_str() {
+                "intercom" => rng.chance(0.80),
+                "zopim" => rng.chance(0.15),
+                _ => rng.chance(0.45),
+            };
+            services.push(WsService::Chat {
+                company: company_idx,
+                inline_direct,
+            });
+        }
+
+        // Session replay — shopping sites over-adopt.
+        let replay_boost = if category == Category::Shopping { 2.0 } else { 1.0 };
+        if rng.chance(0.0033 * aa * replay_boost) {
+            let replay = catalog.with_role(Role::SessionReplay);
+            let company = rng.pick(&replay);
+            let exfiltrates_dom = matches!(
+                company.name.as_str(),
+                "hotjar" | "luckyorange" | "truconversion"
+            ) && rng.chance(0.40);
+            services.push(WsService::SessionReplay {
+                company: idx(&company.name),
+                exfiltrates_dom,
+            });
+        }
+
+        // 33across tag — some publishers integrate the API directly from
+        // first-party code (giving 33across its long tail of benign
+        // initiators in Table 3).
+        if rng.chance(0.0008 * aa) {
+            services.push(WsService::Fingerprint {
+                company: idx("33across"),
+                inline_direct: rng.chance(0.35),
+            });
+        }
+
+        // WebSpectator (news/sports publishers).
+        let wspec_boost = match category {
+            Category::News | Category::Sports => 2.5,
+            _ => 0.6,
+        };
+        if rng.chance(0.0011 * aa * wspec_boost) {
+            services.push(WsService::WebSpectator {
+                company: idx("webspectator"),
+            });
+        }
+
+        // Feedjit (blogs: arts/society/regional).
+        let feedjit_boost = match category {
+            Category::Arts | Category::Society | Category::Regional => 2.0,
+            _ => 0.8,
+        };
+        if rng.chance(0.0014 * aa * feedjit_boost) {
+            services.push(WsService::Feedjit {
+                company: idx("feedjit"),
+                inline_direct: rng.chance(0.5),
+            });
+        }
+
+        // Disqus realtime comments.
+        if rng.chance(0.0020 * aa) {
+            services.push(WsService::Disqus {
+                company: idx("disqus"),
+            });
+        }
+
+        // Lockerdome content-rec.
+        if rng.chance(0.0010 * aa) {
+            services.push(WsService::Lockerdome {
+                company: idx("lockerdome"),
+            });
+        }
+
+        // Major ad platforms' WS experiments (pre-patch only — era gating
+        // happens at page-synthesis time). Tied to the site hosting that
+        // platform's HTTP scripts, which is re-derived there; adoption here
+        // is just "this site is in the platform's experiment group".
+        for name in [
+            "doubleclick",
+            "facebook",
+            "google",
+            "googlesyndication",
+            "adnxs",
+            "addthis",
+            "sharethis",
+            "twitter",
+        ] {
+            let p = match name {
+                "doubleclick" => 0.0013,
+                "facebook" => 0.0015,
+                "google" => 0.0011,
+                _ => 0.0005,
+            };
+            if rng.chance(p * aa) {
+                let company_idx = idx(name);
+                let company = &catalog.all()[company_idx];
+                let (partner_ws, fingerprint_to_33across) =
+                    Self::major_partner(catalog, rng, company, site_id);
+                services.push(WsService::MajorAdSocket {
+                    company: company_idx,
+                    partner_ws,
+                    fingerprint_to_33across,
+                });
+            }
+        }
+
+        // Long-tail ad networks (pre-patch era, plus a few holdouts);
+        // sites in this experiment group often carry more than one small
+        // network, which is how the study saw ~75 distinct initiator
+        // domains in a single crawl.
+        let longtail_slots = if rng.chance(0.0055 * aa) {
+            1 + usize::from(rng.chance(0.5))
+        } else {
+            0
+        };
+        for _ in 0..longtail_slots {
+            let k = rng.below(crate::companies::LONG_TAIL_COUNT as u64) as usize;
+            let company_idx = idx(&format!("adnet{k:02}"));
+            let company = &catalog.all()[company_idx];
+            let _ = company;
+            // Long-tail networks ride the ~20 established A&A receivers
+            // (infra, the fingerprint collector, content-rec) rather than
+            // running their own socket endpoints — which keeps Table 1's
+            // unique-receiver count stable while initiators churn.
+            let roll = rng.f64();
+            let partner = if roll < 0.40 {
+                "realtime"
+            } else if roll < 0.70 {
+                "pusher"
+            } else if roll < 0.90 {
+                "33across"
+            } else {
+                "lockerdome"
+            };
+            let partner_ws = catalog.by_name(partner).expect("partner").ws_url();
+            services.push(WsService::LongTail {
+                company: company_idx,
+                partner_ws,
+            });
+        }
+
+
+        // Non-A&A realtime: tickers, games, live widgets.
+        let non_aa_boost = match category {
+            Category::Sports | Category::Games => 2.4,
+            Category::News => 1.5,
+            _ => 0.8,
+        };
+        if rng.chance(0.0064 * non_aa * non_aa_boost) {
+            let named: Vec<&Company> = catalog.with_role(Role::NonAaRealtime);
+            if rng.chance(0.45) {
+                let company = rng.pick(&named);
+                services.push(WsService::NonAa {
+                    company: Some(idx(&company.name)),
+                    ws_url: company.ws_url(),
+                    first_party_script: false,
+                });
+            } else if rng.chance(0.15) {
+                // Same-site realtime (live comment counters on the
+                // publisher's own socket host) — the <10% of sockets that
+                // are NOT cross-origin in §4.1.
+                services.push(WsService::NonAa {
+                    company: None,
+                    ws_url: format!("wss://ws.{}-site-{:06}.example/live", category.slug(), site_id),
+                    first_party_script: true,
+                });
+            } else {
+                // Generic long-tail receiver; initiating script is usually
+                // first-party (live comment counters, order tickers, …).
+                let k = rng.below(crate::companies::NON_AA_RECEIVER_POOL as u64);
+                services.push(WsService::NonAa {
+                    company: None,
+                    ws_url: format!("wss://live-{k:03}.widget-host.example/feed"),
+                    first_party_script: rng.chance(0.8),
+                });
+            }
+        }
+
+        services
+    }
+
+    /// Chooses a major platform's receiver endpoint for one site. Majors
+    /// contacted "multiple other A&A domains" plus assorted infra — which
+    /// is how facebook ends up with 35 unique receivers in Table 2.
+    fn major_partner(
+        catalog: &Catalog,
+        rng: &mut Rng,
+        company: &Company,
+        _site_id: usize,
+    ) -> (String, bool) {
+        // DoubleClick's fingerprint pipeline into 33across (§4.3).
+        if company.name == "doubleclick" && rng.chance(0.40) {
+            let ta = catalog.by_name("33across").expect("33across");
+            return (ta.ws_url(), true);
+        }
+        let roll = rng.f64();
+        if roll < 0.30 && matches!(company.name.as_str(), "facebook" | "google") {
+            // Only the two giants ran their own socket endpoints (the
+            // facebook self-channel of Table 2).
+            (company.ws_url(), false)
+        } else if roll < 0.75 {
+            // An A&A partner.
+            let partners = ["33across", "realtime", "pusher", "zopim", "disqus", "lockerdome"];
+            let p = catalog.by_name(partners[rng.below(partners.len() as u64) as usize]).expect("partner");
+            (p.ws_url(), p.name == "33across" && company.name == "doubleclick")
+        } else {
+            // Assorted non-A&A experiment endpoints — each on its own
+            // neutral domain (a slice of the 382-domain receiver pool);
+            // this breadth is how facebook reaches 35 unique receivers in
+            // Table 2.
+            let k = rng.below(60);
+            (
+                format!("wss://rt.live-exchange-{k:02}.example/exp"),
+                false,
+            )
+        }
+    }
+
+    /// All sites.
+    pub fn sites(&self) -> &[SiteMeta] {
+        &self.sites
+    }
+
+    /// Site lookup by domain.
+    pub fn by_domain(&self, domain: &str) -> Option<&SiteMeta> {
+        // Domains embed the site id: `…-site-NNNNNN.example`.
+        let stem = domain.strip_suffix(".example")?;
+        let pos = stem.rfind('-')?;
+        let id: usize = stem[pos + 1..].parse().ok()?;
+        let site = self.sites.get(id)?;
+        if site.domain == domain {
+            Some(site)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe(n: usize) -> (SiteUniverse, Catalog) {
+        let catalog = Catalog::build();
+        let config = WebGenConfig {
+            n_sites: n,
+            ..WebGenConfig::default()
+        };
+        (SiteUniverse::generate(&config, &catalog), catalog)
+    }
+
+    #[test]
+    fn universe_is_deterministic() {
+        let catalog = Catalog::build();
+        let config = WebGenConfig {
+            n_sites: 500,
+            ..WebGenConfig::default()
+        };
+        let a = SiteUniverse::generate(&config, &catalog);
+        let b = SiteUniverse::generate(&config, &catalog);
+        for (x, y) in a.sites().iter().zip(b.sites()) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.rank, y.rank);
+            assert_eq!(x.ws_services.len(), y.ws_services.len());
+        }
+    }
+
+    #[test]
+    fn ws_adoption_rate_is_about_right() {
+        // ~2% of sites use WebSockets (Table 1 col 2). Adoption here is a
+        // touch above 2% because per-crawl activity gates some of it off.
+        let (u, _) = universe(20_000);
+        let with_ws = u.sites().iter().filter(|s| s.has_ws_service()).count();
+        let frac = with_ws as f64 / u.sites().len() as f64;
+        assert!(
+            (0.02..0.06).contains(&frac),
+            "adoption fraction {frac:.4}"
+        );
+    }
+
+    #[test]
+    fn top_sites_adopt_more_aa_ws() {
+        let (u, catalog) = universe(30_000);
+        let is_aa_service = |s: &WsService| match s {
+            WsService::NonAa { .. } => false,
+            WsService::Chat { company, .. }
+            | WsService::SessionReplay { company, .. }
+            | WsService::Fingerprint { company, .. }
+            | WsService::MajorAdSocket { company, .. }
+            | WsService::LongTail { company, .. }
+            | WsService::WebSpectator { company }
+            | WsService::Feedjit { company, .. }
+            | WsService::Disqus { company }
+            | WsService::Lockerdome { company } => catalog.all()[*company].aa_listed,
+        };
+        let frac_aa = |lo: u32, hi: u32| {
+            let in_bin: Vec<_> = u
+                .sites()
+                .iter()
+                .filter(|s| s.rank >= lo && s.rank <= hi)
+                .collect();
+            let n = in_bin.len().max(1);
+            let with = in_bin
+                .iter()
+                .filter(|s| s.ws_services.iter().any(is_aa_service))
+                .count();
+            with as f64 / n as f64
+        };
+        let top = frac_aa(1, 10_000);
+        let tail = frac_aa(500_001, 1_000_000);
+        assert!(top > 2.0 * tail, "top {top:.4} vs tail {tail:.4}");
+    }
+
+    #[test]
+    fn domain_lookup_roundtrip() {
+        let (u, _) = universe(100);
+        for site in u.sites() {
+            assert_eq!(u.by_domain(&site.domain).unwrap().id, site.id);
+        }
+        assert!(u.by_domain("nonexistent.example").is_none());
+        assert!(u.by_domain("weird").is_none());
+    }
+
+    #[test]
+    fn ranks_cover_the_top_million() {
+        let (u, _) = universe(5_000);
+        let max = u.sites().iter().map(|s| s.rank).max().unwrap();
+        let min = u.sites().iter().map(|s| s.rank).min().unwrap();
+        assert!(max > 500_000);
+        assert!(min < 5_000);
+        // Top-heavy: more than a third of sites rank under 50K.
+        let top = u.sites().iter().filter(|s| s.rank <= 50_000).count();
+        assert!(top * 3 > u.sites().len());
+    }
+
+    #[test]
+    fn http_ad_stack_is_common() {
+        let (u, _) = universe(2_000);
+        let with_stack = u.sites().iter().filter(|s| !s.http_ad_stack.is_empty()).count();
+        assert!(with_stack as f64 / u.sites().len() as f64 > 0.5);
+    }
+}

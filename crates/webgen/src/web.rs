@@ -1,0 +1,172 @@
+//! [`SyntheticWeb`]: the [`WebHost`] the browser crawls.
+
+use crate::companies::Catalog;
+use crate::config::{CrawlEra, WebGenConfig};
+use crate::pages::PageSynthesizer;
+use crate::sites::{SiteMeta, SiteUniverse};
+use sockscope_webmodel::{Page, ScriptBehavior, WebHost, WsServerProfile};
+
+/// A fully deterministic synthetic web for one crawl era.
+///
+/// Pages and script behaviours are synthesized on demand from the seed, so
+/// a 100K-site universe costs memory proportional to the site metadata, not
+/// to the page count.
+pub struct SyntheticWeb {
+    catalog: Catalog,
+    universe: SiteUniverse,
+    config: WebGenConfig,
+}
+
+impl SyntheticWeb {
+    /// Builds the web for a config.
+    pub fn new(config: WebGenConfig) -> SyntheticWeb {
+        let catalog = Catalog::build();
+        let universe = SiteUniverse::generate(&config, &catalog);
+        SyntheticWeb {
+            catalog,
+            universe,
+            config,
+        }
+    }
+
+    /// Same universe, different crawl era (cheap: reuses the site metadata).
+    pub fn for_era(&self, era: CrawlEra) -> SyntheticWeb {
+        SyntheticWeb {
+            catalog: self.catalog.clone(),
+            universe: self.universe.clone(),
+            config: self.config.for_era(era),
+        }
+    }
+
+    /// The company catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The site universe.
+    pub fn universe(&self) -> &SiteUniverse {
+        &self.universe
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &WebGenConfig {
+        &self.config
+    }
+
+    /// All sites.
+    pub fn sites(&self) -> &[SiteMeta] {
+        self.universe.sites()
+    }
+
+    /// The generated EasyList-like rule list.
+    pub fn easylist(&self) -> String {
+        crate::lists::easylist(&self.catalog)
+    }
+
+    /// The generated EasyPrivacy-like rule list.
+    pub fn easyprivacy(&self) -> String {
+        crate::lists::easyprivacy(&self.catalog)
+    }
+
+    fn synthesizer(&self) -> PageSynthesizer<'_> {
+        PageSynthesizer {
+            catalog: &self.catalog,
+            universe: &self.universe,
+            config: &self.config,
+        }
+    }
+}
+
+impl WebHost for SyntheticWeb {
+    fn get_page(&self, url: &str) -> Option<Page> {
+        let synth = self.synthesizer();
+        if let Some((site, idx)) = synth.resolve_page(url) {
+            return Some(synth.page(site, idx));
+        }
+        // Major platforms' ad iframes are documents too.
+        synth.adframe_page(url)
+    }
+
+    fn get_script(&self, url: &str) -> Option<ScriptBehavior> {
+        self.synthesizer().script_behavior(url)
+    }
+
+    fn get_ws_server(&self, url: &str) -> Option<WsServerProfile> {
+        // Every endpoint the generator references exists; unknown hosts
+        // refuse the connection.
+        let parsed = sockscope_urlkit::Url::parse(url).ok()?;
+        if !parsed.scheme().is_websocket() {
+            return None;
+        }
+        let host = parsed.host_str();
+        let known = self.catalog.by_host(&host).is_some()
+            || host.ends_with(".widget-host.example")
+            || host.contains("live-exchange-")
+            || host
+                .strip_prefix("ws.")
+                .map(|d| self.universe.by_domain(d).is_some())
+                .unwrap_or(false);
+        known.then(WsServerProfile::accepting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sockscope_webmodel::WebHost;
+
+    fn small_web() -> SyntheticWeb {
+        SyntheticWeb::new(WebGenConfig {
+            n_sites: 400,
+            ..WebGenConfig::default()
+        })
+    }
+
+    #[test]
+    fn homepages_resolve() {
+        let web = small_web();
+        let site = &web.sites()[0];
+        let page = web.get_page(&site.homepage()).unwrap();
+        assert!(!page.links.is_empty());
+        assert!(!page.scripts.is_empty());
+    }
+
+    #[test]
+    fn unknown_urls_404() {
+        let web = small_web();
+        assert!(web.get_page("http://www.not-a-site.example/").is_none());
+        assert!(web.get_script("https://rogue.example/x.js").is_none());
+        assert!(web.get_ws_server("wss://rogue.example/ws").is_none());
+    }
+
+    #[test]
+    fn catalog_ws_endpoints_accept() {
+        let web = small_web();
+        assert!(web.get_ws_server("wss://ws.zopim.com/socket").is_some());
+        assert!(web
+            .get_ws_server("wss://live-042.widget-host.example/feed")
+            .is_some());
+        assert!(web
+            .get_ws_server("wss://rt-03.live-exchange-3.example/exp")
+            .is_some());
+    }
+
+    #[test]
+    fn same_universe_across_eras() {
+        let web = small_web();
+        let oct = web.for_era(CrawlEra::October);
+        for (a, b) in web.sites().iter().zip(oct.sites()) {
+            assert_eq!(a.domain, b.domain);
+            assert_eq!(a.rank, b.rank);
+        }
+    }
+
+    #[test]
+    fn first_party_scripts_resolve_inert() {
+        let web = small_web();
+        let site = &web.sites()[1];
+        let url = format!("http://www.{}/assets/app.js", site.domain);
+        let b = web.get_script(&url).unwrap();
+        assert!(b.actions.is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! A minimal DOM tree, used for the Figure 2 example and for session-replay
+//! DOM-exfiltration payloads.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A DOM node: element with attributes and children, or a text node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomNode {
+    /// An element.
+    Element {
+        /// Tag name (`html`, `div`, `script`, …).
+        tag: String,
+        /// Attribute name/value pairs in document order.
+        attrs: Vec<(String, String)>,
+        /// Child nodes.
+        children: Vec<DomNode>,
+    },
+    /// A text node.
+    Text(String),
+}
+
+impl DomNode {
+    /// A convenience element constructor.
+    pub fn el(tag: &str, attrs: &[(&str, &str)], children: Vec<DomNode>) -> DomNode {
+        DomNode::Element {
+            tag: tag.to_string(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            children,
+        }
+    }
+
+    /// A text node.
+    pub fn text(t: &str) -> DomNode {
+        DomNode::Text(t.to_string())
+    }
+
+    /// Serializes the subtree to HTML. This is the exact string the
+    /// session-replay behaviours upload — "the entire DOM was serialized and
+    /// uploaded to Hotjar, LuckyOrange, or TruConversion" (§4.3).
+    pub fn to_html(&self) -> String {
+        let mut out = String::new();
+        self.write_html(&mut out);
+        out
+    }
+
+    fn write_html(&self, out: &mut String) {
+        match self {
+            DomNode::Text(t) => out.push_str(t),
+            DomNode::Element { tag, attrs, children } => {
+                let _ = write!(out, "<{tag}");
+                for (k, v) in attrs {
+                    let _ = write!(out, " {k}=\"{v}\"");
+                }
+                out.push('>');
+                for child in children {
+                    child.write_html(out);
+                }
+                let _ = write!(out, "</{tag}>");
+            }
+        }
+    }
+
+    /// Number of nodes in the subtree.
+    pub fn node_count(&self) -> usize {
+        match self {
+            DomNode::Text(_) => 1,
+            DomNode::Element { children, .. } => {
+                1 + children.iter().map(DomNode::node_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Depth-first search for the first element with the given tag.
+    pub fn find_tag(&self, tag: &str) -> Option<&DomNode> {
+        match self {
+            DomNode::Element { tag: t, children, .. } => {
+                if t == tag {
+                    return Some(self);
+                }
+                children.iter().find_map(|c| c.find_tag(tag))
+            }
+            DomNode::Text(_) => None,
+        }
+    }
+
+    /// Collects the `src`/`href` attribute of every element, in document
+    /// order — a *syntactic* view of resource inclusion. §3.1 explains why
+    /// this is insufficient for attribution (it "encodes syntactic
+    /// structures rather than semantic relationships"), which the
+    /// inclusion-tree example demonstrates by contrasting the two.
+    pub fn resource_attributes(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        self.collect_resources(&mut out);
+        out
+    }
+
+    fn collect_resources(&self, out: &mut Vec<(String, String)>) {
+        if let DomNode::Element { tag, attrs, children } = self {
+            for (k, v) in attrs {
+                if k == "src" || k == "href" {
+                    out.push((tag.clone(), v.clone()));
+                }
+            }
+            for child in children {
+                child.collect_resources(out);
+            }
+        }
+    }
+}
+
+/// Builds a DOM that mirrors the paper's Figure 2: a publisher page that
+/// includes its own script, an ads script, and a tracker script, where the
+/// ads script (at runtime) includes a second ads script and an image, and
+/// opens `ws://adnet/data.ws`.
+pub fn figure2_dom() -> DomNode {
+    DomNode::el(
+        "html",
+        &[],
+        vec![
+            DomNode::el("head", &[], vec![]),
+            DomNode::el(
+                "body",
+                &[],
+                vec![
+                    DomNode::el("script", &[("src", "http://pub.example/script.js")], vec![]),
+                    DomNode::el("script", &[("src", "http://ads.example/script.js")], vec![]),
+                    DomNode::el(
+                        "script",
+                        &[("src", "http://tracker.example/script.js")],
+                        vec![],
+                    ),
+                ],
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn html_serialization() {
+        let dom = DomNode::el(
+            "div",
+            &[("id", "main")],
+            vec![DomNode::text("hi"), DomNode::el("b", &[], vec![DomNode::text("!")])],
+        );
+        assert_eq!(dom.to_html(), r#"<div id="main">hi<b>!</b></div>"#);
+    }
+
+    #[test]
+    fn node_count_counts_text() {
+        let dom = figure2_dom();
+        assert_eq!(dom.node_count(), 6);
+    }
+
+    #[test]
+    fn find_tag_dfs() {
+        let dom = figure2_dom();
+        assert!(dom.find_tag("body").is_some());
+        assert!(dom.find_tag("video").is_none());
+    }
+
+    #[test]
+    fn figure2_syntactic_view_has_three_scripts() {
+        // The DOM tree only shows three flat script inclusions; the runtime
+        // inclusion tree (built by sockscope-inclusion) reveals the nesting.
+        let rs = figure2_dom().resource_attributes();
+        assert_eq!(rs.len(), 3);
+        assert!(rs.iter().all(|(tag, _)| tag == "script"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let dom = figure2_dom();
+        let json = serde_json::to_string(&dom).unwrap();
+        assert_eq!(serde_json::from_str::<DomNode>(&json).unwrap(), dom);
+    }
+}

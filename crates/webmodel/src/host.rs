@@ -1,0 +1,123 @@
+//! The [`WebHost`] trait: the browser's view of "the web".
+//!
+//! The crawler and browser never know whether pages come from the synthetic
+//! generator, a fixture in a unit test, or (in principle) a recorded real
+//! crawl — they only see this trait. That keeps the measurement pipeline
+//! honestly separated from the workload model, mirroring how the real study
+//! pointed an instrumented browser at an internet it did not control.
+
+use crate::page::Page;
+use crate::script::ScriptBehavior;
+
+/// Server-side behaviour of a WebSocket endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WsServerProfile {
+    /// Whether the endpoint accepts the handshake at all.
+    pub accepts: bool,
+    /// Subprotocol the server selects if the client offers one.
+    pub protocol: Option<String>,
+}
+
+impl WsServerProfile {
+    /// An endpoint that accepts upgrades.
+    pub fn accepting() -> WsServerProfile {
+        WsServerProfile {
+            accepts: true,
+            protocol: None,
+        }
+    }
+}
+
+/// The web as seen by the browser.
+pub trait WebHost {
+    /// Fetch a page document; `None` = DNS failure / 404.
+    fn get_page(&self, url: &str) -> Option<Page>;
+
+    /// Resolve a remote script URL to its behaviour; `None` = 404 (the
+    /// browser then treats it as an inert script).
+    fn get_script(&self, url: &str) -> Option<ScriptBehavior>;
+
+    /// Server profile for a WebSocket endpoint; `None` = connection refused.
+    fn get_ws_server(&self, url: &str) -> Option<WsServerProfile>;
+}
+
+/// A trivial in-memory host for tests and examples.
+#[derive(Debug, Default, Clone)]
+pub struct StaticHost {
+    pages: std::collections::HashMap<String, Page>,
+    scripts: std::collections::HashMap<String, ScriptBehavior>,
+    ws_servers: std::collections::HashMap<String, WsServerProfile>,
+    /// When `true`, any `ws://`/`wss://` host not explicitly registered
+    /// still accepts connections (convenient for fixtures).
+    pub accept_all_ws: bool,
+}
+
+impl StaticHost {
+    /// Creates an empty host.
+    pub fn new() -> StaticHost {
+        StaticHost::default()
+    }
+
+    /// Registers a page.
+    pub fn add_page(&mut self, page: Page) -> &mut Self {
+        self.pages.insert(page.url.clone(), page);
+        self
+    }
+
+    /// Registers a remote script.
+    pub fn add_script(&mut self, url: impl Into<String>, behaviour: ScriptBehavior) -> &mut Self {
+        self.scripts.insert(url.into(), behaviour);
+        self
+    }
+
+    /// Registers a WebSocket endpoint.
+    pub fn add_ws_server(&mut self, url: impl Into<String>, profile: WsServerProfile) -> &mut Self {
+        self.ws_servers.insert(url.into(), profile);
+        self
+    }
+}
+
+impl WebHost for StaticHost {
+    fn get_page(&self, url: &str) -> Option<Page> {
+        self.pages.get(url).cloned()
+    }
+
+    fn get_script(&self, url: &str) -> Option<ScriptBehavior> {
+        self.scripts.get(url).cloned()
+    }
+
+    fn get_ws_server(&self, url: &str) -> Option<WsServerProfile> {
+        if let Some(p) = self.ws_servers.get(url) {
+            return Some(p.clone());
+        }
+        if self.accept_all_ws {
+            return Some(WsServerProfile::accepting());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_host_roundtrip() {
+        let mut h = StaticHost::new();
+        h.add_page(Page::new("http://a.example/", "A"));
+        h.add_script("http://a.example/s.js", ScriptBehavior::inert());
+        h.add_ws_server("ws://a.example/ws", WsServerProfile::accepting());
+        assert!(h.get_page("http://a.example/").is_some());
+        assert!(h.get_page("http://b.example/").is_none());
+        assert!(h.get_script("http://a.example/s.js").is_some());
+        assert!(h.get_ws_server("ws://a.example/ws").unwrap().accepts);
+        assert!(h.get_ws_server("ws://b.example/ws").is_none());
+    }
+
+    #[test]
+    fn accept_all_ws_fallback() {
+        let mut h = StaticHost::new();
+        h.accept_all_ws = true;
+        assert!(h.get_ws_server("ws://anything.example/s").is_some());
+    }
+}

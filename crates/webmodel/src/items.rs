@@ -1,0 +1,184 @@
+//! The payload-item taxonomy of Table 5.
+
+use serde::{Deserialize, Serialize};
+
+/// Items observed being *sent* to A&A domains (Table 5, top half).
+///
+/// The paper's categories, verbatim: User Agent, Cookie, IP, User ID,
+/// Device, Screen, Browser, Viewport, Scroll Position, Orientation, First
+/// Seen, Resolution, Language, DOM, Binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SentItem {
+    /// The `User-Agent` header — present on every request/handshake.
+    UserAgent,
+    /// HTTP cookies (stateful tracking identifiers).
+    Cookie,
+    /// Client IP address echoed into the payload.
+    Ip,
+    /// Account/Client/User identifiers.
+    UserId,
+    /// Device Type + Device Family (fingerprinting).
+    Device,
+    /// Screen size and orientation bundle (fingerprinting).
+    Screen,
+    /// Browser Type + Browser Family (fingerprinting).
+    Browser,
+    /// Viewport dimensions (fingerprinting).
+    Viewport,
+    /// Scroll position (session-replay state).
+    ScrollPosition,
+    /// Screen orientation (fingerprinting).
+    Orientation,
+    /// Cookie-creation date ("first seen").
+    FirstSeen,
+    /// Display resolution (fingerprinting).
+    Resolution,
+    /// `navigator.language` (fingerprinting).
+    Language,
+    /// A serialized copy of the page DOM (session replay exfiltration).
+    Dom,
+    /// Undecodable binary payloads.
+    Binary,
+}
+
+impl SentItem {
+    /// All variants in Table 5 order.
+    pub const ALL: [SentItem; 15] = [
+        SentItem::UserAgent,
+        SentItem::Cookie,
+        SentItem::Ip,
+        SentItem::UserId,
+        SentItem::Device,
+        SentItem::Screen,
+        SentItem::Browser,
+        SentItem::Viewport,
+        SentItem::ScrollPosition,
+        SentItem::Orientation,
+        SentItem::FirstSeen,
+        SentItem::Resolution,
+        SentItem::Language,
+        SentItem::Dom,
+        SentItem::Binary,
+    ];
+
+    /// The row label used in Table 5.
+    pub fn label(self) -> &'static str {
+        match self {
+            SentItem::UserAgent => "User Agent",
+            SentItem::Cookie => "Cookie",
+            SentItem::Ip => "IP",
+            SentItem::UserId => "User ID",
+            SentItem::Device => "Device",
+            SentItem::Screen => "Screen",
+            SentItem::Browser => "Browser",
+            SentItem::Viewport => "Viewport",
+            SentItem::ScrollPosition => "Scroll Position",
+            SentItem::Orientation => "Orientation",
+            SentItem::FirstSeen => "First Seen",
+            SentItem::Resolution => "Resolution",
+            SentItem::Language => "Language",
+            SentItem::Dom => "DOM",
+            SentItem::Binary => "Binary",
+        }
+    }
+
+    /// The items the paper groups as "fingerprinting data" (§4.3 counts
+    /// ~3.4% of WebSockets exfiltrating these; 33across received 97% of the
+    /// involved pairs).
+    pub fn is_fingerprinting(self) -> bool {
+        matches!(
+            self,
+            SentItem::Device
+                | SentItem::Screen
+                | SentItem::Browser
+                | SentItem::Viewport
+                | SentItem::ScrollPosition
+                | SentItem::Orientation
+                | SentItem::Resolution
+        )
+    }
+}
+
+/// Content classes observed being *received* (Table 5, bottom half).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ReceivedItem {
+    /// HTML markup.
+    Html,
+    /// JSON documents.
+    Json,
+    /// JavaScript code (which "can be used to further exfiltrate data or
+    /// retrieve ads").
+    JavaScript,
+    /// Image bytes.
+    ImageData,
+    /// Undecodable binary.
+    Binary,
+    /// Lockerdome-style ad metadata: URLs to ad images plus captions and
+    /// dimensions, served as JSON (§4.3, Figure 4). Classified as JSON by
+    /// the analyzer but tracked separately so experiment E10 can find it.
+    AdUrls,
+}
+
+impl ReceivedItem {
+    /// All variants.
+    pub const ALL: [ReceivedItem; 6] = [
+        ReceivedItem::Html,
+        ReceivedItem::Json,
+        ReceivedItem::JavaScript,
+        ReceivedItem::ImageData,
+        ReceivedItem::Binary,
+        ReceivedItem::AdUrls,
+    ];
+
+    /// The row label used in Table 5 (AdUrls folds into JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            ReceivedItem::Html => "HTML",
+            ReceivedItem::Json | ReceivedItem::AdUrls => "JSON",
+            ReceivedItem::JavaScript => "JavaScript",
+            ReceivedItem::ImageData => "Image",
+            ReceivedItem::Binary => "Binary",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_row_order_is_stable() {
+        let labels: Vec<&str> = SentItem::ALL.iter().map(|i| i.label()).collect();
+        assert_eq!(labels[0], "User Agent");
+        assert_eq!(labels[1], "Cookie");
+        assert_eq!(labels[13], "DOM");
+        assert_eq!(labels[14], "Binary");
+        assert_eq!(labels.len(), 15);
+    }
+
+    #[test]
+    fn fingerprinting_group_matches_paper() {
+        // §4.3: screen size / orientation style variables; cookies, IPs and
+        // IDs are "stateful tracking", not fingerprinting.
+        assert!(SentItem::Screen.is_fingerprinting());
+        assert!(SentItem::Orientation.is_fingerprinting());
+        assert!(!SentItem::Cookie.is_fingerprinting());
+        assert!(!SentItem::Ip.is_fingerprinting());
+        assert!(!SentItem::Dom.is_fingerprinting());
+        let n = SentItem::ALL.iter().filter(|i| i.is_fingerprinting()).count();
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn ad_urls_fold_into_json() {
+        assert_eq!(ReceivedItem::AdUrls.label(), "JSON");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let all: Vec<SentItem> = SentItem::ALL.to_vec();
+        let json = serde_json::to_string(&all).unwrap();
+        let back: Vec<SentItem> = serde_json::from_str(&json).unwrap();
+        assert_eq!(all, back);
+    }
+}

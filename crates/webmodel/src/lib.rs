@@ -1,0 +1,36 @@
+//! # sockscope-webmodel
+//!
+//! The shared vocabulary between the synthetic-web generator
+//! (`sockscope-webgen`) and the simulated browser (`sockscope-browser`):
+//! pages, DOM trees, script behaviours, and the payload-item taxonomy of
+//! Table 5.
+//!
+//! A *page* is a set of resource references (scripts, images, iframes,
+//! links). A *script* is a small behaviour program — a list of [`Action`]s
+//! such as "include another script", "fetch an image", or "open a WebSocket
+//! and exchange these payloads". The browser interprets these programs,
+//! which is what produces the dynamic inclusion chains the paper's
+//! methodology (§3.1) exists to untangle.
+//!
+//! Payloads are *typed* ([`SentItem`] / [`ReceivedItem`]) and rendered to
+//! concrete wire text by [`payload`]; the content analyzer then recovers the
+//! types from the raw text with regular expressions, exactly as the paper
+//! did — the round trip from typed intent → bytes → regex-classified
+//! observation is the core of the Table 5 reproduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod host;
+pub mod items;
+pub mod page;
+pub mod payload;
+pub mod script;
+
+pub use dom::DomNode;
+pub use host::{WebHost, WsServerProfile};
+pub use items::{ReceivedItem, SentItem};
+pub use page::{Page, ScriptRef};
+pub use payload::ValueContext;
+pub use script::{Action, ScriptBehavior, WsExchange};

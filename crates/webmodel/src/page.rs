@@ -1,0 +1,137 @@
+//! Page model: what a URL serves.
+
+use crate::dom::DomNode;
+use crate::script::ScriptBehavior;
+use serde::{Deserialize, Serialize};
+
+/// A script reference on a page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScriptRef {
+    /// `<script src="…">` — behaviour resolved through the
+    /// [`WebHost`](crate::host::WebHost) at execution time.
+    Remote(String),
+    /// An inline `<script>…</script>` with its behaviour attached.
+    Inline(ScriptBehavior),
+}
+
+/// A synthetic web page.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Page {
+    /// Canonical URL of the page.
+    pub url: String,
+    /// Page `<title>`.
+    pub title: String,
+    /// Same-site links the crawler may follow (the crawl policy visits the
+    /// homepage plus up to 15 of these, §3.3).
+    pub links: Vec<String>,
+    /// Scripts in document order.
+    pub scripts: Vec<ScriptRef>,
+    /// Static images referenced by the markup.
+    pub images: Vec<String>,
+    /// iframes (each loads another page).
+    pub iframes: Vec<String>,
+    /// Optional explicit DOM used for session-replay exfiltration payloads
+    /// and the Figure 2 example; pages without one get a DOM synthesized
+    /// from the fields above.
+    pub dom: Option<DomNode>,
+}
+
+impl Page {
+    /// Creates an empty page at `url`.
+    pub fn new(url: impl Into<String>, title: impl Into<String>) -> Page {
+        Page {
+            url: url.into(),
+            title: title.into(),
+            ..Page::default()
+        }
+    }
+
+    /// Synthesizes a DOM for the page when none was provided: head/title,
+    /// script and img elements, anchors for links.
+    pub fn dom(&self) -> DomNode {
+        if let Some(dom) = &self.dom {
+            return dom.clone();
+        }
+        let mut body_children: Vec<DomNode> = Vec::new();
+        for s in &self.scripts {
+            match s {
+                ScriptRef::Remote(url) => {
+                    body_children.push(DomNode::el("script", &[("src", url)], vec![]))
+                }
+                ScriptRef::Inline(_) => {
+                    body_children.push(DomNode::el("script", &[], vec![DomNode::text("/*inline*/")]))
+                }
+            }
+        }
+        for img in &self.images {
+            body_children.push(DomNode::el("img", &[("src", img)], vec![]));
+        }
+        for frame in &self.iframes {
+            body_children.push(DomNode::el("iframe", &[("src", frame)], vec![]));
+        }
+        for link in &self.links {
+            body_children.push(DomNode::el(
+                "a",
+                &[("href", link)],
+                vec![DomNode::text(&self.title)],
+            ));
+        }
+        DomNode::el(
+            "html",
+            &[],
+            vec![
+                DomNode::el("head", &[], vec![DomNode::el("title", &[], vec![DomNode::text(&self.title)])]),
+                DomNode::el("body", &[], body_children),
+            ],
+        )
+    }
+
+    /// Total number of scripts on the page.
+    pub fn script_count(&self) -> usize {
+        self.scripts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{Action, ScriptBehavior};
+
+    #[test]
+    fn synthesized_dom_contains_resources() {
+        let mut p = Page::new("http://pub.example/", "Pub");
+        p.scripts.push(ScriptRef::Remote("http://ads.example/s.js".into()));
+        p.images.push("http://pub.example/logo.png".into());
+        p.iframes.push("http://embed.example/f".into());
+        p.links.push("http://pub.example/about".into());
+        let dom = p.dom();
+        let resources = dom.resource_attributes();
+        let urls: Vec<&str> = resources.iter().map(|(_, u)| u.as_str()).collect();
+        assert!(urls.contains(&"http://ads.example/s.js"));
+        assert!(urls.contains(&"http://pub.example/logo.png"));
+        assert!(urls.contains(&"http://embed.example/f"));
+        assert!(urls.contains(&"http://pub.example/about"));
+    }
+
+    #[test]
+    fn explicit_dom_wins() {
+        let mut p = Page::new("http://pub.example/", "Pub");
+        p.dom = Some(DomNode::text("custom"));
+        assert_eq!(p.dom(), DomNode::text("custom"));
+    }
+
+    #[test]
+    fn inline_scripts_carry_behaviour() {
+        let mut p = Page::new("http://pub.example/", "Pub");
+        p.scripts.push(ScriptRef::Inline(
+            ScriptBehavior::inert().then(Action::OpenWebSocket {
+                url: "ws://chat.example/s".into(),
+                exchanges: vec![],
+            }),
+        ));
+        match &p.scripts[0] {
+            ScriptRef::Inline(b) => assert_eq!(b.actions.len(), 1),
+            _ => panic!("expected inline"),
+        }
+    }
+}

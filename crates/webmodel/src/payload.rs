@@ -1,0 +1,301 @@
+//! Rendering typed payload items to concrete wire text/bytes.
+//!
+//! The generator decides *what* a tracker sends ([`SentItem`]s); this module
+//! decides *how it looks on the wire*. The shapes mimic what the paper's
+//! regex library had to cope with: query-string pairs, JSON-ish blobs,
+//! headers, serialized DOMs, and opaque binary.
+
+use crate::items::{ReceivedItem, SentItem};
+use std::fmt::Write as _;
+
+/// A rendered payload: text or binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// UTF-8 text (sent as a WS text frame / HTTP body).
+    Text(String),
+    /// Binary (sent as a WS binary frame).
+    Binary(Vec<u8>),
+}
+
+impl Payload {
+    /// Byte view of the payload.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            Payload::Text(s) => s.as_bytes(),
+            Payload::Binary(b) => b,
+        }
+    }
+
+    /// Text view, if this is a text payload.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Payload::Text(s) => Some(s),
+            Payload::Binary(_) => None,
+        }
+    }
+}
+
+/// Per-visit concrete values used when rendering payload items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueContext {
+    /// Browser User-Agent string.
+    pub user_agent: String,
+    /// Cookie header value.
+    pub cookie: String,
+    /// Client IPv4 address.
+    pub ip: String,
+    /// Site-assigned user identifier.
+    pub user_id: String,
+    /// Device type/family.
+    pub device: String,
+    /// Physical screen `WxH`.
+    pub screen: (u32, u32),
+    /// Browser type/family.
+    pub browser: String,
+    /// Viewport `WxH`.
+    pub viewport: (u32, u32),
+    /// Current scroll offset in px.
+    pub scroll: u32,
+    /// `landscape` / `portrait`.
+    pub orientation: String,
+    /// Cookie-creation date (ISO), the paper's "First Seen" field.
+    pub first_seen: String,
+    /// Display resolution `WxH`.
+    pub resolution: (u32, u32),
+    /// `navigator.language`.
+    pub language: String,
+    /// Serialized page DOM (session-replay exfiltration payloads).
+    pub dom_html: String,
+}
+
+impl ValueContext {
+    /// Builds a fully deterministic context from a seed. Two equal seeds
+    /// yield identical wire bytes, which the reproducibility tests rely on.
+    pub fn deterministic(seed: u64) -> ValueContext {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        let chrome_major = 50 + (next() % 10);
+        let screens = [(1920u32, 1080u32), (1366, 768), (1440, 900), (2560, 1440), (1280, 800)];
+        let screen = screens[(next() % screens.len() as u64) as usize];
+        let langs = ["en-US", "en-GB", "de-DE", "fr-FR", "pt-BR", "ja-JP"];
+        let language = langs[(next() % langs.len() as u64) as usize].to_string();
+        let devices = ["Desktop/Mac", "Desktop/Windows", "Desktop/Linux", "Mobile/Android", "Mobile/iOS"];
+        let device = devices[(next() % devices.len() as u64) as usize].to_string();
+        let uid = next();
+        let ip = format!(
+            "{}.{}.{}.{}",
+            10 + next() % 200,
+            next() % 256,
+            next() % 256,
+            1 + next() % 254
+        );
+        let day = 1 + next() % 28;
+        let month = 1 + next() % 12;
+        ValueContext {
+            user_agent: format!(
+                "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/{chrome_major}.0.3029.110 Safari/537.36"
+            ),
+            cookie: format!("uid={uid:016x}; _ga=GA1.2.{}.{}", next() % 1_000_000_000, next() % 2_000_000_000),
+            ip,
+            user_id: format!("client_{:012x}", next() & 0xFFFF_FFFF_FFFF),
+            device,
+            screen,
+            browser: format!("Chrome/Blink {chrome_major}"),
+            viewport: (screen.0 - 40, screen.1.saturating_sub(120)),
+            scroll: (next() % 4000) as u32,
+            orientation: if screen.0 >= screen.1 { "landscape" } else { "portrait" }.to_string(),
+            first_seen: format!("2016-{month:02}-{day:02}T12:00:00Z"),
+            resolution: screen,
+            language,
+            dom_html: String::new(),
+        }
+    }
+
+    /// Renders the given sent-items as one message payload.
+    ///
+    /// If `items` contains [`SentItem::Binary`], the payload is an opaque
+    /// binary blob (the ~1% of sockets the authors could not decode);
+    /// otherwise it is a query-string-style text payload whose keys the
+    /// analyzer's regex library recognizes.
+    pub fn render_sent(&self, items: &[SentItem]) -> Payload {
+        if items.contains(&SentItem::Binary) {
+            // Opaque, deliberately not valid UTF-8 and not base64.
+            let mut blob = vec![0x00, 0xFF, 0xFE, 0x01];
+            blob.extend(self.user_id.bytes().map(|b| b ^ 0xA5));
+            return Payload::Binary(blob);
+        }
+        let mut out = String::new();
+        let push = |out: &mut String, kv: String| {
+            if !out.is_empty() {
+                out.push('&');
+            }
+            out.push_str(&kv);
+        };
+        for item in items {
+            match item {
+                SentItem::UserAgent => push(&mut out, format!("ua={}", self.user_agent)),
+                SentItem::Cookie => push(&mut out, format!("cookie={}", self.cookie)),
+                SentItem::Ip => push(&mut out, format!("client_ip={}", self.ip)),
+                SentItem::UserId => push(&mut out, format!("user_id={}", self.user_id)),
+                SentItem::Device => push(&mut out, format!("device={}", self.device)),
+                SentItem::Screen => push(
+                    &mut out,
+                    format!("screen={}x{}", self.screen.0, self.screen.1),
+                ),
+                SentItem::Browser => push(&mut out, format!("browser={}", self.browser)),
+                SentItem::Viewport => push(
+                    &mut out,
+                    format!("viewport={}x{}", self.viewport.0, self.viewport.1),
+                ),
+                SentItem::ScrollPosition => push(&mut out, format!("scroll_y={}", self.scroll)),
+                SentItem::Orientation => {
+                    push(&mut out, format!("orientation={}", self.orientation))
+                }
+                SentItem::FirstSeen => push(&mut out, format!("first_seen={}", self.first_seen)),
+                SentItem::Resolution => push(
+                    &mut out,
+                    format!("resolution={}x{}", self.resolution.0, self.resolution.1),
+                ),
+                SentItem::Language => push(&mut out, format!("lang={}", self.language)),
+                SentItem::Dom => push(&mut out, format!("dom={}", self.dom_html)),
+                SentItem::Binary => unreachable!("handled above"),
+            }
+        }
+        Payload::Text(out)
+    }
+
+    /// Renders a server response for the given received-items.
+    pub fn render_received(&self, items: &[ReceivedItem], host: &str) -> Payload {
+        // Binary classes win: image bytes / opaque binary.
+        if items.contains(&ReceivedItem::ImageData) {
+            // PNG magic + filler.
+            let mut png = vec![0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A];
+            png.extend_from_slice(&[0u8; 64]);
+            return Payload::Binary(png);
+        }
+        if items.contains(&ReceivedItem::Binary) {
+            return Payload::Binary(vec![0x7F, 0x00, 0xC3, 0x28, 0xA0, 0xA1]);
+        }
+        let mut out = String::new();
+        for item in items {
+            match item {
+                ReceivedItem::Html => {
+                    let _ = write!(
+                        out,
+                        "<html><body><div class=\"widget\" data-host=\"{host}\">content</div></body></html>"
+                    );
+                }
+                ReceivedItem::Json => {
+                    let _ = write!(
+                        out,
+                        "{{\"status\":\"ok\",\"host\":\"{host}\",\"ts\":1492041600}}"
+                    );
+                }
+                ReceivedItem::JavaScript => {
+                    let _ = write!(
+                        out,
+                        "(function(){{var t=document.createElement('script');t.src='//{host}/next.js';document.head.appendChild(t);}})();"
+                    );
+                }
+                ReceivedItem::AdUrls => {
+                    // Lockerdome-style ad metadata (Figure 4 / §4.3): URLs to
+                    // creatives on an unlisted CDN host directly under the
+                    // company's registrable domain (cdn1.lockerdome.com).
+                    let host = sockscope_urlkit::second_level_domain(host);
+                    let _ = write!(
+                        out,
+                        "{{\"ads\":[\
+{{\"img\":\"http://cdn1.{host}/creative/101.jpg\",\"caption\":\"Odd Trick To Fix Sagging Skin\",\"width\":300,\"height\":250}},\
+{{\"img\":\"http://cdn1.{host}/creative/102.jpg\",\"caption\":\"Study Reveals What Just A Single Diet Soda Does To You\",\"width\":300,\"height\":250}},\
+{{\"img\":\"http://cdn1.{host}/creative/103.jpg\",\"caption\":\"Win an iPad Air 2 from Addicting Games!\",\"width\":300,\"height\":250}}]}}"
+                    );
+                }
+                ReceivedItem::ImageData | ReceivedItem::Binary => unreachable!("handled above"),
+            }
+        }
+        Payload::Text(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_contexts_are_reproducible() {
+        let a = ValueContext::deterministic(99);
+        let b = ValueContext::deterministic(99);
+        let c = ValueContext::deterministic(100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sent_rendering_contains_recognizable_keys() {
+        let ctx = ValueContext::deterministic(7);
+        let p = ctx.render_sent(&[
+            SentItem::UserAgent,
+            SentItem::Cookie,
+            SentItem::Screen,
+            SentItem::Language,
+        ]);
+        let text = p.as_text().unwrap();
+        assert!(text.contains("ua=Mozilla/5.0"));
+        assert!(text.contains("cookie=uid="));
+        assert!(text.contains(&format!("screen={}x{}", ctx.screen.0, ctx.screen.1)));
+        assert!(text.contains(&format!("lang={}", ctx.language)));
+    }
+
+    #[test]
+    fn dom_payload_embeds_html() {
+        let mut ctx = ValueContext::deterministic(7);
+        ctx.dom_html = "<html><body><input value=\"unsent message\"></body></html>".into();
+        let p = ctx.render_sent(&[SentItem::Dom]);
+        assert!(p.as_text().unwrap().contains("unsent message"));
+    }
+
+    #[test]
+    fn binary_item_forces_binary_payload() {
+        let ctx = ValueContext::deterministic(7);
+        let p = ctx.render_sent(&[SentItem::UserId, SentItem::Binary]);
+        assert!(p.as_text().is_none());
+        assert!(std::str::from_utf8(p.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn received_rendering_by_class() {
+        let ctx = ValueContext::deterministic(7);
+        let html = ctx.render_received(&[ReceivedItem::Html], "intercom.example");
+        assert!(html.as_text().unwrap().starts_with("<html>"));
+        let json = ctx.render_received(&[ReceivedItem::Json], "x.example");
+        assert!(json.as_text().unwrap().starts_with('{'));
+        let js = ctx.render_received(&[ReceivedItem::JavaScript], "x.example");
+        assert!(js.as_text().unwrap().contains("createElement"));
+        let img = ctx.render_received(&[ReceivedItem::ImageData], "x.example");
+        assert_eq!(&img.as_bytes()[1..4], b"PNG");
+        let bin = ctx.render_received(&[ReceivedItem::Binary], "x.example");
+        assert!(std::str::from_utf8(bin.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn ad_urls_render_figure4_captions() {
+        let ctx = ValueContext::deterministic(7);
+        let p = ctx.render_received(&[ReceivedItem::AdUrls], "lockerdome.example");
+        let text = p.as_text().unwrap();
+        assert!(text.contains("cdn1.lockerdome.example"));
+        assert!(text.contains("Odd Trick To Fix Sagging Skin"));
+        assert!(text.contains("Win an iPad Air 2"));
+        assert!(text.contains("\"width\":300"));
+    }
+
+    #[test]
+    fn no_items_render_empty_text() {
+        let ctx = ValueContext::deterministic(7);
+        assert_eq!(ctx.render_sent(&[]), Payload::Text(String::new()));
+    }
+}

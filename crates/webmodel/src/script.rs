@@ -1,0 +1,157 @@
+//! Script behaviour IR: what a (synthetic) script does when executed.
+
+use crate::items::{ReceivedItem, SentItem};
+use serde::{Deserialize, Serialize};
+
+/// One WebSocket message round: what the client sends, and what the server
+/// answers with. Either side may be empty (the paper found 17.8% of sockets
+/// sent no data and 21.3% received none).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WsExchange {
+    /// Items the initiating script sends in this round.
+    pub send: Vec<SentItem>,
+    /// Content classes the receiver responds with.
+    pub receive: Vec<ReceivedItem>,
+}
+
+impl WsExchange {
+    /// An exchange that only sends.
+    pub fn send_only(items: impl Into<Vec<SentItem>>) -> WsExchange {
+        WsExchange {
+            send: items.into(),
+            receive: Vec::new(),
+        }
+    }
+
+    /// An exchange that only receives.
+    pub fn receive_only(items: impl Into<Vec<ReceivedItem>>) -> WsExchange {
+        WsExchange {
+            send: Vec::new(),
+            receive: items.into(),
+        }
+    }
+}
+
+/// One step in a script's behaviour program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Dynamically include another script (`document.createElement('script')`
+    /// style). The included script's own behaviour executes as a child in
+    /// the inclusion tree — this is exactly the dynamic chain that makes
+    /// `Referer`-based attribution wrong (§3.1).
+    IncludeScript {
+        /// Absolute URL of the script.
+        url: String,
+    },
+    /// Fetch an image (tracking pixel or ad creative).
+    FetchImage {
+        /// Absolute URL.
+        url: String,
+        /// Items leaked via the query string / cookies.
+        sent: Vec<SentItem>,
+    },
+    /// Fire an XHR.
+    FetchXhr {
+        /// Absolute URL.
+        url: String,
+        /// Items sent in the body/query.
+        sent: Vec<SentItem>,
+        /// Content class of the response.
+        receive: Vec<ReceivedItem>,
+    },
+    /// Inject an iframe which loads a (sub)page.
+    OpenFrame {
+        /// Absolute URL of the frame document.
+        url: String,
+    },
+    /// Open a WebSocket and run the scripted exchanges. The browser routes
+    /// this through the real RFC 6455 codec in `sockscope-wsproto`.
+    OpenWebSocket {
+        /// `ws://` or `wss://` endpoint URL.
+        url: String,
+        /// Message rounds.
+        exchanges: Vec<WsExchange>,
+    },
+}
+
+impl Action {
+    /// The URL this action targets.
+    pub fn url(&self) -> &str {
+        match self {
+            Action::IncludeScript { url }
+            | Action::FetchImage { url, .. }
+            | Action::FetchXhr { url, .. }
+            | Action::OpenFrame { url }
+            | Action::OpenWebSocket { url, .. } => url,
+        }
+    }
+}
+
+/// A script's full behaviour program.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ScriptBehavior {
+    /// Steps executed in order.
+    pub actions: Vec<Action>,
+}
+
+impl ScriptBehavior {
+    /// A script that does nothing observable.
+    pub fn inert() -> ScriptBehavior {
+        ScriptBehavior::default()
+    }
+
+    /// Builder: appends an action.
+    pub fn then(mut self, action: Action) -> ScriptBehavior {
+        self.actions.push(action);
+        self
+    }
+
+    /// All WebSocket endpoints this behaviour opens (not counting included
+    /// scripts — those are resolved at execution time).
+    pub fn direct_ws_endpoints(&self) -> impl Iterator<Item = &str> {
+        self.actions.iter().filter_map(|a| match a {
+            Action::OpenWebSocket { url, .. } => Some(url.as_str()),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let b = ScriptBehavior::inert()
+            .then(Action::IncludeScript {
+                url: "http://ads.example/s2.js".into(),
+            })
+            .then(Action::OpenWebSocket {
+                url: "ws://adnet.example/data.ws".into(),
+                exchanges: vec![WsExchange::send_only(vec![SentItem::UserAgent])],
+            });
+        assert_eq!(b.actions.len(), 2);
+        assert_eq!(b.actions[0].url(), "http://ads.example/s2.js");
+        let endpoints: Vec<&str> = b.direct_ws_endpoints().collect();
+        assert_eq!(endpoints, vec!["ws://adnet.example/data.ws"]);
+    }
+
+    #[test]
+    fn exchange_constructors() {
+        let s = WsExchange::send_only(vec![SentItem::Dom]);
+        assert!(s.receive.is_empty());
+        let r = WsExchange::receive_only(vec![ReceivedItem::AdUrls]);
+        assert!(r.send.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let b = ScriptBehavior::inert().then(Action::FetchXhr {
+            url: "https://t.example/collect".into(),
+            sent: vec![SentItem::Cookie, SentItem::UserId],
+            receive: vec![ReceivedItem::Json],
+        });
+        let json = serde_json::to_string(&b).unwrap();
+        assert_eq!(serde_json::from_str::<ScriptBehavior>(&json).unwrap(), b);
+    }
+}

@@ -1,0 +1,152 @@
+//! Base64 (RFC 4648, standard alphabet with padding), from scratch.
+//!
+//! Used for `Sec-WebSocket-Key` / `Sec-WebSocket-Accept`, and by the content
+//! analyzer to probe WebSocket payloads for base64-encoded media (§4.3: "we
+//! checked for binary and base64 encoded media files").
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `data` as standard base64 with `=` padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decoding errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input length not a multiple of 4.
+    BadLength,
+    /// A character outside the alphabet (or misplaced padding).
+    BadChar(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadLength => write!(f, "base64 length not a multiple of 4"),
+            DecodeError::BadChar(b) => write!(f, "invalid base64 byte {b:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn value(b: u8) -> Option<u8> {
+    match b {
+        b'A'..=b'Z' => Some(b - b'A'),
+        b'a'..=b'z' => Some(b - b'a' + 26),
+        b'0'..=b'9' => Some(b - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes standard base64 with `=` padding.
+pub fn decode(input: &str) -> Result<Vec<u8>, DecodeError> {
+    let bytes = input.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return Err(DecodeError::BadLength);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, chunk) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = if last {
+            chunk.iter().rev().take_while(|&&b| b == b'=').count()
+        } else {
+            0
+        };
+        if pad > 2 {
+            return Err(DecodeError::BadChar(b'='));
+        }
+        let mut n: u32 = 0;
+        for (j, &b) in chunk.iter().enumerate() {
+            let v = if j >= 4 - pad {
+                0
+            } else {
+                value(b).ok_or(DecodeError::BadChar(b))?
+            };
+            n = (n << 6) | v as u32;
+        }
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// Heuristic: does `s` look like a base64-encoded blob of at least
+/// `min_len` characters? Used by the content analyzer to flag possible
+/// base64 media payloads in WebSocket messages.
+pub fn looks_like_base64(s: &str, min_len: usize) -> bool {
+    let s = s.trim();
+    s.len() >= min_len
+        && s.len() % 4 == 0
+        && s.bytes().all(|b| value(b).is_some() || b == b'=')
+        && decode(s).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (raw, enc) in cases {
+            assert_eq!(encode(raw), *enc);
+            assert_eq!(decode(enc).unwrap(), raw.to_vec());
+        }
+    }
+
+    #[test]
+    fn roundtrip_binary() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(decode("abc"), Err(DecodeError::BadLength));
+        assert_eq!(decode("a!cd"), Err(DecodeError::BadChar(b'!')));
+        assert_eq!(decode("===="), Err(DecodeError::BadChar(b'=')));
+    }
+
+    #[test]
+    fn detector() {
+        assert!(looks_like_base64(&encode(&[7u8; 99]), 16));
+        assert!(!looks_like_base64("hello world this is text", 16));
+        assert!(!looks_like_base64("Zg==", 16)); // too short
+    }
+}

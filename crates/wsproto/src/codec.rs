@@ -1,0 +1,525 @@
+//! Incremental frame encoder/decoder over raw byte streams.
+//!
+//! The decoder is a pull-based state machine: push arbitrary byte chunks in
+//! with [`FrameDecoder::feed`], pull complete frames out with
+//! [`FrameDecoder::next_frame`]. It never blocks, never reads, and tolerates
+//! any fragmentation of the input — the property-based tests split the byte
+//! stream at every possible boundary.
+
+use crate::frame::{apply_mask, Frame, Opcode};
+use crate::ProtocolError;
+
+/// Which side of the connection this codec speaks for. Clients MUST mask
+/// every frame they send; servers MUST NOT mask (RFC 6455 §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskingRole {
+    /// Client side: outgoing frames masked, incoming must be unmasked.
+    Client,
+    /// Server side: outgoing frames unmasked, incoming must be masked.
+    Server,
+}
+
+/// Encodes frames into wire bytes.
+#[derive(Debug, Clone)]
+pub struct FrameEncoder {
+    role: MaskingRole,
+    /// Deterministic mask-key generator state (xorshift). The RFC requires
+    /// unpredictable masks to defeat cache poisoning; for a deterministic
+    /// simulation we need reproducibility instead, so the seed is explicit.
+    mask_state: u64,
+}
+
+impl FrameEncoder {
+    /// Creates an encoder for the given role with a mask-key seed.
+    pub fn new(role: MaskingRole, mask_seed: u64) -> FrameEncoder {
+        FrameEncoder {
+            role,
+            // xorshift must not start at 0.
+            mask_state: mask_seed | 1,
+        }
+    }
+
+    fn next_mask(&mut self) -> [u8; 4] {
+        // xorshift64*
+        let mut x = self.mask_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.mask_state = x;
+        let v = x.wrapping_mul(0x2545F4914F6CDD1D);
+        (v as u32).to_be_bytes()
+    }
+
+    /// Serializes one frame, applying the role's masking rule.
+    pub fn encode(&mut self, frame: &Frame) -> Vec<u8> {
+        let mask = match self.role {
+            MaskingRole::Client => Some(frame.mask.unwrap_or_else(|| self.next_mask())),
+            MaskingRole::Server => None,
+        };
+        let len = frame.payload.len();
+        let mut out = Vec::with_capacity(len + 14);
+        let b0 = (u8::from(frame.fin) << 7) | frame.opcode.to_u8();
+        out.push(b0);
+        let mask_bit = if mask.is_some() { 0x80u8 } else { 0 };
+        if len < 126 {
+            out.push(mask_bit | len as u8);
+        } else if len <= u16::MAX as usize {
+            out.push(mask_bit | 126);
+            out.extend_from_slice(&(len as u16).to_be_bytes());
+        } else {
+            out.push(mask_bit | 127);
+            out.extend_from_slice(&(len as u64).to_be_bytes());
+        }
+        match mask {
+            Some(key) => {
+                out.extend_from_slice(&key);
+                let start = out.len();
+                out.extend_from_slice(&frame.payload);
+                apply_mask(&mut out[start..], key);
+            }
+            None => out.extend_from_slice(&frame.payload),
+        }
+        out
+    }
+}
+
+/// Decoder state: where in the current frame header/payload we are.
+#[derive(Debug, Clone)]
+enum DecodeState {
+    /// Waiting for the 2 fixed header bytes.
+    Header,
+    /// Waiting for an extended length (2 or 8 bytes).
+    ExtendedLen {
+        fin: bool,
+        opcode: Opcode,
+        masked: bool,
+        need: usize,
+    },
+    /// Waiting for the 4-byte mask key.
+    MaskKey {
+        fin: bool,
+        opcode: Opcode,
+        len: usize,
+    },
+    /// Waiting for `len` payload bytes.
+    Payload {
+        fin: bool,
+        opcode: Opcode,
+        mask: Option<[u8; 4]>,
+        len: usize,
+    },
+}
+
+/// Incremental decoder. See module docs.
+#[derive(Debug, Clone)]
+pub struct FrameDecoder {
+    role: MaskingRole,
+    buf: Vec<u8>,
+    state: DecodeState,
+    /// Upper bound on a single frame's payload; oversized frames poison the
+    /// decoder with [`ProtocolError::MessageTooLarge`].
+    max_payload: usize,
+    poisoned: bool,
+}
+
+/// Default single-frame payload cap (16 MiB) — far above anything the study
+/// observed, but bounds memory against malicious length fields.
+pub const DEFAULT_MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+
+impl FrameDecoder {
+    /// Creates a decoder for the given role (the role of *this* endpoint;
+    /// i.e. a `Client` decoder expects unmasked server frames).
+    pub fn new(role: MaskingRole) -> FrameDecoder {
+        FrameDecoder::with_max_payload(role, DEFAULT_MAX_PAYLOAD)
+    }
+
+    /// Creates a decoder with a custom payload cap.
+    pub fn with_max_payload(role: MaskingRole, max_payload: usize) -> FrameDecoder {
+        FrameDecoder {
+            role,
+            buf: Vec::new(),
+            state: DecodeState::Header,
+            max_payload,
+            poisoned: false,
+        }
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to decode the next complete frame. Returns `Ok(None)` when
+    /// more bytes are needed. After an error the decoder is poisoned and
+    /// keeps returning the same class of failure (a real endpoint would
+    /// have torn the connection down with close code 1002).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtocolError> {
+        if self.poisoned {
+            return Err(ProtocolError::AfterClose);
+        }
+        loop {
+            match self.state.clone() {
+                DecodeState::Header => {
+                    if self.buf.len() < 2 {
+                        return Ok(None);
+                    }
+                    let b0 = self.buf[0];
+                    let b1 = self.buf[1];
+                    self.consume(2);
+                    if b0 & 0x70 != 0 {
+                        return self.poison(ProtocolError::ReservedBitsSet);
+                    }
+                    let fin = b0 & 0x80 != 0;
+                    let opcode = match Opcode::from_u8(b0 & 0x0F) {
+                        Ok(op) => op,
+                        Err(e) => return self.poison(e),
+                    };
+                    let masked = b1 & 0x80 != 0;
+                    // Enforce masking direction.
+                    let expect_masked = self.role == MaskingRole::Server;
+                    if masked != expect_masked {
+                        return self.poison(ProtocolError::BadMask);
+                    }
+                    if opcode.is_control() && !fin {
+                        return self.poison(ProtocolError::BadControlFrame);
+                    }
+                    let len7 = (b1 & 0x7F) as usize;
+                    match len7 {
+                        0..=125 => {
+                            if opcode.is_control() && len7 > 125 {
+                                return self.poison(ProtocolError::BadControlFrame);
+                            }
+                            self.after_len(fin, opcode, masked, len7)?;
+                        }
+                        126 => {
+                            if opcode.is_control() {
+                                return self.poison(ProtocolError::BadControlFrame);
+                            }
+                            self.state = DecodeState::ExtendedLen {
+                                fin,
+                                opcode,
+                                masked,
+                                need: 2,
+                            };
+                        }
+                        _ => {
+                            if opcode.is_control() {
+                                return self.poison(ProtocolError::BadControlFrame);
+                            }
+                            self.state = DecodeState::ExtendedLen {
+                                fin,
+                                opcode,
+                                masked,
+                                need: 8,
+                            };
+                        }
+                    }
+                }
+                DecodeState::ExtendedLen {
+                    fin,
+                    opcode,
+                    masked,
+                    need,
+                } => {
+                    if self.buf.len() < need {
+                        return Ok(None);
+                    }
+                    let len = if need == 2 {
+                        let v = u16::from_be_bytes([self.buf[0], self.buf[1]]) as u64;
+                        if v < 126 {
+                            return self.poison(ProtocolError::BadLength);
+                        }
+                        v
+                    } else {
+                        let mut b = [0u8; 8];
+                        b.copy_from_slice(&self.buf[..8]);
+                        let v = u64::from_be_bytes(b);
+                        if v <= u16::MAX as u64 || v > i64::MAX as u64 {
+                            return self.poison(ProtocolError::BadLength);
+                        }
+                        v
+                    };
+                    self.consume(need);
+                    if len > self.max_payload as u64 {
+                        return self.poison(ProtocolError::MessageTooLarge);
+                    }
+                    self.after_len(fin, opcode, masked, len as usize)?;
+                }
+                DecodeState::MaskKey { fin, opcode, len } => {
+                    if self.buf.len() < 4 {
+                        return Ok(None);
+                    }
+                    let key = [self.buf[0], self.buf[1], self.buf[2], self.buf[3]];
+                    self.consume(4);
+                    self.state = DecodeState::Payload {
+                        fin,
+                        opcode,
+                        mask: Some(key),
+                        len,
+                    };
+                }
+                DecodeState::Payload {
+                    fin,
+                    opcode,
+                    mask,
+                    len,
+                } => {
+                    if self.buf.len() < len {
+                        return Ok(None);
+                    }
+                    let mut payload: Vec<u8> = self.buf[..len].to_vec();
+                    self.consume(len);
+                    if let Some(key) = mask {
+                        apply_mask(&mut payload, key);
+                    }
+                    self.state = DecodeState::Header;
+                    return Ok(Some(Frame {
+                        fin,
+                        opcode,
+                        payload,
+                        mask,
+                    }));
+                }
+            }
+        }
+    }
+
+    fn after_len(
+        &mut self,
+        fin: bool,
+        opcode: Opcode,
+        masked: bool,
+        len: usize,
+    ) -> Result<(), ProtocolError> {
+        if len > self.max_payload {
+            self.poisoned = true;
+            return Err(ProtocolError::MessageTooLarge);
+        }
+        self.state = if masked {
+            DecodeState::MaskKey { fin, opcode, len }
+        } else {
+            DecodeState::Payload {
+                fin,
+                opcode,
+                mask: None,
+                len,
+            }
+        };
+        Ok(())
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.buf.drain(..n);
+    }
+
+    fn poison(&mut self, e: ProtocolError) -> Result<Option<Frame>, ProtocolError> {
+        self.poisoned = true;
+        Err(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::CloseCode;
+
+    fn roundtrip(role: MaskingRole, frame: Frame) -> Frame {
+        let mut enc = FrameEncoder::new(role, 42);
+        let peer = match role {
+            MaskingRole::Client => MaskingRole::Server,
+            MaskingRole::Server => MaskingRole::Client,
+        };
+        let mut dec = FrameDecoder::new(peer);
+        dec.feed(&enc.encode(&frame));
+        dec.next_frame().unwrap().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_text_both_roles() {
+        for role in [MaskingRole::Client, MaskingRole::Server] {
+            let out = roundtrip(role, Frame::text("hello websocket"));
+            assert_eq!(out.opcode, Opcode::Text);
+            assert_eq!(out.payload, b"hello websocket");
+            assert!(out.fin);
+            assert_eq!(out.mask.is_some(), role == MaskingRole::Client);
+        }
+    }
+
+    #[test]
+    fn roundtrip_length_classes() {
+        // 7-bit, 16-bit, and 64-bit length encodings.
+        for len in [0usize, 1, 125, 126, 127, 65535, 65536, 100_000] {
+            let data = vec![0xABu8; len];
+            let out = roundtrip(MaskingRole::Server, Frame::binary(data.clone()));
+            assert_eq!(out.payload, data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn wire_format_of_known_frame() {
+        // RFC 6455 §5.7: a single-frame unmasked text message "Hello" is
+        // 0x81 0x05 0x48 0x65 0x6c 0x6c 0x6f.
+        let mut enc = FrameEncoder::new(MaskingRole::Server, 1);
+        let bytes = enc.encode(&Frame::text("Hello"));
+        assert_eq!(bytes, [0x81, 0x05, 0x48, 0x65, 0x6c, 0x6c, 0x6f]);
+    }
+
+    #[test]
+    fn masked_wire_format_matches_rfc_example() {
+        // RFC 6455 §5.7: masked "Hello" with key 0x37fa213d.
+        let frame = Frame {
+            fin: true,
+            opcode: Opcode::Text,
+            payload: b"Hello".to_vec(),
+            mask: Some([0x37, 0xfa, 0x21, 0x3d]),
+        };
+        let mut enc = FrameEncoder::new(MaskingRole::Client, 1);
+        let bytes = enc.encode(&frame);
+        assert_eq!(
+            bytes,
+            [0x81, 0x85, 0x37, 0xfa, 0x21, 0x3d, 0x7f, 0x9f, 0x4d, 0x51, 0x58]
+        );
+    }
+
+    #[test]
+    fn decoder_handles_byte_at_a_time() {
+        let mut enc = FrameEncoder::new(MaskingRole::Client, 7);
+        let bytes = enc.encode(&Frame::text("drip-fed payload"));
+        let mut dec = FrameDecoder::new(MaskingRole::Server);
+        for (i, b) in bytes.iter().enumerate() {
+            dec.feed(std::slice::from_ref(b));
+            let got = dec.next_frame().unwrap();
+            if i + 1 == bytes.len() {
+                assert_eq!(got.unwrap().payload, b"drip-fed payload");
+            } else {
+                assert!(got.is_none(), "frame completed early at byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_handles_coalesced_frames() {
+        let mut enc = FrameEncoder::new(MaskingRole::Server, 7);
+        let mut stream = Vec::new();
+        stream.extend(enc.encode(&Frame::text("one")));
+        stream.extend(enc.encode(&Frame::binary(vec![1, 2, 3])));
+        stream.extend(enc.encode(&Frame::ping(b"p".to_vec())));
+        let mut dec = FrameDecoder::new(MaskingRole::Client);
+        dec.feed(&stream);
+        assert_eq!(dec.next_frame().unwrap().unwrap().payload, b"one");
+        assert_eq!(dec.next_frame().unwrap().unwrap().payload, [1, 2, 3]);
+        assert_eq!(dec.next_frame().unwrap().unwrap().opcode, Opcode::Ping);
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_unmasked_client_frame() {
+        // Server-side decoder must reject unmasked frames.
+        let mut enc = FrameEncoder::new(MaskingRole::Server, 7); // produces unmasked
+        let bytes = enc.encode(&Frame::text("x"));
+        let mut dec = FrameDecoder::new(MaskingRole::Server);
+        dec.feed(&bytes);
+        assert_eq!(dec.next_frame(), Err(ProtocolError::BadMask));
+    }
+
+    #[test]
+    fn rejects_masked_server_frame() {
+        let mut enc = FrameEncoder::new(MaskingRole::Client, 7); // produces masked
+        let bytes = enc.encode(&Frame::text("x"));
+        let mut dec = FrameDecoder::new(MaskingRole::Client);
+        dec.feed(&bytes);
+        assert_eq!(dec.next_frame(), Err(ProtocolError::BadMask));
+    }
+
+    #[test]
+    fn rejects_reserved_bits() {
+        let mut dec = FrameDecoder::new(MaskingRole::Client);
+        dec.feed(&[0xC1, 0x00]); // RSV1 set
+        assert_eq!(dec.next_frame(), Err(ProtocolError::ReservedBitsSet));
+    }
+
+    #[test]
+    fn rejects_bad_opcode() {
+        let mut dec = FrameDecoder::new(MaskingRole::Client);
+        dec.feed(&[0x83, 0x00]); // opcode 0x3
+        assert_eq!(dec.next_frame(), Err(ProtocolError::BadOpcode(0x3)));
+    }
+
+    #[test]
+    fn rejects_fragmented_control() {
+        let mut dec = FrameDecoder::new(MaskingRole::Client);
+        dec.feed(&[0x09, 0x00]); // ping with fin=0
+        assert_eq!(dec.next_frame(), Err(ProtocolError::BadControlFrame));
+    }
+
+    #[test]
+    fn rejects_oversized_control() {
+        let mut dec = FrameDecoder::new(MaskingRole::Client);
+        dec.feed(&[0x89, 126, 0x00, 0x80]); // ping with 16-bit length
+        assert_eq!(dec.next_frame(), Err(ProtocolError::BadControlFrame));
+    }
+
+    #[test]
+    fn rejects_non_minimal_lengths() {
+        // 16-bit length encoding a value < 126.
+        let mut dec = FrameDecoder::new(MaskingRole::Client);
+        dec.feed(&[0x81, 126, 0x00, 0x05]);
+        assert_eq!(dec.next_frame(), Err(ProtocolError::BadLength));
+        // 64-bit length encoding a value that fits in 16 bits.
+        let mut dec = FrameDecoder::new(MaskingRole::Client);
+        let mut bytes = vec![0x81, 127];
+        bytes.extend_from_slice(&200u64.to_be_bytes());
+        dec.feed(&bytes);
+        assert_eq!(dec.next_frame(), Err(ProtocolError::BadLength));
+    }
+
+    #[test]
+    fn rejects_length_with_msb_set() {
+        let mut dec = FrameDecoder::new(MaskingRole::Client);
+        let mut bytes = vec![0x81, 127];
+        bytes.extend_from_slice(&(u64::MAX).to_be_bytes());
+        dec.feed(&bytes);
+        assert_eq!(dec.next_frame(), Err(ProtocolError::BadLength));
+    }
+
+    #[test]
+    fn enforces_payload_cap() {
+        let mut dec = FrameDecoder::with_max_payload(MaskingRole::Client, 1024);
+        let mut bytes = vec![0x82, 126];
+        bytes.extend_from_slice(&2000u16.to_be_bytes());
+        dec.feed(&bytes);
+        assert_eq!(dec.next_frame(), Err(ProtocolError::MessageTooLarge));
+    }
+
+    #[test]
+    fn poisoned_decoder_stays_dead() {
+        let mut dec = FrameDecoder::new(MaskingRole::Client);
+        dec.feed(&[0xC1, 0x00]);
+        assert!(dec.next_frame().is_err());
+        dec.feed(&[0x81, 0x00]);
+        assert_eq!(dec.next_frame(), Err(ProtocolError::AfterClose));
+    }
+
+    #[test]
+    fn close_frame_roundtrip() {
+        let out = roundtrip(
+            MaskingRole::Server,
+            Frame::close(CloseCode::Normal, "bye"),
+        );
+        assert_eq!(out.close_reason().unwrap().unwrap().0, CloseCode::Normal);
+    }
+
+    #[test]
+    fn encoder_mask_keys_vary() {
+        let mut enc = FrameEncoder::new(MaskingRole::Client, 99);
+        let a = enc.encode(&Frame::text("a"));
+        let b = enc.encode(&Frame::text("a"));
+        // Same payload, different mask keys => different wire bytes.
+        assert_ne!(a, b);
+    }
+}

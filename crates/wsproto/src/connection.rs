@@ -1,0 +1,583 @@
+//! Full-duplex WebSocket connection state machine (post-handshake).
+//!
+//! [`Connection`] layers message semantics over the frame codec:
+//! fragmentation reassembly, UTF-8 policing of text messages, automatic
+//! pong replies, and the bidirectional close handshake. It is sans-IO:
+//! bytes in via [`Connection::feed`], events out via [`Connection::poll`],
+//! bytes to transmit out via [`Connection::take_outgoing`].
+
+use crate::codec::{FrameDecoder, FrameEncoder, MaskingRole};
+use crate::frame::{CloseCode, Frame, Opcode};
+use crate::ProtocolError;
+use std::collections::VecDeque;
+
+/// Connection role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The initiating endpoint (a browser / tracker script).
+    Client,
+    /// The accepting endpoint (an A&A collection server).
+    Server,
+}
+
+impl Role {
+    fn masking(self) -> MaskingRole {
+        match self {
+            Role::Client => MaskingRole::Client,
+            Role::Server => MaskingRole::Server,
+        }
+    }
+}
+
+/// An application-level message (one or more reassembled frames).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// UTF-8 text.
+    Text(String),
+    /// Raw binary.
+    Binary(Vec<u8>),
+}
+
+impl Message {
+    /// Payload bytes regardless of type.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            Message::Text(s) => s.as_bytes(),
+            Message::Binary(b) => b,
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_bytes().len()
+    }
+
+    /// `true` if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_bytes().is_empty()
+    }
+}
+
+/// Why the connection closed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CloseReason {
+    /// The close code, if one was sent.
+    pub code: Option<CloseCode>,
+    /// The close reason text.
+    pub reason: String,
+}
+
+/// Events produced by [`Connection::poll`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A complete data message arrived.
+    Message(Message),
+    /// A ping arrived (a pong has already been queued automatically).
+    Ping(Vec<u8>),
+    /// A pong arrived.
+    Pong(Vec<u8>),
+    /// The peer initiated or acknowledged close.
+    Closed(CloseReason),
+}
+
+/// Connection lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Open for data in both directions.
+    Open,
+    /// We sent a close and await the peer's echo.
+    ClosingSent,
+    /// Fully closed.
+    Closed,
+    /// Torn down due to a protocol error.
+    Failed,
+}
+
+/// Default cap on a reassembled message (matches the frame cap).
+pub const DEFAULT_MAX_MESSAGE: usize = 16 * 1024 * 1024;
+
+/// A sans-IO WebSocket connection.
+#[derive(Debug)]
+pub struct Connection {
+    role: Role,
+    state: State,
+    encoder: FrameEncoder,
+    decoder: FrameDecoder,
+    outgoing: Vec<u8>,
+    events: VecDeque<Event>,
+    /// In-progress fragmented message: opcode of first frame + accumulated
+    /// payload.
+    partial: Option<(Opcode, Vec<u8>)>,
+    max_message: usize,
+    /// Wire-level statistics (frames/bytes in each direction), used by the
+    /// simulated network layer to populate CDP frame events.
+    pub stats: Stats,
+}
+
+/// Wire statistics for one connection.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Data frames sent.
+    pub frames_sent: u64,
+    /// Data frames received.
+    pub frames_received: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+}
+
+impl Connection {
+    /// Creates an open connection (handshake already completed).
+    pub fn new(role: Role, mask_seed: u64) -> Connection {
+        Connection {
+            role,
+            state: State::Open,
+            encoder: FrameEncoder::new(role.masking(), mask_seed),
+            decoder: FrameDecoder::new(role.masking()),
+            outgoing: Vec::new(),
+            events: VecDeque::new(),
+            partial: None,
+            max_message: DEFAULT_MAX_MESSAGE,
+            stats: Stats::default(),
+        }
+    }
+
+    /// The connection's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// Queues a text message for transmission.
+    pub fn send_text(&mut self, text: &str) -> Result<(), ProtocolError> {
+        self.send_frame(Frame::text(text))
+    }
+
+    /// Queues a binary message for transmission.
+    pub fn send_binary(&mut self, data: &[u8]) -> Result<(), ProtocolError> {
+        self.send_frame(Frame::binary(data.to_vec()))
+    }
+
+    /// Queues a fragmented text message, splitting the payload into
+    /// `fragment_size`-byte frames (used to exercise reassembly paths and to
+    /// model trackers that stream the DOM in chunks).
+    pub fn send_text_fragmented(
+        &mut self,
+        text: &str,
+        fragment_size: usize,
+    ) -> Result<(), ProtocolError> {
+        self.ensure_open()?;
+        let bytes = text.as_bytes();
+        if bytes.len() <= fragment_size || fragment_size == 0 {
+            return self.send_text(text);
+        }
+        let chunks: Vec<&[u8]> = bytes.chunks(fragment_size).collect();
+        let last = chunks.len() - 1;
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            let frame = Frame {
+                fin: i == last,
+                opcode: if i == 0 { Opcode::Text } else { Opcode::Continuation },
+                payload: chunk.to_vec(),
+                mask: None,
+            };
+            self.emit(frame);
+        }
+        Ok(())
+    }
+
+    /// Queues a ping.
+    pub fn send_ping(&mut self, payload: &[u8]) -> Result<(), ProtocolError> {
+        self.send_frame(Frame::ping(payload.to_vec()))
+    }
+
+    /// Initiates the close handshake.
+    pub fn close(&mut self, code: CloseCode, reason: &str) {
+        if matches!(self.state, State::Open) {
+            self.emit(Frame::close(code, reason));
+            self.state = State::ClosingSent;
+        }
+    }
+
+    fn send_frame(&mut self, frame: Frame) -> Result<(), ProtocolError> {
+        self.ensure_open()?;
+        self.emit(frame);
+        Ok(())
+    }
+
+    fn ensure_open(&self) -> Result<(), ProtocolError> {
+        match self.state {
+            State::Open => Ok(()),
+            _ => Err(ProtocolError::AfterClose),
+        }
+    }
+
+    fn emit(&mut self, frame: Frame) {
+        if !frame.opcode.is_control() {
+            self.stats.frames_sent += 1;
+            self.stats.bytes_sent += frame.payload.len() as u64;
+        }
+        let bytes = self.encoder.encode(&frame);
+        self.outgoing.extend_from_slice(&bytes);
+    }
+
+    /// Bytes queued for the transport; clears the buffer.
+    pub fn take_outgoing(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.outgoing)
+    }
+
+    /// `true` if there are bytes waiting to be transmitted.
+    pub fn wants_write(&self) -> bool {
+        !self.outgoing.is_empty()
+    }
+
+    /// Feeds bytes received from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.decoder.feed(bytes);
+    }
+
+    /// Processes buffered input and returns the next event, if any.
+    ///
+    /// On protocol error the connection transitions to [`State::Failed`],
+    /// queues a 1002 close frame for the peer, and returns the error.
+    pub fn poll(&mut self) -> Result<Option<Event>, ProtocolError> {
+        if let Some(ev) = self.events.pop_front() {
+            return Ok(Some(ev));
+        }
+        if matches!(self.state, State::Closed | State::Failed) {
+            return Ok(None);
+        }
+        loop {
+            let frame = match self.decoder.next_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => return Ok(None),
+                Err(e) => {
+                    self.fail(&e);
+                    return Err(e);
+                }
+            };
+            if let Some(ev) = self.handle_frame(frame)? {
+                return Ok(Some(ev));
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, frame: Frame) -> Result<Option<Event>, ProtocolError> {
+        if frame.opcode.is_control() {
+            return self.handle_control(frame);
+        }
+        self.stats.frames_received += 1;
+        self.stats.bytes_received += frame.payload.len() as u64;
+        match (frame.opcode, &mut self.partial) {
+            (Opcode::Continuation, None) => {
+                let e = ProtocolError::UnexpectedContinuation;
+                self.fail(&e);
+                Err(e)
+            }
+            (Opcode::Continuation, Some((_first, acc))) => {
+                if acc.len() + frame.payload.len() > self.max_message {
+                    let e = ProtocolError::MessageTooLarge;
+                    self.fail(&e);
+                    return Err(e);
+                }
+                acc.extend_from_slice(&frame.payload);
+                if frame.fin {
+                    let (first, acc) = self.partial.take().expect("checked above");
+                    let msg = self.finish_message(first, acc)?;
+                    Ok(Some(Event::Message(msg)))
+                } else {
+                    Ok(None)
+                }
+            }
+            (Opcode::Text | Opcode::Binary, Some(_)) => {
+                let e = ProtocolError::ExpectedContinuation;
+                self.fail(&e);
+                Err(e)
+            }
+            (op @ (Opcode::Text | Opcode::Binary), None) => {
+                if frame.payload.len() > self.max_message {
+                    let e = ProtocolError::MessageTooLarge;
+                    self.fail(&e);
+                    return Err(e);
+                }
+                if frame.fin {
+                    let msg = self.finish_message(op, frame.payload)?;
+                    Ok(Some(Event::Message(msg)))
+                } else {
+                    self.partial = Some((op, frame.payload));
+                    Ok(None)
+                }
+            }
+            _ => unreachable!("control opcodes handled above"),
+        }
+    }
+
+    fn finish_message(&mut self, opcode: Opcode, payload: Vec<u8>) -> Result<Message, ProtocolError> {
+        match opcode {
+            Opcode::Text => match String::from_utf8(payload) {
+                Ok(s) => Ok(Message::Text(s)),
+                Err(_) => {
+                    let e = ProtocolError::InvalidUtf8;
+                    self.fail(&e);
+                    Err(e)
+                }
+            },
+            Opcode::Binary => Ok(Message::Binary(payload)),
+            _ => unreachable!("data opcodes only"),
+        }
+    }
+
+    fn handle_control(&mut self, frame: Frame) -> Result<Option<Event>, ProtocolError> {
+        match frame.opcode {
+            Opcode::Ping => {
+                // RFC 6455 §5.5.2: respond with a pong carrying the same data.
+                if matches!(self.state, State::Open) {
+                    self.emit(Frame::pong(frame.payload.clone()));
+                }
+                Ok(Some(Event::Ping(frame.payload)))
+            }
+            Opcode::Pong => Ok(Some(Event::Pong(frame.payload))),
+            Opcode::Close => {
+                let parsed = match frame.close_reason() {
+                    Ok(p) => p,
+                    Err(e) => {
+                        self.fail(&e);
+                        return Err(e);
+                    }
+                };
+                let reason = CloseReason {
+                    code: parsed.as_ref().map(|(c, _)| *c),
+                    reason: parsed.map(|(_, r)| r).unwrap_or_default(),
+                };
+                match self.state {
+                    State::Open => {
+                        // Echo the close and finish.
+                        let echo = match reason.code {
+                            Some(c) => Frame::close(c, ""),
+                            None => Frame::close_empty(),
+                        };
+                        self.emit(echo);
+                        self.state = State::Closed;
+                    }
+                    State::ClosingSent => self.state = State::Closed,
+                    _ => {}
+                }
+                Ok(Some(Event::Closed(reason)))
+            }
+            _ => unreachable!("data opcodes filtered by caller"),
+        }
+    }
+
+    fn fail(&mut self, _e: &ProtocolError) {
+        if matches!(self.state, State::Open | State::ClosingSent) {
+            let bytes = self
+                .encoder
+                .encode(&Frame::close(CloseCode::Protocol, "protocol error"));
+            self.outgoing.extend_from_slice(&bytes);
+        }
+        self.state = State::Failed;
+    }
+}
+
+/// Drives two in-memory connections against each other until both sides'
+/// buffers drain, collecting the events each side observed. This is the
+/// harness the simulated network layer uses — every tracker payload really
+/// crosses the codec.
+pub fn pump(client: &mut Connection, server: &mut Connection) -> Result<(Vec<Event>, Vec<Event>), ProtocolError> {
+    let mut client_events = Vec::new();
+    let mut server_events = Vec::new();
+    loop {
+        let mut moved = false;
+        let c2s = client.take_outgoing();
+        if !c2s.is_empty() {
+            server.feed(&c2s);
+            moved = true;
+        }
+        let s2c = server.take_outgoing();
+        if !s2c.is_empty() {
+            client.feed(&s2c);
+            moved = true;
+        }
+        while let Some(ev) = server.poll()? {
+            server_events.push(ev);
+            moved = true;
+        }
+        while let Some(ev) = client.poll()? {
+            client_events.push(ev);
+            moved = true;
+        }
+        if !moved {
+            return Ok((client_events, server_events));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Connection, Connection) {
+        (Connection::new(Role::Client, 11), Connection::new(Role::Server, 22))
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let (mut c, mut s) = pair();
+        c.send_text("cookie=uid42; screen=1920x1080").unwrap();
+        let (_, sev) = pump(&mut c, &mut s).unwrap();
+        assert_eq!(
+            sev,
+            vec![Event::Message(Message::Text(
+                "cookie=uid42; screen=1920x1080".into()
+            ))]
+        );
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let (mut c, mut s) = pair();
+        s.send_binary(&[0, 159, 146, 150]).unwrap();
+        let (cev, _) = pump(&mut c, &mut s).unwrap();
+        assert_eq!(cev, vec![Event::Message(Message::Binary(vec![0, 159, 146, 150]))]);
+    }
+
+    #[test]
+    fn fragmented_message_reassembles() {
+        let (mut c, mut s) = pair();
+        let dom = "<html><body>".repeat(100);
+        c.send_text_fragmented(&dom, 64).unwrap();
+        let (_, sev) = pump(&mut c, &mut s).unwrap();
+        assert_eq!(sev, vec![Event::Message(Message::Text(dom))]);
+    }
+
+    #[test]
+    fn ping_gets_automatic_pong() {
+        let (mut c, mut s) = pair();
+        c.send_ping(b"hb").unwrap();
+        let (cev, sev) = pump(&mut c, &mut s).unwrap();
+        assert_eq!(sev, vec![Event::Ping(b"hb".to_vec())]);
+        assert_eq!(cev, vec![Event::Pong(b"hb".to_vec())]);
+    }
+
+    #[test]
+    fn close_handshake_completes_both_sides() {
+        let (mut c, mut s) = pair();
+        c.send_text("last words").unwrap();
+        c.close(CloseCode::Normal, "done");
+        let (cev, sev) = pump(&mut c, &mut s).unwrap();
+        assert_eq!(c.state(), State::Closed);
+        assert_eq!(s.state(), State::Closed);
+        assert!(matches!(sev[0], Event::Message(_)));
+        assert!(matches!(
+            sev[1],
+            Event::Closed(CloseReason { code: Some(CloseCode::Normal), .. })
+        ));
+        assert!(matches!(cev[0], Event::Closed(_)));
+    }
+
+    #[test]
+    fn send_after_close_rejected() {
+        let (mut c, mut s) = pair();
+        c.close(CloseCode::Away, "");
+        let _ = pump(&mut c, &mut s);
+        assert_eq!(c.send_text("late"), Err(ProtocolError::AfterClose));
+    }
+
+    #[test]
+    fn invalid_utf8_text_fails_connection() {
+        let (_c, mut s) = pair();
+        // Hand-craft an invalid-UTF-8 text frame from the client.
+        let frame = Frame {
+            fin: true,
+            opcode: Opcode::Text,
+            payload: vec![0xFF, 0xFE],
+            mask: None,
+        };
+        let mut enc = FrameEncoder::new(MaskingRole::Client, 3);
+        s.feed(&enc.encode(&frame));
+        assert_eq!(s.poll(), Err(ProtocolError::InvalidUtf8));
+        assert_eq!(s.state(), State::Failed);
+        // The failing side queued a 1002 close for the peer.
+        assert!(s.wants_write());
+    }
+
+    #[test]
+    fn interleaved_control_during_fragmentation_ok() {
+        let (_c, mut s) = pair();
+        // Fragment a message and inject a ping between fragments.
+        let f1 = Frame {
+            fin: false,
+            opcode: Opcode::Text,
+            payload: b"frag".to_vec(),
+            mask: None,
+        };
+        let ping = Frame::ping(b"".to_vec());
+        let f2 = Frame {
+            fin: true,
+            opcode: Opcode::Continuation,
+            payload: b"ment".to_vec(),
+            mask: None,
+        };
+        let mut enc = FrameEncoder::new(MaskingRole::Client, 3);
+        for f in [&f1, &ping, &f2] {
+            s.feed(&enc.encode(f));
+        }
+        let mut events = Vec::new();
+        while let Some(ev) = s.poll().unwrap() {
+            events.push(ev);
+        }
+        assert_eq!(
+            events,
+            vec![
+                Event::Ping(vec![]),
+                Event::Message(Message::Text("fragment".into()))
+            ]
+        );
+    }
+
+    #[test]
+    fn new_data_frame_during_fragmentation_is_error() {
+        let (_, mut s) = pair();
+        let mut enc = FrameEncoder::new(MaskingRole::Client, 3);
+        let f1 = Frame {
+            fin: false,
+            opcode: Opcode::Text,
+            payload: b"a".to_vec(),
+            mask: None,
+        };
+        let f2 = Frame::text("b"); // not a continuation
+        s.feed(&enc.encode(&f1));
+        s.feed(&enc.encode(&f2));
+        assert_eq!(s.poll(), Err(ProtocolError::ExpectedContinuation));
+    }
+
+    #[test]
+    fn bare_continuation_is_error() {
+        let (_, mut s) = pair();
+        let mut enc = FrameEncoder::new(MaskingRole::Client, 3);
+        let f = Frame {
+            fin: true,
+            opcode: Opcode::Continuation,
+            payload: b"x".to_vec(),
+            mask: None,
+        };
+        s.feed(&enc.encode(&f));
+        assert_eq!(s.poll(), Err(ProtocolError::UnexpectedContinuation));
+    }
+
+    #[test]
+    fn stats_count_data_frames_only() {
+        let (mut c, mut s) = pair();
+        c.send_text("abcd").unwrap();
+        c.send_ping(b"p").unwrap();
+        let _ = pump(&mut c, &mut s).unwrap();
+        assert_eq!(c.stats.frames_sent, 1);
+        assert_eq!(c.stats.bytes_sent, 4);
+        assert_eq!(s.stats.frames_received, 1);
+        assert_eq!(s.stats.bytes_received, 4);
+    }
+}

@@ -1,0 +1,281 @@
+//! WebSocket frame model: opcodes, close codes, masking, header layout.
+
+use crate::ProtocolError;
+
+/// Frame opcode (RFC 6455 §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// `0x0` — continuation of a fragmented message.
+    Continuation,
+    /// `0x1` — text (UTF-8) data.
+    Text,
+    /// `0x2` — binary data.
+    Binary,
+    /// `0x8` — connection close.
+    Close,
+    /// `0x9` — ping.
+    Ping,
+    /// `0xA` — pong.
+    Pong,
+}
+
+impl Opcode {
+    /// Parses the 4-bit opcode field.
+    pub fn from_u8(v: u8) -> Result<Opcode, ProtocolError> {
+        match v {
+            0x0 => Ok(Opcode::Continuation),
+            0x1 => Ok(Opcode::Text),
+            0x2 => Ok(Opcode::Binary),
+            0x8 => Ok(Opcode::Close),
+            0x9 => Ok(Opcode::Ping),
+            0xA => Ok(Opcode::Pong),
+            other => Err(ProtocolError::BadOpcode(other)),
+        }
+    }
+
+    /// The wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Opcode::Continuation => 0x0,
+            Opcode::Text => 0x1,
+            Opcode::Binary => 0x2,
+            Opcode::Close => 0x8,
+            Opcode::Ping => 0x9,
+            Opcode::Pong => 0xA,
+        }
+    }
+
+    /// Control frames are Close/Ping/Pong; they may not be fragmented and
+    /// carry at most 125 bytes.
+    pub fn is_control(self) -> bool {
+        matches!(self, Opcode::Close | Opcode::Ping | Opcode::Pong)
+    }
+}
+
+/// Close status codes (RFC 6455 §7.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CloseCode {
+    /// 1000 — normal closure.
+    Normal,
+    /// 1001 — endpoint going away.
+    Away,
+    /// 1002 — protocol error.
+    Protocol,
+    /// 1003 — unacceptable data type.
+    Unsupported,
+    /// 1007 — invalid payload data (e.g. non-UTF-8 text).
+    InvalidPayload,
+    /// 1008 — policy violation. The simulated ad blocker uses this when it
+    /// tears down a WebSocket post-Chrome-58.
+    Policy,
+    /// 1009 — message too big.
+    TooBig,
+    /// 1011 — unexpected server error.
+    Error,
+    /// Any other registered or private-use code.
+    Other(u16),
+}
+
+impl CloseCode {
+    /// Parses a wire close code, rejecting codes that MUST NOT appear on the
+    /// wire (0–999, 1004–1006, 1015).
+    pub fn from_u16(v: u16) -> Result<CloseCode, ProtocolError> {
+        match v {
+            1000 => Ok(CloseCode::Normal),
+            1001 => Ok(CloseCode::Away),
+            1002 => Ok(CloseCode::Protocol),
+            1003 => Ok(CloseCode::Unsupported),
+            1007 => Ok(CloseCode::InvalidPayload),
+            1008 => Ok(CloseCode::Policy),
+            1009 => Ok(CloseCode::TooBig),
+            1011 => Ok(CloseCode::Error),
+            1010 | 1012..=1014 | 3000..=4999 => Ok(CloseCode::Other(v)),
+            _ => Err(ProtocolError::BadCloseFrame),
+        }
+    }
+
+    /// The wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            CloseCode::Normal => 1000,
+            CloseCode::Away => 1001,
+            CloseCode::Protocol => 1002,
+            CloseCode::Unsupported => 1003,
+            CloseCode::InvalidPayload => 1007,
+            CloseCode::Policy => 1008,
+            CloseCode::TooBig => 1009,
+            CloseCode::Error => 1011,
+            CloseCode::Other(v) => v,
+        }
+    }
+}
+
+/// A single decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Final-fragment flag.
+    pub fin: bool,
+    /// Opcode.
+    pub opcode: Opcode,
+    /// Unmasked payload.
+    pub payload: Vec<u8>,
+    /// Mask key used on the wire, if the frame was masked.
+    pub mask: Option<[u8; 4]>,
+}
+
+impl Frame {
+    /// A final text frame.
+    pub fn text(s: impl Into<String>) -> Frame {
+        Frame {
+            fin: true,
+            opcode: Opcode::Text,
+            payload: s.into().into_bytes(),
+            mask: None,
+        }
+    }
+
+    /// A final binary frame.
+    pub fn binary(data: impl Into<Vec<u8>>) -> Frame {
+        Frame {
+            fin: true,
+            opcode: Opcode::Binary,
+            payload: data.into(),
+            mask: None,
+        }
+    }
+
+    /// A ping with optional payload.
+    pub fn ping(data: impl Into<Vec<u8>>) -> Frame {
+        Frame {
+            fin: true,
+            opcode: Opcode::Ping,
+            payload: data.into(),
+            mask: None,
+        }
+    }
+
+    /// A pong echoing `data`.
+    pub fn pong(data: impl Into<Vec<u8>>) -> Frame {
+        Frame {
+            fin: true,
+            opcode: Opcode::Pong,
+            payload: data.into(),
+            mask: None,
+        }
+    }
+
+    /// A close frame with code and reason.
+    pub fn close(code: CloseCode, reason: &str) -> Frame {
+        let mut payload = Vec::with_capacity(2 + reason.len());
+        payload.extend_from_slice(&code.to_u16().to_be_bytes());
+        payload.extend_from_slice(reason.as_bytes());
+        Frame {
+            fin: true,
+            opcode: Opcode::Close,
+            payload,
+            mask: None,
+        }
+    }
+
+    /// An empty close frame (bare close, code 1005 implied to the peer).
+    pub fn close_empty() -> Frame {
+        Frame {
+            fin: true,
+            opcode: Opcode::Close,
+            payload: Vec::new(),
+            mask: None,
+        }
+    }
+
+    /// Parses the close code/reason out of a close frame payload.
+    pub fn close_reason(&self) -> Result<Option<(CloseCode, String)>, ProtocolError> {
+        debug_assert_eq!(self.opcode, Opcode::Close);
+        match self.payload.len() {
+            0 => Ok(None),
+            1 => Err(ProtocolError::BadCloseFrame),
+            _ => {
+                let code = CloseCode::from_u16(u16::from_be_bytes([
+                    self.payload[0],
+                    self.payload[1],
+                ]))?;
+                let reason = std::str::from_utf8(&self.payload[2..])
+                    .map_err(|_| ProtocolError::InvalidUtf8)?;
+                Ok(Some((code, reason.to_string())))
+            }
+        }
+    }
+}
+
+/// Applies (or removes — the operation is its own inverse) the RFC 6455
+/// XOR mask in place.
+pub fn apply_mask(payload: &mut [u8], key: [u8; 4]) {
+    for (i, byte) in payload.iter_mut().enumerate() {
+        *byte ^= key[i & 3];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrip() {
+        for v in [0x0u8, 0x1, 0x2, 0x8, 0x9, 0xA] {
+            assert_eq!(Opcode::from_u8(v).unwrap().to_u8(), v);
+        }
+        for v in [0x3u8, 0x7, 0xB, 0xF] {
+            assert_eq!(Opcode::from_u8(v), Err(ProtocolError::BadOpcode(v)));
+        }
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Opcode::Close.is_control());
+        assert!(Opcode::Ping.is_control());
+        assert!(Opcode::Pong.is_control());
+        assert!(!Opcode::Text.is_control());
+        assert!(!Opcode::Binary.is_control());
+        assert!(!Opcode::Continuation.is_control());
+    }
+
+    #[test]
+    fn close_code_wire_rules() {
+        assert!(CloseCode::from_u16(1000).is_ok());
+        assert!(CloseCode::from_u16(1008).is_ok());
+        assert!(CloseCode::from_u16(3000).is_ok());
+        assert!(CloseCode::from_u16(4999).is_ok());
+        // Reserved / never-on-wire codes.
+        for bad in [0u16, 999, 1004, 1005, 1006, 1015, 2999, 5000] {
+            assert!(CloseCode::from_u16(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn mask_is_involution() {
+        let key = [0xDE, 0xAD, 0xBE, 0xEF];
+        let original: Vec<u8> = (0..100).collect();
+        let mut data = original.clone();
+        apply_mask(&mut data, key);
+        assert_ne!(data, original);
+        apply_mask(&mut data, key);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn close_reason_parsing() {
+        let f = Frame::close(CloseCode::Policy, "blocked by extension");
+        let (code, reason) = f.close_reason().unwrap().unwrap();
+        assert_eq!(code, CloseCode::Policy);
+        assert_eq!(reason, "blocked by extension");
+
+        assert_eq!(Frame::close_empty().close_reason().unwrap(), None);
+
+        let bad = Frame {
+            fin: true,
+            opcode: Opcode::Close,
+            payload: vec![0x03],
+            mask: None,
+        };
+        assert_eq!(bad.close_reason(), Err(ProtocolError::BadCloseFrame));
+    }
+}

@@ -1,0 +1,404 @@
+//! The WebSocket opening handshake (RFC 6455 §4).
+//!
+//! The handshake is an HTTP/1.1 Upgrade exchange. This module builds and
+//! validates both sides without doing any IO: the client produces request
+//! bytes and validates response bytes; the server does the reverse. The
+//! simulated browser sends these exact bytes through its network layer, so
+//! the `webSocketWillSendHandshakeRequest` / `webSocketHandshakeResponse-
+//! Received` CDP events the study instruments carry real header text.
+
+use crate::base64;
+use crate::sha1::sha1;
+
+/// The GUID from RFC 6455 §1.3 used to derive `Sec-WebSocket-Accept`.
+pub const WS_GUID: &str = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11";
+
+/// Computes the `Sec-WebSocket-Accept` value for a request key.
+///
+/// ```
+/// use sockscope_wsproto::handshake::accept_key;
+/// // Worked example from RFC 6455 §1.3.
+/// assert_eq!(accept_key("dGhlIHNhbXBsZSBub25jZQ=="), "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=");
+/// ```
+pub fn accept_key(sec_websocket_key: &str) -> String {
+    let mut input = String::with_capacity(sec_websocket_key.len() + WS_GUID.len());
+    input.push_str(sec_websocket_key);
+    input.push_str(WS_GUID);
+    base64::encode(&sha1(input.as_bytes()))
+}
+
+/// Handshake failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeError {
+    /// Request/response line malformed.
+    BadStartLine,
+    /// A required header was missing or had the wrong value.
+    MissingHeader(&'static str),
+    /// `Sec-WebSocket-Key` was not 16 bytes of base64.
+    BadKey,
+    /// The server's `Sec-WebSocket-Accept` did not match the key.
+    BadAccept,
+    /// Response status was not 101.
+    BadStatus(u16),
+    /// Header block was not terminated by CRLFCRLF.
+    Truncated,
+}
+
+impl std::fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandshakeError::BadStartLine => write!(f, "malformed start line"),
+            HandshakeError::MissingHeader(h) => write!(f, "missing or invalid header: {h}"),
+            HandshakeError::BadKey => write!(f, "Sec-WebSocket-Key is not 16 base64 bytes"),
+            HandshakeError::BadAccept => write!(f, "Sec-WebSocket-Accept mismatch"),
+            HandshakeError::BadStatus(s) => write!(f, "expected 101, got {s}"),
+            HandshakeError::Truncated => write!(f, "header block not terminated"),
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+/// A parsed header block (start line + headers, case-insensitive lookup).
+#[derive(Debug, Clone)]
+pub struct HeaderBlock {
+    /// The request or status line.
+    pub start_line: String,
+    headers: Vec<(String, String)>,
+}
+
+impl HeaderBlock {
+    /// Parses an HTTP/1.1 header block, requiring the terminating blank line.
+    pub fn parse(text: &str) -> Result<HeaderBlock, HandshakeError> {
+        let text = text
+            .split("\r\n\r\n")
+            .next()
+            .filter(|_| text.contains("\r\n\r\n"))
+            .ok_or(HandshakeError::Truncated)?;
+        let mut lines = text.split("\r\n");
+        let start_line = lines.next().ok_or(HandshakeError::BadStartLine)?.to_string();
+        let mut headers = Vec::new();
+        for line in lines {
+            let (name, value) = line.split_once(':').ok_or(HandshakeError::BadStartLine)?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        Ok(HeaderBlock { start_line, headers })
+    }
+
+    /// Case-insensitive single-header lookup.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `true` if `name`'s value contains `token` as a comma-separated,
+    /// case-insensitive token (needed for `Connection: keep-alive, Upgrade`).
+    pub fn has_token(&self, name: &str, token: &str) -> bool {
+        self.get(name)
+            .map(|v| {
+                v.split(',')
+                    .any(|t| t.trim().eq_ignore_ascii_case(token))
+            })
+            .unwrap_or(false)
+    }
+}
+
+/// Client side of the opening handshake.
+#[derive(Debug, Clone)]
+pub struct ClientHandshake {
+    key: String,
+    host: String,
+    path: String,
+    origin: Option<String>,
+    protocols: Vec<String>,
+    user_agent: Option<String>,
+    cookies: Option<String>,
+}
+
+impl ClientHandshake {
+    /// Starts a handshake for `host` + `path` with a deterministic nonce
+    /// derived from `nonce_seed`.
+    pub fn new(host: impl Into<String>, path: impl Into<String>, nonce_seed: u64) -> Self {
+        let mut nonce = [0u8; 16];
+        let mut x = nonce_seed | 1;
+        for chunk in nonce.chunks_mut(8) {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let v = x.wrapping_mul(0x2545F4914F6CDD1D).to_be_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+        ClientHandshake {
+            key: base64::encode(&nonce),
+            host: host.into(),
+            path: path.into(),
+            origin: None,
+            protocols: Vec::new(),
+            user_agent: None,
+            cookies: None,
+        }
+    }
+
+    /// Sets the `Origin` header (browsers always send it).
+    pub fn origin(mut self, origin: impl Into<String>) -> Self {
+        self.origin = Some(origin.into());
+        self
+    }
+
+    /// Adds a `Sec-WebSocket-Protocol` offer.
+    pub fn protocol(mut self, proto: impl Into<String>) -> Self {
+        self.protocols.push(proto.into());
+        self
+    }
+
+    /// Sets the `User-Agent` header. The study's Table 5 counts the UA as
+    /// "sent" on 100% of sockets precisely because it rides the handshake.
+    pub fn user_agent(mut self, ua: impl Into<String>) -> Self {
+        self.user_agent = Some(ua.into());
+        self
+    }
+
+    /// Sets the `Cookie` header (browsers attach cookies to `ws(s)://`
+    /// handshakes like any other request — one of the tracking channels the
+    /// paper measures).
+    pub fn cookies(mut self, cookies: impl Into<String>) -> Self {
+        self.cookies = Some(cookies.into());
+        self
+    }
+
+    /// The `Sec-WebSocket-Key` this handshake will send.
+    pub fn sec_websocket_key(&self) -> &str {
+        &self.key
+    }
+
+    /// Serializes the upgrade request.
+    pub fn request_bytes(&self) -> Vec<u8> {
+        let mut out = String::new();
+        out.push_str(&format!("GET {} HTTP/1.1\r\n", self.path));
+        out.push_str(&format!("Host: {}\r\n", self.host));
+        out.push_str("Upgrade: websocket\r\n");
+        out.push_str("Connection: Upgrade\r\n");
+        out.push_str(&format!("Sec-WebSocket-Key: {}\r\n", self.key));
+        out.push_str("Sec-WebSocket-Version: 13\r\n");
+        if let Some(o) = &self.origin {
+            out.push_str(&format!("Origin: {o}\r\n"));
+        }
+        if !self.protocols.is_empty() {
+            out.push_str(&format!(
+                "Sec-WebSocket-Protocol: {}\r\n",
+                self.protocols.join(", ")
+            ));
+        }
+        if let Some(ua) = &self.user_agent {
+            out.push_str(&format!("User-Agent: {ua}\r\n"));
+        }
+        if let Some(c) = &self.cookies {
+            out.push_str(&format!("Cookie: {c}\r\n"));
+        }
+        out.push_str("\r\n");
+        out.into_bytes()
+    }
+
+    /// Validates the server's response; returns the negotiated subprotocol.
+    pub fn validate_response(&self, response: &[u8]) -> Result<Option<String>, HandshakeError> {
+        let text = std::str::from_utf8(response).map_err(|_| HandshakeError::BadStartLine)?;
+        let block = HeaderBlock::parse(text)?;
+        let mut parts = block.start_line.split_whitespace();
+        let version = parts.next().ok_or(HandshakeError::BadStartLine)?;
+        if !version.starts_with("HTTP/1.1") {
+            return Err(HandshakeError::BadStartLine);
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(HandshakeError::BadStartLine)?;
+        if status != 101 {
+            return Err(HandshakeError::BadStatus(status));
+        }
+        if !block
+            .get("upgrade")
+            .map(|v| v.eq_ignore_ascii_case("websocket"))
+            .unwrap_or(false)
+        {
+            return Err(HandshakeError::MissingHeader("Upgrade"));
+        }
+        if !block.has_token("connection", "upgrade") {
+            return Err(HandshakeError::MissingHeader("Connection"));
+        }
+        let accept = block
+            .get("sec-websocket-accept")
+            .ok_or(HandshakeError::MissingHeader("Sec-WebSocket-Accept"))?;
+        if accept != accept_key(&self.key) {
+            return Err(HandshakeError::BadAccept);
+        }
+        Ok(block.get("sec-websocket-protocol").map(str::to_string))
+    }
+}
+
+/// Server side of the opening handshake.
+#[derive(Debug, Clone)]
+pub struct ServerHandshake {
+    /// The validated request headers.
+    pub request: HeaderBlock,
+    key: String,
+}
+
+impl ServerHandshake {
+    /// Parses and validates a client's upgrade request.
+    pub fn accept_request(request: &[u8]) -> Result<ServerHandshake, HandshakeError> {
+        let text = std::str::from_utf8(request).map_err(|_| HandshakeError::BadStartLine)?;
+        let block = HeaderBlock::parse(text)?;
+        let mut parts = block.start_line.split_whitespace();
+        if parts.next() != Some("GET") {
+            return Err(HandshakeError::BadStartLine);
+        }
+        let _path = parts.next().ok_or(HandshakeError::BadStartLine)?;
+        if parts.next() != Some("HTTP/1.1") {
+            return Err(HandshakeError::BadStartLine);
+        }
+        if block.get("host").is_none() {
+            return Err(HandshakeError::MissingHeader("Host"));
+        }
+        if !block
+            .get("upgrade")
+            .map(|v| v.eq_ignore_ascii_case("websocket"))
+            .unwrap_or(false)
+        {
+            return Err(HandshakeError::MissingHeader("Upgrade"));
+        }
+        if !block.has_token("connection", "upgrade") {
+            return Err(HandshakeError::MissingHeader("Connection"));
+        }
+        if block.get("sec-websocket-version") != Some("13") {
+            return Err(HandshakeError::MissingHeader("Sec-WebSocket-Version"));
+        }
+        let key = block
+            .get("sec-websocket-key")
+            .ok_or(HandshakeError::MissingHeader("Sec-WebSocket-Key"))?
+            .to_string();
+        match base64::decode(&key) {
+            Ok(raw) if raw.len() == 16 => {}
+            _ => return Err(HandshakeError::BadKey),
+        }
+        Ok(ServerHandshake { request: block, key })
+    }
+
+    /// Serializes the 101 response, optionally selecting a subprotocol.
+    pub fn response_bytes(&self, protocol: Option<&str>) -> Vec<u8> {
+        let mut out = String::new();
+        out.push_str("HTTP/1.1 101 Switching Protocols\r\n");
+        out.push_str("Upgrade: websocket\r\n");
+        out.push_str("Connection: Upgrade\r\n");
+        out.push_str(&format!("Sec-WebSocket-Accept: {}\r\n", accept_key(&self.key)));
+        if let Some(p) = protocol {
+            out.push_str(&format!("Sec-WebSocket-Protocol: {p}\r\n"));
+        }
+        out.push_str("\r\n");
+        out.into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_handshake_roundtrip() {
+        let client = ClientHandshake::new("adnet.example", "/data.ws", 0xABCD)
+            .origin("http://pub.example")
+            .user_agent("Mozilla/5.0 (X11; Linux x86_64) Chrome/57.0")
+            .cookies("uid=42")
+            .protocol("tracking.v1");
+        let req = client.request_bytes();
+        let server = ServerHandshake::accept_request(&req).unwrap();
+        assert_eq!(server.request.get("origin"), Some("http://pub.example"));
+        assert_eq!(server.request.get("cookie"), Some("uid=42"));
+        let resp = server.response_bytes(Some("tracking.v1"));
+        let proto = client.validate_response(&resp).unwrap();
+        assert_eq!(proto.as_deref(), Some("tracking.v1"));
+    }
+
+    #[test]
+    fn accept_key_rfc_example() {
+        assert_eq!(
+            accept_key("dGhlIHNhbXBsZSBub25jZQ=="),
+            "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_accept() {
+        let client = ClientHandshake::new("h.example", "/", 5);
+        let resp = b"HTTP/1.1 101 Switching Protocols\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Accept: AAAAAAAAAAAAAAAAAAAAAAAAAAA=\r\n\r\n";
+        assert_eq!(client.validate_response(resp), Err(HandshakeError::BadAccept));
+    }
+
+    #[test]
+    fn rejects_non_101() {
+        let client = ClientHandshake::new("h.example", "/", 5);
+        let resp = b"HTTP/1.1 403 Forbidden\r\n\r\n";
+        assert_eq!(
+            client.validate_response(resp),
+            Err(HandshakeError::BadStatus(403))
+        );
+    }
+
+    #[test]
+    fn rejects_missing_upgrade_header() {
+        let client = ClientHandshake::new("h.example", "/", 5);
+        let key = client.sec_websocket_key().to_string();
+        let resp = format!(
+            "HTTP/1.1 101 Switching Protocols\r\nConnection: Upgrade\r\nSec-WebSocket-Accept: {}\r\n\r\n",
+            accept_key(&key)
+        );
+        assert_eq!(
+            client.validate_response(resp.as_bytes()),
+            Err(HandshakeError::MissingHeader("Upgrade"))
+        );
+    }
+
+    #[test]
+    fn server_rejects_bad_requests() {
+        assert!(ServerHandshake::accept_request(b"POST / HTTP/1.1\r\nHost: h\r\n\r\n").is_err());
+        assert!(ServerHandshake::accept_request(b"GET / HTTP/1.1\r\n\r\n").is_err());
+        // Bad key length.
+        let req = b"GET / HTTP/1.1\r\nHost: h\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Version: 13\r\nSec-WebSocket-Key: Zm9v\r\n\r\n";
+        assert_eq!(
+            ServerHandshake::accept_request(req).unwrap_err(),
+            HandshakeError::BadKey
+        );
+    }
+
+    #[test]
+    fn truncated_block_detected() {
+        let client = ClientHandshake::new("h.example", "/", 5);
+        let mut req = client.request_bytes();
+        req.truncate(req.len() - 2);
+        assert_eq!(
+            ServerHandshake::accept_request(&req).unwrap_err(),
+            HandshakeError::Truncated
+        );
+    }
+
+    #[test]
+    fn connection_header_token_list_accepted() {
+        let client = ClientHandshake::new("h.example", "/", 5);
+        let resp = format!(
+            "HTTP/1.1 101 Switching Protocols\r\nUpgrade: WebSocket\r\nConnection: keep-alive, Upgrade\r\nSec-WebSocket-Accept: {}\r\n\r\n",
+            accept_key(client.sec_websocket_key())
+        );
+        assert!(client.validate_response(resp.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn deterministic_nonces_differ_by_seed() {
+        let a = ClientHandshake::new("h", "/", 1);
+        let b = ClientHandshake::new("h", "/", 2);
+        let a2 = ClientHandshake::new("h", "/", 1);
+        assert_ne!(a.sec_websocket_key(), b.sec_websocket_key());
+        assert_eq!(a.sec_websocket_key(), a2.sec_websocket_key());
+    }
+}

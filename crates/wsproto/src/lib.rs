@@ -1,0 +1,93 @@
+//! # sockscope-wsproto
+//!
+//! A complete, dependency-free, **sans-IO** implementation of the WebSocket
+//! protocol (RFC 6455) — the transport at the heart of the IMC'18 study
+//! *"How Tracking Companies Circumvented Ad Blockers Using WebSockets"*.
+//!
+//! ## Why sans-IO
+//!
+//! Following the smoltcp design philosophy, this crate owns no sockets and
+//! performs no IO. Callers feed raw bytes into a [`codec::FrameDecoder`] or a
+//! [`connection::Connection`] and pull decoded frames/messages (or bytes to
+//! transmit) back out. That lets the same state machine run:
+//!
+//! * inside the simulated browser's network layer (every synthetic tracker
+//!   message in the study actually round-trips through this codec), and
+//! * over real `std::net::TcpStream`s (see `examples/loopback_echo.rs` at
+//!   the repository root).
+//!
+//! ## Layout
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`sha1`] | from-scratch SHA-1 (needed for `Sec-WebSocket-Accept`) |
+//! | [`base64`] | from-scratch Base64 (handshake keys) |
+//! | [`handshake`] | client/server opening-handshake generation & validation |
+//! | [`frame`] | frame model: opcodes, header encode/decode, masking |
+//! | [`codec`] | incremental frame encoder/decoder over byte streams |
+//! | [`connection`] | full-duplex connection state machine: fragmentation, control frames, close handshake, protocol-error policing |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base64;
+pub mod codec;
+pub mod connection;
+pub mod frame;
+pub mod handshake;
+pub mod sha1;
+
+pub use codec::{FrameDecoder, FrameEncoder};
+pub use connection::{CloseReason, Connection, Event, Message, Role};
+pub use frame::{CloseCode, Frame, Opcode};
+pub use handshake::{ClientHandshake, HandshakeError, ServerHandshake};
+
+/// Errors surfaced by the framing and connection layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Reserved bits were set without a negotiated extension.
+    ReservedBitsSet,
+    /// Unknown opcode value.
+    BadOpcode(u8),
+    /// A control frame was fragmented or exceeded 125 bytes of payload.
+    BadControlFrame,
+    /// A continuation frame arrived with no message in progress.
+    UnexpectedContinuation,
+    /// A new data frame arrived while a fragmented message was in progress.
+    ExpectedContinuation,
+    /// Payload length used a non-minimal or overlong encoding.
+    BadLength,
+    /// Masking rules violated (client frames MUST be masked, server frames
+    /// MUST NOT be).
+    BadMask,
+    /// A text message contained invalid UTF-8.
+    InvalidUtf8,
+    /// Close frame payload was malformed (1-byte payload or bad code).
+    BadCloseFrame,
+    /// Data arrived after the connection was closed.
+    AfterClose,
+    /// Message size exceeded the configured limit.
+    MessageTooLarge,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::ReservedBitsSet => write!(f, "reserved bits set"),
+            ProtocolError::BadOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+            ProtocolError::BadControlFrame => write!(f, "fragmented or oversized control frame"),
+            ProtocolError::UnexpectedContinuation => write!(f, "continuation without message"),
+            ProtocolError::ExpectedContinuation => {
+                write!(f, "new data frame during fragmented message")
+            }
+            ProtocolError::BadLength => write!(f, "non-minimal or overlong payload length"),
+            ProtocolError::BadMask => write!(f, "masking rule violated"),
+            ProtocolError::InvalidUtf8 => write!(f, "invalid UTF-8 in text message"),
+            ProtocolError::BadCloseFrame => write!(f, "malformed close frame"),
+            ProtocolError::AfterClose => write!(f, "data after close"),
+            ProtocolError::MessageTooLarge => write!(f, "message exceeds size limit"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}

@@ -1,0 +1,339 @@
+//! RFC 6455 conformance battery, in the spirit of the Autobahn test suite:
+//! systematic edge cases over framing, fragmentation, control frames, UTF-8
+//! policing, and the close handshake, driven through the public sans-IO
+//! API only.
+
+use sockscope_wsproto::codec::{FrameDecoder, FrameEncoder, MaskingRole};
+use sockscope_wsproto::connection::{pump, State};
+use sockscope_wsproto::{CloseCode, Connection, Event, Frame, Message, Opcode, ProtocolError, Role};
+
+fn client_encoder() -> FrameEncoder {
+    FrameEncoder::new(MaskingRole::Client, 7)
+}
+
+fn server_side() -> Connection {
+    Connection::new(Role::Server, 9)
+}
+
+fn drain(conn: &mut Connection) -> Vec<Event> {
+    let mut events = Vec::new();
+    while let Some(ev) = conn.poll().expect("no protocol error expected") {
+        events.push(ev);
+    }
+    events
+}
+
+// --- 1.x: framing basics ---------------------------------------------------
+
+#[test]
+fn case_1_1_empty_text_frame() {
+    let mut s = server_side();
+    s.feed(&client_encoder().encode(&Frame::text("")));
+    assert_eq!(drain(&mut s), vec![Event::Message(Message::Text(String::new()))]);
+}
+
+#[test]
+fn case_1_2_text_at_all_length_boundaries() {
+    // Exercise the 7-bit/16-bit/64-bit length encodings exactly at their
+    // boundaries.
+    for len in [125usize, 126, 127, 128, 65535, 65536] {
+        let payload = "a".repeat(len);
+        let mut s = server_side();
+        s.feed(&client_encoder().encode(&Frame::text(&payload)));
+        match drain(&mut s).pop().expect("message") {
+            Event::Message(Message::Text(t)) => assert_eq!(t.len(), len),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn case_1_3_empty_binary_frame() {
+    let mut s = server_side();
+    s.feed(&client_encoder().encode(&Frame::binary(Vec::new())));
+    assert_eq!(
+        drain(&mut s),
+        vec![Event::Message(Message::Binary(Vec::new()))]
+    );
+}
+
+// --- 2.x: pings and pongs ---------------------------------------------------
+
+#[test]
+fn case_2_1_ping_with_125_byte_payload_is_max() {
+    let mut s = server_side();
+    let payload = vec![0x42u8; 125];
+    s.feed(&client_encoder().encode(&Frame::ping(payload.clone())));
+    assert_eq!(drain(&mut s), vec![Event::Ping(payload)]);
+    // An automatic pong was queued.
+    assert!(s.wants_write());
+}
+
+#[test]
+fn case_2_2_ping_with_126_bytes_is_a_protocol_error() {
+    let mut dec = FrameDecoder::new(MaskingRole::Client);
+    // Hand-build: control opcode with 16-bit length.
+    dec.feed(&[0x89, 126, 0x00, 126]);
+    assert_eq!(dec.next_frame(), Err(ProtocolError::BadControlFrame));
+}
+
+#[test]
+fn case_2_3_unsolicited_pong_is_delivered_not_fatal() {
+    let mut s = server_side();
+    s.feed(&client_encoder().encode(&Frame::pong(b"gratuitous".to_vec())));
+    assert_eq!(drain(&mut s), vec![Event::Pong(b"gratuitous".to_vec())]);
+    assert_eq!(s.state(), State::Open);
+}
+
+#[test]
+fn case_2_4_ping_between_every_fragment() {
+    let mut enc = client_encoder();
+    let mut s = server_side();
+    let parts = [("He", false, Opcode::Text), ("ll", false, Opcode::Continuation), ("o!", true, Opcode::Continuation)];
+    for (i, (text, fin, op)) in parts.iter().enumerate() {
+        s.feed(&enc.encode(&Frame {
+            fin: *fin,
+            opcode: *op,
+            payload: text.as_bytes().to_vec(),
+            mask: None,
+        }));
+        if i < 2 {
+            s.feed(&enc.encode(&Frame::ping(vec![i as u8])));
+        }
+    }
+    let events = drain(&mut s);
+    assert_eq!(
+        events,
+        vec![
+            Event::Ping(vec![0]),
+            Event::Ping(vec![1]),
+            Event::Message(Message::Text("Hello!".into())),
+        ]
+    );
+}
+
+// --- 3.x: reserved bits and opcodes -----------------------------------------
+
+#[test]
+fn case_3_1_rsv_bits_rejected() {
+    for rsv in [0x40u8, 0x20, 0x10, 0x70] {
+        let mut dec = FrameDecoder::new(MaskingRole::Client);
+        dec.feed(&[0x81 | rsv, 0x00]);
+        assert_eq!(
+            dec.next_frame(),
+            Err(ProtocolError::ReservedBitsSet),
+            "rsv {rsv:#x}"
+        );
+    }
+}
+
+#[test]
+fn case_3_2_reserved_opcodes_rejected() {
+    for op in [0x3u8, 0x4, 0x5, 0x6, 0x7, 0xB, 0xC, 0xD, 0xE, 0xF] {
+        let mut dec = FrameDecoder::new(MaskingRole::Client);
+        dec.feed(&[0x80 | op, 0x00]);
+        assert_eq!(dec.next_frame(), Err(ProtocolError::BadOpcode(op)), "op {op:#x}");
+    }
+}
+
+// --- 4.x: fragmentation ------------------------------------------------------
+
+#[test]
+fn case_4_1_text_fragmented_into_single_bytes() {
+    let mut c = Connection::new(Role::Client, 3);
+    let mut s = server_side();
+    c.send_text_fragmented("fragmentation torture", 1).unwrap();
+    let (_, events) = pump(&mut c, &mut s).unwrap();
+    assert_eq!(
+        events,
+        vec![Event::Message(Message::Text("fragmentation torture".into()))]
+    );
+}
+
+#[test]
+fn case_4_2_utf8_split_across_fragment_boundary() {
+    // '€' is 3 bytes; fragment at 1 byte splits inside the code point —
+    // reassembly must still validate the *whole* message.
+    let mut c = Connection::new(Role::Client, 3);
+    let mut s = server_side();
+    c.send_text_fragmented("€uro", 1).unwrap();
+    let (_, events) = pump(&mut c, &mut s).unwrap();
+    assert_eq!(events, vec![Event::Message(Message::Text("€uro".into()))]);
+}
+
+#[test]
+fn case_4_3_two_fragmented_messages_back_to_back() {
+    let mut c = Connection::new(Role::Client, 3);
+    let mut s = server_side();
+    c.send_text_fragmented("first message", 4).unwrap();
+    c.send_text_fragmented("second message", 5).unwrap();
+    let (_, events) = pump(&mut c, &mut s).unwrap();
+    assert_eq!(
+        events,
+        vec![
+            Event::Message(Message::Text("first message".into())),
+            Event::Message(Message::Text("second message".into())),
+        ]
+    );
+}
+
+// --- 5.x: UTF-8 policing ------------------------------------------------------
+
+#[test]
+fn case_5_1_invalid_utf8_single_frame_fails_1007_style() {
+    let mut s = server_side();
+    let mut enc = client_encoder();
+    let frame = Frame {
+        fin: true,
+        opcode: Opcode::Text,
+        payload: vec![0xC3, 0x28], // overlong/invalid sequence
+        mask: None,
+    };
+    s.feed(&enc.encode(&frame));
+    assert_eq!(s.poll(), Err(ProtocolError::InvalidUtf8));
+    assert_eq!(s.state(), State::Failed);
+}
+
+#[test]
+fn case_5_2_invalid_utf8_only_detectable_after_reassembly() {
+    let mut s = server_side();
+    let mut enc = client_encoder();
+    // Two fragments that are individually incomplete but combine to an
+    // invalid sequence.
+    s.feed(&enc.encode(&Frame {
+        fin: false,
+        opcode: Opcode::Text,
+        payload: vec![0xED],
+        mask: None,
+    }));
+    assert!(s.poll().unwrap().is_none());
+    s.feed(&enc.encode(&Frame {
+        fin: true,
+        opcode: Opcode::Continuation,
+        payload: vec![0xA0, 0x80], // UTF-16 surrogate — invalid in UTF-8
+        mask: None,
+    }));
+    assert_eq!(s.poll(), Err(ProtocolError::InvalidUtf8));
+}
+
+#[test]
+fn case_5_3_binary_frames_are_never_utf8_policed() {
+    let mut s = server_side();
+    s.feed(&client_encoder().encode(&Frame::binary(vec![0xFF, 0xC3, 0x28])));
+    assert_eq!(
+        drain(&mut s),
+        vec![Event::Message(Message::Binary(vec![0xFF, 0xC3, 0x28]))]
+    );
+}
+
+// --- 6.x: close handshake ------------------------------------------------------
+
+#[test]
+fn case_6_1_clean_close_with_code_and_reason() {
+    let mut c = Connection::new(Role::Client, 3);
+    let mut s = server_side();
+    c.close(CloseCode::Away, "navigating away");
+    let (cev, sev) = pump(&mut c, &mut s).unwrap();
+    assert_eq!(c.state(), State::Closed);
+    assert_eq!(s.state(), State::Closed);
+    assert!(matches!(&sev[0], Event::Closed(r) if r.code == Some(CloseCode::Away)
+        && r.reason == "navigating away"));
+    assert!(matches!(&cev[0], Event::Closed(_)));
+}
+
+#[test]
+fn case_6_2_bare_close_frame_no_code() {
+    let mut s = server_side();
+    s.feed(&client_encoder().encode(&Frame::close_empty()));
+    let events = drain(&mut s);
+    assert!(matches!(&events[0], Event::Closed(r) if r.code.is_none()));
+    assert_eq!(s.state(), State::Closed);
+}
+
+#[test]
+fn case_6_3_one_byte_close_payload_is_fatal() {
+    let mut s = server_side();
+    let mut enc = client_encoder();
+    let bad = Frame {
+        fin: true,
+        opcode: Opcode::Close,
+        payload: vec![0x03],
+        mask: None,
+    };
+    s.feed(&enc.encode(&bad));
+    assert_eq!(s.poll(), Err(ProtocolError::BadCloseFrame));
+}
+
+#[test]
+fn case_6_4_reserved_close_codes_rejected() {
+    for code in [0u16, 999, 1004, 1005, 1006, 1015, 2500] {
+        let mut s = server_side();
+        let mut enc = client_encoder();
+        let mut payload = code.to_be_bytes().to_vec();
+        payload.extend_from_slice(b"x");
+        let frame = Frame {
+            fin: true,
+            opcode: Opcode::Close,
+            payload,
+            mask: None,
+        };
+        s.feed(&enc.encode(&frame));
+        assert_eq!(s.poll(), Err(ProtocolError::BadCloseFrame), "code {code}");
+    }
+}
+
+#[test]
+fn case_6_5_data_after_close_is_ignored_by_state_machine() {
+    let mut c = Connection::new(Role::Client, 3);
+    let mut s = server_side();
+    c.close(CloseCode::Normal, "");
+    let _ = pump(&mut c, &mut s).unwrap();
+    // The closed connection refuses to send.
+    assert_eq!(s.send_text("too late"), Err(ProtocolError::AfterClose));
+    assert_eq!(c.send_binary(&[1]), Err(ProtocolError::AfterClose));
+}
+
+#[test]
+fn case_6_6_simultaneous_close_resolves() {
+    let mut c = Connection::new(Role::Client, 3);
+    let mut s = server_side();
+    c.close(CloseCode::Normal, "client");
+    s.close(CloseCode::Away, "server");
+    let _ = pump(&mut c, &mut s).unwrap();
+    assert_eq!(c.state(), State::Closed);
+    assert_eq!(s.state(), State::Closed);
+}
+
+// --- 7.x: masking rules --------------------------------------------------------
+
+#[test]
+fn case_7_1_server_rejects_unmasked_client_frames() {
+    let mut s = server_side();
+    let mut enc = FrameEncoder::new(MaskingRole::Server, 5); // produces unmasked
+    s.feed(&enc.encode(&Frame::text("nope")));
+    assert_eq!(s.poll(), Err(ProtocolError::BadMask));
+}
+
+#[test]
+fn case_7_2_client_rejects_masked_server_frames() {
+    let mut c = Connection::new(Role::Client, 3);
+    let mut enc = FrameEncoder::new(MaskingRole::Client, 5); // produces masked
+    c.feed(&enc.encode(&Frame::text("nope")));
+    assert_eq!(c.poll(), Err(ProtocolError::BadMask));
+}
+
+#[test]
+fn case_7_3_failed_connection_queues_1002_close() {
+    let mut s = server_side();
+    let mut enc = FrameEncoder::new(MaskingRole::Server, 5);
+    s.feed(&enc.encode(&Frame::text("unmasked")));
+    let _ = s.poll();
+    let out = s.take_outgoing();
+    // The queued close frame carries 1002 (protocol error).
+    let mut dec = FrameDecoder::new(MaskingRole::Client);
+    dec.feed(&out);
+    let frame = dec.next_frame().unwrap().expect("close frame queued");
+    assert_eq!(frame.opcode, Opcode::Close);
+    let (code, _) = frame.close_reason().unwrap().unwrap();
+    assert_eq!(code, CloseCode::Protocol);
+}

@@ -1,0 +1,69 @@
+//! Figure 4: Lockerdome-style ad delivery over WebSockets.
+//!
+//! Lockerdome did not push ad *images* through sockets — it pushed URLs to
+//! images on `cdn1.lockerdome.com` (absent from EasyList) plus captions and
+//! dimensions, letting the page fetch unblockable creatives. This example
+//! reproduces the flow and recovers the three clickbait ads of Figure 4
+//! from the raw socket frames.
+//!
+//! ```sh
+//! cargo run --example clickbait_ads
+//! ```
+
+use sockscope::analysis::PiiLibrary;
+use sockscope::browser::{Browser, BrowserConfig, BrowserEra, ExtensionHost};
+use sockscope::inclusion::InclusionTree;
+use sockscope::webmodel::{
+    host::StaticHost, Action, Page, ReceivedItem, ScriptBehavior, ScriptRef, SentItem,
+    WsExchange, WsServerProfile,
+};
+
+fn main() {
+    let mut web = StaticHost::new();
+    let mut page = Page::new("http://longtail-blog.example/", "Blog");
+    page.scripts = vec![ScriptRef::Remote(
+        "https://cdn2.lockerdome.com/lockerdome.js".into(),
+    )];
+    web.add_page(page);
+    web.add_script(
+        "https://cdn2.lockerdome.com/lockerdome.js",
+        ScriptBehavior::inert().then(Action::OpenWebSocket {
+            url: "wss://api.lockerdome.com/socket".into(),
+            exchanges: vec![WsExchange {
+                send: vec![SentItem::Cookie],
+                receive: vec![ReceivedItem::AdUrls],
+            }],
+        }),
+    );
+    web.add_ws_server("wss://api.lockerdome.com/socket", WsServerProfile::accepting());
+
+    let browser = Browser::new(
+        &web,
+        ExtensionHost::stock(BrowserEra::PreChrome58),
+        BrowserConfig::default(),
+    );
+    let visit = browser.visit("http://longtail-blog.example/").expect("visit");
+    let tree = InclusionTree::build("http://longtail-blog.example/", &visit.events);
+    let socket = tree.websockets().next().expect("lockerdome socket");
+    let response = socket.ws.as_ref().unwrap().received[0]
+        .as_text()
+        .expect("JSON response")
+        .to_string();
+
+    println!("raw socket response ({} bytes of JSON):\n{response}\n", response.len());
+
+    let lib = PiiLibrary::new();
+    let ads = lib.extract_ad_urls(&response);
+    println!("ads recovered from the frame (Figure 4):");
+    for (url, caption) in &ads {
+        println!("  {caption:?}");
+        println!("      creative: {url}");
+    }
+    assert_eq!(ads.len(), 3);
+    assert!(ads.iter().all(|(u, _)| u.contains("cdn1.")));
+    println!();
+    println!("The creatives live on cdn1.lockerdome.com — a host EasyList did");
+    println!("not cover — so even image-level blocking missed them, and the");
+    println!("WRB hid the socket that delivered their URLs. \"Shady ad networks");
+    println!("cater to shady advertisers.\"");
+}

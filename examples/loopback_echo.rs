@@ -1,0 +1,157 @@
+//! The sans-IO WebSocket stack over a **real TCP connection**.
+//!
+//! Everything else in this repository drives `sockscope-wsproto` through an
+//! in-memory transport; this example proves the same state machines speak
+//! RFC 6455 over actual sockets: a server thread on `127.0.0.1` accepts an
+//! upgrade and echoes messages, a client connects, round-trips a tracking
+//! payload and a 64 KiB fragmented "DOM", pings, and closes cleanly.
+//!
+//! ```sh
+//! cargo run --example loopback_echo
+//! ```
+
+use sockscope::wsproto::{
+    connection::State, CloseCode, ClientHandshake, Connection, Event, Message, Role,
+    ServerHandshake,
+};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Pumps one side of the connection over a TCP stream until `done`.
+fn pump_io(conn: &mut Connection, stream: &mut TcpStream) -> std::io::Result<Vec<Event>> {
+    let mut events = Vec::new();
+    let mut buf = [0u8; 4096];
+    stream.set_nonblocking(true)?;
+    loop {
+        // Flush outgoing bytes.
+        let out = conn.take_outgoing();
+        if !out.is_empty() {
+            stream.write_all(&out)?;
+        }
+        // Drain events.
+        while let Some(ev) = conn.poll().expect("protocol error") {
+            let done = matches!(ev, Event::Closed(_));
+            events.push(ev);
+            if done {
+                return Ok(events);
+            }
+        }
+        // Read more bytes.
+        match stream.read(&mut buf) {
+            Ok(0) => return Ok(events),
+            Ok(n) => conn.feed(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if matches!(conn.state(), State::Closed | State::Failed) {
+                    return Ok(events);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn server(listener: TcpListener) -> std::io::Result<()> {
+    let (mut stream, _) = listener.accept()?;
+    // Read the upgrade request.
+    let mut req = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !req.windows(4).any(|w| w == b"\r\n\r\n") {
+        let n = stream.read(&mut buf)?;
+        req.extend_from_slice(&buf[..n]);
+    }
+    let hs = ServerHandshake::accept_request(&req).expect("valid upgrade");
+    println!(
+        "[server] upgrade from UA {:?}",
+        hs.request.get("user-agent").unwrap_or("?")
+    );
+    stream.write_all(&hs.response_bytes(None))?;
+
+    let mut conn = Connection::new(Role::Server, 0xBEEF);
+    let mut echoed = 0;
+    stream.set_nonblocking(true)?;
+    let mut rbuf = [0u8; 4096];
+    loop {
+        let out = conn.take_outgoing();
+        if !out.is_empty() {
+            stream.write_all(&out)?;
+        }
+        while let Some(ev) = conn.poll().expect("server protocol error") {
+            match ev {
+                Event::Message(Message::Text(t)) => {
+                    echoed += 1;
+                    println!("[server] echoing {} bytes", t.len());
+                    conn.send_text(&t).expect("echo");
+                }
+                Event::Message(Message::Binary(b)) => {
+                    echoed += 1;
+                    conn.send_binary(&b).expect("echo");
+                }
+                Event::Closed(reason) => {
+                    println!("[server] closed: {:?} after {echoed} echoes", reason.code);
+                    let out = conn.take_outgoing();
+                    if !out.is_empty() {
+                        stream.write_all(&out)?;
+                    }
+                    return Ok(());
+                }
+                Event::Ping(_) | Event::Pong(_) => {}
+            }
+        }
+        match stream.read(&mut rbuf) {
+            Ok(0) => return Ok(()),
+            Ok(n) => conn.feed(&rbuf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let server_thread = std::thread::spawn(move || server(listener));
+
+    // ---- Client side. ----
+    let mut stream = TcpStream::connect(addr)?;
+    let hs = ClientHandshake::new(addr.to_string(), "/echo", 0x1234)
+        .origin("http://pub.example")
+        .user_agent("sockscope-loopback/1.0")
+        .cookies("uid=421");
+    stream.write_all(&hs.request_bytes())?;
+    let mut resp = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !resp.windows(4).any(|w| w == b"\r\n\r\n") {
+        let n = stream.read(&mut buf)?;
+        resp.extend_from_slice(&buf[..n]);
+    }
+    hs.validate_response(&resp).expect("101 with valid accept key");
+    println!("[client] handshake complete (Sec-WebSocket-Accept verified)");
+
+    let mut conn = Connection::new(Role::Client, 0x5EED);
+    conn.send_text("cookie=uid=421&screen=1920x1080").expect("send");
+    let fake_dom = format!("dom=<html>{}</html>", "x".repeat(65_536));
+    conn.send_text_fragmented(&fake_dom, 8 * 1024).expect("send fragmented");
+    conn.send_ping(b"hb").expect("ping");
+    conn.close(CloseCode::Normal, "done");
+
+    let events = pump_io(&mut conn, &mut stream)?;
+    let mut echoes = 0;
+    for ev in &events {
+        match ev {
+            Event::Message(m) => {
+                echoes += 1;
+                println!("[client] echo {} bytes back", m.len());
+            }
+            Event::Pong(p) => println!("[client] pong {p:?}"),
+            Event::Closed(r) => println!("[client] close acknowledged: {:?}", r.code),
+            Event::Ping(_) => {}
+        }
+    }
+    assert_eq!(echoes, 2, "both messages echoed over real TCP");
+    server_thread.join().expect("server thread").expect("server ok");
+    println!("loopback echo over real TCP: OK");
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! The webRequest Bug, demonstrated end to end.
+//!
+//! One publisher page carries an ad loader served **first-party** (the
+//! standard anti-blocker tactic — the script itself matches no filter)
+//! which (a) loads an ad image from the ad network over HTTP and (b) opens
+//! a WebSocket to the same network. An ad blocker whose rules fully cover
+//! the network is installed. We visit the page three times:
+//!
+//! * Chrome <58 — the HTTP ad is blocked, **the socket sails through**;
+//! * Chrome 58+ — both are blocked;
+//! * Chrome 58+ with an extension that kept `http://*`-only URL filters —
+//!   the socket slips through again (Franken et al.'s finding, §5).
+//!
+//! ```sh
+//! cargo run --example wrb_circumvention
+//! ```
+
+use sockscope::browser::{
+    AdBlockerExtension, Browser, BrowserConfig, BrowserEra, ExtensionHost,
+};
+use sockscope::filterlist::Engine;
+use sockscope::webmodel::{
+    host::StaticHost, Action, Page, ReceivedItem, ScriptBehavior, ScriptRef, SentItem,
+    WsExchange, WsServerProfile,
+};
+
+fn build_web() -> StaticHost {
+    let mut host = StaticHost::new();
+    let mut page = Page::new("http://news.example/", "News");
+    // The loader rides the publisher's own domain, so no list rule can
+    // touch it without breaking the site.
+    page.scripts = vec![ScriptRef::Remote("http://news.example/assets/engagement.js".into())];
+    host.add_page(page);
+    host.add_script(
+        "http://news.example/assets/engagement.js",
+        ScriptBehavior::inert()
+            .then(Action::FetchImage {
+                url: "http://shadynet.example/banner/728x90/ad_top.png".into(),
+                sent: vec![SentItem::Cookie],
+            })
+            .then(Action::OpenWebSocket {
+                url: "ws://shadynet.example/serve-ads".into(),
+                exchanges: vec![WsExchange {
+                    send: vec![SentItem::Cookie, SentItem::UserId],
+                    receive: vec![ReceivedItem::AdUrls],
+                }],
+            }),
+    );
+    host.add_ws_server("ws://shadynet.example/serve-ads", WsServerProfile::accepting());
+    host
+}
+
+fn blocker() -> AdBlockerExtension {
+    // The network is fully listed — including a websocket rule.
+    let (engine, errs) = Engine::parse("||shadynet.example^\n||shadynet.example^$websocket");
+    assert!(errs.is_empty());
+    AdBlockerExtension::new("adblock", engine)
+}
+
+fn visit(web: &StaticHost, era: BrowserEra, legacy: bool) -> (usize, usize) {
+    let mut ext = blocker();
+    if legacy {
+        ext = ext.with_legacy_filters();
+    }
+    let browser = Browser::new(
+        web,
+        ExtensionHost::stock(era).install(ext),
+        BrowserConfig::default(),
+    );
+    let v = browser.visit("http://news.example/").expect("visit");
+    (v.websocket_count(), v.blocked.len())
+}
+
+fn main() {
+    let web = build_web();
+
+    println!("page: http://news.example/  (ad network fully covered by the blocker's rules)\n");
+    let cases = [
+        ("Chrome <58, blocker installed (WRB live)", BrowserEra::PreChrome58, false),
+        ("Chrome 58+, blocker installed (patched)", BrowserEra::PostChrome58, false),
+        ("Chrome 58+, blocker with http://*-only filters", BrowserEra::PostChrome58, true),
+    ];
+    for (label, era, legacy) in cases {
+        let (sockets, blocked) = visit(&web, era, legacy);
+        let verdict = if sockets > 0 {
+            "CIRCUMVENTED - ads flow over the socket"
+        } else {
+            "protected"
+        };
+        println!(
+            "{label:<48} sockets opened: {sockets}   requests blocked: {blocked}   => {verdict}"
+        );
+    }
+    // Make the example self-checking: the WRB and the legacy-filter
+    // mistake must both leak the socket; the patched browser must not.
+    let (pre, _) = visit(&web, BrowserEra::PreChrome58, false);
+    let (post, _) = visit(&web, BrowserEra::PostChrome58, false);
+    let (legacy, _) = visit(&web, BrowserEra::PostChrome58, true);
+    assert_eq!(pre, 1, "WRB must let the socket through");
+    assert_eq!(post, 0, "patched browser must block the socket");
+    assert_eq!(legacy, 1, "http://*-only filters never see sockets");
+    println!();
+    println!("This is the mechanism behind the 2016 reports of unblockable ads");
+    println!("(AdBlock Plus #1727, uBlock #1936, the Pornhub incident) and the");
+    println!("reason the paper's measured ad networks could serve Figure 4's");
+    println!("clickbait through blockers until April 19, 2017.");
+}

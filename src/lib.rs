@@ -1,0 +1,5 @@
+//! Workspace umbrella crate: hosts the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The library itself lives
+//! in the [`sockscope`] crate and its substrate crates.
+
+pub use sockscope as core;

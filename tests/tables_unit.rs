@@ -1,0 +1,202 @@
+//! Unit-level tests for the table/figure generators, using a hand-built
+//! `Study` (no crawling) so ordering, deduplication and percentage rules
+//! can be checked exactly.
+
+use sockscope::analysis::figures::Figure3;
+use sockscope::analysis::pii::ReceivedClass;
+use sockscope::analysis::reduce::{CrawlReduction, SiteFlags, SocketObservation};
+use sockscope::analysis::tables::{Table1, Table2, Table3, Table4, Table5};
+use sockscope::analysis::textstats::TextStats;
+use sockscope::analysis::Study;
+use sockscope::filterlist::{AaDomainSet, Engine};
+use sockscope::webmodel::SentItem;
+use std::collections::BTreeSet;
+
+fn socket(
+    initiator: &str,
+    receiver_host: &str,
+    site: &str,
+    rank: u32,
+    sent: &[SentItem],
+) -> SocketObservation {
+    SocketObservation {
+        url: format!("wss://{receiver_host}/socket"),
+        host: receiver_host.to_string(),
+        initiator_host: initiator.to_string(),
+        chain_hosts: vec![site.to_string(), initiator.to_string()],
+        cross_origin: true,
+        sent_items: sent.iter().copied().collect(),
+        received_classes: BTreeSet::from([ReceivedClass::Html]),
+        no_data_sent: sent.is_empty(),
+        no_data_received: false,
+        chain_blocked: false,
+        site_rank: rank,
+        site_domain: site.to_string(),
+    }
+}
+
+/// Two crawls (one pre, one post), three companies, hand-placed sockets.
+fn tiny_study() -> Study {
+    let mut pre = CrawlReduction::new("pre", true);
+    let mut post = CrawlReduction::new("post", false);
+    // Site flags: 10 sites per crawl, ranks spread over two bins.
+    for crawl in [&mut pre, &mut post] {
+        for i in 0..10u32 {
+            crawl.sites.push(SiteFlags {
+                rank: if i < 5 { 1000 + i } else { 15_000 + i },
+                pages: 16,
+                sockets: if i == 0 { 3 } else { 0 },
+            });
+        }
+    }
+    // Pre-patch: bigads initiates to collector twice and to itself once;
+    // a publisher opens a chat socket.
+    pre.sockets = vec![
+        socket("tag.bigads.example", "ws.collector.example", "pub-a.example", 1000,
+               &[SentItem::Cookie, SentItem::UserAgent]),
+        socket("tag.bigads.example", "ws.collector.example", "pub-b.example", 1001,
+               &[SentItem::Cookie]),
+        socket("tag.bigads.example", "ws.bigads.example", "pub-a.example", 1000,
+               &[SentItem::Cookie]),
+        socket("pub-a.example", "chat.helper.example", "pub-a.example", 1000, &[]),
+    ];
+    // Post-patch: bigads is gone; chat remains.
+    post.sockets = vec![socket(
+        "pub-a.example",
+        "chat.helper.example",
+        "pub-a.example",
+        1000,
+        &[SentItem::Cookie],
+    )];
+    let aa = AaDomainSet::from_domains(["bigads.example", "collector.example", "helper.example"]);
+    let (engine, _) = Engine::parse("||bigads.example/pixel");
+    Study {
+        reductions: vec![pre, post],
+        aa,
+        engine,
+        cdn_overrides: Vec::new(),
+    }
+}
+
+#[test]
+fn table1_counts_unique_parties() {
+    let study = tiny_study();
+    let t1 = Table1::compute(&study);
+    assert_eq!(t1.rows.len(), 2);
+    let pre = &t1.rows[0];
+    // 1 of 10 sites had sockets.
+    assert!((pre.pct_sites_with_sockets - 10.0).abs() < 1e-9);
+    // 3 of 4 pre sockets are A&A-initiated (the chat one is not).
+    assert!((pre.pct_sockets_aa_initiated - 75.0).abs() < 1e-9);
+    assert_eq!(pre.unique_aa_initiators, 1); // bigads only
+    // All 4 have A&A receivers (collector, bigads, helper are all in D').
+    assert!((pre.pct_sockets_aa_received - 100.0).abs() < 1e-9);
+    assert_eq!(pre.unique_aa_receivers, 3);
+    let post = &t1.rows[1];
+    assert_eq!(post.unique_aa_initiators, 0);
+    assert_eq!(post.unique_aa_receivers, 1);
+}
+
+#[test]
+fn table2_sorts_by_unique_receivers() {
+    let study = tiny_study();
+    let t2 = Table2::compute(&study, 10);
+    assert_eq!(t2.rows[0].initiator, "bigads.example");
+    assert_eq!(t2.rows[0].receivers_total, 2);
+    assert_eq!(t2.rows[0].receivers_aa, 2);
+    assert_eq!(t2.rows[0].sockets, 3);
+    assert!(t2.rows[0].is_aa);
+    // The publisher initiated to one receiver across both crawls.
+    let publisher = t2.rows.iter().find(|r| r.initiator == "pub-a.example").unwrap();
+    assert_eq!(publisher.receivers_total, 1);
+    assert_eq!(publisher.sockets, 2);
+    assert!(!publisher.is_aa);
+}
+
+#[test]
+fn table3_only_aa_receivers() {
+    let study = tiny_study();
+    let t3 = Table3::compute(&study, 10);
+    // collector: 1 initiator; helper: 1 initiator; bigads(self): 1.
+    assert_eq!(t3.rows.len(), 3);
+    let collector = t3.rows.iter().find(|r| r.receiver == "collector.example").unwrap();
+    assert_eq!(collector.initiators_total, 1);
+    assert_eq!(collector.initiators_aa, 1);
+    assert_eq!(collector.sockets, 2);
+    let helper = t3.rows.iter().find(|r| r.receiver == "helper.example").unwrap();
+    assert_eq!(helper.initiators_aa, 0); // contacted only by the publisher
+    assert_eq!(helper.sockets, 2);
+}
+
+#[test]
+fn table4_separates_self_pairs() {
+    let study = tiny_study();
+    let t4 = Table4::compute(&study, 10);
+    assert_eq!(t4.self_pair_sockets, 1); // bigads → bigads
+    let top = &t4.rows[0];
+    assert_eq!(
+        (top.initiator.as_str(), top.receiver.as_str(), top.sockets),
+        ("bigads.example", "collector.example", 2)
+    );
+    // The publisher→helper pair counts because helper is A&A.
+    assert!(t4
+        .rows
+        .iter()
+        .any(|r| r.initiator == "pub-a.example" && r.receiver == "helper.example" && r.sockets == 2));
+}
+
+#[test]
+fn table5_percentages_over_aa_sockets() {
+    let study = tiny_study();
+    let t5 = Table5::compute(&study);
+    // All 5 sockets are A&A (every receiver is in D').
+    let cookie = t5.sent_row("Cookie").unwrap();
+    assert_eq!(cookie.ws_count, 4);
+    assert!((cookie.ws_pct - 80.0).abs() < 1e-9);
+    let nodata = t5.sent.last().unwrap();
+    assert_eq!(nodata.item, "No data");
+    assert_eq!(nodata.ws_count, 1);
+    let html = t5.received_row("HTML").unwrap();
+    assert!((html.ws_pct - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn figure3_bins_and_ratios() {
+    let study = tiny_study();
+    let fig = Figure3::compute(&study, None, 10_000);
+    // Two bins: ranks ~1K and ~15K.
+    assert_eq!(fig.bins.len(), 2);
+    let first = &fig.bins[0];
+    assert_eq!(first.sites, 5);
+    // All 5 sockets (across both crawls) are A&A and sit on rank-1K
+    // publishers, so bin 0 holds 100% of sockets and bin 1 none.
+    assert!((first.pct_aa - 100.0).abs() < 1e-9);
+    assert!((first.pct_non_aa - 0.0).abs() < 1e-9);
+    assert_eq!(fig.bins[1].pct_aa, 0.0);
+    // Shares over all bins sum to 100%.
+    let total: f64 = fig.bins.iter().map(|b| b.pct_aa + b.pct_non_aa).sum();
+    assert!((total - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn textstats_vanished_initiators() {
+    let study = tiny_study();
+    let stats = TextStats::compute(&study);
+    assert!(stats.vanished_initiators.contains("bigads.example"));
+    assert_eq!(stats.vanished_initiators.len(), 1);
+    assert!((stats.pct_cross_origin - 100.0).abs() < 1e-9);
+    assert_eq!(stats.unique_aa_receivers, 3);
+}
+
+#[test]
+fn renders_do_not_panic_and_mention_rows() {
+    let study = tiny_study();
+    let t = Table2::compute(&study, 5).render();
+    assert!(t.contains("bigads.example"));
+    let t = Table4::compute(&study, 5).render();
+    assert!(t.contains("A&A domain to itself"));
+    let t = Table5::compute(&study).render();
+    assert!(t.contains("User Agent"));
+    let f = Figure3::compute(&study, Some(0), 10_000).render();
+    assert!(f.contains("Figure 3"));
+}
