@@ -68,16 +68,11 @@ impl CategoryBreakdown {
         // so count sites once per category via the sockets' site domains
         // for numerators and leave `sites` to the per-category sample size
         // estimated from the first crawl's flags (uniform categories).
-        let total_sites = study
-            .reductions
-            .first()
-            .map(|r| r.sites.len())
-            .unwrap_or(0);
+        let total_sites = study.reductions.first().map(|r| r.sites.len()).unwrap_or(0);
         // ~uniform assignment over 17 categories in the generator.
         let per_category = total_sites / 17;
 
-        let mut seen_sites: BTreeMap<String, std::collections::BTreeSet<String>> =
-            BTreeMap::new();
+        let mut seen_sites: BTreeMap<String, std::collections::BTreeSet<String>> = BTreeMap::new();
         for idx in 0..study.crawl_count() {
             for c in study.classified(idx) {
                 let Some(cat) = category_of(&c.obs.site_domain) else {
@@ -111,9 +106,7 @@ impl CategoryBreakdown {
     /// Renders the table.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from(
-            "Category breakdown (sockets across all four crawls)\n",
-        );
+        let mut out = String::from("Category breakdown (sockets across all four crawls)\n");
         let _ = writeln!(
             out,
             "{:<14} {:>8} {:>14} {:>10} {:>8}",
@@ -140,7 +133,10 @@ mod tests {
 
     #[test]
     fn category_extraction() {
-        assert_eq!(category_of("business-site-000123.example"), Some("business"));
+        assert_eq!(
+            category_of("business-site-000123.example"),
+            Some("business")
+        );
         assert_eq!(category_of("kids-site-000001.example"), Some("kids"));
         assert_eq!(category_of("unrelated.example"), None);
     }

@@ -116,7 +116,7 @@ impl Churn {
     pub fn render(&self, max_rows: usize) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("A&A domain presence across crawls (X=initiated, r=received)\n");
-        let _ = writeln!(out, "{:<28} {}", "domain", "crawl: 1 2 3 4");
+        let _ = writeln!(out, "{:<28} crawl: 1 2 3 4", "domain");
         // Most-present first, majors' disappearance visible at a glance.
         let mut rows: Vec<(&String, &Presence)> = self.domains.iter().collect();
         rows.sort_by_key(|(d, p)| {
@@ -177,7 +177,10 @@ mod tests {
 
     fn study() -> Study {
         let mut c1 = CrawlReduction::new("pre", true);
-        c1.sockets = vec![obs("quitter.example", "sink.example"), obs("stayer.example", "sink.example")];
+        c1.sockets = vec![
+            obs("quitter.example", "sink.example"),
+            obs("stayer.example", "sink.example"),
+        ];
         let mut c2 = CrawlReduction::new("post", false);
         c2.sockets = vec![obs("stayer.example", "sink.example")];
         let aa = AaDomainSet::from_domains(["quitter.example", "stayer.example", "sink.example"]);

@@ -127,9 +127,7 @@ impl Figure3 {
     /// Renders the series as aligned text plus a crude ASCII plot.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from(
-            "Figure 3: percentage of sockets by Alexa rank bin and type\n",
-        );
+        let mut out = String::from("Figure 3: percentage of sockets by Alexa rank bin and type\n");
         let max = self
             .bins
             .iter()

@@ -172,9 +172,9 @@ impl PiiLibrary {
                 }
             }
             Err(_) => {
-                if payload.len() >= 8 && &payload[1..4] == b"PNG" {
-                    Some(ReceivedClass::Image)
-                } else if payload.starts_with(&[0xFF, 0xD8, 0xFF]) {
+                let png = payload.len() >= 8 && &payload[1..4] == b"PNG";
+                let jpeg = payload.starts_with(&[0xFF, 0xD8, 0xFF]);
+                if png || jpeg {
                     Some(ReceivedClass::Image)
                 } else {
                     Some(ReceivedClass::Binary)
@@ -294,7 +294,10 @@ mod tests {
         let cases = [
             (vec![ReceivedItem::Html], Some(ReceivedClass::Html)),
             (vec![ReceivedItem::Json], Some(ReceivedClass::Json)),
-            (vec![ReceivedItem::JavaScript], Some(ReceivedClass::JavaScript)),
+            (
+                vec![ReceivedItem::JavaScript],
+                Some(ReceivedClass::JavaScript),
+            ),
             (vec![ReceivedItem::ImageData], Some(ReceivedClass::Image)),
             (vec![ReceivedItem::Binary], Some(ReceivedClass::Binary)),
             (vec![ReceivedItem::AdUrls], Some(ReceivedClass::Json)),

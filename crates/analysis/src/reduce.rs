@@ -10,6 +10,12 @@
 //! * aggregate HTTP counters per domain (for Table 5's HTTP/S columns and
 //!   the §4.2 chain statistics),
 //! * per-site rank/socket flags (for Table 1 and Figure 3).
+//!
+//! Reductions form a commutative monoid under [`CrawlReduction::merge`]
+//! (up to [`CrawlReduction::normalize`], which canonicalizes the order of
+//! the two positional vectors): the sharded crawl driver gives each worker
+//! a private reduction and folds the shards together afterwards, so no
+//! lock is needed while classifying.
 
 use crate::pii::{PiiLibrary, ReceivedClass};
 use serde::{Deserialize, Serialize};
@@ -21,7 +27,7 @@ use sockscope_webmodel::SentItem;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One classified WebSocket.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SocketObservation {
     /// Endpoint URL.
     pub url: String,
@@ -53,7 +59,7 @@ pub struct SocketObservation {
 }
 
 /// Aggregate HTTP counters for one second-level domain.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HttpAgg {
     /// Total requests.
     pub total: u64,
@@ -65,8 +71,22 @@ pub struct HttpAgg {
     pub chains_blocked: u64,
 }
 
+impl HttpAgg {
+    /// Adds another aggregate's counters into this one.
+    pub fn absorb(&mut self, other: &HttpAgg) {
+        self.total += other.total;
+        for (mine, theirs) in self.sent_counts.iter_mut().zip(&other.sent_counts) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.recv_counts.iter_mut().zip(&other.recv_counts) {
+            *mine += theirs;
+        }
+        self.chains_blocked += other.chains_blocked;
+    }
+}
+
 /// Per-site flags for Table 1 / Figure 3.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SiteFlags {
     /// Alexa-like rank.
     pub rank: u32,
@@ -77,7 +97,7 @@ pub struct SiteFlags {
 }
 
 /// The streaming reducer for one crawl.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrawlReduction {
     /// Crawl label (Table 1 row).
     pub label: String,
@@ -156,10 +176,7 @@ impl CrawlReduction {
         // ancestor is.
         let mut chain_blocked = vec![false; n];
         for (i, node) in tree.nodes().iter().enumerate() {
-            let parent_blocked = node
-                .parent
-                .map(|p| chain_blocked[p.0])
-                .unwrap_or(false);
+            let parent_blocked = node.parent.map(|p| chain_blocked[p.0]).unwrap_or(false);
             chain_blocked[i] = parent_blocked || node_blocked[i];
         }
 
@@ -213,9 +230,7 @@ impl CrawlReduction {
                         agg.recv_counts[pos] += 1;
                     } else if let Some(body) = &node.http_body {
                         if let Some(class) = lib.classify_received(body) {
-                            if let Some(pos) =
-                                ReceivedClass::ALL.iter().position(|&x| x == class)
-                            {
+                            if let Some(pos) = ReceivedClass::ALL.iter().position(|&x| x == class) {
                                 agg.recv_counts[pos] += 1;
                             }
                         }
@@ -296,6 +311,56 @@ impl CrawlReduction {
             }
         }
         sockets
+    }
+
+    /// Merges another reduction of the *same crawl* into this one.
+    ///
+    /// This is the monoid operation behind the sharded crawl driver: each
+    /// shard reduces its own sites into a private `CrawlReduction`, and
+    /// the shards are folded together with `merge` afterwards. Every
+    /// table-feeding field combines:
+    ///
+    /// * `label_counts` — pointwise sum of the (tagged, untagged) pairs;
+    /// * `sockets` — concatenation;
+    /// * `http` — per-domain [`HttpAgg::absorb`] (counter sums);
+    /// * `sites` — concatenation.
+    ///
+    /// `CrawlReduction::new(label, pre_patch)` is the identity element.
+    /// The operation is associative, and commutative up to the order of
+    /// the two positional vectors — call [`CrawlReduction::normalize`]
+    /// after the final merge to canonicalize.
+    pub fn merge(mut self, other: CrawlReduction) -> CrawlReduction {
+        debug_assert_eq!(self.label, other.label, "merging different crawls");
+        debug_assert_eq!(self.pre_patch, other.pre_patch, "merging different eras");
+        for (host, (tagged, untagged)) in other.label_counts {
+            let entry = self.label_counts.entry(host).or_insert((0, 0));
+            entry.0 += tagged;
+            entry.1 += untagged;
+        }
+        self.sockets.extend(other.sockets);
+        for (host, agg) in other.http {
+            match self.http.entry(host) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(agg);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().absorb(&agg);
+                }
+            }
+        }
+        self.sites.extend(other.sites);
+        self
+    }
+
+    /// Sorts the positional vectors into their canonical order: sockets by
+    /// (publisher, URL), sites by (rank, pages, sockets). After
+    /// normalization, two reductions of the same crawl compare equal
+    /// regardless of the thread count, shard count, or arrival order that
+    /// produced them — the determinism and snapshot tests rely on this.
+    pub fn normalize(&mut self) {
+        self.sockets
+            .sort_by(|a, b| (&a.site_domain, &a.url).cmp(&(&b.site_domain, &b.url)));
+        self.sites.sort_by_key(|s| (s.rank, s.pages, s.sockets));
     }
 
     /// Merges another reduction into this one (used to pool the labeling
@@ -418,12 +483,46 @@ mod tests {
         let agg = red.http.get("v2.zopim.com").unwrap();
         assert_eq!(agg.total, 2);
         // Beacon URL carried a cookie.
-        let cookie_pos = SentItem::ALL.iter().position(|&i| i == SentItem::Cookie).unwrap();
+        let cookie_pos = SentItem::ALL
+            .iter()
+            .position(|&i| i == SentItem::Cookie)
+            .unwrap();
         assert_eq!(agg.sent_counts[cookie_pos], 1);
         // Both carried a UA.
         assert_eq!(agg.sent_counts[0], 2);
         // The beacon chain was blocked (the beacon itself matches).
         assert_eq!(agg.chains_blocked, 1);
+    }
+
+    #[test]
+    fn merge_matches_sequential_observation() {
+        let engine = engine();
+        let lib = PiiLibrary::new();
+        let record = record_with_socket();
+
+        let mut sequential = CrawlReduction::new("test", true);
+        sequential.observe_site(&record, &engine, &lib);
+        sequential.observe_site(&record, &engine, &lib);
+        sequential.normalize();
+
+        let mut left = CrawlReduction::new("test", true);
+        left.observe_site(&record, &engine, &lib);
+        let mut right = CrawlReduction::new("test", true);
+        right.observe_site(&record, &engine, &lib);
+        let mut merged = left.merge(right);
+        merged.normalize();
+
+        assert_eq!(merged, sequential);
+    }
+
+    #[test]
+    fn empty_reduction_is_the_merge_identity() {
+        let mut observed = CrawlReduction::new("test", true);
+        observed.observe_site(&record_with_socket(), &engine(), &PiiLibrary::new());
+        let left = CrawlReduction::new("test", true).merge(observed.clone());
+        let right = observed.clone().merge(CrawlReduction::new("test", true));
+        assert_eq!(left, observed);
+        assert_eq!(right, observed);
     }
 
     #[test]

@@ -3,18 +3,26 @@
 //! [`Study::run`] reproduces the paper's end-to-end pipeline:
 //!
 //! 1. generate the synthetic web (one universe, four crawl eras);
-//! 2. crawl each era with the instrumented browser (streaming, parallel);
+//! 2. crawl each era with the instrumented browser (sharded, parallel:
+//!    every worker owns a private [`CrawlReduction`] and classification
+//!    context, so the per-site hot path takes no lock; shard reductions
+//!    are merged in shard order and normalized, which makes the result
+//!    independent of thread count);
 //! 3. pool the labeling observations and build the A&A domain set `D'`
 //!    (10% threshold + Cloudfront overrides, §3.2);
 //! 4. expose classified sockets and aggregates to the table/figure
 //!    generators.
+//!
+//! [`Study::run_streaming`] keeps the original single-reduction-behind-a-
+//! mutex pipeline as a reference implementation; the determinism suite
+//! asserts both produce byte-identical results.
 
 use crate::pii::PiiLibrary;
 use crate::reduce::{CrawlReduction, SocketObservation};
-use parking_lot::Mutex;
 use sockscope_crawler::CrawlConfig;
 use sockscope_filterlist::{AaDomainSet, Engine, Labeler};
 use sockscope_webgen::{CrawlEra, SyntheticWeb, WebGenConfig};
+use std::sync::Mutex;
 
 /// Study configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,18 +88,45 @@ pub struct Study {
     pub cdn_overrides: Vec<(String, String)>,
 }
 
+/// Which parallel reduction pipeline drives the crawl.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pipeline {
+    /// Per-shard private reductions, merged after the crawl (lock-free
+    /// per-site hot path). The default.
+    Sharded,
+    /// One shared reduction behind a mutex, locked on every site. Kept as
+    /// the reference implementation.
+    Streaming,
+}
+
+/// Shards per worker thread for the sharded pipeline: enough slack for
+/// load balancing (a worker that draws slow shards is backfilled by the
+/// others) without fragmenting the merge.
+const SHARDS_PER_THREAD: usize = 4;
+
 impl Study {
-    /// Runs the full study.
+    /// Runs the full study on the sharded lock-free pipeline.
     pub fn run(config: &StudyConfig) -> Study {
+        Study::run_pipeline(config, Pipeline::Sharded)
+    }
+
+    /// Runs the full study on the original streaming pipeline (one
+    /// reduction behind a mutex, classification inside the critical
+    /// section). Produces byte-identical results to [`Study::run`]; kept
+    /// as the reference implementation for differential tests and as the
+    /// baseline in the `crawl_reduction` benchmark.
+    pub fn run_streaming(config: &StudyConfig) -> Study {
+        Study::run_pipeline(config, Pipeline::Streaming)
+    }
+
+    fn run_pipeline(config: &StudyConfig, pipeline: Pipeline) -> Study {
         let web = SyntheticWeb::new(WebGenConfig {
             seed: config.seed,
             n_sites: config.n_sites,
             ..WebGenConfig::default()
         });
-        let (engine, errs) =
-            Engine::parse_many(&[&web.easylist(), &web.easyprivacy()]);
+        let (engine, errs) = Engine::parse_many(&[&web.easylist(), &web.easyprivacy()]);
         debug_assert!(errs.is_empty(), "generated lists must parse: {errs:?}");
-        let lib = PiiLibrary::new();
         let crawl_config = CrawlConfig {
             seed: config.seed ^ 0xC4A31,
             max_links: config.max_links,
@@ -101,25 +136,56 @@ impl Study {
         let mut reductions = Vec::new();
         for era in CrawlEra::ALL {
             let era_web = web.for_era(era);
-            let reduction = Mutex::new(CrawlReduction::new(era.label(), era.pre_patch()));
-            sockscope_crawler::crawl_streaming(
-                &era_web,
-                &crawl_config,
-                &|| {
-                    sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(
-                        era,
-                    ))
-                },
-                &|record| {
-                    reduction.lock().observe_site(&record, &engine, &lib);
-                },
-            );
-            let mut reduction = reduction.into_inner();
-            // Deterministic ordering regardless of thread interleaving.
-            reduction
-                .sockets
-                .sort_by(|a, b| (&a.site_domain, &a.url).cmp(&(&b.site_domain, &b.url)));
-            reduction.sites.sort_by_key(|s| (s.rank, s.pages, s.sockets));
+            let make_extensions =
+                || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(era));
+            let mut reduction = match pipeline {
+                Pipeline::Sharded => {
+                    let shards = config.threads.max(1) * SHARDS_PER_THREAD;
+                    sockscope_crawler::crawl_sharded(
+                        &era_web,
+                        &crawl_config,
+                        shards,
+                        &make_extensions,
+                        // Each shard owns its reduction AND its
+                        // classification context; only the filter engine
+                        // is shared (read-only).
+                        &|_shard| {
+                            (
+                                CrawlReduction::new(era.label(), era.pre_patch()),
+                                PiiLibrary::new(),
+                            )
+                        },
+                        &|acc: &mut (CrawlReduction, PiiLibrary), record| {
+                            acc.0.observe_site(&record, &engine, &acc.1);
+                        },
+                    )
+                    .into_iter()
+                    .map(|(reduction, _lib)| reduction)
+                    .fold(
+                        CrawlReduction::new(era.label(), era.pre_patch()),
+                        CrawlReduction::merge,
+                    )
+                }
+                Pipeline::Streaming => {
+                    let lib = PiiLibrary::new();
+                    let reduction = Mutex::new(CrawlReduction::new(era.label(), era.pre_patch()));
+                    sockscope_crawler::crawl_streaming(
+                        &era_web,
+                        &crawl_config,
+                        &make_extensions,
+                        &|record| {
+                            reduction
+                                .lock()
+                                .expect("reduction lock")
+                                .observe_site(&record, &engine, &lib);
+                        },
+                    );
+                    reduction.into_inner().expect("reduction lock")
+                }
+            };
+            // Deterministic ordering regardless of thread interleaving
+            // (streaming) or shard count (sharded).
+            reduction.normalize();
             reductions.push(reduction);
         }
 
@@ -229,11 +295,21 @@ mod tests {
         // … and several of the WebSocket-native vendors (at 900 sites not
         // every named vendor is sampled, but most are).
         let vendors = [
-            "zopim.com", "intercom.io", "hotjar.com", "33across.com",
-            "smartsupp.com", "disqus.com", "feedjit.com", "webspectator.com",
+            "zopim.com",
+            "intercom.io",
+            "hotjar.com",
+            "33across.com",
+            "smartsupp.com",
+            "disqus.com",
+            "feedjit.com",
+            "webspectator.com",
         ];
         let present = vendors.iter().filter(|d| study.aa.contains(d)).count();
-        assert!(present >= 4, "only {present} of {} vendors labeled", vendors.len());
+        assert!(
+            present >= 4,
+            "only {present} of {} vendors labeled",
+            vendors.len()
+        );
         // … and publishers must not be.
         assert!(!study.aa.iter().any(|d| d.ends_with("-site-000001.example")));
         // Non-A&A realtime stays out.
@@ -275,6 +351,25 @@ mod tests {
         );
         assert!(!post.contains("doubleclick.net"));
         assert!(!post.contains("facebook.com"));
+    }
+
+    #[test]
+    fn sharded_and_streaming_pipelines_agree() {
+        let config = StudyConfig {
+            n_sites: 120,
+            threads: 4,
+            ..StudyConfig::default()
+        };
+        let sharded = Study::run(&config);
+        let streaming = Study::run_streaming(&config);
+        assert_eq!(sharded.reductions, streaming.reductions);
+        // D' is a hash set, so iteration order tracks insertion order and the
+        // two pipelines insert in different orders; compare as sorted sets.
+        let mut sharded_aa: Vec<&str> = sharded.aa.iter().collect();
+        let mut streaming_aa: Vec<&str> = streaming.aa.iter().collect();
+        sharded_aa.sort_unstable();
+        streaming_aa.sort_unstable();
+        assert_eq!(sharded_aa, streaming_aa);
     }
 
     #[test]

@@ -113,7 +113,12 @@ impl Table1 {
             out,
             "Table 1: high-level crawl statistics (ours vs paper)\n\
              {:<18} {:>14} {:>18} {:>16} {:>17} {:>15}",
-            "Crawl", "%Sites w/WS", "%WS A&A-init", "#A&A initiators", "%WS A&A-recv", "#A&A receivers"
+            "Crawl",
+            "%Sites w/WS",
+            "%WS A&A-init",
+            "#A&A initiators",
+            "%WS A&A-recv",
+            "#A&A receivers"
         );
         for (row, paper) in self.rows.iter().zip(PAPER_TABLE1.iter()) {
             let _ = writeln!(
@@ -270,8 +275,7 @@ impl Table3 {
 
     /// Renders the table.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("Table 3: top A&A WebSocket receivers by unique initiators\n");
+        let mut out = String::from("Table 3: top A&A WebSocket receivers by unique initiators\n");
         let _ = writeln!(
             out,
             "{:<28} {:>11} {:>8} {:>10}",
@@ -322,7 +326,8 @@ impl Table4 {
                 if c.initiator == c.receiver {
                     self_pairs += 1;
                 } else {
-                    *map.entry((c.initiator.clone(), c.receiver.clone())).or_default() += 1;
+                    *map.entry((c.initiator.clone(), c.receiver.clone()))
+                        .or_default() += 1;
                 }
             }
         }
@@ -349,16 +354,18 @@ impl Table4 {
 
     /// Renders the table.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Table 4: top initiator/receiver pairs among A&A sockets\n",
-        );
+        let mut out = String::from("Table 4: top initiator/receiver pairs among A&A sockets\n");
         let _ = writeln!(
             out,
             "{:<28} {:<28} {:>10}",
             "Initiator", "Receiver", "Sockets"
         );
         for r in &self.rows {
-            let _ = writeln!(out, "{:<28} {:<28} {:>10}", r.initiator, r.receiver, r.sockets);
+            let _ = writeln!(
+                out,
+                "{:<28} {:<28} {:>10}",
+                r.initiator, r.receiver, r.sockets
+            );
         }
         let _ = writeln!(
             out,
@@ -468,11 +475,11 @@ impl Table5 {
                     continue;
                 }
                 http_total += agg.total;
-                for i in 0..15 {
-                    http_sent[i] += agg.sent_counts[i];
+                for (sum, count) in http_sent.iter_mut().zip(&agg.sent_counts) {
+                    *sum += count;
                 }
-                for i in 0..5 {
-                    http_recv[i] += agg.recv_counts[i];
+                for (sum, count) in http_recv.iter_mut().zip(&agg.recv_counts) {
+                    *sum += count;
                 }
             }
         }

@@ -140,8 +140,7 @@ impl TextStats {
             .count();
         // Unique initiators contacting A&A receivers, and how many of those
         // initiators are A&A themselves.
-        let all_inits_to_aa: BTreeSet<&String> =
-            receiver_initiators.values().flatten().collect();
+        let all_inits_to_aa: BTreeSet<&String> = receiver_initiators.values().flatten().collect();
         let aa_inits_to_aa = all_inits_to_aa
             .iter()
             .filter(|i| study.aa.contains(i))

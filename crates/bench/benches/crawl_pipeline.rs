@@ -25,9 +25,7 @@ fn bench_single_site(c: &mut Criterion) {
     let mut group = c.benchmark_group("crawl_pipeline");
     group.throughput(Throughput::Elements(16));
     group.bench_function("one_site_sixteen_pages", |b| {
-        b.iter(|| {
-            crawl_site(&browser, &site.homepage(), &site.domain, 15, 42).len()
-        })
+        b.iter(|| crawl_site(&browser, &site.homepage(), &site.domain, 15, 42).len())
     });
     group.finish();
 }

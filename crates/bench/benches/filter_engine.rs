@@ -22,13 +22,31 @@ fn bench_engine(c: &mut Criterion) {
     let page = Url::parse("http://news-site-000001.example/").unwrap();
     let urls: Vec<(Url, ResourceType)> = vec![
         // Hits.
-        (Url::parse("https://stats.g.doubleclick.net/pixel0.gif?cookie=uid%3D1").unwrap(), ResourceType::Image),
-        (Url::parse("https://v2.zopim.com/collect/beacon.gif").unwrap(), ResourceType::Image),
-        (Url::parse("https://cdn.adnet00-media.com/adnet00.js?s=1&p=0").unwrap(), ResourceType::Script),
+        (
+            Url::parse("https://stats.g.doubleclick.net/pixel0.gif?cookie=uid%3D1").unwrap(),
+            ResourceType::Image,
+        ),
+        (
+            Url::parse("https://v2.zopim.com/collect/beacon.gif").unwrap(),
+            ResourceType::Image,
+        ),
+        (
+            Url::parse("https://cdn.adnet00-media.com/adnet00.js?s=1&p=0").unwrap(),
+            ResourceType::Script,
+        ),
         // Misses.
-        (Url::parse("http://www.news-site-000001.example/assets/app.js").unwrap(), ResourceType::Script),
-        (Url::parse("https://a.espncdn.com/espncdn.js?s=1&p=0").unwrap(), ResourceType::Script),
-        (Url::parse("wss://livescore-ws.espncdn.com/socket").unwrap(), ResourceType::WebSocket),
+        (
+            Url::parse("http://www.news-site-000001.example/assets/app.js").unwrap(),
+            ResourceType::Script,
+        ),
+        (
+            Url::parse("https://a.espncdn.com/espncdn.js?s=1&p=0").unwrap(),
+            ResourceType::Script,
+        ),
+        (
+            Url::parse("wss://livescore-ws.espncdn.com/socket").unwrap(),
+            ResourceType::WebSocket,
+        ),
     ];
     let mut group = c.benchmark_group("filter_engine");
     group.throughput(Throughput::Elements(urls.len() as u64));

@@ -1,7 +1,9 @@
 //! Perf bench P3: inclusion-tree construction rate from CDP event streams.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sockscope_browser::{CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId};
+use sockscope_browser::{
+    CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId,
+};
 use sockscope_inclusion::InclusionTree;
 
 /// Builds a synthetic event stream: `chains` scripts each including a

@@ -55,11 +55,17 @@ fn bench_connection_session(c: &mut Criterion) {
                     .send_text(&format!("cookie=uid{i}; screen=1920x1080"))
                     .unwrap();
             }
-            let (_, events) = sockscope_wsproto::connection::pump(&mut client, &mut server).unwrap();
+            let (_, events) =
+                sockscope_wsproto::connection::pump(&mut client, &mut server).unwrap();
             events.len()
         })
     });
 }
 
-criterion_group!(benches, bench_frame_roundtrip, bench_handshake, bench_connection_session);
+criterion_group!(
+    benches,
+    bench_frame_roundtrip,
+    bench_handshake,
+    bench_connection_session
+);
 criterion_main!(benches);

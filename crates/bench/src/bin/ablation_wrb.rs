@@ -96,7 +96,9 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
         });
     eprintln!("[sockscope] WRB ablation: {n_sites} sites, {threads} threads");
     // Fixed pre-patch web: DoubleClick & friends are still opening sockets.
@@ -121,7 +123,10 @@ fn main() {
     );
     println!(
         "{:<46} {:>10} {:>12} {:>12}",
-        "Chrome 58+ (patched)", patched.sockets_opened, patched.sockets_blocked, patched.http_blocked
+        "Chrome 58+ (patched)",
+        patched.sockets_opened,
+        patched.sockets_blocked,
+        patched.http_blocked
     );
     println!(
         "{:<46} {:>10} {:>12} {:>12}",
@@ -146,13 +151,19 @@ fn main() {
         patched.sockets_opened
     );
     assert!(wrb.sockets_blocked == 0, "pre-58 must never block a socket");
-    assert!(patched.sockets_blocked > 0, "patched browser must block A&A sockets");
+    assert!(
+        patched.sockets_blocked > 0,
+        "patched browser must block A&A sockets"
+    );
     assert!(
         legacy.sockets_blocked == 0,
         "legacy filters must not block sockets even when patched"
     );
     // The shim recovers most — but not all — of the patched behaviour.
-    assert!(shimmed.sockets_blocked > 0, "shim must block main-frame sockets");
+    assert!(
+        shimmed.sockets_blocked > 0,
+        "shim must block main-frame sockets"
+    );
     assert!(
         shimmed.sockets_opened >= patched.sockets_opened,
         "shim cannot beat the real patch"

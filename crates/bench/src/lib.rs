@@ -46,6 +46,9 @@ pub fn run_study_announced(what: &str) -> sockscope::report::StudyReport {
     );
     let t = std::time::Instant::now();
     let report = sockscope::StudyReport::run(&config);
-    eprintln!("[sockscope] study completed in {:.1}s", t.elapsed().as_secs_f64());
+    eprintln!(
+        "[sockscope] study completed in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
     report
 }

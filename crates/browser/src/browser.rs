@@ -5,9 +5,9 @@ use crate::cookies::CookieJar;
 use crate::events::{
     CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId,
 };
-use sockscope_httpwire as httpwire;
 use crate::network::{self, Direction};
 use crate::webrequest::{ExtensionHost, RequestDetails};
+use sockscope_httpwire as httpwire;
 use sockscope_urlkit::Url;
 use sockscope_webmodel::{
     payload::Payload, Action, Page, ScriptRef, SentItem, ValueContext, WebHost,
@@ -234,7 +234,10 @@ impl VisitState<'_, '_> {
         let response = httpwire::Response::ok(mime, body);
         // Deterministic framing choice: ~30% of tracker responses ride
         // chunked transfer encoding.
-        self.ws_seed = self.ws_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.ws_seed = self
+            .ws_seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1);
         let wire = if self.ws_seed >> 33 & 0xF < 5 {
             let chunk = 64 + (self.ws_seed >> 40 & 0x3F) as usize;
             response.to_chunked_bytes(chunk)
@@ -332,8 +335,11 @@ impl VisitState<'_, '_> {
                 // Third parties set cookies when their script is fetched —
                 // this is what later makes WS handshakes to them stateful.
                 let host = url.host_str();
-                self.jar
-                    .set(&host, "uid", format!("{:016x}", fnv1a(&host) ^ self.browser.config.seed));
+                self.jar.set(
+                    &host,
+                    "uid",
+                    format!("{:016x}", fnv1a(&host) ^ self.browser.config.seed),
+                );
                 let sid = self.next_script_id();
                 self.events.push(CdpEvent::ScriptParsed {
                     script_id: sid,
@@ -387,7 +393,9 @@ impl VisitState<'_, '_> {
                 }
                 Action::FetchXhr { url, sent, receive } => {
                     let full = self.url_with_items(url, sent);
-                    let Ok(parsed) = Url::parse(&full) else { continue };
+                    let Ok(parsed) = Url::parse(&full) else {
+                        continue;
+                    };
                     if !self.allowed(&parsed, ResourceKind::Xhr, Initiator::Script(sid)) {
                         continue;
                     }
@@ -429,15 +437,11 @@ impl VisitState<'_, '_> {
         }
     }
 
-    fn fetch_image(
-        &mut self,
-        url: &str,
-        frame: FrameId,
-        initiator: Initiator,
-        sent: &[SentItem],
-    ) {
+    fn fetch_image(&mut self, url: &str, frame: FrameId, initiator: Initiator, sent: &[SentItem]) {
         let full = self.url_with_items(url, sent);
-        let Ok(parsed) = Url::parse(&full) else { return };
+        let Ok(parsed) = Url::parse(&full) else {
+            return;
+        };
         if !self.allowed(&parsed, ResourceKind::Image, initiator) {
             return;
         }
@@ -466,13 +470,7 @@ impl VisitState<'_, '_> {
         });
     }
 
-    fn open_frame(
-        &mut self,
-        url: &str,
-        parent: FrameId,
-        frame_depth: usize,
-        initiator: Initiator,
-    ) {
+    fn open_frame(&mut self, url: &str, parent: FrameId, frame_depth: usize, initiator: Initiator) {
         if frame_depth >= self.browser.config.max_frame_depth {
             return;
         }
@@ -553,15 +551,17 @@ impl VisitState<'_, '_> {
             initiator,
             frame_id: frame,
         });
-        self.events.push(CdpEvent::WebSocketWillSendHandshakeRequest {
-            request_id: rid,
-            request: session.handshake_request.clone(),
-        });
-        self.events.push(CdpEvent::WebSocketHandshakeResponseReceived {
-            request_id: rid,
-            status: session.status,
-            response: session.handshake_response.clone(),
-        });
+        self.events
+            .push(CdpEvent::WebSocketWillSendHandshakeRequest {
+                request_id: rid,
+                request: session.handshake_request.clone(),
+            });
+        self.events
+            .push(CdpEvent::WebSocketHandshakeResponseReceived {
+                request_id: rid,
+                status: session.status,
+                response: session.handshake_response.clone(),
+            });
         for frame_rec in &session.frames {
             let payload = FramePayload::from_bytes(frame_rec.text, &frame_rec.payload);
             let ev = match frame_rec.direction {
@@ -576,7 +576,8 @@ impl VisitState<'_, '_> {
             };
             self.events.push(ev);
         }
-        self.events.push(CdpEvent::WebSocketClosed { request_id: rid });
+        self.events
+            .push(CdpEvent::WebSocketClosed { request_id: rid });
     }
 
     /// Appends rendered sent-items to a URL as its query string (how HTTP
@@ -802,10 +803,7 @@ mod tests {
             b.visit("http://nope.example/"),
             Err(VisitError::NotFound(_))
         ));
-        assert!(matches!(
-            b.visit("not a url"),
-            Err(VisitError::BadUrl(_))
-        ));
+        assert!(matches!(b.visit("not a url"), Err(VisitError::BadUrl(_))));
     }
 
     #[test]

@@ -39,4 +39,7 @@ pub mod webrequest;
 
 pub use browser::{Browser, BrowserConfig, Visit};
 pub use events::{CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId};
-pub use webrequest::{AdBlockerExtension, BrowserEra, ExtDecision, Extension, ExtensionHost, RequestDetails, WsConstructorShim};
+pub use webrequest::{
+    AdBlockerExtension, BrowserEra, ExtDecision, Extension, ExtensionHost, RequestDetails,
+    WsConstructorShim,
+};

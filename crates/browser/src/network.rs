@@ -11,8 +11,8 @@
 use sockscope_urlkit::Url;
 use sockscope_webmodel::{payload::Payload, ValueContext, WsExchange};
 use sockscope_wsproto::{
-    connection::pump, CloseCode, ClientHandshake, Connection, Event, HandshakeError, Message,
-    Role, ServerHandshake,
+    connection::pump, ClientHandshake, CloseCode, Connection, Event, HandshakeError, Message, Role,
+    ServerHandshake,
 };
 
 /// Direction of a recorded frame, from the browser's perspective.
@@ -90,8 +90,7 @@ pub fn run_session(
         hs = hs.cookies(c);
     }
     let request = hs.request_bytes();
-    let server_hs =
-        ServerHandshake::accept_request(&request).map_err(SessionError::Handshake)?;
+    let server_hs = ServerHandshake::accept_request(&request).map_err(SessionError::Handshake)?;
     let response = server_hs.response_bytes(None);
     hs.validate_response(&response)
         .map_err(SessionError::Handshake)?;

@@ -262,8 +262,8 @@ mod tests {
         // sockets even on Chrome 58+.
         let page = Url::parse("http://pub.example/").unwrap();
         let ws = Url::parse("ws://adnet.example/data.ws").unwrap();
-        let host = ExtensionHost::stock(BrowserEra::PostChrome58)
-            .install(blocker().with_legacy_filters());
+        let host =
+            ExtensionHost::stock(BrowserEra::PostChrome58).install(blocker().with_legacy_filters());
         assert!(host.allow_request(&details(&ws, &page, ResourceKind::WebSocket)));
         // …but ordinary requests are still blocked.
         let ad = Url::parse("http://adnet.example/banner.js").unwrap();

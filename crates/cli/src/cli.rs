@@ -29,6 +29,9 @@ pub enum Command {
         config: StudyConfig,
         /// Snapshot destination.
         save: Option<String>,
+        /// Use the locked streaming reference pipeline instead of the
+        /// default sharded one (identical output, slower).
+        streaming: bool,
     },
     /// Print the full report.
     Report(Source),
@@ -74,7 +77,7 @@ pub const USAGE: &str = "\
 sockscope — reproduction of 'How Tracking Companies Circumvented Ad Blockers Using WebSockets' (IMC'18)
 
 USAGE:
-  sockscope run       [--sites N] [--seed HEX] [--threads N] [--save FILE]
+  sockscope run       [--sites N] [--seed HEX] [--threads N] [--save FILE] [--streaming]
   sockscope report    [--from FILE | --sites N ...]
   sockscope table     <1|2|3|4|5> [--csv] [--from FILE | --sites N ...]
   sockscope figure3   [--csv] [--from FILE | --sites N ...]
@@ -91,6 +94,8 @@ OPTIONS:
   --threads N     crawl worker threads (default: all cores)
   --save FILE     write a reusable JSON snapshot of the crawl
   --from FILE     analyze a saved snapshot instead of re-crawling
+  --streaming     run the locked streaming reference pipeline instead of
+                  the default sharded lock-free one (identical output)
 ";
 
 /// Argument-parsing errors.
@@ -103,13 +108,22 @@ impl std::fmt::Display for ParseError {
     }
 }
 
-fn parse_knobs(args: &[String]) -> Result<(StudyConfig, Option<String>, Option<String>), ParseError> {
+/// Every knob shared by the crawling commands.
+struct Knobs {
+    config: StudyConfig,
+    save: Option<String>,
+    from: Option<String>,
+    streaming: bool,
+}
+
+fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
     let mut config = StudyConfig {
         n_sites: 8_000,
         ..StudyConfig::default()
     };
     let mut save = None;
     let mut from = None;
+    let mut streaming = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -118,6 +132,11 @@ fn parse_knobs(args: &[String]) -> Result<(StudyConfig, Option<String>, Option<S
                 .ok_or_else(|| ParseError(format!("{flag} needs a value")))
         };
         match flag {
+            "--streaming" => {
+                streaming = true;
+                i += 1;
+                continue;
+            }
             "--sites" => {
                 config.n_sites = value()?
                     .parse()
@@ -139,20 +158,28 @@ fn parse_knobs(args: &[String]) -> Result<(StudyConfig, Option<String>, Option<S
         }
         i += 2;
     }
-    Ok((config, save, from))
+    Ok(Knobs {
+        config,
+        save,
+        from,
+        streaming,
+    })
 }
 
 /// Removes a `--csv` flag if present.
 fn strip_csv(args: &[String]) -> (Vec<String>, bool) {
     let csv = args.iter().any(|a| a == "--csv");
-    (args.iter().filter(|a| *a != "--csv").cloned().collect(), csv)
+    (
+        args.iter().filter(|a| *a != "--csv").cloned().collect(),
+        csv,
+    )
 }
 
 fn parse_source(args: &[String]) -> Result<Source, ParseError> {
-    let (config, _, from) = parse_knobs(args)?;
-    Ok(match from {
+    let knobs = parse_knobs(args)?;
+    Ok(match knobs.from {
         Some(path) => Source::Snapshot(path),
-        None => Source::Fresh(config),
+        None => Source::Fresh(knobs.config),
     })
 }
 
@@ -164,11 +191,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let rest = &args[1..];
     match cmd.as_str() {
         "run" => {
-            let (config, save, from) = parse_knobs(rest)?;
-            if from.is_some() {
+            let knobs = parse_knobs(rest)?;
+            if knobs.from.is_some() {
                 return Err(ParseError("run always crawls; use report --from".into()));
             }
-            Ok(Command::Run { config, save })
+            Ok(Command::Run {
+                config: knobs.config,
+                save: knobs.save,
+                streaming: knobs.streaming,
+            })
         }
         "report" => Ok(Command::Report(parse_source(rest)?)),
         "table" => {
@@ -242,12 +273,22 @@ pub fn execute(command: Command) -> Result<String, String> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
         Command::Timeline => Ok(sockscope::timeline::render_timeline()),
-        Command::Run { config, save } => {
+        Command::Run {
+            config,
+            save,
+            streaming,
+        } => {
             eprintln!(
-                "[sockscope] crawling {} sites x 4 crawls (threads: {})...",
-                config.n_sites, config.threads
+                "[sockscope] crawling {} sites x 4 crawls (threads: {}, pipeline: {})...",
+                config.n_sites,
+                config.threads,
+                if streaming { "streaming" } else { "sharded" }
             );
-            let report = StudyReport::run(&config);
+            let report = if streaming {
+                StudyReport::run_streaming(&config)
+            } else {
+                StudyReport::run(&config)
+            };
             if let Some(path) = save {
                 StudySnapshot::capture(&report.study)
                     .save(std::path::Path::new(&path))
@@ -319,10 +360,7 @@ pub fn execute(command: Command) -> Result<String, String> {
                         let _ = writeln!(
                             out,
                             "[{}] {} -> {}  sent: {:?}",
-                            study.reductions[idx].label,
-                            c.initiator,
-                            c.obs.url,
-                            c.obs.sent_items
+                            study.reductions[idx].label, c.initiator, c.obs.url, c.obs.sent_items
                         );
                     }
                 }
@@ -344,18 +382,48 @@ mod tests {
     #[test]
     fn parses_run_with_knobs() {
         let cmd = parse(&args(&[
-            "run", "--sites", "500", "--seed", "0xABC", "--threads", "2", "--save", "out.json",
+            "run",
+            "--sites",
+            "500",
+            "--seed",
+            "0xABC",
+            "--threads",
+            "2",
+            "--save",
+            "out.json",
         ]))
         .unwrap();
         match cmd {
-            Command::Run { config, save } => {
+            Command::Run {
+                config,
+                save,
+                streaming,
+            } => {
                 assert_eq!(config.n_sites, 500);
                 assert_eq!(config.seed, 0xABC);
                 assert_eq!(config.threads, 2);
                 assert_eq!(save.as_deref(), Some("out.json"));
+                assert!(!streaming);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_streaming_escape_hatch() {
+        let cmd = parse(&args(&["run", "--streaming", "--sites", "40"])).unwrap();
+        match cmd {
+            Command::Run {
+                config, streaming, ..
+            } => {
+                assert_eq!(config.n_sites, 40);
+                assert!(streaming);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The analysis commands run the default sharded pipeline; the flag
+        // is still accepted (and ignored) so scripts can share knobs.
+        assert!(parse(&args(&["report", "--streaming"])).is_ok());
     }
 
     #[test]
@@ -401,7 +469,13 @@ mod tests {
         assert!(parse(&args(&["inspect", "--from", "x.json"])).is_err());
         assert!(parse(&args(&["inspect", "--receiver", "zopim.com"])).is_err());
         let ok = parse(&args(&[
-            "inspect", "--from", "x.json", "--receiver", "zopim.com", "--limit", "3",
+            "inspect",
+            "--from",
+            "x.json",
+            "--receiver",
+            "zopim.com",
+            "--limit",
+            "3",
         ]))
         .unwrap();
         assert_eq!(
@@ -434,6 +508,7 @@ mod tests {
                 ..StudyConfig::default()
             },
             save: Some(snap_str.clone()),
+            streaming: false,
         })
         .unwrap();
         assert!(out.contains("Table 1"));

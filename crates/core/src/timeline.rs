@@ -23,16 +23,56 @@ pub fn wrb_timeline() -> Vec<TimelineEvent> {
         is_crawl,
     };
     vec![
-        ev(2012, 5, "Chromium issue 129353 filed: WebSockets bypass chrome.webRequest.onBeforeRequest", false),
-        ev(2014, 11, "AdBlock Plus users report unblockable ads on specific sites (Chrome only)", false),
-        ev(2016, 8, "EasyList / uBlock Origin users trace unblockable ads to WebSockets", false),
-        ev(2016, 11, "Pornhub caught circumventing ad blockers via WebSockets", false),
-        ev(2016, 12, "uBO-Extra ships complicated WRB workarounds", false),
+        ev(
+            2012,
+            5,
+            "Chromium issue 129353 filed: WebSockets bypass chrome.webRequest.onBeforeRequest",
+            false,
+        ),
+        ev(
+            2014,
+            11,
+            "AdBlock Plus users report unblockable ads on specific sites (Chrome only)",
+            false,
+        ),
+        ev(
+            2016,
+            8,
+            "EasyList / uBlock Origin users trace unblockable ads to WebSockets",
+            false,
+        ),
+        ev(
+            2016,
+            11,
+            "Pornhub caught circumventing ad blockers via WebSockets",
+            false,
+        ),
+        ev(
+            2016,
+            12,
+            "uBO-Extra ships complicated WRB workarounds",
+            false,
+        ),
         ev(2017, 4, "Crawl 1 (Apr 02-05) — WRB still live", true),
         ev(2017, 4, "Crawl 2 (Apr 11-16) — WRB still live", true),
-        ev(2017, 4, "Chrome 58 released (Apr 19): WebSocket support lands in the webRequest API", false),
-        ev(2017, 5, "Crawl 3 (May 07-12) — first post-patch crawl", true),
-        ev(2017, 10, "Crawl 4 (Oct 12-16) — five months post-patch", true),
+        ev(
+            2017,
+            4,
+            "Chrome 58 released (Apr 19): WebSocket support lands in the webRequest API",
+            false,
+        ),
+        ev(
+            2017,
+            5,
+            "Crawl 3 (May 07-12) — first post-patch crawl",
+            true,
+        ),
+        ev(
+            2017,
+            10,
+            "Crawl 4 (Oct 12-16) — five months post-patch",
+            true,
+        ),
     ]
 }
 
@@ -42,7 +82,11 @@ pub fn render_timeline() -> String {
     let mut out = String::from("Figure 1: timeline of the webRequest Bug (WRB)\n");
     for ev in wrb_timeline() {
         let marker = if ev.is_crawl { "*" } else { " " };
-        let _ = writeln!(out, "{} {:>4}-{:02}  {}", marker, ev.year, ev.month, ev.what);
+        let _ = writeln!(
+            out,
+            "{} {:>4}-{:02}  {}",
+            marker, ev.year, ev.month, ev.what
+        );
     }
     out.push_str("(* = crawls performed by the study)\n");
     out
@@ -55,7 +99,9 @@ mod tests {
     #[test]
     fn timeline_is_ordered_and_complete() {
         let tl = wrb_timeline();
-        assert!(tl.windows(2).all(|w| (w[0].year, w[0].month) <= (w[1].year, w[1].month)));
+        assert!(tl
+            .windows(2)
+            .all(|w| (w[0].year, w[0].month) <= (w[1].year, w[1].month)));
         assert_eq!(tl.iter().filter(|e| e.is_crawl).count(), 4);
         assert_eq!(tl.first().unwrap().year, 2012);
         assert!(tl.iter().any(|e| e.what.contains("Chrome 58")));

@@ -14,14 +14,27 @@
 //! keep the random choice (seeded) and drop the wall-clock politeness —
 //! the synthetic web has no rate limits, and determinism is a feature.
 //!
-//! Crawls run in parallel with crossbeam scoped threads. Results are
-//! returned in site order regardless of scheduling, so a crawl is fully
+//! Crawls run in parallel with std scoped threads. Results are returned
+//! in site order regardless of scheduling, so a crawl is fully
 //! reproducible.
+//!
+//! Three parallel drivers are provided, trading memory for contention:
+//!
+//! * [`crawl_with_extensions`] — collects every [`SiteRecord`] into a
+//!   [`CrawlDataset`]; simple, memory-heavy.
+//! * [`crawl_streaming`] — hands each record to a shared sink; flat
+//!   memory, but sinks that aggregate must lock on every site.
+//! * [`crawl_sharded`] — partitions sites into shards, gives each shard a
+//!   private accumulator, and folds records into it with **no lock in the
+//!   per-site hot path**; the caller merges the returned shard
+//!   accumulators in shard order, which keeps results deterministic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use sockscope_browser::{Browser, BrowserConfig, BrowserEra, ExtensionHost};
 use sockscope_inclusion::InclusionTree;
 use sockscope_webgen::{CrawlEra, SyntheticWeb};
@@ -145,9 +158,9 @@ pub fn crawl_site(
     let mut rng = LinkRng::new(seed);
 
     let visit = |url: &str,
-                     trees: &mut Vec<InclusionTree>,
-                     frontier: &mut Vec<String>,
-                     visited: &mut Vec<String>| {
+                 trees: &mut Vec<InclusionTree>,
+                 frontier: &mut Vec<String>,
+                 visited: &mut Vec<String>| {
         let Ok(v) = browser.visit(url) else {
             return;
         };
@@ -204,12 +217,12 @@ pub fn crawl_with_extensions(
 ) -> CrawlDataset {
     let n = web.sites().len();
     let records: Mutex<Vec<Option<SiteRecord>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
     let threads = config.threads.max(1);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let extensions = make_extensions();
                 let browser_config = BrowserConfig {
                     seed: config.seed ^ web.config().seed,
@@ -217,39 +230,54 @@ pub fn crawl_with_extensions(
                 };
                 let browser = Browser::new(web, extensions, browser_config);
                 loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    let site = &web.sites()[i];
-                    let trees = crawl_site(
-                        &browser,
-                        &site.homepage(),
-                        &site.domain,
-                        config.max_links,
-                        mix(config.seed, (site.id as u64) << 2 | web.config().era.index()),
-                    );
-                    let record = SiteRecord {
-                        site_id: site.id,
-                        domain: site.domain.clone(),
-                        rank: site.rank,
-                        trees,
-                    };
-                    records.lock()[i] = Some(record);
+                    let record = crawl_one_site(web, config, &browser, i);
+                    records.lock().expect("records lock")[i] = Some(record);
                 }
             });
         }
-    })
-    .expect("crawl threads");
+    });
 
     CrawlDataset {
         label: web.config().era.label().to_string(),
         era: web.config().era,
         records: records
             .into_inner()
+            .expect("records lock")
             .into_iter()
             .map(|r| r.expect("all sites crawled"))
             .collect(),
+    }
+}
+
+/// Crawls site `i` of the universe with the per-site seed derived from the
+/// crawl seed, site id, and era — shared by every parallel driver so they
+/// all observe identical per-site behaviour.
+fn crawl_one_site(
+    web: &SyntheticWeb,
+    config: &CrawlConfig,
+    browser: &Browser<'_>,
+    i: usize,
+) -> SiteRecord {
+    let site = &web.sites()[i];
+    let trees = crawl_site(
+        browser,
+        &site.homepage(),
+        &site.domain,
+        config.max_links,
+        mix(
+            config.seed,
+            (site.id as u64) << 2 | web.config().era.index(),
+        ),
+    );
+    SiteRecord {
+        site_id: site.id,
+        domain: site.domain.clone(),
+        rank: site.rank,
+        trees,
     }
 }
 
@@ -269,11 +297,11 @@ pub fn crawl_streaming(
     sink: &(dyn Fn(SiteRecord) + Sync),
 ) {
     let n = web.sites().len();
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
     let threads = config.threads.max(1);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let extensions = make_extensions();
                 let browser_config = BrowserConfig {
                     seed: config.seed ^ web.config().seed,
@@ -281,29 +309,86 @@ pub fn crawl_streaming(
                 };
                 let browser = Browser::new(web, extensions, browser_config);
                 loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    let site = &web.sites()[i];
-                    let trees = crawl_site(
-                        &browser,
-                        &site.homepage(),
-                        &site.domain,
-                        config.max_links,
-                        mix(config.seed, (site.id as u64) << 2 | web.config().era.index()),
-                    );
-                    sink(SiteRecord {
-                        site_id: site.id,
-                        domain: site.domain.clone(),
-                        rank: site.rank,
-                        trees,
-                    });
+                    sink(crawl_one_site(web, config, &browser, i));
                 }
             });
         }
-    })
-    .expect("crawl threads");
+    });
+}
+
+/// Sharded crawl: the lock-free reduction driver.
+///
+/// Sites are partitioned into `shards` interleaved groups (shard `s` owns
+/// sites `i` with `i % shards == s`, so every shard sees the full rank
+/// spectrum). Worker threads claim whole shards from an atomic counter;
+/// the claiming worker builds the shard's private accumulator with
+/// `make_shard(s)` and folds every owned site into it with `observe` —
+/// exclusively, so the per-site hot path takes **no lock** and `observe`
+/// may do arbitrarily expensive classification without serializing other
+/// workers. Finished accumulators are returned in shard order; merging
+/// them left-to-right therefore yields the same result regardless of
+/// thread count or scheduling, provided `observe`/merge are
+/// order-insensitive up to the caller's normalization (see
+/// `CrawlReduction::merge` in `sockscope-analysis`).
+///
+/// `shards` is clamped to at least 1; passing `config.threads * k` for a
+/// small `k` (e.g. 4) gives good load balancing without losing the
+/// deterministic merge order.
+pub fn crawl_sharded<A: Send>(
+    web: &SyntheticWeb,
+    config: &CrawlConfig,
+    shards: usize,
+    make_extensions: &(dyn Fn() -> ExtensionHost + Sync),
+    make_shard: &(dyn Fn(usize) -> A + Sync),
+    observe: &(dyn Fn(&mut A, SiteRecord) + Sync),
+) -> Vec<A> {
+    let n = web.sites().len();
+    let shards = shards.max(1);
+    let next_shard = AtomicUsize::new(0);
+    let threads = config.threads.max(1).min(shards);
+
+    let mut out: Vec<Option<A>> = (0..shards).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let extensions = make_extensions();
+                    let browser_config = BrowserConfig {
+                        seed: config.seed ^ web.config().seed,
+                        ..BrowserConfig::default()
+                    };
+                    let browser = Browser::new(web, extensions, browser_config);
+                    let mut finished: Vec<(usize, A)> = Vec::new();
+                    loop {
+                        let s = next_shard.fetch_add(1, Ordering::Relaxed);
+                        if s >= shards {
+                            break;
+                        }
+                        let mut acc = make_shard(s);
+                        let mut i = s;
+                        while i < n {
+                            observe(&mut acc, crawl_one_site(web, config, &browser, i));
+                            i += shards;
+                        }
+                        finished.push((s, acc));
+                    }
+                    finished
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (s, acc) in worker.join().expect("crawl worker") {
+                out[s] = Some(acc);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|a| a.expect("every shard crawled"))
+        .collect()
 }
 
 /// Runs all four crawls of the study over one universe: two pre-patch, two
@@ -355,8 +440,20 @@ mod tests {
     #[test]
     fn crawl_is_deterministic_across_thread_counts() {
         let web = web(20);
-        let a = crawl(&web, &CrawlConfig { threads: 1, ..cfg() });
-        let b = crawl(&web, &CrawlConfig { threads: 4, ..cfg() });
+        let a = crawl(
+            &web,
+            &CrawlConfig {
+                threads: 1,
+                ..cfg()
+            },
+        );
+        let b = crawl(
+            &web,
+            &CrawlConfig {
+                threads: 4,
+                ..cfg()
+            },
+        );
         assert_eq!(a.records.len(), b.records.len());
         for (x, y) in a.records.iter().zip(&b.records) {
             assert_eq!(x.domain, y.domain);
@@ -388,6 +485,37 @@ mod tests {
         for tree in ds.trees() {
             tree.check_invariants().unwrap();
         }
+    }
+
+    #[test]
+    fn sharded_partitions_sites_and_matches_the_collecting_crawl() {
+        let web = web(37);
+        let config = CrawlConfig {
+            threads: 4,
+            ..cfg()
+        };
+        let shards = crawl_sharded(
+            &web,
+            &config,
+            5,
+            &|| ExtensionHost::stock(browser_era(web.config().era)),
+            &|s| (s, Vec::new()),
+            &|acc: &mut (usize, Vec<SiteRecord>), record| acc.1.push(record),
+        );
+        assert_eq!(shards.len(), 5);
+        let reference = crawl(&web, &config);
+        let mut seen = 0usize;
+        for (s, records) in &shards {
+            for record in records {
+                // Interleaved ownership: shard s holds sites i ≡ s (mod 5).
+                assert_eq!(record.site_id % 5, *s);
+                let r = &reference.records[record.site_id];
+                assert_eq!(record.domain, r.domain);
+                assert_eq!(record.trees, r.trees);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 37, "every site crawled exactly once");
     }
 
     #[test]

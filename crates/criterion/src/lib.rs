@@ -1,0 +1,225 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the slice of the criterion API this workspace's benches use
+//! (`Criterion`, benchmark groups, `Bencher::iter`, throughput annotations,
+//! and the `criterion_group!`/`criterion_main!` macros) on top of plain
+//! wall-clock timing. Each benchmark warms up briefly, then runs a measured
+//! batch sized so the whole measurement takes a bounded amount of time, and
+//! prints mean ns/iter plus derived throughput. No statistics, plots, or
+//! saved baselines — just enough to compare two implementations in a run.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the compiler fence criterion users reach for.
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1200);
+
+/// Throughput annotation attached to a benchmark group; used to derive a
+/// per-second rate from the measured time per iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Warm up, pick a batch size targeting the measurement budget, then
+    /// time the batch. The routine's return value is passed through
+    /// `black_box` so the optimiser cannot discard the computation.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup: run until the warmup budget is spent, and use the observed
+        // rate to size the measured batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let warm_elapsed = warm_start.elapsed().max(Duration::from_nanos(1));
+        let per_iter = warm_elapsed.as_secs_f64() / warm_iters as f64;
+        let batch = ((MEASURE.as_secs_f64() / per_iter) as u64).max(1);
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.iters = batch;
+        self.ns_per_iter = elapsed.as_nanos() as f64 / batch as f64;
+    }
+}
+
+/// Top-level harness handle; one per generated `main`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes batches by time
+    /// budget rather than sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_one(&full, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher {
+        ns_per_iter: 0.0,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let mut line = format!(
+        "{name:<48} {:>14.1} ns/iter ({} iters)",
+        bencher.ns_per_iter, bencher.iters
+    );
+    if bencher.ns_per_iter > 0.0 {
+        let per_sec = 1e9 / bencher.ns_per_iter;
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!("  {:>12.0} elem/s", per_sec * n as f64));
+            }
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!(
+                    "  {:>12.2} MiB/s",
+                    per_sec * n as f64 / (1 << 20) as f64
+                ));
+            }
+            None => {}
+        }
+    }
+    println!("{line}");
+}
+
+/// Bundles benchmark functions into a single runner function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        // Keep the budgets irrelevant: even a trivial closure must produce a
+        // positive per-iteration time and at least one iteration.
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.iters >= 1);
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+        assert_eq!(BenchmarkId::new("walk", 8).id, "walk/8");
+    }
+}

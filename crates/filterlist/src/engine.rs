@@ -177,7 +177,8 @@ fn rule_applies(rule: &Rule, ctx: &RequestContext<'_>) -> bool {
             .unwrap_or_default()
             .to_string();
         let page_host = ctx.page.host_str();
-        let hits = |d: &String| *d == page_sld || *d == page_host || page_host.ends_with(&format!(".{d}"));
+        let hits =
+            |d: &String| *d == page_sld || *d == page_host || page_host.ends_with(&format!(".{d}"));
         if !rule.include_domains.is_empty() && !rule.include_domains.iter().any(hits) {
             return false;
         }
@@ -205,7 +206,11 @@ fn match_part_at(part: &str, text: &str, pos: usize) -> Option<usize> {
             if t == text.len() {
                 // '^' may match the end of the URL, but only as the final
                 // pattern character.
-                return if chars.peek().is_none() { Some(t) } else { None };
+                return if chars.peek().is_none() {
+                    Some(t)
+                } else {
+                    None
+                };
             }
             let c = text[t..].chars().next()?;
             if !is_separator(c) {
@@ -328,10 +333,7 @@ mod tests {
             "wss://ws.doubleclick.net/stream",
         ] {
             let u = url(u);
-            assert!(
-                e.blocks(&ctx(&u, &page, ResourceType::Script)),
-                "{u}"
-            );
+            assert!(e.blocks(&ctx(&u, &page, ResourceType::Script)), "{u}");
         }
         // Similar but different domain must NOT match.
         let u = url("http://notdoubleclick.net/ads");
@@ -367,9 +369,21 @@ mod tests {
     fn start_and_end_anchors() {
         let e = engine("|http://ads.example/track|");
         let page = url("http://pub.example/");
-        assert!(e.blocks(&ctx(&url("http://ads.example/track"), &page, ResourceType::Xhr)));
-        assert!(!e.blocks(&ctx(&url("http://ads.example/track2"), &page, ResourceType::Xhr)));
-        assert!(!e.blocks(&ctx(&url("https://ads.example/track"), &page, ResourceType::Xhr)));
+        assert!(e.blocks(&ctx(
+            &url("http://ads.example/track"),
+            &page,
+            ResourceType::Xhr
+        )));
+        assert!(!e.blocks(&ctx(
+            &url("http://ads.example/track2"),
+            &page,
+            ResourceType::Xhr
+        )));
+        assert!(!e.blocks(&ctx(
+            &url("https://ads.example/track"),
+            &page,
+            ResourceType::Xhr
+        )));
     }
 
     #[test]
@@ -450,7 +464,10 @@ mod tests {
         let e = Engine::default();
         let page = url("http://pub.example/");
         let u = url("http://anything.example/x");
-        assert_eq!(e.evaluate(&ctx(&u, &page, ResourceType::Script)), Decision::None);
+        assert_eq!(
+            e.evaluate(&ctx(&u, &page, ResourceType::Script)),
+            Decision::None
+        );
     }
 
     #[test]

@@ -53,14 +53,29 @@ mod tests {
 
     #[test]
     fn combined_engine_blocks_known_trackers() {
-        let (engine, _) =
-            Engine::parse_many(&[super::SAMPLE_EASYLIST, super::SAMPLE_EASYPRIVACY]);
+        let (engine, _) = Engine::parse_many(&[super::SAMPLE_EASYLIST, super::SAMPLE_EASYPRIVACY]);
         let page = Url::parse("http://news.example/").unwrap();
         let cases = [
-            ("https://x.doubleclick.net/ads.js", ResourceType::Script, true),
-            ("https://static.hotjar.com/hotjar.js", ResourceType::Script, true),
-            ("http://cdn.example/adserver/spot.gif", ResourceType::Image, true),
-            ("http://cdn.example/images/logo.png", ResourceType::Image, false),
+            (
+                "https://x.doubleclick.net/ads.js",
+                ResourceType::Script,
+                true,
+            ),
+            (
+                "https://static.hotjar.com/hotjar.js",
+                ResourceType::Script,
+                true,
+            ),
+            (
+                "http://cdn.example/adserver/spot.gif",
+                ResourceType::Image,
+                true,
+            ),
+            (
+                "http://cdn.example/images/logo.png",
+                ResourceType::Image,
+                false,
+            ),
         ];
         for (u, t, expect) in cases {
             let u = Url::parse(u).unwrap();

@@ -289,7 +289,10 @@ fn looks_like_options(s: &str) -> bool {
             b.is_ascii_alphanumeric()
                 || matches!(b, b'~' | b',' | b'=' | b'|' | b'.' | b'_' | b'-' | b' ')
         })
-        && s.bytes().next().map(|b| b.is_ascii_alphabetic() || b == b'~').unwrap_or(false)
+        && s.bytes()
+            .next()
+            .map(|b| b.is_ascii_alphabetic() || b == b'~')
+            .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -306,9 +309,15 @@ mod tests {
     #[test]
     fn comments_and_headers_ignored() {
         assert_eq!(parse_line("! EasyList").unwrap(), ParsedLine::Ignored);
-        assert_eq!(parse_line("[Adblock Plus 2.0]").unwrap(), ParsedLine::Ignored);
+        assert_eq!(
+            parse_line("[Adblock Plus 2.0]").unwrap(),
+            ParsedLine::Ignored
+        );
         assert_eq!(parse_line("").unwrap(), ParsedLine::Ignored);
-        assert_eq!(parse_line("example.com##.ad-banner").unwrap(), ParsedLine::Ignored);
+        assert_eq!(
+            parse_line("example.com##.ad-banner").unwrap(),
+            ParsedLine::Ignored
+        );
     }
 
     #[test]

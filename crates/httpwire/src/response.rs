@@ -127,8 +127,7 @@ impl ResponseParser {
         let Some(head_end) = find_head_end(bytes) else {
             return Ok(None);
         };
-        let head =
-            std::str::from_utf8(&bytes[..head_end]).map_err(|_| HttpError::BadEncoding)?;
+        let head = std::str::from_utf8(&bytes[..head_end]).map_err(|_| HttpError::BadEncoding)?;
         let mut lines = head.splitn(2, "\r\n");
         let start = lines.next().ok_or(HttpError::BadStartLine)?;
         let rest = lines.next().unwrap_or("");
@@ -157,8 +156,7 @@ impl ResponseParser {
         } else {
             match headers.get("content-length") {
                 Some(cl) => {
-                    let len: usize =
-                        cl.trim().parse().map_err(|_| HttpError::BadContentLength)?;
+                    let len: usize = cl.trim().parse().map_err(|_| HttpError::BadContentLength)?;
                     if len > self.max_body {
                         return Err(HttpError::TooLarge);
                     }
@@ -191,8 +189,7 @@ fn decode_chunked(mut bytes: &[u8], max_body: usize) -> Result<Option<Vec<u8>>, 
         let size_line =
             std::str::from_utf8(&bytes[..line_end]).map_err(|_| HttpError::BadEncoding)?;
         let size_hex = size_line.split(';').next().unwrap_or("").trim();
-        let size =
-            usize::from_str_radix(size_hex, 16).map_err(|_| HttpError::BadChunkSize)?;
+        let size = usize::from_str_radix(size_hex, 16).map_err(|_| HttpError::BadChunkSize)?;
         if out.len() + size > max_body {
             return Err(HttpError::TooLarge);
         }
@@ -226,7 +223,10 @@ mod tests {
         let back = Response::parse(&resp.to_bytes()).unwrap();
         assert_eq!(back.status, 200);
         assert_eq!(back.body, b"(function(){})();");
-        assert_eq!(back.headers.get("content-type"), Some("application/javascript"));
+        assert_eq!(
+            back.headers.get("content-type"),
+            Some("application/javascript")
+        );
     }
 
     #[test]
@@ -298,8 +298,7 @@ mod tests {
     #[test]
     fn http10_responses_accepted() {
         // Some 2017 tracker CDNs still spoke 1.0 on pixel paths.
-        let back =
-            Response::parse(b"HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\nok").unwrap();
+        let back = Response::parse(b"HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\nok").unwrap();
         assert_eq!(back.body, b"ok");
     }
 }

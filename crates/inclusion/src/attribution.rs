@@ -59,10 +59,7 @@ fn attribute_one(tree: &InclusionTree, socket: &Node, aa: &AaDomainSet) -> Socke
         .map(|n| n.host.clone())
         .unwrap_or_else(|| tree.root().host.clone());
     let initiator = aa.aggregation_key(&initiator_host);
-    let chain_domains: Vec<String> = chain
-        .iter()
-        .map(|n| aa.aggregation_key(&n.host))
-        .collect();
+    let chain_domains: Vec<String> = chain.iter().map(|n| aa.aggregation_key(&n.host)).collect();
     let cross_origin = {
         let page = Url::parse(&tree.page_url).ok();
         let sock = Url::parse(&socket.url).ok();

@@ -99,12 +99,10 @@ pub fn analyze_blocking(
                         }
                     }
                 }
-                NodeKind::Script | NodeKind::Image | NodeKind::Xhr => {
-                    if is_aa_endpoint {
-                        stats.aa_chains_total += 1;
-                        if chain_blocked(tree, node.id, engine) {
-                            stats.aa_chains_blocked += 1;
-                        }
+                NodeKind::Script | NodeKind::Image | NodeKind::Xhr if is_aa_endpoint => {
+                    stats.aa_chains_total += 1;
+                    if chain_blocked(tree, node.id, engine) {
+                        stats.aa_chains_blocked += 1;
                     }
                 }
                 _ => {}

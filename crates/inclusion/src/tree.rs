@@ -1,7 +1,9 @@
 //! The inclusion-tree data structure and its builder.
 
 use serde::{Deserialize, Serialize};
-use sockscope_browser::{CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId};
+use sockscope_browser::{
+    CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId,
+};
 use std::collections::HashMap;
 
 /// Index of a node within its tree.
@@ -402,22 +404,33 @@ impl Builder {
                 self.nodes[id.0].ws = Some(WsTranscript::default());
                 self.by_request.insert(*request_id, id);
             }
-            CdpEvent::WebSocketWillSendHandshakeRequest { request_id, request } => {
+            CdpEvent::WebSocketWillSendHandshakeRequest {
+                request_id,
+                request,
+            } => {
                 if let Some(ws) = self.ws_mut(request_id) {
                     ws.handshake_request = String::from_utf8_lossy(request).to_string();
                 }
             }
-            CdpEvent::WebSocketHandshakeResponseReceived { request_id, status, .. } => {
+            CdpEvent::WebSocketHandshakeResponseReceived {
+                request_id, status, ..
+            } => {
                 if let Some(ws) = self.ws_mut(request_id) {
                     ws.status = *status;
                 }
             }
-            CdpEvent::WebSocketFrameSent { request_id, payload } => {
+            CdpEvent::WebSocketFrameSent {
+                request_id,
+                payload,
+            } => {
                 if let Some(ws) = self.ws_mut(request_id) {
                     ws.sent.push(record(payload));
                 }
             }
-            CdpEvent::WebSocketFrameReceived { request_id, payload } => {
+            CdpEvent::WebSocketFrameReceived {
+                request_id,
+                payload,
+            } => {
                 if let Some(ws) = self.ws_mut(request_id) {
                     ws.received.push(record(payload));
                 }
@@ -427,11 +440,7 @@ impl Builder {
                     ws.closed = true;
                 }
             }
-            CdpEvent::RequestBlockedByExtension {
-                url,
-                initiator,
-                ..
-            } => {
+            CdpEvent::RequestBlockedByExtension { url, initiator, .. } => {
                 let parent = self.parent_of(*initiator, root);
                 self.new_node(url, NodeKind::Blocked, parent);
             }
@@ -515,10 +524,14 @@ mod tests {
         let tree = InclusionTree::build("http://pub.example/index.html", &figure2_events());
         tree.check_invariants().unwrap();
         assert_eq!(tree.len(), 7); // page + 4 scripts + image + socket
-        // The socket hangs under ads/script2.js, which hangs under
-        // ads/script.js, which hangs under the page — Figure 2 exactly.
+                                   // The socket hangs under ads/script2.js, which hangs under
+                                   // ads/script.js, which hangs under the page — Figure 2 exactly.
         let socket = tree.websockets().next().unwrap();
-        let chain: Vec<&str> = tree.chain(socket.id).iter().map(|n| n.url.as_str()).collect();
+        let chain: Vec<&str> = tree
+            .chain(socket.id)
+            .iter()
+            .map(|n| n.url.as_str())
+            .collect();
         assert_eq!(
             chain,
             vec![
@@ -592,9 +605,16 @@ mod tests {
         ];
         let tree = InclusionTree::build("http://p.example/", &events);
         tree.check_invariants().unwrap();
-        let script = tree.nodes().iter().find(|n| n.kind == NodeKind::Script).unwrap();
+        let script = tree
+            .nodes()
+            .iter()
+            .find(|n| n.kind == NodeKind::Script)
+            .unwrap();
         let chain: Vec<NodeKind> = tree.chain(script.id).iter().map(|n| n.kind).collect();
-        assert_eq!(chain, vec![NodeKind::Page, NodeKind::Frame, NodeKind::Script]);
+        assert_eq!(
+            chain,
+            vec![NodeKind::Page, NodeKind::Frame, NodeKind::Script]
+        );
     }
 
     #[test]
@@ -606,7 +626,10 @@ mod tests {
         }];
         let tree = InclusionTree::build("http://p.example/", &events);
         assert_eq!(
-            tree.nodes().iter().filter(|n| n.kind == NodeKind::Blocked).count(),
+            tree.nodes()
+                .iter()
+                .filter(|n| n.kind == NodeKind::Blocked)
+                .count(),
             1
         );
     }

@@ -1,0 +1,634 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of proptest's API this workspace uses — the
+//! `proptest!` macro, `any::<T>()`, integer-range / regex-string / tuple /
+//! collection strategies, `prop_map`, `sample::{Index, select}`, and
+//! `option::of` — on top of a deterministic splitmix64 generator.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case panics with the case's seed in the test
+//!   name context, and reruns are deterministic, which is enough to debug;
+//! * case count comes from `PROPTEST_CASES` (default 64);
+//! * regex strategies support the generator subset the tests use (char
+//!   classes, `.`, groups, `{m,n}` repetition, escapes) rather than full
+//!   regex syntax.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic RNG plumbing used by the `proptest!` macro expansion.
+
+    /// Per-case deterministic RNG (splitmix64).
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeds from a test name and case number, so every test gets an
+        /// independent, reproducible stream.
+        pub fn for_case(test_name: &str, case: u64) -> TestRng {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform usize in `[lo, hi)`.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty range");
+            lo + self.below((hi - lo) as u64) as usize
+        }
+    }
+
+    /// Number of cases per property (env `PROPTEST_CASES`, default 64).
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::string::StringPattern;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64 - self.start as i64) as u64;
+                    (self.start as i64 + rng.below(span) as i64) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    /// String literals are regex-subset generation strategies, as in real
+    /// proptest.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            StringPattern::compile(self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0, B: 1);
+        (A: 0, B: 1, C: 2);
+        (A: 0, B: 1, C: 2, D: 3);
+        (A: 0, B: 1, C: 2, D: 3, E: 4);
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::sample::Index;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index::from_raw(rng.next_u64())
+        }
+    }
+
+    /// Strategy for any value of `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.usize_in(self.len.start, self.len.end)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An index into a not-yet-known-length collection.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn from_raw(raw: u64) -> Index {
+            Index(raw)
+        }
+
+        /// Resolves against a concrete length (must be nonzero).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    /// Strategy drawing one of a fixed set of options.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.usize_in(0, self.options.len())].clone()
+        }
+    }
+
+    /// `prop::sample::select(options)`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select on empty options");
+        Select { options }
+    }
+}
+
+pub mod option {
+    //! `prop::option::of`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `None` about a quarter of the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `prop::option::of(strategy)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod string {
+    //! Generation-only regex subset for string strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A compiled generation pattern.
+    pub struct StringPattern {
+        nodes: Vec<Node>,
+    }
+
+    enum Node {
+        Literal(char),
+        /// Any printable ASCII character.
+        Dot,
+        /// Inclusive character ranges.
+        Class(Vec<(char, char)>),
+        /// A quantified sub-pattern: repeat `min..=max` times.
+        Repeat(Box<StringPattern>, usize, usize),
+    }
+
+    impl StringPattern {
+        /// Compiles the subset: literals, `.`, `[...]`, `(...)`, `\x`
+        /// escapes, and `{m,n}` / `{n}` quantifiers on the preceding node.
+        pub fn compile(pattern: &str) -> StringPattern {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut pos = 0;
+            let nodes = parse_seq(&chars, &mut pos, pattern);
+            assert!(pos == chars.len(), "unbalanced pattern `{pattern}`");
+            StringPattern { nodes }
+        }
+
+        /// Draws one string.
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            self.generate_into(rng, &mut out);
+            out
+        }
+
+        fn generate_into(&self, rng: &mut TestRng, out: &mut String) {
+            for node in &self.nodes {
+                match node {
+                    Node::Literal(c) => out.push(*c),
+                    Node::Dot => {
+                        out.push(char::from(0x20 + rng.below(0x5F) as u8));
+                    }
+                    Node::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(lo, hi)| u64::from(*hi) - u64::from(*lo) + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for (lo, hi) in ranges {
+                            let span = u64::from(*hi) - u64::from(*lo) + 1;
+                            if pick < span {
+                                out.push(
+                                    char::from_u32(*lo as u32 + pick as u32)
+                                        .expect("class range is valid"),
+                                );
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                    Node::Repeat(sub, min, max) => {
+                        let n = if min == max {
+                            *min
+                        } else {
+                            rng.usize_in(*min, max + 1)
+                        };
+                        for _ in 0..n {
+                            sub.generate_into(rng, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        while *pos < chars.len() {
+            let node = match chars[*pos] {
+                ')' => break,
+                '.' => {
+                    *pos += 1;
+                    Node::Dot
+                }
+                '[' => {
+                    *pos += 1;
+                    Node::Class(parse_class(chars, pos, pattern))
+                }
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_seq(chars, pos, pattern);
+                    assert!(
+                        chars.get(*pos) == Some(&')'),
+                        "unclosed group in `{pattern}`"
+                    );
+                    *pos += 1;
+                    Node::Repeat(Box::new(StringPattern { nodes: inner }), 1, 1)
+                }
+                '\\' => {
+                    *pos += 1;
+                    let c = chars[*pos];
+                    *pos += 1;
+                    Node::Literal(c)
+                }
+                '|' | '*' | '+' | '?' => {
+                    panic!("unsupported regex feature `{}` in `{pattern}`", chars[*pos])
+                }
+                c => {
+                    *pos += 1;
+                    Node::Literal(c)
+                }
+            };
+            // Quantifier?
+            if chars.get(*pos) == Some(&'{') {
+                *pos += 1;
+                let mut min = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    min.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let min: usize = min.parse().expect("quantifier min");
+                let max = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut max = String::new();
+                    while chars[*pos].is_ascii_digit() {
+                        max.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    max.parse().expect("quantifier max")
+                } else {
+                    min
+                };
+                assert!(chars[*pos] == '}', "unclosed quantifier in `{pattern}`");
+                *pos += 1;
+                nodes.push(Node::Repeat(
+                    Box::new(StringPattern { nodes: vec![node] }),
+                    min,
+                    max,
+                ));
+            } else {
+                nodes.push(node);
+            }
+        }
+        nodes
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ']' {
+            let lo = if chars[*pos] == '\\' {
+                *pos += 1;
+                let c = chars[*pos];
+                *pos += 1;
+                c
+            } else {
+                let c = chars[*pos];
+                *pos += 1;
+                c
+            };
+            if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1) != Some(&']') {
+                *pos += 1;
+                let hi = chars[*pos];
+                *pos += 1;
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        assert!(
+            chars.get(*pos) == Some(&']'),
+            "unclosed character class in `{pattern}`"
+        );
+        *pos += 1;
+        ranges
+    }
+}
+
+pub mod prelude {
+    //! `use proptest::prelude::*;`
+
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over `PROPTEST_CASES` drawn inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::test_runner::cases();
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..9, y in 100u64..200) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((100..200).contains(&y));
+        }
+
+        #[test]
+        fn regex_subset_generates_matching_shapes(
+            word in "[a-z]{2,5}",
+            host in "[a-z]{1,3}(\\.[a-z]{1,3}){0,2}",
+        ) {
+            prop_assert!((2..=5).contains(&word.len()));
+            prop_assert!(word.chars().all(|c| c.is_ascii_lowercase()));
+            for part in host.split('.') {
+                prop_assert!((1..=3).contains(&part.len()), "{host}");
+            }
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(pair in (0u8..4, "[x-z]{1}").prop_map(|(n, s)| (n, s)) ) {
+            prop_assert!(pair.0 < 4);
+            prop_assert_eq!(pair.1.len(), 1);
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_len_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("vec", 1);
+        let s = crate::collection::vec(any::<u8>(), 2..6);
+        for _ in 0..100 {
+            let v = crate::strategy::Strategy::generate(&s, &mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn index_resolves() {
+        let mut rng = crate::test_runner::TestRng::for_case("idx", 0);
+        for _ in 0..50 {
+            let idx = <crate::sample::Index as Arbitrary>::arbitrary(&mut rng);
+            assert!(idx.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let draw = || {
+            let mut rng = crate::test_runner::TestRng::for_case("det", 5);
+            crate::strategy::Strategy::generate(&".{0,40}", &mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+}

@@ -56,10 +56,7 @@ impl CharClass {
 
     /// `true` if the class matches `c`.
     pub fn matches(&self, c: char) -> bool {
-        let inside = self
-            .ranges
-            .iter()
-            .any(|&(lo, hi)| c >= lo && c <= hi);
+        let inside = self.ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
         inside != self.negated
     }
 
@@ -355,8 +352,8 @@ impl Parser<'_> {
             'n' => CharClass::single('\n'),
             't' => CharClass::single('\t'),
             'r' => CharClass::single('\r'),
-            '.' | '[' | ']' | '(' | ')' | '{' | '}' | '*' | '+' | '?' | '|' | '^' | '$'
-            | '\\' | '/' | '-' => CharClass::single(c),
+            '.' | '[' | ']' | '(' | ')' | '{' | '}' | '*' | '+' | '?' | '|' | '^' | '$' | '\\'
+            | '/' | '-' => CharClass::single(c),
             other => return Err(Error::UnknownEscape(other)),
         })
     }

@@ -161,7 +161,10 @@ mod tests {
 
     #[test]
     fn escapes() {
-        assert_eq!(m("\\d+\\.\\d+\\.\\d+\\.\\d+", "ip=93.184.216.34;"), Some((3, 16)));
+        assert_eq!(
+            m("\\d+\\.\\d+\\.\\d+\\.\\d+", "ip=93.184.216.34;"),
+            Some((3, 16))
+        );
         assert!(Regex::new("\\w+").unwrap().is_match("snake_case"));
         assert!(Regex::new("\\s").unwrap().is_match("a b"));
         assert!(!Regex::new("\\S").unwrap().is_match("  \t "));

@@ -313,8 +313,20 @@ mod tests {
     #[test]
     fn no_holes_survive_compilation() {
         for pat in [
-            "a", "ab", "a|b", "a*", "a+", "a?", "a{3}", "a{2,5}", "a{2,}",
-            "(ab|cd)+x", "^a(b|c)*d$", "[a-z]{1,3}", "", "()|a",
+            "a",
+            "ab",
+            "a|b",
+            "a*",
+            "a+",
+            "a?",
+            "a{3}",
+            "a{2,5}",
+            "a{2,}",
+            "(ab|cd)+x",
+            "^a(b|c)*d$",
+            "[a-z]{1,3}",
+            "",
+            "()|a",
         ] {
             let p = prog(pat);
             for (i, inst) in p.insts.iter().enumerate() {

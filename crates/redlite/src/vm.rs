@@ -28,15 +28,11 @@ pub fn is_match(prog: &Program, haystack: &str) -> bool {
         for ti in 0..current.list.len() {
             let (ip, start) = current.list[ti];
             match &prog.insts[ip] {
-                Inst::Class(class, nx) => {
-                    if class.matches(ch) {
-                        add_thread_with_start(prog, &mut next, *nx, next_pos, haystack, start);
-                    }
+                Inst::Class(class, nx) if class.matches(ch) => {
+                    add_thread_with_start(prog, &mut next, *nx, next_pos, haystack, start);
                 }
-                Inst::AnyChar(nx) => {
-                    if ch != '\n' {
-                        add_thread_with_start(prog, &mut next, *nx, next_pos, haystack, start);
-                    }
+                Inst::AnyChar(nx) if ch != '\n' => {
+                    add_thread_with_start(prog, &mut next, *nx, next_pos, haystack, start);
                 }
                 _ => {}
             }
@@ -110,15 +106,11 @@ pub fn find(prog: &Program, haystack: &str, from: usize) -> Option<Match> {
         for ti in 0..current.list.len() {
             let (ip, start) = current.list[ti];
             match &prog.insts[ip] {
-                Inst::Class(class, nx) => {
-                    if class.matches(ch) {
-                        add_thread_with_start(prog, &mut next, *nx, next_pos, haystack, start);
-                    }
+                Inst::Class(class, nx) if class.matches(ch) => {
+                    add_thread_with_start(prog, &mut next, *nx, next_pos, haystack, start);
                 }
-                Inst::AnyChar(nx) => {
-                    if ch != '\n' {
-                        add_thread_with_start(prog, &mut next, *nx, next_pos, haystack, start);
-                    }
+                Inst::AnyChar(nx) if ch != '\n' => {
+                    add_thread_with_start(prog, &mut next, *nx, next_pos, haystack, start);
                 }
                 // Epsilon instructions were resolved by the closure in
                 // add_thread; only consuming instructions appear here.
@@ -146,9 +138,7 @@ fn better(best: Option<Match>, candidate: Match) -> Match {
     match best {
         None => candidate,
         Some(b) => {
-            if candidate.start < b.start
-                || (candidate.start == b.start && candidate.end > b.end)
-            {
+            if candidate.start < b.start || (candidate.start == b.start && candidate.end > b.end) {
                 candidate
             } else {
                 b

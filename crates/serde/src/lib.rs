@@ -1,0 +1,487 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real serde cannot be fetched. This facade keeps the workspace's source
+//! compatible — `use serde::{Serialize, Deserialize}` and
+//! `#[derive(Serialize, Deserialize)]` work unchanged — while replacing
+//! serde's generic serializer architecture with a single concrete data
+//! model: every type converts to and from the JSON-shaped [`Value`] tree,
+//! and `serde_json` (also vendored) renders that tree to text.
+//!
+//! Determinism note: map types serialize with **sorted keys** (including
+//! `HashMap`), so two semantically equal values always produce
+//! byte-identical JSON. The snapshot/determinism test suite relies on this.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-shaped data model every serializable type maps onto.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Negative integers.
+    Int(i64),
+    /// Non-negative integers (kept separate so `u64` counters round-trip
+    /// exactly).
+    UInt(u64),
+    /// Floating-point numbers.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Arr(Vec<Value>),
+    /// Objects, as ordered key/value pairs (insertion order preserved).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view (accepts any numeric variant that fits).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            Value::Int(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            Value::UInt(n) if n <= i64::MAX as u64 => Some(n as i64),
+            _ => None,
+        }
+    }
+
+    /// Float view (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::Int(n) => Some(n as f64),
+            Value::UInt(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` to a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+/// Deserialization support: the error type and the helpers the derive
+/// macro's generated code calls into.
+pub mod de {
+    use super::{Deserialize, Value};
+
+    /// Deserialization / JSON-format error.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Creates an error with a message.
+        pub fn new(msg: impl Into<String>) -> Error {
+            Error { msg: msg.into() }
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Expects an object, for struct deserialization.
+    pub fn expect_obj<'a>(v: &'a Value, ctx: &str) -> Result<&'a [(String, Value)], Error> {
+        match v {
+            Value::Obj(entries) => Ok(entries),
+            other => Err(Error::new(format!(
+                "expected object for {ctx}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Expects an array of exactly `len` elements.
+    pub fn expect_arr<'a>(v: &'a Value, len: usize, ctx: &str) -> Result<&'a [Value], Error> {
+        match v {
+            Value::Arr(items) if items.len() == len => Ok(items),
+            other => Err(Error::new(format!(
+                "expected {len}-element array for {ctx}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Deserializes one named field of a struct.
+    pub fn field<T: Deserialize>(
+        obj: &[(String, Value)],
+        name: &str,
+        ctx: &str,
+    ) -> Result<T, Error> {
+        match obj.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v),
+            None => Err(Error::new(format!("missing field `{name}` in {ctx}"))),
+        }
+    }
+
+    /// Deserializes one positional element of a tuple.
+    pub fn element<T: Deserialize>(arr: &[Value], idx: usize, ctx: &str) -> Result<T, Error> {
+        T::from_value(&arr[idx]).map_err(|e| Error::new(format!("{ctx}[{idx}]: {e}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Implementations for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, de::Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, de::Error> {
+        v.as_bool()
+            .ok_or_else(|| de::Error::new(format!("expected bool, got {v:?}")))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, de::Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| de::Error::new(format!("expected unsigned int, got {v:?}")))?;
+                <$t>::try_from(n).map_err(|_| de::Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::UInt(n as u64)
+                } else {
+                    Value::Int(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, de::Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| de::Error::new(format!("expected int, got {v:?}")))?;
+                <$t>::try_from(n).map_err(|_| de::Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, de::Error> {
+        v.as_f64()
+            .ok_or_else(|| de::Error::new(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, de::Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, de::Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| de::Error::new(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, de::Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], de::Error> {
+        let items = Vec::<T>::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| de::Error::new(format!("expected {N} elements, got {}", items.len())))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<($($name,)+), de::Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let arr = de::expect_arr(v, LEN, "tuple")?;
+                Ok(($(de::element::<$name>(arr, $idx, "tuple")?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<BTreeSet<T>, de::Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<String, V>, de::Error> {
+        match v {
+            Value::Obj(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(de::Error::new(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sorted for deterministic output regardless of hash seed.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<HashMap<String, V>, de::Error> {
+        match v {
+            Value::Obj(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(de::Error::new(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_impls_roundtrip() {
+        let map: BTreeMap<String, Vec<(u64, u64)>> = [("a".to_string(), vec![(1, 2), (3, 4)])]
+            .into_iter()
+            .collect();
+        let v = map.to_value();
+        let back = BTreeMap::<String, Vec<(u64, u64)>>::from_value(&v).unwrap();
+        assert_eq!(map, back);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<Vec<u8>> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<Vec<u8>>::from_value(&Value::Null).unwrap(), None);
+        let some = Some(vec![1u8, 2]);
+        let v = some.to_value();
+        assert_eq!(Option::<Vec<u8>>::from_value(&v).unwrap(), some);
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let arr = [1u64, 2, 3];
+        let v = arr.to_value();
+        assert_eq!(<[u64; 3]>::from_value(&v).unwrap(), arr);
+        assert!(<[u64; 4]>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut m = HashMap::new();
+        m.insert("z".to_string(), 1u32);
+        m.insert("a".to_string(), 2u32);
+        let Value::Obj(entries) = m.to_value() else {
+            panic!("expected object")
+        };
+        assert_eq!(entries[0].0, "a");
+        assert_eq!(entries[1].0, "z");
+    }
+}

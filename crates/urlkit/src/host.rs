@@ -161,7 +161,10 @@ mod tests {
 
     #[test]
     fn parses_ipv4() {
-        assert_eq!(Host::parse("93.184.216.34").unwrap(), Host::Ipv4([93, 184, 216, 34]));
+        assert_eq!(
+            Host::parse("93.184.216.34").unwrap(),
+            Host::Ipv4([93, 184, 216, 34])
+        );
     }
 
     #[test]

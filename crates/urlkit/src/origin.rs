@@ -60,7 +60,10 @@ impl Origin {
     ///
     /// IPv4 hosts are same-site only when identical.
     pub fn same_site(&self, other: &Origin) -> bool {
-        match (self.host.second_level_domain(), other.host.second_level_domain()) {
+        match (
+            self.host.second_level_domain(),
+            other.host.second_level_domain(),
+        ) {
             (Some(a), Some(b)) => a == b,
             _ => self.host == other.host,
         }
@@ -145,6 +148,9 @@ mod tests {
     #[test]
     fn display_omits_default_port() {
         assert_eq!(o("https://a.example/x").to_string(), "https://a.example");
-        assert_eq!(o("https://a.example:444/x").to_string(), "https://a.example:444");
+        assert_eq!(
+            o("https://a.example:444/x").to_string(),
+            "https://a.example:444"
+        );
     }
 }

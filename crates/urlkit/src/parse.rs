@@ -121,15 +121,18 @@ impl Url {
             "wss" => Scheme::Wss,
             _ => return Err(ParseError::BadScheme),
         };
-        let rest = rest.strip_prefix("//").ok_or(ParseError::MissingSeparator)?;
+        let rest = rest
+            .strip_prefix("//")
+            .ok_or(ParseError::MissingSeparator)?;
         // Split authority from path/query/fragment.
-        let authority_end = rest
-            .find(|c| c == '/' || c == '?' || c == '#')
-            .unwrap_or(rest.len());
+        let authority_end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
         let authority = &rest[..authority_end];
         let tail = &rest[authority_end..];
         // Strip userinfo if present (rare, but cheap to support).
-        let hostport = authority.rsplit_once('@').map(|(_, hp)| hp).unwrap_or(authority);
+        let hostport = authority
+            .rsplit_once('@')
+            .map(|(_, hp)| hp)
+            .unwrap_or(authority);
         let (host_str, port) = match hostport.rsplit_once(':') {
             Some((h, p)) if p.bytes().all(|b| b.is_ascii_digit()) && !p.is_empty() => {
                 (h, p.parse::<u16>().map_err(|_| ParseError::BadPort)?)
@@ -144,7 +147,11 @@ impl Url {
             Some((p, q)) => (p, q),
             None => (tail, ""),
         };
-        let path = if path.is_empty() { "/".to_string() } else { path.to_string() };
+        let path = if path.is_empty() {
+            "/".to_string()
+        } else {
+            path.to_string()
+        };
         Ok(Url {
             scheme,
             host,

@@ -15,32 +15,81 @@
 
 /// Public suffixes with exactly one label.
 const SINGLE_LABEL_SUFFIXES: &[&str] = &[
-    "com", "net", "org", "io", "co", "biz", "info", "tv", "me", "us", "uk", "de", "fr", "jp",
-    "ru", "cn", "br", "in", "au", "ca", "it", "es", "nl", "pl", "se", "ch", "edu", "gov", "mil",
-    "xyz", "site", "online", "club", "app", "dev", "ws", "cc", "eu", "kr", "mx", "ar", "tr",
-    "ir", "gr", "cz", "ro", "hu", "pt", "dk", "no", "fi", "be", "at", "sk", "ua", "il", "za",
-    "nz", "id", "th", "vn", "my", "sg", "hk", "tw", "cl", "pe", "ve",
+    "com", "net", "org", "io", "co", "biz", "info", "tv", "me", "us", "uk", "de", "fr", "jp", "ru",
+    "cn", "br", "in", "au", "ca", "it", "es", "nl", "pl", "se", "ch", "edu", "gov", "mil", "xyz",
+    "site", "online", "club", "app", "dev", "ws", "cc", "eu", "kr", "mx", "ar", "tr", "ir", "gr",
+    "cz", "ro", "hu", "pt", "dk", "no", "fi", "be", "at", "sk", "ua", "il", "za", "nz", "id", "th",
+    "vn", "my", "sg", "hk", "tw", "cl", "pe", "ve",
 ];
 
 /// Public suffixes with two labels (country-code second-level registries and
 /// "private" suffixes like shared hosting platforms, which the real PSL also
 /// carries).
 const DOUBLE_LABEL_SUFFIXES: &[&str] = &[
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk",
-    "com.au", "net.au", "org.au", "edu.au", "gov.au",
-    "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
-    "com.br", "net.br", "org.br", "gov.br",
-    "co.in", "net.in", "org.in", "gen.in", "firm.in",
-    "com.cn", "net.cn", "org.cn", "gov.cn",
-    "co.kr", "or.kr", "ne.kr",
-    "com.mx", "org.mx", "net.mx",
-    "com.ar", "com.tr", "com.sg", "com.hk", "com.tw", "com.my", "com.vn",
-    "co.za", "org.za", "co.nz", "net.nz", "org.nz",
-    "co.il", "org.il", "com.pl", "net.pl", "org.pl",
-    "com.ru", "net.ru", "org.ru",
+    "co.uk",
+    "org.uk",
+    "ac.uk",
+    "gov.uk",
+    "me.uk",
+    "net.uk",
+    "com.au",
+    "net.au",
+    "org.au",
+    "edu.au",
+    "gov.au",
+    "co.jp",
+    "ne.jp",
+    "or.jp",
+    "ac.jp",
+    "go.jp",
+    "com.br",
+    "net.br",
+    "org.br",
+    "gov.br",
+    "co.in",
+    "net.in",
+    "org.in",
+    "gen.in",
+    "firm.in",
+    "com.cn",
+    "net.cn",
+    "org.cn",
+    "gov.cn",
+    "co.kr",
+    "or.kr",
+    "ne.kr",
+    "com.mx",
+    "org.mx",
+    "net.mx",
+    "com.ar",
+    "com.tr",
+    "com.sg",
+    "com.hk",
+    "com.tw",
+    "com.my",
+    "com.vn",
+    "co.za",
+    "org.za",
+    "co.nz",
+    "net.nz",
+    "org.nz",
+    "co.il",
+    "org.il",
+    "com.pl",
+    "net.pl",
+    "org.pl",
+    "com.ru",
+    "net.ru",
+    "org.ru",
     // Private-section suffixes: every direct child is a separate "site".
-    "github.io", "gitlab.io", "herokuapp.com", "appspot.com", "blogspot.com",
-    "s3.amazonaws.com", "azurewebsites.net", "netlify.app",
+    "github.io",
+    "gitlab.io",
+    "herokuapp.com",
+    "appspot.com",
+    "blogspot.com",
+    "s3.amazonaws.com",
+    "azurewebsites.net",
+    "netlify.app",
 ];
 
 /// Returns `true` if `domain` (already lower-case, no trailing dot) is
@@ -137,7 +186,10 @@ mod tests {
 
     #[test]
     fn unknown_tld_falls_back_to_two_labels() {
-        assert_eq!(second_level_domain("a.b.example.unknowntld"), "example.unknowntld");
+        assert_eq!(
+            second_level_domain("a.b.example.unknowntld"),
+            "example.unknowntld"
+        );
     }
 
     #[test]

@@ -114,116 +114,280 @@ impl Catalog {
 
         // ---- Live chat (receivers with hundreds of benign initiators). ----
         companies.push(Company::named(
-            "intercom", "intercom.io", "widget.intercom.io",
-            "nexus-websocket-a.intercom.io", LiveChat, true, true,
+            "intercom",
+            "intercom.io",
+            "widget.intercom.io",
+            "nexus-websocket-a.intercom.io",
+            LiveChat,
+            true,
+            true,
         ));
         companies.push(Company::named(
-            "zopim", "zopim.com", "v2.zopim.com", "ws.zopim.com", LiveChat, true, true,
+            "zopim",
+            "zopim.com",
+            "v2.zopim.com",
+            "ws.zopim.com",
+            LiveChat,
+            true,
+            true,
         ));
         companies.push(Company::named(
-            "smartsupp", "smartsupp.com", "www.smartsuppchat.com", "websocket.smartsupp.com",
-            LiveChat, true, true,
+            "smartsupp",
+            "smartsupp.com",
+            "www.smartsuppchat.com",
+            "websocket.smartsupp.com",
+            LiveChat,
+            true,
+            true,
         ));
         companies.push(Company::named(
-            "velaro", "velaro.com", "app.velaro.com", "ws.velaro.com", LiveChat, true, true,
+            "velaro",
+            "velaro.com",
+            "app.velaro.com",
+            "ws.velaro.com",
+            LiveChat,
+            true,
+            true,
         ));
         companies.push(Company::named(
-            "clickdesk", "clickdesk.com", "my.clickdesk.com", "ws.pusherapp.com",
-            LiveChat, true, true,
+            "clickdesk",
+            "clickdesk.com",
+            "my.clickdesk.com",
+            "ws.pusherapp.com",
+            LiveChat,
+            true,
+            true,
         ));
 
         // ---- Session replay. ----
         companies.push(Company::named(
-            "hotjar", "hotjar.com", "static.hotjar.com", "ws.hotjar.com",
-            SessionReplay, true, true,
+            "hotjar",
+            "hotjar.com",
+            "static.hotjar.com",
+            "ws.hotjar.com",
+            SessionReplay,
+            true,
+            true,
         ));
         companies.push(Company::named(
-            "inspectlet", "inspectlet.com", "cdn.inspectlet.com", "ws.inspectlet.com",
-            SessionReplay, true, true,
+            "inspectlet",
+            "inspectlet.com",
+            "cdn.inspectlet.com",
+            "ws.inspectlet.com",
+            SessionReplay,
+            true,
+            true,
         ));
         // LuckyOrange hides behind Cloudfront — both script and socket.
         // §3.2's manual mapping: d10lpsik1i8c69.cloudfront.net → LuckyOrange.
         companies.push(Company::named(
-            "luckyorange", "luckyorange.com", "d10lpsik1i8c69.cloudfront.net",
-            "d10lpsik1i8c69.cloudfront.net", SessionReplay, true, true,
+            "luckyorange",
+            "luckyorange.com",
+            "d10lpsik1i8c69.cloudfront.net",
+            "d10lpsik1i8c69.cloudfront.net",
+            SessionReplay,
+            true,
+            true,
         ));
         companies.push(Company::named(
-            "truconversion", "truconversion.com", "app.truconversion.com",
-            "ws.truconversion.com", SessionReplay, true, true,
+            "truconversion",
+            "truconversion.com",
+            "app.truconversion.com",
+            "ws.truconversion.com",
+            SessionReplay,
+            true,
+            true,
         ));
         companies.push(Company::named(
-            "simpleheatmaps", "simpleheatmaps.com", "cdn.simpleheatmaps.com",
-            "ws.simpleheatmaps.com", SessionReplay, true, true,
+            "simpleheatmaps",
+            "simpleheatmaps.com",
+            "cdn.simpleheatmaps.com",
+            "ws.simpleheatmaps.com",
+            SessionReplay,
+            true,
+            true,
         ));
         companies.push(Company::named(
-            "freshrelevance", "freshrelevance.com", "d81mfvml8p5ml.cloudfront.net",
-            "ws.freshrelevance.com", SessionReplay, true, true,
+            "freshrelevance",
+            "freshrelevance.com",
+            "d81mfvml8p5ml.cloudfront.net",
+            "ws.freshrelevance.com",
+            SessionReplay,
+            true,
+            true,
         ));
 
         // ---- Fingerprint collector. ----
         companies.push(Company::named(
-            "33across", "33across.com", "cdn.33across.com", "apx.33across.com",
-            FingerprintCollector, true, true,
+            "33across",
+            "33across.com",
+            "cdn.33across.com",
+            "apx.33across.com",
+            FingerprintCollector,
+            true,
+            true,
         ));
 
         // ---- Major ad platforms (pre-patch WebSocket users). ----
         for (name, domain, script, ws) in [
-            ("doubleclick", "doubleclick.net", "stats.g.doubleclick.net", "rt.doubleclick.net"),
-            ("facebook", "facebook.com", "connect.facebook.net", "edge-chat.facebook.com"),
-            ("google", "google.com", "apis.google.com", "signaler-pa.google.com"),
-            ("googlesyndication", "googlesyndication.com", "pagead2.googlesyndication.com", "rt.googlesyndication.com"),
+            (
+                "doubleclick",
+                "doubleclick.net",
+                "stats.g.doubleclick.net",
+                "rt.doubleclick.net",
+            ),
+            (
+                "facebook",
+                "facebook.com",
+                "connect.facebook.net",
+                "edge-chat.facebook.com",
+            ),
+            (
+                "google",
+                "google.com",
+                "apis.google.com",
+                "signaler-pa.google.com",
+            ),
+            (
+                "googlesyndication",
+                "googlesyndication.com",
+                "pagead2.googlesyndication.com",
+                "rt.googlesyndication.com",
+            ),
             ("adnxs", "adnxs.com", "acdn.adnxs.com", "rt.adnxs.com"),
             ("addthis", "addthis.com", "s7.addthis.com", "rt.addthis.com"),
-            ("sharethis", "sharethis.com", "w.sharethis.com", "rt.sharethis.com"),
-            ("twitter", "twitter.com", "platform.twitter.com", "rt.twitter.com"),
+            (
+                "sharethis",
+                "sharethis.com",
+                "w.sharethis.com",
+                "rt.sharethis.com",
+            ),
+            (
+                "twitter",
+                "twitter.com",
+                "platform.twitter.com",
+                "rt.twitter.com",
+            ),
         ] {
             companies.push(Company::named(
-                name, domain, script, ws, AdPlatformMajor, true, false,
+                name,
+                domain,
+                script,
+                ws,
+                AdPlatformMajor,
+                true,
+                false,
             ));
         }
 
         // ---- Realtime infrastructure. ----
         companies.push(Company::named(
-            "pusher", "pusher.com", "js.pusher.com", "ws.pusherapp.com",
-            RealtimeInfra, true, true,
+            "pusher",
+            "pusher.com",
+            "js.pusher.com",
+            "ws.pusherapp.com",
+            RealtimeInfra,
+            true,
+            true,
         ));
         companies.push(Company::named(
-            "realtime", "realtime.co", "cdn.realtime.co", "ortc-developers.realtime.co",
-            RealtimeInfra, true, true,
+            "realtime",
+            "realtime.co",
+            "cdn.realtime.co",
+            "ortc-developers.realtime.co",
+            RealtimeInfra,
+            true,
+            true,
         ));
 
         // ---- Content recommendation / comments / widgets. ----
         companies.push(Company::named(
-            "lockerdome", "lockerdome.com", "cdn2.lockerdome.com", "api.lockerdome.com",
-            ContentRec, true, true,
+            "lockerdome",
+            "lockerdome.com",
+            "cdn2.lockerdome.com",
+            "api.lockerdome.com",
+            ContentRec,
+            true,
+            true,
         ));
         companies.push(Company::named(
-            "disqus", "disqus.com", "a.disquscdn.com", "realtime.services.disqus.com",
-            Comments, true, true,
+            "disqus",
+            "disqus.com",
+            "a.disquscdn.com",
+            "realtime.services.disqus.com",
+            Comments,
+            true,
+            true,
         ));
         companies.push(Company::named(
-            "feedjit", "feedjit.com", "static.feedjit.com", "ws.feedjit.com",
-            TrafficWidget, true, true,
+            "feedjit",
+            "feedjit.com",
+            "static.feedjit.com",
+            "ws.feedjit.com",
+            TrafficWidget,
+            true,
+            true,
         ));
         companies.push(Company::named(
-            "webspectator", "webspectator.com", "cdn.webspectator.com",
-            "ortc-developers.realtime.co", RealtimePublisher, true, true,
+            "webspectator",
+            "webspectator.com",
+            "cdn.webspectator.com",
+            "ortc-developers.realtime.co",
+            RealtimePublisher,
+            true,
+            true,
         ));
 
         // ---- Non-A&A realtime users. ----
         for (name, domain, script, ws) in [
-            ("espncdn", "espncdn.com", "a.espncdn.com", "livescore-ws.espncdn.com"),
+            (
+                "espncdn",
+                "espncdn.com",
+                "a.espncdn.com",
+                "livescore-ws.espncdn.com",
+            ),
             ("h-cdn", "h-cdn.com", "static.h-cdn.com", "ws.h-cdn.com"),
             ("slither", "slither.io", "slither.io", "ws.slither.io"),
-            ("youtube", "youtube.com", "s.ytimg.com", "livechat-ws.youtube.com"),
-            ("googleapis", "googleapis.com", "ajax.googleapis.com", "ws.googleapis.com"),
-            ("cloudflare", "cloudflare.com", "cdnjs.cloudflare.com", "ws.cloudflare.com"),
+            (
+                "youtube",
+                "youtube.com",
+                "s.ytimg.com",
+                "livechat-ws.youtube.com",
+            ),
+            (
+                "googleapis",
+                "googleapis.com",
+                "ajax.googleapis.com",
+                "ws.googleapis.com",
+            ),
+            (
+                "cloudflare",
+                "cloudflare.com",
+                "cdnjs.cloudflare.com",
+                "ws.cloudflare.com",
+            ),
             ("cdn77", "cdn77.com", "cdn.cdn77.org", "ws.cdn77.com"),
-            ("blogger", "blogger.com", "www.blogger.com", "ws.blogger.com"),
-            ("sportingindex", "sportingindex.com", "static.sportingindex.com", "push.sportingindex.com"),
+            (
+                "blogger",
+                "blogger.com",
+                "www.blogger.com",
+                "ws.blogger.com",
+            ),
+            (
+                "sportingindex",
+                "sportingindex.com",
+                "static.sportingindex.com",
+                "push.sportingindex.com",
+            ),
         ] {
             companies.push(Company::named(
-                name, domain, script, ws, NonAaRealtime, false, true,
+                name,
+                domain,
+                script,
+                ws,
+                NonAaRealtime,
+                false,
+                true,
             ));
         }
 
@@ -279,8 +443,14 @@ impl Catalog {
     /// tenants of the catalog; the rest pad the table to 13 like §3.2.
     pub fn cloudfront_overrides(&self) -> Vec<(String, String)> {
         let mut v = vec![
-            ("d10lpsik1i8c69.cloudfront.net".to_string(), "luckyorange.com".to_string()),
-            ("d81mfvml8p5ml.cloudfront.net".to_string(), "freshrelevance.com".to_string()),
+            (
+                "d10lpsik1i8c69.cloudfront.net".to_string(),
+                "luckyorange.com".to_string(),
+            ),
+            (
+                "d81mfvml8p5ml.cloudfront.net".to_string(),
+                "freshrelevance.com".to_string(),
+            ),
         ];
         for k in 0..11 {
             v.push((
@@ -297,12 +467,18 @@ impl Catalog {
     /// to the same company).
     pub fn manual_overrides(&self) -> Vec<(String, String)> {
         let mut v = self.cloudfront_overrides();
-        v.push(("connect.facebook.net".to_string(), "facebook.com".to_string()));
+        v.push((
+            "connect.facebook.net".to_string(),
+            "facebook.com".to_string(),
+        ));
         // Infrastructure / CDN identities folded into their companies, as
         // the study's manual mapping step did.
         v.push(("ws.pusherapp.com".to_string(), "pusher.com".to_string()));
         v.push(("a.disquscdn.com".to_string(), "disqus.com".to_string()));
-        v.push(("www.smartsuppchat.com".to_string(), "smartsupp.com".to_string()));
+        v.push((
+            "www.smartsuppchat.com".to_string(),
+            "smartsupp.com".to_string(),
+        ));
         v
     }
 }
@@ -322,11 +498,7 @@ mod tests {
     #[test]
     fn aa_initiator_pool_supports_table1_collapse() {
         let c = Catalog::build();
-        let aa_ws_users = c
-            .all()
-            .iter()
-            .filter(|x| x.aa_listed)
-            .count();
+        let aa_ws_users = c.all().iter().filter(|x| x.aa_listed).count();
         // Enough A&A companies to observe ~75 unique initiator domains
         // pre-patch…
         assert!(aa_ws_users >= 90, "{aa_ws_users}");

@@ -29,7 +29,7 @@ pub fn easylist(catalog: &Catalog) -> String {
             Role::LongTailAdNetwork => {
                 // Two thirds blanket-listed, the rest pixel-only
                 // (deterministic by name hash so lists are stable).
-                if crate::fnv1a(&c.name) % 3 != 0 {
+                if !crate::fnv1a(&c.name).is_multiple_of(3) {
                     out.push_str(&format!("||{}^$third-party\n", c.domain));
                 } else {
                     out.push_str(&format!("||{}/pixel0.gif\n", c.script_host));
@@ -51,7 +51,8 @@ pub fn easylist(catalog: &Catalog) -> String {
 
 /// Generates the EasyPrivacy-like list (tracking).
 pub fn easyprivacy(catalog: &Catalog) -> String {
-    let mut out = String::from("[Adblock Plus 2.0]\n! Title: generated EasyPrivacy (synthetic web)\n");
+    let mut out =
+        String::from("[Adblock Plus 2.0]\n! Title: generated EasyPrivacy (synthetic web)\n");
     for c in catalog.all() {
         match c.role {
             Role::LiveChat
@@ -83,8 +84,7 @@ mod tests {
 
     fn engines() -> Engine {
         let catalog = Catalog::build();
-        let (engine, errs) =
-            Engine::parse_many(&[&easylist(&catalog), &easyprivacy(&catalog)]);
+        let (engine, errs) = Engine::parse_many(&[&easylist(&catalog), &easyprivacy(&catalog)]);
         assert!(errs.is_empty(), "{errs:?}");
         engine
     }
@@ -138,7 +138,11 @@ mod tests {
         let page = Url::parse("http://arts-site-000003.example/").unwrap();
         let mut blanket = 0;
         let mut total = 0;
-        for c in catalog.all().iter().filter(|c| c.role == Role::LongTailAdNetwork) {
+        for c in catalog
+            .all()
+            .iter()
+            .filter(|c| c.role == Role::LongTailAdNetwork)
+        {
             total += 1;
             let tag = Url::parse(&format!("{}?s=1&p=0", c.script_url())).unwrap();
             if e.blocks(&RequestContext {

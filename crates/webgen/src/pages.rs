@@ -57,10 +57,7 @@ impl PageSynthesizer<'_> {
     /// Builds page `idx` of a site.
     pub fn page(&self, site: &SiteMeta, idx: usize) -> Page {
         let url = self.page_url(site, idx);
-        let mut page = Page::new(
-            url,
-            format!("{} — {}", site.domain, site.category.slug()),
-        );
+        let mut page = Page::new(url, format!("{} — {}", site.domain, site.category.slug()));
 
         // Links: homepage links to all subpages; subpages link around.
         if idx == 0 {
@@ -95,11 +92,8 @@ impl PageSynthesizer<'_> {
         tagged.dedup();
         for company_idx in tagged {
             let company = &self.catalog.all()[company_idx];
-            page.scripts.push(ScriptRef::Remote(self.tag_url(
-                company,
-                site,
-                idx,
-            )));
+            page.scripts
+                .push(ScriptRef::Remote(self.tag_url(company, site, idx)));
         }
 
         // Inline services: first-party snippets that open sockets directly.
@@ -188,7 +182,10 @@ impl PageSynthesizer<'_> {
             self.config.seed ^ 0xADF2_A3E5,
             fnv1a(&format!(
                 "{}/{}/{}/{}",
-                site.id, page_idx, company_idx, self.config.era.index()
+                site.id,
+                page_idx,
+                company_idx,
+                self.config.era.index()
             )),
         ));
         let service = site.ws_services.iter().find_map(|s| match s {
@@ -206,12 +203,13 @@ impl PageSynthesizer<'_> {
             major_exchanges(&mut rng)
         };
         let mut page = Page::new(url.to_string(), format!("ad frame ({})", company.name));
-        page.scripts.push(ScriptRef::Inline(
-            ScriptBehavior::inert().then(Action::OpenWebSocket {
-                url: partner_ws,
-                exchanges,
-            }),
-        ));
+        page.scripts
+            .push(ScriptRef::Inline(ScriptBehavior::inert().then(
+                Action::OpenWebSocket {
+                    url: partner_ws,
+                    exchanges,
+                },
+            )));
         Some(page)
     }
 
@@ -355,7 +353,10 @@ impl PageSynthesizer<'_> {
             self.config.seed ^ 0x7AB5_0C47,
             fnv1a(&format!(
                 "{}/{}/{}/{}",
-                site.id, page_idx, company_idx, self.config.era.index()
+                site.id,
+                page_idx,
+                company_idx,
+                self.config.era.index()
             )),
         ));
 
@@ -368,7 +369,8 @@ impl PageSynthesizer<'_> {
         // WS side: every service owned by this company on this site.
         let mut owns_ws = false;
         for (ordinal, service) in site.ws_services.iter().enumerate() {
-            let owned = matches!(self.service_company(service), Some((c, true)) if c == company_idx);
+            let owned =
+                matches!(self.service_company(service), Some((c, true)) if c == company_idx);
             if !owned {
                 continue;
             }
@@ -442,7 +444,7 @@ impl PageSynthesizer<'_> {
         // §4.2 "all A&A chains blockable" fraction near 27%, not 100%.
         let pixel = if rng.chance(0.55) { "pixel0" } else { "pixel1" };
         behaviour = behaviour.then(Action::FetchImage {
-            url: format!("https://{}/{pixel}.gif", company.script_host, ),
+            url: format!("https://{}/{pixel}.gif", company.script_host,),
             sent,
         });
         // Some tags pull an ad or config payload.
@@ -525,7 +527,11 @@ impl PageSynthesizer<'_> {
                 }
                 // Zopim is the self-pair champion of Table 4: it opens
                 // more sockets per page than anyone else.
-                let sockets = if c.name == "zopim" { rng.range(1, 3) } else { 1 };
+                let sockets = if c.name == "zopim" {
+                    rng.range(1, 3)
+                } else {
+                    1
+                };
                 for _ in 0..sockets {
                     behaviour = behaviour.then(Action::OpenWebSocket {
                         url: c.ws_url(),
@@ -941,7 +947,7 @@ mod tests {
         let site = &universe.sites()[3];
         let home = synth.page(site, 0);
         assert_eq!(home.links.len(), config.pages_per_site - 1);
-        assert!(home.scripts.len() >= 1);
+        assert!(!home.scripts.is_empty());
     }
 
     #[test]
@@ -1043,10 +1049,15 @@ mod tests {
             other => panic!("expected inline script, got {other:?}"),
         }
         // Unknown ad frames 404.
-        assert!(synth.adframe_page("https://adframe.nosuch.example/frame.html?s=0&p=0").is_none());
         assert!(synth
-            .adframe_page(&format!("https://adframe.{}/frame.html", company.domain))
-            .is_none(), "missing query must not resolve");
+            .adframe_page("https://adframe.nosuch.example/frame.html?s=0&p=0")
+            .is_none());
+        assert!(
+            synth
+                .adframe_page(&format!("https://adframe.{}/frame.html", company.domain))
+                .is_none(),
+            "missing query must not resolve"
+        );
     }
 
     #[test]
@@ -1083,7 +1094,11 @@ mod tests {
         let mut n = 0;
         for site in universe.sites() {
             for service in &site.ws_services {
-                if let WsService::Chat { company, inline_direct } = service {
+                if let WsService::Chat {
+                    company,
+                    inline_direct,
+                } = service
+                {
                     if *inline_direct {
                         continue;
                     }

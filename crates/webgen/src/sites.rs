@@ -299,8 +299,7 @@ impl SiteUniverse {
             }
         }
 
-        let ws_services =
-            Self::assign_ws_services(catalog, &mut rng, rank, category, id);
+        let ws_services = Self::assign_ws_services(catalog, &mut rng, rank, category, id);
 
         SiteMeta {
             id,
@@ -353,7 +352,11 @@ impl SiteUniverse {
         }
 
         // Session replay — shopping sites over-adopt.
-        let replay_boost = if category == Category::Shopping { 2.0 } else { 1.0 };
+        let replay_boost = if category == Category::Shopping {
+            2.0
+        } else {
+            1.0
+        };
         if rng.chance(0.0033 * aa * replay_boost) {
             let replay = catalog.with_role(Role::SessionReplay);
             let company = rng.pick(&replay);
@@ -482,7 +485,6 @@ impl SiteUniverse {
             });
         }
 
-
         // Non-A&A realtime: tickers, games, live widgets.
         let non_aa_boost = match category {
             Category::Sports | Category::Games => 2.4,
@@ -504,7 +506,11 @@ impl SiteUniverse {
                 // are NOT cross-origin in §4.1.
                 services.push(WsService::NonAa {
                     company: None,
-                    ws_url: format!("wss://ws.{}-site-{:06}.example/live", category.slug(), site_id),
+                    ws_url: format!(
+                        "wss://ws.{}-site-{:06}.example/live",
+                        category.slug(),
+                        site_id
+                    ),
                     first_party_script: true,
                 });
             } else {
@@ -543,19 +549,28 @@ impl SiteUniverse {
             (company.ws_url(), false)
         } else if roll < 0.75 {
             // An A&A partner.
-            let partners = ["33across", "realtime", "pusher", "zopim", "disqus", "lockerdome"];
-            let p = catalog.by_name(partners[rng.below(partners.len() as u64) as usize]).expect("partner");
-            (p.ws_url(), p.name == "33across" && company.name == "doubleclick")
+            let partners = [
+                "33across",
+                "realtime",
+                "pusher",
+                "zopim",
+                "disqus",
+                "lockerdome",
+            ];
+            let p = catalog
+                .by_name(partners[rng.below(partners.len() as u64) as usize])
+                .expect("partner");
+            (
+                p.ws_url(),
+                p.name == "33across" && company.name == "doubleclick",
+            )
         } else {
             // Assorted non-A&A experiment endpoints — each on its own
             // neutral domain (a slice of the 382-domain receiver pool);
             // this breadth is how facebook reaches 35 unique receivers in
             // Table 2.
             let k = rng.below(60);
-            (
-                format!("wss://rt.live-exchange-{k:02}.example/exp"),
-                false,
-            )
+            (format!("wss://rt.live-exchange-{k:02}.example/exp"), false)
         }
     }
 
@@ -615,10 +630,7 @@ mod tests {
         let (u, _) = universe(20_000);
         let with_ws = u.sites().iter().filter(|s| s.has_ws_service()).count();
         let frac = with_ws as f64 / u.sites().len() as f64;
-        assert!(
-            (0.02..0.06).contains(&frac),
-            "adoption fraction {frac:.4}"
-        );
+        assert!((0.02..0.06).contains(&frac), "adoption fraction {frac:.4}");
     }
 
     #[test]
@@ -679,7 +691,11 @@ mod tests {
     #[test]
     fn http_ad_stack_is_common() {
         let (u, _) = universe(2_000);
-        let with_stack = u.sites().iter().filter(|s| !s.http_ad_stack.is_empty()).count();
+        let with_stack = u
+            .sites()
+            .iter()
+            .filter(|s| !s.http_ad_stack.is_empty())
+            .count();
         assert!(with_stack as f64 / u.sites().len() as f64 > 0.5);
     }
 }

@@ -50,7 +50,11 @@ impl DomNode {
     fn write_html(&self, out: &mut String) {
         match self {
             DomNode::Text(t) => out.push_str(t),
-            DomNode::Element { tag, attrs, children } => {
+            DomNode::Element {
+                tag,
+                attrs,
+                children,
+            } => {
                 let _ = write!(out, "<{tag}");
                 for (k, v) in attrs {
                     let _ = write!(out, " {k}=\"{v}\"");
@@ -77,7 +81,9 @@ impl DomNode {
     /// Depth-first search for the first element with the given tag.
     pub fn find_tag(&self, tag: &str) -> Option<&DomNode> {
         match self {
-            DomNode::Element { tag: t, children, .. } => {
+            DomNode::Element {
+                tag: t, children, ..
+            } => {
                 if t == tag {
                     return Some(self);
                 }
@@ -99,7 +105,12 @@ impl DomNode {
     }
 
     fn collect_resources(&self, out: &mut Vec<(String, String)>) {
-        if let DomNode::Element { tag, attrs, children } = self {
+        if let DomNode::Element {
+            tag,
+            attrs,
+            children,
+        } = self
+        {
             for (k, v) in attrs {
                 if k == "src" || k == "href" {
                     out.push((tag.clone(), v.clone()));
@@ -148,7 +159,10 @@ mod tests {
         let dom = DomNode::el(
             "div",
             &[("id", "main")],
-            vec![DomNode::text("hi"), DomNode::el("b", &[], vec![DomNode::text("!")])],
+            vec![
+                DomNode::text("hi"),
+                DomNode::el("b", &[], vec![DomNode::text("!")]),
+            ],
         );
         assert_eq!(dom.to_html(), r#"<div id="main">hi<b>!</b></div>"#);
     }

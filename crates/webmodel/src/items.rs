@@ -165,7 +165,10 @@ mod tests {
         assert!(!SentItem::Cookie.is_fingerprinting());
         assert!(!SentItem::Ip.is_fingerprinting());
         assert!(!SentItem::Dom.is_fingerprinting());
-        let n = SentItem::ALL.iter().filter(|i| i.is_fingerprinting()).count();
+        let n = SentItem::ALL
+            .iter()
+            .filter(|i| i.is_fingerprinting())
+            .count();
         assert_eq!(n, 7);
     }
 

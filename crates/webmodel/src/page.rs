@@ -58,9 +58,11 @@ impl Page {
                 ScriptRef::Remote(url) => {
                     body_children.push(DomNode::el("script", &[("src", url)], vec![]))
                 }
-                ScriptRef::Inline(_) => {
-                    body_children.push(DomNode::el("script", &[], vec![DomNode::text("/*inline*/")]))
-                }
+                ScriptRef::Inline(_) => body_children.push(DomNode::el(
+                    "script",
+                    &[],
+                    vec![DomNode::text("/*inline*/")],
+                )),
             }
         }
         for img in &self.images {
@@ -80,7 +82,11 @@ impl Page {
             "html",
             &[],
             vec![
-                DomNode::el("head", &[], vec![DomNode::el("title", &[], vec![DomNode::text(&self.title)])]),
+                DomNode::el(
+                    "head",
+                    &[],
+                    vec![DomNode::el("title", &[], vec![DomNode::text(&self.title)])],
+                ),
                 DomNode::el("body", &[], body_children),
             ],
         )
@@ -100,7 +106,8 @@ mod tests {
     #[test]
     fn synthesized_dom_contains_resources() {
         let mut p = Page::new("http://pub.example/", "Pub");
-        p.scripts.push(ScriptRef::Remote("http://ads.example/s.js".into()));
+        p.scripts
+            .push(ScriptRef::Remote("http://ads.example/s.js".into()));
         p.images.push("http://pub.example/logo.png".into());
         p.iframes.push("http://embed.example/f".into());
         p.links.push("http://pub.example/about".into());
@@ -123,12 +130,13 @@ mod tests {
     #[test]
     fn inline_scripts_carry_behaviour() {
         let mut p = Page::new("http://pub.example/", "Pub");
-        p.scripts.push(ScriptRef::Inline(
-            ScriptBehavior::inert().then(Action::OpenWebSocket {
-                url: "ws://chat.example/s".into(),
-                exchanges: vec![],
-            }),
-        ));
+        p.scripts
+            .push(ScriptRef::Inline(ScriptBehavior::inert().then(
+                Action::OpenWebSocket {
+                    url: "ws://chat.example/s".into(),
+                    exchanges: vec![],
+                },
+            )));
         match &p.scripts[0] {
             ScriptRef::Inline(b) => assert_eq!(b.actions.len(), 1),
             _ => panic!("expected inline"),

@@ -80,11 +80,23 @@ impl ValueContext {
             x.wrapping_mul(0x2545F4914F6CDD1D)
         };
         let chrome_major = 50 + (next() % 10);
-        let screens = [(1920u32, 1080u32), (1366, 768), (1440, 900), (2560, 1440), (1280, 800)];
+        let screens = [
+            (1920u32, 1080u32),
+            (1366, 768),
+            (1440, 900),
+            (2560, 1440),
+            (1280, 800),
+        ];
         let screen = screens[(next() % screens.len() as u64) as usize];
         let langs = ["en-US", "en-GB", "de-DE", "fr-FR", "pt-BR", "ja-JP"];
         let language = langs[(next() % langs.len() as u64) as usize].to_string();
-        let devices = ["Desktop/Mac", "Desktop/Windows", "Desktop/Linux", "Mobile/Android", "Mobile/iOS"];
+        let devices = [
+            "Desktop/Mac",
+            "Desktop/Windows",
+            "Desktop/Linux",
+            "Mobile/Android",
+            "Mobile/iOS",
+        ];
         let device = devices[(next() % devices.len() as u64) as usize].to_string();
         let uid = next();
         let ip = format!(

@@ -64,7 +64,7 @@ fn value(b: u8) -> Option<u8> {
 /// Decodes standard base64 with `=` padding.
 pub fn decode(input: &str) -> Result<Vec<u8>, DecodeError> {
     let bytes = input.as_bytes();
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return Err(DecodeError::BadLength);
     }
     let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
@@ -104,7 +104,7 @@ pub fn decode(input: &str) -> Result<Vec<u8>, DecodeError> {
 pub fn looks_like_base64(s: &str, min_len: usize) -> bool {
     let s = s.trim();
     s.len() >= min_len
-        && s.len() % 4 == 0
+        && s.len().is_multiple_of(4)
         && s.bytes().all(|b| value(b).is_some() || b == b'=')
         && decode(s).is_ok()
 }

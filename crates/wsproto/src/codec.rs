@@ -507,10 +507,7 @@ mod tests {
 
     #[test]
     fn close_frame_roundtrip() {
-        let out = roundtrip(
-            MaskingRole::Server,
-            Frame::close(CloseCode::Normal, "bye"),
-        );
+        let out = roundtrip(MaskingRole::Server, Frame::close(CloseCode::Normal, "bye"));
         assert_eq!(out.close_reason().unwrap().unwrap().0, CloseCode::Normal);
     }
 

@@ -181,7 +181,11 @@ impl Connection {
         for (i, chunk) in chunks.into_iter().enumerate() {
             let frame = Frame {
                 fin: i == last,
-                opcode: if i == 0 { Opcode::Text } else { Opcode::Continuation },
+                opcode: if i == 0 {
+                    Opcode::Text
+                } else {
+                    Opcode::Continuation
+                },
                 payload: chunk.to_vec(),
                 mask: None,
             };
@@ -316,7 +320,11 @@ impl Connection {
         }
     }
 
-    fn finish_message(&mut self, opcode: Opcode, payload: Vec<u8>) -> Result<Message, ProtocolError> {
+    fn finish_message(
+        &mut self,
+        opcode: Opcode,
+        payload: Vec<u8>,
+    ) -> Result<Message, ProtocolError> {
         match opcode {
             Opcode::Text => match String::from_utf8(payload) {
                 Ok(s) => Ok(Message::Text(s)),
@@ -387,7 +395,10 @@ impl Connection {
 /// buffers drain, collecting the events each side observed. This is the
 /// harness the simulated network layer uses — every tracker payload really
 /// crosses the codec.
-pub fn pump(client: &mut Connection, server: &mut Connection) -> Result<(Vec<Event>, Vec<Event>), ProtocolError> {
+pub fn pump(
+    client: &mut Connection,
+    server: &mut Connection,
+) -> Result<(Vec<Event>, Vec<Event>), ProtocolError> {
     let mut client_events = Vec::new();
     let mut server_events = Vec::new();
     loop {
@@ -421,7 +432,10 @@ mod tests {
     use super::*;
 
     fn pair() -> (Connection, Connection) {
-        (Connection::new(Role::Client, 11), Connection::new(Role::Server, 22))
+        (
+            Connection::new(Role::Client, 11),
+            Connection::new(Role::Server, 22),
+        )
     }
 
     #[test]
@@ -442,7 +456,10 @@ mod tests {
         let (mut c, mut s) = pair();
         s.send_binary(&[0, 159, 146, 150]).unwrap();
         let (cev, _) = pump(&mut c, &mut s).unwrap();
-        assert_eq!(cev, vec![Event::Message(Message::Binary(vec![0, 159, 146, 150]))]);
+        assert_eq!(
+            cev,
+            vec![Event::Message(Message::Binary(vec![0, 159, 146, 150]))]
+        );
     }
 
     #[test]
@@ -474,7 +491,10 @@ mod tests {
         assert!(matches!(sev[0], Event::Message(_)));
         assert!(matches!(
             sev[1],
-            Event::Closed(CloseReason { code: Some(CloseCode::Normal), .. })
+            Event::Closed(CloseReason {
+                code: Some(CloseCode::Normal),
+                ..
+            })
         ));
         assert!(matches!(cev[0], Event::Closed(_)));
     }

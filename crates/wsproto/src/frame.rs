@@ -194,10 +194,8 @@ impl Frame {
             0 => Ok(None),
             1 => Err(ProtocolError::BadCloseFrame),
             _ => {
-                let code = CloseCode::from_u16(u16::from_be_bytes([
-                    self.payload[0],
-                    self.payload[1],
-                ]))?;
+                let code =
+                    CloseCode::from_u16(u16::from_be_bytes([self.payload[0], self.payload[1]]))?;
                 let reason = std::str::from_utf8(&self.payload[2..])
                     .map_err(|_| ProtocolError::InvalidUtf8)?;
                 Ok(Some((code, reason.to_string())))

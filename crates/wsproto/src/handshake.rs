@@ -76,13 +76,19 @@ impl HeaderBlock {
             .filter(|_| text.contains("\r\n\r\n"))
             .ok_or(HandshakeError::Truncated)?;
         let mut lines = text.split("\r\n");
-        let start_line = lines.next().ok_or(HandshakeError::BadStartLine)?.to_string();
+        let start_line = lines
+            .next()
+            .ok_or(HandshakeError::BadStartLine)?
+            .to_string();
         let mut headers = Vec::new();
         for line in lines {
             let (name, value) = line.split_once(':').ok_or(HandshakeError::BadStartLine)?;
             headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
-        Ok(HeaderBlock { start_line, headers })
+        Ok(HeaderBlock {
+            start_line,
+            headers,
+        })
     }
 
     /// Case-insensitive single-header lookup.
@@ -98,10 +104,7 @@ impl HeaderBlock {
     /// case-insensitive token (needed for `Connection: keep-alive, Upgrade`).
     pub fn has_token(&self, name: &str, token: &str) -> bool {
         self.get(name)
-            .map(|v| {
-                v.split(',')
-                    .any(|t| t.trim().eq_ignore_ascii_case(token))
-            })
+            .map(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case(token)))
             .unwrap_or(false)
     }
 }
@@ -283,7 +286,10 @@ impl ServerHandshake {
             Ok(raw) if raw.len() == 16 => {}
             _ => return Err(HandshakeError::BadKey),
         }
-        Ok(ServerHandshake { request: block, key })
+        Ok(ServerHandshake {
+            request: block,
+            key,
+        })
     }
 
     /// Serializes the 101 response, optionally selecting a subprotocol.
@@ -292,7 +298,10 @@ impl ServerHandshake {
         out.push_str("HTTP/1.1 101 Switching Protocols\r\n");
         out.push_str("Upgrade: websocket\r\n");
         out.push_str("Connection: Upgrade\r\n");
-        out.push_str(&format!("Sec-WebSocket-Accept: {}\r\n", accept_key(&self.key)));
+        out.push_str(&format!(
+            "Sec-WebSocket-Accept: {}\r\n",
+            accept_key(&self.key)
+        ));
         if let Some(p) = protocol {
             out.push_str(&format!("Sec-WebSocket-Protocol: {p}\r\n"));
         }
@@ -333,7 +342,10 @@ mod tests {
     fn rejects_wrong_accept() {
         let client = ClientHandshake::new("h.example", "/", 5);
         let resp = b"HTTP/1.1 101 Switching Protocols\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Accept: AAAAAAAAAAAAAAAAAAAAAAAAAAA=\r\n\r\n";
-        assert_eq!(client.validate_response(resp), Err(HandshakeError::BadAccept));
+        assert_eq!(
+            client.validate_response(resp),
+            Err(HandshakeError::BadAccept)
+        );
     }
 
     #[test]

@@ -5,7 +5,9 @@
 
 use sockscope_wsproto::codec::{FrameDecoder, FrameEncoder, MaskingRole};
 use sockscope_wsproto::connection::{pump, State};
-use sockscope_wsproto::{CloseCode, Connection, Event, Frame, Message, Opcode, ProtocolError, Role};
+use sockscope_wsproto::{
+    CloseCode, Connection, Event, Frame, Message, Opcode, ProtocolError, Role,
+};
 
 fn client_encoder() -> FrameEncoder {
     FrameEncoder::new(MaskingRole::Client, 7)
@@ -29,7 +31,10 @@ fn drain(conn: &mut Connection) -> Vec<Event> {
 fn case_1_1_empty_text_frame() {
     let mut s = server_side();
     s.feed(&client_encoder().encode(&Frame::text("")));
-    assert_eq!(drain(&mut s), vec![Event::Message(Message::Text(String::new()))]);
+    assert_eq!(
+        drain(&mut s),
+        vec![Event::Message(Message::Text(String::new()))]
+    );
 }
 
 #[test]
@@ -89,7 +94,11 @@ fn case_2_3_unsolicited_pong_is_delivered_not_fatal() {
 fn case_2_4_ping_between_every_fragment() {
     let mut enc = client_encoder();
     let mut s = server_side();
-    let parts = [("He", false, Opcode::Text), ("ll", false, Opcode::Continuation), ("o!", true, Opcode::Continuation)];
+    let parts = [
+        ("He", false, Opcode::Text),
+        ("ll", false, Opcode::Continuation),
+        ("o!", true, Opcode::Continuation),
+    ];
     for (i, (text, fin, op)) in parts.iter().enumerate() {
         s.feed(&enc.encode(&Frame {
             fin: *fin,
@@ -132,7 +141,11 @@ fn case_3_2_reserved_opcodes_rejected() {
     for op in [0x3u8, 0x4, 0x5, 0x6, 0x7, 0xB, 0xC, 0xD, 0xE, 0xF] {
         let mut dec = FrameDecoder::new(MaskingRole::Client);
         dec.feed(&[0x80 | op, 0x00]);
-        assert_eq!(dec.next_frame(), Err(ProtocolError::BadOpcode(op)), "op {op:#x}");
+        assert_eq!(
+            dec.next_frame(),
+            Err(ProtocolError::BadOpcode(op)),
+            "op {op:#x}"
+        );
     }
 }
 
@@ -146,7 +159,9 @@ fn case_4_1_text_fragmented_into_single_bytes() {
     let (_, events) = pump(&mut c, &mut s).unwrap();
     assert_eq!(
         events,
-        vec![Event::Message(Message::Text("fragmentation torture".into()))]
+        vec![Event::Message(Message::Text(
+            "fragmentation torture".into()
+        ))]
     );
 }
 
@@ -236,8 +251,10 @@ fn case_6_1_clean_close_with_code_and_reason() {
     let (cev, sev) = pump(&mut c, &mut s).unwrap();
     assert_eq!(c.state(), State::Closed);
     assert_eq!(s.state(), State::Closed);
-    assert!(matches!(&sev[0], Event::Closed(r) if r.code == Some(CloseCode::Away)
-        && r.reason == "navigating away"));
+    assert!(
+        matches!(&sev[0], Event::Closed(r) if r.code == Some(CloseCode::Away)
+        && r.reason == "navigating away")
+    );
     assert!(matches!(&cev[0], Event::Closed(_)));
 }
 

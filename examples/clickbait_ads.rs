@@ -14,8 +14,8 @@ use sockscope::analysis::PiiLibrary;
 use sockscope::browser::{Browser, BrowserConfig, BrowserEra, ExtensionHost};
 use sockscope::inclusion::InclusionTree;
 use sockscope::webmodel::{
-    host::StaticHost, Action, Page, ReceivedItem, ScriptBehavior, ScriptRef, SentItem,
-    WsExchange, WsServerProfile,
+    host::StaticHost, Action, Page, ReceivedItem, ScriptBehavior, ScriptRef, SentItem, WsExchange,
+    WsServerProfile,
 };
 
 fn main() {
@@ -35,14 +35,19 @@ fn main() {
             }],
         }),
     );
-    web.add_ws_server("wss://api.lockerdome.com/socket", WsServerProfile::accepting());
+    web.add_ws_server(
+        "wss://api.lockerdome.com/socket",
+        WsServerProfile::accepting(),
+    );
 
     let browser = Browser::new(
         &web,
         ExtensionHost::stock(BrowserEra::PreChrome58),
         BrowserConfig::default(),
     );
-    let visit = browser.visit("http://longtail-blog.example/").expect("visit");
+    let visit = browser
+        .visit("http://longtail-blog.example/")
+        .expect("visit");
     let tree = InclusionTree::build("http://longtail-blog.example/", &visit.events);
     let socket = tree.websockets().next().expect("lockerdome socket");
     let response = socket.ws.as_ref().unwrap().received[0]
@@ -50,7 +55,10 @@ fn main() {
         .expect("JSON response")
         .to_string();
 
-    println!("raw socket response ({} bytes of JSON):\n{response}\n", response.len());
+    println!(
+        "raw socket response ({} bytes of JSON):\n{response}\n",
+        response.len()
+    );
 
     let lib = PiiLibrary::new();
     let ads = lib.extract_ad_urls(&response);

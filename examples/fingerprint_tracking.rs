@@ -13,14 +13,12 @@
 //! ```
 
 use sockscope::analysis::PiiLibrary;
-use sockscope::browser::{
-    AdBlockerExtension, Browser, BrowserConfig, BrowserEra, ExtensionHost,
-};
+use sockscope::browser::{AdBlockerExtension, Browser, BrowserConfig, BrowserEra, ExtensionHost};
 use sockscope::filterlist::Engine;
 use sockscope::inclusion::InclusionTree;
 use sockscope::webmodel::{
-    host::StaticHost, Action, Page, ReceivedItem, ScriptBehavior, ScriptRef, SentItem,
-    WsExchange, WsServerProfile,
+    host::StaticHost, Action, Page, ReceivedItem, ScriptBehavior, ScriptRef, SentItem, WsExchange,
+    WsServerProfile,
 };
 
 fn build_web() -> StaticHost {
@@ -28,7 +26,9 @@ fn build_web() -> StaticHost {
     let mut page = Page::new("http://news.example/story", "News");
     // The publisher serves the loader first-party (unlisted), which pulls
     // the platform tag, which opens the fingerprint socket.
-    page.scripts = vec![ScriptRef::Remote("http://news.example/assets/ads-loader.js".into())];
+    page.scripts = vec![ScriptRef::Remote(
+        "http://news.example/assets/ads-loader.js".into(),
+    )];
     host.add_page(page);
     host.add_script(
         "http://news.example/assets/ads-loader.js",
@@ -57,7 +57,10 @@ fn build_web() -> StaticHost {
             }],
         }),
     );
-    host.add_ws_server("wss://apx.33across.com/fingerprint", WsServerProfile::accepting());
+    host.add_ws_server(
+        "wss://apx.33across.com/fingerprint",
+        WsServerProfile::accepting(),
+    );
     host
 }
 
@@ -71,14 +74,22 @@ fn main() {
     assert!(errs.is_empty());
     let browser = Browser::new(
         &web,
-        ExtensionHost::stock(BrowserEra::PreChrome58).install(AdBlockerExtension::new("abp", engine)),
+        ExtensionHost::stock(BrowserEra::PreChrome58)
+            .install(AdBlockerExtension::new("abp", engine)),
         BrowserConfig::default(),
     );
     let visit = browser.visit("http://news.example/story").expect("visit");
     let tree = InclusionTree::build("http://news.example/story", &visit.events);
-    let socket = tree.websockets().next().expect("fingerprint socket opened despite blocker");
+    let socket = tree
+        .websockets()
+        .next()
+        .expect("fingerprint socket opened despite blocker");
 
-    let chain: Vec<&str> = tree.chain(socket.id).iter().map(|n| n.host.as_str()).collect();
+    let chain: Vec<&str> = tree
+        .chain(socket.id)
+        .iter()
+        .map(|n| n.host.as_str())
+        .collect();
     println!("inclusion chain: {}", chain.join(" -> "));
     let ws = socket.ws.as_ref().unwrap();
     let payload = ws.sent[0].as_text().unwrap();
@@ -93,7 +104,8 @@ fn main() {
     let (engine, _) = Engine::parse("||33across.com^$websocket");
     let patched = Browser::new(
         &web,
-        ExtensionHost::stock(BrowserEra::PostChrome58).install(AdBlockerExtension::new("abp", engine)),
+        ExtensionHost::stock(BrowserEra::PostChrome58)
+            .install(AdBlockerExtension::new("abp", engine)),
         BrowserConfig::default(),
     );
     let visit = patched.visit("http://news.example/story").expect("visit");

@@ -64,7 +64,9 @@ fn main() {
         ExtensionHost::stock(BrowserEra::PreChrome58),
         BrowserConfig::default(),
     );
-    let visit = browser.visit("http://pub.example/index.html").expect("visit");
+    let visit = browser
+        .visit("http://pub.example/index.html")
+        .expect("visit");
     let tree = InclusionTree::build("http://pub.example/index.html", &visit.events);
 
     println!("=== DOM tree (syntactic view) ===");
@@ -78,7 +80,11 @@ fn main() {
     println!();
 
     let socket = tree.websockets().next().expect("one socket");
-    let chain: Vec<&str> = tree.chain(socket.id).iter().map(|n| n.url.as_str()).collect();
+    let chain: Vec<&str> = tree
+        .chain(socket.id)
+        .iter()
+        .map(|n| n.url.as_str())
+        .collect();
     println!("WebSocket attribution chain: {}", chain.join("  ->  "));
     println!();
     println!("=== The socket's transcript (real RFC 6455 frames) ===");

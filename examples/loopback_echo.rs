@@ -11,7 +11,7 @@
 //! ```
 
 use sockscope::wsproto::{
-    connection::State, CloseCode, ClientHandshake, Connection, Event, Message, Role,
+    connection::State, ClientHandshake, CloseCode, Connection, Event, Message, Role,
     ServerHandshake,
 };
 use std::io::{Read, Write};
@@ -127,13 +127,16 @@ fn main() -> std::io::Result<()> {
         let n = stream.read(&mut buf)?;
         resp.extend_from_slice(&buf[..n]);
     }
-    hs.validate_response(&resp).expect("101 with valid accept key");
+    hs.validate_response(&resp)
+        .expect("101 with valid accept key");
     println!("[client] handshake complete (Sec-WebSocket-Accept verified)");
 
     let mut conn = Connection::new(Role::Client, 0x5EED);
-    conn.send_text("cookie=uid=421&screen=1920x1080").expect("send");
+    conn.send_text("cookie=uid=421&screen=1920x1080")
+        .expect("send");
     let fake_dom = format!("dom=<html>{}</html>", "x".repeat(65_536));
-    conn.send_text_fragmented(&fake_dom, 8 * 1024).expect("send fragmented");
+    conn.send_text_fragmented(&fake_dom, 8 * 1024)
+        .expect("send fragmented");
     conn.send_ping(b"hb").expect("ping");
     conn.close(CloseCode::Normal, "done");
 
@@ -151,7 +154,10 @@ fn main() -> std::io::Result<()> {
         }
     }
     assert_eq!(echoes, 2, "both messages echoed over real TCP");
-    server_thread.join().expect("server thread").expect("server ok");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server ok");
     println!("loopback echo over real TCP: OK");
     Ok(())
 }

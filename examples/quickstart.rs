@@ -27,11 +27,13 @@ fn main() {
     println!("{}", report.table1.render());
 
     // The before/after story in one sentence.
-    let pre = report.table1.rows[0].unique_aa_initiators.max(report.table1.rows[1].unique_aa_initiators);
-    let post = report.table1.rows[2].unique_aa_initiators.min(report.table1.rows[3].unique_aa_initiators);
-    println!(
-        "A&A initiator collapse after the Chrome 58 patch: {pre} -> {post} unique domains"
-    );
+    let pre = report.table1.rows[0]
+        .unique_aa_initiators
+        .max(report.table1.rows[1].unique_aa_initiators);
+    let post = report.table1.rows[2]
+        .unique_aa_initiators
+        .min(report.table1.rows[3].unique_aa_initiators);
+    println!("A&A initiator collapse after the Chrome 58 patch: {pre} -> {post} unique domains");
     println!(
         "vanished initiators include: {:?}",
         report

@@ -13,11 +13,11 @@
 use sockscope::analysis::PiiLibrary;
 use sockscope::browser::{Browser, BrowserConfig, BrowserEra, ExtensionHost};
 use sockscope::inclusion::InclusionTree;
+use sockscope::webmodel::SentItem as Item;
 use sockscope::webmodel::{
     host::StaticHost, Action, DomNode, Page, ScriptBehavior, ScriptRef, SentItem, WsExchange,
     WsServerProfile,
 };
-use sockscope::webmodel::SentItem as Item;
 
 fn checkout_page() -> Page {
     let mut page = Page::new("http://shop.example/checkout", "Checkout");
@@ -32,15 +32,16 @@ fn checkout_page() -> Page {
                 vec![
                     DomNode::el(
                         "input",
-                        &[("name", "search"), ("value", "prescription sleep medication")],
+                        &[
+                            ("name", "search"),
+                            ("value", "prescription sleep medication"),
+                        ],
                         vec![],
                     ),
                     DomNode::el(
                         "textarea",
                         &[("id", "support-draft")],
-                        vec![DomNode::text(
-                            "my card was charged twice, account 4421-99",
-                        )],
+                        vec![DomNode::text("my card was charged twice, account 4421-99")],
                     ),
                     DomNode::el(
                         "script",
@@ -81,7 +82,9 @@ fn main() {
         ExtensionHost::stock(BrowserEra::PreChrome58),
         BrowserConfig::default(),
     );
-    let visit = browser.visit("http://shop.example/checkout").expect("visit");
+    let visit = browser
+        .visit("http://shop.example/checkout")
+        .expect("visit");
     let tree = InclusionTree::build("http://shop.example/checkout", &visit.events);
     let socket = tree.websockets().next().expect("replay socket");
     let transcript = socket.ws.as_ref().expect("transcript");

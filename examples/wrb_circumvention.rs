@@ -15,13 +15,11 @@
 //! cargo run --example wrb_circumvention
 //! ```
 
-use sockscope::browser::{
-    AdBlockerExtension, Browser, BrowserConfig, BrowserEra, ExtensionHost,
-};
+use sockscope::browser::{AdBlockerExtension, Browser, BrowserConfig, BrowserEra, ExtensionHost};
 use sockscope::filterlist::Engine;
 use sockscope::webmodel::{
-    host::StaticHost, Action, Page, ReceivedItem, ScriptBehavior, ScriptRef, SentItem,
-    WsExchange, WsServerProfile,
+    host::StaticHost, Action, Page, ReceivedItem, ScriptBehavior, ScriptRef, SentItem, WsExchange,
+    WsServerProfile,
 };
 
 fn build_web() -> StaticHost {
@@ -29,7 +27,9 @@ fn build_web() -> StaticHost {
     let mut page = Page::new("http://news.example/", "News");
     // The loader rides the publisher's own domain, so no list rule can
     // touch it without breaking the site.
-    page.scripts = vec![ScriptRef::Remote("http://news.example/assets/engagement.js".into())];
+    page.scripts = vec![ScriptRef::Remote(
+        "http://news.example/assets/engagement.js".into(),
+    )];
     host.add_page(page);
     host.add_script(
         "http://news.example/assets/engagement.js",
@@ -46,7 +46,10 @@ fn build_web() -> StaticHost {
                 }],
             }),
     );
-    host.add_ws_server("ws://shadynet.example/serve-ads", WsServerProfile::accepting());
+    host.add_ws_server(
+        "ws://shadynet.example/serve-ads",
+        WsServerProfile::accepting(),
+    );
     host
 }
 
@@ -76,9 +79,21 @@ fn main() {
 
     println!("page: http://news.example/  (ad network fully covered by the blocker's rules)\n");
     let cases = [
-        ("Chrome <58, blocker installed (WRB live)", BrowserEra::PreChrome58, false),
-        ("Chrome 58+, blocker installed (patched)", BrowserEra::PostChrome58, false),
-        ("Chrome 58+, blocker with http://*-only filters", BrowserEra::PostChrome58, true),
+        (
+            "Chrome <58, blocker installed (WRB live)",
+            BrowserEra::PreChrome58,
+            false,
+        ),
+        (
+            "Chrome 58+, blocker installed (patched)",
+            BrowserEra::PostChrome58,
+            false,
+        ),
+        (
+            "Chrome 58+, blocker with http://*-only filters",
+            BrowserEra::PostChrome58,
+            true,
+        ),
     ];
     for (label, era, legacy) in cases {
         let (sockets, blocked) = visit(&web, era, legacy);

@@ -61,8 +61,12 @@ fn table1_shapes() {
     }
     // The collapse: pre-patch crawls see far more unique A&A initiators
     // than post-patch crawls; receivers barely move.
-    let pre_init = t1.rows[0].unique_aa_initiators.min(t1.rows[1].unique_aa_initiators);
-    let post_init = t1.rows[2].unique_aa_initiators.max(t1.rows[3].unique_aa_initiators);
+    let pre_init = t1.rows[0]
+        .unique_aa_initiators
+        .min(t1.rows[1].unique_aa_initiators);
+    let post_init = t1.rows[2]
+        .unique_aa_initiators
+        .max(t1.rows[3].unique_aa_initiators);
     assert!(
         pre_init as f64 >= 1.5 * post_init as f64,
         "initiator collapse missing: pre {pre_init} vs post {post_init}"
@@ -103,21 +107,37 @@ fn table5_shapes() {
     let http = |label: &str| t5.sent_row(label).unwrap().http_pct;
 
     assert!((ws("User Agent") - 100.0).abs() < 1e-6);
-    assert!((55.0..92.0).contains(&ws("Cookie")), "cookie {}", ws("Cookie"));
+    assert!(
+        (55.0..92.0).contains(&ws("Cookie")),
+        "cookie {}",
+        ws("Cookie")
+    );
     assert!((1.0..12.0).contains(&ws("IP")));
     assert!((0.2..8.0).contains(&ws("DOM")), "dom {}", ws("DOM"));
     assert!((0.05..4.0).contains(&ws("Binary")));
-    assert!((8.0..30.0).contains(&t5.sent.last().unwrap().ws_pct), "no-data sent");
+    assert!(
+        (8.0..30.0).contains(&t5.sent.last().unwrap().ws_pct),
+        "no-data sent"
+    );
 
     // The fingerprint bundle moves together: all seven variables within a
     // factor of 2 of each other and in the 1–9% band.
     let bundle = [
-        "Device", "Screen", "Browser", "Viewport", "Scroll Position", "Orientation", "Resolution",
+        "Device",
+        "Screen",
+        "Browser",
+        "Viewport",
+        "Scroll Position",
+        "Orientation",
+        "Resolution",
     ];
     let values: Vec<f64> = bundle.iter().map(|l| ws(l)).collect();
     let lo = values.iter().cloned().fold(f64::MAX, f64::min);
     let hi = values.iter().cloned().fold(0.0, f64::max);
-    assert!(lo >= 1.0 && hi <= 9.0 && hi <= 2.0 * lo, "bundle {values:?}");
+    assert!(
+        lo >= 1.0 && hi <= 9.0 && hi <= 2.0 * lo,
+        "bundle {values:?}"
+    );
 
     // More PII over WS than HTTP/S, row by row (the paper's headline for
     // Table 5): cookies, IPs, IDs, fingerprints, DOM.
@@ -130,7 +150,11 @@ fn table5_shapes() {
         );
     }
     // HTTP cookie rate ~23%.
-    assert!((15.0..32.0).contains(&http("Cookie")), "http cookie {}", http("Cookie"));
+    assert!(
+        (15.0..32.0).contains(&http("Cookie")),
+        "http cookie {}",
+        http("Cookie")
+    );
 
     // Received side: HTML dominates WS; JavaScript + images dominate HTTP.
     let wsr = |label: &str| t5.received_row(label).unwrap().ws_pct;
@@ -206,7 +230,10 @@ fn cross_origin_and_socket_density() {
 fn figure3_rank_concentration() {
     let fig = &report().figure3;
     let top = fig.top10k_ratio().expect("top-10K bins populated");
-    assert!((2.5..10.0).contains(&top), "top-10K A&A:non-A&A ratio {top}");
+    assert!(
+        (2.5..10.0).contains(&top),
+        "top-10K A&A:non-A&A ratio {top}"
+    );
     let overall = fig.overall_ratio().expect("sockets exist");
     assert!((1.5..4.5).contains(&overall), "overall ratio {overall}");
     assert!(top > overall, "A&A concentration must increase at the top");

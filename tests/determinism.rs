@@ -1,6 +1,8 @@
 //! Reproducibility guarantees: identical seeds produce identical studies,
-//! regardless of thread count; different seeds differ.
+//! regardless of thread count, shard count, or reduction pipeline;
+//! different seeds differ.
 
+use sockscope::analysis::snapshot::StudySnapshot;
 use sockscope::{Study, StudyConfig};
 
 fn run(seed: u64, threads: usize) -> Study {
@@ -46,6 +48,92 @@ fn different_seeds_differ() {
         fingerprint(&b),
         "different seeds should produce different webs"
     );
+}
+
+/// Full-study byte-level fingerprint: the snapshot JSON captures every
+/// reduction field plus `D'`, and the vendored serializer emits maps in
+/// sorted order, so equal strings mean equal studies, bit for bit.
+fn snapshot_json(study: &Study) -> String {
+    StudySnapshot::capture(study).to_json()
+}
+
+#[test]
+fn sharded_study_is_byte_identical_across_thread_counts() {
+    // threads also scales the shard count (shards = threads * 4), so this
+    // exercises 4, 16, and 32 shards.
+    let baseline = snapshot_json(&run(42, 1));
+    for threads in [4, 8] {
+        assert_eq!(
+            baseline,
+            snapshot_json(&run(42, threads)),
+            "sharded study drifted at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn streaming_and_sharded_pipelines_are_byte_identical() {
+    let config = StudyConfig {
+        seed: 42,
+        n_sites: 120,
+        threads: 4,
+        ..StudyConfig::default()
+    };
+    let sharded = snapshot_json(&Study::run(&config));
+    let streaming = snapshot_json(&Study::run_streaming(&config));
+    assert_eq!(sharded, streaming);
+}
+
+#[test]
+fn sharded_crawl_is_invariant_across_shard_counts() {
+    use sockscope::analysis::reduce::CrawlReduction;
+    use sockscope::analysis::PiiLibrary;
+    use sockscope::crawler::{browser_era, crawl_sharded, CrawlConfig};
+    use sockscope::filterlist::Engine;
+    use sockscope::webgen::{SyntheticWeb, WebGenConfig};
+
+    let web = SyntheticWeb::new(WebGenConfig {
+        n_sites: 60,
+        ..WebGenConfig::default()
+    });
+    let (engine, errs) = Engine::parse_many(&[&web.easylist(), &web.easyprivacy()]);
+    assert!(errs.is_empty());
+    let era = web.config().era;
+    let config = CrawlConfig {
+        threads: 4,
+        ..CrawlConfig::default()
+    };
+
+    let reduce = |shards: usize| -> CrawlReduction {
+        let mut reduction = crawl_sharded(
+            &web,
+            &config,
+            shards,
+            &|| sockscope::browser::ExtensionHost::stock(browser_era(era)),
+            &|_shard| {
+                (
+                    CrawlReduction::new(era.label(), era.pre_patch()),
+                    PiiLibrary::new(),
+                )
+            },
+            &|acc: &mut (CrawlReduction, PiiLibrary), record| {
+                acc.0.observe_site(&record, &engine, &acc.1);
+            },
+        )
+        .into_iter()
+        .map(|(reduction, _lib)| reduction)
+        .fold(
+            CrawlReduction::new(era.label(), era.pre_patch()),
+            CrawlReduction::merge,
+        );
+        reduction.normalize();
+        reduction
+    };
+
+    let baseline = reduce(1);
+    for shards in [3, 7, 16, 64] {
+        assert_eq!(baseline, reduce(shards), "drift at {shards} shards");
+    }
 }
 
 #[test]

@@ -3,14 +3,12 @@
 //! analysis, with and without the webRequest Bug.
 
 use sockscope::analysis::PiiLibrary;
-use sockscope::browser::{
-    AdBlockerExtension, Browser, BrowserConfig, BrowserEra, ExtensionHost,
-};
+use sockscope::browser::{AdBlockerExtension, Browser, BrowserConfig, BrowserEra, ExtensionHost};
 use sockscope::filterlist::{AaDomainSet, Engine};
 use sockscope::inclusion::{attribution, InclusionTree, NodeKind};
 use sockscope::webmodel::{
-    host::StaticHost, Action, Page, ReceivedItem, ScriptBehavior, ScriptRef, SentItem,
-    WsExchange, WsServerProfile,
+    host::StaticHost, Action, Page, ReceivedItem, ScriptBehavior, ScriptRef, SentItem, WsExchange,
+    WsServerProfile,
 };
 
 /// A publisher page with a three-hop inclusion chain ending in a tracker
@@ -64,7 +62,11 @@ fn fixture() -> StaticHost {
     host
 }
 
-fn visit_tree(host: &StaticHost, era: BrowserEra, ext: Option<AdBlockerExtension>) -> InclusionTree {
+fn visit_tree(
+    host: &StaticHost,
+    era: BrowserEra,
+    ext: Option<AdBlockerExtension>,
+) -> InclusionTree {
     let mut extensions = ExtensionHost::stock(era);
     if let Some(e) = ext {
         extensions = extensions.install(e);
@@ -155,11 +157,7 @@ fn wrb_is_the_only_gap_for_unlisted_script_chains() {
         let (engine, errs) = Engine::parse(rules);
         assert!(errs.is_empty());
         let tree = visit_tree(&host, era, Some(AdBlockerExtension::new("abp", engine)));
-        assert_eq!(
-            tree.websockets().count(),
-            expected_sockets,
-            "era {era:?}"
-        );
+        assert_eq!(tree.websockets().count(), expected_sockets, "era {era:?}");
     }
 }
 

@@ -3,7 +3,9 @@
 //! monotonicity, and inclusion-tree invariants under random event streams.
 
 use proptest::prelude::*;
-use sockscope::browser::{CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId};
+use sockscope::browser::{
+    CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId,
+};
 use sockscope::inclusion::InclusionTree;
 use sockscope::wsproto::codec::{FrameDecoder, FrameEncoder, MaskingRole};
 use sockscope::wsproto::{base64, sha1, Frame};
@@ -350,5 +352,139 @@ proptest! {
         for item in &items {
             prop_assert!(got.contains(item), "{:?} lost in roundtrip", item);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sharded reduction: merge is a faithful monoid over site partitions
+// ---------------------------------------------------------------------------
+
+/// Shared crawl fixture for the merge properties: records are expensive to
+/// produce and the properties only ever *reduce* them.
+mod shard_fixture {
+    use sockscope::crawler::{crawl, CrawlConfig, SiteRecord};
+    use sockscope::filterlist::Engine;
+    use sockscope::webgen::{SyntheticWeb, WebGenConfig};
+    use std::sync::OnceLock;
+
+    pub const N_SITES: usize = 40;
+
+    pub struct Fixture {
+        pub records: Vec<SiteRecord>,
+        pub engine: Engine,
+        pub label: String,
+        pub pre_patch: bool,
+    }
+
+    pub fn get() -> &'static Fixture {
+        static FIX: OnceLock<Fixture> = OnceLock::new();
+        FIX.get_or_init(|| {
+            let web = SyntheticWeb::new(WebGenConfig {
+                n_sites: N_SITES,
+                ..WebGenConfig::default()
+            });
+            let (engine, errs) = Engine::parse_many(&[&web.easylist(), &web.easyprivacy()]);
+            assert!(errs.is_empty(), "generated lists must parse");
+            let dataset = crawl(
+                &web,
+                &CrawlConfig {
+                    threads: 2,
+                    ..CrawlConfig::default()
+                },
+            );
+            Fixture {
+                label: dataset.label.clone(),
+                pre_patch: dataset.era.pre_patch(),
+                records: dataset.records,
+                engine,
+            }
+        })
+    }
+}
+
+proptest! {
+    /// ANY assignment of sites to shards, reduced shard-locally and folded
+    /// with `merge`, equals the sequential single-reduction baseline on
+    /// every table-feeding field.
+    #[test]
+    fn any_shard_partition_merges_to_the_sequential_reduction(
+        assignment in proptest::collection::vec(0usize..5, shard_fixture::N_SITES..shard_fixture::N_SITES + 1),
+    ) {
+        use sockscope::analysis::reduce::CrawlReduction;
+        use sockscope::analysis::PiiLibrary;
+        let fix = shard_fixture::get();
+        let lib = PiiLibrary::new();
+
+        let mut sequential = CrawlReduction::new(fix.label.as_str(), fix.pre_patch);
+        for record in &fix.records {
+            sequential.observe_site(record, &fix.engine, &lib);
+        }
+        sequential.normalize();
+
+        let mut shards: Vec<CrawlReduction> = (0..5)
+            .map(|_| CrawlReduction::new(fix.label.as_str(), fix.pre_patch))
+            .collect();
+        for (record, &shard) in fix.records.iter().zip(&assignment) {
+            shards[shard].observe_site(record, &fix.engine, &lib);
+        }
+        let mut merged = shards.into_iter().fold(
+            CrawlReduction::new(fix.label.as_str(), fix.pre_patch),
+            CrawlReduction::merge,
+        );
+        merged.normalize();
+
+        // Field by field first, so a regression names the table it breaks.
+        prop_assert_eq!(&merged.label_counts, &sequential.label_counts); // D' labeling
+        prop_assert_eq!(&merged.http, &sequential.http);                 // Table 5 HTTP/S
+        prop_assert_eq!(&merged.sockets, &sequential.sockets);           // Tables 2-5
+        prop_assert_eq!(&merged.sites, &sequential.sites);               // Table 1 / Figure 3
+        prop_assert_eq!(merged, sequential);
+    }
+
+    /// merge is associative: (a ⋅ b) ⋅ c == a ⋅ (b ⋅ c) for any 3-way split.
+    #[test]
+    fn merge_is_associative(
+        assignment in proptest::collection::vec(0usize..3, shard_fixture::N_SITES..shard_fixture::N_SITES + 1),
+    ) {
+        use sockscope::analysis::reduce::CrawlReduction;
+        use sockscope::analysis::PiiLibrary;
+        let fix = shard_fixture::get();
+        let lib = PiiLibrary::new();
+
+        let mut parts: Vec<CrawlReduction> = (0..3)
+            .map(|_| CrawlReduction::new(fix.label.as_str(), fix.pre_patch))
+            .collect();
+        for (record, &shard) in fix.records.iter().zip(&assignment) {
+            parts[shard].observe_site(record, &fix.engine, &lib);
+        }
+        let [a, b, c]: [CrawlReduction; 3] = parts.try_into().expect("three parts");
+
+        let left = a.clone().merge(b.clone()).merge(c.clone());
+        let right = a.merge(b.merge(c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// merge is commutative up to normalize (shard order must not matter
+    /// beyond the canonical sort).
+    #[test]
+    fn merge_is_commutative_after_normalize(
+        assignment in proptest::collection::vec(0usize..2, shard_fixture::N_SITES..shard_fixture::N_SITES + 1),
+    ) {
+        use sockscope::analysis::reduce::CrawlReduction;
+        use sockscope::analysis::PiiLibrary;
+        let fix = shard_fixture::get();
+        let lib = PiiLibrary::new();
+
+        let mut a = CrawlReduction::new(fix.label.as_str(), fix.pre_patch);
+        let mut b = CrawlReduction::new(fix.label.as_str(), fix.pre_patch);
+        for (record, &shard) in fix.records.iter().zip(&assignment) {
+            let target = if shard == 0 { &mut a } else { &mut b };
+            target.observe_site(record, &fix.engine, &lib);
+        }
+        let mut ab = a.clone().merge(b.clone());
+        let mut ba = b.merge(a);
+        ab.normalize();
+        ba.normalize();
+        prop_assert_eq!(ab, ba);
     }
 }

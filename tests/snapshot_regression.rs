@@ -1,0 +1,72 @@
+//! Snapshot round-trip regression: a fixed-seed mini-study serialized to
+//! JSON and reloaded must re-derive every paper artifact identically.
+//!
+//! This is the contract the CLI's `run --save` / `--from` workflow depends
+//! on: anything a table or figure reads must survive
+//! capture → JSON → parse → restore bit-for-bit.
+
+use sockscope::analysis::snapshot::StudySnapshot;
+use sockscope::{Study, StudyConfig, StudyReport};
+use std::sync::OnceLock;
+
+fn reports() -> &'static (StudyReport, StudyReport) {
+    static PAIR: OnceLock<(StudyReport, StudyReport)> = OnceLock::new();
+    PAIR.get_or_init(|| {
+        let study = Study::run(&StudyConfig {
+            seed: 0xD15C,
+            n_sites: 150,
+            threads: 4,
+            ..StudyConfig::default()
+        });
+        let json = StudySnapshot::capture(&study).to_json();
+        let restored = StudySnapshot::from_json(&json)
+            .expect("snapshot parses")
+            .restore()
+            .expect("snapshot restores");
+        (
+            StudyReport::from_study(study),
+            StudyReport::from_study(restored),
+        )
+    })
+}
+
+#[test]
+fn tables_survive_the_json_roundtrip() {
+    let (original, restored) = reports();
+    assert_eq!(original.table1.render(), restored.table1.render());
+    assert_eq!(original.table2.render(), restored.table2.render());
+    assert_eq!(original.table3.render(), restored.table3.render());
+    assert_eq!(original.table4.render(), restored.table4.render());
+    assert_eq!(original.table5.render(), restored.table5.render());
+}
+
+#[test]
+fn figures_and_prose_survive_the_json_roundtrip() {
+    let (original, restored) = reports();
+    assert_eq!(original.figure3.render(), restored.figure3.render());
+    assert_eq!(original.textstats.render(), restored.textstats.render());
+    assert_eq!(original.categories.render(), restored.categories.render());
+    assert_eq!(original.churn.render(40), restored.churn.render(40));
+}
+
+#[test]
+fn full_report_survives_the_json_roundtrip() {
+    let (original, restored) = reports();
+    assert_eq!(original.render(), restored.render());
+}
+
+#[test]
+fn recapturing_a_restored_study_is_a_fixed_point() {
+    let study = Study::run(&StudyConfig {
+        seed: 0xD15C,
+        n_sites: 80,
+        threads: 2,
+        ..StudyConfig::default()
+    });
+    let json = StudySnapshot::capture(&study).to_json();
+    let restored = StudySnapshot::from_json(&json)
+        .expect("snapshot parses")
+        .restore()
+        .expect("snapshot restores");
+    assert_eq!(json, StudySnapshot::capture(&restored).to_json());
+}

@@ -52,13 +52,34 @@ fn tiny_study() -> Study {
     // Pre-patch: bigads initiates to collector twice and to itself once;
     // a publisher opens a chat socket.
     pre.sockets = vec![
-        socket("tag.bigads.example", "ws.collector.example", "pub-a.example", 1000,
-               &[SentItem::Cookie, SentItem::UserAgent]),
-        socket("tag.bigads.example", "ws.collector.example", "pub-b.example", 1001,
-               &[SentItem::Cookie]),
-        socket("tag.bigads.example", "ws.bigads.example", "pub-a.example", 1000,
-               &[SentItem::Cookie]),
-        socket("pub-a.example", "chat.helper.example", "pub-a.example", 1000, &[]),
+        socket(
+            "tag.bigads.example",
+            "ws.collector.example",
+            "pub-a.example",
+            1000,
+            &[SentItem::Cookie, SentItem::UserAgent],
+        ),
+        socket(
+            "tag.bigads.example",
+            "ws.collector.example",
+            "pub-b.example",
+            1001,
+            &[SentItem::Cookie],
+        ),
+        socket(
+            "tag.bigads.example",
+            "ws.bigads.example",
+            "pub-a.example",
+            1000,
+            &[SentItem::Cookie],
+        ),
+        socket(
+            "pub-a.example",
+            "chat.helper.example",
+            "pub-a.example",
+            1000,
+            &[],
+        ),
     ];
     // Post-patch: bigads is gone; chat remains.
     post.sockets = vec![socket(
@@ -89,7 +110,7 @@ fn table1_counts_unique_parties() {
     // 3 of 4 pre sockets are A&A-initiated (the chat one is not).
     assert!((pre.pct_sockets_aa_initiated - 75.0).abs() < 1e-9);
     assert_eq!(pre.unique_aa_initiators, 1); // bigads only
-    // All 4 have A&A receivers (collector, bigads, helper are all in D').
+                                             // All 4 have A&A receivers (collector, bigads, helper are all in D').
     assert!((pre.pct_sockets_aa_received - 100.0).abs() < 1e-9);
     assert_eq!(pre.unique_aa_receivers, 3);
     let post = &t1.rows[1];
@@ -107,7 +128,11 @@ fn table2_sorts_by_unique_receivers() {
     assert_eq!(t2.rows[0].sockets, 3);
     assert!(t2.rows[0].is_aa);
     // The publisher initiated to one receiver across both crawls.
-    let publisher = t2.rows.iter().find(|r| r.initiator == "pub-a.example").unwrap();
+    let publisher = t2
+        .rows
+        .iter()
+        .find(|r| r.initiator == "pub-a.example")
+        .unwrap();
     assert_eq!(publisher.receivers_total, 1);
     assert_eq!(publisher.sockets, 2);
     assert!(!publisher.is_aa);
@@ -119,11 +144,19 @@ fn table3_only_aa_receivers() {
     let t3 = Table3::compute(&study, 10);
     // collector: 1 initiator; helper: 1 initiator; bigads(self): 1.
     assert_eq!(t3.rows.len(), 3);
-    let collector = t3.rows.iter().find(|r| r.receiver == "collector.example").unwrap();
+    let collector = t3
+        .rows
+        .iter()
+        .find(|r| r.receiver == "collector.example")
+        .unwrap();
     assert_eq!(collector.initiators_total, 1);
     assert_eq!(collector.initiators_aa, 1);
     assert_eq!(collector.sockets, 2);
-    let helper = t3.rows.iter().find(|r| r.receiver == "helper.example").unwrap();
+    let helper = t3
+        .rows
+        .iter()
+        .find(|r| r.receiver == "helper.example")
+        .unwrap();
     assert_eq!(helper.initiators_aa, 0); // contacted only by the publisher
     assert_eq!(helper.sockets, 2);
 }
@@ -139,10 +172,9 @@ fn table4_separates_self_pairs() {
         ("bigads.example", "collector.example", 2)
     );
     // The publisher→helper pair counts because helper is A&A.
-    assert!(t4
-        .rows
-        .iter()
-        .any(|r| r.initiator == "pub-a.example" && r.receiver == "helper.example" && r.sockets == 2));
+    assert!(t4.rows.iter().any(|r| r.initiator == "pub-a.example"
+        && r.receiver == "helper.example"
+        && r.sockets == 2));
 }
 
 #[test]
