@@ -18,8 +18,8 @@
 //! lock is needed while classifying.
 
 use crate::pii::{PiiLibrary, ReceivedClass};
-use serde::{Deserialize, Serialize};
-use sockscope_crawler::SiteRecord;
+use serde::{de, Deserialize, Serialize, Value};
+use sockscope_crawler::{SiteFaults, SiteRecord};
 use sockscope_filterlist::{Engine, RequestContext, ResourceType};
 use sockscope_inclusion::{InclusionTree, NodeKind};
 use sockscope_urlkit::Url;
@@ -96,8 +96,73 @@ pub struct SiteFlags {
     pub sockets: usize,
 }
 
+/// Crawl-wide failure accounting under fault injection: how many sites
+/// were attempted, degraded, or abandoned, how often pages were retried,
+/// and the taxonomy of injected errors. Forms a commutative monoid under
+/// [`FailureTable::absorb`] (pointwise counter sums), exactly like the
+/// rest of [`CrawlReduction`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureTable {
+    /// Sites the crawler attempted.
+    pub sites_attempted: u64,
+    /// Sites that completed with failed or timed-out pages.
+    pub sites_degraded: u64,
+    /// Sites whose homepage never loaded (no trees at all).
+    pub sites_abandoned: u64,
+    /// Page visits attempted, counting every retry separately.
+    pub pages_attempted: u64,
+    /// Pages given up on after exhausting the retry budget.
+    pub pages_failed: u64,
+    /// Pages skipped because a site's virtual-clock budget ran out.
+    pub pages_timed_out: u64,
+    /// Re-visits performed after unreachable pages.
+    pub retries: u64,
+    /// Injected-error-kind histogram across all sites.
+    pub errors: BTreeMap<String, u64>,
+    /// Virtual ticks consumed (stalls plus backoff) across all sites.
+    pub ticks: u64,
+}
+
+impl FailureTable {
+    /// Folds one site's accounting into the table.
+    pub fn observe(&mut self, site: &SiteFaults) {
+        self.sites_attempted += 1;
+        self.sites_degraded += u64::from(site.degraded);
+        self.sites_abandoned += u64::from(site.abandoned);
+        self.pages_attempted += site.pages_attempted;
+        self.pages_failed += site.pages_failed;
+        self.pages_timed_out += site.pages_timed_out;
+        self.retries += site.retries;
+        for (kind, n) in &site.errors {
+            *self.errors.entry(kind.clone()).or_insert(0) += n;
+        }
+        self.ticks += site.ticks;
+    }
+
+    /// Adds another table's counters into this one (the monoid operation;
+    /// `FailureTable::default()` is the identity).
+    pub fn absorb(&mut self, other: &FailureTable) {
+        self.sites_attempted += other.sites_attempted;
+        self.sites_degraded += other.sites_degraded;
+        self.sites_abandoned += other.sites_abandoned;
+        self.pages_attempted += other.pages_attempted;
+        self.pages_failed += other.pages_failed;
+        self.pages_timed_out += other.pages_timed_out;
+        self.retries += other.retries;
+        for (kind, n) in &other.errors {
+            *self.errors.entry(kind.clone()).or_insert(0) += n;
+        }
+        self.ticks += other.ticks;
+    }
+
+    /// Total injected errors across every kind.
+    pub fn total_errors(&self) -> u64 {
+        self.errors.values().sum()
+    }
+}
+
 /// The streaming reducer for one crawl.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrawlReduction {
     /// Crawl label (Table 1 row).
     pub label: String,
@@ -113,6 +178,50 @@ pub struct CrawlReduction {
     pub http: BTreeMap<String, HttpAgg>,
     /// Per-site flags.
     pub sites: Vec<SiteFlags>,
+    /// Failure accounting; `None` on fault-free crawls, so their snapshot
+    /// JSON is byte-identical to the pre-fault format (and old snapshots
+    /// still load).
+    pub failures: Option<FailureTable>,
+}
+
+// Hand-written serde: the `failures` field is *omitted* when `None`, so
+// fault-free reductions serialize to exactly the pre-fault-injection JSON
+// (the snapshot-regression fingerprint depends on this), and snapshots
+// written before the field existed still deserialize.
+impl Serialize for CrawlReduction {
+    fn to_value(&self) -> Value {
+        let mut obj = vec![
+            ("label".to_string(), self.label.to_value()),
+            ("pre_patch".to_string(), self.pre_patch.to_value()),
+            ("label_counts".to_string(), self.label_counts.to_value()),
+            ("sockets".to_string(), self.sockets.to_value()),
+            ("http".to_string(), self.http.to_value()),
+            ("sites".to_string(), self.sites.to_value()),
+        ];
+        if let Some(failures) = &self.failures {
+            obj.push(("failures".to_string(), failures.to_value()));
+        }
+        Value::Obj(obj)
+    }
+}
+
+impl Deserialize for CrawlReduction {
+    fn from_value(v: &Value) -> Result<CrawlReduction, de::Error> {
+        const CTX: &str = "CrawlReduction";
+        let obj = de::expect_obj(v, CTX)?;
+        Ok(CrawlReduction {
+            label: de::field(obj, "label", CTX)?,
+            pre_patch: de::field(obj, "pre_patch", CTX)?,
+            label_counts: de::field(obj, "label_counts", CTX)?,
+            sockets: de::field(obj, "sockets", CTX)?,
+            http: de::field(obj, "http", CTX)?,
+            sites: de::field(obj, "sites", CTX)?,
+            failures: match obj.iter().find(|(k, _)| k == "failures") {
+                Some((_, v)) => Option::<FailureTable>::from_value(v)?,
+                None => None,
+            },
+        })
+    }
 }
 
 impl CrawlReduction {
@@ -125,6 +234,7 @@ impl CrawlReduction {
             sockets: Vec::new(),
             http: BTreeMap::new(),
             sites: Vec::new(),
+            failures: None,
         }
     }
 
@@ -141,6 +251,11 @@ impl CrawlReduction {
             pages: record.trees.len(),
             sockets: site_sockets,
         });
+        if let Some(site_faults) = &record.faults {
+            self.failures
+                .get_or_insert_with(FailureTable::default)
+                .observe(site_faults);
+        }
     }
 
     fn observe_tree(
@@ -240,6 +355,16 @@ impl CrawlReduction {
                     }
                 }
                 NodeKind::WebSocket => {
+                    let ws = node.ws.as_ref().expect("socket node has transcript");
+                    // Sockets cut down by injected faults (refused
+                    // connections, failed handshakes, dropped or stalled
+                    // streams) never yielded a complete recording; they are
+                    // accounted in the failure table, not classified. On
+                    // fault-free crawls every socket is clean (status 101,
+                    // no error), so this gate changes nothing.
+                    if ws.status != 101 || ws.error.is_some() {
+                        continue;
+                    }
                     sockets += 1;
                     let chain = tree.chain(node.id);
                     let chain_hosts: Vec<String> = chain
@@ -258,7 +383,6 @@ impl CrawlReduction {
                         (Some(p), Ok(u)) => sockscope_urlkit::origin::is_third_party(p, &u),
                         _ => true,
                     };
-                    let ws = node.ws.as_ref().expect("socket node has transcript");
                     // Classify: handshake + every sent frame.
                     let mut sent_items = lib.classify_sent_text(&ws.handshake_request);
                     let mut payload_frames = 0usize;
@@ -323,7 +447,10 @@ impl CrawlReduction {
     /// * `label_counts` — pointwise sum of the (tagged, untagged) pairs;
     /// * `sockets` — concatenation;
     /// * `http` — per-domain [`HttpAgg::absorb`] (counter sums);
-    /// * `sites` — concatenation.
+    /// * `sites` — concatenation;
+    /// * `failures` — pointwise [`FailureTable::absorb`]; `None` (the
+    ///   fault-free case) is the identity, so merging preserves "no
+    ///   faults" exactly.
     ///
     /// `CrawlReduction::new(label, pre_patch)` is the identity element.
     /// The operation is associative, and commutative up to the order of
@@ -349,6 +476,13 @@ impl CrawlReduction {
             }
         }
         self.sites.extend(other.sites);
+        self.failures = match (self.failures.take(), other.failures) {
+            (Some(mut a), Some(b)) => {
+                a.absorb(&b);
+                Some(a)
+            }
+            (a, b) => a.or(b),
+        };
         self
     }
 
@@ -418,6 +552,11 @@ mod tests {
                 request_id: RequestId(2),
                 request: b"GET /socket HTTP/1.1\r\nHost: ws.zopim.com\r\nUser-Agent: Mozilla/5.0 Chrome/57\r\n\r\n".to_vec(),
             },
+            WebSocketHandshakeResponseReceived {
+                request_id: RequestId(2),
+                status: 101,
+                response: b"HTTP/1.1 101 Switching Protocols\r\n\r\n".to_vec(),
+            },
             WebSocketFrameSent {
                 request_id: RequestId(2),
                 payload: FramePayload::Text("cookie=uid=77; _ga=GA1.2.3&scroll_y=120".into()),
@@ -436,6 +575,22 @@ mod tests {
             domain: "business-site-000001.example".into(),
             rank: 777,
             trees: vec![tree],
+            faults: None,
+        }
+    }
+
+    fn site_faults(retries: u64, failed: u64) -> SiteFaults {
+        SiteFaults {
+            pages_attempted: 3 + retries,
+            pages_failed: failed,
+            pages_timed_out: 0,
+            retries,
+            abandoned: false,
+            degraded: failed > 0,
+            errors: [("connect_refused".to_string(), retries + failed)]
+                .into_iter()
+                .collect(),
+            ticks: 8 * retries,
         }
     }
 
@@ -523,6 +678,88 @@ mod tests {
         let right = observed.clone().merge(CrawlReduction::new("test", true));
         assert_eq!(left, observed);
         assert_eq!(right, observed);
+    }
+
+    #[test]
+    fn failure_table_accounts_and_merges() {
+        let engine = engine();
+        let lib = PiiLibrary::new();
+        let faulted = SiteRecord {
+            faults: Some(site_faults(2, 1)),
+            ..record_with_socket()
+        };
+
+        let mut red = CrawlReduction::new("test", true);
+        red.observe_site(&faulted, &engine, &lib);
+        red.observe_site(&record_with_socket(), &engine, &lib);
+        let table = red.failures.as_ref().expect("faults observed");
+        // Only the faulted record contributes: the fault-free one carries
+        // no accounting at all.
+        assert_eq!(table.sites_attempted, 1);
+        assert_eq!(table.sites_degraded, 1);
+        assert_eq!(table.retries, 2);
+        assert_eq!(table.pages_failed, 1);
+        assert_eq!(table.errors.get("connect_refused"), Some(&3));
+
+        // Merge: None is the identity, Some+Some sums pointwise.
+        let merged = CrawlReduction::new("test", true).merge(red.clone());
+        assert_eq!(merged.failures, red.failures);
+        let mut other = CrawlReduction::new("test", true);
+        other.observe_site(&faulted, &engine, &lib);
+        let doubled = red.clone().merge(other);
+        let t = doubled.failures.as_ref().unwrap();
+        assert_eq!(t.sites_attempted, 2);
+        assert_eq!(t.retries, 4);
+        assert_eq!(t.errors.get("connect_refused"), Some(&6));
+    }
+
+    #[test]
+    fn failure_table_merge_is_associative() {
+        let engine = engine();
+        let lib = PiiLibrary::new();
+        let make = |retries: u64, failed: u64| {
+            let mut red = CrawlReduction::new("test", true);
+            red.observe_site(
+                &SiteRecord {
+                    faults: Some(site_faults(retries, failed)),
+                    ..record_with_socket()
+                },
+                &engine,
+                &lib,
+            );
+            red
+        };
+        let (a, b, c) = (make(1, 0), make(2, 1), make(5, 3));
+        let mut left = a.clone().merge(b.clone()).merge(c.clone());
+        let mut right = a.merge(b.merge(c));
+        left.normalize();
+        right.normalize();
+        assert_eq!(left.failures, right.failures);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn fault_free_reduction_serializes_without_failures_field() {
+        let mut red = CrawlReduction::new("test", true);
+        red.observe_site(&record_with_socket(), &engine(), &PiiLibrary::new());
+        let v = red.to_value();
+        assert!(
+            v.get("failures").is_none(),
+            "fault-free JSON must not grow a failures field"
+        );
+        // And a pre-fault-format value (no `failures` key) still loads.
+        let back = CrawlReduction::from_value(&v).unwrap();
+        assert_eq!(back, red);
+
+        let faulted = SiteRecord {
+            faults: Some(site_faults(1, 0)),
+            ..record_with_socket()
+        };
+        let mut red = CrawlReduction::new("test", true);
+        red.observe_site(&faulted, &engine(), &PiiLibrary::new());
+        let v = red.to_value();
+        assert!(v.get("failures").is_some());
+        assert_eq!(CrawlReduction::from_value(&v).unwrap(), red);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use crate::pii::PiiLibrary;
 use crate::reduce::{CrawlReduction, SocketObservation};
 use sockscope_crawler::CrawlConfig;
+use sockscope_faults::FaultProfile;
 use sockscope_filterlist::{AaDomainSet, Engine, Labeler};
 use sockscope_webgen::{CrawlEra, SyntheticWeb, WebGenConfig};
 use std::sync::Mutex;
@@ -36,6 +37,10 @@ pub struct StudyConfig {
     pub threads: usize,
     /// Links per site beyond the homepage.
     pub max_links: usize,
+    /// Fault profile for the crawl; `None` (or an all-zero profile) runs
+    /// the perfectly reliable network and produces snapshots byte-identical
+    /// to the pre-fault-injection pipeline.
+    pub faults: Option<FaultProfile>,
 }
 
 impl Default for StudyConfig {
@@ -47,6 +52,7 @@ impl Default for StudyConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             max_links: 15,
+            faults: None,
         }
     }
 }
@@ -131,6 +137,7 @@ impl Study {
             seed: config.seed ^ 0xC4A31,
             max_links: config.max_links,
             threads: config.threads,
+            faults: config.faults.clone(),
         };
 
         let mut reductions = Vec::new();

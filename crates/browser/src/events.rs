@@ -191,10 +191,30 @@ pub enum CdpEvent {
         /// Payload.
         payload: FramePayload,
     },
+    /// `Network.webSocketFrameError`: the socket failed — connect refused,
+    /// handshake rejected, or a frame-level error tore the session down.
+    WebSocketFrameError {
+        /// Request id.
+        request_id: RequestId,
+        /// Chrome-style error text (`net::ERR_CONNECTION_REFUSED`, …).
+        error_text: String,
+    },
     /// `Network.webSocketClosed`.
     WebSocketClosed {
         /// Request id.
         request_id: RequestId,
+    },
+    /// `Network.loadingFailed`: an HTTP fetch died on the wire (the fault
+    /// injector's analogue of an unreachable tracker endpoint).
+    LoadingFailed {
+        /// Request id of the failed fetch.
+        request_id: RequestId,
+        /// URL of the failed fetch.
+        url: String,
+        /// Resource type.
+        resource_type: ResourceKind,
+        /// Chrome-style error text.
+        error_text: String,
     },
     /// Not a CDP event: emitted when the extension host cancels a request,
     /// so experiments can observe what blocking *did* (the real study infers
@@ -220,7 +240,9 @@ impl CdpEvent {
             | CdpEvent::WebSocketHandshakeResponseReceived { request_id, .. }
             | CdpEvent::WebSocketFrameSent { request_id, .. }
             | CdpEvent::WebSocketFrameReceived { request_id, .. }
-            | CdpEvent::WebSocketClosed { request_id } => Some(*request_id),
+            | CdpEvent::WebSocketFrameError { request_id, .. }
+            | CdpEvent::WebSocketClosed { request_id }
+            | CdpEvent::LoadingFailed { request_id, .. } => Some(*request_id),
             _ => None,
         }
     }

@@ -37,7 +37,7 @@ pub mod events;
 pub mod network;
 pub mod webrequest;
 
-pub use browser::{Browser, BrowserConfig, Visit};
+pub use browser::{Browser, BrowserConfig, FaultLog, Visit, VisitError};
 pub use events::{CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId};
 pub use webrequest::{
     AdBlockerExtension, BrowserEra, ExtDecision, Extension, ExtensionHost, RequestDetails,

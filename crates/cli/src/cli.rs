@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use sockscope::faults::FaultProfile;
 use sockscope::report::StudyReport;
 use sockscope::{Study, StudyConfig};
 use sockscope_analysis::snapshot::StudySnapshot;
@@ -78,6 +79,7 @@ sockscope — reproduction of 'How Tracking Companies Circumvented Ad Blockers U
 
 USAGE:
   sockscope run       [--sites N] [--seed HEX] [--threads N] [--save FILE] [--streaming]
+                      [--faults PROFILE]
   sockscope report    [--from FILE | --sites N ...]
   sockscope table     <1|2|3|4|5> [--csv] [--from FILE | --sites N ...]
   sockscope figure3   [--csv] [--from FILE | --sites N ...]
@@ -96,6 +98,9 @@ OPTIONS:
   --from FILE     analyze a saved snapshot instead of re-crawling
   --streaming     run the locked streaming reference pipeline instead of
                   the default sharded lock-free one (identical output)
+  --faults PROF   inject seeded deterministic network faults during the
+                  crawl: none | mild | heavy (default none); failure
+                  accounting lands in the report and snapshot
 ";
 
 /// Argument-parsing errors.
@@ -151,6 +156,13 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
                 config.threads = value()?
                     .parse()
                     .map_err(|_| ParseError("--threads expects an integer".into()))?;
+            }
+            "--faults" => {
+                let v = value()?;
+                let profile = FaultProfile::named(v).ok_or_else(|| {
+                    ParseError(format!("--faults expects none|mild|heavy, got {v}"))
+                })?;
+                config.faults = Some(profile);
             }
             "--save" => save = Some(value()?.clone()),
             "--from" => from = Some(value()?.clone()),
@@ -448,6 +460,26 @@ mod tests {
         );
         assert!(parse(&args(&["table", "9"])).is_err());
         assert!(parse(&args(&["table"])).is_err());
+    }
+
+    #[test]
+    fn parses_fault_profiles() {
+        let cmd = parse(&args(&["run", "--sites", "40", "--faults", "heavy"])).unwrap();
+        match cmd {
+            Command::Run { config, .. } => {
+                assert_eq!(config.faults, Some(FaultProfile::heavy()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&args(&["report", "--faults", "none"])).unwrap();
+        match cmd {
+            Command::Report(Source::Fresh(config)) => {
+                assert_eq!(config.faults, Some(FaultProfile::none()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&args(&["run", "--faults", "catastrophic"])).is_err());
+        assert!(parse(&args(&["run", "--faults"])).is_err());
     }
 
     #[test]

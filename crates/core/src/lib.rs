@@ -13,6 +13,7 @@
 //! | layer | crate |
 //! |---|---|
 //! | RFC 6455 WebSocket implementation (sans-IO) | `sockscope-wsproto` |
+//! | seeded fault injection + virtual clock | `sockscope-faults` |
 //! | URL / public-suffix / origin algebra | `sockscope-urlkit` |
 //! | Adblock-Plus filter engine + A&A labeler | `sockscope-filterlist` |
 //! | regex engine for payload classification | `sockscope-redlite` |
@@ -54,6 +55,7 @@ pub use timeline::{wrb_timeline, TimelineEvent};
 pub use sockscope_analysis as analysis;
 pub use sockscope_browser as browser;
 pub use sockscope_crawler as crawler;
+pub use sockscope_faults as faults;
 pub use sockscope_filterlist as filterlist;
 pub use sockscope_inclusion as inclusion;
 pub use sockscope_redlite as redlite;

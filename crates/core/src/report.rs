@@ -73,6 +73,55 @@ impl StudyReport {
         }
     }
 
+    /// Renders the fault-injection failure accounting — one row per crawl
+    /// plus a pooled error taxonomy. `None` when the study ran fault-free
+    /// (the fault-free report is unchanged by the fault subsystem).
+    pub fn render_failures(&self) -> Option<String> {
+        use std::fmt::Write as _;
+        if self.study.reductions.iter().all(|r| r.failures.is_none()) {
+            return None;
+        }
+        let mut out = String::from("Failure accounting (seeded fault injection)\n");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>8} {:>9} {:>9} {:>7} {:>9} {:>7} {:>9}",
+            "crawl",
+            "sites",
+            "degraded",
+            "abandoned",
+            "attempts",
+            "failed",
+            "timed-out",
+            "retries",
+            "ticks"
+        );
+        let mut errors: std::collections::BTreeMap<&str, u64> = Default::default();
+        for red in &self.study.reductions {
+            let Some(f) = &red.failures else { continue };
+            let _ = writeln!(
+                out,
+                "{:<16} {:>6} {:>8} {:>9} {:>9} {:>7} {:>9} {:>7} {:>9}",
+                red.label,
+                f.sites_attempted,
+                f.sites_degraded,
+                f.sites_abandoned,
+                f.pages_attempted,
+                f.pages_failed,
+                f.pages_timed_out,
+                f.retries,
+                f.ticks
+            );
+            for (kind, n) in &f.errors {
+                *errors.entry(kind.as_str()).or_insert(0) += n;
+            }
+        }
+        out.push_str("error taxonomy (all crawls):\n");
+        for (kind, n) in errors {
+            let _ = writeln!(out, "  {kind:<22} {n:>8}");
+        }
+        Some(out)
+    }
+
     /// Renders the full report (all tables + figure + stats + timeline).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -95,6 +144,10 @@ impl StudyReport {
         out.push_str(&self.categories.render());
         out.push('\n');
         out.push_str(&self.churn.render(30));
+        if let Some(failures) = self.render_failures() {
+            out.push('\n');
+            out.push_str(&failures);
+        }
         out
     }
 }
@@ -116,5 +169,23 @@ mod tests {
         assert!(text.contains("Table 5"));
         assert!(text.contains("Figure 3"));
         assert!(text.contains("129353"));
+        assert!(
+            report.render_failures().is_none(),
+            "fault-free report must carry no failure table"
+        );
+    }
+
+    #[test]
+    fn faulted_report_carries_the_failure_table() {
+        let report = StudyReport::run(&StudyConfig {
+            n_sites: 120,
+            threads: 4,
+            faults: Some(sockscope_faults::FaultProfile::heavy()),
+            ..StudyConfig::default()
+        });
+        let failures = report.render_failures().expect("failure table present");
+        assert!(failures.contains("Failure accounting"));
+        assert!(failures.contains("error taxonomy"));
+        assert!(report.render().contains("Failure accounting"));
     }
 }

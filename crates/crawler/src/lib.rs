@@ -32,10 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use sockscope_browser::{Browser, BrowserConfig, BrowserEra, ExtensionHost};
+use sockscope_browser::{Browser, BrowserConfig, BrowserEra, ExtensionHost, VisitError};
+use sockscope_faults::{FaultContext, FaultProfile, VirtualClock};
 use sockscope_inclusion::InclusionTree;
 use sockscope_webgen::{CrawlEra, SyntheticWeb};
 
@@ -48,6 +50,11 @@ pub struct CrawlConfig {
     pub max_links: usize,
     /// Worker threads.
     pub threads: usize,
+    /// Fault profile override. `None` defers to the universe's
+    /// [`WebGenConfig::faults`](sockscope_webgen::WebGenConfig); a profile
+    /// whose rates are all zero is treated as no injection at all, so the
+    /// crawl output is byte-identical to the fault-free pipeline.
+    pub faults: Option<FaultProfile>,
 }
 
 impl Default for CrawlConfig {
@@ -58,8 +65,20 @@ impl Default for CrawlConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            faults: None,
         }
     }
+}
+
+/// Resolves the fault profile a crawl actually runs under: the crawler's
+/// override wins, then the universe's advertised profile; all-zero
+/// profiles collapse to `None` so they cannot perturb accounting.
+pub fn effective_faults(web: &SyntheticWeb, config: &CrawlConfig) -> Option<FaultProfile> {
+    config
+        .faults
+        .clone()
+        .or_else(|| web.config().faults.clone())
+        .filter(|p| !p.is_zero())
 }
 
 /// Everything observed while crawling one site.
@@ -73,6 +92,32 @@ pub struct SiteRecord {
     pub rank: u32,
     /// One inclusion tree per visited page.
     pub trees: Vec<InclusionTree>,
+    /// Failure accounting when the crawl ran under fault injection;
+    /// `None` on the fault-free path.
+    pub faults: Option<SiteFaults>,
+}
+
+/// Failure accounting for one site crawled under fault injection. All
+/// counters are exact and deterministic for a given fault seed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiteFaults {
+    /// Page visits attempted, counting every retry separately.
+    pub pages_attempted: u64,
+    /// Pages given up on after exhausting the retry budget.
+    pub pages_failed: u64,
+    /// Pages skipped because the site's virtual-clock budget ran out.
+    pub pages_timed_out: u64,
+    /// Re-visits performed after an unreachable page.
+    pub retries: u64,
+    /// The homepage never loaded — the record carries no trees.
+    pub abandoned: bool,
+    /// The site completed, but with failed or timed-out pages.
+    pub degraded: bool,
+    /// Histogram of injected error kinds observed across the site's
+    /// visits (connection, handshake, frame, fetch, and page failures).
+    pub errors: BTreeMap<String, u64>,
+    /// Virtual ticks consumed crawling the site (stalls plus backoff).
+    pub ticks: u64,
 }
 
 impl SiteRecord {
@@ -190,6 +235,118 @@ pub fn crawl_site(
     trees
 }
 
+/// Fault-injecting variant of [`crawl_site`]. Link sampling is identical;
+/// on top of it, every page visit draws from the seeded fault plan:
+/// unreachable pages are retried up to `profile.max_retries` times with
+/// exponential virtual-clock backoff, and the site is cut short (a
+/// degraded, partial record — never a panic) once the virtual clock
+/// exceeds `profile.page_budget`.
+#[allow(clippy::too_many_arguments)]
+pub fn crawl_site_with_faults(
+    browser: &Browser<'_>,
+    homepage: &str,
+    site_domain: &str,
+    max_links: usize,
+    seed: u64,
+    profile: &FaultProfile,
+    fault_seed: u64,
+    site_rank: u64,
+) -> (Vec<InclusionTree>, SiteFaults) {
+    let mut trees = Vec::new();
+    let mut visited: Vec<String> = Vec::new();
+    let mut frontier: Vec<String> = Vec::new();
+    let mut rng = LinkRng::new(seed);
+    let mut clock = VirtualClock::new();
+    let mut faults = SiteFaults::default();
+
+    // Returns true when the page loaded (possibly after retries).
+    let visit = |url: &str,
+                 trees: &mut Vec<InclusionTree>,
+                 frontier: &mut Vec<String>,
+                 visited: &mut Vec<String>,
+                 clock: &mut VirtualClock,
+                 faults: &mut SiteFaults| {
+        for attempt in 0..=profile.max_retries {
+            faults.pages_attempted += 1;
+            let ctx = FaultContext {
+                profile: profile.clone(),
+                seed: fault_seed,
+                site_rank,
+                attempt,
+            };
+            match browser.visit_with_faults(url, Some(&ctx)) {
+                Ok(v) => {
+                    clock.advance(v.faults.ticks);
+                    for (_, kind) in &v.faults.faults {
+                        *faults.errors.entry((*kind).to_string()).or_insert(0) += 1;
+                    }
+                    visited.push(url.to_string());
+                    for link in &v.links {
+                        let same_site = sockscope_urlkit::Url::parse(link)
+                            .ok()
+                            .and_then(|u| u.second_level_domain().map(|d| d == site_domain))
+                            .unwrap_or(false);
+                        if same_site && !visited.contains(link) && !frontier.contains(link) {
+                            frontier.push(link.clone());
+                        }
+                    }
+                    trees.push(InclusionTree::build(url, &v.events));
+                    return true;
+                }
+                Err(VisitError::Unreachable(_)) => {
+                    *faults
+                        .errors
+                        .entry("page_unreachable".to_string())
+                        .or_insert(0) += 1;
+                    if attempt < profile.max_retries {
+                        faults.retries += 1;
+                        clock.advance(profile.backoff_base << attempt.min(16));
+                    }
+                }
+                // Unknown page: skip it exactly like the fault-free crawl.
+                Err(_) => return false,
+            }
+        }
+        faults.pages_failed += 1;
+        false
+    };
+
+    let homepage_ok = visit(
+        homepage,
+        &mut trees,
+        &mut frontier,
+        &mut visited,
+        &mut clock,
+        &mut faults,
+    );
+    if !homepage_ok {
+        faults.abandoned = true;
+    } else {
+        while trees.len() < max_links + 1 && !frontier.is_empty() {
+            let pick = rng.below(frontier.len());
+            let url = frontier.swap_remove(pick);
+            if visited.contains(&url) {
+                continue;
+            }
+            if clock.now() >= profile.page_budget {
+                faults.pages_timed_out += 1;
+                break;
+            }
+            visit(
+                &url,
+                &mut trees,
+                &mut frontier,
+                &mut visited,
+                &mut clock,
+                &mut faults,
+            );
+        }
+    }
+    faults.degraded = !faults.abandoned && (faults.pages_failed > 0 || faults.pages_timed_out > 0);
+    faults.ticks = clock.now();
+    (trees, faults)
+}
+
 /// Crawls the whole synthetic web with a stock browser (no extensions) —
 /// the paper's measurement configuration. The browser era tracks the crawl
 /// era (pre-patch crawls ran Chrome ≤57).
@@ -263,21 +420,42 @@ fn crawl_one_site(
     i: usize,
 ) -> SiteRecord {
     let site = &web.sites()[i];
-    let trees = crawl_site(
-        browser,
-        &site.homepage(),
-        &site.domain,
-        config.max_links,
-        mix(
-            config.seed,
-            (site.id as u64) << 2 | web.config().era.index(),
-        ),
+    let link_seed = mix(
+        config.seed,
+        (site.id as u64) << 2 | web.config().era.index(),
     );
+    let (trees, faults) = match effective_faults(web, config) {
+        None => (
+            crawl_site(
+                browser,
+                &site.homepage(),
+                &site.domain,
+                config.max_links,
+                link_seed,
+            ),
+            None,
+        ),
+        Some(profile) => {
+            let (trees, site_faults) = crawl_site_with_faults(
+                browser,
+                &site.homepage(),
+                &site.domain,
+                config.max_links,
+                link_seed,
+                &profile,
+                // Each era draws its own fault stream over the shared seed.
+                mix(config.seed, web.config().era.index()),
+                site.rank as u64,
+            );
+            (trees, Some(site_faults))
+        }
+    };
     SiteRecord {
         site_id: site.id,
         domain: site.domain.clone(),
         rank: site.rank,
         trees,
+        faults,
     }
 }
 
@@ -516,6 +694,95 @@ mod tests {
             }
         }
         assert_eq!(seen, 37, "every site crawled exactly once");
+    }
+
+    #[test]
+    fn zero_rate_profile_is_identical_to_no_profile() {
+        let web = web(20);
+        let plain = crawl(&web, &cfg());
+        let zeroed = crawl(
+            &web,
+            &CrawlConfig {
+                faults: Some(FaultProfile::none()),
+                ..cfg()
+            },
+        );
+        assert_eq!(plain.records.len(), zeroed.records.len());
+        for (a, b) in plain.records.iter().zip(&zeroed.records) {
+            assert_eq!(a.trees, b.trees);
+            assert_eq!(b.faults, None, "zero-rate profile must not account");
+        }
+    }
+
+    #[test]
+    fn faulted_crawl_is_deterministic_across_thread_counts() {
+        let web = web(25);
+        let faulted = |threads: usize| {
+            crawl(
+                &web,
+                &CrawlConfig {
+                    threads,
+                    faults: Some(FaultProfile::heavy()),
+                    ..cfg()
+                },
+            )
+        };
+        let a = faulted(1);
+        let b = faulted(4);
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.trees, y.trees);
+            assert_eq!(x.faults, y.faults);
+        }
+    }
+
+    #[test]
+    fn heavy_faults_degrade_but_never_panic() {
+        let web = web(60);
+        let ds = crawl(
+            &web,
+            &CrawlConfig {
+                faults: Some(FaultProfile::heavy()),
+                ..cfg()
+            },
+        );
+        assert_eq!(ds.records.len(), 60);
+        let mut retried = 0u64;
+        let mut shortfall = 0usize;
+        for r in &ds.records {
+            let f = r.faults.as_ref().expect("faulted crawl must account");
+            assert!(f.pages_attempted >= r.pages_visited() as u64);
+            if f.abandoned {
+                assert!(r.trees.is_empty(), "abandoned sites carry no trees");
+            }
+            retried += f.retries;
+            shortfall += usize::from(r.pages_visited() < 15);
+            for tree in &r.trees {
+                tree.check_invariants().unwrap();
+            }
+        }
+        assert!(retried > 0, "heavy profile should force retries");
+        assert!(shortfall > 0, "heavy profile should cut some site short");
+    }
+
+    #[test]
+    fn universe_profile_applies_when_config_has_none() {
+        let web = SyntheticWeb::new(WebGenConfig {
+            n_sites: 10,
+            faults: Some(FaultProfile::heavy()),
+            ..WebGenConfig::default()
+        });
+        let ds = crawl(&web, &cfg());
+        assert!(ds.records.iter().all(|r| r.faults.is_some()));
+        // An explicit zero-rate override silences the universe profile.
+        let quiet = crawl(
+            &web,
+            &CrawlConfig {
+                faults: Some(FaultProfile::none()),
+                ..cfg()
+            },
+        );
+        assert!(quiet.records.iter().all(|r| r.faults.is_none()));
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub struct WsTranscript {
     pub received: Vec<PayloadRecord>,
     /// Whether the close event was observed.
     pub closed: bool,
+    /// Chrome-style error text when the socket failed (fault injection or
+    /// a real protocol violation); `None` for clean sessions.
+    pub error: Option<String>,
 }
 
 /// One node of an inclusion tree.
@@ -435,10 +438,23 @@ impl Builder {
                     ws.received.push(record(payload));
                 }
             }
+            CdpEvent::WebSocketFrameError {
+                request_id,
+                error_text,
+            } => {
+                if let Some(ws) = self.ws_mut(request_id) {
+                    ws.error = Some(error_text.clone());
+                }
+            }
             CdpEvent::WebSocketClosed { request_id } => {
                 if let Some(ws) = self.ws_mut(request_id) {
                     ws.closed = true;
                 }
+            }
+            CdpEvent::LoadingFailed { .. } => {
+                // The failed fetch's node already exists (from its
+                // requestWillBeSent) with `http_body: None` — which is the
+                // "no response observed" state content analysis expects.
             }
             CdpEvent::RequestBlockedByExtension { url, initiator, .. } => {
                 let parent = self.parent_of(*initiator, root);
@@ -632,6 +648,61 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn faulted_socket_transcript_carries_error() {
+        use CdpEvent::*;
+        let events = vec![
+            WebSocketCreated {
+                request_id: RequestId(4),
+                url: "ws://adnet.example/s".into(),
+                initiator: Initiator::Parser(FrameId(0)),
+                frame_id: FrameId(0),
+            },
+            WebSocketFrameError {
+                request_id: RequestId(4),
+                error_text: "net::ERR_CONNECTION_REFUSED".into(),
+            },
+            WebSocketClosed {
+                request_id: RequestId(4),
+            },
+        ];
+        let tree = InclusionTree::build("http://p.example/", &events);
+        tree.check_invariants().unwrap();
+        let socket = tree.websockets().next().unwrap();
+        let ws = socket.ws.as_ref().unwrap();
+        assert_eq!(ws.error.as_deref(), Some("net::ERR_CONNECTION_REFUSED"));
+        assert_eq!(ws.status, 0); // no handshake response arrived
+        assert!(ws.closed);
+    }
+
+    #[test]
+    fn loading_failed_leaves_node_bodyless() {
+        use CdpEvent::*;
+        let events = vec![
+            RequestWillBeSent {
+                request_id: RequestId(1),
+                url: "http://cdn.example/pixel.img".into(),
+                resource_type: ResourceKind::Image,
+                initiator: Initiator::Parser(FrameId(0)),
+                frame_id: FrameId(0),
+            },
+            LoadingFailed {
+                request_id: RequestId(1),
+                url: "http://cdn.example/pixel.img".into(),
+                resource_type: ResourceKind::Image,
+                error_text: "net::ERR_CONNECTION_REFUSED".into(),
+            },
+        ];
+        let tree = InclusionTree::build("http://p.example/", &events);
+        tree.check_invariants().unwrap();
+        let img = tree
+            .nodes()
+            .iter()
+            .find(|n| n.kind == NodeKind::Image)
+            .unwrap();
+        assert!(img.http_body.is_none());
     }
 
     #[test]

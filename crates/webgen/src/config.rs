@@ -1,5 +1,7 @@
 //! Generator configuration.
 
+use sockscope_faults::FaultProfile;
+
 /// Which of the four crawls is being simulated (§3.3 / Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CrawlEra {
@@ -76,6 +78,10 @@ pub struct WebGenConfig {
     /// Pages per site the generator exposes (the crawler visits the
     /// homepage plus up to 15 links, §3.3).
     pub pages_per_site: usize,
+    /// Fault profile the universe advertises to crawlers. `None` (and any
+    /// profile with all rates zero) means a perfectly reliable network —
+    /// the pre-fault-injection behaviour. Crawlers may override this.
+    pub faults: Option<FaultProfile>,
 }
 
 impl Default for WebGenConfig {
@@ -85,6 +91,7 @@ impl Default for WebGenConfig {
             n_sites: 10_000,
             era: CrawlEra::AprilEarly,
             pages_per_site: 15,
+            faults: None,
         }
     }
 }
@@ -115,10 +122,14 @@ mod tests {
 
     #[test]
     fn for_era_keeps_universe() {
-        let base = WebGenConfig::default();
+        let base = WebGenConfig {
+            faults: Some(FaultProfile::mild()),
+            ..WebGenConfig::default()
+        };
         let oct = base.for_era(CrawlEra::October);
         assert_eq!(base.seed, oct.seed);
         assert_eq!(base.n_sites, oct.n_sites);
         assert_eq!(oct.era, CrawlEra::October);
+        assert_eq!(oct.faults, Some(FaultProfile::mild()));
     }
 }

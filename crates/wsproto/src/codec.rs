@@ -154,6 +154,15 @@ impl FrameDecoder {
         self.buf.len()
     }
 
+    /// `true` when the decoder sits in the middle of a frame: it has
+    /// consumed part of a header or is waiting on payload bytes that never
+    /// arrived. An EOF observed while this holds means the peer truncated a
+    /// frame — the signal the fault-injection layer turns into a typed
+    /// "dropped mid-frame" error instead of a silent success.
+    pub fn mid_frame(&self) -> bool {
+        !matches!(self.state, DecodeState::Header) || !self.buf.is_empty()
+    }
+
     /// Attempts to decode the next complete frame. Returns `Ok(None)` when
     /// more bytes are needed. After an error the decoder is poisoned and
     /// keeps returning the same class of failure (a real endpoint would
@@ -503,6 +512,22 @@ mod tests {
         assert!(dec.next_frame().is_err());
         dec.feed(&[0x81, 0x00]);
         assert_eq!(dec.next_frame(), Err(ProtocolError::AfterClose));
+    }
+
+    #[test]
+    fn mid_frame_tracks_truncation() {
+        let mut enc = FrameEncoder::new(MaskingRole::Server, 7);
+        let bytes = enc.encode(&Frame::text("truncate me please"));
+        let mut dec = FrameDecoder::new(MaskingRole::Client);
+        assert!(!dec.mid_frame());
+        // Feed all but the last byte: the frame can never complete.
+        dec.feed(&bytes[..bytes.len() - 1]);
+        assert!(dec.next_frame().unwrap().is_none());
+        assert!(dec.mid_frame());
+        // Completing the frame clears the flag.
+        dec.feed(&bytes[bytes.len() - 1..]);
+        assert!(dec.next_frame().unwrap().is_some());
+        assert!(!dec.mid_frame());
     }
 
     #[test]

@@ -244,6 +244,15 @@ impl Connection {
         self.decoder.feed(bytes);
     }
 
+    /// `true` if the decoder holds an incomplete frame (or this side is
+    /// mid-reassembly of a fragmented message). An EOF from the transport
+    /// while this holds means the peer truncated a frame mid-flight —
+    /// callers surface that as [`crate::WsError::Dropped`] instead of
+    /// treating the quiescent state as a clean end.
+    pub fn has_partial_frame(&self) -> bool {
+        self.decoder.mid_frame() || self.partial.is_some()
+    }
+
     /// Processes buffered input and returns the next event, if any.
     ///
     /// On protocol error the connection transitions to [`State::Failed`],
@@ -587,6 +596,19 @@ mod tests {
         };
         s.feed(&enc.encode(&f));
         assert_eq!(s.poll(), Err(ProtocolError::UnexpectedContinuation));
+    }
+
+    #[test]
+    fn partial_frame_visible_after_truncated_feed() {
+        let (_c, mut s) = pair();
+        let mut enc = FrameEncoder::new(MaskingRole::Client, 3);
+        let bytes = enc.encode(&Frame::text("cut short"));
+        s.feed(&bytes[..bytes.len() - 3]);
+        assert!(s.poll().unwrap().is_none());
+        assert!(s.has_partial_frame());
+        s.feed(&bytes[bytes.len() - 3..]);
+        assert!(matches!(s.poll().unwrap(), Some(Event::Message(_))));
+        assert!(!s.has_partial_frame());
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub use connection::{CloseReason, Connection, Event, Message, Role};
 pub use frame::{CloseCode, Frame, Opcode};
 pub use handshake::{ClientHandshake, HandshakeError, ServerHandshake};
 
+pub use self::WsError as Error;
+
 /// Errors surfaced by the framing and connection layers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProtocolError {
@@ -91,3 +93,99 @@ impl std::fmt::Display for ProtocolError {
 }
 
 impl std::error::Error for ProtocolError {}
+
+/// Unified error for a whole WebSocket session: handshake failures, framing
+/// violations, and the transport-level outcomes a sans-IO caller signals
+/// when the byte stream it is driving misbehaves (refused connects, EOF
+/// mid-frame, timeouts). The fault-injection layer speaks this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WsError {
+    /// The opening handshake failed.
+    Handshake(handshake::HandshakeError),
+    /// A framing/state-machine rule was violated after the upgrade.
+    Protocol(ProtocolError),
+    /// The transport refused the connection before any bytes flowed.
+    ConnectionRefused,
+    /// The transport dropped (EOF or reset) with no close handshake —
+    /// possibly mid-frame; see [`connection::Connection::has_partial_frame`].
+    Dropped,
+    /// A read stalled past the caller's deadline on its virtual clock.
+    TimedOut,
+}
+
+impl std::fmt::Display for WsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WsError::Handshake(e) => write!(f, "handshake failed: {e}"),
+            WsError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            WsError::ConnectionRefused => write!(f, "connection refused"),
+            WsError::Dropped => write!(f, "connection dropped without close handshake"),
+            WsError::TimedOut => write!(f, "read timed out"),
+        }
+    }
+}
+
+impl std::error::Error for WsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WsError::Handshake(e) => Some(e),
+            WsError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<handshake::HandshakeError> for WsError {
+    fn from(e: handshake::HandshakeError) -> WsError {
+        WsError::Handshake(e)
+    }
+}
+
+impl From<ProtocolError> for WsError {
+    fn from(e: ProtocolError) -> WsError {
+        WsError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod ws_error_tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn handshake_variant_wraps_and_displays() {
+        let e = WsError::from(HandshakeError::BadStatus(403));
+        assert_eq!(e, WsError::Handshake(HandshakeError::BadStatus(403)));
+        assert_eq!(e.to_string(), "handshake failed: expected 101, got 403");
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn protocol_variant_wraps_and_displays() {
+        let e = WsError::from(ProtocolError::ReservedBitsSet);
+        assert_eq!(e, WsError::Protocol(ProtocolError::ReservedBitsSet));
+        assert_eq!(e.to_string(), "protocol violation: reserved bits set");
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn connection_refused_displays() {
+        let e = WsError::ConnectionRefused;
+        assert_eq!(e.to_string(), "connection refused");
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn dropped_displays() {
+        let e = WsError::Dropped;
+        assert_eq!(e.to_string(), "connection dropped without close handshake");
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn timed_out_displays() {
+        let e = WsError::TimedOut;
+        assert_eq!(e.to_string(), "read timed out");
+        assert!(e.source().is_none());
+    }
+}
