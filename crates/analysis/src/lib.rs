@@ -11,6 +11,9 @@
 //!   attributions, payload classifications, HTTP comparisons).
 //! * [`study`] — the four-crawl study driver: crawls, labels (`D'` with
 //!   the 10% threshold and Cloudfront overrides), classifies, aggregates.
+//! * [`checkpoint`] — crash-safe checkpointed crawls: per-shard durable
+//!   journal segments (`sockscope-journal`) with a quarantine-and-resume
+//!   path whose output is byte-identical to an uninterrupted run.
 //! * [`tables`] — Tables 1–5 as typed structs with text renderers that
 //!   print the paper's values next to the reproduction's.
 //! * [`figures`] — Figure 3 (sockets by Alexa rank) as a plottable series.
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod categories;
+pub mod checkpoint;
 pub mod churn;
 pub mod figures;
 pub mod pii;
@@ -34,6 +38,7 @@ pub mod study;
 pub mod tables;
 pub mod textstats;
 
+pub use checkpoint::{CheckpointError, CheckpointOptions, KillPlan, ResumeReport};
 pub use pii::PiiLibrary;
 pub use reduce::{CrawlReduction, SocketObservation};
 pub use snapshot::StudySnapshot;

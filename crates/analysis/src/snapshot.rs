@@ -95,9 +95,12 @@ impl StudySnapshot {
         serde_json::from_str(text).map_err(SnapshotError::Format)
     }
 
-    /// Writes to a file.
+    /// Writes to a file durably: staged at a `.tmp` sibling, fsynced, and
+    /// atomically renamed into place (`sockscope_journal::atomic_write`),
+    /// so a crash mid-save leaves either the previous snapshot or the new
+    /// one — never a torn, unparseable file.
     pub fn save(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
-        std::fs::write(path, self.to_json()).map_err(SnapshotError::Io)
+        sockscope_journal::atomic_write(path, self.to_json().as_bytes()).map_err(SnapshotError::Io)
     }
 
     /// Reads from a file.

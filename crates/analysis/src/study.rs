@@ -108,7 +108,7 @@ enum Pipeline {
 /// Shards per worker thread for the sharded pipeline: enough slack for
 /// load balancing (a worker that draws slow shards is backfilled by the
 /// others) without fragmenting the merge.
-const SHARDS_PER_THREAD: usize = 4;
+pub(crate) const SHARDS_PER_THREAD: usize = 4;
 
 impl Study {
     /// Runs the full study on the sharded lock-free pipeline.
@@ -125,20 +125,72 @@ impl Study {
         Study::run_pipeline(config, Pipeline::Streaming)
     }
 
-    fn run_pipeline(config: &StudyConfig, pipeline: Pipeline) -> Study {
-        let web = SyntheticWeb::new(WebGenConfig {
+    /// Builds the synthetic universe a config describes (shared by the
+    /// in-memory and checkpointed drivers so both crawl the same web).
+    pub(crate) fn universe(config: &StudyConfig) -> SyntheticWeb {
+        SyntheticWeb::new(WebGenConfig {
             seed: config.seed,
             n_sites: config.n_sites,
             ..WebGenConfig::default()
-        });
+        })
+    }
+
+    /// Parses the universe's generated filter lists into the combined
+    /// labeling/blocking engine.
+    pub(crate) fn engine_for(web: &SyntheticWeb) -> Engine {
         let (engine, errs) = Engine::parse_many(&[&web.easylist(), &web.easyprivacy()]);
         debug_assert!(errs.is_empty(), "generated lists must parse: {errs:?}");
-        let crawl_config = CrawlConfig {
+        engine
+    }
+
+    /// Derives the crawl config a study config implies.
+    pub(crate) fn crawl_config(config: &StudyConfig) -> CrawlConfig {
+        CrawlConfig {
             seed: config.seed ^ 0xC4A31,
             max_links: config.max_links,
             threads: config.threads,
             faults: config.faults.clone(),
-        };
+        }
+    }
+
+    /// Finishes a study from its four normalized reductions: pools the
+    /// labeling observations, thresholds `D'` (§3.2), and packages the
+    /// result. Shared by every pipeline, including resume — identical
+    /// reductions always yield an identical study.
+    pub(crate) fn assemble(
+        web: &SyntheticWeb,
+        engine: Engine,
+        reductions: Vec<CrawlReduction>,
+    ) -> Study {
+        let cdn_overrides = web.catalog().manual_overrides();
+        let mut labeler = Labeler::new();
+        for (host, company) in &cdn_overrides {
+            labeler = labeler.with_cdn_override(host.clone(), company.clone());
+        }
+        for red in &reductions {
+            for (host, (a, n)) in &red.label_counts {
+                for _ in 0..*a {
+                    labeler.observe(host, true);
+                }
+                for _ in 0..*n {
+                    labeler.observe(host, false);
+                }
+            }
+        }
+        let aa = labeler.finalize_paper();
+
+        Study {
+            reductions,
+            aa,
+            engine,
+            cdn_overrides,
+        }
+    }
+
+    fn run_pipeline(config: &StudyConfig, pipeline: Pipeline) -> Study {
+        let web = Study::universe(config);
+        let engine = Study::engine_for(&web);
+        let crawl_config = Study::crawl_config(config);
 
         let mut reductions = Vec::new();
         for era in CrawlEra::ALL {
@@ -196,30 +248,7 @@ impl Study {
             reductions.push(reduction);
         }
 
-        // ---- Labeling: pool all four crawls, then threshold (§3.2). ----
-        let cdn_overrides = web.catalog().manual_overrides();
-        let mut labeler = Labeler::new();
-        for (host, company) in &cdn_overrides {
-            labeler = labeler.with_cdn_override(host.clone(), company.clone());
-        }
-        for red in &reductions {
-            for (host, (a, n)) in &red.label_counts {
-                for _ in 0..*a {
-                    labeler.observe(host, true);
-                }
-                for _ in 0..*n {
-                    labeler.observe(host, false);
-                }
-            }
-        }
-        let aa = labeler.finalize_paper();
-
-        Study {
-            reductions,
-            aa,
-            engine,
-            cdn_overrides,
-        }
+        Study::assemble(&web, engine, reductions)
     }
 
     /// Classifies every socket of crawl `idx` under `D'`.

@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use sockscope::analysis::checkpoint::{CheckpointError, CheckpointOptions};
+use sockscope::analysis::snapshot::SnapshotError;
 use sockscope::faults::FaultProfile;
 use sockscope::report::StudyReport;
 use sockscope::{Study, StudyConfig};
@@ -33,6 +35,10 @@ pub enum Command {
         /// Use the locked streaming reference pipeline instead of the
         /// default sharded one (identical output, slower).
         streaming: bool,
+        /// Durable checkpoint journal directory (crash-safe crawl).
+        checkpoint_dir: Option<String>,
+        /// Resume from the checkpoint journal instead of starting fresh.
+        resume: bool,
     },
     /// Print the full report.
     Report(Source),
@@ -79,7 +85,7 @@ sockscope — reproduction of 'How Tracking Companies Circumvented Ad Blockers U
 
 USAGE:
   sockscope run       [--sites N] [--seed HEX] [--threads N] [--save FILE] [--streaming]
-                      [--faults PROFILE]
+                      [--faults PROFILE] [--checkpoint-dir DIR] [--resume]
   sockscope report    [--from FILE | --sites N ...]
   sockscope table     <1|2|3|4|5> [--csv] [--from FILE | --sites N ...]
   sockscope figure3   [--csv] [--from FILE | --sites N ...]
@@ -101,6 +107,18 @@ OPTIONS:
   --faults PROF   inject seeded deterministic network faults during the
                   crawl: none | mild | heavy (default none); failure
                   accounting lands in the report and snapshot
+  --checkpoint-dir DIR
+                  journal each completed crawl shard to DIR (atomic,
+                  fsynced, CRC-framed) so an interrupted crawl can resume
+  --resume        resume the crawl from the journal at --checkpoint-dir:
+                  verified shards are recovered, torn or corrupt segments
+                  are quarantined (and reported), only missing shards are
+                  re-crawled; output is byte-identical to an
+                  uninterrupted run
+
+EXIT CODES:
+  0  success    2  bad flags or configuration
+  3  I/O error  4  corrupt snapshot or journal
 ";
 
 /// Argument-parsing errors.
@@ -113,12 +131,71 @@ impl std::fmt::Display for ParseError {
     }
 }
 
+/// Execution errors, typed so the process exit code tells scripts *what*
+/// went wrong: bad configuration (2), disk trouble (3), or corrupt
+/// persisted data (4).
+#[derive(Debug)]
+pub enum CliError {
+    /// Invalid flag combination or run configuration.
+    Config(String),
+    /// Underlying I/O failure (disk full, permissions, missing file).
+    Io(String),
+    /// A snapshot or journal exists but cannot be trusted: malformed
+    /// JSON, unknown format version, failed checksum.
+    Corrupt(String),
+}
+
+impl CliError {
+    /// Process exit code for this error class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Config(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Corrupt(_) => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Config(m) => write!(f, "config: {m}"),
+            CliError::Io(m) => write!(f, "io: {m}"),
+            CliError::Corrupt(m) => write!(f, "corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn snapshot_error(context: &str, e: SnapshotError) -> CliError {
+    match e {
+        SnapshotError::Io(e) => CliError::Io(format!("{context}: {e}")),
+        SnapshotError::Format(e) => CliError::Corrupt(format!("{context}: malformed JSON: {e}")),
+        SnapshotError::Version(v) => {
+            CliError::Corrupt(format!("{context}: unsupported snapshot version {v}"))
+        }
+    }
+}
+
+fn checkpoint_error(e: CheckpointError) -> CliError {
+    match e {
+        CheckpointError::Io(e) => CliError::Io(format!("checkpoint journal: {e}")),
+        CheckpointError::DirNotEmpty(_) => CliError::Config(e.to_string()),
+        // The CLI never installs a kill plan; only the crash-injection
+        // harness can see this variant.
+        CheckpointError::Killed { .. } => CliError::Io(e.to_string()),
+    }
+}
+
 /// Every knob shared by the crawling commands.
 struct Knobs {
     config: StudyConfig,
     save: Option<String>,
     from: Option<String>,
     streaming: bool,
+    checkpoint_dir: Option<String>,
+    resume: bool,
 }
 
 fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
@@ -129,6 +206,8 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
     let mut save = None;
     let mut from = None;
     let mut streaming = false;
+    let mut checkpoint_dir = None;
+    let mut resume = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -142,6 +221,12 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
                 i += 1;
                 continue;
             }
+            "--resume" => {
+                resume = true;
+                i += 1;
+                continue;
+            }
+            "--checkpoint-dir" => checkpoint_dir = Some(value()?.clone()),
             "--sites" => {
                 config.n_sites = value()?
                     .parse()
@@ -175,6 +260,8 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
         save,
         from,
         streaming,
+        checkpoint_dir,
+        resume,
     })
 }
 
@@ -207,10 +294,20 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             if knobs.from.is_some() {
                 return Err(ParseError("run always crawls; use report --from".into()));
             }
+            if knobs.resume && knobs.checkpoint_dir.is_none() {
+                return Err(ParseError("--resume requires --checkpoint-dir".into()));
+            }
+            if knobs.streaming && knobs.checkpoint_dir.is_some() {
+                return Err(ParseError(
+                    "--checkpoint-dir requires the sharded pipeline; drop --streaming".into(),
+                ));
+            }
             Ok(Command::Run {
                 config: knobs.config,
                 save: knobs.save,
                 streaming: knobs.streaming,
+                checkpoint_dir: knobs.checkpoint_dir,
+                resume: knobs.resume,
             })
         }
         "report" => Ok(Command::Report(parse_source(rest)?)),
@@ -265,11 +362,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     }
 }
 
-fn obtain_study(source: &Source) -> Result<Study, String> {
+fn obtain_study(source: &Source) -> Result<Study, CliError> {
     match source {
         Source::Snapshot(path) => StudySnapshot::load(std::path::Path::new(path))
             .and_then(StudySnapshot::restore)
-            .map_err(|e| format!("failed to load snapshot {path}: {e}")),
+            .map_err(|e| snapshot_error(&format!("loading snapshot {path}"), e)),
         Source::Fresh(config) => {
             eprintln!(
                 "[sockscope] crawling {} sites x 4 crawls (threads: {})...",
@@ -281,7 +378,7 @@ fn obtain_study(source: &Source) -> Result<Study, String> {
 }
 
 /// Executes a parsed command; returns the text to print.
-pub fn execute(command: Command) -> Result<String, String> {
+pub fn execute(command: Command) -> Result<String, CliError> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
         Command::Timeline => Ok(sockscope::timeline::render_timeline()),
@@ -289,6 +386,8 @@ pub fn execute(command: Command) -> Result<String, String> {
             config,
             save,
             streaming,
+            checkpoint_dir,
+            resume,
         } => {
             eprintln!(
                 "[sockscope] crawling {} sites x 4 crawls (threads: {}, pipeline: {})...",
@@ -296,7 +395,28 @@ pub fn execute(command: Command) -> Result<String, String> {
                 config.threads,
                 if streaming { "streaming" } else { "sharded" }
             );
-            let report = if streaming {
+            let report = if let Some(dir) = checkpoint_dir {
+                let opts = CheckpointOptions {
+                    resume,
+                    ..CheckpointOptions::fresh(&dir)
+                };
+                let (study, provenance) =
+                    Study::run_checkpointed(&config, &opts).map_err(checkpoint_error)?;
+                if !provenance.quarantined.is_empty() {
+                    eprintln!(
+                        "[sockscope] quarantined {} journal segment(s) during resume:",
+                        provenance.quarantined.len()
+                    );
+                    for q in &provenance.quarantined {
+                        eprintln!("[sockscope]   {}: {}", q.file, q.reason);
+                    }
+                }
+                eprintln!(
+                    "[sockscope] checkpointed crawl: {} shard(s) recovered, {} re-crawled",
+                    provenance.shards_recovered, provenance.shards_recrawled
+                );
+                StudyReport::from_checkpointed(study, provenance)
+            } else if streaming {
                 StudyReport::run_streaming(&config)
             } else {
                 StudyReport::run(&config)
@@ -304,7 +424,7 @@ pub fn execute(command: Command) -> Result<String, String> {
             if let Some(path) = save {
                 StudySnapshot::capture(&report.study)
                     .save(std::path::Path::new(&path))
-                    .map_err(|e| format!("saving snapshot failed: {e}"))?;
+                    .map_err(|e| snapshot_error(&format!("saving snapshot {path}"), e))?;
                 eprintln!("[sockscope] snapshot written to {path}");
             }
             Ok(report.render())
@@ -410,15 +530,91 @@ mod tests {
                 config,
                 save,
                 streaming,
+                checkpoint_dir,
+                resume,
             } => {
                 assert_eq!(config.n_sites, 500);
                 assert_eq!(config.seed, 0xABC);
                 assert_eq!(config.threads, 2);
                 assert_eq!(save.as_deref(), Some("out.json"));
                 assert!(!streaming);
+                assert_eq!(checkpoint_dir, None);
+                assert!(!resume);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_checkpoint_flags() {
+        let cmd = parse(&args(&[
+            "run",
+            "--sites",
+            "40",
+            "--checkpoint-dir",
+            "journal",
+            "--resume",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                checkpoint_dir,
+                resume,
+                ..
+            } => {
+                assert_eq!(checkpoint_dir.as_deref(), Some("journal"));
+                assert!(resume);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // --resume is meaningless without a journal to resume from.
+        assert!(parse(&args(&["run", "--resume"])).is_err());
+        // Checkpointing lives in the sharded pipeline only.
+        assert!(parse(&args(&["run", "--checkpoint-dir", "j", "--streaming"])).is_err());
+    }
+
+    #[test]
+    fn error_classes_map_to_distinct_exit_codes() {
+        assert_eq!(CliError::Config("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Io("x".into()).exit_code(), 3);
+        assert_eq!(CliError::Corrupt("x".into()).exit_code(), 4);
+        // Snapshot errors split between I/O and corruption.
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert_eq!(snapshot_error("ctx", SnapshotError::Io(io)).exit_code(), 3);
+        assert_eq!(
+            snapshot_error("ctx", SnapshotError::Version(9)).exit_code(),
+            4
+        );
+        // A dirty journal on a fresh run is a configuration mistake.
+        assert_eq!(
+            checkpoint_error(CheckpointError::DirNotEmpty("j".into())).exit_code(),
+            2
+        );
+    }
+
+    #[test]
+    fn missing_snapshot_is_an_io_error() {
+        match execute(Command::Report(Source::Snapshot(
+            "/nonexistent/sockscope-snap.json".into(),
+        ))) {
+            Err(CliError::Io(_)) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_corrupt_error() {
+        let dir = std::env::temp_dir().join("sockscope-cli-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        match execute(Command::Report(Source::Snapshot(
+            path.to_string_lossy().into_owned(),
+        ))) {
+            Err(CliError::Corrupt(_)) => {}
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -541,6 +737,8 @@ mod tests {
             },
             save: Some(snap_str.clone()),
             streaming: false,
+            checkpoint_dir: None,
+            resume: false,
         })
         .unwrap();
         assert!(out.contains("Table 1"));
@@ -552,5 +750,39 @@ mod tests {
         let stats = execute(Command::TextStats(Source::Snapshot(snap_str))).unwrap();
         assert!(stats.contains("cross-origin"));
         std::fs::remove_file(&snap).ok();
+    }
+
+    #[test]
+    fn end_to_end_checkpointed_run_and_resume() {
+        let dir =
+            std::env::temp_dir().join(format!("sockscope-cli-checkpoint-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = StudyConfig {
+            n_sites: 40,
+            threads: 2,
+            ..StudyConfig::default()
+        };
+        let run = |resume: bool| {
+            execute(Command::Run {
+                config: config.clone(),
+                save: None,
+                streaming: false,
+                checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
+                resume,
+            })
+        };
+        let fresh = run(false).unwrap();
+        assert!(fresh.contains("Resume provenance"));
+        assert!(fresh.contains("mode:                 fresh"));
+        // A second fresh run into the same journal is a config error...
+        match run(false) {
+            Err(CliError::Config(_)) => {}
+            other => panic!("expected config error, got {other:?}"),
+        }
+        // ...while --resume recovers every shard without re-crawling.
+        let resumed = run(true).unwrap();
+        assert!(resumed.contains("mode:                 resumed"));
+        assert!(resumed.contains("shards re-crawled:    0"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -5,9 +5,10 @@ fn main() {
     match sockscope_cli::parse(&args) {
         Ok(command) => match sockscope_cli::execute(command) {
             Ok(text) => println!("{text}"),
+            // Exit codes are typed: 2 config, 3 I/O, 4 corrupt data.
             Err(e) => {
                 eprintln!("error: {e}");
-                std::process::exit(1);
+                std::process::exit(e.exit_code());
             }
         },
         Err(e) => {

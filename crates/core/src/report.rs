@@ -1,6 +1,7 @@
 //! One-call study report: run the four crawls and compute every artifact.
 
 use sockscope_analysis::categories::CategoryBreakdown;
+use sockscope_analysis::checkpoint::ResumeReport;
 use sockscope_analysis::churn::Churn;
 use sockscope_analysis::figures::Figure3;
 use sockscope_analysis::study::{Study, StudyConfig};
@@ -30,6 +31,9 @@ pub struct StudyReport {
     pub categories: CategoryBreakdown,
     /// Extension: crawl-over-crawl churn matrix.
     pub churn: Churn,
+    /// Resume provenance when the study ran on the checkpointed driver
+    /// (`None` for plain in-memory runs and snapshot reloads).
+    pub provenance: Option<ResumeReport>,
 }
 
 impl StudyReport {
@@ -46,6 +50,15 @@ impl StudyReport {
     pub fn run_streaming(config: &StudyConfig) -> StudyReport {
         let study = Study::run_streaming(config);
         StudyReport::from_study(study)
+    }
+
+    /// Computes the report from a study produced by the checkpointed
+    /// driver, attaching its resume provenance to the rendered output.
+    pub fn from_checkpointed(study: Study, provenance: ResumeReport) -> StudyReport {
+        StudyReport {
+            provenance: Some(provenance),
+            ..StudyReport::from_study(study)
+        }
     }
 
     /// Computes the report from an existing study.
@@ -70,6 +83,7 @@ impl StudyReport {
             textstats,
             categories,
             churn,
+            provenance: None,
         }
     }
 
@@ -147,6 +161,10 @@ impl StudyReport {
         if let Some(failures) = self.render_failures() {
             out.push('\n');
             out.push_str(&failures);
+        }
+        if let Some(provenance) = &self.provenance {
+            out.push('\n');
+            out.push_str(&provenance.render());
         }
         out
     }

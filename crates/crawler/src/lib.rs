@@ -524,6 +524,54 @@ pub fn crawl_sharded<A: Send>(
     make_shard: &(dyn Fn(usize) -> A + Sync),
     observe: &(dyn Fn(&mut A, SiteRecord) + Sync),
 ) -> Vec<A> {
+    crawl_sharded_resumable(
+        web,
+        config,
+        shards,
+        make_extensions,
+        make_shard,
+        observe,
+        &|_| false,
+        &|_, _| {},
+    )
+    .into_iter()
+    .map(|a| a.expect("every shard crawled"))
+    .collect()
+}
+
+/// Checkpoint-aware variant of [`crawl_sharded`], the substrate of the
+/// crash-safe crawl driver in `sockscope-analysis`.
+///
+/// Two extra hooks thread durability through the shard loop without
+/// putting any I/O on the per-site hot path:
+///
+/// * `skip(s)` — `true` when shard `s` was already recovered from a
+///   checkpoint journal; the shard is not crawled and its slot in the
+///   returned vector is `None` (the caller substitutes the recovered
+///   accumulator).
+/// * `persist(s, &acc)` — called by the owning worker the moment shard
+///   `s`'s accumulator is complete, *before* the crawl moves on. This is
+///   where the checkpointing driver serializes the shard to a durable
+///   journal segment. It runs outside the per-site loop, so persistence
+///   cost is amortized over a whole shard and never serializes other
+///   workers.
+///
+/// Determinism is unchanged: sites are partitioned exactly as in
+/// [`crawl_sharded`], per-site seeds do not depend on which shards are
+/// skipped, and the returned accumulators are in shard order. A crawl
+/// resumed over any subset of recovered shards therefore reduces to the
+/// same merged result as an uninterrupted run.
+#[allow(clippy::too_many_arguments)]
+pub fn crawl_sharded_resumable<A: Send>(
+    web: &SyntheticWeb,
+    config: &CrawlConfig,
+    shards: usize,
+    make_extensions: &(dyn Fn() -> ExtensionHost + Sync),
+    make_shard: &(dyn Fn(usize) -> A + Sync),
+    observe: &(dyn Fn(&mut A, SiteRecord) + Sync),
+    skip: &(dyn Fn(usize) -> bool + Sync),
+    persist: &(dyn Fn(usize, &A) + Sync),
+) -> Vec<Option<A>> {
     let n = web.sites().len();
     let shards = shards.max(1);
     let next_shard = AtomicUsize::new(0);
@@ -546,12 +594,16 @@ pub fn crawl_sharded<A: Send>(
                         if s >= shards {
                             break;
                         }
+                        if skip(s) {
+                            continue;
+                        }
                         let mut acc = make_shard(s);
                         let mut i = s;
                         while i < n {
                             observe(&mut acc, crawl_one_site(web, config, &browser, i));
                             i += shards;
                         }
+                        persist(s, &acc);
                         finished.push((s, acc));
                     }
                     finished
@@ -564,9 +616,7 @@ pub fn crawl_sharded<A: Send>(
             }
         }
     });
-    out.into_iter()
-        .map(|a| a.expect("every shard crawled"))
-        .collect()
+    out
 }
 
 /// Runs all four crawls of the study over one universe: two pre-patch, two

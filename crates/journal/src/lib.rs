@@ -1,0 +1,751 @@
+//! # sockscope-journal
+//!
+//! Durable write-ahead checkpoint store for long crawls.
+//!
+//! The paper's measurement ran four ~100K-site crawls over months; a
+//! process crash there cost days. Our reproduction's sharded crawl makes
+//! the natural unit of recovery obvious — the *shard* — and this crate
+//! persists each completed shard as one **segment file** so an interrupted
+//! crawl can resume from the last durable shard instead of from zero.
+//!
+//! Design rules, in order of importance:
+//!
+//! 1. **A kill at any byte offset must be detectable.** Every segment is
+//!    framed with a fixed-layout header (magic, format version, config
+//!    fingerprint, shard coordinates, payload length) and a CRC32 trailer
+//!    over everything before it. A torn or bit-flipped file fails to parse
+//!    with a typed [`SegmentError`]; it can never be silently merged.
+//! 2. **Writes are atomic.** Segments are written to a `.tmp` sibling,
+//!    fsynced, and renamed into place ([`atomic_write`]); the directory is
+//!    fsynced after the rename. A crash leaves either the old state or the
+//!    new state, plus at worst a leftover `.tmp` that the scanner
+//!    quarantines.
+//! 3. **Corruption is quarantined, never deleted.** [`Journal::scan`]
+//!    moves undecodable, version-mismatched, or fingerprint-mismatched
+//!    files into a `quarantine/` subdirectory and reports them, so a
+//!    resume is auditable after the fact.
+//! 4. **Crash testing is deterministic.** [`KillPoint`] names the phase
+//!    boundaries of a segment write; [`Journal::write_segment_killed`]
+//!    reproduces the exact on-disk state a kill at that boundary leaves
+//!    behind, with truncation offsets drawn from the same pure-hash
+//!    `mix` the fault-injection subsystem uses. No real `kill -9` needed
+//!    for byte-reproducible crash matrices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use sockscope_faults::mix;
+
+/// Magic bytes opening every segment file.
+pub const MAGIC: [u8; 8] = *b"SOCKJRNL";
+
+/// Current segment format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header length: magic (8) + version (4) + fingerprint (8) +
+/// era (4) + shard index (4) + shard count (4) + payload length (8).
+pub const HEADER_LEN: usize = 8 + 4 + 8 + 4 + 4 + 4 + 8;
+
+/// CRC32 trailer length.
+pub const TRAILER_LEN: usize = 4;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, the zlib polynomial)
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of a byte slice.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Segment encoding / decoding
+// ---------------------------------------------------------------------------
+
+/// Identity of one checkpoint segment: which run it belongs to and which
+/// shard of which crawl era it holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Fingerprint of the run configuration (seed, scale, fault profile,
+    /// format version). Segments whose fingerprint differs from the
+    /// resuming run's are quarantined, never merged.
+    pub fingerprint: u64,
+    /// Crawl era index (0–3 for the four-crawl study).
+    pub era: u32,
+    /// Shard index within the era's partition.
+    pub shard_index: u32,
+    /// Total shards in the partition this segment was written under.
+    pub shard_count: u32,
+}
+
+/// Typed decode failures for a segment byte string. Every torn, truncated,
+/// or corrupted file must surface as one of these — never a panic, and
+/// never a silently accepted payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentError {
+    /// Shorter than the fixed header + trailer.
+    TooShort {
+        /// Bytes present.
+        len: usize,
+    },
+    /// The first eight bytes are not [`MAGIC`].
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// The header promises more payload than the file holds.
+    Truncated {
+        /// Payload bytes the header declared.
+        expected: u64,
+        /// Payload bytes actually present.
+        actual: u64,
+    },
+    /// Bytes remain after the declared payload and trailer.
+    TrailingGarbage {
+        /// Extra byte count.
+        extra: usize,
+    },
+    /// The CRC32 trailer does not match the header + payload bytes.
+    BadCrc {
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC computed over the file contents.
+        computed: u32,
+    },
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::TooShort { len } => {
+                write!(f, "segment too short ({len} bytes < header + trailer)")
+            }
+            SegmentError::BadMagic => write!(f, "bad segment magic"),
+            SegmentError::BadVersion(v) => write!(f, "unknown segment format version {v}"),
+            SegmentError::Truncated { expected, actual } => {
+                write!(f, "truncated payload ({actual} of {expected} bytes)")
+            }
+            SegmentError::TrailingGarbage { extra } => {
+                write!(f, "{extra} trailing bytes after segment")
+            }
+            SegmentError::BadCrc { stored, computed } => {
+                write!(
+                    f,
+                    "CRC mismatch (stored {stored:08x}, computed {computed:08x})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+/// Encodes a segment: header, payload, CRC32 trailer.
+#[must_use]
+pub fn encode_segment(meta: &SegmentMeta, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&meta.fingerprint.to_le_bytes());
+    out.extend_from_slice(&meta.era.to_le_bytes());
+    out.extend_from_slice(&meta.shard_index.to_le_bytes());
+    out.extend_from_slice(&meta.shard_count.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn le_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn le_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("bounds checked"))
+}
+
+/// Decodes a segment byte string into its metadata and payload.
+///
+/// Total over arbitrary input: any byte string either decodes or returns a
+/// typed [`SegmentError`] (the journal fuzz target hammers this).
+pub fn decode_segment(bytes: &[u8]) -> Result<(SegmentMeta, Vec<u8>), SegmentError> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(SegmentError::TooShort { len: bytes.len() });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(SegmentError::BadMagic);
+    }
+    let version = le_u32(bytes, 8);
+    if version != FORMAT_VERSION {
+        return Err(SegmentError::BadVersion(version));
+    }
+    let meta = SegmentMeta {
+        fingerprint: le_u64(bytes, 12),
+        era: le_u32(bytes, 20),
+        shard_index: le_u32(bytes, 24),
+        shard_count: le_u32(bytes, 28),
+    };
+    let payload_len = le_u64(bytes, 32);
+    let body = (bytes.len() - HEADER_LEN - TRAILER_LEN) as u64;
+    if payload_len > body {
+        return Err(SegmentError::Truncated {
+            expected: payload_len,
+            actual: body,
+        });
+    }
+    if payload_len < body {
+        return Err(SegmentError::TrailingGarbage {
+            extra: (body - payload_len) as usize,
+        });
+    }
+    let crc_at = bytes.len() - TRAILER_LEN;
+    let stored = le_u32(bytes, crc_at);
+    let computed = crc32(&bytes[..crc_at]);
+    if stored != computed {
+        return Err(SegmentError::BadCrc { stored, computed });
+    }
+    Ok((meta, bytes[HEADER_LEN..crc_at].to_vec()))
+}
+
+// ---------------------------------------------------------------------------
+// Atomic writes
+// ---------------------------------------------------------------------------
+
+/// Path of the temp sibling a segment is staged at before the rename.
+#[must_use]
+pub fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Durably writes `bytes` to `path`: stage at a `.tmp` sibling, fsync the
+/// file, atomically rename over `path`, fsync the directory.
+///
+/// A kill at any point leaves either the old `path` contents (plus at
+/// worst a leftover `.tmp`) or the complete new contents — never a torn
+/// `path`. This is the helper `StudySnapshot::save` and the journal writer
+/// share.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = temp_path(path);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Make the rename itself durable. Directory fsync is best-effort on
+    // platforms where directories cannot be opened as files.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic kill points
+// ---------------------------------------------------------------------------
+
+/// Phase boundaries of a segment write where a crash leaves distinct
+/// on-disk states. Used by the crash-injection harness to reproduce each
+/// state deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillPoint {
+    /// Killed mid-write: the `.tmp` holds a strict prefix of the segment.
+    MidSegment,
+    /// Killed after the write but before the fsync: the `.tmp` is
+    /// complete on a lucky machine, but nothing was made durable.
+    PostTemp,
+    /// Killed after the fsync, immediately before the rename: the `.tmp`
+    /// is complete and durable, the final path absent.
+    PreRename,
+    /// Killed after the rename: the segment is durable and valid.
+    PostRename,
+}
+
+impl KillPoint {
+    /// Every kill point, in write order.
+    pub const ALL: [KillPoint; 4] = [
+        KillPoint::MidSegment,
+        KillPoint::PostTemp,
+        KillPoint::PreRename,
+        KillPoint::PostRename,
+    ];
+
+    /// Picks a kill point from a pure-hash draw (PR 2 style): the same
+    /// `(seed, stream)` always selects the same point.
+    #[must_use]
+    pub fn from_draw(seed: u64, stream: u64) -> KillPoint {
+        KillPoint::ALL[(mix(seed, stream) % 4) as usize]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The journal directory
+// ---------------------------------------------------------------------------
+
+/// Why a file was quarantined during a scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// File name within the journal directory.
+    pub file: String,
+    /// Human-readable reason (typed decode error, fingerprint mismatch,
+    /// leftover temp, …).
+    pub reason: String,
+}
+
+/// One segment that survived a scan.
+#[derive(Debug, Clone)]
+pub struct RecoveredSegment {
+    /// File name within the journal directory.
+    pub file: String,
+    /// Decoded header.
+    pub meta: SegmentMeta,
+    /// Verified payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Result of scanning a journal directory.
+#[derive(Debug, Clone, Default)]
+pub struct JournalScan {
+    /// Every decodable, fingerprint-matching segment, in file-name order.
+    pub segments: Vec<RecoveredSegment>,
+    /// Files moved to `quarantine/`, with reasons, in file-name order.
+    pub quarantined: Vec<Quarantined>,
+    /// The shard partition size recorded by the recovered segments
+    /// (`None` when no segment survived the scan). Segments disagreeing
+    /// with the first valid one are quarantined.
+    pub shard_count: Option<u32>,
+}
+
+/// A checkpoint journal rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    dir: PathBuf,
+}
+
+const SEG_EXT: &str = "seg";
+
+impl Journal {
+    /// Opens (creating if needed) a journal directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Journal> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Journal { dir })
+    }
+
+    /// The journal's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// `true` when the directory holds no segment or temp files (a fresh
+    /// journal; quarantined leftovers from older runs do not count).
+    pub fn is_empty(&self) -> std::io::Result<bool> {
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Canonical path of the segment holding shard `shard_index` of era
+    /// `era`.
+    #[must_use]
+    pub fn segment_path(&self, era: u32, shard_index: u32) -> PathBuf {
+        self.dir
+            .join(format!("era{era}-shard{shard_index:05}.{SEG_EXT}"))
+    }
+
+    /// Durably persists one shard's payload (atomic temp+fsync+rename).
+    pub fn write_segment(&self, meta: &SegmentMeta, payload: &[u8]) -> std::io::Result<()> {
+        let bytes = encode_segment(meta, payload);
+        atomic_write(&self.segment_path(meta.era, meta.shard_index), &bytes)
+    }
+
+    /// Writes a segment but simulates a process kill at `point`,
+    /// reproducing the exact on-disk state the real write sequence leaves
+    /// when the process dies at that boundary. `seed` drives the
+    /// truncation offset for [`KillPoint::MidSegment`] (pure hash — same
+    /// seed, same torn prefix).
+    pub fn write_segment_killed(
+        &self,
+        meta: &SegmentMeta,
+        payload: &[u8],
+        point: KillPoint,
+        seed: u64,
+    ) -> std::io::Result<()> {
+        let bytes = encode_segment(meta, payload);
+        let path = self.segment_path(meta.era, meta.shard_index);
+        let tmp = temp_path(&path);
+        match point {
+            KillPoint::MidSegment => {
+                // Torn prefix: at least 1 byte, strictly less than all.
+                let cut = 1
+                    + (mix(seed, u64::from(meta.shard_index)) as usize)
+                        % (bytes.len().saturating_sub(1).max(1));
+                fs::write(&tmp, &bytes[..cut])?;
+            }
+            KillPoint::PostTemp | KillPoint::PreRename => {
+                // Complete temp, never renamed. (PostTemp additionally
+                // never fsynced; on a simulated kill the observable
+                // directory state is the same.)
+                fs::write(&tmp, &bytes)?;
+            }
+            KillPoint::PostRename => {
+                atomic_write(&path, &bytes)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scans the journal: decodes every segment, verifies CRC and config
+    /// fingerprint, and moves everything torn, corrupt, mismatched, or
+    /// left over (`.tmp`) into `quarantine/`. Returns the surviving
+    /// segments and the quarantine report, both in file-name order.
+    pub fn scan(&self, expected_fingerprint: u64) -> std::io::Result<JournalScan> {
+        let mut names: Vec<String> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort_unstable();
+
+        let mut scan = JournalScan::default();
+        for name in names {
+            let path = self.dir.join(&name);
+            if name.ends_with(".tmp") {
+                let q = self.quarantine(&name, "leftover temp file (torn write)")?;
+                scan.quarantined.push(q);
+                continue;
+            }
+            if !name.ends_with(&format!(".{SEG_EXT}")) {
+                // Unrelated file; leave it alone.
+                continue;
+            }
+            let bytes = fs::read(&path)?;
+            match decode_segment(&bytes) {
+                Err(e) => {
+                    let q = self.quarantine(&name, &e.to_string())?;
+                    scan.quarantined.push(q);
+                }
+                Ok((meta, payload)) => {
+                    if meta.fingerprint != expected_fingerprint {
+                        let q = self.quarantine(
+                            &name,
+                            &format!(
+                                "config fingerprint mismatch (segment {:016x}, run {:016x})",
+                                meta.fingerprint, expected_fingerprint
+                            ),
+                        )?;
+                        scan.quarantined.push(q);
+                    } else if *scan.shard_count.get_or_insert(meta.shard_count) != meta.shard_count
+                    {
+                        let q = self.quarantine(
+                            &name,
+                            &format!(
+                                "shard-count mismatch (segment {}, journal {})",
+                                meta.shard_count,
+                                scan.shard_count.unwrap_or(0)
+                            ),
+                        )?;
+                        scan.quarantined.push(q);
+                    } else {
+                        scan.segments.push(RecoveredSegment {
+                            file: name,
+                            meta,
+                            payload,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(scan)
+    }
+
+    /// Moves one journal file into `quarantine/` and returns the record.
+    /// Used by [`Journal::scan`] for every undecodable or mismatched file,
+    /// and by resume drivers for segments whose *payload* fails a
+    /// higher-level decode despite a valid CRC.
+    pub fn quarantine(&self, name: &str, reason: &str) -> std::io::Result<Quarantined> {
+        let qdir = self.dir.join("quarantine");
+        fs::create_dir_all(&qdir)?;
+        fs::rename(self.dir.join(name), qdir.join(name))?;
+        Ok(Quarantined {
+            file: name.to_string(),
+            reason: reason.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sockscope-journal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn meta(era: u32, shard: u32) -> SegmentMeta {
+        SegmentMeta {
+            fingerprint: 0xFEED_F00D,
+            era,
+            shard_index: shard,
+            shard_count: 8,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn segment_roundtrip() {
+        let payload = b"{\"hello\":\"world\"}";
+        let bytes = encode_segment(&meta(2, 5), payload);
+        let (m, p) = decode_segment(&bytes).unwrap();
+        assert_eq!(m, meta(2, 5));
+        assert_eq!(p, payload);
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = encode_segment(&meta(0, 0), b"payload bytes here");
+        for cut in 0..bytes.len() {
+            let err = decode_segment(&bytes[..cut]).unwrap_err();
+            match err {
+                SegmentError::TooShort { .. }
+                | SegmentError::Truncated { .. }
+                | SegmentError::BadCrc { .. } => {}
+                other => panic!("cut at {cut}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = encode_segment(&meta(1, 3), b"abcdefgh");
+        for at in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[at] ^= 1 << bit;
+                assert!(
+                    decode_segment(&bad).is_err(),
+                    "flip at byte {at} bit {bit} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_segment(&meta(0, 1), b"x");
+        bytes.extend_from_slice(b"junk");
+        assert!(matches!(
+            decode_segment(&bytes),
+            Err(SegmentError::TrailingGarbage { extra: 4 })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let mut bytes = encode_segment(&meta(0, 1), b"x");
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        // Re-seal the CRC so the version check (not the CRC) fires.
+        let crc_at = bytes.len() - TRAILER_LEN;
+        let crc = crc32(&bytes[..crc_at]);
+        bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode_segment(&bytes), Err(SegmentError::BadVersion(99)));
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("file.json");
+        atomic_write(&path, b"abc").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"abc");
+        assert!(!temp_path(&path).exists());
+        // Overwrite is atomic too.
+        atomic_write(&path, b"def").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"def");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_scan_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let journal = Journal::open(&dir).unwrap();
+        assert!(journal.is_empty().unwrap());
+        journal.write_segment(&meta(0, 0), b"zero").unwrap();
+        journal.write_segment(&meta(0, 3), b"three").unwrap();
+        assert!(!journal.is_empty().unwrap());
+        let scan = journal.scan(0xFEED_F00D).unwrap();
+        assert_eq!(scan.segments.len(), 2);
+        assert_eq!(scan.quarantined.len(), 0);
+        assert_eq!(scan.shard_count, Some(8));
+        assert_eq!(scan.segments[0].payload, b"zero");
+        assert_eq!(scan.segments[1].payload, b"three");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_quarantines_torn_corrupt_and_mismatched() {
+        let dir = tmpdir("quarantine");
+        let journal = Journal::open(&dir).unwrap();
+        journal.write_segment(&meta(0, 0), b"good").unwrap();
+        // Torn temp leftover.
+        journal
+            .write_segment_killed(&meta(0, 1), b"torn", KillPoint::MidSegment, 7)
+            .unwrap();
+        // Corrupt final segment (bit flip).
+        journal.write_segment(&meta(0, 2), b"flip me").unwrap();
+        let p = journal.segment_path(0, 2);
+        let mut bytes = fs::read(&p).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x40;
+        fs::write(&p, &bytes).unwrap();
+        // Fingerprint mismatch.
+        journal
+            .write_segment(
+                &SegmentMeta {
+                    fingerprint: 0xDEAD,
+                    ..meta(0, 4)
+                },
+                b"other run",
+            )
+            .unwrap();
+
+        let scan = journal.scan(0xFEED_F00D).unwrap();
+        assert_eq!(scan.segments.len(), 1);
+        assert_eq!(scan.segments[0].payload, b"good");
+        assert_eq!(scan.quarantined.len(), 3);
+        for q in &scan.quarantined {
+            assert!(dir.join("quarantine").join(&q.file).exists(), "{q:?}");
+        }
+        // A second scan is clean: quarantine is not re-reported.
+        let again = journal.scan(0xFEED_F00D).unwrap();
+        assert_eq!(again.segments.len(), 1);
+        assert_eq!(again.quarantined.len(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kill_points_leave_the_documented_states() {
+        for (i, point) in KillPoint::ALL.iter().enumerate() {
+            let dir = tmpdir(&format!("kill{i}"));
+            let journal = Journal::open(&dir).unwrap();
+            journal
+                .write_segment_killed(&meta(1, 2), b"payload", *point, 99)
+                .unwrap();
+            let final_path = journal.segment_path(1, 2);
+            let tmp = temp_path(&final_path);
+            match point {
+                KillPoint::MidSegment => {
+                    assert!(tmp.exists() && !final_path.exists());
+                    let full = encode_segment(&meta(1, 2), b"payload");
+                    let torn = fs::read(&tmp).unwrap();
+                    assert!(torn.len() < full.len());
+                    assert_eq!(torn[..], full[..torn.len()]);
+                }
+                KillPoint::PostTemp | KillPoint::PreRename => {
+                    assert!(tmp.exists() && !final_path.exists());
+                }
+                KillPoint::PostRename => {
+                    assert!(!tmp.exists() && final_path.exists());
+                    let (m, p) = decode_segment(&fs::read(&final_path).unwrap()).unwrap();
+                    assert_eq!(m, meta(1, 2));
+                    assert_eq!(p, b"payload");
+                }
+            }
+            // Recovery: scan quarantines the torn states, keeps the durable one.
+            let scan = journal.scan(0xFEED_F00D).unwrap();
+            match point {
+                KillPoint::PostRename => {
+                    assert_eq!((scan.segments.len(), scan.quarantined.len()), (1, 0));
+                }
+                _ => {
+                    assert_eq!((scan.segments.len(), scan.quarantined.len()), (0, 1));
+                }
+            }
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn kill_point_draws_are_deterministic_and_cover_all() {
+        let mut seen = std::collections::BTreeSet::new();
+        for stream in 0..64 {
+            let a = KillPoint::from_draw(5, stream);
+            assert_eq!(a, KillPoint::from_draw(5, stream));
+            seen.insert(format!("{a:?}"));
+        }
+        assert_eq!(seen.len(), 4, "64 draws should cover all kill points");
+    }
+
+    #[test]
+    fn shard_count_disagreement_is_quarantined() {
+        let dir = tmpdir("shardcount");
+        let journal = Journal::open(&dir).unwrap();
+        journal.write_segment(&meta(0, 0), b"a").unwrap();
+        journal
+            .write_segment(
+                &SegmentMeta {
+                    shard_count: 16,
+                    ..meta(0, 1)
+                },
+                b"b",
+            )
+            .unwrap();
+        let scan = journal.scan(0xFEED_F00D).unwrap();
+        assert_eq!(scan.segments.len(), 1);
+        assert_eq!(scan.shard_count, Some(8));
+        assert_eq!(scan.quarantined.len(), 1);
+        assert!(scan.quarantined[0].reason.contains("shard-count mismatch"));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

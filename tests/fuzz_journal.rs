@@ -1,0 +1,124 @@
+//! Seeded fuzz harness for the `sockscope-journal` segment codec.
+//!
+//! The resume path feeds whatever bytes a crash left on disk straight
+//! into [`decode_segment`], so the parser is the trust boundary of the
+//! whole durability story: **any input that is not a bit-exact valid
+//! segment must surface as a typed [`SegmentError`] — never a panic,
+//! and never a silently "successful" decode of corrupted data.**
+//!
+//! Mirrors `tests/fuzz_wsproto.rs`: every case derives from the vendored
+//! proptest [`TestRng`] so a failing case number reproduces exactly, and
+//! the per-target case count honors `FUZZ_CASES` (default 2500; CI's
+//! crash-recovery job raises it).
+
+use proptest::test_runner::TestRng;
+use sockscope_journal::{
+    crc32, decode_segment, encode_segment, SegmentMeta, HEADER_LEN, TRAILER_LEN,
+};
+
+/// Per-target case count: `FUZZ_CASES` env or 2500.
+fn fuzz_cases() -> u64 {
+    std::env::var("FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2500)
+}
+
+fn arbitrary_meta(rng: &mut TestRng) -> SegmentMeta {
+    SegmentMeta {
+        fingerprint: rng.next_u64(),
+        era: rng.below(4) as u32,
+        shard_index: rng.below(1 << 16) as u32,
+        shard_count: 1 + rng.below(1 << 16) as u32,
+    }
+}
+
+fn arbitrary_payload(rng: &mut TestRng) -> Vec<u8> {
+    let len = rng.usize_in(0, 600);
+    (0..len).map(|_| rng.below(256) as u8).collect()
+}
+
+#[test]
+fn fuzz_decode_byte_soup_never_panics() {
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("journal_byte_soup", case);
+        let len = rng.usize_in(0, 700);
+        let soup: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        // Random bytes essentially never carry the magic AND a valid
+        // CRC; a decode success here would mean the framing is vacuous.
+        assert!(decode_segment(&soup).is_err(), "case {case}");
+    }
+}
+
+#[test]
+fn fuzz_decode_mutated_valid_segments_never_panics_or_lies() {
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("journal_mutations", case);
+        let meta = arbitrary_meta(&mut rng);
+        let payload = arbitrary_payload(&mut rng);
+        let mut wire = encode_segment(&meta, &payload);
+        match rng.below(3) {
+            0 => {
+                // Bit flips anywhere in the segment.
+                for _ in 0..rng.usize_in(1, 6) {
+                    let at = rng.usize_in(0, wire.len());
+                    wire[at] ^= 1 << rng.below(8);
+                }
+            }
+            1 => {
+                // Truncation — a torn write cut anywhere, including
+                // mid-header.
+                wire.truncate(rng.usize_in(0, wire.len()));
+            }
+            _ => {
+                // Trailing garbage appended past the trailer.
+                let extra = rng.usize_in(1, 64);
+                wire.extend((0..extra).map(|_| rng.below(256) as u8));
+            }
+        }
+        // The mutated segment must either decode to *exactly* the
+        // original (the flips cancelled out — possible but vanishingly
+        // rare) or fail typed. It must never return different data.
+        if let Ok((m, p)) = decode_segment(&wire) {
+            assert_eq!(m, meta, "case {case}: decode returned altered meta");
+            assert_eq!(p, payload, "case {case}: decode returned altered payload");
+        }
+    }
+}
+
+#[test]
+fn fuzz_valid_segments_round_trip() {
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("journal_round_trip", case);
+        let meta = arbitrary_meta(&mut rng);
+        let payload = arbitrary_payload(&mut rng);
+        let wire = encode_segment(&meta, &payload);
+        assert_eq!(wire.len(), HEADER_LEN + payload.len() + TRAILER_LEN);
+        let (m, p) = decode_segment(&wire)
+            .unwrap_or_else(|e| panic!("case {case}: valid segment rejected: {e:?}"));
+        assert_eq!(m, meta, "case {case}");
+        assert_eq!(p, payload, "case {case}");
+    }
+}
+
+#[test]
+fn fuzz_crc_is_order_sensitive() {
+    // Sanity on the checksum itself: swapping two unequal bytes must
+    // change the CRC, otherwise shard payload reorderings could slip
+    // through the trailer check.
+    for case in 0..fuzz_cases().min(500) {
+        let mut rng = TestRng::for_case("journal_crc_order", case);
+        let mut bytes = arbitrary_payload(&mut rng);
+        if bytes.len() < 2 {
+            continue;
+        }
+        let a = rng.usize_in(0, bytes.len());
+        let b = rng.usize_in(0, bytes.len());
+        if bytes[a] == bytes[b] {
+            continue;
+        }
+        let before = crc32(&bytes);
+        bytes.swap(a, b);
+        assert_ne!(before, crc32(&bytes), "case {case}");
+    }
+}
