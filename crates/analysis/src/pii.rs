@@ -9,7 +9,7 @@
 //! the classifier).
 
 use serde::{Deserialize, Serialize};
-use sockscope_redlite::Regex;
+use sockscope_redlite::{DfaStats, Regex, RegexSet};
 use sockscope_webmodel::SentItem;
 use std::collections::BTreeSet;
 
@@ -50,22 +50,76 @@ impl ReceivedClass {
     }
 }
 
+/// Every sent-item pattern: `(item, pattern, case_insensitive)`, in the
+/// order the pre-overhaul classifier checked them. Both the one-pass
+/// [`RegexSet`] and the per-regex reference path compile from this table,
+/// so they cannot drift apart.
+const SENT_SPECS: &[(SentItem, &str, bool)] = &[
+    (
+        SentItem::UserAgent,
+        "(user-agent: |(^|[&?])ua=)Mozilla/\\d",
+        true,
+    ),
+    (
+        SentItem::Cookie,
+        "(cookie: |(^|[&?])cookie=)[^&\\n]*[A-Za-z0-9_]+=",
+        true,
+    ),
+    (
+        SentItem::Ip,
+        "(^|[&?])client_ip=(\\d{1,3}\\.){3}\\d{1,3}",
+        false,
+    ),
+    (
+        SentItem::UserId,
+        "(^|[&?])(user_id|client_id|account_id)=[A-Za-z0-9_-]+",
+        true,
+    ),
+    (
+        SentItem::Device,
+        "(^|[&?])device=(desktop|mobile|tablet)",
+        true,
+    ),
+    (SentItem::Screen, "(^|[&?])screen=\\d{3,4}x\\d{3,4}", false),
+    (SentItem::Browser, "(^|[&?])browser=[A-Za-z]+", true),
+    (
+        SentItem::Viewport,
+        "(^|[&?])viewport=\\d{3,4}x\\d{3,4}",
+        false,
+    ),
+    (SentItem::ScrollPosition, "(^|[&?])scroll_y=\\d+", false),
+    (
+        SentItem::Orientation,
+        "(^|[&?])orientation=(landscape|portrait)",
+        true,
+    ),
+    (
+        SentItem::FirstSeen,
+        "(^|[&?])first_seen=\\d{4}-\\d{2}-\\d{2}",
+        false,
+    ),
+    (
+        SentItem::Resolution,
+        "(^|[&?])resolution=\\d{3,4}x\\d{3,4}",
+        false,
+    ),
+    (
+        SentItem::Language,
+        "(^|[&?])lang=[a-z]{2}(-[A-Z]{2})?",
+        false,
+    ),
+    (SentItem::Dom, "(^|[&?])dom=<(!doctype |html)", true),
+];
+
 /// The compiled pattern library.
 pub struct PiiLibrary {
-    user_agent: Regex,
-    cookie: Regex,
-    ip: Regex,
-    user_id: Regex,
-    device: Regex,
-    screen: Regex,
-    browser: Regex,
-    viewport: Regex,
-    scroll: Regex,
-    orientation: Regex,
-    first_seen: Regex,
-    resolution: Regex,
-    language: Regex,
-    dom: Regex,
+    /// One-pass matcher over every sent-item pattern (in [`SENT_SPECS`]
+    /// order): each message is scanned once and the full membership set
+    /// comes back, instead of one Pike-VM walk per pattern.
+    sent_set: RegexSet,
+    /// The same patterns compiled individually — the pre-overhaul shape,
+    /// kept as the reference path for differential tests and benches.
+    sent_ref: Vec<(SentItem, Regex)>,
     html: Regex,
     javascript: Regex,
     ad_image_url: Regex,
@@ -82,23 +136,27 @@ impl PiiLibrary {
     /// the synthetic trackers actually emit, the way the authors wrote
     /// theirs against 2017 tracker traffic.
     pub fn new() -> PiiLibrary {
-        let re = |p: &str| Regex::new(p).expect("library pattern compiles");
         let ci = |p: &str| Regex::new_ci(p).expect("library pattern compiles");
+        let sent_set = RegexSet::with_specs(
+            SENT_SPECS
+                .iter()
+                .map(|&(_, pattern, ci)| (pattern.to_string(), ci)),
+        )
+        .expect("sent-item pattern set compiles");
+        let sent_ref = SENT_SPECS
+            .iter()
+            .map(|&(item, pattern, ci)| {
+                let re = if ci {
+                    Regex::new_ci(pattern)
+                } else {
+                    Regex::new(pattern)
+                };
+                (item, re.expect("library pattern compiles"))
+            })
+            .collect();
         PiiLibrary {
-            user_agent: ci("(user-agent: |(^|[&?])ua=)Mozilla/\\d"),
-            cookie: ci("(cookie: |(^|[&?])cookie=)[^&\\n]*[A-Za-z0-9_]+="),
-            ip: re("(^|[&?])client_ip=(\\d{1,3}\\.){3}\\d{1,3}"),
-            user_id: ci("(^|[&?])(user_id|client_id|account_id)=[A-Za-z0-9_-]+"),
-            device: ci("(^|[&?])device=(desktop|mobile|tablet)"),
-            screen: re("(^|[&?])screen=\\d{3,4}x\\d{3,4}"),
-            browser: ci("(^|[&?])browser=[A-Za-z]+"),
-            viewport: re("(^|[&?])viewport=\\d{3,4}x\\d{3,4}"),
-            scroll: re("(^|[&?])scroll_y=\\d+"),
-            orientation: ci("(^|[&?])orientation=(landscape|portrait)"),
-            first_seen: re("(^|[&?])first_seen=\\d{4}-\\d{2}-\\d{2}"),
-            resolution: re("(^|[&?])resolution=\\d{3,4}x\\d{3,4}"),
-            language: re("(^|[&?])lang=[a-z]{2}(-[A-Z]{2})?"),
-            dom: ci("(^|[&?])dom=<(!doctype |html)"),
+            sent_set,
+            sent_ref,
             html: ci("^[ \\t]*<(!doctype |html|body|div)"),
             javascript: ci("(\\(function\\(|document\\.createElement|appendChild\\()"),
             ad_image_url: ci("\"img\":\"https?://[^\"]+\\.(jpg|jpeg|png|gif)\""),
@@ -108,28 +166,26 @@ impl PiiLibrary {
     /// Classifies one *sent* payload (text form). Returns every item whose
     /// pattern matches. Newlines separate handshake headers, so patterns
     /// stay line-local where it matters.
+    ///
+    /// Runs as one [`RegexSet`] pass; agrees with
+    /// [`PiiLibrary::classify_sent_text_reference`] on every input.
     pub fn classify_sent_text(&self, text: &str) -> BTreeSet<SentItem> {
-        let mut out = BTreeSet::new();
-        let mut hit = |item: SentItem, re: &Regex| {
-            if re.is_match(text) {
-                out.insert(item);
-            }
-        };
-        hit(SentItem::UserAgent, &self.user_agent);
-        hit(SentItem::Cookie, &self.cookie);
-        hit(SentItem::Ip, &self.ip);
-        hit(SentItem::UserId, &self.user_id);
-        hit(SentItem::Device, &self.device);
-        hit(SentItem::Screen, &self.screen);
-        hit(SentItem::Browser, &self.browser);
-        hit(SentItem::Viewport, &self.viewport);
-        hit(SentItem::ScrollPosition, &self.scroll);
-        hit(SentItem::Orientation, &self.orientation);
-        hit(SentItem::FirstSeen, &self.first_seen);
-        hit(SentItem::Resolution, &self.resolution);
-        hit(SentItem::Language, &self.language);
-        hit(SentItem::Dom, &self.dom);
-        out
+        self.sent_set
+            .matches(text)
+            .iter()
+            .map(|i| SENT_SPECS[i].0)
+            .collect()
+    }
+
+    /// Reference classification: one independent Pike-VM scan per pattern,
+    /// exactly the pre-overhaul hot path. Kept for differential tests and
+    /// the `matchers` micro-bench.
+    pub fn classify_sent_text_reference(&self, text: &str) -> BTreeSet<SentItem> {
+        self.sent_ref
+            .iter()
+            .filter(|(_, re)| re.pikevm_is_match(text))
+            .map(|&(item, _)| item)
+            .collect()
     }
 
     /// Classifies sent bytes: undecodable payloads are
@@ -181,6 +237,16 @@ impl PiiLibrary {
                 }
             }
         }
+    }
+
+    /// Aggregated lazy-DFA cache counters across the library's single
+    /// regexes (the received-side classifiers). Feeds the
+    /// `BENCH_pipeline.json` `matcher_cache` section.
+    pub fn cache_stats(&self) -> DfaStats {
+        let mut stats = self.html.cache_stats();
+        stats.merge(&self.javascript.cache_stats());
+        stats.merge(&self.ad_image_url.cache_stats());
+        stats
     }
 
     /// Extracts Lockerdome-style ad-image URLs and captions from a payload
@@ -339,5 +405,37 @@ mod tests {
         let lib = lib();
         assert_eq!(lib.classify_received(b"pong"), None);
         assert!(lib.classify_sent(b"heartbeat 1234").is_empty());
+    }
+
+    /// The one-pass set and the per-regex reference must agree on every
+    /// payload shape the synthetic trackers can emit.
+    #[test]
+    fn one_pass_classification_equals_reference() {
+        let lib = lib();
+        let ctx = ValueContext::deterministic(77);
+        let mut corpus: Vec<String> = vec![
+            String::new(),
+            "heartbeat 1234".into(),
+            "GET /socket HTTP/1.1\r\nHost: ws.zopim.com\r\nUser-Agent: Mozilla/5.0 (X11) Chrome/57.0\r\nCookie: uid=42; _ga=GA1.2.3.4\r\n\r\n".into(),
+            "cookie=uid=deadbeef; _ga=GA1.2.3".into(),
+            "user_id=client_0000ab12&screen=1920x1080&lang=en-US".into(),
+            "?ua=Mozilla/5&device=tablet&orientation=portrait".into(),
+            "client_ip=10.0.0.1&scroll_y=44&first_seen=2017-11-02".into(),
+            "SCREEN=1920x1080".into(), // ci vs cs must stay distinguishable
+            "naïve café ☃".into(),
+        ];
+        for item in SentItem::ALL {
+            corpus.push(match ctx.render_sent(&[item]) {
+                Payload::Text(t) => t,
+                Payload::Binary(_) => continue,
+            });
+        }
+        for text in &corpus {
+            assert_eq!(
+                lib.classify_sent_text(text),
+                lib.classify_sent_text_reference(text),
+                "one-pass vs reference diverged on {text:?}"
+            );
+        }
     }
 }

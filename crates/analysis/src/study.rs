@@ -126,8 +126,9 @@ impl Study {
     }
 
     /// Builds the synthetic universe a config describes (shared by the
-    /// in-memory and checkpointed drivers so both crawl the same web).
-    pub(crate) fn universe(config: &StudyConfig) -> SyntheticWeb {
+    /// in-memory and checkpointed drivers — and the perf harness — so all
+    /// of them crawl the same web).
+    pub fn universe(config: &StudyConfig) -> SyntheticWeb {
         SyntheticWeb::new(WebGenConfig {
             seed: config.seed,
             n_sites: config.n_sites,
@@ -137,14 +138,14 @@ impl Study {
 
     /// Parses the universe's generated filter lists into the combined
     /// labeling/blocking engine.
-    pub(crate) fn engine_for(web: &SyntheticWeb) -> Engine {
+    pub fn engine_for(web: &SyntheticWeb) -> Engine {
         let (engine, errs) = Engine::parse_many(&[&web.easylist(), &web.easyprivacy()]);
         debug_assert!(errs.is_empty(), "generated lists must parse: {errs:?}");
         engine
     }
 
     /// Derives the crawl config a study config implies.
-    pub(crate) fn crawl_config(config: &StudyConfig) -> CrawlConfig {
+    pub fn crawl_config(config: &StudyConfig) -> CrawlConfig {
         CrawlConfig {
             seed: config.seed ^ 0xC4A31,
             max_links: config.max_links,
@@ -157,11 +158,7 @@ impl Study {
     /// labeling observations, thresholds `D'` (§3.2), and packages the
     /// result. Shared by every pipeline, including resume — identical
     /// reductions always yield an identical study.
-    pub(crate) fn assemble(
-        web: &SyntheticWeb,
-        engine: Engine,
-        reductions: Vec<CrawlReduction>,
-    ) -> Study {
+    pub fn assemble(web: &SyntheticWeb, engine: Engine, reductions: Vec<CrawlReduction>) -> Study {
         let cdn_overrides = web.catalog().manual_overrides();
         let mut labeler = Labeler::new();
         for (host, company) in &cdn_overrides {
@@ -169,12 +166,7 @@ impl Study {
         }
         for red in &reductions {
             for (host, (a, n)) in &red.label_counts {
-                for _ in 0..*a {
-                    labeler.observe(host, true);
-                }
-                for _ in 0..*n {
-                    labeler.observe(host, false);
-                }
+                labeler.observe_counts(host, *a, *n);
             }
         }
         let aa = labeler.finalize_paper();

@@ -1,0 +1,403 @@
+//! End-to-end pipeline perf harness → `BENCH_pipeline.json`.
+//!
+//! Runs the study pipeline stage by stage — universe generation, filter
+//! parsing, the four crawls, payload classification, reduction/labeling —
+//! timing each separately, then races the two matcher hot paths against
+//! their retained reference engines on a corpus extracted from the crawl
+//! itself:
+//!
+//! * **classify** — one-pass `RegexSet` PII classification vs the
+//!   per-regex Pike-VM scan ([`PiiLibrary::classify_sent_text_reference`]);
+//! * **decide** — token-indexed filter evaluation vs the linear
+//!   every-generic-rule scan ([`Engine::evaluate_reference`]).
+//!
+//! The result (wall times, messages/sec, URLs/sec, lazy-DFA cache counters,
+//! token-index coverage) is written to `BENCH_pipeline.json`. Scale comes
+//! from the usual `SOCKSCOPE_*` knobs.
+//!
+//! `perf --check [path]` re-reads a written report and validates the
+//! schema: every key present, every timing positive, both speedups finite.
+//! CI's perf-smoke job runs the harness at `SOCKSCOPE_SITES=2000` and then
+//! `--check`s the artifact it uploads.
+
+use serde::{Deserialize, Serialize};
+use sockscope_analysis::{CrawlReduction, PiiLibrary, Study};
+use sockscope_crawler::SiteRecord;
+use sockscope_filterlist::{RequestContext, ResourceType};
+use sockscope_inclusion::NodeKind;
+use sockscope_urlkit::Url;
+use sockscope_webgen::CrawlEra;
+use std::time::Instant;
+
+/// Matcher-corpus cap: keeps the before/after race bounded at paper scale.
+/// Corpus sizes are recorded in the report, so a capped run is visible.
+const MAX_CORPUS: usize = 250_000;
+
+const SCHEMA: &str = "sockscope-bench-pipeline/1";
+const DEFAULT_PATH: &str = "BENCH_pipeline.json";
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchReport {
+    schema: String,
+    sites: usize,
+    threads: usize,
+    seed_hex: String,
+    stages: Stages,
+    throughput: Throughput,
+    matchers: Matchers,
+}
+
+/// Wall time of each pipeline stage, in seconds.
+#[derive(Debug, Serialize, Deserialize)]
+struct Stages {
+    universe_s: f64,
+    filters_s: f64,
+    crawl_s: f64,
+    classification_s: f64,
+    reduction_s: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Throughput {
+    /// Classified payload messages per second (one-pass path).
+    messages_per_s: f64,
+    /// Filter decisions per second (token-indexed path).
+    urls_per_s: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Matchers {
+    classify: Classify,
+    decide: Decide,
+    dfa: DfaCounters,
+    filter_index: IndexCounters,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Classify {
+    /// Corpus size (handshakes + text frames + query-bearing URLs).
+    messages: usize,
+    one_pass_s: f64,
+    per_regex_s: f64,
+    /// `per_regex_s / one_pass_s`.
+    speedup: f64,
+    /// Total items found (must agree across both paths).
+    items: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Decide {
+    /// Corpus size (HTTP resource requests from the crawl).
+    urls: usize,
+    tokenized_s: f64,
+    linear_s: f64,
+    /// `linear_s / tokenized_s`.
+    speedup: f64,
+    /// Blocked requests (must agree across both paths).
+    blocked: u64,
+}
+
+/// [`sockscope_redlite::DfaStats`], flattened for the report.
+#[derive(Debug, Serialize, Deserialize)]
+struct DfaCounters {
+    states: u64,
+    classes: u64,
+    trans_computed: u64,
+    trans_cached: u64,
+    scans: u64,
+    fallbacks: u64,
+}
+
+/// [`sockscope_filterlist::IndexStats`], flattened for the report.
+#[derive(Debug, Serialize, Deserialize)]
+struct IndexCounters {
+    rules: u64,
+    domain_indexed: u64,
+    tokenized: u64,
+    untokenized: u64,
+}
+
+/// The matcher corpus harvested from crawl records.
+#[derive(Default)]
+struct Corpus {
+    /// Texts the reduction feeds to `classify_sent_text`.
+    messages: Vec<String>,
+    /// `(page_url, request_url, resource_type)` filter-decision inputs.
+    requests: Vec<(String, String, ResourceType)>,
+}
+
+impl Corpus {
+    fn harvest(&mut self, record: &SiteRecord) {
+        for tree in &record.trees {
+            for node in tree.nodes() {
+                match node.kind {
+                    NodeKind::Script | NodeKind::Image | NodeKind::Xhr => {
+                        if self.requests.len() < MAX_CORPUS {
+                            let rtype = match node.kind {
+                                NodeKind::Script => ResourceType::Script,
+                                NodeKind::Image => ResourceType::Image,
+                                _ => ResourceType::Xhr,
+                            };
+                            self.requests
+                                .push((tree.page_url.clone(), node.url.clone(), rtype));
+                        }
+                        if node.url.contains('=') && self.messages.len() < MAX_CORPUS {
+                            self.messages.push(node.url.clone());
+                        }
+                    }
+                    NodeKind::WebSocket => {
+                        let Some(ws) = &node.ws else { continue };
+                        if self.messages.len() < MAX_CORPUS {
+                            self.messages.push(ws.handshake_request.clone());
+                        }
+                        for frame in &ws.sent {
+                            if let Some(t) = frame.as_text() {
+                                if !t.is_empty() && self.messages.len() < MAX_CORPUS {
+                                    self.messages.push(t.to_string());
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("--check") => {
+            let path = args.get(2).map(String::as_str).unwrap_or(DEFAULT_PATH);
+            check(path);
+        }
+        Some(other) => {
+            eprintln!("unknown argument {other:?}; usage: perf [--check [path]]");
+            std::process::exit(2);
+        }
+        None => run(),
+    }
+}
+
+fn run() {
+    let config = sockscope_bench::study_config_from_env();
+    eprintln!(
+        "[sockscope] perf harness: {} sites x 4 crawls, {} threads, seed {:#x}",
+        config.n_sites, config.threads, config.seed
+    );
+
+    let t = Instant::now();
+    let web = Study::universe(&config);
+    let universe_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let engine = Study::engine_for(&web);
+    let filters_s = t.elapsed().as_secs_f64();
+
+    let crawl_config = Study::crawl_config(&config);
+    let shards = config.threads.max(1) * 4;
+    let mut corpus = Corpus::default();
+    let mut reductions = Vec::new();
+    let mut crawl_s = 0.0;
+    let mut reduction_s = 0.0;
+    let lib = PiiLibrary::new();
+    for era in CrawlEra::ALL {
+        let era_web = web.for_era(era);
+        let make_extensions =
+            || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(era));
+
+        // Crawl stage: produce the site records, nothing else.
+        let t = Instant::now();
+        let shard_records: Vec<Vec<SiteRecord>> = sockscope_crawler::crawl_sharded(
+            &era_web,
+            &crawl_config,
+            shards,
+            &make_extensions,
+            &|_shard| Vec::new(),
+            &|acc: &mut Vec<SiteRecord>, record| acc.push(record),
+        );
+        crawl_s += t.elapsed().as_secs_f64();
+
+        for record in shard_records.iter().flatten() {
+            corpus.harvest(record);
+        }
+
+        // Reduction stage: classify + reduce the records just produced.
+        let t = Instant::now();
+        let mut reduction = CrawlReduction::new(era.label(), era.pre_patch());
+        for record in shard_records.iter().flatten() {
+            reduction.observe_site(record, &engine, &lib);
+        }
+        reduction.normalize();
+        reduction_s += t.elapsed().as_secs_f64();
+        reductions.push(reduction);
+        eprintln!(
+            "[sockscope] crawled {}: crawl {:.1}s cum, reduce {:.1}s cum",
+            era.label(),
+            crawl_s,
+            reduction_s
+        );
+    }
+    let t = Instant::now();
+    let study = Study::assemble(&web, engine, reductions);
+    reduction_s += t.elapsed().as_secs_f64();
+
+    // Matcher race 1: one-pass PII classification vs per-regex reference.
+    let t = Instant::now();
+    let mut items_one_pass = 0u64;
+    for msg in &corpus.messages {
+        items_one_pass += lib.classify_sent_text(msg).len() as u64;
+    }
+    let one_pass_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mut items_per_regex = 0u64;
+    for msg in &corpus.messages {
+        items_per_regex += lib.classify_sent_text_reference(msg).len() as u64;
+    }
+    let per_regex_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        items_one_pass, items_per_regex,
+        "one-pass and per-regex classification disagree"
+    );
+
+    // Matcher race 2: token-indexed filter decide vs linear reference.
+    let parsed: Vec<(Url, Url, ResourceType)> = corpus
+        .requests
+        .iter()
+        .filter_map(|(page, url, rtype)| {
+            Some((Url::parse(page).ok()?, Url::parse(url).ok()?, *rtype))
+        })
+        .collect();
+    let t = Instant::now();
+    let mut blocked_tokenized = 0u64;
+    for (page, url, resource_type) in &parsed {
+        let ctx = RequestContext {
+            url,
+            page,
+            resource_type: *resource_type,
+        };
+        blocked_tokenized += study.engine.evaluate(&ctx).is_blocked() as u64;
+    }
+    let tokenized_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mut blocked_linear = 0u64;
+    for (page, url, resource_type) in &parsed {
+        let ctx = RequestContext {
+            url,
+            page,
+            resource_type: *resource_type,
+        };
+        blocked_linear += study.engine.evaluate_reference(&ctx).is_blocked() as u64;
+    }
+    let linear_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        blocked_tokenized, blocked_linear,
+        "tokenized and linear filter decisions disagree"
+    );
+
+    let dfa = lib.cache_stats();
+    let index = study.engine.index_stats();
+    let report = BenchReport {
+        schema: SCHEMA.to_string(),
+        sites: config.n_sites,
+        threads: config.threads,
+        seed_hex: format!("{:#x}", config.seed),
+        stages: Stages {
+            universe_s,
+            filters_s,
+            crawl_s,
+            classification_s: one_pass_s,
+            reduction_s,
+        },
+        throughput: Throughput {
+            messages_per_s: corpus.messages.len() as f64 / one_pass_s.max(1e-9),
+            urls_per_s: parsed.len() as f64 / tokenized_s.max(1e-9),
+        },
+        matchers: Matchers {
+            classify: Classify {
+                messages: corpus.messages.len(),
+                one_pass_s,
+                per_regex_s,
+                speedup: per_regex_s / one_pass_s.max(1e-9),
+                items: items_one_pass,
+            },
+            decide: Decide {
+                urls: parsed.len(),
+                tokenized_s,
+                linear_s,
+                speedup: linear_s / tokenized_s.max(1e-9),
+                blocked: blocked_tokenized,
+            },
+            dfa: DfaCounters {
+                states: dfa.states,
+                classes: dfa.classes,
+                trans_computed: dfa.trans_computed,
+                trans_cached: dfa.trans_cached,
+                scans: dfa.scans,
+                fallbacks: dfa.fallbacks,
+            },
+            filter_index: IndexCounters {
+                rules: index.rules as u64,
+                domain_indexed: index.domain_indexed as u64,
+                tokenized: index.tokenized as u64,
+                untokenized: index.untokenized as u64,
+            },
+        },
+    };
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(DEFAULT_PATH, &json).expect("write BENCH_pipeline.json");
+    eprintln!(
+        "[sockscope] classify: {} msgs, one-pass {:.2}s vs per-regex {:.2}s ({:.1}x)",
+        report.matchers.classify.messages,
+        report.matchers.classify.one_pass_s,
+        report.matchers.classify.per_regex_s,
+        report.matchers.classify.speedup
+    );
+    eprintln!(
+        "[sockscope] decide: {} urls, tokenized {:.2}s vs linear {:.2}s ({:.1}x)",
+        report.matchers.decide.urls,
+        report.matchers.decide.tokenized_s,
+        report.matchers.decide.linear_s,
+        report.matchers.decide.speedup
+    );
+    eprintln!("[sockscope] wrote {DEFAULT_PATH}");
+    println!("{json}");
+}
+
+/// Validates a previously written report: parse (which checks every key is
+/// present with the right type), then sanity-check the numbers.
+fn check(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf --check: cannot read {path}: {e}"));
+    let report: BenchReport = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("perf --check: {path} does not match the schema: {e:?}"));
+    assert_eq!(report.schema, SCHEMA, "schema tag mismatch");
+    assert!(report.sites > 0, "sites must be positive");
+    let stages = [
+        ("universe_s", report.stages.universe_s),
+        ("filters_s", report.stages.filters_s),
+        ("crawl_s", report.stages.crawl_s),
+        ("classification_s", report.stages.classification_s),
+        ("reduction_s", report.stages.reduction_s),
+    ];
+    for (name, v) in stages {
+        assert!(v.is_finite() && v > 0.0, "{name} must be positive, got {v}");
+    }
+    assert!(report.throughput.messages_per_s > 0.0);
+    assert!(report.throughput.urls_per_s > 0.0);
+    assert!(
+        report.matchers.classify.messages > 0,
+        "empty classify corpus"
+    );
+    assert!(report.matchers.decide.urls > 0, "empty decide corpus");
+    for (name, v) in [
+        ("classify.speedup", report.matchers.classify.speedup),
+        ("decide.speedup", report.matchers.decide.speedup),
+    ] {
+        assert!(v.is_finite() && v > 0.0, "{name} must be positive, got {v}");
+    }
+    assert!(report.matchers.filter_index.rules > 0, "no rules compiled");
+    println!("perf --check: {path} OK");
+}

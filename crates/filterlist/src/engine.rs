@@ -47,8 +47,28 @@ pub struct Engine {
     /// Domain-anchored rules indexed by the first hostname label sequence of
     /// their pattern, for cheap candidate lookup.
     domain_index: HashMap<String, Vec<usize>>,
-    /// Rules that must be scanned for every request.
+    /// Rules that must be scanned for every request (pre-token-index
+    /// shape; kept as the reference path for differential tests).
     generic: Vec<usize>,
+    /// Generic rules keyed by one *complete* token of their pattern
+    /// (adblock-style): a rule is only a candidate for URLs that contain
+    /// that token as a maximal `[a-z0-9]` run. See [`choose_token`].
+    token_index: HashMap<u64, Vec<usize>>,
+    /// Generic rules with no usable token; scanned for every request.
+    untokenized: Vec<usize>,
+}
+
+/// Candidate-narrowing statistics for the perf harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexStats {
+    /// Total compiled rules.
+    pub rules: usize,
+    /// Rules reachable through the domain index.
+    pub domain_indexed: usize,
+    /// Generic rules reachable through the token index.
+    pub tokenized: usize,
+    /// Generic rules with no usable token (scanned every request).
+    pub untokenized: usize,
 }
 
 impl Engine {
@@ -104,8 +124,26 @@ impl Engine {
                 }
             }
         }
+        match choose_token(&rule) {
+            Some(token) => self
+                .token_index
+                .entry(fnv1a(token.as_bytes()))
+                .or_default()
+                .push(idx),
+            None => self.untokenized.push(idx),
+        }
         self.rules.push(rule);
         self.generic.push(idx);
+    }
+
+    /// Candidate-narrowing statistics (domain/token index coverage).
+    pub fn index_stats(&self) -> IndexStats {
+        IndexStats {
+            rules: self.rules.len(),
+            domain_indexed: self.domain_index.values().map(Vec::len).sum(),
+            tokenized: self.token_index.values().map(Vec::len).sum(),
+            untokenized: self.untokenized.len(),
+        }
     }
 
     /// All compiled rules.
@@ -124,7 +162,58 @@ impl Engine {
     }
 
     /// Evaluates a request: exceptions beat blocks (ABP semantics).
+    ///
+    /// Hot path: generic rules are narrowed through the token index — only
+    /// rules whose indexed token occurs in the URL are tried, plus the
+    /// untokenizable remainder. Candidate order reproduces the reference
+    /// scan (domain hits, then generic in rule order), and the index is
+    /// sound (a matching rule's token always occurs in the URL), so the
+    /// decision — including the winning rule index — is identical to
+    /// [`Engine::evaluate_reference`] on every request.
     pub fn evaluate(&self, ctx: &RequestContext<'_>) -> Decision {
+        let url_text = ctx.url.to_string().to_ascii_lowercase();
+        let mut block: Option<usize> = None;
+        let mut candidates: Vec<usize> = Vec::new();
+        if let Some(sld) = ctx.url.second_level_domain() {
+            if let Some(v) = self.domain_index.get(sld) {
+                candidates.extend_from_slice(v);
+            }
+        }
+        let domain_hits = candidates.len();
+        if !self.token_index.is_empty() {
+            for_each_url_token(&url_text, |hash| {
+                if let Some(v) = self.token_index.get(&hash) {
+                    candidates.extend_from_slice(v);
+                }
+            });
+        }
+        candidates.extend_from_slice(&self.untokenized);
+        // Restore rule order among the generic candidates so "first match
+        // wins" picks the same rule the linear scan would.
+        candidates[domain_hits..].sort_unstable();
+        for &i in &candidates {
+            let rule = &self.rules[i];
+            if !rule_applies(rule, ctx) {
+                continue;
+            }
+            if pattern_matches(rule, &url_text, ctx.url) {
+                if rule.exception {
+                    return Decision::Allow(i);
+                }
+                block.get_or_insert(i);
+            }
+        }
+        match block {
+            Some(i) => Decision::Block(i),
+            None => Decision::None,
+        }
+    }
+
+    /// Reference evaluation: the pre-token-index shape, scanning every
+    /// generic rule per request. Kept for differential tests and the
+    /// `matchers` micro-bench; must agree with [`Engine::evaluate`] on
+    /// every request (including the winning rule index).
+    pub fn evaluate_reference(&self, ctx: &RequestContext<'_>) -> Decision {
         let url_text = ctx.url.to_string().to_ascii_lowercase();
         let mut block: Option<usize> = None;
         let mut candidates: Vec<usize> = Vec::new();
@@ -156,6 +245,95 @@ impl Engine {
     pub fn blocks(&self, ctx: &RequestContext<'_>) -> bool {
         self.evaluate(ctx).is_blocked()
     }
+}
+
+/// `true` for characters that make up an indexable token. The URL text is
+/// lowercased before tokenization, so `[a-z0-9]` covers every token char.
+fn is_token_char(c: u8) -> bool {
+    c.is_ascii_lowercase() || c.is_ascii_digit()
+}
+
+/// FNV-1a over the token bytes. Collisions only add false candidates —
+/// every candidate is still verified by the full matcher.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Calls `f` with the hash of every maximal token run in the (lowercased)
+/// URL text.
+fn for_each_url_token(url_text: &str, mut f: impl FnMut(u64)) {
+    let bytes = url_text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if is_token_char(bytes[i]) {
+            let start = i;
+            while i < bytes.len() && is_token_char(bytes[i]) {
+                i += 1;
+            }
+            f(fnv1a(&bytes[start..i]));
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Tokens so common in URLs that indexing on them narrows nothing.
+const STOP_TOKENS: &[&str] = &["http", "https", "www", "com", "net", "org"];
+
+/// Picks the token a generic rule is indexed under, or `None` when the
+/// pattern has no usable token.
+///
+/// A run of token chars inside a rule part is *usable* only when the rule
+/// guarantees the matched URL contains it as a **maximal** run:
+///
+/// * left boundary — a non-token char precedes it in the part (`^`, `.`,
+///   `-`, `_`, `%`, `/`, …), or it starts the first part of a
+///   start-/domain-anchored rule (the match begins at the URL start, the
+///   host boundary, or right after `://` — all non-token contexts);
+/// * right boundary — a non-token char follows it in the part, or it ends
+///   the last part of an end-anchored rule.
+///
+/// Runs adjacent to a `*` wildcard are never usable (the wildcard can
+/// continue the run in the URL). The longest usable run wins, preferring
+/// anything over [`STOP_TOKENS`].
+fn choose_token(rule: &Rule) -> Option<&str> {
+    let last_part = rule.parts.len().saturating_sub(1);
+    let mut best: Option<&str> = None;
+    let mut best_stop: Option<&str> = None;
+    for (pi, part) in rule.parts.iter().enumerate() {
+        let bytes = part.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if !is_token_char(bytes[i]) {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < bytes.len() && is_token_char(bytes[i]) {
+                i += 1;
+            }
+            let left_ok = start > 0 || (pi == 0 && rule.anchor != Anchor::None);
+            let right_ok = i < bytes.len() || (pi == last_part && rule.end_anchor);
+            if !(left_ok && right_ok) {
+                continue;
+            }
+            let run = &part[start..i];
+            let slot = if STOP_TOKENS.contains(&run) {
+                &mut best_stop
+            } else {
+                &mut best
+            };
+            if slot.map(str::len).unwrap_or(0) < run.len() {
+                *slot = Some(run);
+            }
+        }
+    }
+    best.or(best_stop)
 }
 
 /// Checks the rule's option constraints against the request.
@@ -468,6 +646,88 @@ mod tests {
             e.evaluate(&ctx(&u, &page, ResourceType::Script)),
             Decision::None
         );
+    }
+
+    /// The token index must never change a decision — not even the
+    /// winning rule index — relative to the linear reference scan.
+    #[test]
+    fn token_index_is_a_pure_accelerator() {
+        let list = "\
+||doubleclick.net^
+/banner/*/ad_
+@@||adnet.example/allowed/$script
+||adnet.example^
+/AdServer/
+-advert-
+track.gif?
+_300x250.
+$websocket,domain=pub.example
+|http://ads.example/track|
+||cdn.example/ads/$domain=news.example|sports.example
+@@/banner/*/ad_allowed
+^pixel^
+*tail_anchor|
+";
+        let e = engine(list);
+        let pages = [
+            url("http://pub.example/"),
+            url("http://news.example/story"),
+            url("http://adnet.example/home"),
+        ];
+        let urls = [
+            "http://doubleclick.net/ads",
+            "https://x.doubleclick.net/pixel?id=1",
+            "http://cdn.example/banner/728x90/ad_top.png",
+            "http://cdn.example/banner/728x90/ad_allowed",
+            "http://adnet.example/allowed/lib.js",
+            "http://adnet.example/banner.js",
+            "http://cdn.example/adserver/x.gif",
+            "http://x.example/-advert-/a",
+            "http://x.example/track.gif?uid=1",
+            "http://x.example/img_300x250.png",
+            "ws://collector.example/s",
+            "http://ads.example/track",
+            "http://cdn.example/ads/a.js",
+            "http://x.example/a/pixel/b",
+            "http://x.example/some/tail_anchor",
+            "http://clean.example/index.html",
+        ];
+        let types = [
+            ResourceType::Script,
+            ResourceType::Image,
+            ResourceType::WebSocket,
+        ];
+        for page in &pages {
+            for u in urls {
+                let u = url(u);
+                for t in types {
+                    let c = ctx(&u, page, t);
+                    assert_eq!(
+                        e.evaluate(&c),
+                        e.evaluate_reference(&c),
+                        "diverged on {u} ({t:?}) from {page}"
+                    );
+                }
+            }
+        }
+        let stats = e.index_stats();
+        assert!(stats.tokenized > 0, "{stats:?}");
+        assert_eq!(
+            stats.rules,
+            stats.domain_indexed + stats.tokenized + stats.untokenized,
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn wildcard_adjacent_runs_are_not_tokens() {
+        // "/banner/*/ad_": "banner" is bounded by slashes (usable), but
+        // "ad_"'s run "ad" is left-bounded by '/' and right-bounded by
+        // '_' — while "*tail" style runs must stay out of the index.
+        let e = engine("*banner_tail");
+        let stats = e.index_stats();
+        assert_eq!(stats.tokenized, 0, "{stats:?}");
+        assert_eq!(stats.untokenized, 1, "{stats:?}");
     }
 
     #[test]

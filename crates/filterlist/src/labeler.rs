@@ -21,6 +21,10 @@ pub struct Labeler {
     counts: HashMap<String, (u64, u64)>,
     /// Fully-qualified CDN hostname → owning A&A company's 2nd-level domain.
     cdn_overrides: HashMap<String, String>,
+    /// Memoized hostname → aggregation key. Crawls observe the same few
+    /// hosts millions of times; without this every [`Labeler::observe`]
+    /// re-lowercases the host and re-allocates its SLD string.
+    key_cache: HashMap<String, String>,
 }
 
 impl Labeler {
@@ -38,6 +42,8 @@ impl Labeler {
     ) -> Labeler {
         self.cdn_overrides
             .insert(fq_host.into().to_ascii_lowercase(), company_domain.into());
+        // Cached keys may predate this override.
+        self.key_cache.clear();
         self
     }
 
@@ -53,13 +59,34 @@ impl Labeler {
 
     /// Records one observation of `host`, tagged A&A or not.
     pub fn observe(&mut self, host: &str, tagged_aa: bool) {
-        let key = self.aggregation_key(host);
-        let entry = self.counts.entry(key).or_insert((0, 0));
-        if tagged_aa {
-            entry.0 += 1;
-        } else {
-            entry.1 += 1;
+        self.observe_counts(host, tagged_aa as u64, !tagged_aa as u64);
+    }
+
+    /// Records `tagged_aa` A&A and `untagged` non-A&A observations of
+    /// `host` at once. The steady-state path (host and key both seen
+    /// before) performs no allocation: the aggregation key comes from the
+    /// memo and the counts slot is updated in place.
+    pub fn observe_counts(&mut self, host: &str, tagged_aa: u64, untagged: u64) {
+        if tagged_aa == 0 && untagged == 0 {
+            return;
         }
+        if let Some(key) = self.key_cache.get(host) {
+            if let Some(entry) = self.counts.get_mut(key) {
+                entry.0 += tagged_aa;
+                entry.1 += untagged;
+                return;
+            }
+            let key = key.clone();
+            let entry = self.counts.entry(key).or_insert((0, 0));
+            entry.0 += tagged_aa;
+            entry.1 += untagged;
+            return;
+        }
+        let key = self.aggregation_key(host);
+        self.key_cache.insert(host.to_string(), key.clone());
+        let entry = self.counts.entry(key).or_insert((0, 0));
+        entry.0 += tagged_aa;
+        entry.1 += untagged;
     }
 
     /// `a(d)` — A&A-tagged observations of domain `d`.
@@ -220,6 +247,40 @@ mod tests {
         assert!(!set.contains("cloudfront.net"));
         assert!(set.is_aa_host("d10lpsik1i8c69.cloudfront.net"));
         assert!(!set.is_aa_host("d99other.cloudfront.net"));
+    }
+
+    #[test]
+    fn bulk_observe_equals_repeated_observe() {
+        let mut bulk = Labeler::new().with_cdn_override("d1.cdn.example", "owner.example");
+        let mut single = bulk.clone();
+        for (host, a, n) in [
+            ("x.tracker.example", 7u64, 2u64),
+            ("d1.cdn.example", 3, 0),
+            ("pub.example", 0, 11),
+            ("x.tracker.example", 1, 4),
+        ] {
+            bulk.observe_counts(host, a, n);
+            for _ in 0..a {
+                single.observe(host, true);
+            }
+            for _ in 0..n {
+                single.observe(host, false);
+            }
+        }
+        for d in ["tracker.example", "owner.example", "pub.example"] {
+            assert_eq!(bulk.aa_count(d), single.aa_count(d), "{d}");
+            assert_eq!(bulk.non_aa_count(d), single.non_aa_count(d), "{d}");
+        }
+    }
+
+    #[test]
+    fn key_memoization_keeps_case_aggregation() {
+        let mut l = Labeler::new();
+        l.observe("TRACKER.example", true);
+        l.observe("tracker.example", true);
+        l.observe("cdn.tracker.example", false);
+        assert_eq!(l.aa_count("tracker.example"), 2);
+        assert_eq!(l.non_aa_count("tracker.example"), 1);
     }
 
     #[test]

@@ -17,6 +17,9 @@ pub enum Error {
     DanglingEscape,
     /// Unknown escape sequence.
     UnknownEscape(char),
+    /// A [`crate::RegexSet`] holds more patterns than its bitmask can
+    /// track (cap: 64).
+    SetTooLarge,
 }
 
 impl fmt::Display for Error {
@@ -28,6 +31,7 @@ impl fmt::Display for Error {
             Error::RepetitionTooLarge => write!(f, "repetition bound exceeds 1000"),
             Error::DanglingEscape => write!(f, "dangling escape at end of pattern"),
             Error::UnknownEscape(c) => write!(f, "unknown escape \\{c}"),
+            Error::SetTooLarge => write!(f, "regex set holds more than 64 patterns"),
         }
     }
 }

@@ -8,10 +8,22 @@
 //!
 //! ## Engine
 //!
-//! Patterns compile to a Thompson NFA executed by a Pike VM, so matching is
-//! **linear in the input** — no backtracking blow-ups, which matters because
-//! the analyzer runs every pattern over every WebSocket payload (including
-//! megabyte DOM-exfiltration blobs) in the benchmarks.
+//! Patterns compile to a Thompson NFA; the Pike VM remains the semantic
+//! reference (linear in the input, no backtracking blow-ups). On top of it
+//! sit three fast paths, none of which may ever change a decision:
+//!
+//! * **Literal prefilters** ([`literal`](crate)) — required/prefix
+//!   literals extracted from the AST reject most haystacks with plain
+//!   substring scans before any engine runs.
+//! * **A lazy DFA** — existence checks run on cached byte-class
+//!   transitions; the bounded state cache falls back to the Pike VM when
+//!   it overflows (see [`DfaStats`]).
+//! * **[`RegexSet`]** — one combined pass reports the full set of matching
+//!   patterns, which is how the PII library classifies each message.
+//!
+//! The reference engine stays reachable via [`Regex::pikevm_is_match`] /
+//! [`Regex::pikevm_find`]; the differential fuzz target in the workspace
+//! root asserts the paths never disagree.
 //!
 //! ## Supported syntax
 //!
@@ -31,16 +43,49 @@
 #![warn(missing_docs)]
 
 mod ast;
+mod dfa;
+mod literal;
 mod nfa;
+mod set;
 mod vm;
 
 pub use ast::Error;
+pub use dfa::DfaStats;
+pub use set::{RegexSet, SetMatches};
+
+use std::sync::Mutex;
 
 /// A compiled regular expression.
-#[derive(Debug, Clone)]
 pub struct Regex {
     program: nfa::Program,
     pattern: String,
+    ci: bool,
+    prefilter: literal::Prefilter,
+    /// Lazy-DFA cache. `try_lock` on the hot path: under contention the
+    /// caller simply runs the Pike VM, so the lock never blocks matching.
+    dfa: Mutex<dfa::LazyDfa>,
+}
+
+impl std::fmt::Debug for Regex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Regex")
+            .field("pattern", &self.pattern)
+            .field("ci", &self.ci)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for Regex {
+    fn clone(&self) -> Regex {
+        Regex {
+            program: self.program.clone(),
+            pattern: self.pattern.clone(),
+            ci: self.ci,
+            prefilter: self.prefilter.clone(),
+            // A fresh, empty DFA cache: states re-fill lazily.
+            dfa: Mutex::new(dfa::LazyDfa::new(&self.program)),
+        }
+    }
 }
 
 /// A successful match: byte offsets into the haystack.
@@ -66,9 +111,14 @@ impl Regex {
     fn compile(pattern: &str, ci: bool) -> Result<Regex, Error> {
         let ast = ast::parse(pattern, ci)?;
         let program = nfa::compile(&ast);
+        let prefilter = literal::Prefilter::from_ast(&ast, ci);
+        let dfa = Mutex::new(dfa::LazyDfa::new(&program));
         Ok(Regex {
             program,
             pattern: pattern.to_string(),
+            ci,
+            prefilter,
+            dfa,
         })
     }
 
@@ -78,14 +128,69 @@ impl Regex {
     }
 
     /// `true` if the pattern matches anywhere in `haystack`. Faster than
-    /// [`Regex::find`]: stops at the first accepting state.
+    /// [`Regex::find`]: required-literal prefilter, then the lazy DFA,
+    /// with the Pike VM as fallback. Decisions are identical to
+    /// [`Regex::pikevm_is_match`] on every input.
     pub fn is_match(&self, haystack: &str) -> bool {
+        if !self.prefilter.admits(haystack, 0) {
+            if let Ok(mut d) = self.dfa.try_lock() {
+                d.note_prefilter_reject();
+            }
+            return false;
+        }
+        let start = match self.prefilter.earliest_start(haystack, 0) {
+            Some(s) => s,
+            None => return false,
+        };
+        if self.program.anchored_start && start > 0 {
+            // Anchored pattern whose guaranteed prefix is absent at 0.
+            return false;
+        }
+        if let Ok(mut d) = self.dfa.try_lock() {
+            let prefix = dfa::prefix_of(&self.prefilter);
+            if let Some(hit) = d.is_match(&self.program, haystack, start, prefix) {
+                return hit;
+            }
+        }
         vm::is_match(&self.program, haystack)
     }
 
     /// Leftmost match in `haystack`.
+    ///
+    /// Span resolution always runs on the Pike VM; the prefilter only
+    /// advances the scan to the first viable start position, which cannot
+    /// change the leftmost match.
     pub fn find(&self, haystack: &str) -> Option<Match> {
+        self.find_at(haystack, 0)
+    }
+
+    fn find_at(&self, haystack: &str, from: usize) -> Option<Match> {
+        if !self.prefilter.admits(haystack, from) {
+            return None;
+        }
+        let start = self.prefilter.earliest_start(haystack, from)?;
+        if self.program.anchored_start {
+            // The prefix-occurrence shortcut does not apply to anchored
+            // patterns (their only viable start is position 0).
+            return vm::find(&self.program, haystack, from);
+        }
+        vm::find(&self.program, haystack, start)
+    }
+
+    /// Reference existence check on the bare Pike VM — the engine the
+    /// fast paths are differentially tested against.
+    pub fn pikevm_is_match(&self, haystack: &str) -> bool {
+        vm::is_match(&self.program, haystack)
+    }
+
+    /// Reference leftmost match on the bare Pike VM (no prefilter).
+    pub fn pikevm_find(&self, haystack: &str) -> Option<Match> {
         vm::find(&self.program, haystack, 0)
+    }
+
+    /// Snapshot of this regex's lazy-DFA cache counters.
+    pub fn cache_stats(&self) -> DfaStats {
+        self.dfa.lock().map(|d| d.stats()).unwrap_or_default()
     }
 
     /// Iterates non-overlapping matches left to right.
@@ -117,7 +222,7 @@ impl Iterator for Matches<'_, '_> {
         if self.pos > self.haystack.len() {
             return None;
         }
-        let m = vm::find(&self.re.program, self.haystack, self.pos)?;
+        let m = self.re.find_at(self.haystack, self.pos)?;
         // Advance past the match; for empty matches advance one char to
         // guarantee progress.
         self.pos = if m.end == m.start {
@@ -258,6 +363,78 @@ mod tests {
         assert!(Regex::new("a{2,1}").is_err());
         assert!(Regex::new("*a").is_err());
         assert!(Regex::new("a{999999999999}").is_err());
+    }
+
+    #[test]
+    fn regex_types_stay_send_and_sync() {
+        // The analysis stage shares one PiiLibrary across scoped threads.
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<Regex>();
+        assert_sync::<RegexSet>();
+    }
+
+    #[test]
+    fn fast_paths_agree_with_the_pike_vm() {
+        let specs = [
+            ("cookie", false),
+            ("(^|[&?])ua=Mozilla/\\d", false),
+            ("user-agent", true),
+            ("^uid=", false),
+            ("\\d+$", false),
+            ("(a|b)*c", false),
+            ("[^x]y", false),
+        ];
+        let hays = [
+            "",
+            "cookie=1",
+            "the cookie jar",
+            "?ua=Mozilla/5",
+            "ua=Chrome",
+            "User-AGENT: x",
+            "uid=42",
+            "xuid=42",
+            "build 42",
+            "42 builds",
+            "abababc",
+            "zy xy",
+            "naïve café",
+        ];
+        for (pat, ci) in specs {
+            let re = Regex::compile(pat, ci).unwrap();
+            for hay in hays {
+                assert_eq!(
+                    re.is_match(hay),
+                    re.pikevm_is_match(hay),
+                    "is_match disagrees: {pat:?} on {hay:?}"
+                );
+                assert_eq!(
+                    re.find(hay),
+                    re.pikevm_find(hay),
+                    "find disagrees: {pat:?} on {hay:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_stats_record_scans_and_cached_transitions() {
+        let re = Regex::new("ab+c").unwrap();
+        assert!(re.is_match("xxabbbc"));
+        assert!(re.is_match("xxabbbc"));
+        let stats = re.cache_stats();
+        assert!(stats.scans >= 2, "{stats:?}");
+        assert!(stats.states >= 2, "{stats:?}");
+        assert!(stats.trans_cached > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn clone_resets_the_dfa_cache_but_not_decisions() {
+        let re = Regex::new("needle[0-9]+").unwrap();
+        assert!(re.is_match("xx needle7"));
+        let clone = re.clone();
+        assert_eq!(clone.cache_stats().scans, 0);
+        assert!(clone.is_match("xx needle7"));
+        assert!(!clone.is_match("xx needle"));
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! Literal prefilters extracted from the pattern AST.
+//!
+//! Before the NFA machinery runs at all, two cheap facts about a pattern
+//! let most haystacks be rejected (or most of a haystack be skipped) with
+//! nothing but substring scans:
+//!
+//! * **Required literals** — a set `S` of strings such that *every* match
+//!   must contain at least one element of `S` inside its span. If no
+//!   element of `S` occurs in the haystack, the pattern cannot match and
+//!   neither the DFA nor the Pike VM needs to start.
+//! * **Prefix literal** — a string every match must *start* with. The
+//!   leftmost possible match start is therefore the leftmost occurrence of
+//!   the prefix, so the scan can jump straight there (and the lazy DFA can
+//!   re-synchronize to the next occurrence whenever it falls back to its
+//!   bare start state).
+//!
+//! Extraction is conservative: whenever a node's contribution cannot be
+//! proven (alternations without common structure, `{0,…}` repeats, negated
+//! or multi-char classes), the corresponding filter is simply absent and
+//! matching falls through to the engines. Case-insensitive patterns store
+//! lowercased literals and search with an ASCII-case-folding scan.
+
+use crate::ast::{Ast, CharClass};
+
+/// Longest literal kept; longer runs are truncated (a substring of a
+/// required literal is itself required, so truncation stays sound).
+const MAX_LIT_LEN: usize = 24;
+/// Largest required-literal set; beyond this the filter is dropped.
+const MAX_REQUIRED: usize = 16;
+
+/// The compiled prefilter for one pattern.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Prefilter {
+    /// Every match contains at least one of these literals (when `Some`).
+    pub required: Option<Vec<String>>,
+    /// Every match starts with this literal (when `Some`).
+    pub prefix: Option<String>,
+    /// Literals are lowercased; search must fold ASCII case.
+    pub ci: bool,
+}
+
+impl Prefilter {
+    /// Extracts both filters from a parsed pattern.
+    pub fn from_ast(ast: &Ast, ci: bool) -> Prefilter {
+        let required = required_literals(ast).filter(|s| !s.is_empty());
+        let mut prefix = String::new();
+        collect_prefix(ast, &mut prefix);
+        truncate_on_char_boundary(&mut prefix, MAX_LIT_LEN);
+        Prefilter {
+            required,
+            prefix: if prefix.is_empty() {
+                None
+            } else {
+                Some(prefix)
+            },
+            ci,
+        }
+    }
+
+    /// `true` if the haystack (from `from`) can possibly contain a match.
+    pub fn admits(&self, haystack: &str, from: usize) -> bool {
+        match &self.required {
+            None => true,
+            Some(lits) => lits
+                .iter()
+                .any(|lit| find_lit(haystack, lit, self.ci, from).is_some()),
+        }
+    }
+
+    /// Leftmost possible match start at or after `from`: the next prefix
+    /// occurrence when a prefix literal exists, `from` otherwise. `None`
+    /// means a prefix exists but never occurs again — no match is possible.
+    pub fn earliest_start(&self, haystack: &str, from: usize) -> Option<usize> {
+        match &self.prefix {
+            None => Some(from),
+            Some(p) => find_lit(haystack, p, self.ci, from),
+        }
+    }
+}
+
+/// If the class matches exactly one character (or exactly one ASCII letter
+/// in both cases, as the case-insensitive compiler emits), returns that
+/// character lowercased.
+fn single_char(class: &CharClass) -> Option<char> {
+    if class.negated {
+        return None;
+    }
+    let mut ranges = class.ranges.clone();
+    ranges.sort_unstable();
+    ranges.dedup();
+    match ranges.as_slice() {
+        [(lo, hi)] if lo == hi => Some(*lo),
+        // The case-insensitive widening turns `a` into {A, a}.
+        [(a, b), (c, d)]
+            if a == b && c == d && a.is_ascii_uppercase() && *c == a.to_ascii_lowercase() =>
+        {
+            Some(*c)
+        }
+        _ => None,
+    }
+}
+
+fn truncate_on_char_boundary(s: &mut String, max: usize) {
+    if s.len() > max {
+        let mut cut = max;
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        s.truncate(cut);
+    }
+}
+
+/// Computes the required-literal set: `Some(S)` means every match contains
+/// at least one element of `S`; `None` means no such guarantee was found.
+fn required_literals(ast: &Ast) -> Option<Vec<String>> {
+    match ast {
+        Ast::Class(c) => single_char(c).map(|ch| vec![ch.to_string()]),
+        Ast::Empty | Ast::AnyChar | Ast::StartAnchor | Ast::EndAnchor => None,
+        Ast::Concat(items) => {
+            // Any one item's requirement suffices; prefer the candidate
+            // whose weakest literal is longest. Maximal runs of single
+            // chars across adjacent items form longer literals.
+            let mut best: Option<Vec<String>> = None;
+            let mut run = String::new();
+            let consider = |cand: Option<Vec<String>>, best: &mut Option<Vec<String>>| {
+                if let Some(cand) = cand {
+                    if score(&cand) > best.as_deref().map(score).unwrap_or(0) {
+                        *best = Some(cand);
+                    }
+                }
+            };
+            for item in items {
+                if let Ast::Class(c) = item {
+                    if let Some(ch) = single_char(c) {
+                        if run.len() < MAX_LIT_LEN {
+                            run.push(ch);
+                        }
+                        continue;
+                    }
+                }
+                if !run.is_empty() {
+                    consider(Some(vec![std::mem::take(&mut run)]), &mut best);
+                }
+                consider(required_literals(item), &mut best);
+            }
+            if !run.is_empty() {
+                consider(Some(vec![run]), &mut best);
+            }
+            best
+        }
+        Ast::Alt(branches) => {
+            // Every branch must guarantee a literal; the union is required.
+            let mut union: Vec<String> = Vec::new();
+            for branch in branches {
+                let lits = required_literals(branch)?;
+                for lit in lits {
+                    if !union.contains(&lit) {
+                        union.push(lit);
+                    }
+                }
+                if union.len() > MAX_REQUIRED {
+                    return None;
+                }
+            }
+            Some(union)
+        }
+        Ast::Repeat { node, min, .. } => {
+            if *min >= 1 {
+                required_literals(node)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Score of a candidate set: the length of its weakest literal (a set is
+/// only as selective as its shortest member).
+fn score(lits: &[String]) -> usize {
+    lits.iter().map(String::len).min().unwrap_or(0)
+}
+
+/// Appends the literal every match must start with; stops at the first
+/// node whose leading text is not an exact single character.
+fn collect_prefix(ast: &Ast, out: &mut String) {
+    match ast {
+        Ast::Class(c) => {
+            if let Some(ch) = single_char(c) {
+                out.push(ch);
+            }
+        }
+        Ast::Concat(items) => {
+            for (i, item) in items.iter().enumerate() {
+                // A leading `^` does not consume text; skip it.
+                if i == 0 && matches!(item, Ast::StartAnchor) {
+                    continue;
+                }
+                let before = out.len();
+                let exact = exact_prefix_item(item, out);
+                if !exact || out.len() == before || out.len() >= MAX_LIT_LEN {
+                    return;
+                }
+            }
+        }
+        // Only the first mandatory copy is a guaranteed prefix unless the
+        // repeat is exact, and one copy is plenty for a prefilter.
+        Ast::Repeat { node, min, .. } if *min >= 1 => collect_prefix(node, out),
+        _ => {}
+    }
+}
+
+/// Appends `item`'s text to `out` if the item matches exactly one fixed
+/// string (so the prefix may continue past it). Returns `false` when the
+/// prefix must stop after whatever was appended.
+fn exact_prefix_item(item: &Ast, out: &mut String) -> bool {
+    match item {
+        Ast::Class(c) => match single_char(c) {
+            Some(ch) => {
+                out.push(ch);
+                true
+            }
+            None => false,
+        },
+        Ast::Repeat { node, min, max } => {
+            if *min == 0 {
+                return false;
+            }
+            let before = out.len();
+            if let Ast::Class(c) = node.as_ref() {
+                if let Some(ch) = single_char(c) {
+                    for _ in 0..(*min).min(MAX_LIT_LEN as u32) {
+                        out.push(ch);
+                    }
+                    return *max == Some(*min) && out.len() > before;
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Finds the leftmost occurrence of `lit` in `haystack[from..]`, returned
+/// as an absolute byte offset. `ci` folds ASCII case byte-wise (literals
+/// are stored lowercased). Occurrences of a valid-UTF-8 needle in valid
+/// UTF-8 text always fall on char boundaries.
+pub(crate) fn find_lit(haystack: &str, lit: &str, ci: bool, from: usize) -> Option<usize> {
+    if from > haystack.len() {
+        return None;
+    }
+    if !ci {
+        return haystack[from..].find(lit).map(|i| from + i);
+    }
+    let hay = haystack.as_bytes();
+    let needle = lit.as_bytes();
+    if needle.is_empty() {
+        return Some(from);
+    }
+    if hay.len() < needle.len() {
+        return None;
+    }
+    let first = needle[0];
+    for i in from..=hay.len() - needle.len() {
+        if hay[i].eq_ignore_ascii_case(&first)
+            && hay[i..i + needle.len()].eq_ignore_ascii_case(needle)
+        {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+
+    fn filter(pat: &str, ci: bool) -> Prefilter {
+        Prefilter::from_ast(&parse(pat, ci).unwrap(), ci)
+    }
+
+    #[test]
+    fn literal_pattern_yields_prefix_and_required() {
+        let f = filter("cookie", false);
+        assert_eq!(f.prefix.as_deref(), Some("cookie"));
+        assert_eq!(f.required.as_deref(), Some(&["cookie".to_string()][..]));
+    }
+
+    #[test]
+    fn alternation_unions_required() {
+        let f = filter("(landscape|portrait)", false);
+        let req = f.required.unwrap();
+        assert!(req.contains(&"landscape".to_string()));
+        assert!(req.contains(&"portrait".to_string()));
+        assert!(f.prefix.is_none());
+    }
+
+    #[test]
+    fn concat_picks_longest_run() {
+        let f = filter("user_id=[A-Za-z0-9_-]+", false);
+        assert_eq!(f.prefix.as_deref(), Some("user_id="));
+        assert_eq!(f.required.as_deref(), Some(&["user_id=".to_string()][..]));
+    }
+
+    #[test]
+    fn optional_head_blocks_prefix_but_not_required() {
+        let f = filter("x?screen=", false);
+        assert!(f.prefix.is_none());
+        assert_eq!(f.required.as_deref(), Some(&["screen=".to_string()][..]));
+    }
+
+    #[test]
+    fn star_branch_defeats_required() {
+        assert!(filter("a|b*", false).required.is_none());
+        assert!(filter("[0-9]+", false).required.is_none());
+    }
+
+    #[test]
+    fn anchored_pattern_still_has_prefix() {
+        let f = filter("^uid=", false);
+        assert_eq!(f.prefix.as_deref(), Some("uid="));
+    }
+
+    #[test]
+    fn ci_literals_lowercase_and_fold() {
+        let f = filter("Mozilla/", true);
+        assert_eq!(f.prefix.as_deref(), Some("mozilla/"));
+        assert!(f.admits("UA: MOZILLA/5.0", 0));
+        assert!(!f.admits("UA: chrome", 0));
+        assert_eq!(f.earliest_start("xx MoZiLLa/", 0), Some(3));
+    }
+
+    #[test]
+    fn exact_repeat_extends_prefix() {
+        let f = filter("a{3}b", false);
+        assert_eq!(f.prefix.as_deref(), Some("aaab"));
+        // Inexact repeat stops the prefix after the mandatory copies.
+        let g = filter("a{2,5}b", false);
+        assert_eq!(g.prefix.as_deref(), Some("aa"));
+    }
+
+    #[test]
+    fn find_lit_is_absolute_and_resumable() {
+        assert_eq!(find_lit("abcabc", "abc", false, 1), Some(3));
+        assert_eq!(find_lit("abcabc", "abc", false, 4), None);
+        assert_eq!(find_lit("ABCabc", "abc", true, 1), Some(3));
+    }
+}

@@ -1,0 +1,350 @@
+//! `RegexSet`-style multi-pattern matching.
+//!
+//! The PII classifier asks the same question of every message: *which* of
+//! N patterns match? Running N independent scans walks the haystack N
+//! times. This module compiles all patterns into one combined Thompson
+//! program whose `Match` instructions are tagged with their pattern index,
+//! then runs a single Pike-VM pass that reports the full set of matching
+//! patterns.
+//!
+//! Two properties keep the single pass cheap:
+//!
+//! * **Prefilter gating** — each pattern carries its own required-literal
+//!   set ([`crate::literal`]); patterns whose literals are absent from the
+//!   haystack are never seeded at all. On typical telemetry messages this
+//!   leaves zero to two live patterns per scan.
+//! * **Early exit** — once every gated-in pattern has matched, the scan
+//!   stops; there is nothing left to learn.
+//!
+//! The set answers existence per pattern (no spans), so threads carry no
+//! start offsets and the thread set is a plain instruction set.
+
+use crate::ast;
+use crate::literal::Prefilter;
+use crate::nfa::{self, Inst, Program};
+use crate::Error;
+
+/// Hard cap so membership fits in a single `u64` bitmask.
+const MAX_PATTERNS: usize = 64;
+
+/// A compiled multi-pattern matcher.
+#[derive(Debug, Clone)]
+pub struct RegexSet {
+    /// Per-pattern programs, kept for the reference path.
+    progs: Vec<Program>,
+    /// All programs concatenated with rebased targets.
+    insts: Vec<Inst>,
+    /// Entry point of pattern `i` inside `insts`.
+    starts: Vec<usize>,
+    /// For `Match` instructions: which pattern accepted (`u16::MAX`
+    /// elsewhere).
+    owner: Vec<u16>,
+    prefilters: Vec<Prefilter>,
+    patterns: Vec<String>,
+    anchored: Vec<bool>,
+}
+
+/// Which patterns of a [`RegexSet`] matched one haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetMatches {
+    mask: u64,
+    len: usize,
+}
+
+impl SetMatches {
+    /// `true` if pattern `i` matched.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.mask & (1u64 << i) != 0
+    }
+
+    /// `true` if any pattern matched.
+    pub fn any(&self) -> bool {
+        self.mask != 0
+    }
+
+    /// Iterates the indices of matching patterns in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let mask = self.mask;
+        (0..self.len).filter(move |i| mask & (1u64 << i) != 0)
+    }
+}
+
+impl RegexSet {
+    /// Compiles a set of case-sensitive patterns.
+    pub fn new<I, S>(patterns: I) -> Result<RegexSet, Error>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Self::with_specs(
+            patterns
+                .into_iter()
+                .map(|p| (p.as_ref().to_string(), false)),
+        )
+    }
+
+    /// Compiles a set where each pattern carries its own
+    /// case-insensitivity flag — the PII library mixes both.
+    pub fn with_specs<I>(specs: I) -> Result<RegexSet, Error>
+    where
+        I: IntoIterator<Item = (String, bool)>,
+    {
+        let mut set = RegexSet {
+            progs: Vec::new(),
+            insts: Vec::new(),
+            starts: Vec::new(),
+            owner: Vec::new(),
+            prefilters: Vec::new(),
+            patterns: Vec::new(),
+            anchored: Vec::new(),
+        };
+        for (pattern, ci) in specs {
+            let idx = set.progs.len();
+            if idx >= MAX_PATTERNS {
+                return Err(Error::SetTooLarge);
+            }
+            let tree = ast::parse(&pattern, ci)?;
+            let prog = nfa::compile(&tree);
+            let base = set.insts.len();
+            set.starts.push(base + prog.start);
+            for inst in &prog.insts {
+                let rebased = match inst {
+                    Inst::Class(c, nx) => Inst::Class(c.clone(), nx + base),
+                    Inst::AnyChar(nx) => Inst::AnyChar(nx + base),
+                    Inst::StartAnchor(nx) => Inst::StartAnchor(nx + base),
+                    Inst::EndAnchor(nx) => Inst::EndAnchor(nx + base),
+                    Inst::Split(a, b) => Inst::Split(a + base, b + base),
+                    Inst::Jmp(nx) => Inst::Jmp(nx + base),
+                    Inst::Match => Inst::Match,
+                };
+                set.owner.push(match inst {
+                    Inst::Match => idx as u16,
+                    _ => u16::MAX,
+                });
+                set.insts.push(rebased);
+            }
+            set.prefilters.push(Prefilter::from_ast(&tree, ci));
+            set.anchored.push(prog.anchored_start);
+            set.progs.push(prog);
+            set.patterns.push(pattern);
+        }
+        Ok(set)
+    }
+
+    /// Number of patterns in the set.
+    pub fn len(&self) -> usize {
+        self.progs.len()
+    }
+
+    /// `true` if the set holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.progs.is_empty()
+    }
+
+    /// The original pattern strings, in index order.
+    pub fn patterns(&self) -> &[String] {
+        &self.patterns
+    }
+
+    /// One-pass membership test: which patterns match `haystack`.
+    pub fn matches(&self, haystack: &str) -> SetMatches {
+        let len = self.len();
+        // Gate: only patterns whose required literals occur can match.
+        let mut active = 0u64;
+        for (i, pf) in self.prefilters.iter().enumerate() {
+            if pf.admits(haystack, 0) {
+                active |= 1u64 << i;
+            }
+        }
+        if active == 0 {
+            return SetMatches { mask: 0, len };
+        }
+
+        let n = self.insts.len();
+        let mut matched = 0u64;
+        let mut current = ThreadSet::new(n);
+        let mut next = ThreadSet::new(n);
+        let hay_len = haystack.len();
+        let mut pos = 0usize;
+        let mut chars = haystack.chars();
+        loop {
+            // Seed every still-unmatched active pattern at this position
+            // (anchored patterns only at position 0).
+            let pending = active & !matched;
+            if pending == 0 {
+                break;
+            }
+            for i in 0..len {
+                if pending & (1u64 << i) != 0 && (pos == 0 || !self.anchored[i]) {
+                    self.add_thread(&mut current, self.starts[i], pos, hay_len, &mut matched);
+                }
+            }
+            let Some(ch) = chars.next() else { break };
+            let next_pos = pos + ch.len_utf8();
+            if current.list.is_empty() && active & !matched & self.unanchored_mask() == 0 {
+                // Nothing in flight and every pending pattern is anchored:
+                // no future seeds can help.
+                break;
+            }
+            next.clear();
+            for ti in 0..current.list.len() {
+                let ip = current.list[ti];
+                match &self.insts[ip] {
+                    Inst::Class(class, nx) if class.matches(ch) => {
+                        self.add_thread(&mut next, *nx, next_pos, hay_len, &mut matched);
+                    }
+                    Inst::AnyChar(nx) if ch != '\n' => {
+                        self.add_thread(&mut next, *nx, next_pos, hay_len, &mut matched);
+                    }
+                    _ => {}
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+            pos = next_pos;
+        }
+        SetMatches { mask: matched, len }
+    }
+
+    /// Reference path: N independent Pike-VM scans. Exists so tests and
+    /// benches can compare the one-pass engine against the naive shape.
+    pub fn matches_reference(&self, haystack: &str) -> SetMatches {
+        let mut mask = 0u64;
+        for (i, prog) in self.progs.iter().enumerate() {
+            if crate::vm::is_match(prog, haystack) {
+                mask |= 1u64 << i;
+            }
+        }
+        SetMatches {
+            mask,
+            len: self.len(),
+        }
+    }
+
+    fn unanchored_mask(&self) -> u64 {
+        let mut mask = 0u64;
+        for (i, &a) in self.anchored.iter().enumerate() {
+            if !a {
+                mask |= 1u64 << i;
+            }
+        }
+        mask
+    }
+
+    /// Epsilon-closure insert into the thread set; `Match` instructions
+    /// record their owning pattern instead of joining the set.
+    fn add_thread(
+        &self,
+        set: &mut ThreadSet,
+        ip: usize,
+        pos: usize,
+        hay_len: usize,
+        matched: &mut u64,
+    ) {
+        if std::mem::replace(&mut set.marks[ip], true) {
+            return;
+        }
+        match &self.insts[ip] {
+            Inst::Jmp(nx) => self.add_thread(set, *nx, pos, hay_len, matched),
+            Inst::Split(a, b) => {
+                self.add_thread(set, *a, pos, hay_len, matched);
+                self.add_thread(set, *b, pos, hay_len, matched);
+            }
+            Inst::StartAnchor(nx) => {
+                if pos == 0 {
+                    self.add_thread(set, *nx, pos, hay_len, matched);
+                }
+            }
+            Inst::EndAnchor(nx) => {
+                if pos == hay_len {
+                    self.add_thread(set, *nx, pos, hay_len, matched);
+                }
+            }
+            Inst::Match => *matched |= 1u64 << self.owner[ip],
+            Inst::Class(..) | Inst::AnyChar(..) => set.list.push(ip),
+        }
+    }
+}
+
+/// Live threads at one position: instruction indices, deduplicated.
+struct ThreadSet {
+    list: Vec<usize>,
+    marks: Vec<bool>,
+}
+
+impl ThreadSet {
+    fn new(n: usize) -> ThreadSet {
+        ThreadSet {
+            list: Vec::with_capacity(16),
+            marks: vec![false; n],
+        }
+    }
+
+    fn clear(&mut self) {
+        self.list.clear();
+        self.marks.iter_mut().for_each(|m| *m = false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pats: &[&str]) -> RegexSet {
+        RegexSet::new(pats).unwrap()
+    }
+
+    #[test]
+    fn reports_the_full_membership_set() {
+        let s = set(&["cookie", "uid=\\d+", "screen"]);
+        let m = s.matches("page?cookie=1&uid=42");
+        assert!(m.contains(0));
+        assert!(m.contains(1));
+        assert!(!m.contains(2));
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn one_pass_agrees_with_reference() {
+        let s = RegexSet::with_specs(vec![
+            ("mozilla/\\d".to_string(), true),
+            ("(^|[&?])ip=(\\d{1,3}\\.){3}\\d{1,3}".to_string(), false),
+            ("^anchored".to_string(), false),
+            ("end$".to_string(), false),
+            ("(a|b)+c".to_string(), false),
+        ])
+        .unwrap();
+        for hay in [
+            "",
+            "User-Agent: MOZILLA/5.0",
+            "x?ip=10.0.0.1&y",
+            "anchored text end",
+            "not at start anchored",
+            "ababac",
+            "the end",
+            "end",
+        ] {
+            assert_eq!(s.matches(hay), s.matches_reference(hay), "hay = {hay:?}");
+        }
+    }
+
+    #[test]
+    fn prefilter_gating_never_drops_matches() {
+        // Patterns with no extractable literal are always seeded.
+        let s = set(&["[0-9]+", "literal"]);
+        let m = s.matches("42");
+        assert!(m.contains(0));
+        assert!(!m.contains(1));
+    }
+
+    #[test]
+    fn empty_set_matches_nothing() {
+        let s = RegexSet::new(Vec::<String>::new()).unwrap();
+        assert!(!s.matches("anything").any());
+    }
+
+    #[test]
+    fn rejects_more_than_sixty_four_patterns() {
+        let pats: Vec<String> = (0..65).map(|i| format!("p{i}")).collect();
+        assert!(RegexSet::new(pats).is_err());
+    }
+}

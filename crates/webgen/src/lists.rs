@@ -16,6 +16,37 @@
 
 use crate::companies::{Catalog, Role};
 
+/// Ad-slot dimensions the real lists' generic rules revolve around.
+const AD_DIMS: &[&str] = &[
+    "120x600", "160x600", "300x250", "336x280", "468x60", "728x90", "970x250",
+];
+
+/// Appends a deterministic long tail of *generic* (non-domain-anchored)
+/// pattern rules, the bulk of the real 2017 lists: tens of thousands of
+/// `/adrotate_728x90.`-style substring rules against ad-server path
+/// conventions. The vocabulary (`adrotate`, `popzone`, …) never occurs in
+/// any synthetic URL, so these rules match nothing the crawler fetches —
+/// exactly like most of the real list on any single page — and every
+/// blocking/labeling decision is unchanged. What they *do* exercise is the
+/// evaluator's generic-rule scan: a linear engine pays for all of them on
+/// every request, a token-indexed one skips them.
+fn push_generic_long_tail(out: &mut String, families: &[&str], count: usize) {
+    let exts = ["gif", "png", "js", "html", "swf"];
+    for i in 0..count {
+        let family = families[i % families.len()];
+        let dim = AD_DIMS[i % AD_DIMS.len()];
+        let ext = exts[i % exts.len()];
+        let h = crate::fnv1a(&format!("{family}{i}"));
+        match h % 5 {
+            0 => out.push_str(&format!("/{family}{i}/*\n")),
+            1 => out.push_str(&format!("_{family}{i}_{dim}.\n")),
+            2 => out.push_str(&format!("-{family}{i}-{dim}.{ext}\n")),
+            3 => out.push_str(&format!("/{family}.{i}.{ext}$third-party\n")),
+            _ => out.push_str(&format!("/{family}{i}_{dim}.{ext}$image\n")),
+        }
+    }
+}
+
 /// Generates the EasyList-like list (ad serving).
 pub fn easylist(catalog: &Catalog) -> String {
     let mut out = String::from("[Adblock Plus 2.0]\n! Title: generated EasyList (synthetic web)\n");
@@ -44,6 +75,24 @@ pub fn easylist(catalog: &Catalog) -> String {
     out.push_str("||w.sharethis.com^$third-party\n");
     // Generic ad-path rules, as in the real list.
     out.push_str("/adserver/*\n/banner/*/ad_\n");
+    // The generic bulk of the list: slot/creative path conventions.
+    push_generic_long_tail(
+        &mut out,
+        &[
+            "adrotate",
+            "popzone",
+            "skyscraper",
+            "interstitial",
+            "billboard",
+            "adframe",
+            "takeover",
+            "sponsorbox",
+        ],
+        1_400,
+    );
+    // A few wildcard-heavy rules with no indexable token, like the real
+    // list's handful — these stay on the scan-every-request path.
+    out.push_str("*adximg_tail\n*popfeed_tail\n*overlaycreative_tail\n");
     // Exceptions: keep one major's config endpoint usable (site breakage).
     out.push_str("@@||pagead2.googlesyndication.com/ad-config$xmlhttprequest\n");
     out
@@ -72,6 +121,19 @@ pub fn easyprivacy(catalog: &Catalog) -> String {
         }
     }
     out.push_str("/tracking/pixel.\n/__utm.gif?\n");
+    // The generic bulk: beacon/telemetry path conventions.
+    push_generic_long_tail(
+        &mut out,
+        &[
+            "webbeacon",
+            "telemetrix",
+            "sessioncam",
+            "heatmapper",
+            "clickstream",
+            "audiencesync",
+        ],
+        700,
+    );
     out
 }
 

@@ -1,0 +1,182 @@
+//! Seeded differential fuzz harness for the `sockscope-redlite` fast paths.
+//!
+//! The matcher overhaul added three accelerated paths on top of the Pike
+//! VM — literal prefilters, the lazy DFA, and the multi-pattern
+//! `RegexSet` — all of which must be *decision-invisible*: every haystack
+//! classifies identically whichever engine answers. These targets generate
+//! random patterns from the supported grammar plus adversarial haystacks
+//! and assert exact agreement on `is_match`, `find` spans, and set masks.
+//!
+//! Mirrors `tests/fuzz_journal.rs`: every case derives from the vendored
+//! proptest [`TestRng`] so a failing case number reproduces exactly, and
+//! the per-target case count honors `FUZZ_CASES` (default 2500; CI's
+//! matcher job raises it).
+
+use proptest::test_runner::TestRng;
+use sockscope_redlite::{Regex, RegexSet};
+
+/// Per-target case count: `FUZZ_CASES` env or 2500.
+fn fuzz_cases() -> u64 {
+    std::env::var("FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2500)
+}
+
+/// Atom pool: literal runs (so prefilters kick in), classes, escapes,
+/// wildcards. Kept inside the parser's supported grammar.
+const ATOMS: &[&str] = &[
+    "a", "b", "c", "x", "=", "&", "_", "0", "1", "cookie", "uid", "ab", "xyz", ".", "\\d", "\\w",
+    "\\s", "[a-c]", "[^ab]", "[0-9a-f]", "Moz",
+];
+
+/// Postfix operators, weighted toward "none".
+const POSTFIX: &[&str] = &["", "", "", "?", "*", "+", "{2}", "{1,3}", "{2,}"];
+
+/// Builds one random pattern. Depth-bounded: alternations and groups only
+/// at the top two levels, so every pattern stays parseable and small.
+fn arbitrary_pattern(rng: &mut TestRng, depth: usize) -> String {
+    let mut out = String::new();
+    if depth == 0 && rng.below(4) == 0 {
+        out.push('^');
+    }
+    let items = rng.usize_in(1, 5);
+    for _ in 0..items {
+        let atom = if depth < 2 && rng.below(6) == 0 {
+            format!("({})", arbitrary_pattern(rng, depth + 1))
+        } else if depth < 2 && rng.below(8) == 0 {
+            format!(
+                "({}|{})",
+                arbitrary_pattern(rng, depth + 1),
+                arbitrary_pattern(rng, depth + 1)
+            )
+        } else {
+            ATOMS[rng.usize_in(0, ATOMS.len())].to_string()
+        };
+        out.push_str(&atom);
+        let post = POSTFIX[rng.usize_in(0, POSTFIX.len())];
+        // `{n,m}`-style repeats on a bare `^` would be rejected; operators
+        // always follow an atom here, so any postfix is grammatical.
+        out.push_str(post);
+    }
+    if depth == 0 && rng.below(6) == 0 {
+        out.push('$');
+    }
+    out
+}
+
+/// Haystack alphabet: the pattern alphabet plus case-flipped letters,
+/// whitespace, and a non-ASCII char (exercises the DFA's unicode slow
+/// path and the prefilters' case folding).
+const HAY_CHARS: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'B', 'C', 'X', '0', '1', '9', 'f', '=', '&', '_', ' ', '\n',
+    '.', 'M', 'o', 'z', 'é', 'u', 'i', 'd', 'k', 'e',
+];
+
+fn arbitrary_haystack(rng: &mut TestRng) -> String {
+    let len = rng.usize_in(0, 48);
+    let mut out = String::new();
+    for _ in 0..len {
+        if rng.below(10) == 0 {
+            // Seed likely-match material so hits are common, not
+            // vanishing: fragments of the literal atoms.
+            out.push_str(["cookie", "uid", "ab", "Moz", "xyz"][rng.usize_in(0, 5)]);
+        } else {
+            out.push(HAY_CHARS[rng.usize_in(0, HAY_CHARS.len())]);
+        }
+    }
+    out
+}
+
+fn compile(rng: &mut TestRng, pattern: &str) -> Regex {
+    let ci = rng.below(3) == 0;
+    let built = if ci {
+        Regex::new_ci(pattern)
+    } else {
+        Regex::new(pattern)
+    };
+    built.unwrap_or_else(|e| panic!("generated pattern {pattern:?} failed to parse: {e}"))
+}
+
+#[test]
+fn fuzz_is_match_fast_path_agrees_with_pikevm() {
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("redlite_is_match", case);
+        let pattern = arbitrary_pattern(&mut rng, 0);
+        let re = compile(&mut rng, &pattern);
+        for _ in 0..8 {
+            let hay = arbitrary_haystack(&mut rng);
+            assert_eq!(
+                re.is_match(&hay),
+                re.pikevm_is_match(&hay),
+                "case {case}: pattern {pattern:?} haystack {hay:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzz_find_spans_agree_with_pikevm() {
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("redlite_find", case);
+        let pattern = arbitrary_pattern(&mut rng, 0);
+        let re = compile(&mut rng, &pattern);
+        for _ in 0..8 {
+            let hay = arbitrary_haystack(&mut rng);
+            let fast = re.find(&hay).map(|m| (m.start, m.end));
+            let reference = re.pikevm_find(&hay).map(|m| (m.start, m.end));
+            assert_eq!(
+                fast, reference,
+                "case {case}: pattern {pattern:?} haystack {hay:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzz_regex_set_agrees_with_per_pattern_scan() {
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("redlite_set", case);
+        let n = rng.usize_in(2, 9);
+        let specs: Vec<(String, bool)> = (0..n)
+            .map(|_| (arbitrary_pattern(&mut rng, 0), rng.below(3) == 0))
+            .collect();
+        let set = RegexSet::with_specs(specs.iter().cloned())
+            .unwrap_or_else(|e| panic!("case {case}: set failed to build: {e}"));
+        for _ in 0..6 {
+            let hay = arbitrary_haystack(&mut rng);
+            let one_pass: Vec<usize> = set.matches(&hay).iter().collect();
+            let reference: Vec<usize> = set.matches_reference(&hay).iter().collect();
+            assert_eq!(
+                one_pass, reference,
+                "case {case}: specs {specs:?} haystack {hay:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzz_cached_rescans_stay_consistent() {
+    // The lazy DFA memoizes states and transitions across scans; a stale
+    // or corrupted cache would only surface on *later* haystacks. Scan
+    // many haystacks through one compiled regex and verify every answer
+    // against a fresh Pike-VM run.
+    for case in 0..fuzz_cases().min(800) {
+        let mut rng = TestRng::for_case("redlite_rescans", case);
+        let pattern = arbitrary_pattern(&mut rng, 0);
+        let re = compile(&mut rng, &pattern);
+        for _ in 0..32 {
+            let hay = arbitrary_haystack(&mut rng);
+            assert_eq!(
+                re.is_match(&hay),
+                re.pikevm_is_match(&hay),
+                "case {case}: pattern {pattern:?} haystack {hay:?}"
+            );
+        }
+        let stats = re.cache_stats();
+        assert!(
+            stats.scans + stats.fallbacks > 0,
+            "case {case}: DFA never consulted"
+        );
+    }
+}

@@ -64,6 +64,36 @@ fn full_report_survives_the_json_roundtrip() {
     assert_eq!(original.render(), restored.render());
 }
 
+/// Pinned capture of the seeded mini-study, taken on the engine *before*
+/// the matcher overhaul (lazy DFA / prefilters / RegexSet / token index).
+/// The optimized matchers must reproduce that snapshot byte-for-byte at
+/// every thread count: any drift means an accelerated path changed a
+/// classification or blocking decision, not just its speed.
+#[test]
+fn optimized_matchers_reproduce_the_pinned_snapshot() {
+    const PINNED_CRC32: u32 = 0x57EC_C8D3;
+    const PINNED_LEN: usize = 254_074;
+    for threads in [1, 4, 8] {
+        let study = Study::run(&StudyConfig {
+            seed: 0xD15C,
+            n_sites: 150,
+            threads,
+            ..StudyConfig::default()
+        });
+        let json = StudySnapshot::capture(&study).to_json();
+        assert_eq!(
+            json.len(),
+            PINNED_LEN,
+            "snapshot length drifted at {threads} threads"
+        );
+        assert_eq!(
+            sockscope_journal::crc32(json.as_bytes()),
+            PINNED_CRC32,
+            "snapshot bytes drifted at {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn recapturing_a_restored_study_is_a_fixed_point() {
     let study = Study::run(&StudyConfig {
