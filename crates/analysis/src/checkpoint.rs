@@ -2,9 +2,11 @@
 //! durable journal, resume from whatever survived a kill.
 //!
 //! [`Study::run_checkpointed`] is the byte-compatible sibling of
-//! [`Study::run`]: it crawls the same universe on the same sharded
-//! lock-free pipeline, but after each shard's private [`CrawlReduction`]
-//! is complete it is serialized and written to a [`Journal`] segment
+//! [`Study::run`]: it crawls the same universe on the same stream-fused
+//! sharded pipeline (each worker reduces straight off the browser's event
+//! stream via a [`FusedShard`]), but after each shard's private
+//! [`CrawlReduction`] is complete it is serialized and written to a
+//! [`Journal`] segment
 //! (atomic temp + fsync + rename, CRC-framed — see `sockscope-journal`).
 //! On resume, the journal is scanned, checksums and the config
 //! fingerprint are verified, everything torn/corrupt/mismatched is
@@ -33,7 +35,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
-use crate::pii::PiiLibrary;
+use crate::fused::FusedShard;
 use crate::reduce::CrawlReduction;
 use crate::study::{Study, StudyConfig, SHARDS_PER_THREAD};
 use sockscope_faults::mix;
@@ -293,7 +295,7 @@ impl Study {
                 || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(era));
             let era_recovered = &recovered[era_idx];
             let skip = |s: usize| era_recovered[s].is_some() || dead.load(Ordering::Relaxed);
-            let persist = |s: usize, acc: &(CrawlReduction, PiiLibrary)| {
+            let persist = |s: usize, acc: &FusedShard<'_>| {
                 if dead.load(Ordering::Relaxed) {
                     return;
                 }
@@ -303,7 +305,7 @@ impl Study {
                     shard_index: s as u32,
                     shard_count: shard_count as u32,
                 };
-                let payload = serde_json::to_string(&acc.0).expect("reduction serializes");
+                let payload = serde_json::to_string(acc.reduction()).expect("reduction serializes");
                 let outcome = match &opts.kill {
                     Some(k) if k.era == era_idx as u32 && k.shard == s as u32 => {
                         dead.store(true, Ordering::Relaxed);
@@ -317,20 +319,12 @@ impl Study {
                 }
             };
 
-            let fresh = sockscope_crawler::crawl_sharded_resumable(
+            let fresh = sockscope_crawler::crawl_sharded_sink_resumable(
                 &era_web,
                 &crawl_config,
                 shard_count,
                 &make_extensions,
-                &|_shard| {
-                    (
-                        CrawlReduction::new(era.label(), era.pre_patch()),
-                        PiiLibrary::new(),
-                    )
-                },
-                &|acc: &mut (CrawlReduction, PiiLibrary), record| {
-                    acc.0.observe_site(&record, &engine, &acc.1);
-                },
+                &|_shard| FusedShard::new(era.label(), era.pre_patch(), &engine),
                 &skip,
                 &persist,
             );
@@ -349,9 +343,9 @@ impl Study {
             let mut reduction = CrawlReduction::new(era.label(), era.pre_patch());
             for (s, slot) in fresh.into_iter().enumerate() {
                 let shard_reduction = match slot {
-                    Some((r, _lib)) => {
+                    Some(shard) => {
                         shards_recrawled += 1;
-                        r
+                        shard.into_reduction()
                     }
                     None => {
                         shards_recovered += 1;

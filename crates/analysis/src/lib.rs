@@ -31,6 +31,7 @@ pub mod categories;
 pub mod checkpoint;
 pub mod churn;
 pub mod figures;
+pub mod fused;
 pub mod pii;
 pub mod reduce;
 pub mod snapshot;
@@ -39,7 +40,10 @@ pub mod tables;
 pub mod textstats;
 
 pub use checkpoint::{CheckpointError, CheckpointOptions, KillPlan, ResumeReport};
+pub use fused::FusedShard;
 pub use pii::PiiLibrary;
-pub use reduce::{CrawlReduction, SocketObservation};
+pub use reduce::{
+    CrawlReduction, PayloadSource, SocketObservation, TranscriptPayloads, WsPayloadSummary,
+};
 pub use snapshot::StudySnapshot;
 pub use study::{Study, StudyConfig};

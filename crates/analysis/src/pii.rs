@@ -38,6 +38,19 @@ impl ReceivedClass {
         ReceivedClass::Binary,
     ];
 
+    /// Dense index of this class: its position in [`ReceivedClass::ALL`],
+    /// without the linear scan (direct side-table subscript on aggregation
+    /// hot paths).
+    pub fn index(self) -> usize {
+        match self {
+            ReceivedClass::Html => 0,
+            ReceivedClass::Json => 1,
+            ReceivedClass::JavaScript => 2,
+            ReceivedClass::Image => 3,
+            ReceivedClass::Binary => 4,
+        }
+    }
+
     /// Table row label.
     pub fn label(self) -> &'static str {
         match self {
@@ -281,6 +294,13 @@ mod tests {
 
     fn lib() -> PiiLibrary {
         PiiLibrary::new()
+    }
+
+    #[test]
+    fn received_class_index_matches_position_in_all() {
+        for (i, class) in ReceivedClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i, "{class:?}");
+        }
     }
 
     /// The crucial roundtrip: items → rendered wire text → classified items.

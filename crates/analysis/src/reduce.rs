@@ -21,10 +21,103 @@ use crate::pii::{PiiLibrary, ReceivedClass};
 use serde::{de, Deserialize, Serialize, Value};
 use sockscope_crawler::{SiteFaults, SiteRecord};
 use sockscope_filterlist::{Engine, RequestContext, ResourceType};
-use sockscope_inclusion::{InclusionTree, NodeKind};
+use sockscope_inclusion::{InclusionTree, Node, NodeKind};
 use sockscope_urlkit::Url;
 use sockscope_webmodel::SentItem;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Payload-derived facts about one WebSocket node, as the classification
+/// pass consumes them. Produced either from a retained [`WsTranscript`]
+/// (batch path) or from eagerly classified frames whose bytes were dropped
+/// at emission time (fused path).
+///
+/// [`WsTranscript`]: sockscope_inclusion::WsTranscript
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WsPayloadSummary {
+    /// Items recovered from the handshake + non-empty sent frames.
+    pub sent_items: BTreeSet<SentItem>,
+    /// Content classes recovered from non-empty received frames.
+    pub received_classes: BTreeSet<ReceivedClass>,
+    /// Count of non-empty sent payload frames.
+    pub payload_frames: usize,
+    /// Count of non-empty received payload frames.
+    pub received_frames: usize,
+}
+
+/// Where a tree's payload-derived classifications come from.
+///
+/// This is the oracle seam that keeps the batch and stream-fused pipelines
+/// decision-identical: [`CrawlReduction::observe_tree_with`] holds the one
+/// and only copy of the classification *decisions* (which nodes count,
+/// which gates apply, what lands in which table), and delegates every
+/// payload *read* to this trait. The batch source reads retained bodies
+/// and transcripts off the tree; the fused source reads side tables filled
+/// the moment each event was emitted, after which the payload bytes were
+/// dropped.
+pub trait PayloadSource {
+    /// Received-content class of an HTTP-fetched node (`Image`/`Xhr`),
+    /// or `None` when no response body was observed or it classified to
+    /// nothing.
+    fn http_recv_class(&self, node: &Node, lib: &PiiLibrary) -> Option<ReceivedClass>;
+    /// Payload-derived facts for a WebSocket node.
+    fn ws_summary(&self, node: &Node, lib: &PiiLibrary) -> WsPayloadSummary;
+}
+
+/// The batch [`PayloadSource`]: payloads live on the tree itself
+/// (`Node::http_body`, `Node::ws`), exactly as the materializing pipeline
+/// recorded them.
+pub struct TranscriptPayloads;
+
+impl PayloadSource for TranscriptPayloads {
+    fn http_recv_class(&self, node: &Node, lib: &PiiLibrary) -> Option<ReceivedClass> {
+        node.http_body
+            .as_ref()
+            .and_then(|body| lib.classify_received(body))
+    }
+
+    fn ws_summary(&self, node: &Node, lib: &PiiLibrary) -> WsPayloadSummary {
+        let ws = node.ws.as_ref().expect("socket node has transcript");
+        // Classify: handshake + every sent frame.
+        let mut sent_items = lib.classify_sent_text(&ws.handshake_request);
+        let mut payload_frames = 0usize;
+        for frame in &ws.sent {
+            if frame.is_empty() {
+                continue;
+            }
+            payload_frames += 1;
+            match frame.as_text() {
+                Some(t) => sent_items.extend(lib.classify_sent_text(t)),
+                None => {
+                    sent_items.insert(SentItem::Binary);
+                }
+            }
+        }
+        let mut received_classes = BTreeSet::new();
+        let mut received_frames = 0usize;
+        for frame in &ws.received {
+            if frame.is_empty() {
+                continue;
+            }
+            received_frames += 1;
+            let bytes = match frame.as_text() {
+                Some(t) => t.as_bytes().to_vec(),
+                None => match frame {
+                    sockscope_inclusion::tree::PayloadRecord::Binary(b) => b.clone(),
+                    _ => unreachable!(),
+                },
+            };
+            if let Some(class) = lib.classify_received(&bytes) {
+                received_classes.insert(class);
+            }
+        }
+        WsPayloadSummary {
+            sent_items,
+            received_classes,
+            payload_frames,
+            received_frames,
+        }
+    }
+}
 
 /// One classified WebSocket.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -244,26 +337,53 @@ impl CrawlReduction {
     pub fn observe_site(&mut self, record: &SiteRecord, engine: &Engine, lib: &PiiLibrary) {
         let mut site_sockets = 0usize;
         for tree in &record.trees {
-            site_sockets += self.observe_tree(tree, record, engine, lib);
+            site_sockets += self.observe_tree_with(
+                tree,
+                record.rank,
+                &record.domain,
+                engine,
+                lib,
+                &TranscriptPayloads,
+            );
         }
+        self.observe_site_flags(record.rank, record.trees.len(), site_sockets);
+        self.observe_site_faults(record.faults.as_ref());
+    }
+
+    /// Records one site's [`SiteFlags`] row. Split out of
+    /// [`CrawlReduction::observe_site`] so the fused pipeline — which never
+    /// materializes a [`SiteRecord`] — feeds the identical table.
+    pub fn observe_site_flags(&mut self, rank: u32, pages: usize, sockets: usize) {
         self.sites.push(SiteFlags {
-            rank: record.rank,
-            pages: record.trees.len(),
-            sockets: site_sockets,
+            rank,
+            pages,
+            sockets,
         });
-        if let Some(site_faults) = &record.faults {
+    }
+
+    /// Folds one site's fault accounting (if any) into the failure table;
+    /// `None` leaves the table untouched, preserving the fault-free
+    /// snapshot format exactly.
+    pub fn observe_site_faults(&mut self, faults: Option<&SiteFaults>) {
+        if let Some(site_faults) = faults {
             self.failures
                 .get_or_insert_with(FailureTable::default)
                 .observe(site_faults);
         }
     }
 
-    fn observe_tree(
+    /// Reduces one inclusion tree, reading payload-derived facts through
+    /// `payloads` — the single copy of the classification decision logic
+    /// shared by the batch and fused pipelines. Returns the number of
+    /// clean sockets observed.
+    pub fn observe_tree_with(
         &mut self,
         tree: &InclusionTree,
-        record: &SiteRecord,
+        site_rank: u32,
+        site_domain: &str,
         engine: &Engine,
         lib: &PiiLibrary,
+        payloads: &dyn PayloadSource,
     ) -> usize {
         let page = Url::parse(&tree.page_url).ok();
         let mut sockets = 0usize;
@@ -330,25 +450,15 @@ impl CrawlReduction {
                     };
                     items.insert(SentItem::UserAgent);
                     for item in items {
-                        if let Some(pos) = SentItem::ALL.iter().position(|&x| x == item) {
-                            agg.sent_counts[pos] += 1;
-                        }
+                        agg.sent_counts[item.index()] += 1;
                     }
                     // Received class: script fetches return JavaScript by
                     // construction (the paper classifies by body/MIME);
                     // other kinds classify their captured body.
                     if node.kind == NodeKind::Script {
-                        let pos = ReceivedClass::ALL
-                            .iter()
-                            .position(|&x| x == ReceivedClass::JavaScript)
-                            .expect("class present");
-                        agg.recv_counts[pos] += 1;
-                    } else if let Some(body) = &node.http_body {
-                        if let Some(class) = lib.classify_received(body) {
-                            if let Some(pos) = ReceivedClass::ALL.iter().position(|&x| x == class) {
-                                agg.recv_counts[pos] += 1;
-                            }
-                        }
+                        agg.recv_counts[ReceivedClass::JavaScript.index()] += 1;
+                    } else if let Some(class) = payloads.http_recv_class(node, lib) {
+                        agg.recv_counts[class.index()] += 1;
                     }
                     if chain_blocked[i] {
                         agg.chains_blocked += 1;
@@ -383,39 +493,12 @@ impl CrawlReduction {
                         (Some(p), Ok(u)) => sockscope_urlkit::origin::is_third_party(p, &u),
                         _ => true,
                     };
-                    // Classify: handshake + every sent frame.
-                    let mut sent_items = lib.classify_sent_text(&ws.handshake_request);
-                    let mut payload_frames = 0usize;
-                    for frame in &ws.sent {
-                        if frame.is_empty() {
-                            continue;
-                        }
-                        payload_frames += 1;
-                        match frame.as_text() {
-                            Some(t) => sent_items.extend(lib.classify_sent_text(t)),
-                            None => {
-                                sent_items.insert(SentItem::Binary);
-                            }
-                        }
-                    }
-                    let mut received_classes = BTreeSet::new();
-                    let mut received_frames = 0usize;
-                    for frame in &ws.received {
-                        if frame.is_empty() {
-                            continue;
-                        }
-                        received_frames += 1;
-                        let bytes = match frame.as_text() {
-                            Some(t) => t.as_bytes().to_vec(),
-                            None => match frame {
-                                sockscope_inclusion::tree::PayloadRecord::Binary(b) => b.clone(),
-                                _ => unreachable!(),
-                            },
-                        };
-                        if let Some(class) = lib.classify_received(&bytes) {
-                            received_classes.insert(class);
-                        }
-                    }
+                    let WsPayloadSummary {
+                        sent_items,
+                        received_classes,
+                        payload_frames,
+                        received_frames,
+                    } = payloads.ws_summary(node, lib);
                     self.sockets.push(SocketObservation {
                         url: node.url.clone(),
                         host: node.host.clone(),
@@ -427,8 +510,8 @@ impl CrawlReduction {
                         no_data_sent: payload_frames == 0,
                         no_data_received: received_frames == 0,
                         chain_blocked: chain_blocked[i],
-                        site_rank: record.rank,
-                        site_domain: record.domain.clone(),
+                        site_rank,
+                        site_domain: site_domain.to_string(),
                     });
                 }
                 _ => {}

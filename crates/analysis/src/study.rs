@@ -3,19 +3,24 @@
 //! [`Study::run`] reproduces the paper's end-to-end pipeline:
 //!
 //! 1. generate the synthetic web (one universe, four crawl eras);
-//! 2. crawl each era with the instrumented browser (sharded, parallel:
-//!    every worker owns a private [`CrawlReduction`] and classification
-//!    context, so the per-site hot path takes no lock; shard reductions
-//!    are merged in shard order and normalized, which makes the result
-//!    independent of thread count);
+//! 2. crawl each era with the instrumented browser (sharded, parallel,
+//!    **stream-fused**: every worker owns a private
+//!    [`FusedShard`](crate::fused::FusedShard) that the browser pushes CDP
+//!    events into as it emits them — payload bytes are classified and
+//!    dropped on the spot, no [`SiteRecord`](sockscope_crawler::SiteRecord)
+//!    is ever materialized, and the per-site hot path takes no lock; shard
+//!    reductions are merged in shard order and normalized, which makes the
+//!    result independent of thread count);
 //! 3. pool the labeling observations and build the A&A domain set `D'`
 //!    (10% threshold + Cloudfront overrides, §3.2);
 //! 4. expose classified sockets and aggregates to the table/figure
 //!    generators.
 //!
-//! [`Study::run_streaming`] keeps the original single-reduction-behind-a-
-//! mutex pipeline as a reference implementation; the determinism suite
-//! asserts both produce byte-identical results.
+//! [`Study::run_reference`] keeps the record-materializing sharded
+//! pipeline (on the browser's buffering `visit_reference` path) and
+//! [`Study::run_streaming`] the original single-reduction-behind-a-mutex
+//! pipeline; the determinism suite asserts all three produce
+//! byte-identical results.
 
 use crate::pii::PiiLibrary;
 use crate::reduce::{CrawlReduction, SocketObservation};
@@ -97,11 +102,16 @@ pub struct Study {
 /// Which parallel reduction pipeline drives the crawl.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Pipeline {
-    /// Per-shard private reductions, merged after the crawl (lock-free
-    /// per-site hot path). The default.
-    Sharded,
-    /// One shared reduction behind a mutex, locked on every site. Kept as
-    /// the reference implementation.
+    /// Per-shard [`crate::fused::FusedShard`] sinks fed straight off the
+    /// browser's event stream — no site records, payload bytes dropped at
+    /// classification time. The default.
+    Fused,
+    /// Per-shard private reductions over materialized site records, with
+    /// the browser on its buffering `visit_reference` path. Kept as the
+    /// reference implementation for differential tests.
+    Reference,
+    /// One shared reduction behind a mutex, locked on every site. The
+    /// original pipeline, kept for the determinism suite.
     Streaming,
 }
 
@@ -111,16 +121,25 @@ enum Pipeline {
 pub(crate) const SHARDS_PER_THREAD: usize = 4;
 
 impl Study {
-    /// Runs the full study on the sharded lock-free pipeline.
+    /// Runs the full study on the stream-fused sharded pipeline.
     pub fn run(config: &StudyConfig) -> Study {
-        Study::run_pipeline(config, Pipeline::Sharded)
+        Study::run_pipeline(config, Pipeline::Fused)
+    }
+
+    /// Runs the full study on the record-materializing reference pipeline:
+    /// the browser buffers every CDP event (`visit_reference`), the crawler
+    /// assembles full [`SiteRecord`](sockscope_crawler::SiteRecord)s, and
+    /// shards reduce them in batch. Produces byte-identical results to
+    /// [`Study::run`]; the stream-identity suite diffs the two.
+    pub fn run_reference(config: &StudyConfig) -> Study {
+        Study::run_pipeline(config, Pipeline::Reference)
     }
 
     /// Runs the full study on the original streaming pipeline (one
     /// reduction behind a mutex, classification inside the critical
     /// section). Produces byte-identical results to [`Study::run`]; kept
-    /// as the reference implementation for differential tests and as the
-    /// baseline in the `crawl_reduction` benchmark.
+    /// for differential tests and as the baseline in the `crawl_reduction`
+    /// benchmark.
     pub fn run_streaming(config: &StudyConfig) -> Study {
         Study::run_pipeline(config, Pipeline::Streaming)
     }
@@ -151,6 +170,7 @@ impl Study {
             max_links: config.max_links,
             threads: config.threads,
             faults: config.faults.clone(),
+            visit_reference: false,
         }
     }
 
@@ -182,7 +202,10 @@ impl Study {
     fn run_pipeline(config: &StudyConfig, pipeline: Pipeline) -> Study {
         let web = Study::universe(config);
         let engine = Study::engine_for(&web);
-        let crawl_config = Study::crawl_config(config);
+        let mut crawl_config = Study::crawl_config(config);
+        if pipeline == Pipeline::Reference {
+            crawl_config.visit_reference = true;
+        }
 
         let mut reductions = Vec::new();
         for era in CrawlEra::ALL {
@@ -190,9 +213,9 @@ impl Study {
             let make_extensions =
                 || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(era));
             let mut reduction = match pipeline {
-                Pipeline::Sharded => {
+                Pipeline::Fused => {
                     let shards = config.threads.max(1) * SHARDS_PER_THREAD;
-                    sockscope_crawler::crawl_sharded(
+                    sockscope_crawler::crawl_sharded_sink(
                         &era_web,
                         &crawl_config,
                         shards,
@@ -200,6 +223,24 @@ impl Study {
                         // Each shard owns its reduction AND its
                         // classification context; only the filter engine
                         // is shared (read-only).
+                        &|_shard| {
+                            crate::fused::FusedShard::new(era.label(), era.pre_patch(), &engine)
+                        },
+                    )
+                    .into_iter()
+                    .map(crate::fused::FusedShard::into_reduction)
+                    .fold(
+                        CrawlReduction::new(era.label(), era.pre_patch()),
+                        CrawlReduction::merge,
+                    )
+                }
+                Pipeline::Reference => {
+                    let shards = config.threads.max(1) * SHARDS_PER_THREAD;
+                    sockscope_crawler::crawl_sharded(
+                        &era_web,
+                        &crawl_config,
+                        shards,
+                        &make_extensions,
                         &|_shard| {
                             (
                                 CrawlReduction::new(era.label(), era.pre_patch()),
@@ -382,22 +423,27 @@ mod tests {
     }
 
     #[test]
-    fn sharded_and_streaming_pipelines_agree() {
+    fn fused_reference_and_streaming_pipelines_agree() {
         let config = StudyConfig {
             n_sites: 120,
             threads: 4,
             ..StudyConfig::default()
         };
-        let sharded = Study::run(&config);
+        let fused = Study::run(&config);
+        let reference = Study::run_reference(&config);
         let streaming = Study::run_streaming(&config);
-        assert_eq!(sharded.reductions, streaming.reductions);
+        assert_eq!(fused.reductions, reference.reductions);
+        assert_eq!(fused.reductions, streaming.reductions);
         // D' is a hash set, so iteration order tracks insertion order and the
-        // two pipelines insert in different orders; compare as sorted sets.
-        let mut sharded_aa: Vec<&str> = sharded.aa.iter().collect();
+        // pipelines insert in different orders; compare as sorted sets.
+        let mut fused_aa: Vec<&str> = fused.aa.iter().collect();
+        let mut reference_aa: Vec<&str> = reference.aa.iter().collect();
         let mut streaming_aa: Vec<&str> = streaming.aa.iter().collect();
-        sharded_aa.sort_unstable();
+        fused_aa.sort_unstable();
+        reference_aa.sort_unstable();
         streaming_aa.sort_unstable();
-        assert_eq!(sharded_aa, streaming_aa);
+        assert_eq!(fused_aa, reference_aa);
+        assert_eq!(fused_aa, streaming_aa);
     }
 
     #[test]

@@ -1,39 +1,162 @@
 //! End-to-end pipeline perf harness → `BENCH_pipeline.json`.
 //!
 //! Runs the study pipeline stage by stage — universe generation, filter
-//! parsing, the four crawls, payload classification, reduction/labeling —
-//! timing each separately, then races the two matcher hot paths against
-//! their retained reference engines on a corpus extracted from the crawl
-//! itself:
+//! parsing, the **stream-fused** crawl+classify pipeline, the
+//! record-materializing reference crawl, batch reduction — timing each
+//! separately and, via a counting global allocator, recording each
+//! stage's **peak live bytes** (net of what was already live when the
+//! stage began) and **total allocations**. The fused and reference
+//! pipelines must produce identical reductions; the harness asserts that,
+//! then reports `memory.peak_ratio` — how many times more live memory
+//! the record path holds at its worst than the fused path. Finally it
+//! races the two matcher hot paths against their retained reference
+//! engines on a corpus extracted from the crawl itself:
 //!
 //! * **classify** — one-pass `RegexSet` PII classification vs the
 //!   per-regex Pike-VM scan ([`PiiLibrary::classify_sent_text_reference`]);
 //! * **decide** — token-indexed filter evaluation vs the linear
 //!   every-generic-rule scan ([`Engine::evaluate_reference`]).
 //!
-//! The result (wall times, messages/sec, URLs/sec, lazy-DFA cache counters,
-//! token-index coverage) is written to `BENCH_pipeline.json`. Scale comes
-//! from the usual `SOCKSCOPE_*` knobs.
+//! The result (wall times, memory counters, messages/sec, URLs/sec,
+//! lazy-DFA cache counters, token-index coverage) is written to
+//! `BENCH_pipeline.json`. Scale comes from the usual `SOCKSCOPE_*` knobs.
 //!
 //! `perf --check [path]` re-reads a written report and validates the
-//! schema: every key present, every timing positive, both speedups finite.
-//! CI's perf-smoke job runs the harness at `SOCKSCOPE_SITES=2000` and then
-//! `--check`s the artifact it uploads.
+//! schema: every key present, every timing positive, the memory counters
+//! nonzero where the pipeline allocates, both speedups finite. CI's
+//! perf-smoke and stream-identity jobs run the harness at
+//! `SOCKSCOPE_SITES=2000` and then `--check` the artifact.
 
 use serde::{Deserialize, Serialize};
-use sockscope_analysis::{CrawlReduction, PiiLibrary, Study};
+use sockscope_analysis::{CrawlReduction, FusedShard, PiiLibrary, Study};
 use sockscope_crawler::SiteRecord;
 use sockscope_filterlist::{RequestContext, ResourceType};
 use sockscope_inclusion::NodeKind;
 use sockscope_urlkit::Url;
 use sockscope_webgen::CrawlEra;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// counting global allocator
+// ---------------------------------------------------------------------------
+
+/// Live heap bytes right now.
+static LIVE: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`LIVE`] since the last [`Meter::start`] reset.
+static PEAK: AtomicU64 = AtomicU64::new(0);
+/// Total allocation calls (alloc + alloc_zeroed + growing realloc counts 1).
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+fn on_alloc(bytes: u64) {
+    ALLOCS.fetch_add(1, Relaxed);
+    let live = LIVE.fetch_add(bytes, Relaxed) + bytes;
+    PEAK.fetch_max(live, Relaxed);
+}
+
+fn on_dealloc(bytes: u64) {
+    LIVE.fetch_sub(bytes, Relaxed);
+}
+
+/// A [`System`]-backed allocator that tracks live bytes, the live peak,
+/// and the allocation count. Relaxed atomics: the counters are statistics,
+/// not synchronization, and stage boundaries in `main` are quiescent
+/// points (no crawl threads are running when a stage is read).
+struct CountingAlloc;
+
+// SAFETY: defers every operation to `System` unchanged; the bookkeeping
+// only touches atomics and never the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size() as u64);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            on_dealloc(layout.size() as u64);
+            on_alloc(new_size as u64);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Meters one stage: wall time, net peak live bytes (peak during the
+/// stage minus live at its start — what the stage itself holds at its
+/// worst), and allocation count.
+struct Meter {
+    t: Instant,
+    live0: u64,
+    allocs0: u64,
+}
+
+impl Meter {
+    fn start() -> Meter {
+        let live0 = LIVE.load(Relaxed);
+        PEAK.store(live0, Relaxed);
+        Meter {
+            t: Instant::now(),
+            live0,
+            allocs0: ALLOCS.load(Relaxed),
+        }
+    }
+
+    fn finish(self) -> StageStats {
+        StageStats {
+            seconds: self.t.elapsed().as_secs_f64(),
+            peak_bytes: PEAK.load(Relaxed).saturating_sub(self.live0),
+            alloc_count: ALLOCS.load(Relaxed) - self.allocs0,
+        }
+    }
+}
+
+/// Accumulates meters across the four eras of one logical stage.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct StageStats {
+    seconds: f64,
+    /// Net peak live bytes: the stage's own high-water mark.
+    peak_bytes: u64,
+    alloc_count: u64,
+}
+
+impl StageStats {
+    fn absorb(&mut self, other: StageStats) {
+        self.seconds += other.seconds;
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+        self.alloc_count += other.alloc_count;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// report schema
+// ---------------------------------------------------------------------------
 
 /// Matcher-corpus cap: keeps the before/after race bounded at paper scale.
 /// Corpus sizes are recorded in the report, so a capped run is visible.
 const MAX_CORPUS: usize = 250_000;
 
-const SCHEMA: &str = "sockscope-bench-pipeline/1";
+const SCHEMA: &str = "sockscope-bench-pipeline/2";
 const DEFAULT_PATH: &str = "BENCH_pipeline.json";
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -43,18 +166,34 @@ struct BenchReport {
     threads: usize,
     seed_hex: String,
     stages: Stages,
+    memory: Memory,
     throughput: Throughput,
     matchers: Matchers,
 }
 
-/// Wall time of each pipeline stage, in seconds.
+/// Wall time + allocator counters of each pipeline stage.
 #[derive(Debug, Serialize, Deserialize)]
 struct Stages {
-    universe_s: f64,
-    filters_s: f64,
-    crawl_s: f64,
-    classification_s: f64,
-    reduction_s: f64,
+    universe: StageStats,
+    filters: StageStats,
+    /// The default pipeline: crawl + classify + reduce fused onto the
+    /// event stream, no site records.
+    fused_pipeline: StageStats,
+    /// The reference pipeline's crawl: full `SiteRecord` materialization.
+    reference_crawl: StageStats,
+    /// The reference pipeline's batch classification + reduction.
+    reference_reduction: StageStats,
+}
+
+/// The headline memory comparison.
+#[derive(Debug, Serialize, Deserialize)]
+struct Memory {
+    /// Net peak live bytes of the fused crawl+classify+reduce stage.
+    fused_peak_bytes: u64,
+    /// Net peak live bytes across the reference crawl + reduction stages.
+    reference_peak_bytes: u64,
+    /// `reference_peak_bytes / fused_peak_bytes`.
+    peak_ratio: f64,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -187,61 +326,123 @@ fn run() {
         config.n_sites, config.threads, config.seed
     );
 
-    let t = Instant::now();
+    let m = Meter::start();
     let web = Study::universe(&config);
-    let universe_s = t.elapsed().as_secs_f64();
+    let universe = m.finish();
 
-    let t = Instant::now();
+    let m = Meter::start();
     let engine = Study::engine_for(&web);
-    let filters_s = t.elapsed().as_secs_f64();
+    let filters = m.finish();
 
     let crawl_config = Study::crawl_config(&config);
+    let mut reference_config = crawl_config.clone();
+    reference_config.visit_reference = true;
     let shards = config.threads.max(1) * 4;
-    let mut corpus = Corpus::default();
-    let mut reductions = Vec::new();
-    let mut crawl_s = 0.0;
-    let mut reduction_s = 0.0;
     let lib = PiiLibrary::new();
+
+    // Fused pipeline first, while nothing but the universe and the engine
+    // is live: crawl + classify + reduce streamed per era, payload bytes
+    // dropped at classification time, no site records.
+    let mut fused_pipeline = StageStats::default();
+    let mut fused_reductions = Vec::new();
+    for era in CrawlEra::ALL {
+        let era_web = web.for_era(era);
+        let make_extensions =
+            || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(era));
+        let m = Meter::start();
+        let mut reduction = sockscope_crawler::crawl_sharded_sink(
+            &era_web,
+            &crawl_config,
+            shards,
+            &make_extensions,
+            &|_shard| FusedShard::new(era.label(), era.pre_patch(), &engine),
+        )
+        .into_iter()
+        .map(FusedShard::into_reduction)
+        .fold(
+            CrawlReduction::new(era.label(), era.pre_patch()),
+            CrawlReduction::merge,
+        );
+        reduction.normalize();
+        fused_pipeline.absorb(m.finish());
+        fused_reductions.push(reduction);
+    }
+    eprintln!(
+        "[sockscope] fused pipeline: {:.1}s, peak {:.1} MiB",
+        fused_pipeline.seconds,
+        fused_pipeline.peak_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // Reference pipeline: materialize full site records (buffered browser
+    // path), then classify + reduce them in batch.
+    let mut corpus = Corpus::default();
+    let mut reference_crawl = StageStats::default();
+    let mut reference_reduction = StageStats::default();
+    let mut reductions = Vec::new();
     for era in CrawlEra::ALL {
         let era_web = web.for_era(era);
         let make_extensions =
             || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(era));
 
         // Crawl stage: produce the site records, nothing else.
-        let t = Instant::now();
+        let m = Meter::start();
         let shard_records: Vec<Vec<SiteRecord>> = sockscope_crawler::crawl_sharded(
             &era_web,
-            &crawl_config,
+            &reference_config,
             shards,
             &make_extensions,
             &|_shard| Vec::new(),
             &|acc: &mut Vec<SiteRecord>, record| acc.push(record),
         );
-        crawl_s += t.elapsed().as_secs_f64();
+        reference_crawl.absorb(m.finish());
 
         for record in shard_records.iter().flatten() {
             corpus.harvest(record);
         }
 
         // Reduction stage: classify + reduce the records just produced.
-        let t = Instant::now();
+        let m = Meter::start();
         let mut reduction = CrawlReduction::new(era.label(), era.pre_patch());
         for record in shard_records.iter().flatten() {
             reduction.observe_site(record, &engine, &lib);
         }
         reduction.normalize();
-        reduction_s += t.elapsed().as_secs_f64();
+        reference_reduction.absorb(m.finish());
         reductions.push(reduction);
         eprintln!(
             "[sockscope] crawled {}: crawl {:.1}s cum, reduce {:.1}s cum",
             era.label(),
-            crawl_s,
-            reduction_s
+            reference_crawl.seconds,
+            reference_reduction.seconds
         );
     }
-    let t = Instant::now();
+
+    // The fused pipeline must be decision-identical to the reference.
+    assert_eq!(
+        fused_reductions, reductions,
+        "fused and reference reductions disagree"
+    );
+
+    let m = Meter::start();
     let study = Study::assemble(&web, engine, reductions);
-    reduction_s += t.elapsed().as_secs_f64();
+    reference_reduction.absorb(m.finish());
+
+    let memory = Memory {
+        fused_peak_bytes: fused_pipeline.peak_bytes,
+        reference_peak_bytes: reference_crawl
+            .peak_bytes
+            .max(reference_reduction.peak_bytes),
+        peak_ratio: reference_crawl
+            .peak_bytes
+            .max(reference_reduction.peak_bytes) as f64
+            / (fused_pipeline.peak_bytes as f64).max(1.0),
+    };
+    eprintln!(
+        "[sockscope] memory: reference peak {:.1} MiB vs fused peak {:.1} MiB ({:.1}x)",
+        memory.reference_peak_bytes as f64 / (1024.0 * 1024.0),
+        memory.fused_peak_bytes as f64 / (1024.0 * 1024.0),
+        memory.peak_ratio
+    );
 
     // Matcher race 1: one-pass PII classification vs per-regex reference.
     let t = Instant::now();
@@ -304,12 +505,13 @@ fn run() {
         threads: config.threads,
         seed_hex: format!("{:#x}", config.seed),
         stages: Stages {
-            universe_s,
-            filters_s,
-            crawl_s,
-            classification_s: one_pass_s,
-            reduction_s,
+            universe,
+            filters,
+            fused_pipeline,
+            reference_crawl,
+            reference_reduction,
         },
+        memory,
         throughput: Throughput {
             messages_per_s: corpus.messages.len() as f64 / one_pass_s.max(1e-9),
             urls_per_s: parsed.len() as f64 / tokenized_s.max(1e-9),
@@ -376,15 +578,30 @@ fn check(path: &str) {
     assert_eq!(report.schema, SCHEMA, "schema tag mismatch");
     assert!(report.sites > 0, "sites must be positive");
     let stages = [
-        ("universe_s", report.stages.universe_s),
-        ("filters_s", report.stages.filters_s),
-        ("crawl_s", report.stages.crawl_s),
-        ("classification_s", report.stages.classification_s),
-        ("reduction_s", report.stages.reduction_s),
+        ("universe", &report.stages.universe),
+        ("filters", &report.stages.filters),
+        ("fused_pipeline", &report.stages.fused_pipeline),
+        ("reference_crawl", &report.stages.reference_crawl),
+        ("reference_reduction", &report.stages.reference_reduction),
     ];
-    for (name, v) in stages {
-        assert!(v.is_finite() && v > 0.0, "{name} must be positive, got {v}");
+    for (name, s) in stages {
+        assert!(
+            s.seconds.is_finite() && s.seconds > 0.0,
+            "{name}.seconds must be positive, got {}",
+            s.seconds
+        );
+        assert!(s.alloc_count > 0, "{name}.alloc_count must be nonzero");
+        assert!(s.peak_bytes > 0, "{name}.peak_bytes must be nonzero");
     }
+    assert!(
+        report.memory.fused_peak_bytes > 0 && report.memory.reference_peak_bytes > 0,
+        "memory peaks must be nonzero"
+    );
+    assert!(
+        report.memory.peak_ratio.is_finite() && report.memory.peak_ratio > 0.0,
+        "memory.peak_ratio must be positive, got {}",
+        report.memory.peak_ratio
+    );
     assert!(report.throughput.messages_per_s > 0.0);
     assert!(report.throughput.urls_per_s > 0.0);
     assert!(

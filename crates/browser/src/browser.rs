@@ -3,7 +3,7 @@
 
 use crate::cookies::CookieJar;
 use crate::events::{
-    CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId,
+    CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId, VisitSink,
 };
 use crate::network::{self, Direction};
 use crate::webrequest::{ExtensionHost, RequestDetails};
@@ -102,6 +102,22 @@ impl Visit {
     }
 }
 
+/// The non-event result of a streamed visit: everything
+/// [`Browser::visit_streamed`] produces besides the events themselves,
+/// which went to the sink. A [`Visit`] is exactly a `VisitSummary` plus the
+/// materialized event buffer.
+#[derive(Debug, Clone)]
+pub struct VisitSummary {
+    /// The visited page.
+    pub page_url: Url,
+    /// Same-site links found on the page (crawl frontier input, §3.3).
+    pub links: Vec<String>,
+    /// Requests cancelled by extensions (URL, kind).
+    pub blocked: Vec<(String, ResourceKind)>,
+    /// Injected-fault bookkeeping for the failure-accounting table.
+    pub faults: FaultLog,
+}
+
 /// The simulated browser.
 pub struct Browser<'h> {
     host: &'h dyn WebHost,
@@ -144,6 +160,32 @@ impl<'h> Browser<'h> {
         url: &str,
         faults: Option<&FaultContext>,
     ) -> Result<Visit, VisitError> {
+        let mut events: Vec<CdpEvent> = Vec::new();
+        let summary = self.visit_streamed(url, faults, &mut events)?;
+        Ok(Visit {
+            page_url: summary.page_url,
+            events,
+            blocked: summary.blocked,
+            links: summary.links,
+            faults: summary.faults,
+        })
+    }
+
+    /// The streaming form of [`Browser::visit_with_faults`]: every CDP
+    /// event is pushed into `sink` the moment it is emitted instead of
+    /// being buffered, and only the [`VisitSummary`] is returned.
+    ///
+    /// Event identity: collecting into a `Vec<CdpEvent>` sink reproduces
+    /// `Visit::events` exactly — `visit_with_faults` is implemented that
+    /// way. Error contract: every [`VisitError`] is decided *before* the
+    /// first event is emitted, so a sink receives no events at all for a
+    /// visit that returns `Err`.
+    pub fn visit_streamed(
+        &self,
+        url: &str,
+        faults: Option<&FaultContext>,
+        sink: &mut dyn VisitSink,
+    ) -> Result<VisitSummary, VisitError> {
         let page_url = Url::parse(url).map_err(|_| VisitError::BadUrl(url.to_string()))?;
         let page = self
             .host
@@ -161,7 +203,7 @@ impl<'h> Browser<'h> {
         let mut state = VisitState {
             browser: self,
             page_url: page_url.clone(),
-            events: Vec::new(),
+            sink,
             blocked: Vec::new(),
             jar: CookieJar::new(),
             ctx: ValueContext::deterministic(self.config.seed ^ fnv1a(url)),
@@ -178,21 +220,21 @@ impl<'h> Browser<'h> {
         state.ctx.dom_html = page.dom().to_html();
 
         let main_frame = FrameId(0);
-        state.events.push(CdpEvent::FrameNavigated {
+        state.sink.on_event(CdpEvent::FrameNavigated {
             frame_id: main_frame,
             parent_frame_id: None,
             url: url.to_string(),
         });
         // The document request itself.
         let rid = state.next_request_id();
-        state.events.push(CdpEvent::RequestWillBeSent {
+        state.sink.on_event(CdpEvent::RequestWillBeSent {
             request_id: rid,
             url: url.to_string(),
             resource_type: ResourceKind::Document,
             initiator: Initiator::Parser(main_frame),
             frame_id: main_frame,
         });
-        state.events.push(CdpEvent::ResponseReceived {
+        state.sink.on_event(CdpEvent::ResponseReceived {
             request_id: rid,
             url: url.to_string(),
             status: 200,
@@ -203,10 +245,9 @@ impl<'h> Browser<'h> {
 
         state.load_frame(&page, main_frame, 0);
 
-        Ok(Visit {
+        Ok(VisitSummary {
             page_url,
             links: page.links.clone(),
-            events: state.events,
             blocked: state.blocked,
             faults: state.fault_log,
         })
@@ -223,10 +264,10 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
-struct VisitState<'b, 'h> {
+struct VisitState<'b, 'h, 's> {
     browser: &'b Browser<'h>,
     page_url: Url,
-    events: Vec<CdpEvent>,
+    sink: &'s mut dyn VisitSink,
     blocked: Vec<(String, ResourceKind)>,
     jar: CookieJar,
     ctx: ValueContext,
@@ -240,7 +281,7 @@ struct VisitState<'b, 'h> {
     fetch_ordinal: u64,
 }
 
-impl VisitState<'_, '_> {
+impl VisitState<'_, '_, '_> {
     fn next_request_id(&mut self) -> RequestId {
         self.next_request += 1;
         RequestId(self.next_request)
@@ -338,7 +379,7 @@ impl VisitState<'_, '_> {
         if self.browser.extensions.allow_request(&details) {
             true
         } else {
-            self.events.push(CdpEvent::RequestBlockedByExtension {
+            self.sink.on_event(CdpEvent::RequestBlockedByExtension {
                 url: url.to_string(),
                 resource_type: kind,
                 initiator,
@@ -382,7 +423,7 @@ impl VisitState<'_, '_> {
                     return;
                 }
                 let rid = self.next_request_id();
-                self.events.push(CdpEvent::RequestWillBeSent {
+                self.sink.on_event(CdpEvent::RequestWillBeSent {
                     request_id: rid,
                     url: url_text.clone(),
                     resource_type: ResourceKind::Script,
@@ -391,7 +432,7 @@ impl VisitState<'_, '_> {
                 });
                 let behaviour = self.browser.host.get_script(url_text);
                 let status = if behaviour.is_some() { 200 } else { 404 };
-                self.events.push(CdpEvent::ResponseReceived {
+                self.sink.on_event(CdpEvent::ResponseReceived {
                     request_id: rid,
                     url: url_text.clone(),
                     status,
@@ -409,7 +450,7 @@ impl VisitState<'_, '_> {
                     format!("{:016x}", fnv1a(&host) ^ self.browser.config.seed),
                 );
                 let sid = self.next_script_id();
-                self.events.push(CdpEvent::ScriptParsed {
+                self.sink.on_event(CdpEvent::ScriptParsed {
                     script_id: sid,
                     url: url_text.clone(),
                     frame_id: frame,
@@ -419,7 +460,7 @@ impl VisitState<'_, '_> {
             }
             ScriptRef::Inline(behaviour) => {
                 let sid = self.next_script_id();
-                self.events.push(CdpEvent::ScriptParsed {
+                self.sink.on_event(CdpEvent::ScriptParsed {
                     script_id: sid,
                     url: format!("{}#inline-{}", page.url, index),
                     frame_id: frame,
@@ -468,7 +509,7 @@ impl VisitState<'_, '_> {
                         continue;
                     }
                     let rid = self.next_request_id();
-                    self.events.push(CdpEvent::RequestWillBeSent {
+                    self.sink.on_event(CdpEvent::RequestWillBeSent {
                         request_id: rid,
                         url: full.clone(),
                         resource_type: ResourceKind::Xhr,
@@ -476,7 +517,7 @@ impl VisitState<'_, '_> {
                         frame_id: frame,
                     });
                     if let Some(error_text) = self.fetch_fault(&full) {
-                        self.events.push(CdpEvent::LoadingFailed {
+                        self.sink.on_event(CdpEvent::LoadingFailed {
                             request_id: rid,
                             url: full,
                             resource_type: ResourceKind::Xhr,
@@ -493,7 +534,7 @@ impl VisitState<'_, '_> {
                     let body = self.http_exchange(&parsed, &mime, rendered);
                     let mut ground = sent.clone();
                     ground.push(SentItem::UserAgent);
-                    self.events.push(CdpEvent::ResponseReceived {
+                    self.sink.on_event(CdpEvent::ResponseReceived {
                         request_id: rid,
                         url: full,
                         status: 200,
@@ -523,7 +564,7 @@ impl VisitState<'_, '_> {
             return;
         }
         let rid = self.next_request_id();
-        self.events.push(CdpEvent::RequestWillBeSent {
+        self.sink.on_event(CdpEvent::RequestWillBeSent {
             request_id: rid,
             url: full.clone(),
             resource_type: ResourceKind::Image,
@@ -531,7 +572,7 @@ impl VisitState<'_, '_> {
             frame_id: frame,
         });
         if let Some(error_text) = self.fetch_fault(&full) {
-            self.events.push(CdpEvent::LoadingFailed {
+            self.sink.on_event(CdpEvent::LoadingFailed {
                 request_id: rid,
                 url: full,
                 resource_type: ResourceKind::Image,
@@ -546,7 +587,7 @@ impl VisitState<'_, '_> {
             "image/png",
             vec![0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A, 0, 0, 0, 0],
         );
-        self.events.push(CdpEvent::ResponseReceived {
+        self.sink.on_event(CdpEvent::ResponseReceived {
             request_id: rid,
             url: full,
             status: 200,
@@ -571,14 +612,14 @@ impl VisitState<'_, '_> {
         // CDP ordering: the iframe's document request (carrying the real
         // initiator — possibly a script) precedes the frame navigation.
         let rid = self.next_request_id();
-        self.events.push(CdpEvent::RequestWillBeSent {
+        self.sink.on_event(CdpEvent::RequestWillBeSent {
             request_id: rid,
             url: url.to_string(),
             resource_type: ResourceKind::Document,
             initiator,
             frame_id: frame,
         });
-        self.events.push(CdpEvent::ResponseReceived {
+        self.sink.on_event(CdpEvent::ResponseReceived {
             request_id: rid,
             url: url.to_string(),
             status: 200,
@@ -586,7 +627,7 @@ impl VisitState<'_, '_> {
             body: page.dom().to_html().into_bytes(),
             sent_ground_truth: vec![SentItem::UserAgent],
         });
-        self.events.push(CdpEvent::FrameNavigated {
+        self.sink.on_event(CdpEvent::FrameNavigated {
             frame_id: frame,
             parent_frame_id: Some(parent),
             url: url.to_string(),
@@ -643,19 +684,19 @@ impl VisitState<'_, '_> {
         };
 
         let rid = self.next_request_id();
-        self.events.push(CdpEvent::WebSocketCreated {
+        self.sink.on_event(CdpEvent::WebSocketCreated {
             request_id: rid,
             url: url.to_string(),
             initiator,
             frame_id: frame,
         });
-        self.events
-            .push(CdpEvent::WebSocketWillSendHandshakeRequest {
+        self.sink
+            .on_event(CdpEvent::WebSocketWillSendHandshakeRequest {
                 request_id: rid,
                 request: session.handshake_request.clone(),
             });
-        self.events
-            .push(CdpEvent::WebSocketHandshakeResponseReceived {
+        self.sink
+            .on_event(CdpEvent::WebSocketHandshakeResponseReceived {
                 request_id: rid,
                 status: session.status,
                 response: session.handshake_response.clone(),
@@ -672,10 +713,10 @@ impl VisitState<'_, '_> {
                     payload,
                 },
             };
-            self.events.push(ev);
+            self.sink.on_event(ev);
         }
-        self.events
-            .push(CdpEvent::WebSocketClosed { request_id: rid });
+        self.sink
+            .on_event(CdpEvent::WebSocketClosed { request_id: rid });
     }
 
     /// Runs a WebSocket session under an injected fault and records however
@@ -712,22 +753,22 @@ impl VisitState<'_, '_> {
         }
 
         let rid = self.next_request_id();
-        self.events.push(CdpEvent::WebSocketCreated {
+        self.sink.on_event(CdpEvent::WebSocketCreated {
             request_id: rid,
             url: url.to_string(),
             initiator,
             frame_id: frame,
         });
         if !outcome.handshake_request.is_empty() {
-            self.events
-                .push(CdpEvent::WebSocketWillSendHandshakeRequest {
+            self.sink
+                .on_event(CdpEvent::WebSocketWillSendHandshakeRequest {
                     request_id: rid,
                     request: outcome.handshake_request.clone(),
                 });
         }
         if outcome.status != 0 {
-            self.events
-                .push(CdpEvent::WebSocketHandshakeResponseReceived {
+            self.sink
+                .on_event(CdpEvent::WebSocketHandshakeResponseReceived {
                     request_id: rid,
                     status: outcome.status,
                     response: outcome.handshake_response.clone(),
@@ -745,17 +786,17 @@ impl VisitState<'_, '_> {
                     payload,
                 },
             };
-            self.events.push(ev);
+            self.sink.on_event(ev);
         }
         if outcome.error.is_some() {
             let error_text = decision.error_text().unwrap_or("net::ERR_FAILED");
-            self.events.push(CdpEvent::WebSocketFrameError {
+            self.sink.on_event(CdpEvent::WebSocketFrameError {
                 request_id: rid,
                 error_text: error_text.to_string(),
             });
         }
-        self.events
-            .push(CdpEvent::WebSocketClosed { request_id: rid });
+        self.sink
+            .on_event(CdpEvent::WebSocketClosed { request_id: rid });
     }
 
     /// Appends rendered sent-items to a URL as its query string (how HTTP

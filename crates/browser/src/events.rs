@@ -1,6 +1,7 @@
 //! The Chrome-Debugging-Protocol event vocabulary the study instruments.
 
 use sockscope_wsproto::base64;
+use std::borrow::Cow;
 
 /// Network request identifier (unique per visit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -62,11 +63,13 @@ impl FramePayload {
         }
     }
 
-    /// Recovers the raw bytes.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Recovers the raw bytes. Text payloads borrow straight from the
+    /// payload (the classification hot path calls this per frame — no
+    /// allocation there); only binary payloads decode into an owned buffer.
+    pub fn to_bytes(&self) -> Cow<'_, [u8]> {
         match self {
-            FramePayload::Text(s) => s.as_bytes().to_vec(),
-            FramePayload::Base64(b) => base64::decode(b).unwrap_or_default(),
+            FramePayload::Text(s) => Cow::Borrowed(s.as_bytes()),
+            FramePayload::Base64(b) => Cow::Owned(base64::decode(b).unwrap_or_default()),
         }
     }
 
@@ -248,6 +251,32 @@ impl CdpEvent {
     }
 }
 
+/// A consumer of CDP events, fed one event at a time as the browser emits
+/// them.
+///
+/// This is the seam the stream-fused pipeline hangs off: instead of the
+/// loader buffering a whole visit into a `Vec<CdpEvent>` and handing it
+/// downstream, `Browser::visit_streamed` pushes each event into a sink the
+/// moment it is emitted. A sink can build an inclusion tree incrementally,
+/// classify payload bytes and drop them, or simply collect (the `Vec`
+/// impl below reproduces the materializing behaviour exactly).
+///
+/// Events arrive in emission order — the same order a materialized
+/// `Visit::events` would hold them — so any sink that buffers is
+/// byte-identical to the batch path by construction.
+pub trait VisitSink {
+    /// Receives the next event of the visit.
+    fn on_event(&mut self, event: CdpEvent);
+}
+
+/// The trivial materializing sink: collects every event, reproducing the
+/// pre-fusion `Visit::events` buffer.
+impl VisitSink for Vec<CdpEvent> {
+    fn on_event(&mut self, event: CdpEvent) {
+        self.push(event);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,7 +285,9 @@ mod tests {
     fn frame_payload_text_roundtrip() {
         let p = FramePayload::from_bytes(true, b"uid=42");
         assert_eq!(p.as_text(), Some("uid=42"));
-        assert_eq!(p.to_bytes(), b"uid=42");
+        assert_eq!(&p.to_bytes()[..], b"uid=42");
+        // Text payloads must not copy: the classifier calls this per frame.
+        assert!(matches!(p.to_bytes(), Cow::Borrowed(_)));
     }
 
     #[test]
@@ -264,7 +295,7 @@ mod tests {
         let raw = [0u8, 255, 128, 7];
         let p = FramePayload::from_bytes(false, &raw);
         assert!(p.as_text().is_none());
-        assert_eq!(p.to_bytes(), raw);
+        assert_eq!(&p.to_bytes()[..], &raw[..]);
     }
 
     #[test]
@@ -273,6 +304,35 @@ mod tests {
         // not panic if handed garbage.
         let p = FramePayload::from_bytes(true, &[0xFF, 0xFE]);
         assert!(matches!(p, FramePayload::Base64(_)));
+    }
+
+    #[test]
+    fn invalid_utf8_text_frame_roundtrips_through_base64() {
+        // Pin the fallback end to end: a "text" frame carrying invalid
+        // UTF-8 is stored base64-encoded and decodes back to the original
+        // bytes, identically to an explicit binary frame.
+        let garbage = [0xFFu8, 0xFE, 0x61, 0x80, 0x00];
+        let as_text = FramePayload::from_bytes(true, &garbage);
+        let as_binary = FramePayload::from_bytes(false, &garbage);
+        assert_eq!(as_text, as_binary);
+        assert_eq!(&as_text.to_bytes()[..], &garbage[..]);
+        assert!(as_text.as_text().is_none());
+        assert!(!as_text.is_empty());
+    }
+
+    #[test]
+    fn vec_sink_collects_events_in_order() {
+        let mut sink: Vec<CdpEvent> = Vec::new();
+        sink.on_event(CdpEvent::WebSocketClosed {
+            request_id: RequestId(1),
+        });
+        sink.on_event(CdpEvent::WebSocketClosed {
+            request_id: RequestId(2),
+        });
+        assert_eq!(
+            sink.iter().map(|e| e.request_id()).collect::<Vec<_>>(),
+            vec![Some(RequestId(1)), Some(RequestId(2))]
+        );
     }
 
     #[test]

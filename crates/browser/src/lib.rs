@@ -37,8 +37,10 @@ pub mod events;
 pub mod network;
 pub mod webrequest;
 
-pub use browser::{Browser, BrowserConfig, FaultLog, Visit, VisitError};
-pub use events::{CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId};
+pub use browser::{Browser, BrowserConfig, FaultLog, Visit, VisitError, VisitSummary};
+pub use events::{
+    CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId, VisitSink,
+};
 pub use webrequest::{
     AdBlockerExtension, BrowserEra, ExtDecision, Extension, ExtensionHost, RequestDetails,
     WsConstructorShim,

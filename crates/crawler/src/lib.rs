@@ -28,6 +28,15 @@
 //!   private accumulator, and folds records into it with **no lock in the
 //!   per-site hot path**; the caller merges the returned shard
 //!   accumulators in shard order, which keeps results deterministic.
+//! * [`crawl_sharded_sink`] — the stream-fused variant: each shard
+//!   accumulator is a [`SiteSink`] fed CDP events the moment the browser
+//!   emits them, so no per-page event buffer or [`SiteRecord`] exists at
+//!   all; per-site memory is bounded by one inclusion tree.
+//!
+//! All drivers share one frontier/fault loop (`drive_site`) and one
+//! per-site seed derivation, so their outputs are decision-identical by
+//! construction; `CrawlConfig::visit_reference` retains the pre-fusion
+//! materializing path for differential testing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,9 +45,11 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use sockscope_browser::{Browser, BrowserConfig, BrowserEra, ExtensionHost, VisitError};
+use sockscope_browser::{
+    Browser, BrowserConfig, BrowserEra, ExtensionHost, VisitError, VisitSink, VisitSummary,
+};
 use sockscope_faults::{FaultContext, FaultProfile, VirtualClock};
-use sockscope_inclusion::InclusionTree;
+use sockscope_inclusion::{InclusionTree, TreeBuilder};
 use sockscope_webgen::{CrawlEra, SyntheticWeb};
 
 /// Crawler configuration.
@@ -55,6 +66,13 @@ pub struct CrawlConfig {
     /// whose rates are all zero is treated as no injection at all, so the
     /// crawl output is byte-identical to the fault-free pipeline.
     pub faults: Option<FaultProfile>,
+    /// Use the retained materializing visit path: buffer each page's full
+    /// event stream into a `Vec<CdpEvent>` and batch-build its inclusion
+    /// tree, exactly as the pipeline did before stream fusion. The default
+    /// (`false`) streams events into an incremental [`TreeBuilder`] as they
+    /// are emitted. Both paths produce identical trees — the reference path
+    /// exists so differential tests and the perf harness can prove it.
+    pub visit_reference: bool,
 }
 
 impl Default for CrawlConfig {
@@ -66,6 +84,7 @@ impl Default for CrawlConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             faults: None,
+            visit_reference: false,
         }
     }
 }
@@ -188,8 +207,177 @@ fn mix(seed: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The per-site frontier driver both public crawl entry points share.
+///
+/// One loop implements §3.3's frontier policy *and* the fault machinery:
+/// the fault-free crawl is the fault crawl with an empty plan
+/// (`faults: None` ⇒ a single attempt per page, no `FaultContext`, no
+/// budget check, and the returned [`SiteFaults`] is discarded by the
+/// caller). This is what keeps the two paths decision-identical by
+/// construction — there is exactly one copy of the link-sampling,
+/// retry/backoff, and budget logic.
+///
+/// `visit_page` performs the actual page load (streamed or materializing —
+/// the driver does not care) and reports the page's summary; the driver
+/// owns link filtering, dedup, the seeded frontier pick, and all fault
+/// accounting.
+type VisitPage<'a> =
+    dyn FnMut(&str, Option<&FaultContext>) -> Result<VisitSummary, VisitError> + 'a;
+
+fn drive_site(
+    homepage: &str,
+    site_domain: &str,
+    max_links: usize,
+    seed: u64,
+    faults: Option<(&FaultProfile, u64, u64)>,
+    visit_page: &mut VisitPage<'_>,
+) -> SiteFaults {
+    let mut pages = 0usize;
+    let mut visited: Vec<String> = Vec::new();
+    let mut frontier: Vec<String> = Vec::new();
+    let mut rng = LinkRng::new(seed);
+    let mut clock = VirtualClock::new();
+    let mut site_faults = SiteFaults::default();
+    let max_retries = faults.map(|(p, _, _)| p.max_retries).unwrap_or(0);
+
+    // Returns true when the page loaded (possibly after retries).
+    let mut visit = |url: &str,
+                     pages: &mut usize,
+                     frontier: &mut Vec<String>,
+                     visited: &mut Vec<String>,
+                     clock: &mut VirtualClock,
+                     site_faults: &mut SiteFaults| {
+        for attempt in 0..=max_retries {
+            site_faults.pages_attempted += 1;
+            let ctx = faults.map(|(profile, fault_seed, site_rank)| FaultContext {
+                profile: profile.clone(),
+                seed: fault_seed,
+                site_rank,
+                attempt,
+            });
+            match visit_page(url, ctx.as_ref()) {
+                Ok(v) => {
+                    clock.advance(v.faults.ticks);
+                    for (_, kind) in &v.faults.faults {
+                        *site_faults.errors.entry((*kind).to_string()).or_insert(0) += 1;
+                    }
+                    visited.push(url.to_string());
+                    for link in &v.links {
+                        // Same-site links only, unseen only.
+                        let same_site = sockscope_urlkit::Url::parse(link)
+                            .ok()
+                            .and_then(|u| u.second_level_domain().map(|d| d == site_domain))
+                            .unwrap_or(false);
+                        if same_site && !visited.contains(link) && !frontier.contains(link) {
+                            frontier.push(link.clone());
+                        }
+                    }
+                    *pages += 1;
+                    return true;
+                }
+                Err(VisitError::Unreachable(_)) => {
+                    *site_faults
+                        .errors
+                        .entry("page_unreachable".to_string())
+                        .or_insert(0) += 1;
+                    if let Some((profile, _, _)) = faults {
+                        if attempt < profile.max_retries {
+                            site_faults.retries += 1;
+                            clock.advance(profile.backoff_base << attempt.min(16));
+                        }
+                    }
+                }
+                // Unknown page: skip it exactly like the fault-free crawl.
+                Err(_) => return false,
+            }
+        }
+        site_faults.pages_failed += 1;
+        false
+    };
+
+    let homepage_ok = visit(
+        homepage,
+        &mut pages,
+        &mut frontier,
+        &mut visited,
+        &mut clock,
+        &mut site_faults,
+    );
+    if !homepage_ok {
+        site_faults.abandoned = true;
+    } else {
+        while pages < max_links + 1 && !frontier.is_empty() {
+            let pick = rng.below(frontier.len());
+            let url = frontier.swap_remove(pick);
+            if visited.contains(&url) {
+                continue;
+            }
+            if let Some((profile, _, _)) = faults {
+                if clock.now() >= profile.page_budget {
+                    site_faults.pages_timed_out += 1;
+                    break;
+                }
+            }
+            visit(
+                &url,
+                &mut pages,
+                &mut frontier,
+                &mut visited,
+                &mut clock,
+                &mut site_faults,
+            );
+        }
+    }
+    site_faults.degraded =
+        !site_faults.abandoned && (site_faults.pages_failed > 0 || site_faults.pages_timed_out > 0);
+    site_faults.ticks = clock.now();
+    site_faults
+}
+
+/// Tree-collecting page loader over [`drive_site`]: every loaded page
+/// becomes one [`InclusionTree`], built incrementally from the event
+/// stream by default, or batch-built from a materialized `Visit` when
+/// `visit_reference` is set.
+fn crawl_site_trees(
+    browser: &Browser<'_>,
+    homepage: &str,
+    site_domain: &str,
+    max_links: usize,
+    seed: u64,
+    faults: Option<(&FaultProfile, u64, u64)>,
+    visit_reference: bool,
+) -> (Vec<InclusionTree>, SiteFaults) {
+    let mut trees = Vec::new();
+    let site_faults = drive_site(
+        homepage,
+        site_domain,
+        max_links,
+        seed,
+        faults,
+        &mut |url, ctx| {
+            if visit_reference {
+                let v = browser.visit_with_faults(url, ctx)?;
+                trees.push(InclusionTree::build(url, &v.events));
+                Ok(VisitSummary {
+                    page_url: v.page_url,
+                    links: v.links,
+                    blocked: v.blocked,
+                    faults: v.faults,
+                })
+            } else {
+                let mut builder = TreeBuilder::new(url);
+                let summary = browser.visit_streamed(url, ctx, &mut builder)?;
+                trees.push(builder.finish());
+                Ok(summary)
+            }
+        },
+    );
+    (trees, site_faults)
+}
+
 /// Crawls one site with a given browser: homepage + up to `max_links`
-/// same-site pages (§3.3's frontier policy).
+/// same-site pages (§3.3's frontier policy). Pages stream through an
+/// incremental [`TreeBuilder`]; no per-page event buffer is materialized.
 pub fn crawl_site(
     browser: &Browser<'_>,
     homepage: &str,
@@ -197,42 +385,7 @@ pub fn crawl_site(
     max_links: usize,
     seed: u64,
 ) -> Vec<InclusionTree> {
-    let mut trees = Vec::new();
-    let mut visited: Vec<String> = Vec::new();
-    let mut frontier: Vec<String> = Vec::new();
-    let mut rng = LinkRng::new(seed);
-
-    let visit = |url: &str,
-                 trees: &mut Vec<InclusionTree>,
-                 frontier: &mut Vec<String>,
-                 visited: &mut Vec<String>| {
-        let Ok(v) = browser.visit(url) else {
-            return;
-        };
-        visited.push(url.to_string());
-        for link in &v.links {
-            // Same-site links only, unseen only.
-            let same_site = sockscope_urlkit::Url::parse(link)
-                .ok()
-                .and_then(|u| u.second_level_domain().map(|d| d == site_domain))
-                .unwrap_or(false);
-            if same_site && !visited.contains(link) && !frontier.contains(link) {
-                frontier.push(link.clone());
-            }
-        }
-        trees.push(InclusionTree::build(url, &v.events));
-    };
-
-    visit(homepage, &mut trees, &mut frontier, &mut visited);
-    while trees.len() < max_links + 1 && !frontier.is_empty() {
-        let pick = rng.below(frontier.len());
-        let url = frontier.swap_remove(pick);
-        if visited.contains(&url) {
-            continue;
-        }
-        visit(&url, &mut trees, &mut frontier, &mut visited);
-    }
-    trees
+    crawl_site_trees(browser, homepage, site_domain, max_links, seed, None, false).0
 }
 
 /// Fault-injecting variant of [`crawl_site`]. Link sampling is identical;
@@ -240,7 +393,9 @@ pub fn crawl_site(
 /// unreachable pages are retried up to `profile.max_retries` times with
 /// exponential virtual-clock backoff, and the site is cut short (a
 /// degraded, partial record — never a panic) once the virtual clock
-/// exceeds `profile.page_budget`.
+/// exceeds `profile.page_budget`. Both functions are thin wrappers over
+/// one shared frontier driver, so the fault-free crawl *is* the fault
+/// crawl with a no-op plan.
 #[allow(clippy::too_many_arguments)]
 pub fn crawl_site_with_faults(
     browser: &Browser<'_>,
@@ -252,99 +407,15 @@ pub fn crawl_site_with_faults(
     fault_seed: u64,
     site_rank: u64,
 ) -> (Vec<InclusionTree>, SiteFaults) {
-    let mut trees = Vec::new();
-    let mut visited: Vec<String> = Vec::new();
-    let mut frontier: Vec<String> = Vec::new();
-    let mut rng = LinkRng::new(seed);
-    let mut clock = VirtualClock::new();
-    let mut faults = SiteFaults::default();
-
-    // Returns true when the page loaded (possibly after retries).
-    let visit = |url: &str,
-                 trees: &mut Vec<InclusionTree>,
-                 frontier: &mut Vec<String>,
-                 visited: &mut Vec<String>,
-                 clock: &mut VirtualClock,
-                 faults: &mut SiteFaults| {
-        for attempt in 0..=profile.max_retries {
-            faults.pages_attempted += 1;
-            let ctx = FaultContext {
-                profile: profile.clone(),
-                seed: fault_seed,
-                site_rank,
-                attempt,
-            };
-            match browser.visit_with_faults(url, Some(&ctx)) {
-                Ok(v) => {
-                    clock.advance(v.faults.ticks);
-                    for (_, kind) in &v.faults.faults {
-                        *faults.errors.entry((*kind).to_string()).or_insert(0) += 1;
-                    }
-                    visited.push(url.to_string());
-                    for link in &v.links {
-                        let same_site = sockscope_urlkit::Url::parse(link)
-                            .ok()
-                            .and_then(|u| u.second_level_domain().map(|d| d == site_domain))
-                            .unwrap_or(false);
-                        if same_site && !visited.contains(link) && !frontier.contains(link) {
-                            frontier.push(link.clone());
-                        }
-                    }
-                    trees.push(InclusionTree::build(url, &v.events));
-                    return true;
-                }
-                Err(VisitError::Unreachable(_)) => {
-                    *faults
-                        .errors
-                        .entry("page_unreachable".to_string())
-                        .or_insert(0) += 1;
-                    if attempt < profile.max_retries {
-                        faults.retries += 1;
-                        clock.advance(profile.backoff_base << attempt.min(16));
-                    }
-                }
-                // Unknown page: skip it exactly like the fault-free crawl.
-                Err(_) => return false,
-            }
-        }
-        faults.pages_failed += 1;
-        false
-    };
-
-    let homepage_ok = visit(
+    crawl_site_trees(
+        browser,
         homepage,
-        &mut trees,
-        &mut frontier,
-        &mut visited,
-        &mut clock,
-        &mut faults,
-    );
-    if !homepage_ok {
-        faults.abandoned = true;
-    } else {
-        while trees.len() < max_links + 1 && !frontier.is_empty() {
-            let pick = rng.below(frontier.len());
-            let url = frontier.swap_remove(pick);
-            if visited.contains(&url) {
-                continue;
-            }
-            if clock.now() >= profile.page_budget {
-                faults.pages_timed_out += 1;
-                break;
-            }
-            visit(
-                &url,
-                &mut trees,
-                &mut frontier,
-                &mut visited,
-                &mut clock,
-                &mut faults,
-            );
-        }
-    }
-    faults.degraded = !faults.abandoned && (faults.pages_failed > 0 || faults.pages_timed_out > 0);
-    faults.ticks = clock.now();
-    (trees, faults)
+        site_domain,
+        max_links,
+        seed,
+        Some((profile, fault_seed, site_rank)),
+        false,
+    )
 }
 
 /// Crawls the whole synthetic web with a stock browser (no extensions) —
@@ -424,39 +495,111 @@ fn crawl_one_site(
         config.seed,
         (site.id as u64) << 2 | web.config().era.index(),
     );
-    let (trees, faults) = match effective_faults(web, config) {
-        None => (
-            crawl_site(
-                browser,
-                &site.homepage(),
-                &site.domain,
-                config.max_links,
-                link_seed,
-            ),
-            None,
-        ),
-        Some(profile) => {
-            let (trees, site_faults) = crawl_site_with_faults(
-                browser,
-                &site.homepage(),
-                &site.domain,
-                config.max_links,
-                link_seed,
-                &profile,
-                // Each era draws its own fault stream over the shared seed.
-                mix(config.seed, web.config().era.index()),
-                site.rank as u64,
-            );
-            (trees, Some(site_faults))
-        }
-    };
+    let effective = effective_faults(web, config);
+    let fault_args = effective.as_ref().map(|profile| {
+        (
+            profile,
+            // Each era draws its own fault stream over the shared seed.
+            mix(config.seed, web.config().era.index()),
+            site.rank as u64,
+        )
+    });
+    let accounting = fault_args.is_some();
+    let (trees, site_faults) = crawl_site_trees(
+        browser,
+        &site.homepage(),
+        &site.domain,
+        config.max_links,
+        link_seed,
+        fault_args,
+        config.visit_reference,
+    );
     SiteRecord {
         site_id: site.id,
         domain: site.domain.clone(),
         rank: site.rank,
         trees,
-        faults,
+        faults: accounting.then_some(site_faults),
     }
+}
+
+/// A consumer of a *fused* crawl: per-site and per-page lifecycle
+/// callbacks, with every CDP event of the current page delivered through
+/// the [`VisitSink`] supertrait between `page_begin` and `page_end`.
+///
+/// This is the zero-materialization seam: no `Visit`, no `SiteRecord`, no
+/// per-page event buffer exists anywhere on the path from the browser to
+/// the sink. The contract mirrors the batch drivers exactly:
+///
+/// * `page_begin(url)` opens a page; the events that follow belong to it.
+///   A page that fails mid-retry produces `page_begin` → (zero events,
+///   the browser decides every [`VisitError`] before emitting) →
+///   `page_abort`, possibly several times before a final `page_end` or
+///   the page is given up on.
+/// * `site_end(faults)` closes the site; `faults` is `Some` exactly when
+///   the crawl ran under an effective fault profile, matching
+///   [`SiteRecord::faults`].
+pub trait SiteSink: VisitSink {
+    /// A site's crawl is starting.
+    fn site_begin(&mut self, site_id: usize, domain: &str, rank: u32);
+    /// A page visit is starting; subsequent events belong to this page.
+    fn page_begin(&mut self, url: &str);
+    /// The current page loaded successfully.
+    fn page_end(&mut self);
+    /// The current page failed before emitting any event; discard it.
+    fn page_abort(&mut self);
+    /// The site's crawl is complete.
+    fn site_end(&mut self, faults: Option<&SiteFaults>);
+}
+
+/// Crawls site `i` straight into a [`SiteSink`] — the fused analogue of
+/// the internal record builder. Seeds, frontier policy, and fault
+/// accounting are shared with the batch drivers (same [`drive_site`]), so
+/// a sink that reassembles trees observes byte-identical state to
+/// [`SiteRecord`].
+pub fn crawl_one_site_sink<A: SiteSink>(
+    web: &SyntheticWeb,
+    config: &CrawlConfig,
+    browser: &Browser<'_>,
+    i: usize,
+    sink: &mut A,
+) {
+    let site = &web.sites()[i];
+    let link_seed = mix(
+        config.seed,
+        (site.id as u64) << 2 | web.config().era.index(),
+    );
+    let effective = effective_faults(web, config);
+    let fault_args = effective.as_ref().map(|profile| {
+        (
+            profile,
+            mix(config.seed, web.config().era.index()),
+            site.rank as u64,
+        )
+    });
+    let accounting = fault_args.is_some();
+    sink.site_begin(site.id, &site.domain, site.rank);
+    let site_faults = drive_site(
+        &site.homepage(),
+        &site.domain,
+        config.max_links,
+        link_seed,
+        fault_args,
+        &mut |url, ctx| {
+            sink.page_begin(url);
+            match browser.visit_streamed(url, ctx, &mut *sink) {
+                Ok(summary) => {
+                    sink.page_end();
+                    Ok(summary)
+                }
+                Err(e) => {
+                    sink.page_abort();
+                    Err(e)
+                }
+            }
+        },
+    );
+    sink.site_end(if accounting { Some(&site_faults) } else { None });
 }
 
 /// Streaming crawl: like [`crawl_with_extensions`], but instead of
@@ -601,6 +744,94 @@ pub fn crawl_sharded_resumable<A: Send>(
                         let mut i = s;
                         while i < n {
                             observe(&mut acc, crawl_one_site(web, config, &browser, i));
+                            i += shards;
+                        }
+                        persist(s, &acc);
+                        finished.push((s, acc));
+                    }
+                    finished
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (s, acc) in worker.join().expect("crawl worker") {
+                out[s] = Some(acc);
+            }
+        }
+    });
+    out
+}
+
+/// Fused sharded crawl: like [`crawl_sharded`], but each shard's
+/// accumulator is a [`SiteSink`] that consumes the event stream directly —
+/// no [`SiteRecord`] or per-page event buffer is ever materialized.
+/// Partitioning, seeds, and merge order are identical to the batch driver.
+pub fn crawl_sharded_sink<A: SiteSink + Send>(
+    web: &SyntheticWeb,
+    config: &CrawlConfig,
+    shards: usize,
+    make_extensions: &(dyn Fn() -> ExtensionHost + Sync),
+    make_shard: &(dyn Fn(usize) -> A + Sync),
+) -> Vec<A> {
+    crawl_sharded_sink_resumable(
+        web,
+        config,
+        shards,
+        make_extensions,
+        make_shard,
+        &|_| false,
+        &|_, _| {},
+    )
+    .into_iter()
+    .map(|a| a.expect("every shard crawled"))
+    .collect()
+}
+
+/// Checkpoint-aware variant of [`crawl_sharded_sink`], mirroring
+/// [`crawl_sharded_resumable`]: `skip(s)` elides shards already recovered
+/// from a journal (their slot comes back `None`), and `persist(s, &acc)`
+/// runs on the owning worker the moment shard `s` completes, off the
+/// per-site hot path. Shard ownership (`i % shards == s`) and per-site
+/// seeds are byte-identical to every other driver, so a resumed fused
+/// crawl merges to the same result as an uninterrupted batch one.
+pub fn crawl_sharded_sink_resumable<A: SiteSink + Send>(
+    web: &SyntheticWeb,
+    config: &CrawlConfig,
+    shards: usize,
+    make_extensions: &(dyn Fn() -> ExtensionHost + Sync),
+    make_shard: &(dyn Fn(usize) -> A + Sync),
+    skip: &(dyn Fn(usize) -> bool + Sync),
+    persist: &(dyn Fn(usize, &A) + Sync),
+) -> Vec<Option<A>> {
+    let n = web.sites().len();
+    let shards = shards.max(1);
+    let next_shard = AtomicUsize::new(0);
+    let threads = config.threads.max(1).min(shards);
+
+    let mut out: Vec<Option<A>> = (0..shards).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let extensions = make_extensions();
+                    let browser_config = BrowserConfig {
+                        seed: config.seed ^ web.config().seed,
+                        ..BrowserConfig::default()
+                    };
+                    let browser = Browser::new(web, extensions, browser_config);
+                    let mut finished: Vec<(usize, A)> = Vec::new();
+                    loop {
+                        let s = next_shard.fetch_add(1, Ordering::Relaxed);
+                        if s >= shards {
+                            break;
+                        }
+                        if skip(s) {
+                            continue;
+                        }
+                        let mut acc = make_shard(s);
+                        let mut i = s;
+                        while i < n {
+                            crawl_one_site_sink(web, config, &browser, i, &mut acc);
                             i += shards;
                         }
                         persist(s, &acc);
@@ -833,6 +1064,120 @@ mod tests {
             },
         );
         assert!(quiet.records.iter().all(|r| r.faults.is_none()));
+    }
+
+    #[test]
+    fn reference_path_is_decision_identical_to_fused_path() {
+        let web = web(25);
+        for faults in [None, Some(FaultProfile::heavy())] {
+            let fused = crawl(
+                &web,
+                &CrawlConfig {
+                    faults: faults.clone(),
+                    ..cfg()
+                },
+            );
+            let reference = crawl(
+                &web,
+                &CrawlConfig {
+                    faults,
+                    visit_reference: true,
+                    ..cfg()
+                },
+            );
+            assert_eq!(fused.records.len(), reference.records.len());
+            for (a, b) in fused.records.iter().zip(&reference.records) {
+                assert_eq!(a.domain, b.domain);
+                assert_eq!(a.trees, b.trees);
+                assert_eq!(a.faults, b.faults);
+            }
+        }
+    }
+
+    /// A [`SiteSink`] that reassembles full [`SiteRecord`]s, proving the
+    /// fused driver delivers exactly the state the batch driver records.
+    #[derive(Default)]
+    struct RecordingSink {
+        records: Vec<SiteRecord>,
+        current: Option<SiteRecord>,
+        builder: Option<TreeBuilder>,
+    }
+
+    impl VisitSink for RecordingSink {
+        fn on_event(&mut self, event: sockscope_browser::CdpEvent) {
+            self.builder
+                .as_mut()
+                .expect("events only between page_begin and page_end")
+                .push(&event);
+        }
+    }
+
+    impl SiteSink for RecordingSink {
+        fn site_begin(&mut self, site_id: usize, domain: &str, rank: u32) {
+            self.current = Some(SiteRecord {
+                site_id,
+                domain: domain.to_string(),
+                rank,
+                trees: Vec::new(),
+                faults: None,
+            });
+        }
+
+        fn page_begin(&mut self, url: &str) {
+            self.builder = Some(TreeBuilder::new(url));
+        }
+
+        fn page_end(&mut self) {
+            let tree = self.builder.take().expect("page_end after page_begin");
+            self.current
+                .as_mut()
+                .expect("page inside site")
+                .trees
+                .push(tree.finish());
+        }
+
+        fn page_abort(&mut self) {
+            self.builder = None;
+        }
+
+        fn site_end(&mut self, faults: Option<&SiteFaults>) {
+            let mut record = self.current.take().expect("site_end after site_begin");
+            record.faults = faults.cloned();
+            self.records.push(record);
+        }
+    }
+
+    #[test]
+    fn sink_crawl_matches_the_collecting_crawl() {
+        let web = web(31);
+        for faults in [None, Some(FaultProfile::heavy())] {
+            let config = CrawlConfig {
+                threads: 4,
+                faults,
+                ..cfg()
+            };
+            let reference = crawl(&web, &config);
+            let shards = crawl_sharded_sink(
+                &web,
+                &config,
+                5,
+                &|| ExtensionHost::stock(browser_era(web.config().era)),
+                &|_| RecordingSink::default(),
+            );
+            assert_eq!(shards.len(), 5);
+            let mut seen = 0usize;
+            for (s, sink) in shards.iter().enumerate() {
+                for record in &sink.records {
+                    assert_eq!(record.site_id % 5, s);
+                    let r = &reference.records[record.site_id];
+                    assert_eq!(record.domain, r.domain);
+                    assert_eq!(record.trees, r.trees);
+                    assert_eq!(record.faults, r.faults);
+                    seen += 1;
+                }
+            }
+            assert_eq!(seen, 31, "every site crawled exactly once");
+        }
     }
 
     #[test]

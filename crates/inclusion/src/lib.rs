@@ -25,4 +25,4 @@ pub mod blocking;
 pub mod tree;
 
 pub use attribution::SocketAttribution;
-pub use tree::{InclusionTree, Node, NodeId, NodeKind, WsTranscript};
+pub use tree::{InclusionTree, Node, NodeId, NodeKind, TreeBuilder, WsTranscript};

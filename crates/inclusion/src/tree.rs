@@ -1,9 +1,16 @@
 //! The inclusion-tree data structure and its builder.
+//!
+//! Trees can be built two ways with identical results: batch
+//! ([`InclusionTree::build`] over a materialized event slice) or streaming
+//! ([`TreeBuilder`] fed one event at a time as the browser emits them).
+//! The batch entry point is itself implemented as a streaming build, so
+//! the two can never diverge.
 
 use serde::{Deserialize, Serialize};
 use sockscope_browser::{
-    CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId,
+    CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId, VisitSink,
 };
+use sockscope_intern::HostCache;
 use std::collections::HashMap;
 
 /// Index of a node within its tree.
@@ -66,7 +73,7 @@ impl PayloadRecord {
 fn record(p: &FramePayload) -> PayloadRecord {
     match p {
         FramePayload::Text(s) => PayloadRecord::Text(s.clone()),
-        FramePayload::Base64(_) => PayloadRecord::Binary(p.to_bytes()),
+        FramePayload::Base64(_) => PayloadRecord::Binary(p.to_bytes().into_owned()),
     }
 }
 
@@ -130,35 +137,11 @@ impl InclusionTree {
     /// events make each socket "a child node of the JavaScript node
     /// responsible for initiating" it (§3.2).
     pub fn build(page_url: &str, events: &[CdpEvent]) -> InclusionTree {
-        let mut b = Builder {
-            nodes: Vec::new(),
-            by_script: HashMap::new(),
-            by_frame: HashMap::new(),
-            by_request: HashMap::new(),
-            pending_docs: HashMap::new(),
-        };
-        // Root: the page itself (frame 0). A FrameNavigated for frame 0 is
-        // expected first; create eagerly so degenerate streams still work.
-        let root = b.push(Node {
-            id: NodeId(0),
-            url: page_url.to_string(),
-            host: host_of(page_url),
-            kind: NodeKind::Page,
-            parent: None,
-            children: Vec::new(),
-            ws: None,
-            http_body: None,
-            http_sent_ground_truth: Vec::new(),
-        });
-        b.by_frame.insert(FrameId(0), root);
-
+        let mut b = TreeBuilder::new(page_url);
         for ev in events {
-            b.apply(root, ev);
+            b.push(ev);
         }
-        InclusionTree {
-            page_url: page_url.to_string(),
-            nodes: b.nodes,
-        }
+        b.finish()
     }
 
     /// The root (page) node.
@@ -272,13 +255,20 @@ impl InclusionTree {
     }
 }
 
-fn host_of(url: &str) -> String {
-    sockscope_urlkit::Url::parse(url)
-        .map(|u| u.host_str())
-        .unwrap_or_default()
-}
-
-struct Builder {
+/// Incremental inclusion-tree builder: the streaming counterpart of
+/// [`InclusionTree::build`].
+///
+/// Feed it CDP events one at a time with [`TreeBuilder::push`] (or through
+/// its [`VisitSink`] impl, straight off the browser's event loop), then
+/// [`TreeBuilder::finish`] the tree. Node ids, ordering, and contents are
+/// identical to a batch build over the same events — the batch entry point
+/// is implemented on top of this type.
+///
+/// Hostnames are derived through a per-visit [`HostCache`] arena, so a page
+/// that references the same origin thousands of times parses each distinct
+/// URL once.
+pub struct TreeBuilder {
+    page_url: String,
     nodes: Vec<Node>,
     by_script: HashMap<ScriptId, NodeId>,
     by_frame: HashMap<FrameId, NodeId>,
@@ -286,10 +276,71 @@ struct Builder {
     /// Frame nodes created from subframe Document requests, waiting for
     /// their `frameNavigated` to bind the frame id (keyed by URL).
     pending_docs: HashMap<String, NodeId>,
+    /// Per-visit URL → host memo (symbol arena; dropped with the builder).
+    hosts: HostCache,
 }
 
-impl Builder {
-    fn push(&mut self, mut node: Node) -> NodeId {
+impl TreeBuilder {
+    /// Starts a tree for one page visit. The root node (the page itself,
+    /// frame 0) is created eagerly so degenerate streams still work.
+    pub fn new(page_url: &str) -> TreeBuilder {
+        let mut b = TreeBuilder {
+            page_url: page_url.to_string(),
+            nodes: Vec::new(),
+            by_script: HashMap::new(),
+            by_frame: HashMap::new(),
+            by_request: HashMap::new(),
+            pending_docs: HashMap::new(),
+            hosts: HostCache::new(),
+        };
+        let host = b.hosts.host(page_url).to_string();
+        let root = b.push_node(Node {
+            id: NodeId(0),
+            url: page_url.to_string(),
+            host,
+            kind: NodeKind::Page,
+            parent: None,
+            children: Vec::new(),
+            ws: None,
+            http_body: None,
+            http_sent_ground_truth: Vec::new(),
+        });
+        b.by_frame.insert(FrameId(0), root);
+        b
+    }
+
+    /// Consumes the builder, yielding the finished tree.
+    pub fn finish(self) -> InclusionTree {
+        InclusionTree {
+            page_url: self.page_url,
+            nodes: self.nodes,
+        }
+    }
+
+    /// Number of nodes built so far (≥ 1: the root always exists).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when only the root exists. Named for clippy symmetry with
+    /// [`TreeBuilder::len`]; a builder is never zero-node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The node a network request id resolved to, if any. Fused consumers
+    /// use this to attach side-channel state (eager classifications) to the
+    /// node a payload event will land on.
+    pub fn node_for_request(&self, request_id: RequestId) -> Option<NodeId> {
+        self.by_request.get(&request_id).copied()
+    }
+
+    /// Borrows a node built so far.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    fn push_node(&mut self, mut node: Node) -> NodeId {
         let id = NodeId(self.nodes.len());
         node.id = id;
         if let Some(p) = node.parent {
@@ -307,10 +358,11 @@ impl Builder {
     }
 
     fn new_node(&mut self, url: &str, kind: NodeKind, parent: NodeId) -> NodeId {
-        self.push(Node {
+        let host = self.hosts.host(url).to_string();
+        self.push_node(Node {
             id: NodeId(0),
             url: url.to_string(),
-            host: host_of(url),
+            host,
             kind,
             parent: Some(parent),
             children: Vec::new(),
@@ -320,7 +372,9 @@ impl Builder {
         })
     }
 
-    fn apply(&mut self, root: NodeId, ev: &CdpEvent) {
+    /// Applies one CDP event to the tree under construction.
+    pub fn push(&mut self, ev: &CdpEvent) {
+        let root = NodeId(0);
         match ev {
             CdpEvent::FrameNavigated {
                 frame_id,
@@ -466,6 +520,12 @@ impl Builder {
     fn ws_mut(&mut self, request_id: &RequestId) -> Option<&mut WsTranscript> {
         let id = self.by_request.get(request_id)?;
         self.nodes[id.0].ws.as_mut()
+    }
+}
+
+impl VisitSink for TreeBuilder {
+    fn on_event(&mut self, event: CdpEvent) {
+        self.push(&event);
     }
 }
 

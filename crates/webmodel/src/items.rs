@@ -61,6 +61,30 @@ impl SentItem {
         SentItem::Binary,
     ];
 
+    /// Dense index of this item: its position in [`SentItem::ALL`], without
+    /// the linear scan. Hot aggregation paths use this as a direct
+    /// side-table subscript (the interned-symbol convention: the variant
+    /// *is* its symbol).
+    pub fn index(self) -> usize {
+        match self {
+            SentItem::UserAgent => 0,
+            SentItem::Cookie => 1,
+            SentItem::Ip => 2,
+            SentItem::UserId => 3,
+            SentItem::Device => 4,
+            SentItem::Screen => 5,
+            SentItem::Browser => 6,
+            SentItem::Viewport => 7,
+            SentItem::ScrollPosition => 8,
+            SentItem::Orientation => 9,
+            SentItem::FirstSeen => 10,
+            SentItem::Resolution => 11,
+            SentItem::Language => 12,
+            SentItem::Dom => 13,
+            SentItem::Binary => 14,
+        }
+    }
+
     /// The row label used in Table 5.
     pub fn label(self) -> &'static str {
         match self {
@@ -145,6 +169,13 @@ impl ReceivedItem {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_matches_position_in_all() {
+        for (i, item) in SentItem::ALL.iter().enumerate() {
+            assert_eq!(item.index(), i, "{item:?}");
+        }
+    }
 
     #[test]
     fn table5_row_order_is_stable() {

@@ -321,6 +321,23 @@ proptest! {
             prop_assert_eq!(chain[chain.len() - 1].id, node.id);
         }
     }
+
+    /// The fused pipeline's incremental builder — fed one event at a time,
+    /// as a [`VisitSink`] — produces exactly the tree the batch constructor
+    /// builds from the buffered stream, for any event ordering (including
+    /// dangling references and orphaned frames).
+    #[test]
+    fn incremental_tree_equals_batch_tree(events in random_events()) {
+        use sockscope::browser::VisitSink;
+        use sockscope::inclusion::TreeBuilder;
+
+        let batch = InclusionTree::build("http://page.example/", &events);
+        let mut builder = TreeBuilder::new("http://page.example/");
+        for event in &events {
+            builder.on_event(event.clone());
+        }
+        prop_assert_eq!(builder.finish(), batch);
+    }
 }
 
 // ---------------------------------------------------------------------------
