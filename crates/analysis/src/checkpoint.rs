@@ -294,8 +294,12 @@ impl Study {
             let make_extensions =
                 || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(era));
             let era_recovered = &recovered[era_idx];
-            let skip = |s: usize| era_recovered[s].is_some() || dead.load(Ordering::Relaxed);
-            let persist = |s: usize, acc: &FusedShard<'_>| {
+            // Writes one shard's finished reduction to the journal — or, on
+            // the doomed shard of an injected kill plan, simulates the
+            // process dying mid-write. Runs on the owning worker under the
+            // static driver and on the reduce stage under the orchestrator;
+            // either way it is off the per-site hot path.
+            let persist_reduction = |s: usize, reduction: &CrawlReduction| {
                 if dead.load(Ordering::Relaxed) {
                     return;
                 }
@@ -305,7 +309,7 @@ impl Study {
                     shard_index: s as u32,
                     shard_count: shard_count as u32,
                 };
-                let payload = serde_json::to_string(acc.reduction()).expect("reduction serializes");
+                let payload = serde_json::to_string(reduction).expect("reduction serializes");
                 let outcome = match &opts.kill {
                     Some(k) if k.era == era_idx as u32 && k.shard == s as u32 => {
                         dead.store(true, Ordering::Relaxed);
@@ -319,15 +323,39 @@ impl Study {
                 }
             };
 
-            let fresh = sockscope_crawler::crawl_sharded_sink_resumable(
-                &era_web,
-                &crawl_config,
-                shard_count,
-                &make_extensions,
-                &|_shard| FusedShard::new(era.label(), era.pre_patch(), &engine),
-                &skip,
-                &persist,
-            );
+            // Both drivers share the journal format, the fingerprint, and
+            // the `i % shard_count` partition, so a journal written by one
+            // resumes under the other.
+            let fresh: Vec<Option<CrawlReduction>> = if config.orchestrated {
+                let orch = Study::orchestrator_config(config);
+                sockscope_crawler::crawl_orchestrated_resumable(
+                    &era_web,
+                    &crawl_config,
+                    &orch,
+                    shard_count,
+                    &make_extensions,
+                    &|| FusedShard::new(era.label(), era.pre_patch(), &engine),
+                    &|worker: &mut FusedShard<'_>| worker.take_site_reduction(),
+                    &|_shard| CrawlReduction::new(era.label(), era.pre_patch()),
+                    &|acc: &mut CrawlReduction, site| acc.absorb(site),
+                    &|s| era_recovered[s].is_some(),
+                    &|s, acc: &CrawlReduction| persist_reduction(s, acc),
+                    &|| dead.load(Ordering::Relaxed),
+                )
+            } else {
+                sockscope_crawler::crawl_sharded_sink_resumable(
+                    &era_web,
+                    &crawl_config,
+                    shard_count,
+                    &make_extensions,
+                    &|_shard| FusedShard::new(era.label(), era.pre_patch(), &engine),
+                    &|s| era_recovered[s].is_some() || dead.load(Ordering::Relaxed),
+                    &|s, acc: &FusedShard<'_>| persist_reduction(s, acc.reduction()),
+                )
+                .into_iter()
+                .map(|slot| slot.map(FusedShard::into_reduction))
+                .collect()
+            };
 
             if let Some(e) = persist_error.lock().expect("persist error lock").take() {
                 return Err(CheckpointError::Io(e));
@@ -345,7 +373,7 @@ impl Study {
                 let shard_reduction = match slot {
                     Some(shard) => {
                         shards_recrawled += 1;
-                        shard.into_reduction()
+                        shard
                     }
                     None => {
                         shards_recovered += 1;
@@ -454,6 +482,19 @@ mod tests {
             ..config()
         };
         assert_eq!(base.fingerprint(), more_threads.fingerprint());
+        // Orchestrator scheduling knobs change execution order, never
+        // output, so a journal resumes across driver and knob changes.
+        let other_driver = StudyConfig {
+            orchestrated: false,
+            ..config()
+        };
+        assert_eq!(base.fingerprint(), other_driver.fingerprint());
+        let other_knobs = StudyConfig {
+            workers: Some(12),
+            queue_depth: 1,
+            ..config()
+        };
+        assert_eq!(base.fingerprint(), other_knobs.fingerprint());
         let other_seed = StudyConfig {
             seed: 0xF00D,
             ..config()

@@ -115,6 +115,18 @@ impl<'e> FusedShard<'e> {
         debug_assert!(self.page.is_none(), "shard consumed mid-page");
         self.reduction
     }
+
+    /// Takes everything reduced since the last take, leaving the shard
+    /// empty (same label/era) and ready for the next site. The
+    /// orchestrator calls this after each `site_end`, so a worker-private
+    /// `FusedShard` doubles as a per-*site* reducer: the classification
+    /// context (engine borrow + PII library) stays warm across sites while
+    /// each site's reduction travels to the reduce stage on its own.
+    pub fn take_site_reduction(&mut self) -> CrawlReduction {
+        debug_assert!(self.page.is_none(), "taken mid-page");
+        let fresh = CrawlReduction::new(self.reduction.label.clone(), self.reduction.pre_patch);
+        std::mem::replace(&mut self.reduction, fresh)
+    }
 }
 
 impl VisitSink for FusedShard<'_> {

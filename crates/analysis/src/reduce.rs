@@ -540,6 +540,15 @@ impl CrawlReduction {
     /// the two positional vectors — call [`CrawlReduction::normalize`]
     /// after the final merge to canonicalize.
     pub fn merge(mut self, other: CrawlReduction) -> CrawlReduction {
+        self.absorb(other);
+        self
+    }
+
+    /// In-place form of [`CrawlReduction::merge`]: folds `other` into
+    /// `self` without moving the accumulator. The orchestrator's reducer
+    /// stage uses this to fold one finished per-site reduction after
+    /// another into a long-lived shard accumulator.
+    pub fn absorb(&mut self, other: CrawlReduction) {
         debug_assert_eq!(self.label, other.label, "merging different crawls");
         debug_assert_eq!(self.pre_patch, other.pre_patch, "merging different eras");
         for (host, (tagged, untagged)) in other.label_counts {
@@ -566,7 +575,6 @@ impl CrawlReduction {
             }
             (a, b) => a.or(b),
         };
-        self
     }
 
     /// Sorts the positional vectors into their canonical order: sockets by

@@ -3,24 +3,29 @@
 //! [`Study::run`] reproduces the paper's end-to-end pipeline:
 //!
 //! 1. generate the synthetic web (one universe, four crawl eras);
-//! 2. crawl each era with the instrumented browser (sharded, parallel,
-//!    **stream-fused**: every worker owns a private
-//!    [`FusedShard`](crate::fused::FusedShard) that the browser pushes CDP
-//!    events into as it emits them — payload bytes are classified and
-//!    dropped on the spot, no [`SiteRecord`](sockscope_crawler::SiteRecord)
-//!    is ever materialized, and the per-site hot path takes no lock; shard
-//!    reductions are merged in shard order and normalized, which makes the
-//!    result independent of thread count);
+//! 2. crawl each era with the instrumented browser. The default driver is
+//!    the **work-stealing pipelined orchestrator**
+//!    ([`sockscope_crawler::crawl_orchestrated`]): each worker owns a
+//!    private stream-fused [`FusedShard`](crate::fused::FusedShard) that
+//!    the browser pushes CDP events into as it emits them — payload bytes
+//!    are classified and dropped on the spot, no
+//!    [`SiteRecord`](sockscope_crawler::SiteRecord) is ever materialized,
+//!    and the per-site hot path takes no lock. Finished per-site
+//!    reductions flow through a bounded queue to a reduce stage that
+//!    folds them in ascending site order and normalizes, which makes the
+//!    result independent of worker count, steal order, and queue sizes;
 //! 3. pool the labeling observations and build the A&A domain set `D'`
 //!    (10% threshold + Cloudfront overrides, §3.2);
 //! 4. expose classified sockets and aggregates to the table/figure
 //!    generators.
 //!
-//! [`Study::run_reference`] keeps the record-materializing sharded
-//! pipeline (on the browser's buffering `visit_reference` path) and
+//! [`Study::run_static_shards`] keeps the static shard→thread-pool fused
+//! driver as a reference path (`--static-shards` on the CLI),
+//! [`Study::run_reference`] the record-materializing sharded pipeline (on
+//! the browser's buffering `visit_reference` path), and
 //! [`Study::run_streaming`] the original single-reduction-behind-a-mutex
-//! pipeline; the determinism suite asserts all three produce
-//! byte-identical results.
+//! pipeline; the determinism suite asserts all four produce byte-identical
+//! results.
 
 use crate::pii::PiiLibrary;
 use crate::reduce::{CrawlReduction, SocketObservation};
@@ -46,6 +51,15 @@ pub struct StudyConfig {
     /// the perfectly reliable network and produces snapshots byte-identical
     /// to the pre-fault-injection pipeline.
     pub faults: Option<FaultProfile>,
+    /// Crawl via the work-stealing pipelined orchestrator (the default);
+    /// `false` selects the static shard→thread-pool fused driver. Both
+    /// produce byte-identical studies — like every knob below, this is
+    /// scheduling-only and excluded from checkpoint fingerprints.
+    pub orchestrated: bool,
+    /// Orchestrator worker-thread override; `None` follows `threads`.
+    pub workers: Option<usize>,
+    /// Orchestrator result-queue capacity (backpressure depth).
+    pub queue_depth: usize,
 }
 
 impl Default for StudyConfig {
@@ -58,6 +72,9 @@ impl Default for StudyConfig {
                 .unwrap_or(4),
             max_links: 15,
             faults: None,
+            orchestrated: true,
+            workers: None,
+            queue_depth: 64,
         }
     }
 }
@@ -102,9 +119,15 @@ pub struct Study {
 /// Which parallel reduction pipeline drives the crawl.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Pipeline {
+    /// The work-stealing pipelined orchestrator over per-worker
+    /// [`crate::fused::FusedShard`] sinks: per-site stealing, bounded
+    /// queue to a single reduce stage folding in ascending site order.
+    /// The default.
+    Orchestrated,
     /// Per-shard [`crate::fused::FusedShard`] sinks fed straight off the
     /// browser's event stream — no site records, payload bytes dropped at
-    /// classification time. The default.
+    /// classification time. Static shard→thread binding; the reference
+    /// driver the orchestrator is diffed against.
     Fused,
     /// Per-shard private reductions over materialized site records, with
     /// the browser on its buffering `visit_reference` path. Kept as the
@@ -121,9 +144,34 @@ enum Pipeline {
 pub(crate) const SHARDS_PER_THREAD: usize = 4;
 
 impl Study {
-    /// Runs the full study on the stream-fused sharded pipeline.
+    /// Runs the full study. The default driver is the work-stealing
+    /// pipelined orchestrator over stream-fused per-worker shards;
+    /// `StudyConfig { orchestrated: false, .. }` selects the static
+    /// shard→thread-pool fused driver instead. Both are byte-identical.
     pub fn run(config: &StudyConfig) -> Study {
+        if config.orchestrated {
+            Study::run_pipeline(config, Pipeline::Orchestrated)
+        } else {
+            Study::run_pipeline(config, Pipeline::Fused)
+        }
+    }
+
+    /// Runs the full study on the static shard→thread-pool stream-fused
+    /// driver, regardless of `config.orchestrated` — the reference path
+    /// the orchestrator identity suite diffs against.
+    pub fn run_static_shards(config: &StudyConfig) -> Study {
         Study::run_pipeline(config, Pipeline::Fused)
+    }
+
+    /// Derives the orchestrator's concurrency config from a study config:
+    /// `workers` follows `threads` unless overridden, and the in-flight
+    /// cap stays on auto (`workers + queue_depth`).
+    pub fn orchestrator_config(config: &StudyConfig) -> sockscope_crawler::OrchestratorConfig {
+        sockscope_crawler::OrchestratorConfig {
+            workers: config.workers.unwrap_or_else(|| config.threads.max(1)),
+            queue_depth: config.queue_depth,
+            ..sockscope_crawler::OrchestratorConfig::default()
+        }
     }
 
     /// Runs the full study on the record-materializing reference pipeline:
@@ -213,6 +261,22 @@ impl Study {
             let make_extensions =
                 || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(era));
             let mut reduction = match pipeline {
+                Pipeline::Orchestrated => {
+                    let orch = Study::orchestrator_config(config);
+                    sockscope_crawler::crawl_orchestrated(
+                        &era_web,
+                        &crawl_config,
+                        &orch,
+                        &make_extensions,
+                        // Each worker owns its classification context; the
+                        // reduce stage folds the per-site reductions they
+                        // emit in ascending site order.
+                        &|| crate::fused::FusedShard::new(era.label(), era.pre_patch(), &engine),
+                        &|worker: &mut crate::fused::FusedShard<'_>| worker.take_site_reduction(),
+                        &|| CrawlReduction::new(era.label(), era.pre_patch()),
+                        &|acc: &mut CrawlReduction, site| acc.absorb(site),
+                    )
+                }
                 Pipeline::Fused => {
                     let shards = config.threads.max(1) * SHARDS_PER_THREAD;
                     sockscope_crawler::crawl_sharded_sink(
@@ -429,9 +493,11 @@ mod tests {
             threads: 4,
             ..StudyConfig::default()
         };
-        let fused = Study::run(&config);
+        let fused = Study::run(&config); // orchestrated default
+        let static_shards = Study::run_static_shards(&config);
         let reference = Study::run_reference(&config);
         let streaming = Study::run_streaming(&config);
+        assert_eq!(fused.reductions, static_shards.reductions);
         assert_eq!(fused.reductions, reference.reductions);
         assert_eq!(fused.reductions, streaming.reductions);
         // D' is a hash set, so iteration order tracks insertion order and the

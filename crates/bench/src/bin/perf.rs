@@ -30,117 +30,29 @@
 use serde::{Deserialize, Serialize};
 use sockscope_analysis::{CrawlReduction, FusedShard, PiiLibrary, Study};
 use sockscope_crawler::SiteRecord;
+use sockscope_exec::memmeter::{CountingAlloc, Meter, StageStats};
 use sockscope_filterlist::{RequestContext, ResourceType};
 use sockscope_inclusion::NodeKind;
 use sockscope_urlkit::Url;
 use sockscope_webgen::CrawlEra;
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
-// ---------------------------------------------------------------------------
-// counting global allocator
-// ---------------------------------------------------------------------------
-
-/// Live heap bytes right now.
-static LIVE: AtomicU64 = AtomicU64::new(0);
-/// High-water mark of [`LIVE`] since the last [`Meter::start`] reset.
-static PEAK: AtomicU64 = AtomicU64::new(0);
-/// Total allocation calls (alloc + alloc_zeroed + growing realloc counts 1).
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-fn on_alloc(bytes: u64) {
-    ALLOCS.fetch_add(1, Relaxed);
-    let live = LIVE.fetch_add(bytes, Relaxed) + bytes;
-    PEAK.fetch_max(live, Relaxed);
-}
-
-fn on_dealloc(bytes: u64) {
-    LIVE.fetch_sub(bytes, Relaxed);
-}
-
-/// A [`System`]-backed allocator that tracks live bytes, the live peak,
-/// and the allocation count. Relaxed atomics: the counters are statistics,
-/// not synchronization, and stage boundaries in `main` are quiescent
-/// points (no crawl threads are running when a stage is read).
-struct CountingAlloc;
-
-// SAFETY: defers every operation to `System` unchanged; the bookkeeping
-// only touches atomics and never the returned memory.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc(layout);
-        if !p.is_null() {
-            on_alloc(layout.size() as u64);
-        }
-        p
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc_zeroed(layout);
-        if !p.is_null() {
-            on_alloc(layout.size() as u64);
-        }
-        p
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
-        on_dealloc(layout.size() as u64);
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let p = System.realloc(ptr, layout, new_size);
-        if !p.is_null() {
-            on_dealloc(layout.size() as u64);
-            on_alloc(new_size as u64);
-        }
-        p
-    }
-}
-
+// The counting allocator lives in `sockscope_exec::memmeter` (shared with
+// the bounded-memory regression tests); each binary installs its own copy.
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
-/// Meters one stage: wall time, net peak live bytes (peak during the
-/// stage minus live at its start — what the stage itself holds at its
-/// worst), and allocation count.
-struct Meter {
-    t: Instant,
-    live0: u64,
-    allocs0: u64,
-}
-
-impl Meter {
-    fn start() -> Meter {
-        let live0 = LIVE.load(Relaxed);
-        PEAK.store(live0, Relaxed);
-        Meter {
-            t: Instant::now(),
-            live0,
-            allocs0: ALLOCS.load(Relaxed),
-        }
-    }
-
-    fn finish(self) -> StageStats {
-        StageStats {
-            seconds: self.t.elapsed().as_secs_f64(),
-            peak_bytes: PEAK.load(Relaxed).saturating_sub(self.live0),
-            alloc_count: ALLOCS.load(Relaxed) - self.allocs0,
-        }
-    }
-}
-
-/// Accumulates meters across the four eras of one logical stage.
+/// Serializable mirror of [`StageStats`], accumulated across the four eras
+/// of one logical stage.
 #[derive(Debug, Default, Serialize, Deserialize)]
-struct StageStats {
+struct StageReport {
     seconds: f64,
     /// Net peak live bytes: the stage's own high-water mark.
     peak_bytes: u64,
     alloc_count: u64,
 }
 
-impl StageStats {
+impl StageReport {
     fn absorb(&mut self, other: StageStats) {
         self.seconds += other.seconds;
         self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
@@ -156,7 +68,7 @@ impl StageStats {
 /// Corpus sizes are recorded in the report, so a capped run is visible.
 const MAX_CORPUS: usize = 250_000;
 
-const SCHEMA: &str = "sockscope-bench-pipeline/2";
+const SCHEMA: &str = "sockscope-bench-pipeline/3";
 const DEFAULT_PATH: &str = "BENCH_pipeline.json";
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -167,6 +79,7 @@ struct BenchReport {
     seed_hex: String,
     stages: Stages,
     memory: Memory,
+    orchestrator: OrchestratorReport,
     throughput: Throughput,
     matchers: Matchers,
 }
@@ -174,15 +87,41 @@ struct BenchReport {
 /// Wall time + allocator counters of each pipeline stage.
 #[derive(Debug, Serialize, Deserialize)]
 struct Stages {
-    universe: StageStats,
-    filters: StageStats,
-    /// The default pipeline: crawl + classify + reduce fused onto the
-    /// event stream, no site records.
-    fused_pipeline: StageStats,
+    universe: StageReport,
+    filters: StageReport,
+    /// The default driver: the work-stealing pipelined orchestrator over
+    /// the stream-fused crawl+classify+reduce pipeline.
+    orchestrated_pipeline: StageReport,
+    /// The static shard-per-thread driver over the same fused pipeline.
+    fused_pipeline: StageReport,
     /// The reference pipeline's crawl: full `SiteRecord` materialization.
-    reference_crawl: StageStats,
+    reference_crawl: StageReport,
     /// The reference pipeline's batch classification + reduction.
-    reference_reduction: StageStats,
+    reference_reduction: StageReport,
+}
+
+/// The orchestrator's scheduling knobs, its race against the static
+/// driver, and the large-scale headline row (filled in by
+/// `perf --headline`; all-zero means the headline run has not happened).
+#[derive(Debug, Serialize, Deserialize)]
+struct OrchestratorReport {
+    /// Crawl workers the orchestrated stage ran with.
+    workers: usize,
+    /// Bounded hand-off queue capacity between crawl and reduce.
+    queue_depth: usize,
+    /// `fused_pipeline.seconds / orchestrated_pipeline.seconds` — the
+    /// orchestrator's wall-clock edge over the static driver on this
+    /// machine (≈1.0 on a single core, > 1 with real parallelism).
+    speedup_vs_static: f64,
+    /// Universe size of the headline run (0 = not run).
+    headline_sites: usize,
+    /// Wall seconds of the headline single-era orchestrated crawl.
+    headline_seconds: f64,
+    /// Net peak live bytes during the headline crawl — the bounded-memory
+    /// claim at scale.
+    headline_peak_bytes: u64,
+    /// `headline_sites / headline_seconds`.
+    headline_sites_per_s: f64,
 }
 
 /// The headline memory comparison.
@@ -311,8 +250,14 @@ fn main() {
             let path = args.get(2).map(String::as_str).unwrap_or(DEFAULT_PATH);
             check(path);
         }
+        Some("--headline") => {
+            let path = args.get(2).map(String::as_str).unwrap_or(DEFAULT_PATH);
+            headline(path);
+        }
         Some(other) => {
-            eprintln!("unknown argument {other:?}; usage: perf [--check [path]]");
+            eprintln!(
+                "unknown argument {other:?}; usage: perf [--check [path] | --headline [path]]"
+            );
             std::process::exit(2);
         }
         None => run(),
@@ -340,10 +285,43 @@ fn run() {
     let shards = config.threads.max(1) * 4;
     let lib = PiiLibrary::new();
 
-    // Fused pipeline first, while nothing but the universe and the engine
-    // is live: crawl + classify + reduce streamed per era, payload bytes
-    // dropped at classification time, no site records.
-    let mut fused_pipeline = StageStats::default();
+    // Orchestrated pipeline first, while nothing but the universe and the
+    // engine is live: the work-stealing pipelined driver over the fused
+    // crawl+classify+reduce sink. This is what `Study::run` executes by
+    // default.
+    let orch = Study::orchestrator_config(&config);
+    let mut orchestrated_pipeline = StageReport::default();
+    let mut orchestrated_reductions = Vec::new();
+    for era in CrawlEra::ALL {
+        let era_web = web.for_era(era);
+        let make_extensions =
+            || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(era));
+        let m = Meter::start();
+        let mut reduction = sockscope_crawler::crawl_orchestrated(
+            &era_web,
+            &crawl_config,
+            &orch,
+            &make_extensions,
+            &|| FusedShard::new(era.label(), era.pre_patch(), &engine),
+            &|worker: &mut FusedShard<'_>| worker.take_site_reduction(),
+            &|| CrawlReduction::new(era.label(), era.pre_patch()),
+            &|acc: &mut CrawlReduction, site| acc.absorb(site),
+        );
+        reduction.normalize();
+        orchestrated_pipeline.absorb(m.finish());
+        orchestrated_reductions.push(reduction);
+    }
+    eprintln!(
+        "[sockscope] orchestrated pipeline ({} workers, queue {}): {:.1}s, peak {:.1} MiB",
+        orch.workers,
+        orch.queue_depth,
+        orchestrated_pipeline.seconds,
+        orchestrated_pipeline.peak_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // Static shard-per-thread driver over the same fused sink: the
+    // reference scheduling the orchestrator must match byte for byte.
+    let mut fused_pipeline = StageReport::default();
     let mut fused_reductions = Vec::new();
     for era in CrawlEra::ALL {
         let era_web = web.for_era(era);
@@ -373,11 +351,20 @@ fn run() {
         fused_pipeline.peak_bytes as f64 / (1024.0 * 1024.0)
     );
 
+    // The orchestrator must be decision-identical to the static driver.
+    assert_eq!(
+        orchestrated_reductions, fused_reductions,
+        "orchestrated and static-shard reductions disagree"
+    );
+    drop(orchestrated_reductions);
+    let speedup_vs_static = fused_pipeline.seconds / orchestrated_pipeline.seconds.max(1e-9);
+    eprintln!("[sockscope] orchestrator vs static driver: {speedup_vs_static:.2}x wall-clock");
+
     // Reference pipeline: materialize full site records (buffered browser
     // path), then classify + reduce them in batch.
     let mut corpus = Corpus::default();
-    let mut reference_crawl = StageStats::default();
-    let mut reference_reduction = StageStats::default();
+    let mut reference_crawl = StageReport::default();
+    let mut reference_reduction = StageReport::default();
     let mut reductions = Vec::new();
     for era in CrawlEra::ALL {
         let era_web = web.for_era(era);
@@ -505,13 +492,31 @@ fn run() {
         threads: config.threads,
         seed_hex: format!("{:#x}", config.seed),
         stages: Stages {
-            universe,
-            filters,
+            universe: StageReport {
+                seconds: universe.seconds,
+                peak_bytes: universe.peak_bytes,
+                alloc_count: universe.alloc_count,
+            },
+            filters: StageReport {
+                seconds: filters.seconds,
+                peak_bytes: filters.peak_bytes,
+                alloc_count: filters.alloc_count,
+            },
+            orchestrated_pipeline,
             fused_pipeline,
             reference_crawl,
             reference_reduction,
         },
         memory,
+        orchestrator: OrchestratorReport {
+            workers: orch.workers,
+            queue_depth: orch.queue_depth,
+            speedup_vs_static,
+            headline_sites: 0,
+            headline_seconds: 0.0,
+            headline_peak_bytes: 0,
+            headline_sites_per_s: 0.0,
+        },
         throughput: Throughput {
             messages_per_s: corpus.messages.len() as f64 / one_pass_s.max(1e-9),
             urls_per_s: parsed.len() as f64 / tokenized_s.max(1e-9),
@@ -568,6 +573,69 @@ fn run() {
     println!("{json}");
 }
 
+/// Runs the large-scale headline row — a single-era orchestrated crawl at
+/// `SOCKSCOPE_SITES` scale (the README quotes `SOCKSCOPE_SITES=1000000`) —
+/// and patches the result into an existing report at `path`. Kept separate
+/// from `run()` because the headline scale is orders of magnitude above
+/// the differential/matcher scale and only exercises the one pipeline
+/// whose memory stays bounded at that size.
+fn headline(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf --headline: cannot read {path} (run `perf` first): {e}"));
+    let mut report: BenchReport = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("perf --headline: {path} does not match the schema: {e:?}"));
+
+    let config = sockscope_bench::study_config_from_env();
+    let orch = Study::orchestrator_config(&config);
+    eprintln!(
+        "[sockscope] headline: {} sites x 1 era, {} workers, queue {}, seed {:#x}",
+        config.n_sites, orch.workers, orch.queue_depth, config.seed
+    );
+
+    let web = Study::universe(&config);
+    let engine = Study::engine_for(&web);
+    let crawl_config = Study::crawl_config(&config);
+    let era = CrawlEra::ALL[0];
+    let era_web = web.for_era(era);
+    let make_extensions =
+        || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(era));
+
+    let m = Meter::start();
+    let mut reduction = sockscope_crawler::crawl_orchestrated(
+        &era_web,
+        &crawl_config,
+        &orch,
+        &make_extensions,
+        &|| FusedShard::new(era.label(), era.pre_patch(), &engine),
+        &|worker: &mut FusedShard<'_>| worker.take_site_reduction(),
+        &|| CrawlReduction::new(era.label(), era.pre_patch()),
+        &|acc: &mut CrawlReduction, site| acc.absorb(site),
+    );
+    reduction.normalize();
+    let stats = m.finish();
+    assert_eq!(
+        reduction.sites.len(),
+        config.n_sites,
+        "headline crawl lost sites"
+    );
+
+    report.orchestrator.headline_sites = config.n_sites;
+    report.orchestrator.headline_seconds = stats.seconds;
+    report.orchestrator.headline_peak_bytes = stats.peak_bytes;
+    report.orchestrator.headline_sites_per_s = config.n_sites as f64 / stats.seconds.max(1e-9);
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(path, &json).expect("rewrite report");
+    eprintln!(
+        "[sockscope] headline: {} sites in {:.1}s ({:.0} sites/s), peak {:.1} MiB",
+        config.n_sites,
+        stats.seconds,
+        report.orchestrator.headline_sites_per_s,
+        stats.peak_bytes as f64 / (1024.0 * 1024.0)
+    );
+    eprintln!("[sockscope] updated {path}");
+}
+
 /// Validates a previously written report: parse (which checks every key is
 /// present with the right type), then sanity-check the numbers.
 fn check(path: &str) {
@@ -580,6 +648,10 @@ fn check(path: &str) {
     let stages = [
         ("universe", &report.stages.universe),
         ("filters", &report.stages.filters),
+        (
+            "orchestrated_pipeline",
+            &report.stages.orchestrated_pipeline,
+        ),
         ("fused_pipeline", &report.stages.fused_pipeline),
         ("reference_crawl", &report.stages.reference_crawl),
         ("reference_reduction", &report.stages.reference_reduction),
@@ -616,5 +688,32 @@ fn check(path: &str) {
         assert!(v.is_finite() && v > 0.0, "{name} must be positive, got {v}");
     }
     assert!(report.matchers.filter_index.rules > 0, "no rules compiled");
+    assert!(
+        report.orchestrator.workers >= 1,
+        "orchestrator ran with no workers"
+    );
+    assert!(
+        report.orchestrator.queue_depth >= 1,
+        "orchestrator queue cannot be unbuffered"
+    );
+    assert!(
+        report.orchestrator.speedup_vs_static.is_finite()
+            && report.orchestrator.speedup_vs_static > 0.0,
+        "orchestrator.speedup_vs_static must be positive, got {}",
+        report.orchestrator.speedup_vs_static
+    );
+    // Headline fields are all-zero until `perf --headline` runs; once any
+    // is set, all must be coherent.
+    if report.orchestrator.headline_sites > 0 {
+        assert!(
+            report.orchestrator.headline_seconds > 0.0
+                && report.orchestrator.headline_sites_per_s > 0.0,
+            "headline row present but timings are zero"
+        );
+        assert!(
+            report.orchestrator.headline_peak_bytes > 0,
+            "headline row present but peak memory is zero"
+        );
+    }
     println!("perf --check: {path} OK");
 }

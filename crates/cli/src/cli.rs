@@ -85,6 +85,7 @@ sockscope — reproduction of 'How Tracking Companies Circumvented Ad Blockers U
 
 USAGE:
   sockscope run       [--sites N] [--seed HEX] [--threads N] [--save FILE] [--streaming]
+                      [--workers N] [--queue-depth N] [--orchestrated | --static-shards]
                       [--faults PROFILE] [--checkpoint-dir DIR] [--resume]
   sockscope report    [--from FILE | --sites N ...]
   sockscope table     <1|2|3|4|5> [--csv] [--from FILE | --sites N ...]
@@ -104,6 +105,14 @@ OPTIONS:
   --from FILE     analyze a saved snapshot instead of re-crawling
   --streaming     run the locked streaming reference pipeline instead of
                   the default sharded lock-free one (identical output)
+  --workers N     orchestrator crawl workers (default: --threads); the
+                  output is byte-identical for every worker count
+  --queue-depth N bounded hand-off queue capacity between the crawl and
+                  reduce stages (default 64); scheduling-only knob
+  --orchestrated  drive the crawl with the work-stealing pipelined
+                  orchestrator (the default)
+  --static-shards drive the crawl with the static shard-per-thread
+                  reference driver instead (identical output)
   --faults PROF   inject seeded deterministic network faults during the
                   crawl: none | mild | heavy (default none); failure
                   accounting lands in the report and snapshot
@@ -196,6 +205,9 @@ struct Knobs {
     streaming: bool,
     checkpoint_dir: Option<String>,
     resume: bool,
+    /// How many of `--orchestrated`/`--static-shards` appeared (they are
+    /// mutually exclusive with each other and with `--streaming`).
+    driver_flags: usize,
 }
 
 fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
@@ -208,6 +220,7 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
     let mut streaming = false;
     let mut checkpoint_dir = None;
     let mut resume = false;
+    let mut driver_flags = 0usize;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -223,6 +236,18 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
             }
             "--resume" => {
                 resume = true;
+                i += 1;
+                continue;
+            }
+            "--orchestrated" => {
+                config.orchestrated = true;
+                driver_flags += 1;
+                i += 1;
+                continue;
+            }
+            "--static-shards" => {
+                config.orchestrated = false;
+                driver_flags += 1;
                 i += 1;
                 continue;
             }
@@ -242,6 +267,24 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
                     .parse()
                     .map_err(|_| ParseError("--threads expects an integer".into()))?;
             }
+            "--workers" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--workers expects an integer".into()))?;
+                if n == 0 {
+                    return Err(ParseError("--workers expects at least 1".into()));
+                }
+                config.workers = Some(n);
+            }
+            "--queue-depth" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--queue-depth expects an integer".into()))?;
+                if n == 0 {
+                    return Err(ParseError("--queue-depth expects at least 1".into()));
+                }
+                config.queue_depth = n;
+            }
             "--faults" => {
                 let v = value()?;
                 let profile = FaultProfile::named(v).ok_or_else(|| {
@@ -255,6 +298,11 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
         }
         i += 2;
     }
+    if driver_flags > 1 {
+        return Err(ParseError(
+            "--orchestrated and --static-shards are mutually exclusive".into(),
+        ));
+    }
     Ok(Knobs {
         config,
         save,
@@ -262,6 +310,7 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
         streaming,
         checkpoint_dir,
         resume,
+        driver_flags,
     })
 }
 
@@ -300,6 +349,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             if knobs.streaming && knobs.checkpoint_dir.is_some() {
                 return Err(ParseError(
                     "--checkpoint-dir requires the sharded pipeline; drop --streaming".into(),
+                ));
+            }
+            if knobs.streaming && knobs.driver_flags > 0 {
+                return Err(ParseError(
+                    "--streaming is its own pipeline; drop --orchestrated/--static-shards".into(),
                 ));
             }
             Ok(Command::Run {
@@ -393,7 +447,13 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                 "[sockscope] crawling {} sites x 4 crawls (threads: {}, pipeline: {})...",
                 config.n_sites,
                 config.threads,
-                if streaming { "streaming" } else { "sharded" }
+                if streaming {
+                    "streaming"
+                } else if config.orchestrated {
+                    "orchestrated"
+                } else {
+                    "static-shards"
+                }
             );
             let report = if let Some(dir) = checkpoint_dir {
                 let opts = CheckpointOptions {
@@ -632,6 +692,46 @@ mod tests {
         // The analysis commands run the default sharded pipeline; the flag
         // is still accepted (and ignored) so scripts can share knobs.
         assert!(parse(&args(&["report", "--streaming"])).is_ok());
+    }
+
+    #[test]
+    fn parses_orchestrator_knobs() {
+        let cmd = parse(&args(&[
+            "run",
+            "--sites",
+            "40",
+            "--workers",
+            "4",
+            "--queue-depth",
+            "16",
+            "--orchestrated",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run { config, .. } => {
+                assert!(config.orchestrated);
+                assert_eq!(config.workers, Some(4));
+                assert_eq!(config.queue_depth, 16);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&args(&["run", "--static-shards"])).unwrap();
+        match cmd {
+            Command::Run { config, .. } => {
+                assert!(!config.orchestrated);
+                assert_eq!(config.workers, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The two driver flags contradict each other, and --streaming is
+        // a third pipeline entirely.
+        assert!(parse(&args(&["run", "--orchestrated", "--static-shards"])).is_err());
+        assert!(parse(&args(&["run", "--streaming", "--orchestrated"])).is_err());
+        assert!(parse(&args(&["run", "--streaming", "--static-shards"])).is_err());
+        // Degenerate knob values are rejected up front.
+        assert!(parse(&args(&["run", "--workers", "0"])).is_err());
+        assert!(parse(&args(&["run", "--queue-depth", "0"])).is_err());
+        assert!(parse(&args(&["run", "--workers", "many"])).is_err());
     }
 
     #[test]

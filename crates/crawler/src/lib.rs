@@ -32,21 +32,33 @@
 //!   accumulator is a [`SiteSink`] fed CDP events the moment the browser
 //!   emits them, so no per-page event buffer or [`SiteRecord`] exists at
 //!   all; per-site memory is bounded by one inclusion tree.
+//! * [`crawl_orchestrated`] / [`crawl_orchestrated_resumable`] — the
+//!   work-stealing pipelined driver ([`orchestrator`]): per-site stealing
+//!   instead of static shard ownership, bounded queues between the
+//!   visit/classify and reduce stages, and a global in-flight cap, with
+//!   results folded in ascending site order so the merged output is
+//!   byte-identical to the static drivers.
 //!
 //! All drivers share one frontier/fault loop (`drive_site`) and one
-//! per-site seed derivation, so their outputs are decision-identical by
-//! construction; `CrawlConfig::visit_reference` retains the pre-fusion
-//! materializing path for differential testing.
+//! streamed per-site driver over the sink protocol (`drive_site_sink`,
+//! reached through [`crawl_one_site_sink`]), so their outputs are
+//! decision-identical by construction; `CrawlConfig::visit_reference`
+//! retains the pre-fusion materializing path for differential testing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod orchestrator;
+
+pub use orchestrator::{crawl_orchestrated, crawl_orchestrated_resumable, OrchestratorConfig};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use sockscope_browser::{
-    Browser, BrowserConfig, BrowserEra, ExtensionHost, VisitError, VisitSink, VisitSummary,
+    Browser, BrowserConfig, BrowserEra, CdpEvent, ExtensionHost, VisitError, VisitSink,
+    VisitSummary,
 };
 use sockscope_faults::{FaultContext, FaultProfile, VirtualClock};
 use sockscope_inclusion::{InclusionTree, TreeBuilder};
@@ -334,18 +346,18 @@ fn drive_site(
     site_faults
 }
 
-/// Tree-collecting page loader over [`drive_site`]: every loaded page
-/// becomes one [`InclusionTree`], built incrementally from the event
-/// stream by default, or batch-built from a materialized `Visit` when
-/// `visit_reference` is set.
-fn crawl_site_trees(
+/// Reference page loader over [`drive_site`]: buffers each page's full
+/// event stream into a materialized `Visit` and batch-builds its
+/// inclusion tree — the pre-fusion path, retained solely so differential
+/// tests and the perf harness can race it against the streamed one.
+/// Every production entry point goes through [`drive_site_sink`] instead.
+fn crawl_site_trees_reference(
     browser: &Browser<'_>,
     homepage: &str,
     site_domain: &str,
     max_links: usize,
     seed: u64,
     faults: Option<(&FaultProfile, u64, u64)>,
-    visit_reference: bool,
 ) -> (Vec<InclusionTree>, SiteFaults) {
     let mut trees = Vec::new();
     let site_faults = drive_site(
@@ -355,24 +367,98 @@ fn crawl_site_trees(
         seed,
         faults,
         &mut |url, ctx| {
-            if visit_reference {
-                let v = browser.visit_with_faults(url, ctx)?;
-                trees.push(InclusionTree::build(url, &v.events));
-                Ok(VisitSummary {
-                    page_url: v.page_url,
-                    links: v.links,
-                    blocked: v.blocked,
-                    faults: v.faults,
-                })
-            } else {
-                let mut builder = TreeBuilder::new(url);
-                let summary = browser.visit_streamed(url, ctx, &mut builder)?;
-                trees.push(builder.finish());
-                Ok(summary)
-            }
+            let v = browser.visit_with_faults(url, ctx)?;
+            trees.push(InclusionTree::build(url, &v.events));
+            Ok(VisitSummary {
+                page_url: v.page_url,
+                links: v.links,
+                blocked: v.blocked,
+                faults: v.faults,
+            })
         },
     );
     (trees, site_faults)
+}
+
+/// **The** streamed per-site driver: [`drive_site`]'s frontier/fault loop
+/// wrapped around the sink protocol. Every streamed entry point — the
+/// fused shard drivers, the orchestrator, [`crawl_site`], and (via
+/// [`RecordSink`]) the record-returning drivers — funnels through this
+/// one function, so its event-order contract is the contract of the whole
+/// crawler, pinned by `sink_event_order_contract` in the tests:
+///
+/// 1. `page_begin(url)` brackets with exactly one `page_end()` or
+///    `page_abort()`; pages never nest and never cross sites.
+/// 2. Every [`VisitSink`] event is delivered between a `page_begin` and
+///    its closing call; an aborted page delivers **zero** events (the
+///    browser decides every [`VisitError`] before emitting).
+/// 3. `page_begin` count equals [`SiteFaults::pages_attempted`] (every
+///    retry is its own bracket); `page_end` count equals pages kept.
+fn drive_site_sink<A: SiteSink>(
+    browser: &Browser<'_>,
+    homepage: &str,
+    site_domain: &str,
+    max_links: usize,
+    seed: u64,
+    faults: Option<(&FaultProfile, u64, u64)>,
+    sink: &mut A,
+) -> SiteFaults {
+    drive_site(
+        homepage,
+        site_domain,
+        max_links,
+        seed,
+        faults,
+        &mut |url, ctx| {
+            sink.page_begin(url);
+            match browser.visit_streamed(url, ctx, &mut *sink) {
+                Ok(summary) => {
+                    sink.page_end();
+                    Ok(summary)
+                }
+                Err(e) => {
+                    sink.page_abort();
+                    Err(e)
+                }
+            }
+        },
+    )
+}
+
+/// Minimal [`SiteSink`] that keeps one [`InclusionTree`] per loaded page:
+/// the streamed tree collector behind [`crawl_site`].
+#[derive(Default)]
+struct TreeSink {
+    trees: Vec<InclusionTree>,
+    builder: Option<TreeBuilder>,
+}
+
+impl VisitSink for TreeSink {
+    fn on_event(&mut self, event: CdpEvent) {
+        self.builder
+            .as_mut()
+            .expect("events only between page_begin and page_end")
+            .push(&event);
+    }
+}
+
+impl SiteSink for TreeSink {
+    fn site_begin(&mut self, _site_id: usize, _domain: &str, _rank: u32) {}
+
+    fn page_begin(&mut self, url: &str) {
+        self.builder = Some(TreeBuilder::new(url));
+    }
+
+    fn page_end(&mut self) {
+        let builder = self.builder.take().expect("page_end after page_begin");
+        self.trees.push(builder.finish());
+    }
+
+    fn page_abort(&mut self) {
+        self.builder = None;
+    }
+
+    fn site_end(&mut self, _faults: Option<&SiteFaults>) {}
 }
 
 /// Crawls one site with a given browser: homepage + up to `max_links`
@@ -385,7 +471,17 @@ pub fn crawl_site(
     max_links: usize,
     seed: u64,
 ) -> Vec<InclusionTree> {
-    crawl_site_trees(browser, homepage, site_domain, max_links, seed, None, false).0
+    let mut sink = TreeSink::default();
+    drive_site_sink(
+        browser,
+        homepage,
+        site_domain,
+        max_links,
+        seed,
+        None,
+        &mut sink,
+    );
+    sink.trees
 }
 
 /// Fault-injecting variant of [`crawl_site`]. Link sampling is identical;
@@ -407,15 +503,17 @@ pub fn crawl_site_with_faults(
     fault_seed: u64,
     site_rank: u64,
 ) -> (Vec<InclusionTree>, SiteFaults) {
-    crawl_site_trees(
+    let mut sink = TreeSink::default();
+    let site_faults = drive_site_sink(
         browser,
         homepage,
         site_domain,
         max_links,
         seed,
         Some((profile, fault_seed, site_rank)),
-        false,
-    )
+        &mut sink,
+    );
+    (sink.trees, site_faults)
 }
 
 /// Crawls the whole synthetic web with a stock browser (no extensions) —
@@ -483,13 +581,22 @@ pub fn crawl_with_extensions(
 
 /// Crawls site `i` of the universe with the per-site seed derived from the
 /// crawl seed, site id, and era — shared by every parallel driver so they
-/// all observe identical per-site behaviour.
+/// all observe identical per-site behaviour. The default path is
+/// [`crawl_one_site_sink`] through a [`RecordSink`]; `visit_reference`
+/// swaps in the retained materializing loader for differential runs.
 fn crawl_one_site(
     web: &SyntheticWeb,
     config: &CrawlConfig,
     browser: &Browser<'_>,
     i: usize,
 ) -> SiteRecord {
+    if !config.visit_reference {
+        let mut sink = RecordSink::default();
+        crawl_one_site_sink(web, config, browser, i, &mut sink);
+        return sink
+            .take_record()
+            .expect("crawl_one_site_sink completes exactly one site");
+    }
     let site = &web.sites()[i];
     let link_seed = mix(
         config.seed,
@@ -505,14 +612,13 @@ fn crawl_one_site(
         )
     });
     let accounting = fault_args.is_some();
-    let (trees, site_faults) = crawl_site_trees(
+    let (trees, site_faults) = crawl_site_trees_reference(
         browser,
         &site.homepage(),
         &site.domain,
         config.max_links,
         link_seed,
         fault_args,
-        config.visit_reference,
     );
     SiteRecord {
         site_id: site.id,
@@ -579,27 +685,95 @@ pub fn crawl_one_site_sink<A: SiteSink>(
     });
     let accounting = fault_args.is_some();
     sink.site_begin(site.id, &site.domain, site.rank);
-    let site_faults = drive_site(
+    let site_faults = drive_site_sink(
+        browser,
         &site.homepage(),
         &site.domain,
         config.max_links,
         link_seed,
         fault_args,
-        &mut |url, ctx| {
-            sink.page_begin(url);
-            match browser.visit_streamed(url, ctx, &mut *sink) {
-                Ok(summary) => {
-                    sink.page_end();
-                    Ok(summary)
-                }
-                Err(e) => {
-                    sink.page_abort();
-                    Err(e)
-                }
-            }
-        },
+        sink,
     );
     sink.site_end(if accounting { Some(&site_faults) } else { None });
+}
+
+/// A [`SiteSink`] that reassembles full [`SiteRecord`]s from the event
+/// stream. It is both the proof that the fused driver delivers exactly
+/// the state the batch drivers record, and the adapter those drivers use:
+/// since the orchestrator refactor, *every* record-returning crawl runs
+/// [`crawl_one_site_sink`] into one of these, so the whole crawler shares
+/// a single streamed per-site driver.
+#[derive(Default)]
+pub struct RecordSink {
+    records: Vec<SiteRecord>,
+    current: Option<SiteRecord>,
+    builder: Option<TreeBuilder>,
+}
+
+impl RecordSink {
+    /// Completed records, in completion order.
+    pub fn records(&self) -> &[SiteRecord] {
+        &self.records
+    }
+
+    /// Consumes the sink, returning every completed record.
+    pub fn into_records(self) -> Vec<SiteRecord> {
+        self.records
+    }
+
+    /// Removes and returns the oldest completed record. Per-site drivers
+    /// drain the sink with this after each `site_end`.
+    pub fn take_record(&mut self) -> Option<SiteRecord> {
+        if self.records.is_empty() {
+            None
+        } else {
+            Some(self.records.remove(0))
+        }
+    }
+}
+
+impl VisitSink for RecordSink {
+    fn on_event(&mut self, event: CdpEvent) {
+        self.builder
+            .as_mut()
+            .expect("events only between page_begin and page_end")
+            .push(&event);
+    }
+}
+
+impl SiteSink for RecordSink {
+    fn site_begin(&mut self, site_id: usize, domain: &str, rank: u32) {
+        self.current = Some(SiteRecord {
+            site_id,
+            domain: domain.to_string(),
+            rank,
+            trees: Vec::new(),
+            faults: None,
+        });
+    }
+
+    fn page_begin(&mut self, url: &str) {
+        self.builder = Some(TreeBuilder::new(url));
+    }
+
+    fn page_end(&mut self) {
+        let tree = self.builder.take().expect("page_end after page_begin");
+        self.current
+            .as_mut()
+            .expect("page inside site")
+            .trees
+            .push(tree.finish());
+    }
+
+    fn page_abort(&mut self) {
+        self.builder = None;
+    }
+
+    fn site_end(&mut self, faults: Option<&SiteFaults>) {
+        let mut record = self.current.take().expect("site_end after site_begin");
+        record.faults = faults.cloned();
+        self.records.push(record);
+    }
 }
 
 /// Streaming crawl: like [`crawl_with_extensions`], but instead of
@@ -1094,59 +1268,6 @@ mod tests {
         }
     }
 
-    /// A [`SiteSink`] that reassembles full [`SiteRecord`]s, proving the
-    /// fused driver delivers exactly the state the batch driver records.
-    #[derive(Default)]
-    struct RecordingSink {
-        records: Vec<SiteRecord>,
-        current: Option<SiteRecord>,
-        builder: Option<TreeBuilder>,
-    }
-
-    impl VisitSink for RecordingSink {
-        fn on_event(&mut self, event: sockscope_browser::CdpEvent) {
-            self.builder
-                .as_mut()
-                .expect("events only between page_begin and page_end")
-                .push(&event);
-        }
-    }
-
-    impl SiteSink for RecordingSink {
-        fn site_begin(&mut self, site_id: usize, domain: &str, rank: u32) {
-            self.current = Some(SiteRecord {
-                site_id,
-                domain: domain.to_string(),
-                rank,
-                trees: Vec::new(),
-                faults: None,
-            });
-        }
-
-        fn page_begin(&mut self, url: &str) {
-            self.builder = Some(TreeBuilder::new(url));
-        }
-
-        fn page_end(&mut self) {
-            let tree = self.builder.take().expect("page_end after page_begin");
-            self.current
-                .as_mut()
-                .expect("page inside site")
-                .trees
-                .push(tree.finish());
-        }
-
-        fn page_abort(&mut self) {
-            self.builder = None;
-        }
-
-        fn site_end(&mut self, faults: Option<&SiteFaults>) {
-            let mut record = self.current.take().expect("site_end after site_begin");
-            record.faults = faults.cloned();
-            self.records.push(record);
-        }
-    }
-
     #[test]
     fn sink_crawl_matches_the_collecting_crawl() {
         let web = web(31);
@@ -1162,12 +1283,12 @@ mod tests {
                 &config,
                 5,
                 &|| ExtensionHost::stock(browser_era(web.config().era)),
-                &|_| RecordingSink::default(),
+                &|_| RecordSink::default(),
             );
             assert_eq!(shards.len(), 5);
             let mut seen = 0usize;
             for (s, sink) in shards.iter().enumerate() {
-                for record in &sink.records {
+                for record in sink.records() {
                     assert_eq!(record.site_id % 5, s);
                     let r = &reference.records[record.site_id];
                     assert_eq!(record.domain, r.domain);
@@ -1177,6 +1298,133 @@ mod tests {
                 }
             }
             assert_eq!(seen, 31, "every site crawled exactly once");
+        }
+    }
+
+    /// A [`SiteSink`] that verifies the event-order contract documented on
+    /// `drive_site_sink` as it is driven, and counts the brackets.
+    #[derive(Default)]
+    struct ContractSink {
+        sites_begun: u64,
+        sites_ended: u64,
+        page_begins: u64,
+        page_ends: u64,
+        page_aborts: u64,
+        /// `Some(n)` while inside a page that has delivered `n` events.
+        events_in_page: Option<u64>,
+    }
+
+    impl VisitSink for ContractSink {
+        fn on_event(&mut self, _event: CdpEvent) {
+            let n = self
+                .events_in_page
+                .as_mut()
+                .expect("contract: events only inside an open page");
+            *n += 1;
+        }
+    }
+
+    impl SiteSink for ContractSink {
+        fn site_begin(&mut self, _site_id: usize, _domain: &str, _rank: u32) {
+            assert_eq!(
+                self.sites_begun, self.sites_ended,
+                "contract: sites never nest"
+            );
+            assert!(self.events_in_page.is_none());
+            self.sites_begun += 1;
+        }
+
+        fn page_begin(&mut self, _url: &str) {
+            assert!(
+                self.events_in_page.is_none(),
+                "contract: pages never nest — page_begin inside an open page"
+            );
+            assert_eq!(self.sites_begun, self.sites_ended + 1);
+            self.events_in_page = Some(0);
+            self.page_begins += 1;
+        }
+
+        fn page_end(&mut self) {
+            self.events_in_page
+                .take()
+                .expect("contract: page_end only after page_begin");
+            self.page_ends += 1;
+        }
+
+        fn page_abort(&mut self) {
+            let events = self
+                .events_in_page
+                .take()
+                .expect("contract: page_abort only after page_begin");
+            assert_eq!(events, 0, "contract: aborted pages deliver zero events");
+            self.page_aborts += 1;
+        }
+
+        fn site_end(&mut self, _faults: Option<&SiteFaults>) {
+            assert!(
+                self.events_in_page.is_none(),
+                "contract: site_end with a page still open"
+            );
+            self.sites_ended += 1;
+        }
+    }
+
+    #[test]
+    fn sink_event_order_contract() {
+        let web = web(25);
+        for faults in [None, Some(FaultProfile::heavy())] {
+            let heavy = faults.is_some();
+            let config = CrawlConfig {
+                threads: 1,
+                faults,
+                ..cfg()
+            };
+            let browser = Browser::new(
+                &web,
+                ExtensionHost::stock(browser_era(web.config().era)),
+                BrowserConfig {
+                    seed: config.seed ^ web.config().seed,
+                    ..BrowserConfig::default()
+                },
+            );
+            let mut total_aborts = 0u64;
+            for i in 0..web.sites().len() {
+                let mut contract = ContractSink::default();
+                crawl_one_site_sink(&web, &config, &browser, i, &mut contract);
+                let mut recorder = RecordSink::default();
+                crawl_one_site_sink(&web, &config, &browser, i, &mut recorder);
+                let record = recorder.take_record().expect("one record per site");
+
+                assert_eq!(contract.sites_begun, 1);
+                assert_eq!(contract.sites_ended, 1);
+                assert_eq!(
+                    contract.page_ends as usize,
+                    record.trees.len(),
+                    "every page_end corresponds to exactly one kept tree"
+                );
+                assert_eq!(
+                    contract.page_begins,
+                    contract.page_ends + contract.page_aborts,
+                    "every page_begin is closed exactly once"
+                );
+                match &record.faults {
+                    Some(f) => assert_eq!(
+                        contract.page_begins, f.pages_attempted,
+                        "every attempt (retries included) is its own bracket"
+                    ),
+                    None => assert_eq!(
+                        contract.page_aborts, 0,
+                        "fault-free crawls never abort a page"
+                    ),
+                }
+                total_aborts += contract.page_aborts;
+            }
+            if heavy {
+                assert!(
+                    total_aborts > 0,
+                    "heavy faults must exercise the page_abort path"
+                );
+            }
         }
     }
 

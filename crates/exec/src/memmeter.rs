@@ -1,0 +1,161 @@
+//! The counting global allocator behind the bench harness's per-stage
+//! memory columns and the orchestrator's bounded-memory regression test.
+//!
+//! The allocator itself is process-global state, so this module only
+//! *defines* [`CountingAlloc`]; each binary that wants metering installs
+//! its own `#[global_allocator] static A: CountingAlloc = CountingAlloc;`.
+//! Binaries that do not install it still link fine — [`Meter`] just reads
+//! counters that stay at zero.
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+/// Live heap bytes right now.
+static LIVE: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`LIVE`] since the last [`Meter::start`] reset.
+static PEAK: AtomicU64 = AtomicU64::new(0);
+/// Total allocation calls (alloc + alloc_zeroed + growing realloc counts 1).
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+fn on_alloc(bytes: u64) {
+    ALLOCS.fetch_add(1, Relaxed);
+    let live = LIVE.fetch_add(bytes, Relaxed) + bytes;
+    PEAK.fetch_max(live, Relaxed);
+}
+
+fn on_dealloc(bytes: u64) {
+    LIVE.fetch_sub(bytes, Relaxed);
+}
+
+/// A [`System`]-backed allocator that tracks live bytes, the live peak,
+/// and the allocation count. Relaxed atomics: the counters are statistics,
+/// not synchronization, and meter boundaries are quiescent points (no
+/// crawl threads are running when a stage is read).
+pub struct CountingAlloc;
+
+// SAFETY: defers every operation to `System` unchanged; the bookkeeping
+// only touches atomics and never the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size() as u64);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            on_dealloc(layout.size() as u64);
+            on_alloc(new_size as u64);
+        }
+        p
+    }
+}
+
+/// Live heap bytes right now (zero unless [`CountingAlloc`] is installed
+/// as the binary's global allocator).
+pub fn live_bytes() -> u64 {
+    LIVE.load(Relaxed)
+}
+
+/// Wall time + allocator counters of one metered stage.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct StageStats {
+    pub seconds: f64,
+    /// Net peak live bytes: the stage's own high-water mark over what was
+    /// already live when it started.
+    pub peak_bytes: u64,
+    pub alloc_count: u64,
+}
+
+impl StageStats {
+    /// Accumulates meters across repeated runs of one logical stage:
+    /// times and counts add, peaks take the max.
+    pub fn absorb(&mut self, other: StageStats) {
+        self.seconds += other.seconds;
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+        self.alloc_count += other.alloc_count;
+    }
+}
+
+/// Meters one stage: wall time, net peak live bytes (peak during the
+/// stage minus live at its start — what the stage itself holds at its
+/// worst), and allocation count.
+pub struct Meter {
+    t: Instant,
+    live0: u64,
+    allocs0: u64,
+}
+
+impl Meter {
+    pub fn start() -> Meter {
+        let live0 = LIVE.load(Relaxed);
+        PEAK.store(live0, Relaxed);
+        Meter {
+            t: Instant::now(),
+            live0,
+            allocs0: ALLOCS.load(Relaxed),
+        }
+    }
+
+    pub fn finish(self) -> StageStats {
+        StageStats {
+            seconds: self.t.elapsed().as_secs_f64(),
+            peak_bytes: PEAK.load(Relaxed).saturating_sub(self.live0),
+            alloc_count: ALLOCS.load(Relaxed) - self.allocs0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The unit-test binary does not install the allocator, so the
+    // counters stay flat — which is itself the documented contract.
+    #[test]
+    fn meter_without_installed_allocator_reads_zero_memory() {
+        let m = Meter::start();
+        let v: Vec<u8> = vec![0; 4096];
+        assert_eq!(v.len(), 4096);
+        let stats = m.finish();
+        assert_eq!(stats.peak_bytes, 0);
+        assert_eq!(stats.alloc_count, 0);
+        assert!(stats.seconds >= 0.0);
+    }
+
+    #[test]
+    fn absorb_adds_times_and_maxes_peaks() {
+        let mut a = StageStats {
+            seconds: 1.0,
+            peak_bytes: 10,
+            alloc_count: 3,
+        };
+        a.absorb(StageStats {
+            seconds: 2.0,
+            peak_bytes: 7,
+            alloc_count: 5,
+        });
+        assert_eq!(a.seconds, 3.0);
+        assert_eq!(a.peak_bytes, 10);
+        assert_eq!(a.alloc_count, 8);
+    }
+}

@@ -1,0 +1,205 @@
+//! A blocking bounded MPMC queue built on `Mutex` + `Condvar`.
+//!
+//! The orchestrator uses one of these between the crawl workers and the
+//! single reducer. The capacity is the backpressure knob: when the reducer
+//! falls behind, workers block in [`BoundedQueue::push`] instead of piling
+//! finished site reductions into memory.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Error returned by [`BoundedQueue::push`] once the queue is closed; the
+/// rejected item is handed back to the caller.
+#[derive(Debug)]
+pub struct QueueClosed<T>(pub T);
+
+struct State<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// Blocking multi-producer multi-consumer queue with a fixed capacity.
+pub struct BoundedQueue<T> {
+    cap: usize,
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `cap` items (`cap` is clamped to 1).
+    pub fn new(cap: usize) -> Self {
+        BoundedQueue {
+            cap: cap.max(1),
+            state: Mutex::new(State {
+                buf: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Blocks until there is room, then enqueues `item`. Returns the item
+    /// back inside [`QueueClosed`] if the queue was closed first — the
+    /// caller is shutting down and must not spin.
+    pub fn push(&self, item: T) -> Result<(), QueueClosed<T>> {
+        let mut state = self.state.lock().unwrap();
+        while state.buf.len() >= self.cap && !state.closed {
+            state = self.not_full.wait(state).unwrap();
+        }
+        if state.closed {
+            return Err(QueueClosed(item));
+        }
+        state.buf.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and dequeues it. Returns `None`
+    /// only when the queue is closed *and* drained, so a consumer loop of
+    /// `while let Some(x) = q.pop()` sees every item ever pushed.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.buf.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Closes the queue: pending and future `push` calls fail, `pop`
+    /// drains what is buffered and then returns `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        drop(state);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Number of items currently buffered (snapshot, for tests/metrics).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().buf.len()
+    }
+
+    /// True when nothing is buffered (snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        q.close();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_blocks_until_pop_makes_room() {
+        let q = BoundedQueue::new(1);
+        q.push(0u32).unwrap();
+        let blocked = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                q.push(1).unwrap();
+                blocked.store(1, Ordering::SeqCst);
+            });
+            // The producer cannot finish until we drain one slot.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(blocked.load(Ordering::SeqCst), 0, "push must backpressure");
+            assert_eq!(q.pop(), Some(0));
+            assert_eq!(q.pop(), Some(1));
+        });
+        assert_eq!(blocked.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(8);
+        q.push('a').unwrap();
+        q.push('b').unwrap();
+        q.close();
+        assert!(q.push('c').is_err());
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), Some('b'));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer() {
+        let q = BoundedQueue::new(1);
+        q.push(7u8).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let err = q.push(8).expect_err("closed queue must reject the push");
+                assert_eq!(err.0, 8);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.close();
+        });
+    }
+
+    #[test]
+    fn mpmc_delivers_every_item_exactly_once() {
+        let q = BoundedQueue::new(3);
+        let seen = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for p in 0..3u64 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let (q, seen) = (&q, &seen);
+                s.spawn(move || {
+                    while let Some(v) = q.pop() {
+                        seen.lock().unwrap().push(v);
+                    }
+                });
+            }
+            s.spawn(|| {
+                // Give producers time to finish, then close.
+                while !q.is_empty() || seen.lock().unwrap().len() < 150 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                q.close();
+            });
+        });
+        let mut got = seen.into_inner().unwrap();
+        got.sort_unstable();
+        let mut want: Vec<u64> = (0..3u64)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-worker work-stealing deques over ascending positions.
+//!
+//! Positions are dealt round-robin in ascending order, so every deque is
+//! born sorted. The two access rules keep them sorted forever:
+//!
+//! * an **owner** pops its own *front* — its local minimum;
+//! * a **thief** steals a victim's *back* — the victim's maximum.
+//!
+//! Together with round-robin dealing this gives the invariant the
+//! orchestrator's liveness proof leans on: the globally-smallest
+//! unclaimed position is always at the *front* of some deque, so the
+//! worker that owns (or unclaims into) that deque can always reach it.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A set of per-worker deques holding unclaimed work positions.
+pub struct StealDeques {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealDeques {
+    /// Deals `0..total` positions round-robin across `workers` deques.
+    pub fn deal(workers: usize, total: usize) -> Self {
+        let workers = workers.max(1);
+        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for pos in 0..total {
+            deques[pos % workers].push_back(pos);
+        }
+        StealDeques {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Pops the front (minimum) of worker `w`'s own deque.
+    pub fn pop_own(&self, w: usize) -> Option<usize> {
+        self.deques[w].lock().unwrap().pop_front()
+    }
+
+    /// Steals the back (maximum) of the first non-empty victim, scanning
+    /// the other workers in ring order starting after `w`.
+    pub fn steal(&self, w: usize) -> Option<usize> {
+        let n = self.deques.len();
+        for k in 1..n {
+            let victim = (w + k) % n;
+            if let Some(pos) = self.deques[victim].lock().unwrap().pop_back() {
+                return Some(pos);
+            }
+        }
+        None
+    }
+
+    /// Claims the next position for worker `w`. The default order is own
+    /// front first, then steal; `steal_first` (driven by the chaos
+    /// scheduler) inverts it to provoke adversarial interleavings.
+    pub fn next(&self, w: usize, steal_first: bool) -> Option<usize> {
+        if steal_first {
+            self.steal(w).or_else(|| self.pop_own(w))
+        } else {
+            self.pop_own(w).or_else(|| self.steal(w))
+        }
+    }
+
+    /// Returns a claimed-but-not-started position to worker `w`'s own
+    /// deque, inserting at its sorted slot so the deque's front stays its
+    /// minimum. Used when admission times out: the worker gives the high
+    /// position back and claims its (now possibly smaller) front instead.
+    pub fn unclaim(&self, w: usize, pos: usize) {
+        let mut deque = self.deques[w].lock().unwrap();
+        let at = deque.partition_point(|&p| p < pos);
+        deque.insert(at, pos);
+    }
+
+    /// Total unclaimed positions across every deque (snapshot).
+    pub fn remaining(&self) -> usize {
+        self.deques.iter().map(|d| d.lock().unwrap().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deal_is_round_robin_ascending() {
+        let d = StealDeques::deal(3, 7);
+        // Worker 0 owns 0,3,6; worker 1 owns 1,4; worker 2 owns 2,5.
+        assert_eq!(d.pop_own(0), Some(0));
+        assert_eq!(d.pop_own(0), Some(3));
+        assert_eq!(d.pop_own(1), Some(1));
+        assert_eq!(d.pop_own(2), Some(2));
+    }
+
+    #[test]
+    fn steal_takes_the_victims_back() {
+        let d = StealDeques::deal(2, 6);
+        // Worker 1's deque is [1, 3, 5]; a thief must take 5 first.
+        assert_eq!(d.steal(0), Some(5));
+        assert_eq!(d.steal(0), Some(3));
+        // Owner still sees its minimum at the front.
+        assert_eq!(d.pop_own(1), Some(1));
+    }
+
+    #[test]
+    fn next_claims_every_position_exactly_once() {
+        let d = StealDeques::deal(4, 23);
+        let mut got = Vec::new();
+        let mut w = 0;
+        while let Some(pos) = d.next(w, got.len() % 3 == 0) {
+            got.push(pos);
+            w = (w + 1) % 4;
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..23).collect::<Vec<_>>());
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn unclaim_restores_sorted_order() {
+        let d = StealDeques::deal(2, 8);
+        // Worker 0 owns [0, 2, 4, 6]; claim 0 and 2, then unclaim 2.
+        assert_eq!(d.pop_own(0), Some(0));
+        assert_eq!(d.pop_own(0), Some(2));
+        d.unclaim(0, 2);
+        assert_eq!(d.pop_own(0), Some(2), "unclaimed position is the new front");
+        assert_eq!(d.pop_own(0), Some(4));
+    }
+
+    #[test]
+    fn unclaim_of_a_stolen_high_position_lands_at_the_back() {
+        let d = StealDeques::deal(2, 6);
+        let stolen = d.steal(0).unwrap();
+        assert_eq!(stolen, 5);
+        d.unclaim(0, stolen);
+        // Worker 0's deque is now [0, 2, 4, 5]: front is still its minimum.
+        assert_eq!(d.pop_own(0), Some(0));
+    }
+}

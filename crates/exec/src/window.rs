@@ -1,0 +1,150 @@
+//! The global in-flight cap, expressed as a sliding admission window over
+//! ascending work positions.
+//!
+//! A bounded queue alone does not bound memory: a worker that races far
+//! ahead of a slow site would park its finished results in the reducer's
+//! reorder buffer, which grows without limit. The window closes that hole.
+//! Position `p` may only *start* while `p < base + cap`; the reducer
+//! advances `base` as it folds results in ascending order, so at most
+//! `cap` sites are ever past admission but not yet folded — the reorder
+//! buffer is capped by construction.
+//!
+//! [`AdmissionWindow::admit`] waits with a timeout rather than parking
+//! forever: under adversarial claim orders (the chaos scheduler) a worker
+//! can be holding a high position while the globally-smallest one sits in
+//! its own deque. The timeout lets it *unclaim* and go pick the smallest
+//! instead, which guarantees progress for any `cap >= 1`.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Outcome of an [`AdmissionWindow::admit`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The position is inside the window; go crawl it.
+    Admitted,
+    /// Still outside the window after the timeout; the caller should
+    /// unclaim the position and claim its locally-smallest one instead.
+    Retry,
+    /// The abort predicate fired while waiting; shut down.
+    Aborted,
+}
+
+/// Sliding window `[base, base + cap)` over ascending positions.
+pub struct AdmissionWindow {
+    cap: usize,
+    base: Mutex<usize>,
+    advanced: Condvar,
+}
+
+impl AdmissionWindow {
+    /// Creates a window admitting at most `cap` in-flight positions
+    /// (`cap` is clamped to 1, which degrades to strict serial order).
+    pub fn new(cap: usize) -> Self {
+        AdmissionWindow {
+            cap: cap.max(1),
+            base: Mutex::new(0),
+            advanced: Condvar::new(),
+        }
+    }
+
+    /// In-flight cap the window was built with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Waits up to `patience` for `pos` to fall inside the window,
+    /// re-checking `abort` on every wakeup.
+    pub fn admit(&self, pos: usize, patience: Duration, abort: &dyn Fn() -> bool) -> Admission {
+        let mut base = self.base.lock().unwrap();
+        while pos >= *base + self.cap {
+            if abort() {
+                return Admission::Aborted;
+            }
+            let (guard, timeout) = self.advanced.wait_timeout(base, patience).unwrap();
+            base = guard;
+            if timeout.timed_out() && pos >= *base + self.cap {
+                return if abort() {
+                    Admission::Aborted
+                } else {
+                    Admission::Retry
+                };
+            }
+        }
+        Admission::Admitted
+    }
+
+    /// Advances the window base to `new_base` (monotonic; smaller values
+    /// are ignored) and wakes every waiter.
+    pub fn advance_to(&self, new_base: usize) {
+        let mut base = self.base.lock().unwrap();
+        if new_base > *base {
+            *base = new_base;
+            drop(base);
+            self.advanced.notify_all();
+        }
+    }
+
+    /// Current window base (snapshot, for tests/metrics).
+    pub fn base(&self) -> usize {
+        *self.base.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NEVER: &dyn Fn() -> bool = &|| false;
+
+    #[test]
+    fn positions_inside_the_window_admit_immediately() {
+        let w = AdmissionWindow::new(3);
+        for pos in 0..3 {
+            assert_eq!(
+                w.admit(pos, Duration::from_millis(1), NEVER),
+                Admission::Admitted
+            );
+        }
+    }
+
+    #[test]
+    fn position_outside_the_window_retries_until_advanced() {
+        let w = AdmissionWindow::new(2);
+        assert_eq!(
+            w.admit(2, Duration::from_millis(5), NEVER),
+            Admission::Retry
+        );
+        w.advance_to(1);
+        assert_eq!(
+            w.admit(2, Duration::from_millis(5), NEVER),
+            Admission::Admitted
+        );
+    }
+
+    #[test]
+    fn advance_is_monotonic() {
+        let w = AdmissionWindow::new(1);
+        w.advance_to(5);
+        w.advance_to(3);
+        assert_eq!(w.base(), 5);
+    }
+
+    #[test]
+    fn abort_preempts_the_wait() {
+        let w = AdmissionWindow::new(1);
+        let out = w.admit(10, Duration::from_secs(60), &|| true);
+        assert_eq!(out, Admission::Aborted);
+    }
+
+    #[test]
+    fn blocked_admit_wakes_on_advance() {
+        let w = AdmissionWindow::new(1);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| w.admit(3, Duration::from_secs(5), NEVER));
+            std::thread::sleep(Duration::from_millis(10));
+            w.advance_to(3);
+            assert_eq!(h.join().unwrap(), Admission::Admitted);
+        });
+    }
+}
