@@ -215,6 +215,21 @@ impl StudyConfig {
                 h = mix(h, v.wrapping_add(1));
             }
         }
+        // Site hazards shape output independently of the transport rates
+        // (they decide the quarantine set), so they hash separately; a
+        // hazard-free profile keeps its pre-supervision fingerprint.
+        if let Some(f) = self.faults.as_ref().filter(|f| f.has_hazards()) {
+            for v in [
+                u64::from(f.site_panic_pm),
+                u64::from(f.site_hang_pm),
+                u64::from(f.site_alloc_pm),
+                f.site_deadline,
+                f.site_alloc_budget,
+                u64::from(f.site_retries),
+            ] {
+                h = mix(h, v.wrapping_add(1));
+            }
+        }
         h
     }
 }

@@ -279,6 +279,22 @@ impl SiteSink for FusedShard<'_> {
             .observe_site_flags(self.site_rank, self.site_pages, self.site_sockets);
         self.reduction.observe_site_faults(faults);
     }
+
+    fn site_abort(&mut self) {
+        // Supervised teardown: drop the open page and everything the
+        // current site already reduced. In the orchestrator — the only
+        // supervised driver — the shard is drained with
+        // `take_site_reduction` after every site, so the accumulated
+        // reduction holds exactly the aborted site and nothing else.
+        self.page = None;
+        self.site_pages = 0;
+        self.site_sockets = 0;
+        let _ = self.take_site_reduction();
+    }
+
+    fn site_quarantined(&mut self, record: &sockscope_crawler::QuarantineRecord) {
+        self.reduction.observe_quarantine(record);
+    }
 }
 
 #[cfg(test)]

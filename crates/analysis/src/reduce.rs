@@ -254,6 +254,61 @@ impl FailureTable {
     }
 }
 
+/// One quarantined site, as the supervisor recorded it: the only trace a
+/// hostile site leaves in the crawl result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantinedSite {
+    /// Site index in the universe.
+    pub site_id: usize,
+    /// Site second-level domain.
+    pub domain: String,
+    /// Alexa-like rank.
+    pub rank: u32,
+    /// Stable reason key (`panic` / `deadline` / `budget`).
+    pub reason: String,
+    /// Attempts spent before giving up.
+    pub attempts: u32,
+}
+
+/// Crawl-wide quarantine accounting: the sites the supervisor gave up on
+/// after exhausting retries against a panic, deadline breach, or budget
+/// breach. Forms a commutative monoid under [`QuarantineTable::absorb`]
+/// (concatenation, canonicalized by sorting on site id), exactly like the
+/// rest of [`CrawlReduction`]. Persisted with the shard it was observed
+/// in, so a resumed crawl neither loses nor duplicates entries.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineTable {
+    /// Every quarantined site, sorted by site id after normalization.
+    pub sites: Vec<QuarantinedSite>,
+}
+
+impl QuarantineTable {
+    /// Adds another table's entries into this one (the monoid operation;
+    /// `QuarantineTable::default()` is the identity).
+    pub fn absorb(&mut self, other: QuarantineTable) {
+        self.sites.extend(other.sites);
+    }
+
+    /// Per-reason counts, for the study report and the bench artifact.
+    pub fn reason_counts(&self) -> BTreeMap<&str, u64> {
+        let mut counts = BTreeMap::new();
+        for site in &self.sites {
+            *counts.entry(site.reason.as_str()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Number of quarantined sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` when nothing was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+}
+
 /// The streaming reducer for one crawl.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrawlReduction {
@@ -275,6 +330,10 @@ pub struct CrawlReduction {
     /// JSON is byte-identical to the pre-fault format (and old snapshots
     /// still load).
     pub failures: Option<FailureTable>,
+    /// Quarantine accounting; `None` when the supervisor gave up on no
+    /// site, so hazard-free snapshots keep the exact pre-supervision
+    /// format (and old snapshots still load).
+    pub quarantine: Option<QuarantineTable>,
 }
 
 // Hand-written serde: the `failures` field is *omitted* when `None`, so
@@ -293,6 +352,9 @@ impl Serialize for CrawlReduction {
         ];
         if let Some(failures) = &self.failures {
             obj.push(("failures".to_string(), failures.to_value()));
+        }
+        if let Some(quarantine) = &self.quarantine {
+            obj.push(("quarantine".to_string(), quarantine.to_value()));
         }
         Value::Obj(obj)
     }
@@ -313,6 +375,10 @@ impl Deserialize for CrawlReduction {
                 Some((_, v)) => Option::<FailureTable>::from_value(v)?,
                 None => None,
             },
+            quarantine: match obj.iter().find(|(k, _)| k == "quarantine") {
+                Some((_, v)) => Option::<QuarantineTable>::from_value(v)?,
+                None => None,
+            },
         })
     }
 }
@@ -328,6 +394,7 @@ impl CrawlReduction {
             http: BTreeMap::new(),
             sites: Vec::new(),
             failures: None,
+            quarantine: None,
         }
     }
 
@@ -370,6 +437,21 @@ impl CrawlReduction {
                 .get_or_insert_with(FailureTable::default)
                 .observe(site_faults);
         }
+    }
+
+    /// Records one quarantined site — the degraded trace the supervisor
+    /// leaves when it gives up. The site contributes to no other table.
+    pub fn observe_quarantine(&mut self, record: &sockscope_crawler::QuarantineRecord) {
+        self.quarantine
+            .get_or_insert_with(QuarantineTable::default)
+            .sites
+            .push(QuarantinedSite {
+                site_id: record.site_id,
+                domain: record.domain.clone(),
+                rank: record.rank,
+                reason: record.reason.as_str().to_string(),
+                attempts: record.attempts,
+            });
     }
 
     /// Reduces one inclusion tree, reading payload-derived facts through
@@ -575,6 +657,13 @@ impl CrawlReduction {
             }
             (a, b) => a.or(b),
         };
+        self.quarantine = match (self.quarantine.take(), other.quarantine) {
+            (Some(mut a), Some(b)) => {
+                a.absorb(b);
+                Some(a)
+            }
+            (a, b) => a.or(b),
+        };
     }
 
     /// Sorts the positional vectors into their canonical order: sockets by
@@ -586,6 +675,9 @@ impl CrawlReduction {
         self.sockets
             .sort_by(|a, b| (&a.site_domain, &a.url).cmp(&(&b.site_domain, &b.url)));
         self.sites.sort_by_key(|s| (s.rank, s.pages, s.sockets));
+        if let Some(q) = &mut self.quarantine {
+            q.sites.sort_by_key(|s| s.site_id);
+        }
     }
 
     /// Merges another reduction into this one (used to pool the labeling
@@ -851,6 +943,54 @@ mod tests {
         let v = red.to_value();
         assert!(v.get("failures").is_some());
         assert_eq!(CrawlReduction::from_value(&v).unwrap(), red);
+    }
+
+    #[test]
+    fn quarantine_table_merges_and_serializes() {
+        use sockscope_crawler::{QuarantineReason, QuarantineRecord};
+        let record = |site_id: usize, reason: QuarantineReason| QuarantineRecord {
+            site_id,
+            domain: format!("site-{site_id}.example"),
+            rank: site_id as u32 + 1,
+            reason,
+            attempts: 3,
+        };
+
+        // No quarantine observed → no key in the JSON, old format intact.
+        let clean = CrawlReduction::new("test", true);
+        assert!(clean.to_value().get("quarantine").is_none());
+
+        let mut a = CrawlReduction::new("test", true);
+        a.observe_quarantine(&record(7, QuarantineReason::Panic));
+        a.observe_quarantine(&record(3, QuarantineReason::Deadline));
+        let mut b = CrawlReduction::new("test", true);
+        b.observe_quarantine(&record(5, QuarantineReason::Budget));
+
+        // Merge both directions, normalize: same canonical table.
+        let mut ab = a.clone().merge(b.clone());
+        let mut ba = b.clone().merge(a.clone());
+        ab.normalize();
+        ba.normalize();
+        assert_eq!(ab, ba);
+        let table = ab.quarantine.as_ref().unwrap();
+        assert_eq!(
+            table.sites.iter().map(|s| s.site_id).collect::<Vec<_>>(),
+            vec![3, 5, 7]
+        );
+        assert_eq!(
+            table.reason_counts(),
+            [("budget", 1), ("deadline", 1), ("panic", 1)]
+                .into_iter()
+                .collect()
+        );
+        // None is the identity.
+        let merged = CrawlReduction::new("test", true).merge(ab.clone());
+        assert_eq!(merged.quarantine, ab.quarantine);
+
+        // Round-trips through the snapshot format.
+        let v = ab.to_value();
+        assert!(v.get("quarantine").is_some());
+        assert_eq!(CrawlReduction::from_value(&v).unwrap(), ab);
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub enum Command {
         checkpoint_dir: Option<String>,
         /// Resume from the checkpoint journal instead of starting fresh.
         resume: bool,
+        /// Fail the run (exit 3) when the supervised crawl quarantines
+        /// more than this many sites. `None` never fails: quarantine is
+        /// reported through exit code 5 instead.
+        max_quarantined: Option<usize>,
     },
     /// Print the full report.
     Report(Source),
@@ -87,6 +91,7 @@ USAGE:
   sockscope run       [--sites N] [--seed HEX] [--threads N] [--save FILE] [--streaming]
                       [--workers N] [--queue-depth N] [--orchestrated | --static-shards]
                       [--faults PROFILE] [--checkpoint-dir DIR] [--resume]
+                      [--max-quarantined N]
   sockscope report    [--from FILE | --sites N ...]
   sockscope table     <1|2|3|4|5> [--csv] [--from FILE | --sites N ...]
   sockscope figure3   [--csv] [--from FILE | --sites N ...]
@@ -113,9 +118,12 @@ OPTIONS:
                   orchestrator (the default)
   --static-shards drive the crawl with the static shard-per-thread
                   reference driver instead (identical output)
-  --faults PROF   inject seeded deterministic network faults during the
-                  crawl: none | mild | heavy (default none); failure
-                  accounting lands in the report and snapshot
+  --faults PROF   inject seeded deterministic faults during the crawl:
+                  none | mild | heavy | poison (default none). Transport
+                  profiles (mild/heavy) degrade pages; poison injects
+                  site-level hazards (panics, hangs, allocation bombs)
+                  that the supervisor isolates and quarantines. Failure
+                  and quarantine accounting land in the report/snapshot
   --checkpoint-dir DIR
                   journal each completed crawl shard to DIR (atomic,
                   fsynced, CRC-framed) so an interrupted crawl can resume
@@ -124,10 +132,15 @@ OPTIONS:
                   are quarantined (and reported), only missing shards are
                   re-crawled; output is byte-identical to an
                   uninterrupted run
+  --max-quarantined N
+                  fail the run (exit 3) when supervised execution
+                  quarantines more than N sites; without this flag a
+                  quarantining run still completes and exits 5
 
 EXIT CODES:
-  0  success    2  bad flags or configuration
-  3  I/O error  4  corrupt snapshot or journal
+  0  success                      2  bad flags or configuration
+  3  I/O error or quarantine      4  corrupt snapshot or journal
+     threshold exceeded           5  completed with quarantined sites
 ";
 
 /// Argument-parsing errors.
@@ -152,6 +165,15 @@ pub enum CliError {
     /// A snapshot or journal exists but cannot be trusted: malformed
     /// JSON, unknown format version, failed checksum.
     Corrupt(String),
+    /// Supervised execution quarantined more sites than the
+    /// `--max-quarantined` threshold allows. Shares exit code 3 with I/O
+    /// errors: both mean "the run did not deliver what was asked".
+    QuarantineExceeded {
+        /// Sites actually quarantined.
+        quarantined: usize,
+        /// The `--max-quarantined` ceiling that was breached.
+        max: usize,
+    },
 }
 
 impl CliError {
@@ -159,7 +181,7 @@ impl CliError {
     pub fn exit_code(&self) -> i32 {
         match self {
             CliError::Config(_) => 2,
-            CliError::Io(_) => 3,
+            CliError::Io(_) | CliError::QuarantineExceeded { .. } => 3,
             CliError::Corrupt(_) => 4,
         }
     }
@@ -171,6 +193,10 @@ impl std::fmt::Display for CliError {
             CliError::Config(m) => write!(f, "config: {m}"),
             CliError::Io(m) => write!(f, "io: {m}"),
             CliError::Corrupt(m) => write!(f, "corrupt: {m}"),
+            CliError::QuarantineExceeded { quarantined, max } => write!(
+                f,
+                "quarantine: {quarantined} site(s) quarantined, --max-quarantined allows {max}"
+            ),
         }
     }
 }
@@ -205,6 +231,7 @@ struct Knobs {
     streaming: bool,
     checkpoint_dir: Option<String>,
     resume: bool,
+    max_quarantined: Option<usize>,
     /// How many of `--orchestrated`/`--static-shards` appeared (they are
     /// mutually exclusive with each other and with `--streaming`).
     driver_flags: usize,
@@ -220,6 +247,7 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
     let mut streaming = false;
     let mut checkpoint_dir = None;
     let mut resume = false;
+    let mut max_quarantined = None;
     let mut driver_flags = 0usize;
     let mut i = 0;
     while i < args.len() {
@@ -288,9 +316,15 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
             "--faults" => {
                 let v = value()?;
                 let profile = FaultProfile::named(v).ok_or_else(|| {
-                    ParseError(format!("--faults expects none|mild|heavy, got {v}"))
+                    ParseError(format!("--faults expects none|mild|heavy|poison, got {v}"))
                 })?;
                 config.faults = Some(profile);
+            }
+            "--max-quarantined" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--max-quarantined expects an integer".into()))?;
+                max_quarantined = Some(n);
             }
             "--save" => save = Some(value()?.clone()),
             "--from" => from = Some(value()?.clone()),
@@ -310,6 +344,7 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
         streaming,
         checkpoint_dir,
         resume,
+        max_quarantined,
         driver_flags,
     })
 }
@@ -362,6 +397,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 streaming: knobs.streaming,
                 checkpoint_dir: knobs.checkpoint_dir,
                 resume: knobs.resume,
+                max_quarantined: knobs.max_quarantined,
             })
         }
         "report" => Ok(Command::Report(parse_source(rest)?)),
@@ -431,17 +467,30 @@ fn obtain_study(source: &Source) -> Result<Study, CliError> {
     }
 }
 
-/// Executes a parsed command; returns the text to print.
+/// Executes a parsed command; returns the text to print. Convenience
+/// wrapper over [`execute_with_status`] that discards the exit status —
+/// callers that surface the completed-with-quarantine distinction (the
+/// binary) should use [`execute_with_status`] directly.
 pub fn execute(command: Command) -> Result<String, CliError> {
+    execute_with_status(command).map(|(text, _)| text)
+}
+
+/// Executes a parsed command; returns the text to print plus the process
+/// exit status for a *successful* execution: `0` for a clean run, `5`
+/// when a supervised crawl completed but quarantined one or more sites.
+/// Exceeding a `--max-quarantined` threshold is an error
+/// ([`CliError::QuarantineExceeded`], exit 3), not a status.
+pub fn execute_with_status(command: Command) -> Result<(String, i32), CliError> {
     match command {
-        Command::Help => Ok(USAGE.to_string()),
-        Command::Timeline => Ok(sockscope::timeline::render_timeline()),
+        Command::Help => Ok((USAGE.to_string(), 0)),
+        Command::Timeline => Ok((sockscope::timeline::render_timeline(), 0)),
         Command::Run {
             config,
             save,
             streaming,
             checkpoint_dir,
             resume,
+            max_quarantined,
         } => {
             eprintln!(
                 "[sockscope] crawling {} sites x 4 crawls (threads: {}, pipeline: {})...",
@@ -487,48 +536,75 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                     .map_err(|e| snapshot_error(&format!("saving snapshot {path}"), e))?;
                 eprintln!("[sockscope] snapshot written to {path}");
             }
-            Ok(report.render())
+            let quarantined = report.total_quarantined();
+            if let Some(max) = max_quarantined {
+                if quarantined > max {
+                    return Err(CliError::QuarantineExceeded { quarantined, max });
+                }
+            }
+            if quarantined > 0 {
+                eprintln!(
+                    "[sockscope] supervised crawl quarantined {quarantined} site(s); exit status 5"
+                );
+            }
+            let status = if quarantined > 0 { 5 } else { 0 };
+            Ok((report.render(), status))
         }
         Command::Report(source) => {
             let study = obtain_study(&source)?;
-            Ok(StudyReport::from_study(study).render())
+            Ok((StudyReport::from_study(study).render(), 0))
         }
         Command::Table(n, source, csv) => {
             let study = obtain_study(&source)?;
             use sockscope::analysis::tables::*;
-            Ok(match (n, csv) {
-                (1, true) => Table1::compute(&study).to_csv(),
-                (1, false) => Table1::compute(&study).render(),
-                (2, _) => Table2::compute(&study, 15).render(),
-                (3, _) => Table3::compute(&study, 15).render(),
-                (4, _) => Table4::compute(&study, 15).render(),
-                (_, true) => Table5::compute(&study).to_csv(),
-                (_, false) => Table5::compute(&study).render(),
-            })
+            Ok((
+                match (n, csv) {
+                    (1, true) => Table1::compute(&study).to_csv(),
+                    (1, false) => Table1::compute(&study).render(),
+                    (2, _) => Table2::compute(&study, 15).render(),
+                    (3, _) => Table3::compute(&study, 15).render(),
+                    (4, _) => Table4::compute(&study, 15).render(),
+                    (_, true) => Table5::compute(&study).to_csv(),
+                    (_, false) => Table5::compute(&study).render(),
+                },
+                0,
+            ))
         }
         Command::Figure3(source, csv) => {
             let study = obtain_study(&source)?;
             let fig = sockscope::analysis::figures::Figure3::compute(&study, None, 10_000);
-            Ok(if csv { fig.to_csv() } else { fig.render() })
+            Ok((if csv { fig.to_csv() } else { fig.render() }, 0))
         }
         Command::TextStats(source) => {
             let study = obtain_study(&source)?;
-            Ok(sockscope::analysis::textstats::TextStats::compute(&study).render())
+            Ok((
+                sockscope::analysis::textstats::TextStats::compute(&study).render(),
+                0,
+            ))
         }
         Command::Churn(source) => {
             let study = obtain_study(&source)?;
-            Ok(sockscope::analysis::churn::Churn::compute(&study).render(40))
+            Ok((
+                sockscope::analysis::churn::Churn::compute(&study).render(40),
+                0,
+            ))
         }
         Command::Categories(source) => {
             let study = obtain_study(&source)?;
-            Ok(sockscope::analysis::categories::CategoryBreakdown::compute(&study).render())
+            Ok((
+                sockscope::analysis::categories::CategoryBreakdown::compute(&study).render(),
+                0,
+            ))
         }
         Command::Blocking(source) => {
             let study = obtain_study(&source)?;
             let stats = sockscope::analysis::textstats::TextStats::compute(&study);
-            Ok(format!(
-                "post-hoc rule-list analysis:\n  A&A-socket chains blockable: {:.1}% (paper ~5%)\n  all A&A chains blockable:    {:.1}% (paper ~27%)\n",
-                stats.pct_socket_chains_blocked, stats.pct_aa_chains_blocked
+            Ok((
+                format!(
+                    "post-hoc rule-list analysis:\n  A&A-socket chains blockable: {:.1}% (paper ~5%)\n  all A&A chains blockable:    {:.1}% (paper ~27%)\n",
+                    stats.pct_socket_chains_blocked, stats.pct_aa_chains_blocked
+                ),
+                0,
             ))
         }
         Command::Inspect {
@@ -558,7 +634,7 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                 }
             }
             let _ = writeln!(out, "({shown} of {total} sockets to {receiver} shown)");
-            Ok(out)
+            Ok((out, 0))
         }
     }
 }
@@ -592,6 +668,7 @@ mod tests {
                 streaming,
                 checkpoint_dir,
                 resume,
+                max_quarantined,
             } => {
                 assert_eq!(config.n_sites, 500);
                 assert_eq!(config.seed, 0xABC);
@@ -600,6 +677,7 @@ mod tests {
                 assert!(!streaming);
                 assert_eq!(checkpoint_dir, None);
                 assert!(!resume);
+                assert_eq!(max_quarantined, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -650,6 +728,59 @@ mod tests {
             checkpoint_error(CheckpointError::DirNotEmpty("j".into())).exit_code(),
             2
         );
+        // A breached quarantine ceiling fails the run with exit 3.
+        let exceeded = CliError::QuarantineExceeded {
+            quarantined: 7,
+            max: 2,
+        };
+        assert_eq!(exceeded.exit_code(), 3);
+        assert!(exceeded.to_string().contains("--max-quarantined"));
+    }
+
+    #[test]
+    fn parses_max_quarantined() {
+        let cmd = parse(&args(&["run", "--sites", "40", "--max-quarantined", "3"])).unwrap();
+        match cmd {
+            Command::Run {
+                max_quarantined, ..
+            } => assert_eq!(max_quarantined, Some(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&args(&["run", "--max-quarantined", "lots"])).is_err());
+        assert!(parse(&args(&["run", "--max-quarantined"])).is_err());
+    }
+
+    #[test]
+    fn quarantine_drives_the_exit_status() {
+        let run = |faults: Option<FaultProfile>, max_quarantined: Option<usize>| {
+            execute_with_status(Command::Run {
+                config: StudyConfig {
+                    n_sites: 60,
+                    threads: 2,
+                    faults,
+                    ..StudyConfig::default()
+                },
+                save: None,
+                streaming: false,
+                checkpoint_dir: None,
+                resume: false,
+                max_quarantined,
+            })
+        };
+        // Clean run: status 0.
+        let (_, status) = run(None, None).unwrap();
+        assert_eq!(status, 0);
+        // Poisoned run completes but reports quarantine through status 5.
+        let (text, status) = run(Some(FaultProfile::poison()), None).unwrap();
+        assert_eq!(status, 5);
+        assert!(text.contains("Quarantine accounting"));
+        // A generous ceiling keeps status 5; a breached ceiling is exit 3.
+        let (_, status) = run(Some(FaultProfile::poison()), Some(60)).unwrap();
+        assert_eq!(status, 5);
+        match run(Some(FaultProfile::poison()), Some(0)) {
+            Err(e @ CliError::QuarantineExceeded { .. }) => assert_eq!(e.exit_code(), 3),
+            other => panic!("expected quarantine error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -839,6 +970,7 @@ mod tests {
             streaming: false,
             checkpoint_dir: None,
             resume: false,
+            max_quarantined: None,
         })
         .unwrap();
         assert!(out.contains("Table 1"));
@@ -869,6 +1001,7 @@ mod tests {
                 streaming: false,
                 checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
                 resume,
+                max_quarantined: None,
             })
         };
         let fresh = run(false).unwrap();

@@ -3,9 +3,15 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match sockscope_cli::parse(&args) {
-        Ok(command) => match sockscope_cli::execute(command) {
-            Ok(text) => println!("{text}"),
-            // Exit codes are typed: 2 config, 3 I/O, 4 corrupt data.
+        // Exit codes are typed: 0 success, 2 config, 3 I/O or quarantine
+        // threshold, 4 corrupt data, 5 completed with quarantined sites.
+        Ok(command) => match sockscope_cli::execute_with_status(command) {
+            Ok((text, status)) => {
+                println!("{text}");
+                if status != 0 {
+                    std::process::exit(status);
+                }
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(e.exit_code());

@@ -136,6 +136,49 @@ impl StudyReport {
         Some(out)
     }
 
+    /// Total sites quarantined across every crawl of the study (`0` for
+    /// unsupervised or hazard-free runs). The CLI keys its exit status off
+    /// this number.
+    pub fn total_quarantined(&self) -> usize {
+        self.study
+            .reductions
+            .iter()
+            .filter_map(|r| r.quarantine.as_ref())
+            .map(|q| q.len())
+            .sum()
+    }
+
+    /// Renders the supervised-execution quarantine accounting — one row per
+    /// crawl plus a pooled reason taxonomy. `None` when no crawl carries a
+    /// quarantine table (unsupervised or hazard-free runs: the clean report
+    /// is unchanged by the supervision subsystem).
+    pub fn render_quarantine(&self) -> Option<String> {
+        use std::fmt::Write as _;
+        if self.study.reductions.iter().all(|r| r.quarantine.is_none()) {
+            return None;
+        }
+        let mut out = String::from("Quarantine accounting (supervised execution)\n");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>11} {:>9}",
+            "crawl", "quarantined", "attempts"
+        );
+        let mut reasons: std::collections::BTreeMap<String, u64> = Default::default();
+        for red in &self.study.reductions {
+            let Some(q) = &red.quarantine else { continue };
+            let attempts: u64 = q.sites.iter().map(|s| u64::from(s.attempts)).sum();
+            let _ = writeln!(out, "{:<16} {:>11} {:>9}", red.label, q.len(), attempts);
+            for (reason, n) in q.reason_counts() {
+                *reasons.entry(reason.to_string()).or_insert(0) += n;
+            }
+        }
+        out.push_str("quarantine reasons (all crawls):\n");
+        for (reason, n) in reasons {
+            let _ = writeln!(out, "  {reason:<22} {n:>8}");
+        }
+        Some(out)
+    }
+
     /// Renders the full report (all tables + figure + stats + timeline).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -161,6 +204,10 @@ impl StudyReport {
         if let Some(failures) = self.render_failures() {
             out.push('\n');
             out.push_str(&failures);
+        }
+        if let Some(quarantine) = self.render_quarantine() {
+            out.push('\n');
+            out.push_str(&quarantine);
         }
         if let Some(provenance) = &self.provenance {
             out.push('\n');
@@ -191,6 +238,11 @@ mod tests {
             report.render_failures().is_none(),
             "fault-free report must carry no failure table"
         );
+        assert!(
+            report.render_quarantine().is_none(),
+            "fault-free report must carry no quarantine table"
+        );
+        assert_eq!(report.total_quarantined(), 0);
     }
 
     #[test]
@@ -205,5 +257,26 @@ mod tests {
         assert!(failures.contains("Failure accounting"));
         assert!(failures.contains("error taxonomy"));
         assert!(report.render().contains("Failure accounting"));
+        assert!(
+            report.render_quarantine().is_none(),
+            "hazard-free faulted report must carry no quarantine table"
+        );
+    }
+
+    #[test]
+    fn poisoned_report_carries_the_quarantine_table() {
+        let report = StudyReport::run(&StudyConfig {
+            n_sites: 120,
+            threads: 4,
+            faults: Some(sockscope_faults::FaultProfile::poison()),
+            ..StudyConfig::default()
+        });
+        let quarantine = report
+            .render_quarantine()
+            .expect("quarantine table present");
+        assert!(quarantine.contains("Quarantine accounting"));
+        assert!(quarantine.contains("quarantine reasons"));
+        assert!(report.total_quarantined() > 0);
+        assert!(report.render().contains("Quarantine accounting"));
     }
 }

@@ -49,8 +49,10 @@
 #![warn(missing_docs)]
 
 pub mod orchestrator;
+pub mod supervisor;
 
 pub use orchestrator::{crawl_orchestrated, crawl_orchestrated_resumable, OrchestratorConfig};
+pub use supervisor::{supervise_site, QuarantineReason, QuarantineRecord};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -110,6 +112,21 @@ pub fn effective_faults(web: &SyntheticWeb, config: &CrawlConfig) -> Option<Faul
         .clone()
         .or_else(|| web.config().faults.clone())
         .filter(|p| !p.is_zero())
+}
+
+/// Resolves the *site-hazard* side of the active profile, with the same
+/// override order as [`effective_faults`] but filtered on
+/// [`FaultProfile::has_hazards`]. The two resolutions are deliberately
+/// independent: a hazard-only profile (e.g. `poison`) activates the
+/// supervisor without touching the transport pipeline, so every site the
+/// supervisor does *not* quarantine crawls byte-identically to a
+/// fault-free run.
+pub fn effective_hazards(web: &SyntheticWeb, config: &CrawlConfig) -> Option<FaultProfile> {
+    config
+        .faults
+        .clone()
+        .or_else(|| web.config().faults.clone())
+        .filter(|p| p.has_hazards())
 }
 
 /// Everything observed while crawling one site.
@@ -459,6 +476,11 @@ impl SiteSink for TreeSink {
     }
 
     fn site_end(&mut self, _faults: Option<&SiteFaults>) {}
+
+    fn site_abort(&mut self) {
+        self.builder = None;
+        self.trees.clear();
+    }
 }
 
 /// Crawls one site with a given browser: homepage + up to `max_links`
@@ -656,6 +678,22 @@ pub trait SiteSink: VisitSink {
     fn page_abort(&mut self);
     /// The site's crawl is complete.
     fn site_end(&mut self, faults: Option<&SiteFaults>);
+    /// The site's crawl was torn down mid-flight by the supervisor
+    /// (panic, deadline, or budget breach): discard *all* partial state of
+    /// the current site — including any pages already completed — and
+    /// return to the pristine between-sites state, ready for either a
+    /// byte-identical retry of the same site or the next site. Only the
+    /// supervised orchestrator calls this, and it drains completed sites
+    /// out of the sink before each new one, so "current site" is
+    /// everything the sink holds.
+    fn site_abort(&mut self);
+    /// The supervisor gave up on a site after exhausting its retries; the
+    /// site contributes nothing but this record. Called instead of (not in
+    /// addition to) `site_end`, after the final `site_abort`. Sinks that
+    /// do not account for quarantine may ignore it.
+    fn site_quarantined(&mut self, record: &QuarantineRecord) {
+        let _ = record;
+    }
 }
 
 /// Crawls site `i` straight into a [`SiteSink`] — the fused analogue of
@@ -773,6 +811,11 @@ impl SiteSink for RecordSink {
         let mut record = self.current.take().expect("site_end after site_begin");
         record.faults = faults.cloned();
         self.records.push(record);
+    }
+
+    fn site_abort(&mut self) {
+        self.builder = None;
+        self.current = None;
     }
 }
 
@@ -1366,6 +1409,17 @@ mod tests {
                 "contract: site_end with a page still open"
             );
             self.sites_ended += 1;
+        }
+
+        fn site_abort(&mut self) {
+            // A supervised teardown may interrupt an open page; the sink
+            // returns to the between-sites state with the bracket counters
+            // rebalanced so a retry starts clean.
+            if self.events_in_page.take().is_some() {
+                self.page_aborts += 1;
+            }
+            self.sites_ended = self.sites_begun;
+            self.page_begins = self.page_ends + self.page_aborts;
         }
     }
 

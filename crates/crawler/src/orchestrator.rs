@@ -37,7 +37,7 @@ use sockscope_browser::{Browser, BrowserConfig, ExtensionHost};
 use sockscope_exec::{Admission, AdmissionWindow, BoundedQueue, ChaosSchedule, StealDeques};
 use sockscope_webgen::SyntheticWeb;
 
-use crate::{crawl_one_site_sink, CrawlConfig, SiteSink};
+use crate::{crawl_one_site_sink, supervise_site, CrawlConfig, SiteSink};
 
 /// How long a worker waits for the admission window before giving the
 /// claimed position back and claiming its locally-smallest one instead.
@@ -61,6 +61,12 @@ pub struct OrchestratorConfig {
     /// Install the seeded scheduling adversary: perturb claim order and
     /// inject yields. Test-only; `None` in production.
     pub chaos_seed: Option<u64>,
+    /// Run every site under the supervisor ([`supervise_site`]): panic
+    /// isolation, visit-step deadline, allocation budget, deterministic
+    /// quarantine. On by default — a fault-free supervised run is
+    /// byte-identical to an unsupervised one, so this only costs a
+    /// `catch_unwind` frame per site.
+    pub supervised: bool,
 }
 
 impl Default for OrchestratorConfig {
@@ -72,6 +78,7 @@ impl Default for OrchestratorConfig {
             queue_depth: 64,
             in_flight: 0,
             chaos_seed: None,
+            supervised: true,
         }
     }
 }
@@ -225,7 +232,18 @@ where
                         }
                         Admission::Aborted => break,
                     }
-                    crawl_one_site_sink(web, config, &browser, todo[pos], &mut sink);
+                    if orch.supervised {
+                        // A quarantined site leaves nothing in the sink;
+                        // the sink's own accounting (site_quarantined)
+                        // carries the record and `take_site` still yields
+                        // exactly one result per position.
+                        if let Some(q) = supervise_site(web, config, &browser, todo[pos], &mut sink)
+                        {
+                            sink.site_quarantined(&q);
+                        }
+                    } else {
+                        crawl_one_site_sink(web, config, &browser, todo[pos], &mut sink);
+                    }
                     let site = take_site(&mut sink);
                     if queue.push((pos, site)).is_err() {
                         break;
@@ -360,6 +378,7 @@ mod tests {
                 queue_depth: 1,
                 in_flight: 2,
                 chaos_seed: Some(chaos_seed),
+                supervised: true,
             };
             let stormy = orchestrate(&web, &config, &orch);
             assert_eq!(calm.len(), stormy.len());
@@ -369,6 +388,52 @@ mod tests {
                 assert_eq!(a.faults, b.faults);
             }
         }
+    }
+
+    #[test]
+    fn supervision_is_identity_on_a_clean_run() {
+        let web = web(20);
+        let config = CrawlConfig {
+            threads: 2,
+            ..CrawlConfig::default()
+        };
+        let supervised = orchestrate(&web, &config, &OrchestratorConfig::default());
+        let bare = orchestrate(
+            &web,
+            &config,
+            &OrchestratorConfig {
+                supervised: false,
+                ..OrchestratorConfig::default()
+            },
+        );
+        assert_eq!(supervised.len(), bare.len());
+        for (a, b) in supervised.iter().zip(&bare) {
+            assert_eq!(a.site_id, b.site_id);
+            assert_eq!(a.trees, b.trees);
+            assert_eq!(a.faults, b.faults);
+        }
+    }
+
+    #[test]
+    fn all_workers_stalling_on_a_tight_window_stays_live() {
+        // Liveness regression for the admission window's unclaim/timeout
+        // path: many workers, an in-flight cap of 1, and a chaos schedule
+        // that steals aggressively put *every* worker outside the window
+        // at once. The unclaim/retry dance must still drain the crawl.
+        let web = web(18);
+        let config = CrawlConfig {
+            threads: 2,
+            ..CrawlConfig::default()
+        };
+        let orch = OrchestratorConfig {
+            workers: 8,
+            queue_depth: 1,
+            in_flight: 1,
+            chaos_seed: Some(0xA11_57A11),
+            supervised: true,
+        };
+        let records = orchestrate(&web, &config, &orch);
+        assert_matches_reference(&records, &web, &config);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 #![allow(unsafe_code)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
@@ -20,14 +21,43 @@ static PEAK: AtomicU64 = AtomicU64::new(0);
 /// Total allocation calls (alloc + alloc_zeroed + growing realloc counts 1).
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+std::thread_local! {
+    /// Bytes charged to the current thread's task (the supervisor's
+    /// per-site allocation budget reads this). A plain `Cell` so the
+    /// allocator hook never allocates or synchronizes.
+    static TASK_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
 fn on_alloc(bytes: u64) {
     ALLOCS.fetch_add(1, Relaxed);
     let live = LIVE.fetch_add(bytes, Relaxed) + bytes;
     PEAK.fetch_max(live, Relaxed);
+    // try_with: allocations during TLS teardown must not panic.
+    let _ = TASK_BYTES.try_with(|c| c.set(c.get().wrapping_add(bytes)));
 }
 
 fn on_dealloc(bytes: u64) {
     LIVE.fetch_sub(bytes, Relaxed);
+}
+
+/// Monotonic count of bytes ever charged to the current thread's task.
+///
+/// Grows with every allocation when [`CountingAlloc`] is installed, and
+/// with explicit [`task_charge`] calls always. Task budgets are enforced
+/// as a delta between two reads, so the counter never needs resetting —
+/// it may wrap, and deltas are taken with `wrapping_sub`.
+pub fn task_allocated() -> u64 {
+    TASK_BYTES.try_with(Cell::get).unwrap_or(0)
+}
+
+/// Charges `bytes` to the current thread's task as if they were allocated.
+///
+/// This is the deterministic injection point for allocation-bomb fault
+/// kinds: the charge lands whether or not the binary installed
+/// [`CountingAlloc`], so budget breaches reproduce byte-identically
+/// across metered and unmetered builds.
+pub fn task_charge(bytes: u64) {
+    let _ = TASK_BYTES.try_with(|c| c.set(c.get().wrapping_add(bytes)));
 }
 
 /// A [`System`]-backed allocator that tracks live bytes, the live peak,
@@ -140,6 +170,27 @@ mod tests {
         assert_eq!(stats.peak_bytes, 0);
         assert_eq!(stats.alloc_count, 0);
         assert!(stats.seconds >= 0.0);
+    }
+
+    #[test]
+    fn task_charge_accumulates_without_installed_allocator() {
+        let before = task_allocated();
+        task_charge(1024);
+        task_charge(8);
+        assert_eq!(task_allocated().wrapping_sub(before), 1032);
+    }
+
+    #[test]
+    fn task_meter_is_thread_local() {
+        task_charge(500);
+        let other = std::thread::spawn(|| {
+            let before = task_allocated();
+            task_charge(7);
+            task_allocated().wrapping_sub(before)
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 7);
     }
 
     #[test]

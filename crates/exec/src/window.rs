@@ -147,4 +147,67 @@ mod tests {
             assert_eq!(h.join().unwrap(), Admission::Admitted);
         });
     }
+
+    /// Liveness regression for the supervised orchestrator's worst case:
+    /// *every* worker simultaneously holds a position outside a cap-1
+    /// window, so nobody is in a position to advance the base and no
+    /// `advance_to` notification is ever coming. The timeout/unclaim
+    /// protocol must still drain the pool: each waiter times out with
+    /// [`Admission::Retry`], returns its position, and re-claims the
+    /// globally smallest one, which is always admissible. The earlier
+    /// suite only exercised a single stalled worker; a group-wide stall
+    /// additionally depends on no lost wakeups between concurrent
+    /// `wait_timeout` re-checks.
+    #[test]
+    fn simultaneous_group_stall_drains_without_deadlock() {
+        use std::collections::BTreeSet;
+        use std::time::Instant;
+
+        const WORKERS: usize = 8;
+        const POSITIONS: usize = 64;
+        let w = AdmissionWindow::new(1);
+        // Every worker starts out claiming a position from the top of the
+        // range — all of them outside [0, 1), so the whole group stalls
+        // at once. The remaining positions sit unclaimed in the pool.
+        let pool: Mutex<BTreeSet<usize>> = Mutex::new((0..POSITIONS - WORKERS).collect());
+        let done: Mutex<BTreeSet<usize>> = Mutex::new(BTreeSet::new());
+        let start = Instant::now();
+        let watchdog = move || start.elapsed() > Duration::from_secs(30);
+        std::thread::scope(|s| {
+            for worker in 0..WORKERS {
+                let w = &w;
+                let pool = &pool;
+                let done = &done;
+                let watchdog = &watchdog;
+                s.spawn(move || {
+                    let mut claimed = Some(POSITIONS - 1 - worker);
+                    loop {
+                        let Some(pos) = claimed else { return };
+                        match w.admit(pos, Duration::from_millis(2), watchdog) {
+                            Admission::Admitted => {
+                                done.lock().unwrap().insert(pos);
+                                w.advance_to(pos + 1);
+                                claimed = {
+                                    let mut pool = pool.lock().unwrap();
+                                    pool.pop_first()
+                                };
+                            }
+                            Admission::Retry => {
+                                // Unclaim, then take the globally smallest
+                                // live position instead.
+                                let mut pool = pool.lock().unwrap();
+                                pool.insert(pos);
+                                claimed = pool.pop_first();
+                            }
+                            Admission::Aborted => {
+                                panic!("admission window deadlocked under a group-wide stall")
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let done = done.into_inner().unwrap();
+        assert_eq!(done, (0..POSITIONS).collect::<BTreeSet<_>>());
+    }
 }

@@ -46,6 +46,8 @@ pub fn fnv1a(s: &str) -> u64 {
 const CHAN_DECIDE: u64 = 0x6661_756C_7400_0001; // "fault"
 const CHAN_STATUS: u64 = 0x6661_756C_7400_0002;
 const CHAN_PAGE: u64 = 0x6661_756C_7400_0003;
+const CHAN_HAZARD: u64 = 0x6661_756C_7400_0004;
+const CHAN_HAZARD_STEP: u64 = 0x6661_756C_7400_0005;
 
 /// A deterministic clock counting abstract ticks. No wall time anywhere.
 ///
@@ -112,6 +114,18 @@ pub struct FaultProfile {
     pub stall_ticks: u64,
     /// Stalls at or beyond this many ticks abort the session instead.
     pub stall_timeout: u64,
+    /// ‰ of sites whose visit panics mid-flight ([`SiteHazard::PanicAt`]).
+    pub site_panic_pm: u16,
+    /// ‰ of sites whose visit never terminates ([`SiteHazard::HangAt`]).
+    pub site_hang_pm: u16,
+    /// ‰ of sites that allocate without bound ([`SiteHazard::AllocBomb`]).
+    pub site_alloc_pm: u16,
+    /// Supervisor deadline per site attempt, in visit steps (virtual ticks).
+    pub site_deadline: u64,
+    /// Supervisor allocation budget per site attempt, in bytes.
+    pub site_alloc_budget: u64,
+    /// Whole-site retries after a supervised breach (attempts = retries + 1).
+    pub site_retries: u32,
 }
 
 impl FaultProfile {
@@ -132,6 +146,12 @@ impl FaultProfile {
             page_budget: 10_000,
             stall_ticks: 40,
             stall_timeout: 100,
+            site_panic_pm: 0,
+            site_hang_pm: 0,
+            site_alloc_pm: 0,
+            site_deadline: 512,
+            site_alloc_budget: 256 << 20,
+            site_retries: 2,
         }
     }
 
@@ -163,26 +183,43 @@ impl FaultProfile {
             drop_pm: 80,
             stall_pm: 100,
             page_fail_pm: 150,
-            max_retries: 2,
-            backoff_base: 8,
             page_budget: 400,
             stall_ticks: 120,
-            stall_timeout: 100,
+            ..FaultProfile::none()
         }
     }
 
-    /// Looks a profile up by name (`none`/`zero`, `mild`, `heavy`).
+    /// Site-level hostility only: ~20% of sites draw a hazard, transport is
+    /// clean. This is the supervision chaos workload — without a supervisor
+    /// the crawl dies on the first poisoned site; with one it completes and
+    /// quarantines exactly the poisoned set.
+    #[must_use]
+    pub fn poison() -> FaultProfile {
+        FaultProfile {
+            site_panic_pm: 70,
+            site_hang_pm: 70,
+            site_alloc_pm: 60,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Looks a profile up by name (`none`/`zero`, `mild`, `heavy`, `poison`).
     #[must_use]
     pub fn named(name: &str) -> Option<FaultProfile> {
         match name {
             "none" | "zero" => Some(FaultProfile::none()),
             "mild" => Some(FaultProfile::mild()),
             "heavy" => Some(FaultProfile::heavy()),
+            "poison" => Some(FaultProfile::poison()),
             _ => None,
         }
     }
 
-    /// `true` when every rate is zero — the profile can inject nothing.
+    /// `true` when every *transport* rate is zero — the profile can inject
+    /// nothing on the wire. Site hazards are deliberately excluded: a
+    /// hazard-only profile leaves the transport pipeline byte-identical to a
+    /// fault-free run, which is what lets the supervisor prove that the
+    /// non-quarantined remainder of a poisoned crawl is unchanged.
     #[must_use]
     pub fn is_zero(&self) -> bool {
         self.connect_refused_pm == 0
@@ -193,6 +230,13 @@ impl FaultProfile {
             && self.drop_pm == 0
             && self.stall_pm == 0
             && self.page_fail_pm == 0
+    }
+
+    /// `true` when any site-hazard rate is nonzero — the supervisor has
+    /// something to inject. Orthogonal to [`FaultProfile::is_zero`].
+    #[must_use]
+    pub fn has_hazards(&self) -> bool {
+        self.site_panic_pm != 0 || self.site_hang_pm != 0 || self.site_alloc_pm != 0
     }
 }
 
@@ -328,6 +372,95 @@ impl FaultPlan {
     #[must_use]
     pub fn page_unreachable(&self, profile: &FaultProfile, attempt: u32) -> bool {
         mix(self.state, CHAN_PAGE ^ u64::from(attempt)) % 1000 < u64::from(profile.page_fail_pm)
+    }
+}
+
+/// A site-level hazard: hostility that attacks the *instrumentation* rather
+/// than the wire. Unlike [`FaultDecision`]s, which the pipeline absorbs as
+/// measured loss, a hazard kills the visit — only a supervisor (catching the
+/// unwind, enforcing the deadline or budget) turns it into accounted loss.
+///
+/// `step` counts page visits within the site (0 = the homepage), so the
+/// hazard fires at a deterministic point of the crawl regardless of worker
+/// count or steal schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteHazard {
+    /// The visit panics when page-visit step `step` begins.
+    PanicAt {
+        /// Page-visit step at which the panic fires.
+        step: u64,
+    },
+    /// The visit stops making progress from step `step` on: the virtual
+    /// clock races ahead while no further page completes (a hang, detected
+    /// by the supervisor's deadline).
+    HangAt {
+        /// Page-visit step at which progress stops.
+        step: u64,
+    },
+    /// The visit allocates without bound from step `step` on (detected by
+    /// the supervisor's allocation budget).
+    AllocBomb {
+        /// Page-visit step at which the allocation runaway starts.
+        step: u64,
+    },
+}
+
+impl SiteHazard {
+    /// Short stable key for the quarantine taxonomy.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SiteHazard::PanicAt { .. } => "panic",
+            SiteHazard::HangAt { .. } => "hang",
+            SiteHazard::AllocBomb { .. } => "alloc_bomb",
+        }
+    }
+}
+
+/// The deterministic hazard oracle for one `(seed, site_rank)`.
+///
+/// Hostility is a property of the *site*, not the attempt: a real site that
+/// crashes the instrumentation does so reproducibly, so the draw is made
+/// once per site and the same hazard strikes every supervised retry. (The
+/// retry loop exists for transient failures the oracle does not model.)
+/// The mixing rotates the rank differently from [`FaultPlan`] and folds in
+/// its own channel, so hazard draws never alias transport-fault draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HazardPlan {
+    state: u64,
+}
+
+impl HazardPlan {
+    /// Derives the plan for one site under one run seed.
+    #[must_use]
+    pub fn new(seed: u64, site_rank: u64) -> HazardPlan {
+        HazardPlan {
+            state: mix(mix(seed, site_rank.rotate_left(29)), CHAN_HAZARD),
+        }
+    }
+
+    /// Decides the hazard (if any) this site carries under `profile`.
+    ///
+    /// Rates are consumed cumulatively like [`FaultPlan::decide`]; the firing
+    /// step draws from its own channel and lands in `0..3`, early enough that
+    /// every site's crawl reaches it.
+    #[must_use]
+    pub fn decide(&self, profile: &FaultProfile) -> Option<SiteHazard> {
+        let draw = mix(self.state, CHAN_HAZARD) % 1000;
+        let step = mix(self.state, CHAN_HAZARD_STEP) % 3;
+        let mut edge = u64::from(profile.site_panic_pm);
+        if draw < edge {
+            return Some(SiteHazard::PanicAt { step });
+        }
+        edge += u64::from(profile.site_hang_pm);
+        if draw < edge {
+            return Some(SiteHazard::HangAt { step });
+        }
+        edge += u64::from(profile.site_alloc_pm);
+        if draw < edge {
+            return Some(SiteHazard::AllocBomb { step });
+        }
+        None
     }
 }
 
@@ -468,6 +601,71 @@ mod tests {
                 other => panic!("expected rejection, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn hazard_draws_are_deterministic_and_per_site() {
+        let profile = FaultProfile::poison();
+        for rank in 0..500u64 {
+            let a = HazardPlan::new(0xD15C, rank).decide(&profile);
+            let b = HazardPlan::new(0xD15C, rank).decide(&profile);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn poison_profile_is_transport_clean_but_hazardous() {
+        let poison = FaultProfile::poison();
+        assert!(poison.is_zero(), "poison must inject nothing on the wire");
+        assert!(poison.has_hazards());
+        assert!(!FaultProfile::none().has_hazards());
+        assert!(!FaultProfile::heavy().has_hazards());
+        assert_eq!(FaultProfile::named("poison"), Some(poison));
+    }
+
+    #[test]
+    fn poison_rate_is_approximately_one_in_five() {
+        let profile = FaultProfile::poison();
+        let mut kinds = std::collections::BTreeMap::new();
+        let hit = (0..20_000u64)
+            .filter_map(|rank| HazardPlan::new(9, rank).decide(&profile))
+            .inspect(|h| {
+                *kinds.entry(h.kind()).or_insert(0u64) += 1;
+                assert!(matches!(
+                    h,
+                    SiteHazard::PanicAt { step }
+                        | SiteHazard::HangAt { step }
+                        | SiteHazard::AllocBomb { step } if *step < 3
+                ));
+            })
+            .count();
+        assert!((3200..4800).contains(&hit), "hazarded = {hit}");
+        for kind in ["panic", "hang", "alloc_bomb"] {
+            assert!(kinds.contains_key(kind), "never drew {kind}");
+        }
+    }
+
+    #[test]
+    fn hazard_stream_does_not_alias_fault_stream() {
+        // Same seed, same rank: the site-hazard draw and the transport draw
+        // for connection 0 must be independent streams. If they aliased, a
+        // poisoned site would also always carry the same transport fault.
+        let both = FaultProfile {
+            connect_refused_pm: 200,
+            site_panic_pm: 200,
+            ..FaultProfile::none()
+        };
+        let mut agree = 0usize;
+        for rank in 0..2_000u64 {
+            let hazarded = HazardPlan::new(7, rank).decide(&both).is_some();
+            let faulted = FaultPlan::new(7, rank, 0).decide(&both, 0).is_fault();
+            if hazarded == faulted {
+                agree += 1;
+            }
+        }
+        // Independent 20% streams agree ~68% of the time; aliased streams
+        // would agree 100%.
+        assert!(agree < 1800, "streams look aliased: agree = {agree}");
     }
 
     #[test]

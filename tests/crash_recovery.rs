@@ -19,6 +19,7 @@ use std::path::PathBuf;
 
 use sockscope_analysis::checkpoint::{CheckpointError, CheckpointOptions, KillPlan};
 use sockscope_analysis::{Study, StudyConfig, StudySnapshot};
+use sockscope_faults::FaultProfile;
 use sockscope_journal::KillPoint;
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -317,6 +318,77 @@ fn static_driver_kill_and_resume_still_works() {
     );
     assert!(!report.quarantined.is_empty());
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_mid_quarantine_persist_neither_loses_nor_duplicates_entries() {
+    // Supervised execution stores quarantine records inside the same
+    // per-shard `CrawlReduction` the journal persists, so a kill while a
+    // poisoned shard's segment is being written is a kill mid-
+    // quarantine-persist. The resume invariant extends to them: after
+    // recovery the quarantine set must be byte-identical to an
+    // uninterrupted poisoned run — an entry lost would un-quarantine a
+    // poison site, an entry duplicated would double-count it in the
+    // report and the snapshot.
+    let cfg = StudyConfig {
+        faults: Some(FaultProfile::poison()),
+        workers: Some(4),
+        queue_depth: 1,
+        ..config(4)
+    };
+    let baseline_study = Study::run(&cfg);
+    let baseline = snapshot_json(&baseline_study);
+    let expected_quarantined: usize = baseline_study
+        .reductions
+        .iter()
+        .filter_map(|r| r.quarantine.as_ref())
+        .map(|q| q.len())
+        .sum();
+    assert!(
+        expected_quarantined > 0,
+        "the poison profile must quarantine at least one of the 36 sites"
+    );
+    assert!(
+        baseline.contains("quarantine"),
+        "snapshot carries the table"
+    );
+
+    // The torn-write points kill the segment while (among everything
+    // else) its quarantine entries are mid-persist; the post-rename
+    // point covers "durable, then die" so a resume must not re-append.
+    for point in [
+        KillPoint::MidSegment,
+        KillPoint::PreRename,
+        KillPoint::PostRename,
+    ] {
+        let tag = format!("quarantine-{point:?}");
+        let dir = tmpdir(&tag);
+        let kill = KillPlan {
+            era: 1,
+            shard: 1,
+            point,
+            seed: 0x9_A12A,
+        };
+        run_killed(&cfg, &dir, 3, kill);
+        let (study, _) = Study::run_checkpointed(&cfg, &CheckpointOptions::resume(&dir))
+            .unwrap_or_else(|e| panic!("[{tag}] resume failed: {e}"));
+        let recovered: usize = study
+            .reductions
+            .iter()
+            .filter_map(|r| r.quarantine.as_ref())
+            .map(|q| q.len())
+            .sum();
+        assert_eq!(
+            recovered, expected_quarantined,
+            "[{tag}] resume lost or duplicated quarantine entries"
+        );
+        assert_eq!(
+            snapshot_json(&study),
+            baseline,
+            "[{tag}] resumed poisoned snapshot must be byte-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }
 
 #[test]

@@ -1,0 +1,162 @@
+//! Seeded fuzz harness for the site-hazard oracle (`sockscope-faults`).
+//!
+//! The supervisor's quarantine determinism rests on [`HazardPlan`] being a
+//! pure function of `(seed, site_rank, profile)`: the same draw on every
+//! retry, on every worker, on every resume. These targets hammer the
+//! oracle with arbitrary seeds, ranks, and rate tables and pin the
+//! properties the supervision layer depends on: totality (never panics,
+//! even on saturated or degenerate rate tables), determinism, firing
+//! steps inside the window every crawl reaches, rate-bounded frequency,
+//! and coherence with [`FaultProfile::has_hazards`] — the predicate that
+//! decides whether a profile reaches the supervisor at all.
+//!
+//! Cases derive from the vendored proptest [`TestRng`]; a failing case
+//! number reproduces exactly. Per-target case count comes from
+//! `FUZZ_CASES` (default 2500).
+
+use proptest::test_runner::TestRng;
+use sockscope_faults::{FaultProfile, HazardPlan, SiteHazard};
+
+/// Per-target case count: `FUZZ_CASES` env or 2500.
+fn fuzz_cases() -> u64 {
+    std::env::var("FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2500)
+}
+
+/// Draws an arbitrary profile. Hazard rates each span 0..=1000‰ so their
+/// sum can saturate past 1000; deadlines/budgets/retries cover degenerate
+/// zeros and huge values.
+fn arbitrary_profile(rng: &mut TestRng) -> FaultProfile {
+    FaultProfile {
+        site_panic_pm: rng.below(1001) as u16,
+        site_hang_pm: rng.below(1001) as u16,
+        site_alloc_pm: rng.below(1001) as u16,
+        site_deadline: rng.next_u64() >> (rng.below(64) as u32),
+        site_alloc_budget: rng.next_u64() >> (rng.below(64) as u32),
+        site_retries: rng.below(8) as u32,
+        ..FaultProfile::none()
+    }
+}
+
+#[test]
+fn fuzz_hazard_decide_is_total_and_deterministic() {
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("hazard_total", case);
+        let seed = rng.next_u64();
+        let rank = rng.next_u64();
+        let profile = arbitrary_profile(&mut rng);
+        let plan = HazardPlan::new(seed, rank);
+        let a = plan.decide(&profile);
+        let b = HazardPlan::new(seed, rank).decide(&profile);
+        assert_eq!(a, b, "case {case}: decide must be a pure function");
+        if let Some(hazard) = a {
+            let (SiteHazard::PanicAt { step }
+            | SiteHazard::HangAt { step }
+            | SiteHazard::AllocBomb { step }) = hazard;
+            assert!(
+                step < 3,
+                "case {case}: firing step {step} outside the window every crawl reaches"
+            );
+            assert!(
+                matches!(hazard.kind(), "panic" | "hang" | "alloc_bomb"),
+                "case {case}: unknown quarantine taxonomy key"
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzz_hazard_rates_bound_the_draw() {
+    // For each profile, the observed hazard frequency over a block of
+    // ranks must track the cumulative per-mille rate: exact zero at 0‰,
+    // exact saturation at >= 1000‰, and within a generous band between.
+    let cases = fuzz_cases() / 25;
+    for case in 0..cases.max(40) {
+        let mut rng = TestRng::for_case("hazard_rates", case);
+        let seed = rng.next_u64();
+        let profile = arbitrary_profile(&mut rng);
+        let total_pm = (u64::from(profile.site_panic_pm)
+            + u64::from(profile.site_hang_pm)
+            + u64::from(profile.site_alloc_pm))
+        .min(1000);
+        const BLOCK: u64 = 2000;
+        let fired = (0..BLOCK)
+            .filter(|rank| HazardPlan::new(seed, *rank).decide(&profile).is_some())
+            .count() as u64;
+        if total_pm == 0 {
+            assert_eq!(fired, 0, "case {case}: zero rates must never fire");
+        } else if total_pm == 1000 {
+            assert_eq!(fired, BLOCK, "case {case}: saturated rates always fire");
+        } else {
+            let expected = BLOCK * total_pm / 1000;
+            let slack = BLOCK / 10 + 40;
+            assert!(
+                fired + slack >= expected && fired <= expected + slack,
+                "case {case}: {fired} fired, expected ~{expected} (rates {total_pm}\u{2030})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzz_has_hazards_gates_the_oracle() {
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("hazard_gate", case);
+        let seed = rng.next_u64();
+        let rank = rng.next_u64();
+        let profile = arbitrary_profile(&mut rng);
+        let hazardous =
+            profile.site_panic_pm > 0 || profile.site_hang_pm > 0 || profile.site_alloc_pm > 0;
+        assert_eq!(
+            profile.has_hazards(),
+            hazardous,
+            "case {case}: has_hazards must reflect exactly the three hazard rates"
+        );
+        if !hazardous {
+            assert_eq!(
+                HazardPlan::new(seed, rank).decide(&profile),
+                None,
+                "case {case}: a hazard-free profile must never draw a hazard"
+            );
+        }
+        // Transport rates must not leak into the hazard predicate: heavy()
+        // carries every transport fault and no hazards.
+        assert!(!FaultProfile::heavy().has_hazards());
+        assert!(FaultProfile::poison().has_hazards());
+    }
+}
+
+#[test]
+fn fuzz_hazard_draws_decorrelate_across_ranks_and_seeds() {
+    // Neighboring ranks (and neighboring seeds) must not share hazard
+    // fates systematically — a site being poisoned says nothing about
+    // rank+1. With the poison profile (~20% rate), agreement between the
+    // fate vectors of two distinct keys should stay far from 100%.
+    let profile = FaultProfile::poison();
+    let cases = fuzz_cases() / 50;
+    for case in 0..cases.max(20) {
+        let mut rng = TestRng::for_case("hazard_decorrelate", case);
+        let seed = rng.next_u64();
+        const BLOCK: u64 = 1000;
+        let profile = &profile;
+        let fate =
+            |s: u64, off: u64| (0..BLOCK).map(move |r| HazardPlan::new(s, r + off).decide(profile));
+        let same_rank_shifted = fate(seed, 0)
+            .zip(fate(seed, 1))
+            .filter(|(a, b)| a.is_some() == b.is_some())
+            .count();
+        let across_seeds = fate(seed, 0)
+            .zip(fate(seed ^ rng.next_u64().max(1), 0))
+            .filter(|(a, b)| a.is_some() == b.is_some())
+            .count();
+        // Independent ~20% draws agree ~68% of the time; require < 90%.
+        for (label, agree) in [("rank+1", same_rank_shifted), ("seed'", across_seeds)] {
+            assert!(
+                agree < (BLOCK as usize) * 9 / 10,
+                "case {case}: fate vectors vs {label} agree {agree}/{BLOCK}"
+            );
+        }
+    }
+}

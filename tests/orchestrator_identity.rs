@@ -140,6 +140,7 @@ fn adversarial_steal_and_backpressure_schedules_cannot_move_a_byte() {
             queue_depth: 1,
             in_flight: 2,
             chaos_seed: Some(chaos_seed),
+            supervised: true,
         };
         let mut reduction = sockscope_crawler::crawl_orchestrated(
             &era_web,
