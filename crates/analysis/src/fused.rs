@@ -27,6 +27,7 @@ use sockscope_crawler::{SiteFaults, SiteSink};
 use sockscope_filterlist::Engine;
 use sockscope_inclusion::{Node, NodeId, NodeKind, TreeBuilder};
 use sockscope_webmodel::SentItem;
+use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap};
 
 /// Eagerly classified WebSocket payload state for one socket node: exactly
@@ -159,7 +160,7 @@ impl VisitSink for FusedShard<'_> {
                     url,
                     status,
                     mime_type,
-                    body: Vec::new(),
+                    body: Cow::Borrowed(&[]),
                     sent_ground_truth,
                 });
             }
@@ -189,7 +190,7 @@ impl VisitSink for FusedShard<'_> {
                     .push(&CdpEvent::WebSocketHandshakeResponseReceived {
                         request_id,
                         status,
-                        response: Vec::new(),
+                        response: Cow::Borrowed(&[]),
                     });
             }
             CdpEvent::WebSocketFrameSent {

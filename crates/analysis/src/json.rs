@@ -1,0 +1,202 @@
+//! Zero-allocation JSON validation.
+//!
+//! [`is_valid`] answers the one question the received-payload classifier
+//! asks — *is this text one well-formed JSON document?* — without building
+//! a `serde_json::Value` tree. It is a pure scanner over the input bytes:
+//! no strings are unescaped into buffers, no arrays or maps materialize,
+//! so classifying a kilobyte of tracker telemetry costs zero heap
+//! allocations instead of one per JSON node.
+//!
+//! The grammar deliberately mirrors the vendored `serde_json` parser
+//! byte-for-byte, including its two departures from strict RFC 8259 —
+//! numbers are scanned permissively and then judged by `str::parse`
+//! (so `00` is accepted, `1.2.3` is not), and integer overflow is a parse
+//! error rather than a float fallback. Decision identity matters: the
+//! fused and batch classification paths both route through this check,
+//! and the pinned study snapshot depends on the exact accept set. The
+//! `agrees_with_serde_json_parse` differential in [`crate::pii`]'s tests
+//! races the two on handwritten edge cases plus seeded random documents.
+
+/// `true` if `text` is exactly one valid JSON document (leading/trailing
+/// ASCII whitespace allowed, nothing else).
+pub fn is_valid(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    if !scan_value(bytes, &mut pos) {
+        return false;
+    }
+    skip_ws(bytes, &mut pos);
+    pos == bytes.len()
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        *pos += 1;
+    }
+}
+
+fn scan_value(bytes: &[u8], pos: &mut usize) -> bool {
+    match bytes.get(*pos) {
+        None => false,
+        Some(b'n') => scan_keyword(bytes, pos, b"null"),
+        Some(b't') => scan_keyword(bytes, pos, b"true"),
+        Some(b'f') => scan_keyword(bytes, pos, b"false"),
+        Some(b'"') => scan_string(bytes, pos),
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return true;
+            }
+            loop {
+                skip_ws(bytes, pos);
+                if !scan_value(bytes, pos) {
+                    return false;
+                }
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return true;
+                    }
+                    _ => return false,
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return true;
+            }
+            loop {
+                skip_ws(bytes, pos);
+                if !scan_string(bytes, pos) {
+                    return false;
+                }
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return false;
+                }
+                *pos += 1;
+                skip_ws(bytes, pos);
+                if !scan_value(bytes, pos) {
+                    return false;
+                }
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return true;
+                    }
+                    _ => return false,
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => scan_number(bytes, pos),
+        Some(_) => false,
+    }
+}
+
+fn scan_keyword(bytes: &[u8], pos: &mut usize, word: &[u8]) -> bool {
+    if bytes[*pos..].starts_with(word) {
+        *pos += word.len();
+        true
+    } else {
+        false
+    }
+}
+
+/// Permissive scan, then judge the scanned slice exactly the way the tree
+/// parser does: floats via `f64::parse`, signed/unsigned integers via
+/// `i64`/`u64` (overflow is an error, not a float).
+fn scan_number(bytes: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    if !matches!(bytes.get(*pos), Some(c) if c.is_ascii_digit()) {
+        return false;
+    }
+    let mut is_float = false;
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let slice = std::str::from_utf8(&bytes[start..*pos]).expect("numeric bytes are ascii");
+    if is_float {
+        slice.parse::<f64>().is_ok()
+    } else if slice.starts_with('-') {
+        slice.parse::<i64>().is_ok()
+    } else {
+        slice.parse::<u64>().is_ok()
+    }
+}
+
+fn scan_string(bytes: &[u8], pos: &mut usize) -> bool {
+    if bytes.get(*pos) != Some(&b'"') {
+        return false;
+    }
+    *pos += 1;
+    loop {
+        match bytes.get(*pos) {
+            None => return false,
+            Some(b'"') => {
+                *pos += 1;
+                return true;
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'n' | b'r' | b't' | b'b' | b'f') => {}
+                    Some(b'u') => {
+                        let Some(hi) = scan_hex4(bytes, *pos + 1) else {
+                            return false;
+                        };
+                        *pos += 4;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: a \uXXXX low half must follow.
+                            if bytes.get(*pos + 1) == Some(&b'\\')
+                                && bytes.get(*pos + 2) == Some(&b'u')
+                            {
+                                let Some(lo) = scan_hex4(bytes, *pos + 3) else {
+                                    return false;
+                                };
+                                *pos += 6;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                return false;
+                            }
+                        } else {
+                            hi
+                        };
+                        if char::from_u32(code).is_none() {
+                            return false;
+                        }
+                    }
+                    _ => return false,
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => return false,
+            Some(_) => *pos += 1,
+        }
+    }
+}
+
+fn scan_hex4(bytes: &[u8], at: usize) -> Option<u32> {
+    let slice = bytes.get(at..at + 4)?;
+    let text = std::str::from_utf8(slice).ok()?;
+    u32::from_str_radix(text, 16).ok()
+}

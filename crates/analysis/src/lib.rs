@@ -32,6 +32,7 @@ pub mod checkpoint;
 pub mod churn;
 pub mod figures;
 pub mod fused;
+pub mod json;
 pub mod pii;
 pub mod reduce;
 pub mod snapshot;

@@ -8,6 +8,7 @@
 //! lists never reach this code path (they exist only so tests can verify
 //! the classifier).
 
+use crate::json;
 use serde::{Deserialize, Serialize};
 use sockscope_redlite::{DfaStats, Regex, RegexSet};
 use sockscope_webmodel::SentItem;
@@ -226,8 +227,11 @@ impl PiiLibrary {
                 if self.html.is_match(text) {
                     Some(ReceivedClass::Html)
                 } else if trimmed.starts_with('{') || trimmed.starts_with('[') {
-                    // Must actually parse — "{oops" is not JSON.
-                    if serde_json::from_str::<serde_json::Value>(trimmed).is_ok() {
+                    // Must actually validate — "{oops" is not JSON. The
+                    // zero-alloc scanner replaces a full
+                    // `serde_json::Value` parse here; a unit differential
+                    // pins the two to the same accept set.
+                    if json::is_valid(trimmed) {
                         Some(ReceivedClass::Json)
                     } else if self.javascript.is_match(text) {
                         Some(ReceivedClass::JavaScript)
@@ -455,6 +459,104 @@ mod tests {
                 lib.classify_sent_text(text),
                 lib.classify_sent_text_reference(text),
                 "one-pass vs reference diverged on {text:?}"
+            );
+        }
+    }
+
+    /// The zero-alloc validator must accept exactly the documents the
+    /// vendored `serde_json` parser accepts — including its quirks
+    /// (permissive number scan judged by `str::parse`, integer overflow as
+    /// an error, signed `\u` hex via `from_str_radix`).
+    #[test]
+    fn json_validator_agrees_with_serde_json_parse() {
+        let edge_cases: &[&str] = &[
+            "{}",
+            "[]",
+            "null",
+            " {\"a\": [1, 2.5, -3, true, null]} ",
+            "{\"nested\": {\"deep\": [{}, [\"s\"]]}}",
+            "{oops",
+            "{x: 1}",
+            "[1, 2,]",
+            "{} trailing",
+            "{\"a\":}",
+            "[,]",
+            "00",
+            "-00",
+            "01.5",
+            "1.2.3",
+            "1e5",
+            "1e",
+            "1-2",
+            "18446744073709551615",
+            "18446744073709551616",
+            "-9223372036854775808",
+            "-9223372036854775809",
+            "\"\\u0041\"",
+            "\"\\u+041\"",
+            "\"\\ud83d\\ude00\"",
+            "\"\\ud83d\"",
+            "\"\\udc00\"",
+            "\"\\q\"",
+            "\"unterminated",
+            "\"ctrl\u{1}char\"",
+            "\"naïve ☃\"",
+            "[\"k\\\"ey\\\\\"]",
+            "tru",
+            "truex",
+            "[nullx]",
+            "",
+            "   ",
+            "{\"a\" : 1 , \"b\" : 2}",
+        ];
+        for text in edge_cases {
+            assert_eq!(
+                json::is_valid(text),
+                serde_json::from_str::<serde_json::Value>(text).is_ok(),
+                "validator vs parser diverged on {text:?}"
+            );
+        }
+        // Seeded random JSON-ish soup: mutate valid documents and splice
+        // fragments so both accept and reject paths are exercised.
+        let mut seed = 0x5EED_1E57_u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        const FRAGMENTS: &[&str] = &[
+            "{",
+            "}",
+            "[",
+            "]",
+            ",",
+            ":",
+            "\"a\"",
+            "1",
+            "-",
+            "2.5",
+            "null",
+            "true",
+            "false",
+            " ",
+            "\\u0041",
+            "\"",
+            "\\",
+            "e5",
+            "{\"k\":1}",
+            "[0]",
+        ];
+        for _ in 0..4000 {
+            let n = 1 + (next() as usize % 8);
+            let mut text = String::new();
+            for _ in 0..n {
+                text.push_str(FRAGMENTS[next() as usize % FRAGMENTS.len()]);
+            }
+            assert_eq!(
+                json::is_valid(&text),
+                serde_json::from_str::<serde_json::Value>(&text).is_ok(),
+                "validator vs parser diverged on {text:?}"
             );
         }
     }

@@ -501,15 +501,30 @@ impl CrawlReduction {
             match node.kind {
                 NodeKind::Script | NodeKind::Image | NodeKind::Xhr => {
                     // Labeling observation (§3.2): tag by the rule lists.
-                    let host = node.host.to_ascii_lowercase();
-                    if host.is_empty() {
+                    if node.host.is_empty() {
                         continue;
                     }
+                    // Hosts come out of the URL parser already lower-cased;
+                    // only allocate for the (never-in-practice) exception.
+                    let host: std::borrow::Cow<'_, str> =
+                        if node.host.bytes().any(|b| b.is_ascii_uppercase()) {
+                            node.host.to_ascii_lowercase().into()
+                        } else {
+                            node.host.as_str().into()
+                        };
                     // Keyed by FULL hostname: the study's Cloudfront
                     // overrides (§3.2) act on fully-qualified CDN hosts, so
                     // aggregation to 2nd-level domains must happen in the
                     // labeler, where the override table lives.
-                    let entry = self.label_counts.entry(host.clone()).or_insert((0, 0));
+                    // `get_mut` first so the steady state (host already
+                    // seen) touches the map without cloning the key.
+                    let entry = match self.label_counts.get_mut(host.as_ref()) {
+                        Some(e) => e,
+                        None => self
+                            .label_counts
+                            .entry(host.clone().into_owned())
+                            .or_insert((0, 0)),
+                    };
                     if node_blocked[i] {
                         entry.0 += 1;
                     } else {
@@ -518,7 +533,10 @@ impl CrawlReduction {
 
                     // HTTP aggregates (keyed by the *full host* via its
                     // SLD; CDN reattribution happens at query time).
-                    let agg = self.http.entry(host).or_default();
+                    let agg = match self.http.get_mut(host.as_ref()) {
+                        Some(a) => a,
+                        None => self.http.entry(host.into_owned()).or_default(),
+                    };
                     agg.total += 1;
                     // Sent items: recovered from the URL text (query
                     // strings carry the tracking payloads in this model),
@@ -733,12 +751,12 @@ mod tests {
             },
             WebSocketWillSendHandshakeRequest {
                 request_id: RequestId(2),
-                request: b"GET /socket HTTP/1.1\r\nHost: ws.zopim.com\r\nUser-Agent: Mozilla/5.0 Chrome/57\r\n\r\n".to_vec(),
+                request: b"GET /socket HTTP/1.1\r\nHost: ws.zopim.com\r\nUser-Agent: Mozilla/5.0 Chrome/57\r\n\r\n".to_vec().into(),
             },
             WebSocketHandshakeResponseReceived {
                 request_id: RequestId(2),
                 status: 101,
-                response: b"HTTP/1.1 101 Switching Protocols\r\n\r\n".to_vec(),
+                response: b"HTTP/1.1 101 Switching Protocols\r\n\r\n".to_vec().into(),
             },
             WebSocketFrameSent {
                 request_id: RequestId(2),

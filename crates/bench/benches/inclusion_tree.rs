@@ -8,7 +8,7 @@ use sockscope_inclusion::InclusionTree;
 
 /// Builds a synthetic event stream: `chains` scripts each including a
 /// sub-script, an image, and a WebSocket with a couple of frames.
-fn event_stream(chains: u64) -> Vec<CdpEvent> {
+fn event_stream(chains: u64) -> Vec<CdpEvent<'static>> {
     let mut events = Vec::new();
     let mut rid = 0u64;
     for i in 0..chains {
@@ -16,20 +16,20 @@ fn event_stream(chains: u64) -> Vec<CdpEvent> {
         let child = ScriptId(i * 2 + 2);
         events.push(CdpEvent::ScriptParsed {
             script_id: parent,
-            url: format!("http://tag-{i}.example/tag.js"),
+            url: format!("http://tag-{i}.example/tag.js").into(),
             frame_id: FrameId(0),
             initiator: Initiator::Parser(FrameId(0)),
         });
         events.push(CdpEvent::ScriptParsed {
             script_id: child,
-            url: format!("http://tag-{i}.example/inner.js"),
+            url: format!("http://tag-{i}.example/inner.js").into(),
             frame_id: FrameId(0),
             initiator: Initiator::Script(parent),
         });
         rid += 1;
         events.push(CdpEvent::RequestWillBeSent {
             request_id: RequestId(rid),
-            url: format!("http://tag-{i}.example/pixel0.gif?cookie=uid%3D{i}"),
+            url: format!("http://tag-{i}.example/pixel0.gif?cookie=uid%3D{i}").into(),
             resource_type: ResourceKind::Image,
             initiator: Initiator::Script(child),
             frame_id: FrameId(0),
@@ -37,13 +37,13 @@ fn event_stream(chains: u64) -> Vec<CdpEvent> {
         rid += 1;
         events.push(CdpEvent::WebSocketCreated {
             request_id: RequestId(rid),
-            url: format!("wss://rt-{i}.example/socket"),
+            url: format!("wss://rt-{i}.example/socket").into(),
             initiator: Initiator::Script(child),
             frame_id: FrameId(0),
         });
         events.push(CdpEvent::WebSocketFrameSent {
             request_id: RequestId(rid),
-            payload: FramePayload::Text(format!("cookie=uid={i}&screen=1920x1080")),
+            payload: FramePayload::Text(format!("cookie=uid={i}&screen=1920x1080").into()),
         });
         events.push(CdpEvent::WebSocketFrameReceived {
             request_id: RequestId(rid),

@@ -50,6 +50,13 @@ struct StageReport {
     /// Net peak live bytes: the stage's own high-water mark.
     peak_bytes: u64,
     alloc_count: u64,
+    /// Cumulative bytes allocated during the stage — churn, not the peak.
+    total_bytes: u64,
+    /// Schema /5 derived column: `alloc_count / sites`. The arena work is
+    /// judged on this number, so the report carries it precomputed.
+    allocs_per_site: f64,
+    /// Schema /5 derived column: `total_bytes / sites`.
+    bytes_allocd_per_site: f64,
 }
 
 impl StageReport {
@@ -57,6 +64,20 @@ impl StageReport {
         self.seconds += other.seconds;
         self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
         self.alloc_count += other.alloc_count;
+        self.total_bytes += other.total_bytes;
+    }
+
+    fn from_stats(stats: StageStats) -> StageReport {
+        let mut out = StageReport::default();
+        out.absorb(stats);
+        out
+    }
+
+    /// Fills the per-site derived columns once the universe size is known.
+    fn derive(&mut self, sites: usize) {
+        let n = (sites as f64).max(1.0);
+        self.allocs_per_site = self.alloc_count as f64 / n;
+        self.bytes_allocd_per_site = self.total_bytes as f64 / n;
     }
 }
 
@@ -68,8 +89,16 @@ impl StageReport {
 /// Corpus sizes are recorded in the report, so a capped run is visible.
 const MAX_CORPUS: usize = 250_000;
 
-const SCHEMA: &str = "sockscope-bench-pipeline/4";
+const SCHEMA: &str = "sockscope-bench-pipeline/5";
 const DEFAULT_PATH: &str = "BENCH_pipeline.json";
+
+/// Schema /5 allocation-regression gate (`perf --check`): the fused
+/// pipeline must not exceed this many allocations per site across the
+/// four eras. Post-arena measurements sit near 27.1k/site (the pre-arena
+/// baseline was ~49.5k/site); the ceiling carries headroom for scale and
+/// machine variance but fails the check long before the old behaviour
+/// could sneak back in.
+const FUSED_ALLOCS_PER_SITE_CEILING: f64 = 32_000.0;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchReport {
@@ -79,10 +108,25 @@ struct BenchReport {
     seed_hex: String,
     stages: Stages,
     memory: Memory,
+    arena: ArenaReport,
     orchestrator: OrchestratorReport,
     supervision: Supervision,
     throughput: Throughput,
     matchers: Matchers,
+}
+
+/// Schema /5: process-wide bump-arena counters, read after every pipeline
+/// stage has run. `high_water_bytes` is the largest retained capacity of
+/// any single visit arena; `spills` counts chunk allocations beyond an
+/// arena's first (those go through the global allocator, so memmeter's
+/// budgets keep charging arena growth); `served_bytes` is the total the
+/// arenas handed out in place of individual heap allocations.
+#[derive(Debug, Serialize, Deserialize)]
+struct ArenaReport {
+    high_water_bytes: u64,
+    resets: u64,
+    spills: u64,
+    served_bytes: u64,
 }
 
 /// Schema /4: the supervised-execution section. A poisoned probe era
@@ -144,6 +188,11 @@ struct OrchestratorReport {
     headline_peak_bytes: u64,
     /// `headline_sites / headline_seconds`.
     headline_sites_per_s: f64,
+    /// Crawl workers the headline run itself used (schema /5). The
+    /// headline runs under its own environment, so the differential row's
+    /// `workers` says nothing about it; 0 means the headline predates
+    /// this field and its worker count is unrecorded.
+    headline_workers: usize,
 }
 
 /// The headline memory comparison.
@@ -510,28 +559,49 @@ fn run() {
 
     let dfa = lib.cache_stats();
     let index = study.engine.index_stats();
+    let arena = sockscope_arena::stats();
+    eprintln!(
+        "[sockscope] arena: high-water {} B, {} resets, {} spills, {:.1} MiB served",
+        arena.high_water_bytes,
+        arena.resets,
+        arena.spills,
+        arena.served_bytes as f64 / (1024.0 * 1024.0)
+    );
+    let mut stages = Stages {
+        universe: StageReport::from_stats(universe),
+        filters: StageReport::from_stats(filters),
+        orchestrated_pipeline,
+        fused_pipeline,
+        reference_crawl,
+        reference_reduction,
+    };
+    for stage in [
+        &mut stages.universe,
+        &mut stages.filters,
+        &mut stages.orchestrated_pipeline,
+        &mut stages.fused_pipeline,
+        &mut stages.reference_crawl,
+        &mut stages.reference_reduction,
+    ] {
+        stage.derive(config.n_sites);
+    }
+    eprintln!(
+        "[sockscope] fused pipeline allocation pressure: {:.0} allocs/site, {:.0} B/site",
+        stages.fused_pipeline.allocs_per_site, stages.fused_pipeline.bytes_allocd_per_site
+    );
     let report = BenchReport {
         schema: SCHEMA.to_string(),
         sites: config.n_sites,
         threads: config.threads,
         seed_hex: format!("{:#x}", config.seed),
-        stages: Stages {
-            universe: StageReport {
-                seconds: universe.seconds,
-                peak_bytes: universe.peak_bytes,
-                alloc_count: universe.alloc_count,
-            },
-            filters: StageReport {
-                seconds: filters.seconds,
-                peak_bytes: filters.peak_bytes,
-                alloc_count: filters.alloc_count,
-            },
-            orchestrated_pipeline,
-            fused_pipeline,
-            reference_crawl,
-            reference_reduction,
-        },
+        stages,
         memory,
+        arena: ArenaReport {
+            high_water_bytes: arena.high_water_bytes,
+            resets: arena.resets,
+            spills: arena.spills,
+            served_bytes: arena.served_bytes,
+        },
         orchestrator: OrchestratorReport {
             workers: orch.workers,
             queue_depth: orch.queue_depth,
@@ -540,6 +610,7 @@ fn run() {
             headline_seconds: 0.0,
             headline_peak_bytes: 0,
             headline_sites_per_s: 0.0,
+            headline_workers: 0,
         },
         supervision,
         throughput: Throughput {
@@ -707,8 +778,13 @@ fn measure_supervision(
 
 /// Carries the headline row of an existing `BENCH_pipeline.json` into a
 /// freshly measured report: the headline runs at a scale (the README
-/// quotes `SOCKSCOPE_SITES=1000000`) nobody re-runs for a schema bump, and
-/// its `orchestrator` sub-object has kept its shape across schema /3 → /4.
+/// quotes `SOCKSCOPE_SITES=1000000`) nobody re-runs for a schema bump.
+///
+/// Fields are read one by one rather than through
+/// `OrchestratorReport::from_value` so the carry survives schema bumps in
+/// either direction — an older artifact that predates `headline_workers`
+/// (added in /5) still carries, with the unknown worker count recorded
+/// honestly as 0 rather than borrowed from the differential row.
 fn carry_headline(report: &mut BenchReport) {
     let Ok(old) = std::fs::read_to_string(DEFAULT_PATH) else {
         return;
@@ -716,21 +792,26 @@ fn carry_headline(report: &mut BenchReport) {
     let Ok(value) = serde_json::from_str::<serde::Value>(&old) else {
         return;
     };
-    let Some(old_orch) = value
-        .get("orchestrator")
-        .and_then(|v| OrchestratorReport::from_value(v).ok())
-    else {
+    let Some(orch) = value.get("orchestrator") else {
         return;
     };
-    if old_orch.headline_sites > 0 {
-        eprintln!(
-            "[sockscope] carrying headline row forward: {} sites, {:.1}s",
-            old_orch.headline_sites, old_orch.headline_seconds
-        );
-        report.orchestrator.headline_sites = old_orch.headline_sites;
-        report.orchestrator.headline_seconds = old_orch.headline_seconds;
-        report.orchestrator.headline_peak_bytes = old_orch.headline_peak_bytes;
-        report.orchestrator.headline_sites_per_s = old_orch.headline_sites_per_s;
+    let get_u64 = |key: &str| orch.get(key).and_then(serde::Value::as_u64);
+    let get_f64 = |key: &str| orch.get(key).and_then(serde::Value::as_f64);
+    let (Some(sites), Some(seconds), Some(peak), Some(rate)) = (
+        get_u64("headline_sites"),
+        get_f64("headline_seconds"),
+        get_u64("headline_peak_bytes"),
+        get_f64("headline_sites_per_s"),
+    ) else {
+        return;
+    };
+    if sites > 0 {
+        eprintln!("[sockscope] carrying headline row forward: {sites} sites, {seconds:.1}s");
+        report.orchestrator.headline_sites = sites as usize;
+        report.orchestrator.headline_seconds = seconds;
+        report.orchestrator.headline_peak_bytes = peak;
+        report.orchestrator.headline_sites_per_s = rate;
+        report.orchestrator.headline_workers = get_u64("headline_workers").unwrap_or(0) as usize;
     }
 }
 
@@ -784,6 +865,10 @@ fn headline(path: &str) {
     report.orchestrator.headline_seconds = stats.seconds;
     report.orchestrator.headline_peak_bytes = stats.peak_bytes;
     report.orchestrator.headline_sites_per_s = config.n_sites as f64 / stats.seconds.max(1e-9);
+    // Record the workers THIS run used: the headline runs under its own
+    // environment, and the differential row's `workers` must not be
+    // mistaken for it.
+    report.orchestrator.headline_workers = orch.workers;
 
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(path, &json).expect("rewrite report");
@@ -825,7 +910,40 @@ fn check(path: &str) {
         );
         assert!(s.alloc_count > 0, "{name}.alloc_count must be nonzero");
         assert!(s.peak_bytes > 0, "{name}.peak_bytes must be nonzero");
+        assert!(s.total_bytes > 0, "{name}.total_bytes must be nonzero");
+        // Derived columns must agree with their inputs (schema /5).
+        let allocs = s.alloc_count as f64 / report.sites as f64;
+        let bytes = s.total_bytes as f64 / report.sites as f64;
+        assert!(
+            (s.allocs_per_site - allocs).abs() < 1.0,
+            "{name}.allocs_per_site inconsistent: {} vs {allocs}",
+            s.allocs_per_site
+        );
+        assert!(
+            (s.bytes_allocd_per_site - bytes).abs() < 1.0,
+            "{name}.bytes_allocd_per_site inconsistent: {} vs {bytes}",
+            s.bytes_allocd_per_site
+        );
     }
+    // Allocation-regression gate: the arena work cut the fused pipeline
+    // to ~27k allocations/site; fail loudly if the count creeps back up.
+    assert!(
+        report.stages.fused_pipeline.allocs_per_site <= FUSED_ALLOCS_PER_SITE_CEILING,
+        "fused_pipeline allocation regression: {:.0} allocs/site exceeds the {} ceiling",
+        report.stages.fused_pipeline.allocs_per_site,
+        FUSED_ALLOCS_PER_SITE_CEILING
+    );
+    // Arena section (schema /5): the pipeline runs arena-backed visits,
+    // so the counters cannot be flat.
+    assert!(
+        report.arena.high_water_bytes > 0,
+        "arena.high_water_bytes must be nonzero"
+    );
+    assert!(report.arena.resets > 0, "arena.resets must be nonzero");
+    assert!(
+        report.arena.served_bytes > 0,
+        "arena.served_bytes must be nonzero"
+    );
     assert!(
         report.memory.fused_peak_bytes > 0 && report.memory.reference_peak_bytes > 0,
         "memory peaks must be nonzero"
@@ -902,6 +1020,14 @@ fn check(path: &str) {
         assert!(
             report.orchestrator.headline_peak_bytes > 0,
             "headline row present but peak memory is zero"
+        );
+        // `headline_workers` is 0 only for rows carried from pre-/5
+        // artifacts, whose worker count was never recorded; a row written
+        // by this binary always knows it.
+        assert!(
+            report.orchestrator.headline_workers <= 4096,
+            "headline_workers implausible: {}",
+            report.orchestrator.headline_workers
         );
     }
     println!("perf --check: {path} OK");

@@ -1,18 +1,34 @@
 //! The headless-browser simulator: page loading, script execution, CDP
 //! event emission.
+//!
+//! The visit hot path is arena-backed: every transient buffer a visit
+//! produces — document HTML, rendered XHR bodies, query-string URLs,
+//! ground-truth slices — is bump-allocated from a per-browser
+//! [`Arena`] that is reset at the start of each visit, and events borrow
+//! from it ([`CdpEvent`]'s `Cow` fields). Sinks that outlive the call copy
+//! out via [`CdpEvent::into_owned`]; the streaming pipeline never does.
 
 use crate::cookies::CookieJar;
 use crate::events::{
-    CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId, VisitSink,
+    CdpEvent, CdpEventOwned, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId,
+    VisitSink,
 };
 use crate::network::{self, Direction};
 use crate::webrequest::{ExtensionHost, RequestDetails};
+use sockscope_arena::Arena;
 use sockscope_faults::{FaultContext, FaultDecision};
+#[cfg(debug_assertions)]
 use sockscope_httpwire as httpwire;
 use sockscope_urlkit::Url;
-use sockscope_webmodel::{
-    payload::Payload, Action, Page, ScriptRef, SentItem, ValueContext, WebHost,
-};
+use sockscope_webmodel::{Action, Page, ScriptRef, SentItem, ValueContext, WebHost};
+use std::borrow::Cow;
+use std::cell::RefCell;
+
+/// Ground truth for requests that only leak the User-Agent header.
+const GROUND_UA: &[SentItem] = &[SentItem::UserAgent];
+
+/// The 12-byte PNG stub every simulated image response carries.
+const PNG_STUB: &[u8] = &[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A, 0, 0, 0, 0];
 
 /// Browser configuration.
 #[derive(Debug, Clone)]
@@ -82,8 +98,8 @@ pub struct FaultLog {
 pub struct Visit {
     /// The visited page.
     pub page_url: Url,
-    /// Instrumentation events in emission order.
-    pub events: Vec<CdpEvent>,
+    /// Instrumentation events in emission order, detached from the arena.
+    pub events: Vec<CdpEventOwned>,
     /// Requests cancelled by extensions (URL, kind).
     pub blocked: Vec<(String, ResourceKind)>,
     /// Same-site links found on the page (crawl frontier input, §3.3).
@@ -123,6 +139,11 @@ pub struct Browser<'h> {
     host: &'h dyn WebHost,
     extensions: ExtensionHost,
     config: BrowserConfig,
+    /// Per-visit bump arena. Reset at the *start* of every visit, so an
+    /// unwinding sink (supervision guard breach) leaves only garbage that
+    /// the next visit clears before emitting anything; the `RefCell` guard
+    /// drops during unwind and is never poisoned.
+    arena: RefCell<Arena>,
 }
 
 impl<'h> Browser<'h> {
@@ -133,12 +154,20 @@ impl<'h> Browser<'h> {
             host,
             extensions,
             config,
+            arena: RefCell::new(Arena::new()),
         }
     }
 
     /// The extension host in use.
     pub fn extensions(&self) -> &ExtensionHost {
         &self.extensions
+    }
+
+    /// Current visit-arena capacity in bytes — the browser's visit-to-visit
+    /// high-water mark. Exposed so tests outside this crate can assert that
+    /// reset-and-reuse stabilizes instead of growing without bound.
+    pub fn arena_capacity(&self) -> usize {
+        self.arena.borrow().capacity()
     }
 
     /// Visits a page: loads it, executes every script behaviour, and
@@ -160,7 +189,7 @@ impl<'h> Browser<'h> {
         url: &str,
         faults: Option<&FaultContext>,
     ) -> Result<Visit, VisitError> {
-        let mut events: Vec<CdpEvent> = Vec::new();
+        let mut events: Vec<CdpEventOwned> = Vec::new();
         let summary = self.visit_streamed(url, faults, &mut events)?;
         Ok(Visit {
             page_url: summary.page_url,
@@ -175,11 +204,14 @@ impl<'h> Browser<'h> {
     /// event is pushed into `sink` the moment it is emitted instead of
     /// being buffered, and only the [`VisitSummary`] is returned.
     ///
-    /// Event identity: collecting into a `Vec<CdpEvent>` sink reproduces
-    /// `Visit::events` exactly — `visit_with_faults` is implemented that
-    /// way. Error contract: every [`VisitError`] is decided *before* the
-    /// first event is emitted, so a sink receives no events at all for a
-    /// visit that returns `Err`.
+    /// Event identity: collecting into a `Vec<CdpEventOwned>` sink
+    /// reproduces `Visit::events` exactly — `visit_with_faults` is
+    /// implemented that way. Error contract: every [`VisitError`] is
+    /// decided *before* the first event is emitted, so a sink receives no
+    /// events at all for a visit that returns `Err`.
+    ///
+    /// Events borrow from the visit arena and are valid only for the
+    /// duration of each `on_event` call (see [`VisitSink`]).
     pub fn visit_streamed(
         &self,
         url: &str,
@@ -200,13 +232,20 @@ impl<'h> Browser<'h> {
             }
         }
 
+        // Reset-then-borrow: all per-visit chunks are recycled here, before
+        // any allocation, so every `&'ar` handed out below is fresh.
+        self.arena.borrow_mut().reset();
+        let arena = self.arena.borrow();
+
         let mut state = VisitState {
             browser: self,
             page_url: page_url.clone(),
             sink,
+            arena: &arena,
             blocked: Vec::new(),
             jar: CookieJar::new(),
             ctx: ValueContext::deterministic(self.config.seed ^ fnv1a(url)),
+            scratch_query: String::new(),
             next_request: 0,
             next_script: 0,
             next_frame: 1,
@@ -216,31 +255,32 @@ impl<'h> Browser<'h> {
             ws_ordinal: 0,
             fetch_ordinal: 0,
         };
-        // Session-replay payloads upload the page DOM.
-        state.ctx.dom_html = page.dom().to_html();
+        // Session-replay payloads upload the page DOM; the document response
+        // body below borrows the same serialization.
+        page.write_html(&mut state.ctx.dom_html);
 
         let main_frame = FrameId(0);
         state.sink.on_event(CdpEvent::FrameNavigated {
             frame_id: main_frame,
             parent_frame_id: None,
-            url: url.to_string(),
+            url: Cow::Borrowed(url),
         });
         // The document request itself.
         let rid = state.next_request_id();
         state.sink.on_event(CdpEvent::RequestWillBeSent {
             request_id: rid,
-            url: url.to_string(),
+            url: Cow::Borrowed(url),
             resource_type: ResourceKind::Document,
             initiator: Initiator::Parser(main_frame),
             frame_id: main_frame,
         });
         state.sink.on_event(CdpEvent::ResponseReceived {
             request_id: rid,
-            url: url.to_string(),
+            url: Cow::Borrowed(url),
             status: 200,
-            mime_type: "text/html".to_string(),
-            body: page.dom().to_html().into_bytes(),
-            sent_ground_truth: vec![SentItem::UserAgent],
+            mime_type: Cow::Borrowed("text/html"),
+            body: Cow::Borrowed(state.ctx.dom_html.as_bytes()),
+            sent_ground_truth: Cow::Borrowed(GROUND_UA),
         });
 
         state.load_frame(&page, main_frame, 0);
@@ -264,13 +304,16 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
-struct VisitState<'b, 'h, 's> {
+struct VisitState<'b, 'h, 's, 'ar> {
     browser: &'b Browser<'h>,
     page_url: Url,
     sink: &'s mut dyn VisitSink,
+    arena: &'ar Arena,
     blocked: Vec<(String, ResourceKind)>,
     jar: CookieJar,
     ctx: ValueContext,
+    /// Reused buffer for query-string rendering (url_with_items).
+    scratch_query: String,
     next_request: u64,
     next_script: u64,
     next_frame: u64,
@@ -281,7 +324,7 @@ struct VisitState<'b, 'h, 's> {
     fetch_ordinal: u64,
 }
 
-impl VisitState<'_, '_, '_> {
+impl<'ar> VisitState<'_, '_, '_, 'ar> {
     fn next_request_id(&mut self) -> RequestId {
         self.next_request += 1;
         RequestId(self.next_request)
@@ -298,22 +341,42 @@ impl VisitState<'_, '_, '_> {
         id
     }
 
-    /// Materializes an HTTP exchange on the wire: serializes a real
+    /// Materializes an HTTP exchange. Debug builds serialize a real
     /// HTTP/1.1 request (Host/UA/Cookie headers) and response
-    /// (Content-Length or chunked framing, picked deterministically), then
-    /// parses the response back. The body handed to the CDP event has
-    /// therefore crossed the `sockscope-httpwire` codec, mirroring how
-    /// WebSocket payloads cross `sockscope-wsproto`.
-    fn http_exchange(&mut self, url: &Url, mime: &str, body: Vec<u8>) -> Vec<u8> {
+    /// (Content-Length or chunked framing, picked deterministically), parse
+    /// them back, and assert the body crossed the `sockscope-httpwire`
+    /// codec unchanged — mirroring how WebSocket payloads cross
+    /// `sockscope-wsproto`. Release builds advance the framing seed
+    /// identically (so every downstream random draw matches) and hand the
+    /// body straight to the arena: the wire round-trip is a pure identity
+    /// that debug CI pins on every run.
+    fn http_exchange(&mut self, url: &Url, mime: &str, body: &[u8]) -> &'ar [u8] {
+        // Deterministic framing choice: ~30% of tracker responses ride
+        // chunked transfer encoding.
+        self.ws_seed = self
+            .ws_seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1);
+        #[cfg(debug_assertions)]
+        self.wire_identity_check(url, mime, body);
+        #[cfg(not(debug_assertions))]
+        let _ = (url, mime);
+        self.arena.alloc_bytes(body)
+    }
+
+    /// The full wire round-trip `http_exchange` elides in release builds,
+    /// asserting it is the identity on the body.
+    #[cfg(debug_assertions)]
+    fn wire_identity_check(&self, url: &Url, mime: &str, body: &[u8]) {
         let mut target = url.path().to_string();
         if let Some(q) = url.query() {
             target.push('?');
             target.push_str(q);
         }
-        let mut request = httpwire::Request::get(&url.host_str(), &target)
+        let mut request = httpwire::Request::get(url.host_str(), &target)
             .with_header("User-Agent", &self.browser.config.user_agent)
             .with_header("Accept", "*/*");
-        if let Some(cookie) = self.jar.header_for(&url.host_str()) {
+        if let Some(cookie) = self.jar.header_for(url.host_str()) {
             request = request.with_header("Cookie", &cookie);
         }
         let wire_request = request.to_bytes();
@@ -321,22 +384,18 @@ impl VisitState<'_, '_, '_> {
             httpwire::Request::parse(&wire_request).is_ok(),
             "browser must emit parseable requests"
         );
-        let response = httpwire::Response::ok(mime, body);
-        // Deterministic framing choice: ~30% of tracker responses ride
-        // chunked transfer encoding.
-        self.ws_seed = self
-            .ws_seed
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1);
+        let response = httpwire::Response::ok(mime, body.to_vec());
         let wire = if self.ws_seed >> 33 & 0xF < 5 {
             let chunk = 64 + (self.ws_seed >> 40 & 0x3F) as usize;
             response.to_chunked_bytes(chunk)
         } else {
             response.to_bytes()
         };
-        httpwire::Response::parse(&wire)
-            .expect("browser-generated responses reparse")
-            .body
+        let parsed = httpwire::Response::parse(&wire).expect("browser-generated responses reparse");
+        assert_eq!(
+            parsed.body, body,
+            "HTTP bodies must cross the wire codec unchanged"
+        );
     }
 
     /// Consults the fault oracle for an HTTP subresource fetch. Returns the
@@ -379,12 +438,13 @@ impl VisitState<'_, '_, '_> {
         if self.browser.extensions.allow_request(&details) {
             true
         } else {
+            let text = url.to_string();
             self.sink.on_event(CdpEvent::RequestBlockedByExtension {
-                url: url.to_string(),
+                url: Cow::Borrowed(&text),
                 resource_type: kind,
                 initiator,
             });
-            self.blocked.push((url.to_string(), kind));
+            self.blocked.push((text, kind));
             false
         }
     }
@@ -425,7 +485,7 @@ impl VisitState<'_, '_, '_> {
                 let rid = self.next_request_id();
                 self.sink.on_event(CdpEvent::RequestWillBeSent {
                     request_id: rid,
-                    url: url_text.clone(),
+                    url: Cow::Borrowed(url_text),
                     resource_type: ResourceKind::Script,
                     initiator,
                     frame_id: frame,
@@ -434,25 +494,25 @@ impl VisitState<'_, '_, '_> {
                 let status = if behaviour.is_some() { 200 } else { 404 };
                 self.sink.on_event(CdpEvent::ResponseReceived {
                     request_id: rid,
-                    url: url_text.clone(),
+                    url: Cow::Borrowed(url_text),
                     status,
-                    mime_type: "application/javascript".to_string(),
-                    body: Vec::new(),
-                    sent_ground_truth: vec![SentItem::UserAgent],
+                    mime_type: Cow::Borrowed("application/javascript"),
+                    body: Cow::Borrowed(&[]),
+                    sent_ground_truth: Cow::Borrowed(GROUND_UA),
                 });
                 let Some(behaviour) = behaviour else { return };
                 // Third parties set cookies when their script is fetched —
                 // this is what later makes WS handshakes to them stateful.
                 let host = url.host_str();
                 self.jar.set(
-                    &host,
+                    host,
                     "uid",
-                    format!("{:016x}", fnv1a(&host) ^ self.browser.config.seed),
+                    format!("{:016x}", fnv1a(host) ^ self.browser.config.seed),
                 );
                 let sid = self.next_script_id();
                 self.sink.on_event(CdpEvent::ScriptParsed {
                     script_id: sid,
-                    url: url_text.clone(),
+                    url: Cow::Borrowed(url_text),
                     frame_id: frame,
                     initiator,
                 });
@@ -460,14 +520,16 @@ impl VisitState<'_, '_, '_> {
             }
             ScriptRef::Inline(behaviour) => {
                 let sid = self.next_script_id();
+                let url = self
+                    .arena
+                    .alloc_fmt(format_args!("{}#inline-{}", page.url, index));
                 self.sink.on_event(CdpEvent::ScriptParsed {
                     script_id: sid,
-                    url: format!("{}#inline-{}", page.url, index),
+                    url: Cow::Borrowed(url),
                     frame_id: frame,
                     initiator,
                 });
-                let behaviour = behaviour.clone();
-                self.execute(&behaviour, sid, frame, include_depth);
+                self.execute(behaviour, sid, frame, include_depth);
             }
         }
     }
@@ -486,8 +548,10 @@ impl VisitState<'_, '_, '_> {
                         continue;
                     }
                     let sref = ScriptRef::Remote(url.clone());
-                    // Dynamic includes: initiator is the running script.
-                    let page = Page::new(self.page_url.to_string(), "");
+                    // Dynamic includes are always remote, so the page
+                    // argument (only read for inline-script URLs) can be
+                    // the allocation-free empty page.
+                    let page = Page::default();
                     self.load_script(
                         &sref,
                         0,
@@ -502,7 +566,7 @@ impl VisitState<'_, '_, '_> {
                 }
                 Action::FetchXhr { url, sent, receive } => {
                     let full = self.url_with_items(url, sent);
-                    let Ok(parsed) = Url::parse(&full) else {
+                    let Ok(parsed) = Url::parse(full) else {
                         continue;
                     };
                     if !self.allowed(&parsed, ResourceKind::Xhr, Initiator::Script(sid)) {
@@ -511,36 +575,35 @@ impl VisitState<'_, '_, '_> {
                     let rid = self.next_request_id();
                     self.sink.on_event(CdpEvent::RequestWillBeSent {
                         request_id: rid,
-                        url: full.clone(),
+                        url: Cow::Borrowed(full),
                         resource_type: ResourceKind::Xhr,
                         initiator: Initiator::Script(sid),
                         frame_id: frame,
                     });
-                    if let Some(error_text) = self.fetch_fault(&full) {
+                    if let Some(error_text) = self.fetch_fault(full) {
                         self.sink.on_event(CdpEvent::LoadingFailed {
                             request_id: rid,
-                            url: full,
+                            url: Cow::Borrowed(full),
                             resource_type: ResourceKind::Xhr,
-                            error_text: error_text.to_string(),
+                            error_text: Cow::Borrowed(error_text),
                         });
                         continue;
                     }
-                    let rendered = self
-                        .ctx
-                        .render_received(receive, &parsed.host_str())
-                        .as_bytes()
-                        .to_vec();
+                    let host = parsed.host_str();
+                    let arena = self.arena;
+                    let ctx = &self.ctx;
+                    let rendered =
+                        arena.build_bytes(|b| ctx.render_received_into(receive, host, b));
                     let mime = guess_mime(receive);
-                    let body = self.http_exchange(&parsed, &mime, rendered);
-                    let mut ground = sent.clone();
-                    ground.push(SentItem::UserAgent);
+                    let body = self.http_exchange(&parsed, mime, rendered);
+                    let ground = arena.alloc_concat(sent, GROUND_UA);
                     self.sink.on_event(CdpEvent::ResponseReceived {
                         request_id: rid,
-                        url: full,
+                        url: Cow::Borrowed(full),
                         status: 200,
-                        mime_type: mime,
-                        body,
-                        sent_ground_truth: ground,
+                        mime_type: Cow::Borrowed(mime),
+                        body: Cow::Borrowed(body),
+                        sent_ground_truth: Cow::Borrowed(ground),
                     });
                 }
                 Action::OpenFrame { url } => {
@@ -557,7 +620,7 @@ impl VisitState<'_, '_, '_> {
 
     fn fetch_image(&mut self, url: &str, frame: FrameId, initiator: Initiator, sent: &[SentItem]) {
         let full = self.url_with_items(url, sent);
-        let Ok(parsed) = Url::parse(&full) else {
+        let Ok(parsed) = Url::parse(full) else {
             return;
         };
         if !self.allowed(&parsed, ResourceKind::Image, initiator) {
@@ -566,34 +629,29 @@ impl VisitState<'_, '_, '_> {
         let rid = self.next_request_id();
         self.sink.on_event(CdpEvent::RequestWillBeSent {
             request_id: rid,
-            url: full.clone(),
+            url: Cow::Borrowed(full),
             resource_type: ResourceKind::Image,
             initiator,
             frame_id: frame,
         });
-        if let Some(error_text) = self.fetch_fault(&full) {
+        if let Some(error_text) = self.fetch_fault(full) {
             self.sink.on_event(CdpEvent::LoadingFailed {
                 request_id: rid,
-                url: full,
+                url: Cow::Borrowed(full),
                 resource_type: ResourceKind::Image,
-                error_text: error_text.to_string(),
+                error_text: Cow::Borrowed(error_text),
             });
             return;
         }
-        let mut ground = sent.to_vec();
-        ground.push(SentItem::UserAgent);
-        let body = self.http_exchange(
-            &parsed,
-            "image/png",
-            vec![0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A, 0, 0, 0, 0],
-        );
+        let ground = self.arena.alloc_concat(sent, GROUND_UA);
+        let body = self.http_exchange(&parsed, "image/png", PNG_STUB);
         self.sink.on_event(CdpEvent::ResponseReceived {
             request_id: rid,
-            url: full,
+            url: Cow::Borrowed(full),
             status: 200,
-            mime_type: "image/png".to_string(),
-            body,
-            sent_ground_truth: ground,
+            mime_type: Cow::Borrowed("image/png"),
+            body: Cow::Borrowed(body),
+            sent_ground_truth: Cow::Borrowed(ground),
         });
     }
 
@@ -614,23 +672,24 @@ impl VisitState<'_, '_, '_> {
         let rid = self.next_request_id();
         self.sink.on_event(CdpEvent::RequestWillBeSent {
             request_id: rid,
-            url: url.to_string(),
+            url: Cow::Borrowed(url),
             resource_type: ResourceKind::Document,
             initiator,
             frame_id: frame,
         });
+        let html = self.arena.build_str(|s| page.write_html(s));
         self.sink.on_event(CdpEvent::ResponseReceived {
             request_id: rid,
-            url: url.to_string(),
+            url: Cow::Borrowed(url),
             status: 200,
-            mime_type: "text/html".to_string(),
-            body: page.dom().to_html().into_bytes(),
-            sent_ground_truth: vec![SentItem::UserAgent],
+            mime_type: Cow::Borrowed("text/html"),
+            body: Cow::Borrowed(html.as_bytes()),
+            sent_ground_truth: Cow::Borrowed(GROUND_UA),
         });
         self.sink.on_event(CdpEvent::FrameNavigated {
             frame_id: frame,
             parent_frame_id: Some(parent),
-            url: url.to_string(),
+            url: Cow::Borrowed(url),
         });
         self.load_frame(&page, frame, frame_depth + 1);
     }
@@ -657,7 +716,7 @@ impl VisitState<'_, '_, '_> {
             return;
         }
         self.ws_seed = self.ws_seed.wrapping_add(0x9E3779B97F4A7C15);
-        let cookie = self.jar.header_for(&parsed.host_str());
+        let cookie = self.jar.header_for(parsed.host_str());
         let decision = match &self.fault_ctx {
             Some(fc) => {
                 self.ws_ordinal += 1;
@@ -686,20 +745,20 @@ impl VisitState<'_, '_, '_> {
         let rid = self.next_request_id();
         self.sink.on_event(CdpEvent::WebSocketCreated {
             request_id: rid,
-            url: url.to_string(),
+            url: Cow::Borrowed(url),
             initiator,
             frame_id: frame,
         });
         self.sink
             .on_event(CdpEvent::WebSocketWillSendHandshakeRequest {
                 request_id: rid,
-                request: session.handshake_request.clone(),
+                request: Cow::Borrowed(&session.handshake_request),
             });
         self.sink
             .on_event(CdpEvent::WebSocketHandshakeResponseReceived {
                 request_id: rid,
                 status: session.status,
-                response: session.handshake_response.clone(),
+                response: Cow::Borrowed(&session.handshake_response),
             });
         for frame_rec in &session.frames {
             let payload = FramePayload::from_bytes(frame_rec.text, &frame_rec.payload);
@@ -734,7 +793,7 @@ impl VisitState<'_, '_, '_> {
             .fault_ctx
             .clone()
             .expect("faulted path requires a fault context");
-        let cookie = self.jar.header_for(&parsed.host_str());
+        let cookie = self.jar.header_for(parsed.host_str());
         let outcome = network::run_session_with_faults(
             parsed,
             &origin_of(&self.page_url),
@@ -755,7 +814,7 @@ impl VisitState<'_, '_, '_> {
         let rid = self.next_request_id();
         self.sink.on_event(CdpEvent::WebSocketCreated {
             request_id: rid,
-            url: url.to_string(),
+            url: Cow::Borrowed(url),
             initiator,
             frame_id: frame,
         });
@@ -763,7 +822,7 @@ impl VisitState<'_, '_, '_> {
             self.sink
                 .on_event(CdpEvent::WebSocketWillSendHandshakeRequest {
                     request_id: rid,
-                    request: outcome.handshake_request.clone(),
+                    request: Cow::Borrowed(&outcome.handshake_request),
                 });
         }
         if outcome.status != 0 {
@@ -771,7 +830,7 @@ impl VisitState<'_, '_, '_> {
                 .on_event(CdpEvent::WebSocketHandshakeResponseReceived {
                     request_id: rid,
                     status: outcome.status,
-                    response: outcome.handshake_response.clone(),
+                    response: Cow::Borrowed(&outcome.handshake_response),
                 });
         }
         for frame_rec in &outcome.frames {
@@ -792,7 +851,7 @@ impl VisitState<'_, '_, '_> {
             let error_text = decision.error_text().unwrap_or("net::ERR_FAILED");
             self.sink.on_event(CdpEvent::WebSocketFrameError {
                 request_id: rid,
-                error_text: error_text.to_string(),
+                error_text: Cow::Borrowed(error_text),
             });
         }
         self.sink
@@ -800,21 +859,36 @@ impl VisitState<'_, '_, '_> {
     }
 
     /// Appends rendered sent-items to a URL as its query string (how HTTP
-    /// tracking requests leak data in this model).
-    fn url_with_items(&self, url: &str, items: &[SentItem]) -> String {
+    /// tracking requests leak data in this model). The result lives in the
+    /// visit arena; plain URLs are interned there too so every caller gets
+    /// one uniform `&'ar str`.
+    fn url_with_items(&mut self, url: &str, items: &[SentItem]) -> &'ar str {
         if items.is_empty() {
-            return url.to_string();
+            return self.arena.alloc_str(url);
         }
-        match self.ctx.render_sent(items) {
-            Payload::Text(t) if !t.is_empty() => {
+        let mut q = std::mem::take(&mut self.scratch_query);
+        q.clear();
+        let is_text = self.ctx.write_sent_query(items, &mut q);
+        let out = if is_text && !q.is_empty() {
+            let sep = if url.contains('?') { '&' } else { '?' };
+            self.arena.build_str(|s| {
+                s.push_str(url);
+                s.push(sep);
                 // Minimal form-encoding: cookie values contain "; " which
                 // is not valid raw in a URL.
-                let t = t.replace(' ', "%20");
-                let sep = if url.contains('?') { '&' } else { '?' };
-                format!("{url}{sep}{t}")
-            }
-            _ => url.to_string(),
-        }
+                for ch in q.chars() {
+                    if ch == ' ' {
+                        s.push_str("%20");
+                    } else {
+                        s.push(ch);
+                    }
+                }
+            })
+        } else {
+            self.arena.alloc_str(url)
+        };
+        self.scratch_query = q;
+        out
     }
 }
 
@@ -822,7 +896,7 @@ fn origin_of(url: &Url) -> String {
     url.origin().to_string()
 }
 
-fn guess_mime(items: &[sockscope_webmodel::ReceivedItem]) -> String {
+fn guess_mime(items: &[sockscope_webmodel::ReceivedItem]) -> &'static str {
     use sockscope_webmodel::ReceivedItem as R;
     match items.first() {
         Some(R::Html) => "text/html",
@@ -832,7 +906,6 @@ fn guess_mime(items: &[sockscope_webmodel::ReceivedItem]) -> String {
         Some(R::Binary) => "application/octet-stream",
         None => "text/plain",
     }
-    .to_string()
 }
 
 #[cfg(test)]
@@ -898,7 +971,7 @@ mod tests {
             .events
             .iter()
             .filter_map(|e| match e {
-                CdpEvent::ScriptParsed { url, .. } => Some(url.as_str()),
+                CdpEvent::ScriptParsed { url, .. } => Some(url.as_ref()),
                 _ => None,
             })
             .collect();
@@ -915,7 +988,7 @@ mod tests {
         // The dynamic include carries a Script initiator.
         let dyn_script = v.events.iter().find_map(|e| match e {
             CdpEvent::ScriptParsed { url, initiator, .. }
-                if url == "http://ads.example/script2.js" =>
+                if url.as_ref() == "http://ads.example/script2.js" =>
             {
                 Some(*initiator)
             }
@@ -1012,6 +1085,23 @@ mod tests {
         let v1 = b.visit("http://pub.example/index.html").unwrap();
         let v2 = b.visit("http://pub.example/index.html").unwrap();
         assert_eq!(v1.events, v2.events);
+    }
+
+    #[test]
+    fn repeated_visits_recycle_the_arena() {
+        // The whole point of reset-and-reuse: after the first couple of
+        // visits warm the chunk list, further identical visits must not
+        // grow arena capacity.
+        let host = figure2_host();
+        let b = stock_browser(&host, BrowserEra::PreChrome58);
+        for _ in 0..3 {
+            b.visit("http://pub.example/index.html").unwrap();
+        }
+        let warm = b.arena.borrow().capacity();
+        for _ in 0..16 {
+            b.visit("http://pub.example/index.html").unwrap();
+        }
+        assert_eq!(b.arena.borrow().capacity(), warm);
     }
 
     #[test]
@@ -1156,7 +1246,7 @@ mod tests {
         assert!(v.events.iter().any(|e| matches!(
             e,
             CdpEvent::WebSocketFrameError { error_text, .. }
-                if error_text == "net::ERR_CONNECTION_REFUSED"
+                if error_text.as_ref() == "net::ERR_CONNECTION_REFUSED"
         )));
         assert!(!v
             .events

@@ -1,4 +1,12 @@
 //! The Chrome-Debugging-Protocol event vocabulary the study instruments.
+//!
+//! Events are borrow-first: every string/byte field is a [`Cow`] so the
+//! streaming hot path (`Browser::visit_streamed`) can emit events whose
+//! payloads borrow from the per-visit bump arena and page data, while the
+//! materializing reference path converts to the `'static` alias
+//! [`CdpEventOwned`] via [`CdpEvent::into_owned`]. Sinks observe events for
+//! the duration of one `on_event` call only — the PR 5 streaming contract —
+//! which is exactly the lifetime discipline the borrow encodes.
 
 use sockscope_wsproto::base64;
 use std::borrow::Cow;
@@ -43,23 +51,35 @@ pub enum Initiator {
 /// WebSocket frame payload as CDP reports it: text frames carry the text,
 /// binary frames carry base64 (`payloadData` with `opcode == 2`).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum FramePayload {
+pub enum FramePayload<'a> {
     /// UTF-8 text payload.
-    Text(String),
+    Text(Cow<'a, str>),
     /// Base64-encoded binary payload.
-    Base64(String),
+    Base64(Cow<'a, str>),
 }
 
-impl FramePayload {
-    /// Builds a payload record from raw frame bytes.
-    pub fn from_bytes(opcode_text: bool, bytes: &[u8]) -> FramePayload {
+/// An owned frame payload (the materializing reference path).
+pub type FramePayloadOwned = FramePayload<'static>;
+
+impl<'a> FramePayload<'a> {
+    /// Builds a payload record from raw frame bytes. Text payloads borrow
+    /// straight from `bytes` — the fused pipeline never copies them.
+    pub fn from_bytes(opcode_text: bool, bytes: &'a [u8]) -> FramePayload<'a> {
         if opcode_text {
             match std::str::from_utf8(bytes) {
-                Ok(s) => FramePayload::Text(s.to_string()),
-                Err(_) => FramePayload::Base64(base64::encode(bytes)),
+                Ok(s) => FramePayload::Text(Cow::Borrowed(s)),
+                Err(_) => FramePayload::Base64(Cow::Owned(base64::encode(bytes))),
             }
         } else {
-            FramePayload::Base64(base64::encode(bytes))
+            FramePayload::Base64(Cow::Owned(base64::encode(bytes)))
+        }
+    }
+
+    /// Detaches the payload from whatever it borrows.
+    pub fn into_owned(self) -> FramePayloadOwned {
+        match self {
+            FramePayload::Text(s) => FramePayload::Text(Cow::Owned(s.into_owned())),
+            FramePayload::Base64(s) => FramePayload::Base64(Cow::Owned(s.into_owned())),
         }
     }
 
@@ -100,7 +120,7 @@ impl FramePayload {
 
 /// One instrumentation event. Field names follow the CDP originals.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CdpEvent {
+pub enum CdpEvent<'a> {
     /// `Page.frameNavigated`.
     FrameNavigated {
         /// The navigated frame.
@@ -108,7 +128,7 @@ pub enum CdpEvent {
         /// Parent frame, `None` for the main frame.
         parent_frame_id: Option<FrameId>,
         /// Document URL.
-        url: String,
+        url: Cow<'a, str>,
     },
     /// `Debugger.scriptParsed`.
     ScriptParsed {
@@ -116,7 +136,7 @@ pub enum CdpEvent {
         script_id: ScriptId,
         /// Script URL; inline scripts get the page URL with a `#inline-N`
         /// suffix, as the paper's tooling did for attribution.
-        url: String,
+        url: Cow<'a, str>,
         /// Frame executing the script.
         frame_id: FrameId,
         /// What caused the script to load.
@@ -127,7 +147,7 @@ pub enum CdpEvent {
         /// Request id.
         request_id: RequestId,
         /// Request URL.
-        url: String,
+        url: Cow<'a, str>,
         /// Resource type.
         resource_type: ResourceKind,
         /// What caused the request.
@@ -140,24 +160,24 @@ pub enum CdpEvent {
         /// Request id.
         request_id: RequestId,
         /// Response URL.
-        url: String,
+        url: Cow<'a, str>,
         /// HTTP status.
         status: u16,
         /// MIME type.
-        mime_type: String,
+        mime_type: Cow<'a, str>,
         /// Response body (the study captured bodies for content analysis).
-        body: Vec<u8>,
+        body: Cow<'a, [u8]>,
         /// Request items serialized into the URL/body by the sender —
         /// recovered by the analyzer from `body`/URL text, not from here;
         /// carried for ground-truth tests only.
-        sent_ground_truth: Vec<sockscope_webmodel::SentItem>,
+        sent_ground_truth: Cow<'a, [sockscope_webmodel::SentItem]>,
     },
     /// `Network.webSocketCreated`.
     WebSocketCreated {
         /// Request id of the socket.
         request_id: RequestId,
         /// `ws://`/`wss://` URL.
-        url: String,
+        url: Cow<'a, str>,
         /// The script that called `new WebSocket(...)`.
         initiator: Initiator,
         /// Frame owning the socket.
@@ -169,7 +189,7 @@ pub enum CdpEvent {
         request_id: RequestId,
         /// Raw handshake request bytes (really produced by
         /// `sockscope-wsproto`).
-        request: Vec<u8>,
+        request: Cow<'a, [u8]>,
     },
     /// `Network.webSocketHandshakeResponseReceived`.
     WebSocketHandshakeResponseReceived {
@@ -178,21 +198,21 @@ pub enum CdpEvent {
         /// HTTP status of the upgrade response (101 on success).
         status: u16,
         /// Raw handshake response bytes.
-        response: Vec<u8>,
+        response: Cow<'a, [u8]>,
     },
     /// `Network.webSocketFrameSent`.
     WebSocketFrameSent {
         /// Request id.
         request_id: RequestId,
         /// Payload.
-        payload: FramePayload,
+        payload: FramePayload<'a>,
     },
     /// `Network.webSocketFrameReceived`.
     WebSocketFrameReceived {
         /// Request id.
         request_id: RequestId,
         /// Payload.
-        payload: FramePayload,
+        payload: FramePayload<'a>,
     },
     /// `Network.webSocketFrameError`: the socket failed — connect refused,
     /// handshake rejected, or a frame-level error tore the session down.
@@ -200,7 +220,7 @@ pub enum CdpEvent {
         /// Request id.
         request_id: RequestId,
         /// Chrome-style error text (`net::ERR_CONNECTION_REFUSED`, …).
-        error_text: String,
+        error_text: Cow<'a, str>,
     },
     /// `Network.webSocketClosed`.
     WebSocketClosed {
@@ -213,18 +233,18 @@ pub enum CdpEvent {
         /// Request id of the failed fetch.
         request_id: RequestId,
         /// URL of the failed fetch.
-        url: String,
+        url: Cow<'a, str>,
         /// Resource type.
         resource_type: ResourceKind,
         /// Chrome-style error text.
-        error_text: String,
+        error_text: Cow<'a, str>,
     },
     /// Not a CDP event: emitted when the extension host cancels a request,
     /// so experiments can observe what blocking *did* (the real study infers
     /// this post-hoc; the ablation harness uses it directly).
     RequestBlockedByExtension {
         /// URL of the cancelled request.
-        url: String,
+        url: Cow<'a, str>,
         /// Resource type.
         resource_type: ResourceKind,
         /// Initiator of the cancelled request.
@@ -232,7 +252,11 @@ pub enum CdpEvent {
     },
 }
 
-impl CdpEvent {
+/// An owned event with no outstanding borrows — what the materializing
+/// reference path (`Visit::events`) stores.
+pub type CdpEventOwned = CdpEvent<'static>;
+
+impl<'a> CdpEvent<'a> {
     /// The request id this event concerns, if any.
     pub fn request_id(&self) -> Option<RequestId> {
         match self {
@@ -249,6 +273,136 @@ impl CdpEvent {
             _ => None,
         }
     }
+
+    /// Detaches the event from whatever it borrows (arena, page data),
+    /// producing the `'static` form the materializing path buffers.
+    pub fn into_owned(self) -> CdpEventOwned {
+        fn own_str(c: Cow<'_, str>) -> Cow<'static, str> {
+            Cow::Owned(c.into_owned())
+        }
+        fn own_bytes(c: Cow<'_, [u8]>) -> Cow<'static, [u8]> {
+            Cow::Owned(c.into_owned())
+        }
+        match self {
+            CdpEvent::FrameNavigated {
+                frame_id,
+                parent_frame_id,
+                url,
+            } => CdpEvent::FrameNavigated {
+                frame_id,
+                parent_frame_id,
+                url: own_str(url),
+            },
+            CdpEvent::ScriptParsed {
+                script_id,
+                url,
+                frame_id,
+                initiator,
+            } => CdpEvent::ScriptParsed {
+                script_id,
+                url: own_str(url),
+                frame_id,
+                initiator,
+            },
+            CdpEvent::RequestWillBeSent {
+                request_id,
+                url,
+                resource_type,
+                initiator,
+                frame_id,
+            } => CdpEvent::RequestWillBeSent {
+                request_id,
+                url: own_str(url),
+                resource_type,
+                initiator,
+                frame_id,
+            },
+            CdpEvent::ResponseReceived {
+                request_id,
+                url,
+                status,
+                mime_type,
+                body,
+                sent_ground_truth,
+            } => CdpEvent::ResponseReceived {
+                request_id,
+                url: own_str(url),
+                status,
+                mime_type: own_str(mime_type),
+                body: own_bytes(body),
+                sent_ground_truth: Cow::Owned(sent_ground_truth.into_owned()),
+            },
+            CdpEvent::WebSocketCreated {
+                request_id,
+                url,
+                initiator,
+                frame_id,
+            } => CdpEvent::WebSocketCreated {
+                request_id,
+                url: own_str(url),
+                initiator,
+                frame_id,
+            },
+            CdpEvent::WebSocketWillSendHandshakeRequest {
+                request_id,
+                request,
+            } => CdpEvent::WebSocketWillSendHandshakeRequest {
+                request_id,
+                request: own_bytes(request),
+            },
+            CdpEvent::WebSocketHandshakeResponseReceived {
+                request_id,
+                status,
+                response,
+            } => CdpEvent::WebSocketHandshakeResponseReceived {
+                request_id,
+                status,
+                response: own_bytes(response),
+            },
+            CdpEvent::WebSocketFrameSent {
+                request_id,
+                payload,
+            } => CdpEvent::WebSocketFrameSent {
+                request_id,
+                payload: payload.into_owned(),
+            },
+            CdpEvent::WebSocketFrameReceived {
+                request_id,
+                payload,
+            } => CdpEvent::WebSocketFrameReceived {
+                request_id,
+                payload: payload.into_owned(),
+            },
+            CdpEvent::WebSocketFrameError {
+                request_id,
+                error_text,
+            } => CdpEvent::WebSocketFrameError {
+                request_id,
+                error_text: own_str(error_text),
+            },
+            CdpEvent::WebSocketClosed { request_id } => CdpEvent::WebSocketClosed { request_id },
+            CdpEvent::LoadingFailed {
+                request_id,
+                url,
+                resource_type,
+                error_text,
+            } => CdpEvent::LoadingFailed {
+                request_id,
+                url: own_str(url),
+                resource_type,
+                error_text: own_str(error_text),
+            },
+            CdpEvent::RequestBlockedByExtension {
+                url,
+                resource_type,
+                initiator,
+            } => CdpEvent::RequestBlockedByExtension {
+                url: own_str(url),
+                resource_type,
+                initiator,
+            },
+        }
+    }
 }
 
 /// A consumer of CDP events, fed one event at a time as the browser emits
@@ -261,19 +415,22 @@ impl CdpEvent {
 /// classify payload bytes and drop them, or simply collect (the `Vec`
 /// impl below reproduces the materializing behaviour exactly).
 ///
+/// The event's borrows are valid only for the duration of the call; a sink
+/// that retains data must copy it out (`CdpEvent::into_owned`).
+///
 /// Events arrive in emission order — the same order a materialized
 /// `Visit::events` would hold them — so any sink that buffers is
 /// byte-identical to the batch path by construction.
 pub trait VisitSink {
     /// Receives the next event of the visit.
-    fn on_event(&mut self, event: CdpEvent);
+    fn on_event(&mut self, event: CdpEvent<'_>);
 }
 
 /// The trivial materializing sink: collects every event, reproducing the
 /// pre-fusion `Visit::events` buffer.
-impl VisitSink for Vec<CdpEvent> {
-    fn on_event(&mut self, event: CdpEvent) {
-        self.push(event);
+impl VisitSink for Vec<CdpEventOwned> {
+    fn on_event(&mut self, event: CdpEvent<'_>) {
+        self.push(event.into_owned());
     }
 }
 
@@ -288,6 +445,8 @@ mod tests {
         assert_eq!(&p.to_bytes()[..], b"uid=42");
         // Text payloads must not copy: the classifier calls this per frame.
         assert!(matches!(p.to_bytes(), Cow::Borrowed(_)));
+        // Nor must decode itself copy: the payload borrows the frame bytes.
+        assert!(matches!(p, FramePayload::Text(Cow::Borrowed(_))));
     }
 
     #[test]
@@ -322,7 +481,7 @@ mod tests {
 
     #[test]
     fn vec_sink_collects_events_in_order() {
-        let mut sink: Vec<CdpEvent> = Vec::new();
+        let mut sink: Vec<CdpEventOwned> = Vec::new();
         sink.on_event(CdpEvent::WebSocketClosed {
             request_id: RequestId(1),
         });
@@ -347,5 +506,27 @@ mod tests {
             url: "http://a.example/".into(),
         };
         assert_eq!(nav.request_id(), None);
+    }
+
+    #[test]
+    fn into_owned_detaches_borrows() {
+        let body = vec![1u8, 2, 3];
+        let ev = CdpEvent::ResponseReceived {
+            request_id: RequestId(1),
+            url: Cow::Borrowed("http://a.example/x"),
+            status: 200,
+            mime_type: Cow::Borrowed("text/html"),
+            body: Cow::Borrowed(&body),
+            sent_ground_truth: Cow::Borrowed(&[]),
+        };
+        let owned: CdpEventOwned = ev.clone().into_owned();
+        assert_eq!(owned, ev.into_owned());
+        match owned {
+            CdpEvent::ResponseReceived { body, url, .. } => {
+                assert!(matches!(body, Cow::Owned(_)));
+                assert!(matches!(url, Cow::Owned(_)));
+            }
+            _ => unreachable!(),
+        }
     }
 }

@@ -39,7 +39,8 @@ pub mod webrequest;
 
 pub use browser::{Browser, BrowserConfig, FaultLog, Visit, VisitError, VisitSummary};
 pub use events::{
-    CdpEvent, FrameId, FramePayload, Initiator, RequestId, ResourceKind, ScriptId, VisitSink,
+    CdpEvent, CdpEventOwned, FrameId, FramePayload, FramePayloadOwned, Initiator, RequestId,
+    ResourceKind, ScriptId, VisitSink,
 };
 pub use webrequest::{
     AdBlockerExtension, BrowserEra, ExtDecision, Extension, ExtensionHost, RequestDetails,

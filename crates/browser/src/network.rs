@@ -107,7 +107,7 @@ pub fn run_session(
         }
         // Server responds (if scripted).
         if !exchange.receive.is_empty() {
-            match ctx.render_received(&exchange.receive, &host) {
+            match ctx.render_received(&exchange.receive, host) {
                 Payload::Text(t) => server.send_text(&t).map_err(SessionError::Protocol)?,
                 Payload::Binary(b) => server.send_binary(&b).map_err(SessionError::Protocol)?,
             }
@@ -332,7 +332,7 @@ pub fn run_session_with_faults(
         if exchange.receive.is_empty() {
             continue;
         }
-        let sent = match ctx.render_received(&exchange.receive, &host) {
+        let sent = match ctx.render_received(&exchange.receive, host) {
             Payload::Text(t) => server.send_text(&t),
             Payload::Binary(b) => server.send_binary(&b),
         };

@@ -20,6 +20,8 @@ static LIVE: AtomicU64 = AtomicU64::new(0);
 static PEAK: AtomicU64 = AtomicU64::new(0);
 /// Total allocation calls (alloc + alloc_zeroed + growing realloc counts 1).
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Total bytes ever allocated (the cumulative churn, not the live set).
+static TOTAL: AtomicU64 = AtomicU64::new(0);
 
 std::thread_local! {
     /// Bytes charged to the current thread's task (the supervisor's
@@ -30,6 +32,7 @@ std::thread_local! {
 
 fn on_alloc(bytes: u64) {
     ALLOCS.fetch_add(1, Relaxed);
+    TOTAL.fetch_add(bytes, Relaxed);
     let live = LIVE.fetch_add(bytes, Relaxed) + bytes;
     PEAK.fetch_max(live, Relaxed);
     // try_with: allocations during TLS teardown must not panic.
@@ -114,6 +117,10 @@ pub struct StageStats {
     /// already live when it started.
     pub peak_bytes: u64,
     pub alloc_count: u64,
+    /// Total bytes the stage allocated (cumulative churn). The per-site
+    /// quotient of this and `alloc_count` are the bench report's
+    /// allocation-pressure columns.
+    pub total_bytes: u64,
 }
 
 impl StageStats {
@@ -123,6 +130,7 @@ impl StageStats {
         self.seconds += other.seconds;
         self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
         self.alloc_count += other.alloc_count;
+        self.total_bytes += other.total_bytes;
     }
 }
 
@@ -133,6 +141,7 @@ pub struct Meter {
     t: Instant,
     live0: u64,
     allocs0: u64,
+    total0: u64,
 }
 
 impl Meter {
@@ -143,6 +152,7 @@ impl Meter {
             t: Instant::now(),
             live0,
             allocs0: ALLOCS.load(Relaxed),
+            total0: TOTAL.load(Relaxed),
         }
     }
 
@@ -151,6 +161,7 @@ impl Meter {
             seconds: self.t.elapsed().as_secs_f64(),
             peak_bytes: PEAK.load(Relaxed).saturating_sub(self.live0),
             alloc_count: ALLOCS.load(Relaxed) - self.allocs0,
+            total_bytes: TOTAL.load(Relaxed) - self.total0,
         }
     }
 }
@@ -199,14 +210,17 @@ mod tests {
             seconds: 1.0,
             peak_bytes: 10,
             alloc_count: 3,
+            total_bytes: 100,
         };
         a.absorb(StageStats {
             seconds: 2.0,
             peak_bytes: 7,
             alloc_count: 5,
+            total_bytes: 40,
         });
         assert_eq!(a.seconds, 3.0);
         assert_eq!(a.peak_bytes, 10);
         assert_eq!(a.alloc_count, 8);
+        assert_eq!(a.total_bytes, 140);
     }
 }

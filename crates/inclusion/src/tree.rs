@@ -72,7 +72,7 @@ impl PayloadRecord {
 
 fn record(p: &FramePayload) -> PayloadRecord {
     match p {
-        FramePayload::Text(s) => PayloadRecord::Text(s.clone()),
+        FramePayload::Text(s) => PayloadRecord::Text(s.as_ref().to_owned()),
         FramePayload::Base64(_) => PayloadRecord::Binary(p.to_bytes().into_owned()),
     }
 }
@@ -388,7 +388,7 @@ impl TreeBuilder {
                 // (it carries the true initiator — a script for dynamically
                 // injected iframes); fall back to frame-parent provenance
                 // for streams without document requests.
-                if let Some(id) = self.pending_docs.remove(url) {
+                if let Some(id) = self.pending_docs.remove(url.as_ref()) {
                     self.by_frame.insert(*frame_id, id);
                     return;
                 }
@@ -427,7 +427,7 @@ impl TreeBuilder {
                         }
                         let parent = self.parent_of(*initiator, root);
                         let id = self.new_node(url, NodeKind::Frame, parent);
-                        self.pending_docs.insert(url.clone(), id);
+                        self.pending_docs.insert(url.as_ref().to_owned(), id);
                         self.by_request.insert(*request_id, id);
                         return;
                     }
@@ -446,8 +446,8 @@ impl TreeBuilder {
                 ..
             } => {
                 if let Some(&id) = self.by_request.get(request_id) {
-                    self.nodes[id.0].http_body = Some(body.clone());
-                    self.nodes[id.0].http_sent_ground_truth = sent_ground_truth.clone();
+                    self.nodes[id.0].http_body = Some(body.to_vec());
+                    self.nodes[id.0].http_sent_ground_truth = sent_ground_truth.to_vec();
                 }
             }
             CdpEvent::WebSocketCreated {
@@ -497,7 +497,7 @@ impl TreeBuilder {
                 error_text,
             } => {
                 if let Some(ws) = self.ws_mut(request_id) {
-                    ws.error = Some(error_text.clone());
+                    ws.error = Some(error_text.as_ref().to_owned());
                 }
             }
             CdpEvent::WebSocketClosed { request_id } => {
@@ -534,7 +534,7 @@ mod tests {
     use super::*;
 
     /// Hand-built event stream reproducing Figure 2 of the paper.
-    fn figure2_events() -> Vec<CdpEvent> {
+    fn figure2_events() -> Vec<CdpEvent<'static>> {
         use CdpEvent::*;
         vec![
             FrameNavigated {

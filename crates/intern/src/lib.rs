@@ -157,7 +157,7 @@ impl HostCache {
             return h;
         }
         let host = match sockscope_urlkit::Url::parse(url) {
-            Ok(parsed) => self.hosts.intern(&parsed.host_str()),
+            Ok(parsed) => self.hosts.intern(parsed.host_str()),
             Err(_) => self.hosts.intern(""),
         };
         self.map[u.index()] = Some(host);

@@ -51,6 +51,7 @@ mod vm;
 
 pub use ast::Error;
 pub use dfa::DfaStats;
+pub use literal::{find_lit, find_lit_scalar};
 pub use set::{RegexSet, SetMatches};
 
 use std::sync::Mutex;

@@ -244,7 +244,10 @@ fn exact_prefix_item(item: &Ast, out: &mut String) -> bool {
 /// as an absolute byte offset. `ci` folds ASCII case byte-wise (literals
 /// are stored lowercased). Occurrences of a valid-UTF-8 needle in valid
 /// UTF-8 text always fall on char boundaries.
-pub(crate) fn find_lit(haystack: &str, lit: &str, ci: bool, from: usize) -> Option<usize> {
+///
+/// Public (with [`find_lit_scalar`]) so the differential fuzz suite can
+/// race the SWAR skip loop against the byte-at-a-time reference.
+pub fn find_lit(haystack: &str, lit: &str, ci: bool, from: usize) -> Option<usize> {
     if from > haystack.len() {
         return None;
     }
@@ -260,14 +263,78 @@ pub(crate) fn find_lit(haystack: &str, lit: &str, ci: bool, from: usize) -> Opti
         return None;
     }
     let first = needle[0];
+    let last = hay.len() - needle.len();
+    let mut i = from;
+    while i <= last {
+        let pos = i + find_byte_ci(&hay[i..], first)?;
+        if pos > last {
+            return None;
+        }
+        if hay[pos..pos + needle.len()].eq_ignore_ascii_case(needle) {
+            return Some(pos);
+        }
+        i = pos + 1;
+    }
+    None
+}
+
+/// The obviously-correct byte-at-a-time reference form of [`find_lit`]:
+/// candidate-compare at every offset, no prefilter, no SWAR. The
+/// differential fuzz target races the two on random haystacks/needles.
+pub fn find_lit_scalar(haystack: &str, lit: &str, ci: bool, from: usize) -> Option<usize> {
+    let hay = haystack.as_bytes();
+    let needle = lit.as_bytes();
+    if from > hay.len() {
+        return None;
+    }
+    if needle.is_empty() {
+        return Some(from);
+    }
+    if hay.len() < needle.len() {
+        return None;
+    }
     for i in from..=hay.len() - needle.len() {
-        if hay[i].eq_ignore_ascii_case(&first)
-            && hay[i..i + needle.len()].eq_ignore_ascii_case(needle)
-        {
+        let cand = &hay[i..i + needle.len()];
+        let hit = if ci {
+            cand.eq_ignore_ascii_case(needle)
+        } else {
+            cand == needle
+        };
+        if hit {
             return Some(i);
         }
     }
     None
+}
+
+/// Leftmost byte equal to `b` under ASCII case folding: the memchr-style
+/// skip loop the case-insensitive scan rides. Eight haystack bytes per
+/// iteration via SWAR zero-byte detection against both case variants of
+/// `b`; the first flagged byte is always a true hit (borrow propagation in
+/// the zero test only produces false positives *above* a true zero byte),
+/// so `trailing_zeros` on the little-endian load is exact.
+fn find_byte_ci(hay: &[u8], b: u8) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let lower = u64::from(b.to_ascii_lowercase()).wrapping_mul(LO);
+    let upper = u64::from(b.to_ascii_uppercase()).wrapping_mul(LO);
+    let mut chunks = hay.chunks_exact(8);
+    let mut base = 0usize;
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().expect("exact chunk"));
+        let xl = w ^ lower;
+        let xu = w ^ upper;
+        let hit = (xl.wrapping_sub(LO) & !xl & HI) | (xu.wrapping_sub(LO) & !xu & HI);
+        if hit != 0 {
+            return Some(base + (hit.trailing_zeros() / 8) as usize);
+        }
+        base += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|c| c.eq_ignore_ascii_case(&b))
+        .map(|p| base + p)
 }
 
 #[cfg(test)]
@@ -344,5 +411,32 @@ mod tests {
         assert_eq!(find_lit("abcabc", "abc", false, 1), Some(3));
         assert_eq!(find_lit("abcabc", "abc", false, 4), None);
         assert_eq!(find_lit("ABCabc", "abc", true, 1), Some(3));
+    }
+
+    /// Byte-at-a-time reference for the SWAR skip loop.
+    fn find_lit_ci_scalar(haystack: &str, lit: &str, from: usize) -> Option<usize> {
+        let hay = haystack.as_bytes();
+        let needle = lit.as_bytes();
+        if from > hay.len() || hay.len() < needle.len() {
+            return None;
+        }
+        (from..=hay.len() - needle.len())
+            .find(|&i| hay[i..i + needle.len()].eq_ignore_ascii_case(needle))
+    }
+
+    #[test]
+    fn swar_ci_scan_matches_scalar_reference() {
+        // Haystack mixing case flips, near-miss bytes (`@`/`` ` `` differ
+        // from letters only in bit 5), DEL/0x80 boundaries, and repeats.
+        let hay = "uId=@UID uid`UID=\u{7f}\u{80}xxUiD=veryLongTailuid=";
+        for lit in ["uid=", "uid", "u", "x", "@", "`", "veryl", "zzz"] {
+            for from in 0..=hay.len() {
+                assert_eq!(
+                    find_lit(hay, lit, true, from),
+                    find_lit_ci_scalar(hay, lit, from),
+                    "lit={lit:?} from={from}"
+                );
+            }
+        }
     }
 }

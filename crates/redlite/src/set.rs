@@ -162,8 +162,15 @@ impl RegexSet {
 
         let n = self.insts.len();
         let mut matched = 0u64;
-        let mut current = ThreadSet::new(n);
-        let mut next = ThreadSet::new(n);
+        // The thread sets are reused across calls (and across sets) via a
+        // thread-local: `matches` sits on the per-message classification
+        // hot path, and two fresh allocations per call dominated the
+        // pipeline's allocator counts.
+        let (mut current, mut next) = SCRATCH
+            .with(|s| s.take())
+            .unwrap_or((ThreadSet::empty(), ThreadSet::empty()));
+        current.reset(n);
+        next.reset(n);
         let hay_len = haystack.len();
         let mut pos = 0usize;
         let mut chars = haystack.chars();
@@ -202,6 +209,7 @@ impl RegexSet {
             std::mem::swap(&mut current, &mut next);
             pos = next_pos;
         }
+        SCRATCH.with(|s| s.set(Some((current, next))));
         SetMatches { mask: matched, len }
     }
 
@@ -272,17 +280,35 @@ struct ThreadSet {
 }
 
 impl ThreadSet {
-    fn new(n: usize) -> ThreadSet {
+    fn empty() -> ThreadSet {
         ThreadSet {
-            list: Vec::with_capacity(16),
-            marks: vec![false; n],
+            list: Vec::new(),
+            marks: Vec::new(),
         }
+    }
+
+    /// Clears the set and (re)sizes the dedup marks for a program of `n`
+    /// instructions. Mark capacity only ever grows, so a reused set
+    /// allocates at most until it has seen the largest program.
+    fn reset(&mut self, n: usize) {
+        self.list.clear();
+        self.marks.clear();
+        self.marks.resize(n, false);
     }
 
     fn clear(&mut self) {
         self.list.clear();
         self.marks.iter_mut().for_each(|m| *m = false);
     }
+}
+
+thread_local! {
+    /// Scratch thread-set pair for [`RegexSet::matches`]. `Cell<Option<..>>`
+    /// (take/put-back) rather than `RefCell` so a re-entrant call — there
+    /// are none today, but panics mid-scan must not poison the slot —
+    /// simply falls back to fresh allocations.
+    static SCRATCH: std::cell::Cell<Option<(ThreadSet, ThreadSet)>> =
+        const { std::cell::Cell::new(None) };
 }
 
 #[cfg(test)]

@@ -12,7 +12,95 @@ pub enum Host {
     /// A DNS domain name, lower-cased, e.g. `x.doubleclick.net`.
     Domain(String),
     /// An IPv4 literal, e.g. `93.184.216.34`.
-    Ipv4([u8; 4]),
+    Ipv4(Ipv4Text),
+}
+
+/// An IPv4 address carrying its canonical dotted-quad rendering inline,
+/// so [`Host::as_text`] (and [`crate::Url::host_str`]) can hand out a
+/// `&str` without allocating. The text is a pure function of the octets,
+/// which keeps the derived equality and ordering on [`Host`] coherent.
+#[derive(Clone, Copy)]
+pub struct Ipv4Text {
+    octets: [u8; 4],
+    text: [u8; 15],
+    len: u8,
+}
+
+impl Ipv4Text {
+    /// Renders `octets` as `a.b.c.d`.
+    pub fn new(octets: [u8; 4]) -> Ipv4Text {
+        let mut text = [0u8; 15];
+        let mut len = 0usize;
+        for (i, &o) in octets.iter().enumerate() {
+            if i > 0 {
+                text[len] = b'.';
+                len += 1;
+            }
+            if o >= 100 {
+                text[len] = b'0' + o / 100;
+                len += 1;
+            }
+            if o >= 10 {
+                text[len] = b'0' + (o / 10) % 10;
+                len += 1;
+            }
+            text[len] = b'0' + o % 10;
+            len += 1;
+        }
+        Ipv4Text {
+            octets,
+            text,
+            len: len as u8,
+        }
+    }
+
+    /// The four address octets.
+    pub fn octets(&self) -> [u8; 4] {
+        self.octets
+    }
+
+    /// The dotted-quad rendering.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.text[..self.len as usize]).expect("dotted quad is ascii")
+    }
+}
+
+impl From<[u8; 4]> for Ipv4Text {
+    fn from(octets: [u8; 4]) -> Ipv4Text {
+        Ipv4Text::new(octets)
+    }
+}
+
+impl fmt::Debug for Ipv4Text {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq for Ipv4Text {
+    fn eq(&self, other: &Ipv4Text) -> bool {
+        self.octets == other.octets
+    }
+}
+
+impl Eq for Ipv4Text {}
+
+impl std::hash::Hash for Ipv4Text {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.octets.hash(state);
+    }
+}
+
+impl PartialOrd for Ipv4Text {
+    fn partial_cmp(&self, other: &Ipv4Text) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ipv4Text {
+    fn cmp(&self, other: &Ipv4Text) -> std::cmp::Ordering {
+        self.octets.cmp(&other.octets)
+    }
 }
 
 /// Errors produced by [`Host::parse`].
@@ -55,7 +143,7 @@ impl Host {
             return Err(HostError::Empty);
         }
         if let Some(ip) = parse_ipv4(input) {
-            return Ok(Host::Ipv4(ip));
+            return Ok(Host::Ipv4(Ipv4Text::new(ip)));
         }
         if input.len() > 253 {
             return Err(HostError::TooLong);
@@ -88,6 +176,15 @@ impl Host {
         HostStr(self)
     }
 
+    /// The host's text, borrowed: the domain name itself, or the
+    /// pre-rendered dotted quad for IPv4 literals. Never allocates.
+    pub fn as_text(&self) -> &str {
+        match self {
+            Host::Domain(d) => d,
+            Host::Ipv4(ip) => ip.as_str(),
+        }
+    }
+
     /// Returns the domain name if this host is a DNS name.
     pub fn domain(&self) -> Option<&str> {
         match self {
@@ -116,7 +213,7 @@ impl fmt::Display for Host {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Host::Domain(d) => f.write_str(d),
-            Host::Ipv4([a, b, c, d]) => write!(f, "{a}.{b}.{c}.{d}"),
+            Host::Ipv4(ip) => f.write_str(ip.as_str()),
         }
     }
 }
@@ -163,7 +260,7 @@ mod tests {
     fn parses_ipv4() {
         assert_eq!(
             Host::parse("93.184.216.34").unwrap(),
-            Host::Ipv4([93, 184, 216, 34])
+            Host::Ipv4(Ipv4Text::new([93, 184, 216, 34]))
         );
     }
 

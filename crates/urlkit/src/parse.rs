@@ -61,10 +61,13 @@ pub struct Url {
     scheme: Scheme,
     host: Host,
     port: u16,
-    /// Always begins with `/`.
-    path: String,
-    /// Query string without the leading `?`; empty if absent.
-    query: String,
+    /// Path then query in one buffer (one allocation per parse instead
+    /// of two): the path is `..query_at` (always begins with `/`), the
+    /// query — without the leading `?` — is `query_at..` (empty if
+    /// absent). `query_at` participates in derived equality/hashing, so
+    /// `/a?b` and `/ab` stay distinct.
+    path_query: String,
+    query_at: usize,
 }
 
 /// Errors produced by [`Url::parse`].
@@ -147,17 +150,17 @@ impl Url {
             Some((p, q)) => (p, q),
             None => (tail, ""),
         };
-        let path = if path.is_empty() {
-            "/".to_string()
-        } else {
-            path.to_string()
-        };
+        let path = if path.is_empty() { "/" } else { path };
+        let mut path_query = String::with_capacity(path.len() + query.len());
+        path_query.push_str(path);
+        let query_at = path_query.len();
+        path_query.push_str(query);
         Ok(Url {
             scheme,
             host,
             port,
-            path,
-            query: query.to_string(),
+            path_query,
+            query_at,
         })
     }
 
@@ -171,9 +174,13 @@ impl Url {
         &self.host
     }
 
-    /// Host rendered as a string slice (domains) or dotted quad (IPv4).
-    pub fn host_str(&self) -> String {
-        self.host.to_string()
+    /// Host text, borrowed: the domain name, or the pre-rendered dotted
+    /// quad for IPv4 literals. Never allocates — this sits on the
+    /// per-request hot path (cookie lookup, handshake construction,
+    /// partner resolution), where the old `String` return was one of the
+    /// pipeline's dominant allocation sources.
+    pub fn host_str(&self) -> &str {
+        self.host.as_text()
     }
 
     /// Effective port (explicit, or the scheme default).
@@ -183,15 +190,15 @@ impl Url {
 
     /// Path, always starting with `/`.
     pub fn path(&self) -> &str {
-        &self.path
+        &self.path_query[..self.query_at]
     }
 
     /// Query string without `?`, or `None` if empty.
     pub fn query(&self) -> Option<&str> {
-        if self.query.is_empty() {
+        if self.query_at == self.path_query.len() {
             None
         } else {
-            Some(&self.query)
+            Some(&self.path_query[self.query_at..])
         }
     }
 
@@ -232,8 +239,8 @@ impl Url {
             return Url::parse(&format!("{base}{reference}"));
         }
         // Relative path: resolve against the parent directory.
-        let dir = match self.path.rfind('/') {
-            Some(i) => &self.path[..=i],
+        let dir = match self.path().rfind('/') {
+            Some(i) => &self.path()[..=i],
             None => "/",
         };
         Url::parse(&format!("{base}{dir}{reference}"))
@@ -246,9 +253,9 @@ impl fmt::Display for Url {
         if self.port != self.scheme.default_port() {
             write!(f, ":{}", self.port)?;
         }
-        f.write_str(&self.path)?;
-        if !self.query.is_empty() {
-            write!(f, "?{}", self.query)?;
+        f.write_str(self.path())?;
+        if let Some(q) = self.query() {
+            write!(f, "?{q}")?;
         }
         Ok(())
     }

@@ -328,7 +328,7 @@ impl PageSynthesizer<'_> {
             }
         }
 
-        let company = self.catalog.by_host(&host)?;
+        let company = self.catalog.by_host(host)?;
         let company_idx = self
             .catalog
             .all()
@@ -486,7 +486,7 @@ impl PageSynthesizer<'_> {
         let Ok(url) = sockscope_urlkit::Url::parse(partner_ws) else {
             return behaviour;
         };
-        let Some(partner) = self.catalog.by_host(&url.host_str()) else {
+        let Some(partner) = self.catalog.by_host(url.host_str()) else {
             return behaviour;
         };
         if !partner.aa_listed || !rng.chance(0.6) {

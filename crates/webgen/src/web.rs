@@ -99,7 +99,7 @@ impl WebHost for SyntheticWeb {
             return None;
         }
         let host = parsed.host_str();
-        let known = self.catalog.by_host(&host).is_some()
+        let known = self.catalog.by_host(host).is_some()
             || host.ends_with(".widget-host.example")
             || host.contains("live-exchange-")
             || host

@@ -47,7 +47,9 @@ impl DomNode {
         out
     }
 
-    fn write_html(&self, out: &mut String) {
+    /// Serializes the subtree into `out` without intermediate allocation —
+    /// the streaming form of [`DomNode::to_html`].
+    pub fn write_html(&self, out: &mut String) {
         match self {
             DomNode::Text(t) => out.push_str(t),
             DomNode::Element {

@@ -92,6 +92,41 @@ impl Page {
         )
     }
 
+    /// Serializes the page's DOM to HTML into `out`, byte-identical to
+    /// `self.dom().to_html()` but without materializing the [`DomNode`]
+    /// tree — the visit hot path renders every document this way so page
+    /// loads stay allocation-free.
+    pub fn write_html(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        if let Some(dom) = &self.dom {
+            dom.write_html(out);
+            return;
+        }
+        let _ = write!(
+            out,
+            "<html><head><title>{}</title></head><body>",
+            self.title
+        );
+        for s in &self.scripts {
+            match s {
+                ScriptRef::Remote(url) => {
+                    let _ = write!(out, "<script src=\"{url}\"></script>");
+                }
+                ScriptRef::Inline(_) => out.push_str("<script>/*inline*/</script>"),
+            }
+        }
+        for img in &self.images {
+            let _ = write!(out, "<img src=\"{img}\"></img>");
+        }
+        for frame in &self.iframes {
+            let _ = write!(out, "<iframe src=\"{frame}\"></iframe>");
+        }
+        for link in &self.links {
+            let _ = write!(out, "<a href=\"{link}\">{}</a>", self.title);
+        }
+        out.push_str("</body></html>");
+    }
+
     /// Total number of scripts on the page.
     pub fn script_count(&self) -> usize {
         self.scripts.len()
@@ -118,6 +153,36 @@ mod tests {
         assert!(urls.contains(&"http://pub.example/logo.png"));
         assert!(urls.contains(&"http://embed.example/f"));
         assert!(urls.contains(&"http://pub.example/about"));
+    }
+
+    #[test]
+    fn write_html_matches_materialized_dom() {
+        // The hot path renders documents without building DomNodes; pin it
+        // byte-for-byte against the materializing reference.
+        let mut p = Page::new("http://pub.example/", "Pub — News");
+        p.scripts
+            .push(ScriptRef::Remote("http://ads.example/s.js".into()));
+        p.scripts.push(ScriptRef::Inline(ScriptBehavior::inert()));
+        p.images.push("http://pub.example/logo.png".into());
+        p.iframes.push("http://embed.example/f".into());
+        p.links.push("http://pub.example/about".into());
+        p.links.push("http://pub.example/page2.html".into());
+        let mut streamed = String::new();
+        p.write_html(&mut streamed);
+        assert_eq!(streamed, p.dom().to_html());
+
+        // An explicit DOM takes the same path in both forms.
+        let mut with_dom = Page::new("http://pub.example/", "Pub");
+        with_dom.dom = Some(DomNode::el("div", &[("id", "x")], vec![]));
+        let mut streamed = String::new();
+        with_dom.write_html(&mut streamed);
+        assert_eq!(streamed, with_dom.dom().to_html());
+
+        // And the empty page.
+        let empty = Page::new("http://pub.example/", "");
+        let mut streamed = String::new();
+        empty.write_html(&mut streamed);
+        assert_eq!(streamed, empty.dom().to_html());
     }
 
     #[test]

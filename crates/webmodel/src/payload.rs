@@ -142,43 +142,142 @@ impl ValueContext {
             return Payload::Binary(blob);
         }
         let mut out = String::new();
-        let push = |out: &mut String, kv: String| {
-            if !out.is_empty() {
+        self.write_sent_query(items, &mut out);
+        Payload::Text(out)
+    }
+
+    /// Writes the query-string form of [`ValueContext::render_sent`] into
+    /// `out` without per-item allocation. Returns `false` (writing nothing)
+    /// when `items` renders as a binary payload and has no text form.
+    ///
+    /// The bytes appended are exactly the `Payload::Text` contents
+    /// `render_sent` would return — the hot path depends on that identity.
+    pub fn write_sent_query(&self, items: &[SentItem], out: &mut String) -> bool {
+        if items.contains(&SentItem::Binary) {
+            return false;
+        }
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if !first {
                 out.push('&');
             }
-            out.push_str(&kv);
+            first = false;
         };
         for item in items {
             match item {
-                SentItem::UserAgent => push(&mut out, format!("ua={}", self.user_agent)),
-                SentItem::Cookie => push(&mut out, format!("cookie={}", self.cookie)),
-                SentItem::Ip => push(&mut out, format!("client_ip={}", self.ip)),
-                SentItem::UserId => push(&mut out, format!("user_id={}", self.user_id)),
-                SentItem::Device => push(&mut out, format!("device={}", self.device)),
-                SentItem::Screen => push(
-                    &mut out,
-                    format!("screen={}x{}", self.screen.0, self.screen.1),
-                ),
-                SentItem::Browser => push(&mut out, format!("browser={}", self.browser)),
-                SentItem::Viewport => push(
-                    &mut out,
-                    format!("viewport={}x{}", self.viewport.0, self.viewport.1),
-                ),
-                SentItem::ScrollPosition => push(&mut out, format!("scroll_y={}", self.scroll)),
-                SentItem::Orientation => {
-                    push(&mut out, format!("orientation={}", self.orientation))
+                SentItem::UserAgent => {
+                    sep(out);
+                    let _ = write!(out, "ua={}", self.user_agent);
                 }
-                SentItem::FirstSeen => push(&mut out, format!("first_seen={}", self.first_seen)),
-                SentItem::Resolution => push(
-                    &mut out,
-                    format!("resolution={}x{}", self.resolution.0, self.resolution.1),
-                ),
-                SentItem::Language => push(&mut out, format!("lang={}", self.language)),
-                SentItem::Dom => push(&mut out, format!("dom={}", self.dom_html)),
+                SentItem::Cookie => {
+                    sep(out);
+                    let _ = write!(out, "cookie={}", self.cookie);
+                }
+                SentItem::Ip => {
+                    sep(out);
+                    let _ = write!(out, "client_ip={}", self.ip);
+                }
+                SentItem::UserId => {
+                    sep(out);
+                    let _ = write!(out, "user_id={}", self.user_id);
+                }
+                SentItem::Device => {
+                    sep(out);
+                    let _ = write!(out, "device={}", self.device);
+                }
+                SentItem::Screen => {
+                    sep(out);
+                    let _ = write!(out, "screen={}x{}", self.screen.0, self.screen.1);
+                }
+                SentItem::Browser => {
+                    sep(out);
+                    let _ = write!(out, "browser={}", self.browser);
+                }
+                SentItem::Viewport => {
+                    sep(out);
+                    let _ = write!(out, "viewport={}x{}", self.viewport.0, self.viewport.1);
+                }
+                SentItem::ScrollPosition => {
+                    sep(out);
+                    let _ = write!(out, "scroll_y={}", self.scroll);
+                }
+                SentItem::Orientation => {
+                    sep(out);
+                    let _ = write!(out, "orientation={}", self.orientation);
+                }
+                SentItem::FirstSeen => {
+                    sep(out);
+                    let _ = write!(out, "first_seen={}", self.first_seen);
+                }
+                SentItem::Resolution => {
+                    sep(out);
+                    let _ = write!(
+                        out,
+                        "resolution={}x{}",
+                        self.resolution.0, self.resolution.1
+                    );
+                }
+                SentItem::Language => {
+                    sep(out);
+                    let _ = write!(out, "lang={}", self.language);
+                }
+                SentItem::Dom => {
+                    sep(out);
+                    let _ = write!(out, "dom={}", self.dom_html);
+                }
                 SentItem::Binary => unreachable!("handled above"),
             }
         }
-        Payload::Text(out)
+        true
+    }
+
+    /// Writes the wire bytes of [`ValueContext::render_received`] into
+    /// `out` — the allocation-free form the HTTP fetch hot path uses, where
+    /// the text/binary distinction doesn't matter (HTTP bodies are bytes).
+    pub fn render_received_into(&self, items: &[ReceivedItem], host: &str, out: &mut Vec<u8>) {
+        use std::io::Write as _;
+        if items.contains(&ReceivedItem::ImageData) {
+            out.extend_from_slice(&[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A]);
+            out.extend_from_slice(&[0u8; 64]);
+            return;
+        }
+        if items.contains(&ReceivedItem::Binary) {
+            out.extend_from_slice(&[0x7F, 0x00, 0xC3, 0x28, 0xA0, 0xA1]);
+            return;
+        }
+        for item in items {
+            match item {
+                ReceivedItem::Html => {
+                    let _ = write!(
+                        out,
+                        "<html><body><div class=\"widget\" data-host=\"{host}\">content</div></body></html>"
+                    );
+                }
+                ReceivedItem::Json => {
+                    let _ = write!(
+                        out,
+                        "{{\"status\":\"ok\",\"host\":\"{host}\",\"ts\":1492041600}}"
+                    );
+                }
+                ReceivedItem::JavaScript => {
+                    let _ = write!(
+                        out,
+                        "(function(){{var t=document.createElement('script');t.src='//{host}/next.js';document.head.appendChild(t);}})();"
+                    );
+                }
+                ReceivedItem::AdUrls => {
+                    let host = sockscope_urlkit::second_level_domain(host);
+                    let _ = write!(
+                        out,
+                        "{{\"ads\":[\
+{{\"img\":\"http://cdn1.{host}/creative/101.jpg\",\"caption\":\"Odd Trick To Fix Sagging Skin\",\"width\":300,\"height\":250}},\
+{{\"img\":\"http://cdn1.{host}/creative/102.jpg\",\"caption\":\"Study Reveals What Just A Single Diet Soda Does To You\",\"width\":300,\"height\":250}},\
+{{\"img\":\"http://cdn1.{host}/creative/103.jpg\",\"caption\":\"Win an iPad Air 2 from Addicting Games!\",\"width\":300,\"height\":250}}]}}"
+                    );
+                }
+                ReceivedItem::ImageData | ReceivedItem::Binary => unreachable!("handled above"),
+            }
+        }
     }
 
     /// Renders a server response for the given received-items.
@@ -309,5 +408,49 @@ mod tests {
     fn no_items_render_empty_text() {
         let ctx = ValueContext::deterministic(7);
         assert_eq!(ctx.render_sent(&[]), Payload::Text(String::new()));
+    }
+
+    #[test]
+    fn streaming_renderers_match_allocating_forms() {
+        let mut ctx = ValueContext::deterministic(41);
+        ctx.dom_html = "<html><body>page</body></html>".into();
+        // Every sent-item combination of interest, incl. the full Table 5 set.
+        for items in [
+            &SentItem::ALL[..],
+            &[SentItem::Cookie, SentItem::UserId][..],
+            &[SentItem::Dom][..],
+            &[][..],
+            &[SentItem::Binary][..],
+        ] {
+            let mut out = String::new();
+            let is_text = ctx.write_sent_query(items, &mut out);
+            match ctx.render_sent(items) {
+                Payload::Text(t) => {
+                    assert!(is_text);
+                    assert_eq!(out, t);
+                }
+                Payload::Binary(_) => {
+                    assert!(!is_text);
+                    assert!(out.is_empty());
+                }
+            }
+        }
+        for items in [
+            &ReceivedItem::ALL[..],
+            &[ReceivedItem::Html][..],
+            &[ReceivedItem::Json, ReceivedItem::JavaScript][..],
+            &[ReceivedItem::AdUrls][..],
+            &[ReceivedItem::ImageData][..],
+            &[ReceivedItem::Binary][..],
+            &[][..],
+        ] {
+            let mut out = Vec::new();
+            ctx.render_received_into(items, "cdn.lockerdome.example", &mut out);
+            assert_eq!(
+                out,
+                ctx.render_received(items, "cdn.lockerdome.example")
+                    .as_bytes()
+            );
+        }
     }
 }

@@ -206,9 +206,48 @@ impl Frame {
 
 /// Applies (or removes — the operation is its own inverse) the RFC 6455
 /// XOR mask in place.
+///
+/// Vectorized: the bulk of the payload is XORed eight bytes at a time
+/// against a broadcast key word, with scalar head/tail loops keeping the
+/// key phase aligned to the payload offset. Byte-identical to
+/// [`apply_mask_scalar`] (the fuzz suite races them on random
+/// buffers/offsets).
 pub fn apply_mask(payload: &mut [u8], key: [u8; 4]) {
+    const WORD: usize = 8;
+    if payload.len() < WORD * 2 {
+        return apply_mask_scalar(payload, key, 0);
+    }
+    // Word-align the body so the u64 loads below are aligned; the key
+    // phase rotates with the number of head bytes consumed.
+    let head_len = payload.as_ptr().align_offset(WORD).min(payload.len());
+    let (head, rest) = payload.split_at_mut(head_len);
+    apply_mask_scalar(head, key, 0);
+    let phase = head_len & 3;
+    let rotated = [
+        key[phase],
+        key[(phase + 1) & 3],
+        key[(phase + 2) & 3],
+        key[(phase + 3) & 3],
+    ];
+    let broadcast = u64::from_ne_bytes([
+        rotated[0], rotated[1], rotated[2], rotated[3], rotated[0], rotated[1], rotated[2],
+        rotated[3],
+    ]);
+    let mut chunks = rest.chunks_exact_mut(WORD);
+    for chunk in &mut chunks {
+        let word = u64::from_ne_bytes(chunk.try_into().expect("exact chunk"));
+        chunk.copy_from_slice(&(word ^ broadcast).to_ne_bytes());
+    }
+    let tail = chunks.into_remainder();
+    apply_mask_scalar(tail, rotated, 0);
+}
+
+/// The obviously-correct byte-at-a-time reference form of [`apply_mask`],
+/// starting at key phase `offset & 3`. Public so the differential fuzz
+/// target can race the two.
+pub fn apply_mask_scalar(payload: &mut [u8], key: [u8; 4], offset: usize) {
     for (i, byte) in payload.iter_mut().enumerate() {
-        *byte ^= key[i & 3];
+        *byte ^= key[(offset + i) & 3];
     }
 }
 
@@ -257,6 +296,28 @@ mod tests {
         assert_ne!(data, original);
         apply_mask(&mut data, key);
         assert_eq!(data, original);
+    }
+
+    #[test]
+    fn vectorized_mask_matches_scalar_at_every_length_and_alignment() {
+        let key = [0x12, 0x34, 0x56, 0x78];
+        // A buffer long enough that slicing at every offset exercises all
+        // head alignments, lengths below and above the word threshold, and
+        // every tail remainder length.
+        let base: Vec<u8> = (0..193u32)
+            .map(|i| (i.wrapping_mul(31) >> 2) as u8)
+            .collect();
+        for start in 0..8 {
+            for len in 0..(base.len() - start) {
+                // Mask sub-slices in place so the slice pointer itself
+                // takes every alignment — to_vec() would re-align it.
+                let mut fast = base.clone();
+                let mut slow = base.clone();
+                apply_mask(&mut fast[start..start + len], key);
+                apply_mask_scalar(&mut slow[start..start + len], key, 0);
+                assert_eq!(fast, slow, "start={start} len={len}");
+            }
+        }
     }
 
     #[test]

@@ -7,13 +7,17 @@
 //! random patterns from the supported grammar plus adversarial haystacks
 //! and assert exact agreement on `is_match`, `find` spans, and set masks.
 //!
+//! A fifth target races the SWAR case-insensitive literal skip loop
+//! against its byte-at-a-time scalar reference on random
+//! haystacks/needles/offsets.
+//!
 //! Mirrors `tests/fuzz_journal.rs`: every case derives from the vendored
 //! proptest [`TestRng`] so a failing case number reproduces exactly, and
 //! the per-target case count honors `FUZZ_CASES` (default 2500; CI's
 //! matcher job raises it).
 
 use proptest::test_runner::TestRng;
-use sockscope_redlite::{Regex, RegexSet};
+use sockscope_redlite::{find_lit, find_lit_scalar, Regex, RegexSet};
 
 /// Per-target case count: `FUZZ_CASES` env or 2500.
 fn fuzz_cases() -> u64 {
@@ -151,6 +155,46 @@ fn fuzz_regex_set_agrees_with_per_pattern_scan() {
                 one_pass, reference,
                 "case {case}: specs {specs:?} haystack {hay:?}"
             );
+        }
+    }
+}
+
+#[test]
+fn fuzz_swar_literal_scan_agrees_with_scalar_reference() {
+    // The case-insensitive literal prefilter rides a SWAR skip loop
+    // (`find_byte_ci`) that scans eight haystack bytes per iteration; a
+    // phase, borrow-propagation, or remainder-handling bug would misplace
+    // or skip candidate offsets. Race `find_lit` against the
+    // byte-at-a-time reference on random haystacks (including bytes that
+    // alias the key under the 0x20 case-fold trick, like `@` vs `` ` ``
+    // and 0x7f/0x80), random needles, every starting offset, both case
+    // modes.
+    const NEEDLE_POOL: &[&str] = &[
+        "uid", "UID", "a", "@", "`", "Moz", "cookie", "=", "uId=", "",
+    ];
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("redlite_swar_scan", case);
+        let hay = arbitrary_haystack(&mut rng);
+        for _ in 0..4 {
+            let needle = if rng.below(3) == 0 {
+                NEEDLE_POOL[rng.usize_in(0, NEEDLE_POOL.len())].to_string()
+            } else {
+                let len = rng.usize_in(1, 5);
+                (0..len)
+                    .map(|_| HAY_CHARS[rng.usize_in(0, HAY_CHARS.len())])
+                    .collect()
+            };
+            let ci = rng.below(2) == 0;
+            // Every char-boundary `from` (the engine never passes a
+            // mid-char offset), plus one past the end (must be None per
+            // the documented edge contract, not a panic).
+            for from in (0..=hay.len() + 1).filter(|&f| f > hay.len() || hay.is_char_boundary(f)) {
+                assert_eq!(
+                    find_lit(&hay, &needle, ci, from),
+                    find_lit_scalar(&hay, &needle, ci, from),
+                    "case {case}: hay {hay:?} needle {needle:?} ci {ci} from {from}"
+                );
+            }
         }
     }
 }

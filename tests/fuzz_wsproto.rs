@@ -1,9 +1,10 @@
 //! Seeded fuzz harness for the `sockscope-wsproto` parsers.
 //!
-//! Five targets hammer the frame codec and the handshake parsers with
-//! deterministic byte soup and mutated-valid inputs. The invariant under
-//! test is uniform: **malformed wire input must surface as a typed
-//! [`ProtocolError`] / [`HandshakeError`], never as a panic** — the fault
+//! Six targets hammer the frame codec, the handshake parsers, and the
+//! vectorized mask kernel with deterministic byte soup and mutated-valid
+//! inputs. For the parsers the invariant is uniform: **malformed wire
+//! input must surface as a typed [`ProtocolError`] / [`HandshakeError`],
+//! never as a panic** — the fault
 //! injection subsystem feeds exactly this kind of garbage through the
 //! browser's socket sessions, so the parsers are load-bearing for chaos
 //! runs, not just for adversarial peers.
@@ -11,7 +12,9 @@
 //! Every case is derived from the vendored proptest's [`TestRng`], so a
 //! failing case number reproduces exactly. The per-target case count
 //! comes from `FUZZ_CASES` (default 2500; CI's chaos job raises it), so
-//! the five targets together clear the 10k-case floor at the default.
+//! the targets together clear the 10k-case floor at the default. The
+//! sixth target is a differential: the SWAR [`frame::apply_mask`] must be
+//! byte-identical to the scalar reference at every length and alignment.
 
 use proptest::test_runner::TestRng;
 use sockscope_wsproto::codec::MaskingRole;
@@ -206,5 +209,33 @@ fn fuzz_server_accept_request_never_panics() {
         let _ = HeaderBlock::parse(&String::from_utf8_lossy(&request));
         request.truncate(request.len() / 2);
         let _ = ServerHandshake::accept_request(&request);
+    }
+}
+
+#[test]
+fn fuzz_vectorized_mask_agrees_with_scalar_reference() {
+    use sockscope_wsproto::frame::{apply_mask, apply_mask_scalar};
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("mask_differential", case);
+        let len = rng.usize_in(0, 600);
+        let base: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        let key = [
+            rng.below(256) as u8,
+            rng.below(256) as u8,
+            rng.below(256) as u8,
+            rng.below(256) as u8,
+        ];
+        // Mask a subslice starting at a random small offset so the
+        // vectorized path sees every pointer alignment, including the
+        // unaligned head and ragged tail.
+        let start = rng.usize_in(0, len.min(8) + 1);
+        let mut vectorized = base.clone();
+        let mut scalar = base.clone();
+        apply_mask(&mut vectorized[start..], key);
+        apply_mask_scalar(&mut scalar[start..], key, 0);
+        assert_eq!(vectorized, scalar, "case {case}: len {len} start {start}");
+        // Masking is an involution: applying it again restores the input.
+        apply_mask(&mut vectorized[start..], key);
+        assert_eq!(vectorized, base, "case {case}: mask not an involution");
     }
 }

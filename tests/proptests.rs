@@ -266,11 +266,11 @@ proptest! {
 // inclusion trees from random event streams
 // ---------------------------------------------------------------------------
 
-fn random_events() -> impl Strategy<Value = Vec<CdpEvent>> {
+fn random_events() -> impl Strategy<Value = Vec<CdpEvent<'static>>> {
     let event = (0u8..6, 0u64..12, 0u64..12).prop_map(|(kind, a, b)| match kind {
         0 => CdpEvent::ScriptParsed {
             script_id: ScriptId(a),
-            url: format!("http://s{a}.example/x.js"),
+            url: format!("http://s{a}.example/x.js").into(),
             frame_id: FrameId(0),
             initiator: if b % 2 == 0 {
                 Initiator::Parser(FrameId(b % 3))
@@ -280,25 +280,25 @@ fn random_events() -> impl Strategy<Value = Vec<CdpEvent>> {
         },
         1 => CdpEvent::RequestWillBeSent {
             request_id: RequestId(a),
-            url: format!("http://r{a}.example/p.gif"),
+            url: format!("http://r{a}.example/p.gif").into(),
             resource_type: ResourceKind::Image,
             initiator: Initiator::Script(ScriptId(b)),
             frame_id: FrameId(0),
         },
         2 => CdpEvent::WebSocketCreated {
             request_id: RequestId(100 + a),
-            url: format!("wss://w{a}.example/ws"),
+            url: format!("wss://w{a}.example/ws").into(),
             initiator: Initiator::Script(ScriptId(b)),
             frame_id: FrameId(0),
         },
         3 => CdpEvent::WebSocketFrameSent {
             request_id: RequestId(100 + a),
-            payload: FramePayload::Text(format!("m{b}")),
+            payload: FramePayload::Text(format!("m{b}").into()),
         },
         4 => CdpEvent::FrameNavigated {
             frame_id: FrameId(1 + a % 3),
             parent_frame_id: Some(FrameId(b % 2)),
-            url: format!("http://f{a}.example/"),
+            url: format!("http://f{a}.example/").into(),
         },
         _ => CdpEvent::WebSocketClosed {
             request_id: RequestId(100 + a),
@@ -503,5 +503,143 @@ proptest! {
         ab.normalize();
         ba.normalize();
         prop_assert_eq!(ab, ba);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// browser visit arena: reset-and-reuse
+// ---------------------------------------------------------------------------
+
+use sockscope::browser::{Browser, BrowserConfig, BrowserEra, ExtensionHost, VisitSink};
+use sockscope::webmodel::host::StaticHost;
+use sockscope::webmodel::{
+    Action, Page, ReceivedItem, ScriptBehavior, ScriptRef, SentItem, WsExchange, WsServerProfile,
+};
+
+/// A small fixed web with enough variety (scripts, an image fetch, a
+/// WebSocket with traffic) to exercise every arena-backed buffer a visit
+/// allocates.
+fn arena_web() -> StaticHost {
+    let mut h = StaticHost::new();
+    let mut home = Page::new("http://site.example/index.html", "Site");
+    home.scripts = vec![
+        ScriptRef::Remote("http://site.example/app.js".into()),
+        ScriptRef::Remote("http://beacon.example/tag.js".into()),
+    ];
+    h.add_page(home);
+    let mut small = Page::new("http://site.example/about.html", "About");
+    small.scripts = vec![ScriptRef::Remote("http://site.example/app.js".into())];
+    h.add_page(small);
+    h.add_script("http://site.example/app.js", ScriptBehavior::inert());
+    h.add_script(
+        "http://beacon.example/tag.js",
+        ScriptBehavior::inert()
+            .then(Action::FetchImage {
+                url: "http://beacon.example/px.gif".into(),
+                sent: vec![SentItem::Cookie, SentItem::Screen],
+            })
+            .then(Action::OpenWebSocket {
+                url: "ws://beacon.example/feed.ws".into(),
+                exchanges: vec![WsExchange {
+                    send: vec![SentItem::Cookie, SentItem::UserAgent],
+                    receive: vec![ReceivedItem::Json],
+                }],
+            }),
+    );
+    h.add_ws_server("ws://beacon.example/feed.ws", WsServerProfile::accepting());
+    h
+}
+
+const ARENA_PAGES: [&str; 2] = [
+    "http://site.example/index.html",
+    "http://site.example/about.html",
+];
+
+/// A sink that unwinds partway through a visit, the way a supervision
+/// guard breach does: the visit's arena borrow must drop cleanly and the
+/// browser must remain fully usable afterwards.
+struct BreachingSink {
+    remaining: usize,
+}
+
+impl VisitSink for BreachingSink {
+    fn on_event(&mut self, _event: sockscope::browser::CdpEvent<'_>) {
+        if self.remaining == 0 {
+            panic!("injected guard breach");
+        }
+        self.remaining -= 1;
+    }
+}
+
+proptest! {
+    /// Interleaving successful visits, missing-page errors, and
+    /// mid-visit unwinds in any order (a) leaves the visit arena at a
+    /// stable high-water capacity — replaying the same interleaving
+    /// allocates no new chunks — and (b) never perturbs visit output:
+    /// after any history, a visit produces events byte-identical to a
+    /// fresh browser's, because the reset arena is indistinguishable
+    /// from a new one.
+    #[test]
+    fn visit_arena_reset_and_reuse_is_invisible(
+        ops in proptest::collection::vec((0u8..3, 0usize..6), 1..16),
+        seed in any::<u64>(),
+    ) {
+        let web = arena_web();
+        let config = BrowserConfig {
+            seed,
+            ..BrowserConfig::default()
+        };
+        let make = || {
+            Browser::new(
+                &web,
+                ExtensionHost::stock(BrowserEra::PreChrome58),
+                config.clone(),
+            )
+        };
+
+        // Reference streams, one fresh browser per page.
+        let expected: Vec<String> = ARENA_PAGES
+            .iter()
+            .map(|url| format!("{:?}", make().visit(url).unwrap().events))
+            .collect();
+
+        let browser = make();
+        let replay = |browser: &Browser<'_>| {
+            for &(kind, arg) in &ops {
+                match kind {
+                    0 => {
+                        let url = ARENA_PAGES[arg % ARENA_PAGES.len()];
+                        browser.visit(url).unwrap();
+                    }
+                    1 => {
+                        assert!(browser.visit("http://missing.example/x").is_err());
+                    }
+                    _ => {
+                        let url = ARENA_PAGES[arg % ARENA_PAGES.len()];
+                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let mut sink = BreachingSink { remaining: arg };
+                            let _ = browser.visit_streamed(url, None, &mut sink);
+                        }));
+                        // Short budgets unwind mid-visit; long ones let the
+                        // visit finish. Both must leave the browser usable.
+                        let _ = outcome;
+                    }
+                }
+            }
+        };
+
+        replay(&browser);
+        let warm = browser.arena_capacity();
+        replay(&browser);
+        prop_assert_eq!(
+            browser.arena_capacity(),
+            warm,
+            "arena grew on a replayed interleaving"
+        );
+
+        for (url, want) in ARENA_PAGES.iter().zip(&expected) {
+            let got = format!("{:?}", browser.visit(url).unwrap().events);
+            prop_assert_eq!(&got, want, "history leaked into visit events");
+        }
     }
 }
