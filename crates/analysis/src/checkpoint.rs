@@ -40,7 +40,6 @@ use crate::reduce::CrawlReduction;
 use crate::study::{Study, StudyConfig, SHARDS_PER_THREAD};
 use sockscope_faults::mix;
 use sockscope_journal::{Journal, JournalScan, KillPoint, Quarantined, SegmentMeta};
-use sockscope_webgen::CrawlEra;
 
 /// Where and how a checkpointed run journals its shards.
 #[derive(Debug, Clone)]
@@ -133,6 +132,16 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// FNV-1a over raw bytes, for folding era labels into the fingerprint.
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 impl From<std::io::Error> for CheckpointError {
     fn from(e: std::io::Error) -> CheckpointError {
         CheckpointError::Io(e)
@@ -148,6 +157,8 @@ pub struct ResumeReport {
     pub resumed: bool,
     /// Shards per era in the partition.
     pub shard_count: usize,
+    /// Eras in the crawl's timeline.
+    pub eras: usize,
     /// Era-shards recovered from durable segments (not re-crawled).
     pub shards_recovered: usize,
     /// Era-shards crawled in this process.
@@ -170,8 +181,7 @@ impl ResumeReport {
         let _ = writeln!(
             out,
             "  shard partition:      {} shards x {} eras",
-            self.shard_count,
-            CrawlEra::ALL.len()
+            self.shard_count, self.eras
         );
         let _ = writeln!(out, "  shards recovered:     {}", self.shards_recovered);
         let _ = writeln!(out, "  shards re-crawled:    {}", self.shards_recrawled);
@@ -215,6 +225,25 @@ impl StudyConfig {
                 h = mix(h, v.wrapping_add(1));
             }
         }
+        // The crawl schedule shapes output: era count, patch boundary,
+        // activity jitter, and churn all change what the crawl observes.
+        // The pinned paper preset hashes as the absence of a fold so that
+        // four-crawl journals written before timelines existed (and any
+        // journal of a default config) remain resumable.
+        if !self.timeline.is_paper() {
+            h = mix(h, 0x0E5A_711E);
+            h = mix(h, self.timeline.len() as u64);
+            for era in self.timeline.eras() {
+                h = mix(h, era.index().wrapping_add(1));
+                h = mix(h, if era.pre_patch() { 2 } else { 1 });
+                h = mix(h, u64::from(era.activity_pm()));
+                h = mix(h, fnv1a_bytes(era.label().as_bytes()));
+                if let Some(churn) = era.churn() {
+                    h = mix(h, churn.seed.wrapping_add(1));
+                    h = mix(h, u64::from(churn.eras).wrapping_add(1));
+                }
+            }
+        }
         // Site hazards shape output independently of the transport rates
         // (they decide the quarantine set), so they hash separately; a
         // hazard-free profile keeps its pre-supervision fingerprint.
@@ -247,7 +276,7 @@ impl Study {
         let fingerprint = config.fingerprint();
 
         let scan = if opts.resume {
-            journal.scan(fingerprint)?
+            journal.scan_bounded(fingerprint, Some(config.timeline.len() as u32))?
         } else {
             if !journal.is_empty()? {
                 return Err(CheckpointError::DirNotEmpty(opts.dir.clone()));
@@ -263,7 +292,7 @@ impl Study {
             .unwrap_or(config.threads.max(1) * SHARDS_PER_THREAD)
             .max(1);
 
-        let eras = CrawlEra::ALL.len();
+        let eras = config.timeline.len();
         let mut quarantined = scan.quarantined;
         let mut recovered: Vec<Vec<Option<CrawlReduction>>> =
             (0..eras).map(|_| vec![None; shard_count]).collect();
@@ -291,7 +320,11 @@ impl Study {
         }
 
         let web = Study::universe(config);
-        let engine = Study::engine_for(&web);
+        let base_engine = Study::engine_for(&web);
+        // Evolving timelines label/block against each era's lists (see
+        // `Study::run_pipeline`); the frozen paper preset shares one
+        // engine and stays byte-identical to the pre-timeline driver.
+        let evolving = config.timeline.evolves();
         let crawl_config = Study::crawl_config(config);
 
         // Simulated process death (test harness): once the kill fires, no
@@ -303,9 +336,11 @@ impl Study {
         let mut shards_recovered = 0usize;
         let mut shards_recrawled = 0usize;
 
-        for era in CrawlEra::ALL {
+        for era in config.timeline.eras() {
             let era_idx = era.index() as usize;
-            let era_web = web.for_era(era);
+            let era_web = web.for_era(era.clone());
+            let era_engine = evolving.then(|| Study::engine_for(&era_web));
+            let engine = era_engine.as_ref().unwrap_or(&base_engine);
             let make_extensions =
                 || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(era));
             let era_recovered = &recovered[era_idx];
@@ -349,7 +384,7 @@ impl Study {
                     &orch,
                     shard_count,
                     &make_extensions,
-                    &|| FusedShard::new(era.label(), era.pre_patch(), &engine),
+                    &|| FusedShard::new(era.label(), era.pre_patch(), engine),
                     &|worker: &mut FusedShard<'_>| worker.take_site_reduction(),
                     &|_shard| CrawlReduction::new(era.label(), era.pre_patch()),
                     &|acc: &mut CrawlReduction, site| acc.absorb(site),
@@ -363,7 +398,7 @@ impl Study {
                     &crawl_config,
                     shard_count,
                     &make_extensions,
-                    &|_shard| FusedShard::new(era.label(), era.pre_patch(), &engine),
+                    &|_shard| FusedShard::new(era.label(), era.pre_patch(), engine),
                     &|s| era_recovered[s].is_some() || dead.load(Ordering::Relaxed),
                     &|s, acc: &FusedShard<'_>| persist_reduction(s, acc.reduction()),
                 )
@@ -403,10 +438,11 @@ impl Study {
             reductions.push(reduction);
         }
 
-        let study = Study::assemble(&web, engine, reductions);
+        let study = Study::assemble(&web, base_engine, reductions);
         let report = ResumeReport {
             resumed: opts.resume,
             shard_count,
+            eras,
             shards_recovered,
             shards_recrawled,
             quarantined,
@@ -419,6 +455,7 @@ impl Study {
 mod tests {
     use super::*;
     use crate::snapshot::StudySnapshot;
+    use sockscope_webgen::CrawlEra;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir =

@@ -333,7 +333,7 @@ mod tests {
                 &web,
                 &config,
                 3,
-                &|| sockscope_browser::ExtensionHost::stock(browser_era(web.config().era)),
+                &|| sockscope_browser::ExtensionHost::stock(browser_era(&web.config().era)),
                 &|_| FusedShard::new("era", true, &engine),
             )
             .into_iter()

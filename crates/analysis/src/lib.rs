@@ -23,6 +23,11 @@
 //!   per-Alexa-category cut the §3.3 sample design enables, and the full
 //!   crawl-over-crawl presence matrix generalizing §4.1's "56 initiators
 //!   disappeared" observation.
+//! * [`longitudinal`] — era-parametric N-crawl studies over any
+//!   [`sockscope_webgen::EraTimeline`]: per-era drift reports
+//!   ([`longitudinal::EraDelta`]) and delta-compressed snapshot lineage
+//!   ([`longitudinal::SnapshotLineage`]) with byte-identical
+//!   reconstruction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +38,7 @@ pub mod churn;
 pub mod figures;
 pub mod fused;
 pub mod json;
+pub mod longitudinal;
 pub mod pii;
 pub mod reduce;
 pub mod snapshot;
@@ -42,6 +48,7 @@ pub mod textstats;
 
 pub use checkpoint::{CheckpointError, CheckpointOptions, KillPlan, ResumeReport};
 pub use fused::FusedShard;
+pub use longitudinal::{run_longitudinal, EraDelta, LongitudinalRun, SnapshotLineage};
 pub use pii::PiiLibrary;
 pub use reduce::{
     CrawlReduction, PayloadSource, SocketObservation, TranscriptPayloads, WsPayloadSummary,

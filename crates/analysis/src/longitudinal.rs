@@ -1,0 +1,376 @@
+//! Era-parametric longitudinal studies with delta-compressed lineage.
+//!
+//! The paper's four crawls are one fixed schedule; this module generalizes
+//! them into an N-era longitudinal run over any [`EraTimeline`]:
+//!
+//! * [`run_longitudinal`] crawls every era of the configured timeline
+//!   (through the same pipelined [`Study`] driver — the paper preset stays
+//!   byte-identical), then derives two longitudinal products:
+//! * [`EraDelta`] — the era-over-era drift report: evaders appearing and
+//!   disappearing (§4.1's "56 initiators disappeared" generalized to any
+//!   adjacent pair), filter-list churn (rules newly covering vs retired),
+//!   and the **blocklist lag** — evaders whose current domain generation
+//!   the era's lists don't yet cover, the paper's circumvention window
+//!   made measurable per era;
+//! * [`SnapshotLineage`] — delta-compressed snapshot storage. Era *k*'s
+//!   cumulative [`StudySnapshot`] is stored as a structural delta
+//!   (`sockscope_journal::delta`) against era *k−1*'s; every era
+//!   reconstructs byte-identically from the chain. Because snapshot *k*
+//!   extends snapshot *k−1* by one reduction, each delta costs roughly
+//!   one era's worth of bytes instead of *k+1* eras' — the ratio grows
+//!   linearly with timeline length (≈ (N+1)/2 at N eras).
+
+use crate::reduce::CrawlReduction;
+use crate::snapshot::StudySnapshot;
+use crate::study::{Study, StudyConfig};
+use serde::{Deserialize, Serialize};
+use sockscope_filterlist::Engine;
+use sockscope_journal::delta::{apply, encode, DeltaError};
+use sockscope_webgen::SyntheticWeb;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Era-over-era drift between two adjacent crawls of a timeline.
+///
+/// Era 0 is diffed against the empty baseline, so its `new_evaders` lists
+/// the full starting ecosystem and `socket_drift` equals its socket count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EraDelta {
+    /// Timeline position (0-based).
+    pub era: u32,
+    /// The era's crawl label.
+    pub label: String,
+    /// A&A initiator keys opening sockets this era but not the previous
+    /// one — either genuinely new adopters or rotated domain generations
+    /// the previous era's aggregation didn't see.
+    pub new_evaders: Vec<String>,
+    /// A&A initiator keys that opened sockets last era but not this one
+    /// (the §4.1 disappearance generalized).
+    pub gone_evaders: Vec<String>,
+    /// Filter-list lines present this era and absent the previous one.
+    pub newly_covered_rules: usize,
+    /// Filter-list lines dropped since the previous era.
+    pub retired_rules: usize,
+    /// Evaders active this era whose aggregation key no list line
+    /// mentions — the coverage gap the one-era publication lag opens.
+    pub blocklist_lag: Vec<String>,
+    /// Sockets observed this era.
+    pub sockets: usize,
+    /// Socket count change vs the previous era.
+    pub socket_drift: i64,
+    /// Distinct publisher sites with at least one socket this era.
+    pub sites_with_sockets: usize,
+}
+
+/// Delta-compressed storage for a sequence of era snapshots.
+///
+/// Era 0 is stored in full; era *k* ≥ 1 as a `sockscope_journal::delta`
+/// patch against era *k−1*'s bytes. Reconstruction applies the chain and
+/// is byte-identical by construction (each patch carries source and
+/// target CRCs, so corruption surfaces as a typed [`DeltaError`] instead
+/// of a silently wrong snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotLineage {
+    /// Era 0's full snapshot bytes.
+    pub base: Vec<u8>,
+    /// Delta patches: `deltas[i]` transforms era *i* into era *i+1*.
+    pub deltas: Vec<Vec<u8>>,
+    /// Uncompressed byte length of every era's snapshot, for reporting.
+    pub full_lens: Vec<u64>,
+}
+
+/// Sidecar manifest persisted next to the lineage files.
+#[derive(Serialize, Deserialize)]
+struct LineageManifest {
+    version: u32,
+    eras: usize,
+    full_lens: Vec<u64>,
+}
+
+/// Lineage directory layout version.
+const LINEAGE_VERSION: u32 = 1;
+
+impl SnapshotLineage {
+    /// Builds a lineage from per-era snapshot bytes (era order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshots` is empty.
+    pub fn build(snapshots: &[Vec<u8>]) -> SnapshotLineage {
+        assert!(!snapshots.is_empty(), "lineage needs at least one era");
+        let deltas = snapshots
+            .windows(2)
+            .map(|pair| encode(&pair[0], &pair[1]))
+            .collect();
+        SnapshotLineage {
+            base: snapshots[0].clone(),
+            deltas,
+            full_lens: snapshots.iter().map(|s| s.len() as u64).collect(),
+        }
+    }
+
+    /// Number of eras the lineage covers.
+    pub fn era_count(&self) -> usize {
+        self.deltas.len() + 1
+    }
+
+    /// Reconstructs era `era`'s snapshot bytes by applying the delta
+    /// chain from the base.
+    pub fn reconstruct(&self, era: usize) -> Result<Vec<u8>, DeltaError> {
+        let mut bytes = self.base.clone();
+        for patch in self.deltas.iter().take(era) {
+            bytes = apply(&bytes, patch)?;
+        }
+        Ok(bytes)
+    }
+
+    /// Reconstructs every era, in order (applies the chain once, not
+    /// once per era).
+    pub fn reconstruct_all(&self) -> Result<Vec<Vec<u8>>, DeltaError> {
+        let mut out = Vec::with_capacity(self.era_count());
+        out.push(self.base.clone());
+        for patch in &self.deltas {
+            let next = apply(out.last().expect("non-empty"), patch)?;
+            out.push(next);
+        }
+        Ok(out)
+    }
+
+    /// Bytes the lineage actually stores (base + every patch).
+    pub fn stored_bytes(&self) -> u64 {
+        self.base.len() as u64 + self.deltas.iter().map(|d| d.len() as u64).sum::<u64>()
+    }
+
+    /// Bytes full per-era snapshots would store.
+    pub fn full_bytes(&self) -> u64 {
+        self.full_lens.iter().sum()
+    }
+
+    /// `full_bytes / stored_bytes` — how much the lineage saves.
+    pub fn compression_ratio(&self) -> f64 {
+        self.full_bytes() as f64 / self.stored_bytes().max(1) as f64
+    }
+
+    /// Persists the lineage into a directory: `era-000.full`,
+    /// `era-NNN.delta` for each subsequent era, and `manifest.json`.
+    /// Every file goes through `sockscope_journal::atomic_write`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        sockscope_journal::atomic_write(&dir.join("era-000.full"), &self.base)?;
+        for (i, patch) in self.deltas.iter().enumerate() {
+            let name = format!("era-{:03}.delta", i + 1);
+            sockscope_journal::atomic_write(&dir.join(name), patch)?;
+        }
+        let manifest = LineageManifest {
+            version: LINEAGE_VERSION,
+            eras: self.era_count(),
+            full_lens: self.full_lens.clone(),
+        };
+        let json = serde_json::to_string(&manifest).expect("manifest serializes");
+        sockscope_journal::atomic_write(&dir.join("manifest.json"), json.as_bytes())
+    }
+
+    /// Loads a lineage saved by [`SnapshotLineage::save`].
+    pub fn load(dir: &Path) -> std::io::Result<SnapshotLineage> {
+        let manifest_text = std::fs::read_to_string(dir.join("manifest.json"))?;
+        let manifest: LineageManifest = serde_json::from_str(&manifest_text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if manifest.version != LINEAGE_VERSION {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unsupported lineage version {}", manifest.version),
+            ));
+        }
+        let base = std::fs::read(dir.join("era-000.full"))?;
+        let mut deltas = Vec::with_capacity(manifest.eras.saturating_sub(1));
+        for i in 1..manifest.eras {
+            deltas.push(std::fs::read(dir.join(format!("era-{i:03}.delta")))?);
+        }
+        Ok(SnapshotLineage {
+            base,
+            deltas,
+            full_lens: manifest.full_lens,
+        })
+    }
+}
+
+/// A completed longitudinal run: the study itself plus the two
+/// longitudinal products derived from it.
+pub struct LongitudinalRun {
+    /// The underlying multi-era study (reductions in era order).
+    pub study: Study,
+    /// One drift report per era (era 0 against the empty baseline).
+    pub deltas: Vec<EraDelta>,
+    /// Delta-compressed cumulative snapshot lineage, one entry per era.
+    pub lineage: SnapshotLineage,
+}
+
+/// Runs the configured timeline end to end and derives the longitudinal
+/// products. The crawl itself is exactly [`Study::run`] — the paper
+/// preset through this path reproduces the pinned stream-identity bytes.
+pub fn run_longitudinal(config: &StudyConfig) -> LongitudinalRun {
+    let study = Study::run(config);
+    let web = Study::universe(config);
+    let lineage = SnapshotLineage::build(&era_snapshots(&web, &study.reductions));
+    let deltas = era_deltas(&study, &web, config);
+    LongitudinalRun {
+        study,
+        deltas,
+        lineage,
+    }
+}
+
+/// Serializes the cumulative study-as-of-era-*k* snapshot for every era:
+/// snapshot *k* is assembled from reductions `0..=k`, so adjacent
+/// snapshots share a long common prefix and delta-compress well. The
+/// engine is irrelevant to snapshot bytes (snapshots never serialize it),
+/// so prefixes are assembled with an empty one.
+pub fn era_snapshots(web: &SyntheticWeb, reductions: &[CrawlReduction]) -> Vec<Vec<u8>> {
+    (0..reductions.len())
+        .map(|k| {
+            let prefix = Study::assemble(web, Engine::default(), reductions[..=k].to_vec());
+            StudySnapshot::capture(&prefix).to_json().into_bytes()
+        })
+        .collect()
+}
+
+/// Computes the per-era drift reports for a completed study.
+pub fn era_deltas(study: &Study, web: &SyntheticWeb, config: &StudyConfig) -> Vec<EraDelta> {
+    let mut out = Vec::with_capacity(study.crawl_count());
+    let mut prev_evaders: BTreeSet<String> = BTreeSet::new();
+    let mut prev_rules: BTreeSet<String> = BTreeSet::new();
+    let mut prev_sockets: usize = 0;
+    for (idx, era) in config.timeline.eras().iter().enumerate() {
+        let red = &study.reductions[idx];
+        let evaders: BTreeSet<String> = study
+            .classified(idx)
+            .iter()
+            .filter(|c| c.is_aa_socket())
+            .map(|c| c.initiator.clone())
+            .collect();
+        let era_web = web.for_era(era.clone());
+        let mut rules: BTreeSet<String> = era_web.easylist().lines().map(str::to_string).collect();
+        rules.extend(era_web.easyprivacy().lines().map(str::to_string));
+        let blocklist_lag: Vec<String> = evaders
+            .iter()
+            .filter(|e| !rules.iter().any(|r| r.contains(e.as_str())))
+            .cloned()
+            .collect();
+        let sites_with_sockets = red
+            .sockets
+            .iter()
+            .map(|s| s.site_domain.as_str())
+            .collect::<BTreeSet<_>>()
+            .len();
+        out.push(EraDelta {
+            era: era.index_u32(),
+            label: era.label().to_string(),
+            new_evaders: evaders.difference(&prev_evaders).cloned().collect(),
+            gone_evaders: prev_evaders.difference(&evaders).cloned().collect(),
+            newly_covered_rules: rules.difference(&prev_rules).count(),
+            retired_rules: prev_rules.difference(&rules).count(),
+            blocklist_lag,
+            sockets: red.sockets.len(),
+            socket_drift: red.sockets.len() as i64 - prev_sockets as i64,
+            sites_with_sockets,
+        });
+        prev_evaders = evaders;
+        prev_rules = rules;
+        prev_sockets = red.sockets.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sockscope_webgen::EraTimeline;
+
+    fn small_config(eras: &EraTimeline) -> StudyConfig {
+        StudyConfig {
+            n_sites: 120,
+            threads: 2,
+            timeline: eras.clone(),
+            ..StudyConfig::default()
+        }
+    }
+
+    #[test]
+    fn lineage_reconstructs_every_era_byte_identically() {
+        let timeline = EraTimeline::synthetic(6, 0x0011_EA6E, 3);
+        let run = run_longitudinal(&small_config(&timeline));
+        assert_eq!(run.lineage.era_count(), 6);
+        let web = Study::universe(&small_config(&timeline));
+        let fulls = era_snapshots(&web, &run.study.reductions);
+        for (k, full) in fulls.iter().enumerate() {
+            assert_eq!(&run.lineage.reconstruct(k).unwrap(), full, "era {k}");
+        }
+        let all = run.lineage.reconstruct_all().unwrap();
+        assert_eq!(all, fulls);
+    }
+
+    #[test]
+    fn cumulative_lineage_compresses() {
+        let timeline = EraTimeline::synthetic(8, 0xC0_4B1E, 4);
+        let run = run_longitudinal(&small_config(&timeline));
+        // Cumulative prefixes share bytes: stored must beat full storage
+        // and the ratio should scale with era count (≥ 2x at 8 eras).
+        assert!(
+            run.lineage.compression_ratio() >= 2.0,
+            "ratio {:.2}",
+            run.lineage.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn lineage_survives_a_directory_roundtrip() {
+        let timeline = EraTimeline::synthetic(4, 0x000D_15C0, 2);
+        let run = run_longitudinal(&small_config(&timeline));
+        let dir = std::env::temp_dir().join("sockscope-lineage-test");
+        std::fs::remove_dir_all(&dir).ok();
+        run.lineage.save(&dir).unwrap();
+        let back = SnapshotLineage::load(&dir).unwrap();
+        assert_eq!(back, run.lineage);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn era_deltas_track_drift_on_an_evolving_timeline() {
+        let timeline = EraTimeline::synthetic(5, 0xD21F7, 2);
+        let run = run_longitudinal(&small_config(&timeline));
+        assert_eq!(run.deltas.len(), 5);
+        // Era 0 is the baseline: everything is "new".
+        assert!(run.deltas[0].gone_evaders.is_empty());
+        assert!(!run.deltas[0].new_evaders.is_empty());
+        assert_eq!(run.deltas[0].socket_drift, run.deltas[0].sockets as i64);
+        // Rule churn must be visible somewhere after era 0 (rotation +
+        // zzchurn cohorts both feed it).
+        assert!(
+            run.deltas[1..]
+                .iter()
+                .any(|d| d.newly_covered_rules > 0 || d.retired_rules > 0),
+            "evolving timeline produced no rule churn"
+        );
+        // Labels line up with the timeline.
+        for (d, era) in run.deltas.iter().zip(timeline.eras()) {
+            assert_eq!(d.label, era.label());
+            assert_eq!(d.era, era.index_u32());
+        }
+    }
+
+    #[test]
+    fn paper_preset_deltas_reproduce_the_known_shape() {
+        let run = run_longitudinal(&small_config(&EraTimeline::paper()));
+        assert_eq!(run.deltas.len(), 4);
+        // Frozen lists: no churn after the baseline era.
+        for d in &run.deltas[1..] {
+            assert_eq!(d.newly_covered_rules, 0, "era {}", d.era);
+            assert_eq!(d.retired_rules, 0, "era {}", d.era);
+        }
+        // The patch lands between eras 1 and 2: major evaders disappear.
+        assert!(
+            !run.deltas[2].gone_evaders.is_empty(),
+            "patch era lost no evaders"
+        );
+    }
+}

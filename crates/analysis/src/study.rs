@@ -32,7 +32,7 @@ use crate::reduce::{CrawlReduction, SocketObservation};
 use sockscope_crawler::CrawlConfig;
 use sockscope_faults::FaultProfile;
 use sockscope_filterlist::{AaDomainSet, Engine, Labeler};
-use sockscope_webgen::{CrawlEra, SyntheticWeb, WebGenConfig};
+use sockscope_webgen::{EraTimeline, SyntheticWeb, WebGenConfig};
 use std::sync::Mutex;
 
 /// Study configuration.
@@ -60,6 +60,10 @@ pub struct StudyConfig {
     pub workers: Option<usize>,
     /// Orchestrator result-queue capacity (backpressure depth).
     pub queue_depth: usize,
+    /// The crawl schedule. Defaults to the pinned four-crawl paper preset
+    /// ([`EraTimeline::paper`]); longitudinal runs swap in
+    /// [`EraTimeline::synthetic`] (e.g. via the CLI's `--eras N`).
+    pub timeline: EraTimeline,
 }
 
 impl Default for StudyConfig {
@@ -75,6 +79,7 @@ impl Default for StudyConfig {
             orchestrated: true,
             workers: None,
             queue_depth: 64,
+            timeline: EraTimeline::paper(),
         }
     }
 }
@@ -249,15 +254,22 @@ impl Study {
 
     fn run_pipeline(config: &StudyConfig, pipeline: Pipeline) -> Study {
         let web = Study::universe(config);
-        let engine = Study::engine_for(&web);
+        let base_engine = Study::engine_for(&web);
+        // On evolving timelines the lists differ per era, so each crawl
+        // labels and blocks against the lists as published at that era;
+        // frozen timelines (the paper preset) share one engine, which
+        // keeps that path byte-identical to the pre-timeline pipeline.
+        let evolving = config.timeline.evolves();
         let mut crawl_config = Study::crawl_config(config);
         if pipeline == Pipeline::Reference {
             crawl_config.visit_reference = true;
         }
 
         let mut reductions = Vec::new();
-        for era in CrawlEra::ALL {
-            let era_web = web.for_era(era);
+        for era in config.timeline.eras() {
+            let era_web = web.for_era(era.clone());
+            let era_engine = evolving.then(|| Study::engine_for(&era_web));
+            let engine = era_engine.as_ref().unwrap_or(&base_engine);
             let make_extensions =
                 || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(era));
             let mut reduction = match pipeline {
@@ -271,7 +283,7 @@ impl Study {
                         // Each worker owns its classification context; the
                         // reduce stage folds the per-site reductions they
                         // emit in ascending site order.
-                        &|| crate::fused::FusedShard::new(era.label(), era.pre_patch(), &engine),
+                        &|| crate::fused::FusedShard::new(era.label(), era.pre_patch(), engine),
                         &|worker: &mut crate::fused::FusedShard<'_>| worker.take_site_reduction(),
                         &|| CrawlReduction::new(era.label(), era.pre_patch()),
                         &|acc: &mut CrawlReduction, site| acc.absorb(site),
@@ -288,7 +300,7 @@ impl Study {
                         // classification context; only the filter engine
                         // is shared (read-only).
                         &|_shard| {
-                            crate::fused::FusedShard::new(era.label(), era.pre_patch(), &engine)
+                            crate::fused::FusedShard::new(era.label(), era.pre_patch(), engine)
                         },
                     )
                     .into_iter()
@@ -312,7 +324,7 @@ impl Study {
                             )
                         },
                         &|acc: &mut (CrawlReduction, PiiLibrary), record| {
-                            acc.0.observe_site(&record, &engine, &acc.1);
+                            acc.0.observe_site(&record, engine, &acc.1);
                         },
                     )
                     .into_iter()
@@ -333,7 +345,7 @@ impl Study {
                             reduction
                                 .lock()
                                 .expect("reduction lock")
-                                .observe_site(&record, &engine, &lib);
+                                .observe_site(&record, engine, &lib);
                         },
                     );
                     reduction.into_inner().expect("reduction lock")
@@ -345,7 +357,7 @@ impl Study {
             reductions.push(reduction);
         }
 
-        Study::assemble(&web, engine, reductions)
+        Study::assemble(&web, base_engine, reductions)
     }
 
     /// Classifies every socket of crawl `idx` under `D'`.
@@ -372,7 +384,7 @@ impl Study {
         }
     }
 
-    /// Number of crawls (always 4).
+    /// Number of crawls (one per timeline era; 4 for the paper preset).
     pub fn crawl_count(&self) -> usize {
         self.reductions.len()
     }

@@ -19,7 +19,7 @@ use sockscope_analysis::reduce::CrawlReduction;
 use sockscope_browser::ExtensionHost;
 use sockscope_crawler::{browser_era, crawl_sharded, crawl_streaming, CrawlConfig, SiteRecord};
 use sockscope_filterlist::Engine;
-use sockscope_webgen::{CrawlEra, SyntheticWeb, WebGenConfig};
+use sockscope_webgen::{Era, SyntheticWeb, WebGenConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -33,7 +33,7 @@ fn env_usize(name: &str, default: usize) -> usize {
 struct Setup {
     web: SyntheticWeb,
     engine: Engine,
-    era: CrawlEra,
+    era: Era,
     config: CrawlConfig,
     shards: usize,
 }
@@ -45,7 +45,7 @@ fn setup() -> Setup {
     });
     let (engine, errs) = Engine::parse_many(&[&web.easylist(), &web.easyprivacy()]);
     assert!(errs.is_empty(), "generated lists must parse");
-    let era = web.config().era;
+    let era = web.config().era.clone();
     let threads = env_usize("SOCKSCOPE_BENCH_THREADS", 4);
     Setup {
         web,
@@ -167,7 +167,7 @@ fn bench_reduce_records(c: &mut Criterion) {
 
 fn bench_crawl_pipeline(c: &mut Criterion) {
     let s = setup();
-    let make_extensions = || ExtensionHost::stock(browser_era(s.era));
+    let make_extensions = || ExtensionHost::stock(browser_era(&s.era));
 
     let mut group = c.benchmark_group("crawl_pipeline");
     group.throughput(Throughput::Elements(s.web.sites().len() as u64));

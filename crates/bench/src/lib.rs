@@ -12,10 +12,11 @@
 //! | `SOCKSCOPE_WORKERS` | `SOCKSCOPE_THREADS` | orchestrator crawl workers |
 //! | `SOCKSCOPE_QUEUE_DEPTH` | 64 | orchestrator hand-off queue capacity |
 //! | `SOCKSCOPE_STATIC` | unset | `1` = static shard-per-thread driver |
+//! | `SOCKSCOPE_ERAS` | unset | N-era synthetic timeline instead of the paper's 4 crawls |
 
 #![forbid(unsafe_code)]
 
-use sockscope::StudyConfig;
+use sockscope::{EraTimeline, StudyConfig};
 
 /// Reads the scale knobs from the environment.
 pub fn study_config_from_env() -> StudyConfig {
@@ -50,6 +51,15 @@ pub fn study_config_from_env() -> StudyConfig {
     if std::env::var("SOCKSCOPE_STATIC").as_deref() == Ok("1") {
         config.orchestrated = false;
     }
+    // After --seed so the synthetic timeline derives from the final seed,
+    // matching the CLI's `--eras` behaviour.
+    if let Ok(v) = std::env::var("SOCKSCOPE_ERAS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                config.timeline = EraTimeline::synthetic(n, config.seed ^ 0x0E5A_51DE, n / 2);
+            }
+        }
+    }
     config
 }
 
@@ -57,8 +67,11 @@ pub fn study_config_from_env() -> StudyConfig {
 pub fn run_study_announced(what: &str) -> sockscope::report::StudyReport {
     let config = study_config_from_env();
     eprintln!(
-        "[sockscope] regenerating {what}: {} sites x 4 crawls, {} threads, seed {:#x}",
-        config.n_sites, config.threads, config.seed
+        "[sockscope] regenerating {what}: {} sites x {} crawls, {} threads, seed {:#x}",
+        config.n_sites,
+        config.timeline.len(),
+        config.threads,
+        config.seed
     );
     let t = std::time::Instant::now();
     let report = sockscope::StudyReport::run(&config);

@@ -17,10 +17,11 @@
 #![warn(missing_docs)]
 
 use sockscope::analysis::checkpoint::{CheckpointError, CheckpointOptions};
+use sockscope::analysis::longitudinal::{era_deltas, era_snapshots, SnapshotLineage};
 use sockscope::analysis::snapshot::SnapshotError;
 use sockscope::faults::FaultProfile;
 use sockscope::report::StudyReport;
-use sockscope::{Study, StudyConfig};
+use sockscope::{EraTimeline, Study, StudyConfig};
 use sockscope_analysis::snapshot::StudySnapshot;
 
 /// Parsed command line.
@@ -43,6 +44,9 @@ pub enum Command {
         /// more than this many sites. `None` never fails: quarantine is
         /// reported through exit code 5 instead.
         max_quarantined: Option<usize>,
+        /// Write the delta-compressed snapshot lineage here (forces the
+        /// longitudinal products even on the paper preset).
+        lineage_dir: Option<String>,
     },
     /// Print the full report.
     Report(Source),
@@ -91,7 +95,7 @@ USAGE:
   sockscope run       [--sites N] [--seed HEX] [--threads N] [--save FILE] [--streaming]
                       [--workers N] [--queue-depth N] [--orchestrated | --static-shards]
                       [--faults PROFILE] [--checkpoint-dir DIR] [--resume]
-                      [--max-quarantined N]
+                      [--max-quarantined N] [--eras N] [--lineage-dir DIR]
   sockscope report    [--from FILE | --sites N ...]
   sockscope table     <1|2|3|4|5> [--csv] [--from FILE | --sites N ...]
   sockscope figure3   [--csv] [--from FILE | --sites N ...]
@@ -136,6 +140,16 @@ OPTIONS:
                   fail the run (exit 3) when supervised execution
                   quarantines more than N sites; without this flag a
                   quarantining run still completes and exits 5
+  --eras N        crawl an N-era synthetic timeline instead of the pinned
+                  four-crawl paper schedule: tracker domains rotate,
+                  filter lists churn (coverage lags rotation by one era),
+                  and publishers adopt/drop trackers per era. The report
+                  gains an era-drift table
+  --lineage-dir DIR
+                  write the delta-compressed snapshot lineage to DIR (one
+                  full base snapshot + one structural delta per era;
+                  every era reconstructs byte-identically). Implies the
+                  longitudinal products even on the paper schedule
 
 EXIT CODES:
   0  success                      2  bad flags or configuration
@@ -232,6 +246,7 @@ struct Knobs {
     checkpoint_dir: Option<String>,
     resume: bool,
     max_quarantined: Option<usize>,
+    lineage_dir: Option<String>,
     /// How many of `--orchestrated`/`--static-shards` appeared (they are
     /// mutually exclusive with each other and with `--streaming`).
     driver_flags: usize,
@@ -248,6 +263,8 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
     let mut checkpoint_dir = None;
     let mut resume = false;
     let mut max_quarantined = None;
+    let mut lineage_dir = None;
+    let mut eras: Option<usize> = None;
     let mut driver_flags = 0usize;
     let mut i = 0;
     while i < args.len() {
@@ -326,6 +343,16 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
                     .map_err(|_| ParseError("--max-quarantined expects an integer".into()))?;
                 max_quarantined = Some(n);
             }
+            "--eras" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--eras expects an integer".into()))?;
+                if n == 0 {
+                    return Err(ParseError("--eras expects at least 1".into()));
+                }
+                eras = Some(n);
+            }
+            "--lineage-dir" => lineage_dir = Some(value()?.clone()),
             "--save" => save = Some(value()?.clone()),
             "--from" => from = Some(value()?.clone()),
             other => return Err(ParseError(format!("unknown option {other}"))),
@@ -337,6 +364,11 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
             "--orchestrated and --static-shards are mutually exclusive".into(),
         ));
     }
+    // Applied after the loop so the timeline seed follows the final
+    // --seed value regardless of flag order.
+    if let Some(n) = eras {
+        config.timeline = EraTimeline::synthetic(n, config.seed ^ 0x0E5A_51DE, n / 2);
+    }
     Ok(Knobs {
         config,
         save,
@@ -345,6 +377,7 @@ fn parse_knobs(args: &[String]) -> Result<Knobs, ParseError> {
         checkpoint_dir,
         resume,
         max_quarantined,
+        lineage_dir,
         driver_flags,
     })
 }
@@ -398,6 +431,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 checkpoint_dir: knobs.checkpoint_dir,
                 resume: knobs.resume,
                 max_quarantined: knobs.max_quarantined,
+                lineage_dir: knobs.lineage_dir,
             })
         }
         "report" => Ok(Command::Report(parse_source(rest)?)),
@@ -459,8 +493,10 @@ fn obtain_study(source: &Source) -> Result<Study, CliError> {
             .map_err(|e| snapshot_error(&format!("loading snapshot {path}"), e)),
         Source::Fresh(config) => {
             eprintln!(
-                "[sockscope] crawling {} sites x 4 crawls (threads: {})...",
-                config.n_sites, config.threads
+                "[sockscope] crawling {} sites x {} crawls (threads: {})...",
+                config.n_sites,
+                config.timeline.len(),
+                config.threads
             );
             Ok(Study::run(config))
         }
@@ -491,10 +527,12 @@ pub fn execute_with_status(command: Command) -> Result<(String, i32), CliError> 
             checkpoint_dir,
             resume,
             max_quarantined,
+            lineage_dir,
         } => {
             eprintln!(
-                "[sockscope] crawling {} sites x 4 crawls (threads: {}, pipeline: {})...",
+                "[sockscope] crawling {} sites x {} crawls (threads: {}, pipeline: {})...",
                 config.n_sites,
+                config.timeline.len(),
                 config.threads,
                 if streaming {
                     "streaming"
@@ -504,7 +542,7 @@ pub fn execute_with_status(command: Command) -> Result<(String, i32), CliError> 
                     "static-shards"
                 }
             );
-            let report = if let Some(dir) = checkpoint_dir {
+            let mut report = if let Some(dir) = checkpoint_dir {
                 let opts = CheckpointOptions {
                     resume,
                     ..CheckpointOptions::fresh(&dir)
@@ -530,6 +568,28 @@ pub fn execute_with_status(command: Command) -> Result<(String, i32), CliError> 
             } else {
                 StudyReport::run(&config)
             };
+            // Longitudinal products: derived from the finished study so
+            // they compose with every driver (orchestrated, static,
+            // streaming, checkpointed resume).
+            if lineage_dir.is_some() || !config.timeline.is_paper() {
+                let web = Study::universe(&config);
+                report.era_drift = Some(era_deltas(&report.study, &web, &config));
+                let lineage =
+                    SnapshotLineage::build(&era_snapshots(&web, &report.study.reductions));
+                eprintln!(
+                    "[sockscope] snapshot lineage: {} eras, {} delta bytes vs {} full ({:.1}x)",
+                    lineage.era_count(),
+                    lineage.stored_bytes(),
+                    lineage.full_bytes(),
+                    lineage.compression_ratio()
+                );
+                if let Some(dir) = lineage_dir {
+                    lineage
+                        .save(std::path::Path::new(&dir))
+                        .map_err(|e| CliError::Io(format!("saving lineage to {dir}: {e}")))?;
+                    eprintln!("[sockscope] lineage written to {dir}");
+                }
+            }
             if let Some(path) = save {
                 StudySnapshot::capture(&report.study)
                     .save(std::path::Path::new(&path))
@@ -669,6 +729,7 @@ mod tests {
                 checkpoint_dir,
                 resume,
                 max_quarantined,
+                lineage_dir,
             } => {
                 assert_eq!(config.n_sites, 500);
                 assert_eq!(config.seed, 0xABC);
@@ -678,6 +739,7 @@ mod tests {
                 assert_eq!(checkpoint_dir, None);
                 assert!(!resume);
                 assert_eq!(max_quarantined, None);
+                assert_eq!(lineage_dir, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -765,6 +827,7 @@ mod tests {
                 checkpoint_dir: None,
                 resume: false,
                 max_quarantined,
+                lineage_dir: None,
             })
         };
         // Clean run: status 0.
@@ -910,6 +973,63 @@ mod tests {
     }
 
     #[test]
+    fn parses_eras_and_lineage_dir() {
+        let cmd = parse(&args(&["run", "--sites", "40", "--eras", "7"])).unwrap();
+        match cmd {
+            Command::Run { config, .. } => {
+                assert_eq!(config.timeline.len(), 7);
+                assert!(!config.timeline.is_paper());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The timeline seed follows --seed regardless of flag order.
+        let before = parse(&args(&["run", "--eras", "5", "--seed", "BEEF"])).unwrap();
+        let after = parse(&args(&["run", "--seed", "BEEF", "--eras", "5"])).unwrap();
+        match (before, after) {
+            (Command::Run { config: a, .. }, Command::Run { config: b, .. }) => {
+                assert_eq!(a.timeline, b.timeline);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&args(&["run", "--lineage-dir", "lin"])).unwrap();
+        match cmd {
+            Command::Run { lineage_dir, .. } => assert_eq!(lineage_dir.as_deref(), Some("lin")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&args(&["run", "--eras", "0"])).is_err());
+        assert!(parse(&args(&["run", "--eras", "soon"])).is_err());
+        assert!(parse(&args(&["run", "--eras"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_longitudinal_run_writes_a_lineage() {
+        let dir =
+            std::env::temp_dir().join(format!("sockscope-cli-lineage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = parse(&args(&[
+            "run",
+            "--sites",
+            "50",
+            "--threads",
+            "2",
+            "--eras",
+            "5",
+            "--lineage-dir",
+            &dir.to_string_lossy(),
+        ]))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("Era drift (longitudinal run)"));
+        let lineage = SnapshotLineage::load(&dir).unwrap();
+        assert_eq!(lineage.era_count(), 5);
+        // Every era reconstructs without error from the saved chain.
+        for k in 0..5 {
+            assert!(!lineage.reconstruct(k).unwrap().is_empty());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn rejects_unknown() {
         assert!(parse(&args(&["frobnicate"])).is_err());
         assert!(parse(&args(&["run", "--bogus", "1"])).is_err());
@@ -971,6 +1091,7 @@ mod tests {
             checkpoint_dir: None,
             resume: false,
             max_quarantined: None,
+            lineage_dir: None,
         })
         .unwrap();
         assert!(out.contains("Table 1"));
@@ -1002,6 +1123,7 @@ mod tests {
                 checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
                 resume,
                 max_quarantined: None,
+                lineage_dir: None,
             })
         };
         let fresh = run(false).unwrap();

@@ -48,6 +48,11 @@ pub mod timeline;
 pub use report::StudyReport;
 pub use sockscope_analysis::study::{ClassifiedSocket, Study};
 pub use sockscope_analysis::StudyConfig;
+pub use sockscope_analysis::{run_longitudinal, EraDelta, LongitudinalRun, SnapshotLineage};
+// `Era`/`EraTimeline` are the crawl-schedule abstraction (the paper's four
+// crawls are `EraTimeline::paper()`); the `timeline` module below is the
+// unrelated WRB disclosure chronology (Figure 1).
+pub use sockscope_webgen::{Era, EraChurn, EraTimeline};
 pub use timeline::{wrb_timeline, TimelineEvent};
 
 // Re-export the substrate crates so downstream users need a single

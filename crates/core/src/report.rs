@@ -1,9 +1,11 @@
-//! One-call study report: run the four crawls and compute every artifact.
+//! One-call study report: run the configured timeline (the paper's four
+//! crawls by default) and compute every artifact.
 
 use sockscope_analysis::categories::CategoryBreakdown;
 use sockscope_analysis::checkpoint::ResumeReport;
 use sockscope_analysis::churn::Churn;
 use sockscope_analysis::figures::Figure3;
+use sockscope_analysis::longitudinal::EraDelta;
 use sockscope_analysis::study::{Study, StudyConfig};
 use sockscope_analysis::tables::{Table1, Table2, Table3, Table4, Table5};
 use sockscope_analysis::textstats::TextStats;
@@ -34,6 +36,9 @@ pub struct StudyReport {
     /// Resume provenance when the study ran on the checkpointed driver
     /// (`None` for plain in-memory runs and snapshot reloads).
     pub provenance: Option<ResumeReport>,
+    /// Era-over-era drift reports when the study ran longitudinally
+    /// (`None` for plain runs).
+    pub era_drift: Option<Vec<EraDelta>>,
 }
 
 impl StudyReport {
@@ -61,6 +66,21 @@ impl StudyReport {
         }
     }
 
+    /// Runs the timeline longitudinally
+    /// ([`sockscope_analysis::run_longitudinal`]) and attaches the
+    /// era-drift reports to the rendered output. Returns the report plus
+    /// the delta-compressed snapshot lineage for the caller to persist.
+    pub fn run_longitudinal(
+        config: &StudyConfig,
+    ) -> (StudyReport, sockscope_analysis::SnapshotLineage) {
+        let run = sockscope_analysis::run_longitudinal(config);
+        let report = StudyReport {
+            era_drift: Some(run.deltas),
+            ..StudyReport::from_study(run.study)
+        };
+        (report, run.lineage)
+    }
+
     /// Computes the report from an existing study.
     pub fn from_study(study: Study) -> StudyReport {
         let table1 = Table1::compute(&study);
@@ -84,6 +104,7 @@ impl StudyReport {
             categories,
             churn,
             provenance: None,
+            era_drift: None,
         }
     }
 
@@ -179,6 +200,36 @@ impl StudyReport {
         Some(out)
     }
 
+    /// Renders the era-over-era drift table — one row per timeline era
+    /// with evader arrivals/departures, filter-list churn, and blocklist
+    /// lag. `None` when the study did not run longitudinally.
+    pub fn render_era_drift(&self) -> Option<String> {
+        use std::fmt::Write as _;
+        let deltas = self.era_drift.as_ref()?;
+        let mut out = String::from("Era drift (longitudinal run)\n");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>7} {:>6} {:>6} {:>9} {:>9} {:>6} {:>7}",
+            "era", "sockets", "drift", "new", "gone", "rules+", "rules-", "lag", "sites"
+        );
+        for d in deltas {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>8} {:>+7} {:>6} {:>6} {:>9} {:>9} {:>6} {:>7}",
+                d.label,
+                d.sockets,
+                d.socket_drift,
+                d.new_evaders.len(),
+                d.gone_evaders.len(),
+                d.newly_covered_rules,
+                d.retired_rules,
+                d.blocklist_lag.len(),
+                d.sites_with_sockets
+            );
+        }
+        Some(out)
+    }
+
     /// Renders the full report (all tables + figure + stats + timeline).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -208,6 +259,10 @@ impl StudyReport {
         if let Some(quarantine) = self.render_quarantine() {
             out.push('\n');
             out.push_str(&quarantine);
+        }
+        if let Some(drift) = self.render_era_drift() {
+            out.push('\n');
+            out.push_str(&drift);
         }
         if let Some(provenance) = &self.provenance {
             out.push('\n');

@@ -64,7 +64,7 @@ use sockscope_browser::{
 };
 use sockscope_faults::{FaultContext, FaultProfile, VirtualClock};
 use sockscope_inclusion::{InclusionTree, TreeBuilder};
-use sockscope_webgen::{CrawlEra, SyntheticWeb};
+use sockscope_webgen::{Era, EraTimeline, SyntheticWeb};
 
 /// Crawler configuration.
 #[derive(Debug, Clone)]
@@ -186,7 +186,7 @@ pub struct CrawlDataset {
     /// The crawl's date label (Table 1 row).
     pub label: String,
     /// Crawl era.
-    pub era: CrawlEra,
+    pub era: Era,
     /// Per-site records, in site order.
     pub records: Vec<SiteRecord>,
 }
@@ -543,12 +543,12 @@ pub fn crawl_site_with_faults(
 /// era (pre-patch crawls ran Chrome ≤57).
 pub fn crawl(web: &SyntheticWeb, config: &CrawlConfig) -> CrawlDataset {
     crawl_with_extensions(web, config, &|| {
-        ExtensionHost::stock(browser_era(web.config().era))
+        ExtensionHost::stock(browser_era(&web.config().era))
     })
 }
 
 /// Maps crawl era to browser era.
-pub fn browser_era(era: CrawlEra) -> BrowserEra {
+pub fn browser_era(era: &Era) -> BrowserEra {
     if era.pre_patch() {
         BrowserEra::PreChrome58
     } else {
@@ -591,7 +591,7 @@ pub fn crawl_with_extensions(
 
     CrawlDataset {
         label: web.config().era.label().to_string(),
-        era: web.config().era,
+        era: web.config().era.clone(),
         records: records
             .into_inner()
             .expect("records lock")
@@ -620,10 +620,7 @@ fn crawl_one_site(
             .expect("crawl_one_site_sink completes exactly one site");
     }
     let site = &web.sites()[i];
-    let link_seed = mix(
-        config.seed,
-        (site.id as u64) << 2 | web.config().era.index(),
-    );
+    let link_seed = mix(config.seed, web.config().era.site_stream(site.id as u64));
     let effective = effective_faults(web, config);
     let fault_args = effective.as_ref().map(|profile| {
         (
@@ -709,10 +706,7 @@ pub fn crawl_one_site_sink<A: SiteSink>(
     sink: &mut A,
 ) {
     let site = &web.sites()[i];
-    let link_seed = mix(
-        config.seed,
-        (site.id as u64) << 2 | web.config().era.index(),
-    );
+    let link_seed = mix(config.seed, web.config().era.site_stream(site.id as u64));
     let effective = effective_faults(web, config);
     let fault_args = effective.as_ref().map(|profile| {
         (
@@ -1068,12 +1062,23 @@ pub fn crawl_sharded_sink_resumable<A: SiteSink + Send>(
 }
 
 /// Runs all four crawls of the study over one universe: two pre-patch, two
-/// post-patch (Table 1's four rows).
+/// post-patch (Table 1's four rows). The paper preset of
+/// [`timeline_crawls`].
 pub fn four_crawls(web: &SyntheticWeb, config: &CrawlConfig) -> Vec<CrawlDataset> {
-    CrawlEra::ALL
+    timeline_crawls(web, config, &EraTimeline::paper())
+}
+
+/// Runs every crawl of an era timeline over one universe, in era order.
+pub fn timeline_crawls(
+    web: &SyntheticWeb,
+    config: &CrawlConfig,
+    timeline: &EraTimeline,
+) -> Vec<CrawlDataset> {
+    timeline
+        .eras()
         .iter()
-        .map(|&era| {
-            let web = web.for_era(era);
+        .map(|era| {
+            let web = web.for_era(era.clone());
             crawl(&web, config)
         })
         .collect()
@@ -1174,7 +1179,7 @@ mod tests {
             &web,
             &config,
             5,
-            &|| ExtensionHost::stock(browser_era(web.config().era)),
+            &|| ExtensionHost::stock(browser_era(&web.config().era)),
             &|s| (s, Vec::new()),
             &|acc: &mut (usize, Vec<SiteRecord>), record| acc.1.push(record),
         );
@@ -1325,7 +1330,7 @@ mod tests {
                 &web,
                 &config,
                 5,
-                &|| ExtensionHost::stock(browser_era(web.config().era)),
+                &|| ExtensionHost::stock(browser_era(&web.config().era)),
                 &|_| RecordSink::default(),
             );
             assert_eq!(shards.len(), 5);
@@ -1435,7 +1440,7 @@ mod tests {
             };
             let browser = Browser::new(
                 &web,
-                ExtensionHost::stock(browser_era(web.config().era)),
+                ExtensionHost::stock(browser_era(&web.config().era)),
                 BrowserConfig {
                     seed: config.seed ^ web.config().seed,
                     ..BrowserConfig::default()

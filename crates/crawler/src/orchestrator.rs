@@ -326,7 +326,7 @@ mod tests {
             web,
             config,
             orch,
-            &|| ExtensionHost::stock(browser_era(web.config().era)),
+            &|| ExtensionHost::stock(browser_era(&web.config().era)),
             &RecordSink::default,
             &|sink: &mut RecordSink| sink.take_record().expect("one record per site"),
             &Vec::new,
@@ -455,7 +455,7 @@ mod tests {
             &config,
             &orch,
             shard_count,
-            &|| ExtensionHost::stock(browser_era(web.config().era)),
+            &|| ExtensionHost::stock(browser_era(&web.config().era)),
             &RecordSink::default,
             &|sink: &mut RecordSink| sink.take_record().expect("one record per site"),
             &|_s| Vec::new(),
@@ -505,7 +505,7 @@ mod tests {
             &config,
             &orch,
             2,
-            &|| ExtensionHost::stock(browser_era(web.config().era)),
+            &|| ExtensionHost::stock(browser_era(&web.config().era)),
             &RecordSink::default,
             &|sink: &mut RecordSink| sink.take_record().expect("one record per site"),
             &|_s| Vec::new(),

@@ -291,7 +291,7 @@ mod tests {
     fn browser<'w>(web: &'w SyntheticWeb, config: &CrawlConfig) -> Browser<'w> {
         Browser::new(
             web,
-            ExtensionHost::stock(browser_era(web.config().era)),
+            ExtensionHost::stock(browser_era(&web.config().era)),
             BrowserConfig {
                 seed: config.seed ^ web.config().seed,
                 ..BrowserConfig::default()

@@ -34,6 +34,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
+
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -101,7 +103,10 @@ pub struct SegmentMeta {
     /// format version). Segments whose fingerprint differs from the
     /// resuming run's are quarantined, never merged.
     pub fingerprint: u64,
-    /// Crawl era index (0–3 for the four-crawl study).
+    /// Crawl era index: the segment's 0-based position in the study's era
+    /// timeline (the four-crawl paper preset uses 0–3; longitudinal
+    /// timelines go as far as their configured era count). Resume drivers
+    /// validate it against the timeline length via [`Journal::scan_bounded`].
     pub era: u32,
     /// Shard index within the era's partition.
     pub shard_index: u32,
@@ -439,7 +444,22 @@ impl Journal {
     /// fingerprint, and moves everything torn, corrupt, mismatched, or
     /// left over (`.tmp`) into `quarantine/`. Returns the surviving
     /// segments and the quarantine report, both in file-name order.
+    ///
+    /// Era indices are not validated here — use [`Journal::scan_bounded`]
+    /// when the resuming run knows its timeline length.
     pub fn scan(&self, expected_fingerprint: u64) -> std::io::Result<JournalScan> {
+        self.scan_bounded(expected_fingerprint, None)
+    }
+
+    /// [`Journal::scan`] with era validation: segments whose era index is
+    /// outside `0..era_count` cannot belong to the resuming run's timeline
+    /// and are quarantined (e.g. a 12-era journal resumed under a 4-era
+    /// config after a timeline edit).
+    pub fn scan_bounded(
+        &self,
+        expected_fingerprint: u64,
+        era_count: Option<u32>,
+    ) -> std::io::Result<JournalScan> {
         let mut names: Vec<String> = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
@@ -468,7 +488,17 @@ impl Journal {
                     scan.quarantined.push(q);
                 }
                 Ok((meta, payload)) => {
-                    if meta.fingerprint != expected_fingerprint {
+                    if era_count.is_some_and(|n| meta.era >= n) {
+                        let q = self.quarantine(
+                            &name,
+                            &format!(
+                                "era out of range (segment era {}, timeline has {} eras)",
+                                meta.era,
+                                era_count.unwrap_or(0)
+                            ),
+                        )?;
+                        scan.quarantined.push(q);
+                    } else if meta.fingerprint != expected_fingerprint {
                         let q = self.quarantine(
                             &name,
                             &format!(
@@ -672,6 +702,43 @@ mod tests {
         assert_eq!(again.segments.len(), 1);
         assert_eq!(again.quarantined.len(), 0);
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_bounded_quarantines_out_of_range_eras() {
+        let dir = tmpdir("era-range");
+        let journal = Journal::open(&dir).unwrap();
+        journal.write_segment(&meta(3, 0), b"last era").unwrap();
+        journal
+            .write_segment(&meta(4, 0), b"beyond the timeline")
+            .unwrap();
+        journal.write_segment(&meta(11, 1), b"way beyond").unwrap();
+
+        let scan = journal.scan_bounded(0xFEED_F00D, Some(4)).unwrap();
+        assert_eq!(scan.segments.len(), 1);
+        assert_eq!(scan.segments[0].meta.era, 3);
+        assert_eq!(scan.quarantined.len(), 2);
+        for q in &scan.quarantined {
+            assert!(
+                q.reason.contains("era out of range"),
+                "unexpected reason: {}",
+                q.reason
+            );
+            assert!(dir.join("quarantine").join(&q.file).exists(), "{q:?}");
+        }
+
+        // The unbounded scan accepts any era — bounds are the caller's
+        // timeline knowledge, not a format property.
+        let dir2 = tmpdir("era-range-unbounded");
+        let journal2 = Journal::open(&dir2).unwrap();
+        journal2
+            .write_segment(&meta(40, 0), b"tall timeline")
+            .unwrap();
+        let scan2 = journal2.scan(0xFEED_F00D).unwrap();
+        assert_eq!(scan2.segments.len(), 1);
+        assert!(scan2.quarantined.is_empty());
+        fs::remove_dir_all(&dir).ok();
+        fs::remove_dir_all(&dir2).ok();
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Generator configuration.
 
+use crate::timeline::Era;
 use sockscope_faults::FaultProfile;
 
 /// Which of the four crawls is being simulated (§3.3 / Table 1).
@@ -73,8 +74,9 @@ pub struct WebGenConfig {
     /// per-site probabilities, so shapes are scale-free.
     pub n_sites: usize,
     /// Which crawl is being generated (affects era-dependent behaviour and
-    /// per-crawl jitter).
-    pub era: CrawlEra,
+    /// per-crawl jitter). Any [`Era`] of a timeline; the four paper crawls
+    /// convert via `CrawlEra::into()`.
+    pub era: Era,
     /// Pages per site the generator exposes (the crawler visits the
     /// homepage plus up to 15 links, §3.3).
     pub pages_per_site: usize,
@@ -89,7 +91,7 @@ impl Default for WebGenConfig {
         WebGenConfig {
             seed: 0x50C2_5C0F,
             n_sites: 10_000,
-            era: CrawlEra::AprilEarly,
+            era: CrawlEra::AprilEarly.into(),
             pages_per_site: 15,
             faults: None,
         }
@@ -100,9 +102,9 @@ impl WebGenConfig {
     /// Same universe, different crawl — the seed (and thus the site
     /// universe and service adoption) is untouched, only era-dependent
     /// behaviour changes, exactly like re-crawling the same web later.
-    pub fn for_era(&self, era: CrawlEra) -> WebGenConfig {
+    pub fn for_era(&self, era: impl Into<Era>) -> WebGenConfig {
         WebGenConfig {
-            era,
+            era: era.into(),
             ..self.clone()
         }
     }
@@ -129,7 +131,7 @@ mod tests {
         let oct = base.for_era(CrawlEra::October);
         assert_eq!(base.seed, oct.seed);
         assert_eq!(base.n_sites, oct.n_sites);
-        assert_eq!(oct.era, CrawlEra::October);
+        assert_eq!(oct.era, CrawlEra::October.into());
         assert_eq!(oct.faults, Some(FaultProfile::mild()));
     }
 }

@@ -21,6 +21,10 @@
 //!   [`Page`](sockscope_webmodel::Page)s and script behaviours.
 //! * [`lists`] — generated EasyList-/EasyPrivacy-like rule lists covering
 //!   the ecosystem (input to labeling and to the ad-blocker ablation).
+//! * [`timeline`] — the crawl schedule as data: [`Era`]/[`EraTimeline`]
+//!   generalize the four-crawl study to N-era longitudinal runs with
+//!   deterministic ecosystem churn; the paper's four crawls are the pinned
+//!   [`EraTimeline::paper`] preset.
 //! * [`web`] — [`SyntheticWeb`], the [`WebHost`](sockscope_webmodel::WebHost)
 //!   implementation the browser crawls.
 //!
@@ -35,11 +39,13 @@ pub mod config;
 pub mod lists;
 pub mod pages;
 pub mod sites;
+pub mod timeline;
 pub mod web;
 
 pub use companies::{Catalog, Company, Role};
 pub use config::{CrawlEra, WebGenConfig};
 pub use sites::{Category, SiteMeta, SiteUniverse};
+pub use timeline::{Era, EraChurn, EraTimeline};
 pub use web::SyntheticWeb;
 
 /// FNV-1a hash used for all deterministic per-key derivation.

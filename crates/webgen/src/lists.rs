@@ -15,6 +15,7 @@
 //! * A handful of **exception rules** mirror EasyList's whitelisting.
 
 use crate::companies::{Catalog, Role};
+use crate::timeline::{Era, EraChurn};
 
 /// Ad-slot dimensions the real lists' generic rules revolve around.
 const AD_DIMS: &[&str] = &[
@@ -45,6 +46,107 @@ fn push_generic_long_tail(out: &mut String, families: &[&str], count: usize) {
             _ => out.push_str(&format!("/{family}{i}_{dim}.{ext}$image\n")),
         }
     }
+}
+
+/// The long-tail domain generation the *lists* know about at `era`: list
+/// maintainers discover a rotated domain one era after the rotation, so
+/// coverage lags the ecosystem by one crawl (the blocklist lag of the
+/// longitudinal blacklist studies). At era 0 the lists cover generation 0.
+fn lagged_generation(churn: &EraChurn, name: &str, era: &Era) -> u32 {
+    churn.generation(name, (era.index_u32()).saturating_sub(1))
+}
+
+/// Appends one churn cohort: short-lived generic rules that enter the list
+/// at era `cohort` and retire a couple of eras later. Like the inert bulk
+/// of [`push_generic_long_tail`], the vocabulary never occurs in any
+/// synthetic URL — the cohorts exist so era-over-era list diffs show the
+/// add/retire turnover the real lists exhibit, without perturbing any
+/// blocking decision.
+fn push_churn_cohort(out: &mut String, seed: u64, cohort: u32, count: usize) {
+    for i in 0..count as u64 {
+        let h = crate::mix(seed ^ 0x00C0_0117, (u64::from(cohort) << 32) | i);
+        match h % 3 {
+            0 => out.push_str(&format!("/zzchurn{cohort}c{i}_{:06x}/*\n", h & 0xFF_FFFF)),
+            1 => out.push_str(&format!("_zzchurn{cohort}slot{i}_{:04x}.\n", h & 0xFFFF)),
+            _ => out.push_str(&format!("/zzchurn{cohort}.{i}.gif$third-party\n")),
+        }
+    }
+}
+
+/// Eras whose cohorts are still in the list at `era`: each cohort lives
+/// for three eras before retiring.
+fn live_cohorts(era: &Era) -> std::ops::RangeInclusive<u32> {
+    let e = era.index_u32();
+    e.saturating_sub(2)..=e
+}
+
+/// Generates the EasyList-like list as published at `era`. Frozen
+/// timelines (no churn — in particular the paper preset) produce exactly
+/// [`easylist`]; evolving timelines chase rotated long-tail domains one
+/// era late and carry short-lived churn cohorts.
+pub fn easylist_for(catalog: &Catalog, era: &Era) -> String {
+    let Some(churn) = era.churn() else {
+        return easylist(catalog);
+    };
+    let mut out = String::from("[Adblock Plus 2.0]\n! Title: generated EasyList (synthetic web)\n");
+    for c in catalog.all() {
+        match c.role {
+            Role::AdPlatformMajor | Role::ContentRec => {
+                out.push_str(&format!("||{}/pixel0.gif\n", c.script_host));
+                out.push_str(&format!("||{}/collect/$image,third-party\n", c.script_host));
+            }
+            Role::LongTailAdNetwork => {
+                // Same blanket/pixel split as the frozen list, but the
+                // covered domain is the generation the maintainers have
+                // *seen* — one era behind the rotation.
+                let g = lagged_generation(churn, &c.name, era);
+                let domain = EraChurn::rotated_domain(&c.domain, g);
+                if !crate::fnv1a(&c.name).is_multiple_of(3) {
+                    out.push_str(&format!("||{domain}^$third-party\n"));
+                } else {
+                    out.push_str(&format!("||cdn.{domain}/pixel0.gif\n"));
+                    out.push_str(&format!("||cdn.{domain}/collect/\n"));
+                }
+            }
+            _ => {}
+        }
+    }
+    out.push_str("||s7.addthis.com^$third-party\n");
+    out.push_str("||w.sharethis.com^$third-party\n");
+    out.push_str("/adserver/*\n/banner/*/ad_\n");
+    push_generic_long_tail(
+        &mut out,
+        &[
+            "adrotate",
+            "popzone",
+            "skyscraper",
+            "interstitial",
+            "billboard",
+            "adframe",
+            "takeover",
+            "sponsorbox",
+        ],
+        1_400,
+    );
+    for cohort in live_cohorts(era) {
+        push_churn_cohort(&mut out, churn.seed, cohort, 120);
+    }
+    out.push_str("*adximg_tail\n*popfeed_tail\n*overlaycreative_tail\n");
+    out.push_str("@@||pagead2.googlesyndication.com/ad-config$xmlhttprequest\n");
+    out
+}
+
+/// Generates the EasyPrivacy-like list as published at `era` (see
+/// [`easylist_for`] for the evolution rules).
+pub fn easyprivacy_for(catalog: &Catalog, era: &Era) -> String {
+    let Some(churn) = era.churn() else {
+        return easyprivacy(catalog);
+    };
+    let mut out = easyprivacy(catalog);
+    for cohort in live_cohorts(era) {
+        push_churn_cohort(&mut out, churn.seed ^ 0x0E50_0A11, cohort, 40);
+    }
+    out
 }
 
 /// Generates the EasyList-like list (ad serving).
@@ -244,6 +346,58 @@ mod tests {
                 "{u}"
             );
         }
+    }
+
+    #[test]
+    fn frozen_eras_reproduce_the_static_lists() {
+        let catalog = Catalog::build();
+        for era in crate::EraTimeline::paper().eras() {
+            assert_eq!(easylist_for(&catalog, era), easylist(&catalog));
+            assert_eq!(easyprivacy_for(&catalog, era), easyprivacy(&catalog));
+        }
+    }
+
+    #[test]
+    fn evolving_lists_lag_rotations_and_churn_cohorts() {
+        let catalog = Catalog::build();
+        let t = crate::EraTimeline::synthetic(24, 0xBEEF, 12);
+        let late = easylist_for(&catalog, t.get(20).unwrap());
+        // Far into the timeline every long-tail company has rotated at
+        // least once, so the blanket rules cover -rN domains.
+        assert!(late.contains("-r"), "late list must cover rotated domains");
+        // Cohorts enter and retire: era 20 carries cohorts 18..=20 only.
+        assert!(late.contains("zzchurn20"));
+        assert!(late.contains("zzchurn18"));
+        assert!(!late.contains("zzchurn17"));
+        assert!(!late.contains("zzchurn21"));
+        // Era-over-era diffs are non-trivial but the lists stay parseable.
+        let prev = easylist_for(&catalog, t.get(19).unwrap());
+        assert_ne!(late, prev);
+        let (_, errs) = sockscope_filterlist::Engine::parse_many(&[&late]);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn coverage_lags_rotation_by_one_era() {
+        let catalog = Catalog::build();
+        let t = crate::EraTimeline::synthetic(24, 0xBEEF, 12);
+        let c = catalog
+            .all()
+            .iter()
+            .find(|c| c.role == Role::LongTailAdNetwork && !crate::fnv1a(&c.name).is_multiple_of(3))
+            .unwrap();
+        let churn = t.get(0).unwrap().churn().unwrap();
+        // Find an era where this company just rotated.
+        let rotated_at = (1..24u32)
+            .find(|&e| churn.generation(&c.name, e) > churn.generation(&c.name, e - 1))
+            .unwrap();
+        let g_new = churn.generation(&c.name, rotated_at);
+        let new_domain = EraChurn::rotated_domain(&c.domain, g_new);
+        let at_rotation = easylist_for(&catalog, t.get(rotated_at as usize).unwrap());
+        let one_later = easylist_for(&catalog, t.get(rotated_at as usize + 1).unwrap());
+        let rule = format!("||{new_domain}^$third-party\n");
+        assert!(!at_rotation.contains(&rule), "coverage must lag rotation");
+        assert!(one_later.contains(&rule), "coverage must catch up next era");
     }
 
     #[test]

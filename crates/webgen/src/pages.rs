@@ -139,7 +139,13 @@ impl PageSynthesizer<'_> {
     /// The script tag URL for a company on a page; carries site/page so the
     /// behaviour can be regenerated from the URL alone.
     pub fn tag_url(&self, company: &Company, site: &SiteMeta, page_idx: usize) -> String {
-        format!("{}?s={}&p={}", company.script_url(), site.id, page_idx)
+        match self.rotated_script_host(company) {
+            Some(host) => format!(
+                "https://{host}/{}.js?s={}&p={}",
+                company.name, site.id, page_idx
+            ),
+            None => format!("{}?s={}&p={}", company.script_url(), site.id, page_idx),
+        }
     }
 
     /// URL of a major platform's ad iframe on a page. Real 2017 RTB ads
@@ -215,14 +221,45 @@ impl PageSynthesizer<'_> {
 
     /// Is a site's `ordinal`-th service active during this crawl? This is
     /// the per-crawl jitter that makes Table 1's site-incidence wiggle
-    /// (2.1%, 2.4%, 1.6%, 2.5%).
+    /// (2.1%, 2.4%, 1.6%, 2.5%). Under an evolving timeline the service
+    /// must also exist at all at this era: publishers adopt and drop
+    /// trackers over the churn's adoption windows.
     fn active_this_crawl(&self, site: &SiteMeta, ordinal: usize) -> bool {
+        let era = &self.config.era;
+        if let Some(churn) = era.churn() {
+            let (start, end) = churn.adoption_window(site.id as u64, ordinal as u64);
+            let e = era.index_u32();
+            if e < start || e >= end {
+                return false;
+            }
+        }
         let mut rng = Rng::new(mix(
             self.config.seed ^ 0xAC71_F00D,
-            (site.id as u64) << 20 | (ordinal as u64) << 4 | self.config.era.index(),
+            era.page_stream(site.id as u64, ordinal as u64),
         ));
-        let p = (0.82 * self.config.era.activity_factor()).min(0.98);
+        let p = (0.82 * era.activity_factor()).min(0.98);
         rng.chance(p)
+    }
+
+    /// The script host a long-tail network serves from at this era, when
+    /// it differs from the registered one: under churn timelines the long
+    /// tail re-registers fresh domains every few eras to shake off blanket
+    /// rules. `None` on frozen timelines, for every other role, and at
+    /// generation 0 — so the paper preset takes the allocation-free
+    /// legacy path untouched.
+    fn rotated_script_host(&self, company: &Company) -> Option<String> {
+        let churn = self.config.era.churn()?;
+        if company.role != crate::companies::Role::LongTailAdNetwork {
+            return None;
+        }
+        let g = churn.generation(&company.name, self.config.era.index_u32());
+        if g == 0 {
+            return None;
+        }
+        Some(format!(
+            "cdn.{}",
+            crate::timeline::EraChurn::rotated_domain(&company.domain, g)
+        ))
     }
 
     /// Era gate: majors and the long tail only used WebSockets while the
@@ -328,7 +365,16 @@ impl PageSynthesizer<'_> {
             }
         }
 
-        let company = self.catalog.by_host(host)?;
+        // Rotated long-tail domains resolve to their original registrant:
+        // the company moved, the code behind the tag did not.
+        let company = match self.catalog.by_host(host) {
+            Some(c) => c,
+            None if self.config.era.churn().is_some() => {
+                let original = crate::timeline::EraChurn::derotate(host)?;
+                self.catalog.by_host(&original)?
+            }
+            None => return None,
+        };
         let company_idx = self
             .catalog
             .all()
@@ -348,6 +394,11 @@ impl PageSynthesizer<'_> {
         let site = self.universe.sites().get(site_id?)?;
         let page_idx = page_idx?;
 
+        // The host this company's HTTP endpoints live on at this era
+        // (rotated for churned long-tail networks, registered otherwise).
+        let rotated = self.rotated_script_host(company);
+        let script_host = rotated.as_deref().unwrap_or(&company.script_host);
+
         let mut behaviour = ScriptBehavior::inert();
         let mut rng = Rng::new(mix(
             self.config.seed ^ 0x7AB5_0C47,
@@ -363,7 +414,7 @@ impl PageSynthesizer<'_> {
         // HTTP side: ad-stack tags fetch pixels and ads over HTTP/S. This
         // is the traffic behind Table 5's right-hand columns.
         if site.http_ad_stack.contains(&company_idx) {
-            behaviour = self.http_actions(behaviour, company, &mut rng);
+            behaviour = self.http_actions(behaviour, script_host, &mut rng);
         }
 
         // WS side: every service owned by this company on this site.
@@ -392,7 +443,7 @@ impl PageSynthesizer<'_> {
                 sent.push(SentItem::Cookie);
             }
             behaviour = behaviour.then(Action::FetchImage {
-                url: format!("https://{}/collect/beacon.gif", company.script_host),
+                url: format!("https://{script_host}/collect/beacon.gif"),
                 sent,
             });
         }
@@ -402,7 +453,7 @@ impl PageSynthesizer<'_> {
     fn http_actions(
         &self,
         mut behaviour: ScriptBehavior,
-        company: &Company,
+        script_host: &str,
         rng: &mut Rng,
     ) -> ScriptBehavior {
         // Tracking pixel: cookies ride ~23% of A&A HTTP requests (Table 5
@@ -444,7 +495,7 @@ impl PageSynthesizer<'_> {
         // §4.2 "all A&A chains blockable" fraction near 27%, not 100%.
         let pixel = if rng.chance(0.55) { "pixel0" } else { "pixel1" };
         behaviour = behaviour.then(Action::FetchImage {
-            url: format!("https://{}/{pixel}.gif", company.script_host,),
+            url: format!("https://{script_host}/{pixel}.gif"),
             sent,
         });
         // Some tags pull an ad or config payload.
@@ -464,7 +515,7 @@ impl PageSynthesizer<'_> {
                 sent.push(SentItem::Cookie);
             }
             behaviour = behaviour.then(Action::FetchXhr {
-                url: format!("https://{}/ad-config", company.script_host),
+                url: format!("https://{script_host}/ad-config"),
                 sent,
                 receive,
             });

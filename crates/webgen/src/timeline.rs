@@ -1,0 +1,394 @@
+//! Era timelines: the crawl schedule as data.
+//!
+//! The paper's study is four crawls bracketing the Chrome 58 patch, and the
+//! original reproduction hard-coded that as the closed [`CrawlEra`] enum.
+//! This module generalizes the schedule: an [`Era`] is one crawl step with
+//! an index 0..N, a label, a patch-side flag, and an activity multiplier;
+//! an [`EraTimeline`] is the ordered list of eras a study walks. The four
+//! paper crawls become the pinned [`EraTimeline::paper`] preset — running
+//! it is byte-identical to the old enum path — while
+//! [`EraTimeline::synthetic`] builds arbitrarily long timelines whose web
+//! and filter lists *evolve* deterministically per era ([`EraChurn`]):
+//! long-tail tracker domains rotate, publishers adopt and drop services,
+//! and the lists chase the ecosystem one era behind.
+
+use crate::config::CrawlEra;
+use crate::{fnv1a, mix};
+
+/// One crawl step of a timeline.
+///
+/// Carries everything the generator, crawler, and analysis need to know
+/// about a crawl: its position (`index`), its Table-1 label, whether the
+/// WebSocket request bug was still alive (`pre_patch`), and the per-crawl
+/// activity jitter. No floats are stored (the activity multiplier is
+/// per-mille), so eras hash and compare exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Era {
+    index: u32,
+    label: String,
+    pre_patch: bool,
+    activity_pm: u32,
+    churn: Option<EraChurn>,
+}
+
+impl Era {
+    /// Builds an era by hand. Prefer [`EraTimeline::paper`] /
+    /// [`EraTimeline::synthetic`]; this exists for tests and presets.
+    pub fn new(
+        index: u32,
+        label: impl Into<String>,
+        pre_patch: bool,
+        activity_pm: u32,
+        churn: Option<EraChurn>,
+    ) -> Era {
+        Era {
+            index,
+            label: label.into(),
+            pre_patch,
+            activity_pm,
+            churn,
+        }
+    }
+
+    /// Position in the timeline, widened for seed-stream derivation (the
+    /// jitter streams all take a `u64` rank).
+    pub fn index(&self) -> u64 {
+        u64::from(self.index)
+    }
+
+    /// Position in the timeline as stored in journal segment headers.
+    pub fn index_u32(&self) -> u32 {
+        self.index
+    }
+
+    /// The crawl label (Table 1 row header).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// `true` while the WebSocket request bug was still live — the gate
+    /// that generalizes the old `CrawlEra::pre_patch()` special-casing.
+    pub fn pre_patch(&self) -> bool {
+        self.pre_patch
+    }
+
+    /// Per-crawl activity multiplier for socket-bearing services. Stored
+    /// per-mille so `Era` stays `Eq`; the paper values (680, 780, 760,
+    /// 1100) divide to exactly the historical 0.68/0.78/0.76/1.10 doubles.
+    pub fn activity_factor(&self) -> f64 {
+        f64::from(self.activity_pm) / 1000.0
+    }
+
+    /// The raw per-mille activity multiplier (exact, for fingerprinting).
+    pub fn activity_pm(&self) -> u32 {
+        self.activity_pm
+    }
+
+    /// The ecosystem-evolution parameters, `None` for frozen timelines
+    /// (the paper preset never churns — that is what pins its bytes).
+    pub fn churn(&self) -> Option<&EraChurn> {
+        self.churn.as_ref()
+    }
+
+    /// Deterministic per-(site, era) stream key for the crawl's link
+    /// sampling. The four paper eras keep the legacy 2-bit packing (the
+    /// pinned snapshot bytes depend on it); wider timelines switch to a
+    /// splitmix fold so era indices never alias across sites.
+    pub fn site_stream(&self, site_id: u64) -> u64 {
+        if self.index < 4 {
+            site_id << 2 | u64::from(self.index)
+        } else {
+            mix(site_id, 0x0E5A_0000 | u64::from(self.index))
+        }
+    }
+
+    /// Deterministic per-(site, service, era) stream key for service
+    /// activity jitter. Legacy 4-bit packing below 16 eras (paper bytes),
+    /// splitmix fold beyond.
+    pub fn page_stream(&self, site_id: u64, ordinal: u64) -> u64 {
+        if self.index < 16 {
+            site_id << 20 | ordinal << 4 | u64::from(self.index)
+        } else {
+            mix(
+                site_id << 20 | ordinal << 4,
+                0x0AC7_0000 | u64::from(self.index),
+            )
+        }
+    }
+}
+
+impl From<CrawlEra> for Era {
+    fn from(e: CrawlEra) -> Era {
+        let activity_pm = match e {
+            CrawlEra::AprilEarly => 680,
+            CrawlEra::AprilLate => 780,
+            CrawlEra::May => 760,
+            CrawlEra::October => 1100,
+        };
+        Era {
+            index: e.index() as u32,
+            label: e.label().to_string(),
+            pre_patch: e.pre_patch(),
+            activity_pm,
+            churn: None,
+        }
+    }
+}
+
+/// Deterministic ecosystem-evolution parameters for one synthetic era.
+///
+/// Everything derives from `seed` by pure hashing, so two identically
+/// configured timelines evolve identically:
+///
+/// * **Tracker-domain rotation** — each long-tail ad network re-registers
+///   under a fresh second-level domain every 2–4 eras
+///   ([`EraChurn::generation`] / [`EraChurn::rotated_domain`]), the
+///   blocklist-evasion arms race of the longitudinal blacklist studies.
+/// * **Adoption windows** — ~30% of (site, service) pairs exist only for a
+///   contiguous era window ([`EraChurn::adoption_window`]): publishers
+///   adopt and drop trackers over time.
+/// * **Rule churn** — the generated lists carry cohorts of short-lived
+///   generic rules, and their blanket coverage of rotated domains lags one
+///   era behind the rotation (blocklist lag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EraChurn {
+    /// Seed for every churn-derived decision.
+    pub seed: u64,
+    /// Timeline length (adoption windows are laid out over this horizon).
+    pub eras: u32,
+}
+
+impl EraChurn {
+    /// Domain generation of a long-tail company at `era_index`: the company
+    /// rotates to a fresh domain every `2 + fnv1a(name) % 3` eras.
+    pub fn generation(&self, company_name: &str, era_index: u32) -> u32 {
+        let period = 2 + (fnv1a(company_name) % 3) as u32;
+        era_index / period
+    }
+
+    /// The second-level domain a company uses at `generation`. Generation
+    /// 0 is the original registration; later generations re-register with
+    /// a `-rN` marker before the TLD (`adnet07-media.com` →
+    /// `adnet07-media-r2.com`).
+    pub fn rotated_domain(base: &str, generation: u32) -> String {
+        if generation == 0 {
+            return base.to_string();
+        }
+        match base.rsplit_once('.') {
+            Some((stem, tld)) => format!("{stem}-r{generation}.{tld}"),
+            None => format!("{base}-r{generation}"),
+        }
+    }
+
+    /// Inverse of [`EraChurn::rotated_domain`] on any host under a rotated
+    /// domain: strips the `-rN` marker so resolvers can find the original
+    /// company (`cdn.adnet07-media-r2.com` → `cdn.adnet07-media.com`).
+    /// `None` when the host carries no rotation marker.
+    pub fn derotate(host: &str) -> Option<String> {
+        let (head, tld) = host.rsplit_once('.')?;
+        let (stem, rot) = head.rsplit_once("-r")?;
+        if rot.is_empty() || !rot.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        Some(format!("{stem}.{tld}"))
+    }
+
+    /// The contiguous era window `[start, end)` during which a site's
+    /// `ordinal`-th service exists at all. ~70% of services span the whole
+    /// timeline; the rest are adopted late, dropped early, or both.
+    pub fn adoption_window(&self, site_id: u64, ordinal: u64) -> (u32, u32) {
+        let h = mix(self.seed ^ 0x00AD_0097, (site_id << 16) | ordinal);
+        if h % 10 < 7 {
+            return (0, self.eras);
+        }
+        let span = u64::from(self.eras.max(1));
+        let start = ((h >> 8) % span) as u32;
+        let len = 1 + ((h >> 40) % span) as u32;
+        (start, (start + len).min(self.eras))
+    }
+}
+
+/// The ordered list of crawl eras a study walks.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EraTimeline {
+    eras: Vec<Era>,
+}
+
+impl EraTimeline {
+    /// The pinned four-crawl preset of the paper (April/April/May/October
+    /// 2017 around the Chrome 58 patch). Frozen: no churn, and every seed
+    /// stream matches the legacy enum path byte-for-byte.
+    pub fn paper() -> EraTimeline {
+        EraTimeline {
+            eras: CrawlEra::ALL.iter().map(|&e| Era::from(e)).collect(),
+        }
+    }
+
+    /// A synthetic N-era timeline whose web and lists evolve under
+    /// [`EraChurn`]. The patch lands before era `patch_era` (eras with a
+    /// smaller index are pre-patch); activity jitter is drawn per era from
+    /// `seed`.
+    pub fn synthetic(n_eras: usize, seed: u64, patch_era: usize) -> EraTimeline {
+        let churn = EraChurn {
+            seed,
+            eras: n_eras as u32,
+        };
+        let eras = (0..n_eras as u32)
+            .map(|i| Era {
+                index: i,
+                label: format!("era-{i:02}"),
+                pre_patch: (i as usize) < patch_era,
+                activity_pm: 700 + (mix(seed, 0x0AC7_0000 | u64::from(i)) % 400) as u32,
+                churn: Some(churn),
+            })
+            .collect();
+        EraTimeline { eras }
+    }
+
+    /// Number of eras.
+    pub fn len(&self) -> usize {
+        self.eras.len()
+    }
+
+    /// `true` for the degenerate empty timeline.
+    pub fn is_empty(&self) -> bool {
+        self.eras.is_empty()
+    }
+
+    /// The eras, in crawl order.
+    pub fn eras(&self) -> &[Era] {
+        &self.eras
+    }
+
+    /// Era at `index`, if the timeline is that long.
+    pub fn get(&self, index: usize) -> Option<&Era> {
+        self.eras.get(index)
+    }
+
+    /// `true` when this is exactly the pinned paper preset — the case
+    /// whose snapshots, checkpoints, and CRCs must stay byte-identical to
+    /// the pre-timeline pipeline.
+    pub fn is_paper(&self) -> bool {
+        self.eras.len() == 4 && *self == EraTimeline::paper()
+    }
+
+    /// `true` when any era carries churn (the web/lists differ across
+    /// eras beyond activity jitter).
+    pub fn evolves(&self) -> bool {
+        self.eras.iter().any(|e| e.churn.is_some())
+    }
+}
+
+impl Default for EraTimeline {
+    fn default() -> EraTimeline {
+        EraTimeline::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_matches_the_legacy_enum() {
+        let t = EraTimeline::paper();
+        assert_eq!(t.len(), 4);
+        assert!(t.is_paper());
+        assert!(!t.evolves());
+        for (era, legacy) in t.eras().iter().zip(CrawlEra::ALL) {
+            assert_eq!(era.index(), legacy.index());
+            assert_eq!(era.label(), legacy.label());
+            assert_eq!(era.pre_patch(), legacy.pre_patch());
+            // Exact equality: the per-mille encoding must reproduce the
+            // historical f64 literals bit-for-bit.
+            assert_eq!(era.activity_factor(), legacy.activity_factor());
+        }
+    }
+
+    #[test]
+    fn paper_streams_keep_the_legacy_packing() {
+        for legacy in CrawlEra::ALL {
+            let era = Era::from(legacy);
+            assert_eq!(era.site_stream(77), 77 << 2 | legacy.index());
+            assert_eq!(
+                era.page_stream(77, 3),
+                77u64 << 20 | 3 << 4 | legacy.index()
+            );
+        }
+    }
+
+    #[test]
+    fn wide_timelines_never_alias_streams() {
+        let t = EraTimeline::synthetic(40, 0xC0FFEE, 20);
+        let mut seen = std::collections::HashSet::new();
+        for era in t.eras() {
+            for site in 0..50u64 {
+                assert!(seen.insert(era.site_stream(site)), "stream collision");
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_timeline_shape() {
+        let t = EraTimeline::synthetic(12, 42, 5);
+        assert_eq!(t.len(), 12);
+        assert!(!t.is_paper());
+        assert!(t.evolves());
+        assert!(t.get(4).unwrap().pre_patch());
+        assert!(!t.get(5).unwrap().pre_patch());
+        assert_eq!(t.get(7).unwrap().label(), "era-07");
+        for era in t.eras() {
+            let f = era.activity_factor();
+            assert!((0.7..1.1).contains(&f), "{f}");
+        }
+        // Deterministic.
+        assert_eq!(t, EraTimeline::synthetic(12, 42, 5));
+        assert_ne!(t, EraTimeline::synthetic(12, 43, 5));
+    }
+
+    #[test]
+    fn rotation_rotates_and_derotates() {
+        assert_eq!(
+            EraChurn::rotated_domain("adnet07-media.com", 0),
+            "adnet07-media.com"
+        );
+        assert_eq!(
+            EraChurn::rotated_domain("adnet07-media.com", 2),
+            "adnet07-media-r2.com"
+        );
+        assert_eq!(
+            EraChurn::derotate("cdn.adnet07-media-r2.com").as_deref(),
+            Some("cdn.adnet07-media.com")
+        );
+        assert_eq!(EraChurn::derotate("cdn.adnet07-media.com"), None);
+        assert_eq!(EraChurn::derotate("v2.zopim.com"), None);
+    }
+
+    #[test]
+    fn generations_advance_every_few_eras() {
+        let churn = EraChurn { seed: 9, eras: 30 };
+        let mut last = 0;
+        for e in 0..30 {
+            let g = churn.generation("adnet07", e);
+            assert!(g >= last, "generation must be monotone");
+            last = g;
+        }
+        assert!(last >= 7, "30 eras must rotate several times, got {last}");
+    }
+
+    #[test]
+    fn adoption_windows_are_bounded_and_mostly_full() {
+        let churn = EraChurn { seed: 5, eras: 20 };
+        let mut full = 0u32;
+        let total = 500u32;
+        for site in 0..total {
+            let (start, end) = churn.adoption_window(u64::from(site), 1);
+            assert!(start <= end && end <= 20);
+            if (start, end) == (0, 20) {
+                full += 1;
+            }
+        }
+        let frac = f64::from(full) / f64::from(total);
+        assert!((0.6..0.8).contains(&frac), "full-window fraction {frac}");
+    }
+}

@@ -1,9 +1,10 @@
 //! [`SyntheticWeb`]: the [`WebHost`] the browser crawls.
 
 use crate::companies::Catalog;
-use crate::config::{CrawlEra, WebGenConfig};
+use crate::config::WebGenConfig;
 use crate::pages::PageSynthesizer;
 use crate::sites::{SiteMeta, SiteUniverse};
+use crate::timeline::Era;
 use sockscope_webmodel::{Page, ScriptBehavior, WebHost, WsServerProfile};
 
 /// A fully deterministic synthetic web for one crawl era.
@@ -30,7 +31,7 @@ impl SyntheticWeb {
     }
 
     /// Same universe, different crawl era (cheap: reuses the site metadata).
-    pub fn for_era(&self, era: CrawlEra) -> SyntheticWeb {
+    pub fn for_era(&self, era: impl Into<Era>) -> SyntheticWeb {
         SyntheticWeb {
             catalog: self.catalog.clone(),
             universe: self.universe.clone(),
@@ -58,14 +59,16 @@ impl SyntheticWeb {
         self.universe.sites()
     }
 
-    /// The generated EasyList-like rule list.
+    /// The generated EasyList-like rule list, as published at this web's
+    /// crawl era (evolving timelines rotate blanket coverage and churn
+    /// cohort rules; the paper preset is frozen).
     pub fn easylist(&self) -> String {
-        crate::lists::easylist(&self.catalog)
+        crate::lists::easylist_for(&self.catalog, &self.config.era)
     }
 
-    /// The generated EasyPrivacy-like rule list.
+    /// The generated EasyPrivacy-like rule list at this web's crawl era.
     pub fn easyprivacy(&self) -> String {
-        crate::lists::easyprivacy(&self.catalog)
+        crate::lists::easyprivacy_for(&self.catalog, &self.config.era)
     }
 
     fn synthesizer(&self) -> PageSynthesizer<'_> {
@@ -113,6 +116,7 @@ impl WebHost for SyntheticWeb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::CrawlEra;
     use sockscope_webmodel::WebHost;
 
     fn small_web() -> SyntheticWeb {

@@ -100,7 +100,7 @@ fn main() {
     let era = CrawlEra::ALL[0];
     let era_web = web.for_era(era);
     let make_extensions =
-        || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(era));
+        || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(&era.into()));
     let n = config.n_sites as f64;
 
     // Webgen synthesis alone: every page of every site, plus the script

@@ -116,7 +116,7 @@ fn failure_tables_merge_associatively_under_crawl_reduction() {
     });
     let (engine, errs) = Engine::parse_many(&[&web.easylist(), &web.easyprivacy()]);
     assert!(errs.is_empty());
-    let era = web.config().era;
+    let era = web.config().era.clone();
     let config = CrawlConfig {
         threads: 4,
         faults: Some(FaultProfile::heavy()),
@@ -127,7 +127,7 @@ fn failure_tables_merge_associatively_under_crawl_reduction() {
         &web,
         &config,
         3,
-        &|| sockscope::browser::ExtensionHost::stock(browser_era(era)),
+        &|| sockscope::browser::ExtensionHost::stock(browser_era(&era)),
         &|_shard| {
             (
                 CrawlReduction::new(era.label(), era.pre_patch()),

@@ -98,7 +98,7 @@ fn sharded_crawl_is_invariant_across_shard_counts() {
     });
     let (engine, errs) = Engine::parse_many(&[&web.easylist(), &web.easyprivacy()]);
     assert!(errs.is_empty());
-    let era = web.config().era;
+    let era = web.config().era.clone();
     let config = CrawlConfig {
         threads: 4,
         ..CrawlConfig::default()
@@ -109,7 +109,7 @@ fn sharded_crawl_is_invariant_across_shard_counts() {
             &web,
             &config,
             shards,
-            &|| sockscope::browser::ExtensionHost::stock(browser_era(era)),
+            &|| sockscope::browser::ExtensionHost::stock(browser_era(&era)),
             &|_shard| {
                 (
                     CrawlReduction::new(era.label(), era.pre_patch()),

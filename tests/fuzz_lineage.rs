@@ -1,0 +1,177 @@
+//! Seeded fuzz harness for the snapshot-lineage delta codec.
+//!
+//! The longitudinal resume path feeds whatever a crash (or a bit-rotted
+//! disk) left in a lineage directory straight into
+//! [`sockscope_journal::delta::apply`], so the codec is the trust
+//! boundary of the delta-compressed lineage story: **any input that is
+//! not a bit-exact valid delta for the presented source must surface as
+//! a typed [`DeltaError`] — never a panic, and never a silently wrong
+//! reconstruction.**
+//!
+//! Mirrors `tests/fuzz_journal.rs`: every case derives from the vendored
+//! proptest [`TestRng`] so a failing case number reproduces exactly, and
+//! the per-target case count honors `FUZZ_CASES` (default 2500; CI's
+//! longitudinal job raises it).
+
+use proptest::test_runner::TestRng;
+use sockscope_journal::crc32;
+use sockscope_journal::delta::{apply, encode, DeltaError, DELTA_HEADER_LEN, DELTA_TRAILER_LEN};
+
+/// Per-target case count: `FUZZ_CASES` env or 2500.
+fn fuzz_cases() -> u64 {
+    std::env::var("FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2500)
+}
+
+/// A source/target pair shaped like real lineage snapshots: the target
+/// extends a shared prefix (cumulative JSON grows at the tail) with
+/// occasional mid-buffer edits.
+fn arbitrary_pair(rng: &mut TestRng) -> (Vec<u8>, Vec<u8>) {
+    let src_len = rng.usize_in(0, 800);
+    let source: Vec<u8> = (0..src_len).map(|_| rng.below(256) as u8).collect();
+    let mut target = source.clone();
+    // Tail growth (the dominant lineage shape).
+    let grow = rng.usize_in(0, 300);
+    target.extend((0..grow).map(|_| rng.below(256) as u8));
+    // Sometimes a mid-buffer edit.
+    if !target.is_empty() && rng.below(2) == 0 {
+        let at = rng.usize_in(0, target.len());
+        target[at] ^= 1 << rng.below(8);
+    }
+    (source, target)
+}
+
+#[test]
+fn fuzz_roundtrip_is_byte_identical() {
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("lineage_roundtrip", case);
+        let (source, target) = arbitrary_pair(&mut rng);
+        let delta = encode(&source, &target);
+        assert_eq!(
+            apply(&source, &delta).unwrap_or_else(|e| panic!("case {case}: {e}")),
+            target,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn fuzz_apply_byte_soup_never_panics() {
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("lineage_byte_soup", case);
+        let src_len = rng.usize_in(0, 400);
+        let source: Vec<u8> = (0..src_len).map(|_| rng.below(256) as u8).collect();
+        let len = rng.usize_in(0, 600);
+        let soup: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        // Random bytes essentially never carry the magic AND a valid
+        // trailer CRC; a success here would mean the framing is vacuous.
+        assert!(apply(&source, &soup).is_err(), "case {case}");
+    }
+}
+
+#[test]
+fn fuzz_every_truncation_is_a_typed_error() {
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("lineage_truncation", case);
+        let (source, target) = arbitrary_pair(&mut rng);
+        let delta = encode(&source, &target);
+        let cut = rng.usize_in(0, delta.len());
+        match apply(&source, &delta[..cut]) {
+            Err(_) => {}
+            Ok(out) => panic!(
+                "case {case}: truncation at {cut}/{} applied successfully ({} bytes out)",
+                delta.len(),
+                out.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn fuzz_bit_flips_never_reconstruct_wrong_bytes() {
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("lineage_bitflip", case);
+        let (source, target) = arbitrary_pair(&mut rng);
+        let mut delta = encode(&source, &target);
+        let at = rng.usize_in(0, delta.len());
+        delta[at] ^= 1 << rng.below(8);
+        // The trailer covers every preceding byte and is itself part of
+        // the flip surface, so any single-bit flip must surface as a
+        // typed error.
+        assert!(
+            apply(&source, &delta).is_err(),
+            "case {case}: flip at {at} went unnoticed"
+        );
+    }
+}
+
+#[test]
+fn fuzz_forged_trailers_cannot_smuggle_wrong_output() {
+    // The adversarial tier: mutate the op stream (reorder/retarget ops,
+    // scribble lengths), then RE-FORGE the trailer CRC so the framing
+    // check passes. The codec must still fail typed — op bounds or the
+    // target length/CRC check — or, if it succeeds, the output must be
+    // the genuine target (the mutation was semantics-preserving).
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("lineage_forgery", case);
+        let (source, target) = arbitrary_pair(&mut rng);
+        let mut delta = encode(&source, &target);
+        let body_end = delta.len() - DELTA_TRAILER_LEN;
+        if body_end <= DELTA_HEADER_LEN {
+            continue; // no ops to mutate (identical empty buffers)
+        }
+        for _ in 0..=rng.below(3) {
+            let at = rng.usize_in(DELTA_HEADER_LEN, body_end);
+            match rng.below(3) {
+                0 => delta[at] ^= 1 << rng.below(8),
+                1 => delta[at] = rng.below(256) as u8,
+                // Swap two op-stream bytes: the cheapest "reordering".
+                _ => {
+                    let other = rng.usize_in(DELTA_HEADER_LEN, body_end);
+                    delta.swap(at, other);
+                }
+            }
+        }
+        let crc = crc32(&delta[..body_end]).to_le_bytes();
+        delta[body_end..].copy_from_slice(&crc);
+        match apply(&source, &delta) {
+            Err(
+                DeltaError::BadOp(_)
+                | DeltaError::OutOfBounds { .. }
+                | DeltaError::TargetMismatch
+                | DeltaError::Truncated,
+            ) => {}
+            Err(other) => panic!("case {case}: unexpected error class {other}"),
+            Ok(out) => assert_eq!(out, target, "case {case}: forgery produced wrong bytes"),
+        }
+    }
+}
+
+#[test]
+fn fuzz_wrong_source_is_always_rejected() {
+    for case in 0..fuzz_cases() {
+        let mut rng = TestRng::for_case("lineage_wrong_source", case);
+        let (source, target) = arbitrary_pair(&mut rng);
+        let delta = encode(&source, &target);
+        // Perturb the source (flip a byte, or swap in a fresh buffer):
+        // applying a delta out of lineage order must fail typed.
+        let mut wrong = source.clone();
+        if wrong.is_empty() || rng.below(2) == 0 {
+            let len = rng.usize_in(0, 300);
+            wrong = (0..len).map(|_| rng.below(256) as u8).collect();
+            if wrong == source {
+                continue;
+            }
+        } else {
+            let at = rng.usize_in(0, wrong.len());
+            wrong[at] ^= 1 << rng.below(8);
+        }
+        match apply(&wrong, &delta) {
+            Err(DeltaError::SourceMismatch { .. }) => {}
+            Err(other) => panic!("case {case}: expected SourceMismatch, got {other}"),
+            Ok(_) => panic!("case {case}: wrong source accepted"),
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Integration suite for era-parametric longitudinal studies and the
+//! delta-compressed snapshot lineage.
+//!
+//! Three invariants live here:
+//!
+//! 1. **The paper preset is untouched.** Running the longitudinal engine
+//!    over the default 4-crawl timeline must produce the exact study (and
+//!    snapshot bytes) the classic `Study::run` path produces — the
+//!    parametric timeline is a generalization, not a fork.
+//! 2. **`apply(delta_chain) == full_snapshot`, byte for byte.** A
+//!    property test drives random era counts and seeds through the crawl
+//!    and replays each era's cumulative snapshot from the base plus the
+//!    delta chain using the raw journal codec — not the lineage's own
+//!    convenience methods — so the on-disk format itself is what's pinned.
+//! 3. **Checkpointed crawls resume mid-lineage.** A synthetic timeline
+//!    killed at an era the paper preset does not even have (era 4 of 6)
+//!    must resume to a byte-identical study and an identical lineage.
+
+use std::path::PathBuf;
+
+use proptest::test_runner::TestRng;
+use sockscope_analysis::checkpoint::{CheckpointError, CheckpointOptions, KillPlan};
+use sockscope_analysis::longitudinal::{era_deltas, era_snapshots, run_longitudinal};
+use sockscope_analysis::{SnapshotLineage, Study, StudyConfig, StudySnapshot};
+use sockscope_journal::delta::apply;
+use sockscope_journal::KillPoint;
+use sockscope_webgen::EraTimeline;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sockscope-longitudinal-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn snapshot_json(study: &Study) -> String {
+    StudySnapshot::capture(study).to_json()
+}
+
+#[test]
+fn paper_preset_longitudinal_matches_the_classic_run() {
+    let config = StudyConfig {
+        seed: 0xBA5E,
+        n_sites: 40,
+        threads: 2,
+        ..StudyConfig::default()
+    };
+    assert!(config.timeline.is_paper());
+
+    let run = run_longitudinal(&config);
+    let classic = Study::run(&config);
+
+    // Same crawls, same reductions, same snapshot bytes: the longitudinal
+    // engine is a lens over the ordinary study, not a different study.
+    assert_eq!(snapshot_json(&run.study), snapshot_json(&classic));
+    assert_eq!(run.deltas.len(), 4, "one drift report per paper crawl");
+    assert_eq!(run.lineage.era_count(), 4);
+
+    // The lineage reconstructs exactly the cumulative snapshots the
+    // public helper derives from the classic study.
+    let web = Study::universe(&config);
+    let expected = era_snapshots(&web, &classic.reductions);
+    assert_eq!(run.lineage.reconstruct_all().unwrap(), expected);
+
+    // Era labels follow the paper's crawl names in order.
+    let labels: Vec<&str> = run.deltas.iter().map(|d| d.label.as_str()).collect();
+    assert_eq!(labels.len(), 4);
+    assert!(labels[0] != labels[1], "crawl labels are distinct");
+}
+
+#[test]
+fn delta_chain_replays_to_the_full_snapshot_for_random_timelines() {
+    // The property from the issue: for ANY era count and seed, applying
+    // the delta chain through the raw codec reproduces every cumulative
+    // snapshot byte-for-byte. Uses the raw `apply` — not
+    // `SnapshotLineage::reconstruct` — so the test would catch the
+    // lineage builder and the codec disagreeing about the format.
+    let cases = proptest::test_runner::cases();
+    for case in 0..cases {
+        let mut rng = TestRng::for_case("delta_chain_replays", case);
+        let n_eras = rng.usize_in(2, 6);
+        let seed = rng.next_u64();
+        let config = StudyConfig {
+            seed,
+            n_sites: rng.usize_in(24, 41),
+            threads: 2,
+            timeline: EraTimeline::synthetic(n_eras, seed ^ 0x0E5A_51DE, n_eras / 2),
+            ..StudyConfig::default()
+        };
+        let study = Study::run(&config);
+        let web = Study::universe(&config);
+        let snapshots = era_snapshots(&web, &study.reductions);
+        assert_eq!(snapshots.len(), n_eras, "case {case}");
+
+        let lineage = SnapshotLineage::build(&snapshots);
+        assert_eq!(lineage.era_count(), n_eras, "case {case}");
+        assert_eq!(lineage.base, snapshots[0], "case {case}: base is era 0");
+
+        // Replay the chain with the raw codec.
+        let mut current = lineage.base.clone();
+        assert_eq!(current, snapshots[0], "case {case} era 0");
+        for (k, delta) in lineage.deltas.iter().enumerate() {
+            current =
+                apply(&current, delta).unwrap_or_else(|e| panic!("case {case} era {}: {e}", k + 1));
+            assert_eq!(
+                current,
+                snapshots[k + 1],
+                "case {case}: era {} must replay byte-identically",
+                k + 1
+            );
+            assert_eq!(
+                lineage.full_lens[k + 1],
+                current.len() as u64,
+                "case {case}: manifest length for era {}",
+                k + 1
+            );
+        }
+
+        // The convenience accessors agree with the manual replay.
+        assert_eq!(
+            lineage.reconstruct(n_eras - 1).unwrap(),
+            snapshots[n_eras - 1],
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn lineage_roundtrips_through_disk_for_a_synthetic_timeline() {
+    let config = StudyConfig {
+        seed: 0x10_5EED,
+        n_sites: 30,
+        threads: 2,
+        timeline: EraTimeline::synthetic(5, 0xD1F7, 2),
+        ..StudyConfig::default()
+    };
+    let run = run_longitudinal(&config);
+    let dir = tmpdir("roundtrip");
+    run.lineage.save(&dir).unwrap();
+    let loaded = SnapshotLineage::load(&dir).unwrap();
+    assert_eq!(loaded.base, run.lineage.base);
+    assert_eq!(loaded.deltas, run.lineage.deltas);
+    assert_eq!(loaded.full_lens, run.lineage.full_lens);
+    assert_eq!(
+        loaded.reconstruct_all().unwrap(),
+        run.lineage.reconstruct_all().unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_crawl_killed_mid_lineage_resumes_byte_identical() {
+    // Era 4 of a 6-era synthetic timeline: an index the closed 4-variant
+    // enum could not even name. The kill lands there, the resume must
+    // recover eras 0..=3 from the journal, re-crawl 4..=5, and end up
+    // byte-identical — study AND lineage.
+    let timeline = EraTimeline::synthetic(6, 0xE5A, 3);
+    let config = StudyConfig {
+        seed: 0xC0FFEE,
+        n_sites: 36,
+        threads: 2,
+        timeline: timeline.clone(),
+        ..StudyConfig::default()
+    };
+    let baseline_study = Study::run(&config);
+    let baseline = snapshot_json(&baseline_study);
+    let web = Study::universe(&config);
+    let baseline_lineage = SnapshotLineage::build(&era_snapshots(&web, &baseline_study.reductions));
+
+    let shards = 4usize;
+    let dir = tmpdir("mid-lineage-kill");
+    let kill = KillPlan {
+        era: 4,
+        shard: 2,
+        point: KillPoint::PreRename,
+        seed: 0x0DD,
+    };
+    let opts = CheckpointOptions {
+        shards: Some(shards),
+        kill: Some(kill),
+        ..CheckpointOptions::fresh(&dir)
+    };
+    match Study::run_checkpointed(&config, &opts) {
+        Err(CheckpointError::Killed { era, shard }) => {
+            assert_eq!(era, 4);
+            assert_eq!(shard, 2);
+        }
+        Err(other) => panic!("expected the injected kill, got {other:?}"),
+        Ok(_) => panic!("expected the injected kill, but the run completed"),
+    }
+
+    let (study, report) =
+        Study::run_checkpointed(&config, &CheckpointOptions::resume(&dir)).unwrap();
+    assert!(report.resumed);
+    assert_eq!(
+        snapshot_json(&study),
+        baseline,
+        "mid-lineage resume must be byte-identical to an uninterrupted run"
+    );
+    // Eras 0..=3 were durable before the kill: the resume recovered them
+    // rather than re-crawling the whole timeline.
+    assert!(report.shards_recovered >= shards, "{report:?}");
+
+    // The lineage built from the resumed study is the baseline lineage.
+    let resumed_lineage = SnapshotLineage::build(&era_snapshots(&web, &study.reductions));
+    assert_eq!(resumed_lineage.base, baseline_lineage.base);
+    assert_eq!(resumed_lineage.deltas, baseline_lineage.deltas);
+
+    // Drift reports survive the resume unchanged too.
+    assert_eq!(
+        era_deltas(&study, &web, &config),
+        era_deltas(&baseline_study, &web, &config)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn evolving_timelines_actually_compress() {
+    // The economics claim behind the lineage: cumulative snapshots grow
+    // roughly linearly, so storing deltas beats storing N full snapshots
+    // by ~(N+1)/2. At 8 eras the floor is conservative.
+    let config = StudyConfig {
+        seed: 0x5CA1E,
+        n_sites: 32,
+        threads: 2,
+        timeline: EraTimeline::synthetic(8, 0xFADE, 4),
+        ..StudyConfig::default()
+    };
+    let run = run_longitudinal(&config);
+    assert!(
+        run.lineage.compression_ratio() >= 2.0,
+        "8-era lineage should compress >= 2x, got {:.2} ({} stored vs {} full)",
+        run.lineage.compression_ratio(),
+        run.lineage.stored_bytes(),
+        run.lineage.full_bytes()
+    );
+}

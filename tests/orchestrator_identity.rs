@@ -117,7 +117,7 @@ fn adversarial_steal_and_backpressure_schedules_cannot_move_a_byte() {
     let era = CrawlEra::ALL[1];
     let era_web = web.for_era(era);
     let make_extensions =
-        || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(era));
+        || sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(&era.into()));
 
     let mut reference = sockscope_crawler::crawl_sharded_sink(
         &era_web,

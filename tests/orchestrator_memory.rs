@@ -47,7 +47,7 @@ fn metered_crawl(n_sites: usize) -> (u64, u64) {
         &era_web,
         &crawl_config,
         &orch,
-        &|| sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(era)),
+        &|| sockscope_browser::ExtensionHost::stock(sockscope_crawler::browser_era(&era.into())),
         &|| FusedShard::new(era.label(), era.pre_patch(), &engine),
         &|worker: &mut FusedShard<'_>| worker.take_site_reduction(),
         &|| CrawlReduction::new(era.label(), era.pre_patch()),

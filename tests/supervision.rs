@@ -108,7 +108,7 @@ fn adversarial_steal_schedules_cannot_move_a_quarantine_entry() {
     let crawl_config = Study::crawl_config(&config);
     let era = CrawlEra::ALL[1];
     let era_web = web.for_era(era);
-    let make_extensions = || ExtensionHost::stock(browser_era(era));
+    let make_extensions = || ExtensionHost::stock(browser_era(&era.into()));
 
     let run = |orch: &OrchestratorConfig| {
         let mut reduction = sockscope_crawler::crawl_orchestrated(
@@ -177,7 +177,7 @@ fn non_quarantined_remainder_matches_the_fault_free_bytes() {
         &era_web,
         &crawl_config,
         &orch,
-        &|| ExtensionHost::stock(browser_era(era)),
+        &|| ExtensionHost::stock(browser_era(&era.into())),
         &|| FusedShard::new(era.label(), era.pre_patch(), &engine),
         &|worker: &mut FusedShard<'_>| worker.take_site_reduction(),
         &|| CrawlReduction::new(era.label(), era.pre_patch()),
@@ -200,7 +200,7 @@ fn non_quarantined_remainder_matches_the_fault_free_bytes() {
     };
     let browser = Browser::new(
         &era_web,
-        ExtensionHost::stock(browser_era(era)),
+        ExtensionHost::stock(browser_era(&era.into())),
         BrowserConfig {
             seed: clean_config.seed ^ era_web.config().seed,
             ..BrowserConfig::default()
